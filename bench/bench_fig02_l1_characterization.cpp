@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 2: L1 constant-cache latency vs array size at 64-byte stride.
+ * The staircase reveals the cache capacity (plateau end), the number of
+ * sets (step count), and the line size (step width). The attack's
+ * offline step then recovers the geometry automatically.
+ */
+
+#include "bench_util.h"
+#include "covert/characterize/cache_characterizer.h"
+
+using namespace gpucc;
+using covert::CacheCharacterizer;
+
+int
+main()
+{
+    bench::banner("Figure 2: L1 constant cache, stride 64 bytes",
+                  "Section 4.1, Figure 2");
+
+    for (const auto &arch : gpu::allArchitectures()) {
+        covert::CacheCharacterizer cc(arch);
+        auto series = cc.figure2Sweep();
+
+        Table t(strfmt("%s: avg load latency vs array size",
+                       arch.name.c_str()));
+        t.header({"array (bytes)", "latency (cycles)"});
+        std::vector<double> values;
+        for (const auto &p : series) {
+            t.row({std::to_string(p.arrayBytes),
+                   fmtDouble(p.avgLatencyCycles, 1)});
+            values.push_back(p.avgLatencyCycles);
+        }
+        t.print();
+        std::printf("shape: %s\n", bench::sparkline(values).c_str());
+
+        auto g = CacheCharacterizer::recover(series,
+                                             arch.constMem.l1.lineBytes);
+        std::printf("recovered: %zu B cache, %zu B lines, %zu sets "
+                    "(ground truth: %zu B, %zu B, %zu)\n",
+                    g.sizeBytes, g.lineBytes, g.numSets,
+                    arch.constMem.l1.sizeBytes, arch.constMem.l1.lineBytes,
+                    arch.constMem.l1.numSets());
+        std::printf("paper (Kepler/Maxwell): 2 KB, 4-way, 64 B lines; "
+                    "Fermi: 4 KB, 4-way, 64 B lines\n");
+    }
+    return 0;
+}

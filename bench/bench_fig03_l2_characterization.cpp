@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 3: L2 constant-cache latency vs array size at 256-byte stride
+ * (32 KB, 8-way, 256 B lines on all three GPUs).
+ */
+
+#include "bench_util.h"
+#include "covert/characterize/cache_characterizer.h"
+
+using namespace gpucc;
+using covert::CacheCharacterizer;
+
+int
+main()
+{
+    bench::banner("Figure 3: L2 constant cache, stride 256 bytes",
+                  "Section 4.1, Figure 3");
+
+    for (const auto &arch : gpu::allArchitectures()) {
+        covert::CacheCharacterizer cc(arch);
+        auto series = cc.figure3Sweep();
+
+        Table t(strfmt("%s: avg load latency vs array size",
+                       arch.name.c_str()));
+        t.header({"array (bytes)", "latency (cycles)"});
+        std::vector<double> values;
+        for (const auto &p : series) {
+            t.row({std::to_string(p.arrayBytes),
+                   fmtDouble(p.avgLatencyCycles, 1)});
+            values.push_back(p.avgLatencyCycles);
+        }
+        t.print();
+        std::printf("shape: %s\n", bench::sparkline(values).c_str());
+
+        auto g = CacheCharacterizer::recover(series,
+                                             arch.constMem.l2.lineBytes);
+        std::printf("recovered: %zu B cache, %zu B lines, %zu sets "
+                    "(paper: 32 KB, 8-way, 256 B lines on all GPUs)\n",
+                    g.sizeBytes, g.lineBytes, g.numSets);
+    }
+    return 0;
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Section 10's negative result, reproduced: the self-contention
+ * artifacts behind the Jiang et al. timing side channels (shared-memory
+ * bank conflicts, memory coalescing) make a large difference to a
+ * kernel's OWN timing but have little measurable effect on a competing
+ * kernel — so they cannot carry covert channels.
+ */
+
+#include "bench_util.h"
+#include "covert/channels/atomic_channel.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+using namespace gpucc;
+
+namespace
+{
+
+std::vector<Addr>
+conflictPattern(unsigned degree)
+{
+    std::vector<Addr> offsets;
+    for (unsigned lane = 0; lane < static_cast<unsigned>(warpSize); ++lane)
+        offsets.push_back(Addr(lane / degree) * 4 +
+                          Addr(lane % degree) * 32 * 4);
+    return offsets;
+}
+
+/** Observed spy smem latency while the trojan does (or not) a storm. */
+double
+crossKernelSmemProbe(const gpu::ArchParams &arch, bool storm)
+{
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+
+    gpu::KernelLaunch trojan;
+    trojan.name = "smem-storm";
+    trojan.config.gridBlocks = arch.numSms;
+    trojan.config.threadsPerBlock = 4 * warpSize;
+    trojan.config.smemBytesPerBlock = 8 * 1024;
+    trojan.body = [storm](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (storm) {
+            for (int i = 0; i < 300; ++i)
+                co_await ctx.sharedAccess(conflictPattern(32));
+        }
+        co_return;
+    };
+
+    double avg = 0.0;
+    gpu::KernelLaunch spy;
+    spy.name = "smem-probe";
+    spy.config.gridBlocks = arch.numSms;
+    spy.config.threadsPerBlock = 32;
+    spy.config.smemBytesPerBlock = 8 * 1024;
+    spy.body = [&avg](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        std::uint64_t total = 0;
+        for (int i = 0; i < 64; ++i)
+            total += co_await ctx.sharedAccess(conflictPattern(1));
+        avg = static_cast<double>(total) / 64.0;
+        co_return;
+    };
+
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &kt = host.launch(s1, trojan);
+    auto &ks = host.launch(s2, spy);
+    host.sync(ks);
+    host.sync(kt);
+    return avg;
+}
+
+/** Spy's coalesced global-load latency vs a normal-load trojan storm. */
+double
+crossKernelLoadProbe(const gpu::ArchParams &arch, bool storm)
+{
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    Addr tBase = dev.allocGlobal(1 << 20, 4096);
+    Addr sBase = dev.allocGlobal(1 << 20, 4096);
+
+    gpu::KernelLaunch trojan;
+    trojan.name = "load-storm";
+    trojan.config.gridBlocks = arch.numSms;
+    trojan.config.threadsPerBlock = 4 * warpSize;
+    trojan.body = [storm, tBase](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (storm) {
+            for (unsigned i = 0; i < 120; ++i) {
+                std::vector<Addr> lanes;
+                for (unsigned t = 0; t < 32; ++t) {
+                    // Deliberately un-coalesced: one segment per lane.
+                    lanes.push_back(tBase +
+                                    Addr(ctx.globalWarpId()) * 8192 +
+                                    Addr(t) * 256 + Addr(i % 32) * 4);
+                }
+                co_await ctx.globalLoad(lanes);
+            }
+        }
+        co_return;
+    };
+
+    double avg = 0.0;
+    gpu::KernelLaunch spy;
+    spy.name = "load-probe";
+    spy.config.gridBlocks = 1;
+    spy.config.threadsPerBlock = 32;
+    spy.body = [&avg, sBase](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < 48; ++i) {
+            std::vector<Addr> lanes;
+            for (unsigned t = 0; t < 32; ++t)
+                lanes.push_back(sBase + Addr(i) * 128 + Addr(t) * 4);
+            total += co_await ctx.globalLoad(lanes);
+        }
+        avg = static_cast<double>(total) / 48.0;
+        co_return;
+    };
+
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &kt = host.launch(s1, trojan);
+    auto &ks = host.launch(s2, spy);
+    host.sync(ks);
+    host.sync(kt);
+    return avg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 10 negative results: self-contention is not a "
+                  "channel",
+                  "Section 10 (vs Jiang et al. side channels)");
+
+    auto arch = gpu::keplerK40c();
+
+    // Part 1: the self-contention is real and huge (the side channel's
+    // raw material).
+    {
+        gpu::Device dev(arch);
+        gpu::HostContext host(dev);
+        std::vector<std::uint64_t> lat;
+        gpu::KernelLaunch k;
+        k.name = "self";
+        k.config.gridBlocks = 1;
+        k.config.threadsPerBlock = 32;
+        k.config.smemBytesPerBlock = 8 * 1024;
+        k.body = [&lat](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+            for (unsigned d : {1u, 2u, 4u, 8u, 16u, 32u})
+                lat.push_back(
+                    co_await ctx.sharedAccess(conflictPattern(d)));
+            co_return;
+        };
+        auto &s = dev.createStream();
+        host.sync(host.launch(s, k));
+        Table t("own-kernel shared-memory latency vs bank-conflict degree");
+        t.header({"conflict degree", "latency (cycles)"});
+        unsigned degrees[] = {1, 2, 4, 8, 16, 32};
+        for (std::size_t i = 0; i < lat.size(); ++i)
+            t.row({std::to_string(degrees[i]), std::to_string(lat[i])});
+        t.print();
+    }
+
+    // Part 2: ...but a competing kernel sees (almost) none of it.
+    Table x("cross-kernel visibility of self-contention artifacts");
+    x.header({"probe", "trojan idle", "trojan storming", "delta",
+              "verdict"});
+    {
+        double quiet = crossKernelSmemProbe(arch, false);
+        double storm = crossKernelSmemProbe(arch, true);
+        x.row({"smem bank conflicts", fmtDouble(quiet, 1) + " cyc",
+               fmtDouble(storm, 1) + " cyc",
+               fmtDouble(storm - quiet, 2) + " cyc",
+               "no decodable contrast"});
+    }
+    {
+        double quiet = crossKernelLoadProbe(arch, false);
+        double storm = crossKernelLoadProbe(arch, true);
+        x.row({"global loads (coalescing)", fmtDouble(quiet, 1) + " cyc",
+               fmtDouble(storm, 1) + " cyc",
+               fmtDouble(storm - quiet, 2) + " cyc",
+               storm - quiet < 20.0 ? "no reliable contention"
+                                    : "UNEXPECTED"});
+    }
+    x.print();
+
+    std::printf("Compare: the working channels rely on 6+ cycle symbol "
+                "separations (SFU) or 55+ cycle\nseparations (L1). Bank-"
+                "conflict replays serialize inside the accessing warp, "
+                "and the\nDRAM system is too wide for plain loads to "
+                "contend — which is why the paper builds its\nmemory "
+                "channel on the atomic units instead (Figure 10).\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Section 3.2: how the attack carries over to multiprogramming schemes
+ * proposed in the literature. Each policy is evaluated on (a) whether
+ * trojan/spy co-location on one SM is achievable, (b) the L1 channel,
+ * and (c) the fallback L2 channel. Kepler K40C.
+ */
+
+#include <set>
+
+#include "bench_util.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/l2_const_channel.h"
+#include "gpu/block_scheduler.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+using namespace gpucc;
+using gpu::MultiprogPolicy;
+
+namespace
+{
+
+/** Do two one-block-per-SM kernels co-reside under @p policy? */
+bool
+coLocates(MultiprogPolicy policy)
+{
+    auto arch = gpu::keplerK40c();
+    gpu::Device dev(arch);
+    dev.blockScheduler().setPolicy(policy);
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto mk = [](const char *name) {
+        gpu::KernelLaunch k;
+        k.name = name;
+        k.config.gridBlocks = 15;
+        k.config.threadsPerBlock = 128;
+        k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+            for (int i = 0; i < 800; ++i)
+                co_await ctx.op(gpu::OpClass::FAdd);
+            co_return;
+        };
+        return k;
+    };
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &k1 = host.launch(s1, mk("t"));
+    auto &k2 = host.launch(s2, mk("s"));
+    host.sync(k1);
+    host.sync(k2);
+    for (const auto &a : k1.blockRecords()) {
+        for (const auto &b : k2.blockRecords()) {
+            if (a.smId == b.smId && b.startTick < a.endTick &&
+                a.startTick < b.endTick) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::string
+channelCell(double ber, double bw)
+{
+    if (ber > 0.02)
+        return strfmt("DEAD (BER %.0f%%)", 100.0 * ber);
+    return fmtKbps(bw);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 3.2: proposed multiprogramming schemes",
+                  "Section 3.2 (SMK, Warped-Slicer, inter-SM partitioning)");
+
+    auto arch = gpu::keplerK40c();
+    auto msg = bench::payload(64);
+
+    Table t("attack viability per block-scheduling policy (Tesla K40C)");
+    t.header({"policy", "intra-SM co-location", "L1 channel",
+              "L2 channel"});
+    for (auto policy :
+         {MultiprogPolicy::Leftover, MultiprogPolicy::SmkPreemptive,
+          MultiprogPolicy::IntraSmPartition,
+          MultiprogPolicy::InterSmPartition}) {
+        covert::L1ConstChannel l1(arch);
+        l1.harness().device().blockScheduler().setPolicy(policy);
+        auto r1 = l1.transmit(msg);
+
+        covert::L2ConstChannel l2(arch);
+        l2.harness().device().blockScheduler().setPolicy(policy);
+        auto r2 = l2.transmit(msg);
+
+        t.row({gpu::multiprogPolicyName(policy),
+               coLocates(policy) ? "yes" : "no",
+               channelCell(r1.report.errorRate(), r1.bandwidthBps),
+               channelCell(r2.report.errorRate(), r2.bandwidthBps)});
+    }
+    t.print();
+    std::printf(
+        "As the paper argues: preemptive SMK and intra-SM partitioning "
+        "keep (or ease) intra-SM\nco-location, so the L1 channel "
+        "survives; inter-SM partitioning kills the L1 channel but\nthe "
+        "device-wide L2 channel still communicates.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Section 3.1: reverse engineering the hardware schedulers from the
+ * outside (smid + clock() observations only). Prints the recovered
+ * policies per GPU.
+ */
+
+#include "bench_util.h"
+#include "covert/characterize/scheduler_probe.h"
+
+using namespace gpucc;
+
+int
+main()
+{
+    bench::banner("Section 3.1: reverse-engineered scheduling policies",
+                  "Section 3, co-location methodology");
+
+    Table t("Recovered hardware scheduling policies");
+    t.header({"GPU", "block->SM", "2nd kernel", "saturated device",
+              "warp->scheduler", "SMs seen", "schedulers seen"});
+    for (const auto &arch : gpu::allArchitectures()) {
+        covert::SchedulerProbe probe(arch);
+        auto f = probe.run();
+        t.row({arch.name,
+               f.blockAssignmentRoundRobin ? "round-robin" : "other",
+               f.secondKernelUsesLeftover ? "fills leftover" : "other",
+               f.fullDeviceBlocksSecondKernel ? "queues blocks" : "other",
+               f.warpAssignmentRoundRobin ? "round-robin" : "other",
+               std::to_string(f.observedSms),
+               std::to_string(f.observedSchedulers)});
+    }
+    t.print();
+    std::printf("Co-location recipe derived from these findings: launch "
+                "one block per SM from each\nkernel (they pair up on "
+                "every SM), and use warp counts that are multiples of "
+                "the\nscheduler count to pin warps to schedulers.\n");
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Section 9 mitigation ablation: the paper proposes spatial/temporal
+ * partitioning, scheduler changes, and measurement-entropy defenses but
+ * leaves their implementation to future work. This bench implements and
+ * evaluates all of them against every channel class on the Kepler
+ * K40C, including the negative result that temporal partitioning alone
+ * does not stop the state-based cache channel.
+ */
+
+#include "bench_util.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/sfu_channel.h"
+#include "covert/parallel/sfu_parallel_channel.h"
+#include "covert/sync/sync_channel.h"
+
+using namespace gpucc;
+using gpu::MitigationConfig;
+
+namespace
+{
+
+struct Cell
+{
+    double bandwidth = 0.0;
+    double ber = 0.0;
+};
+
+Cell
+l1Baseline(const gpu::ArchParams &arch, const MitigationConfig &m)
+{
+    covert::LaunchPerBitConfig cfg;
+    cfg.mitigations = m;
+    covert::L1ConstChannel ch(arch, cfg);
+    auto r = ch.transmit(bench::payload(64));
+    return {r.bandwidthBps, r.report.errorRate()};
+}
+
+Cell
+l1Sync(const gpu::ArchParams &arch, const MitigationConfig &m)
+{
+    covert::SyncChannelConfig cfg;
+    cfg.mitigations = m;
+    covert::SyncL1Channel ch(arch, cfg);
+    auto r = ch.transmit(bench::payload(128));
+    return {r.bandwidthBps, r.report.errorRate()};
+}
+
+Cell
+sfu(const gpu::ArchParams &arch, const MitigationConfig &m)
+{
+    covert::LaunchPerBitConfig cfg;
+    cfg.iterations = 0; // per-arch default
+    cfg.mitigations = m;
+    covert::SfuChannel ch(arch, cfg);
+    auto r = ch.transmit(bench::payload(48));
+    return {r.bandwidthBps, r.report.errorRate()};
+}
+
+Cell
+sfuParallel(const gpu::ArchParams &arch, const MitigationConfig &m)
+{
+    covert::SfuParallelConfig cfg;
+    cfg.mitigations = m;
+    covert::SfuParallelChannel ch(arch, cfg);
+    auto r = ch.transmit(bench::payload(64));
+    return {r.bandwidthBps, r.report.errorRate()};
+}
+
+std::string
+fmtCell(const Cell &c)
+{
+    if (c.ber > 0.02)
+        return strfmt("DEAD (BER %.0f%%)", 100.0 * c.ber);
+    return fmtKbps(c.bandwidth) +
+           (c.ber > 0.0 ? strfmt(" (BER %.1f%%)", 100.0 * c.ber) : "");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 9: mitigation ablation (Tesla K40C)",
+                  "Section 9 (proposed mitigations, implemented here)");
+
+    auto arch = gpu::keplerK40c();
+
+    struct Row
+    {
+        const char *name;
+        MitigationConfig cfg;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"no defense", {}});
+    {
+        MitigationConfig m;
+        m.cacheWayPartitioning = true;
+        rows.push_back({"cache way partitioning", m});
+    }
+    {
+        MitigationConfig m;
+        m.randomizeWarpSchedulers = true;
+        rows.push_back({"randomized warp scheduling", m});
+    }
+    {
+        MitigationConfig m;
+        m.timerFuzzCycles = 64;
+        rows.push_back({"timer fuzz (+/-64 cyc)", m});
+    }
+    {
+        MitigationConfig m;
+        m.timerFuzzCycles = 256;
+        rows.push_back({"timer fuzz (+/-256 cyc)", m});
+    }
+    {
+        MitigationConfig m;
+        m.temporalPartitioning = true;
+        rows.push_back({"temporal partitioning", m});
+    }
+    {
+        MitigationConfig m;
+        m.temporalPartitioning = true;
+        m.flushCachesBetweenKernels = true;
+        rows.push_back({"temporal + cache flush", m});
+    }
+
+    Table t("channel survival under each defense");
+    t.header({"defense", "L1 baseline", "L1 synchronized", "SFU",
+              "SFU parallel"});
+    for (const auto &row : rows) {
+        t.row({row.name, fmtCell(l1Baseline(arch, row.cfg)),
+               fmtCell(l1Sync(arch, row.cfg)), fmtCell(sfu(arch, row.cfg)),
+               fmtCell(sfuParallel(arch, row.cfg))});
+    }
+    t.print();
+
+    std::printf(
+        "Notable: temporal partitioning kills the *contention* channels "
+        "but NOT the launch-per-bit\ncache channel — evictions are "
+        "durable state, so prime and probe need not overlap. Stopping\n"
+        "it additionally requires flushing the caches between kernels. "
+        "Way partitioning is the\nonly single defense that stops all "
+        "cache channels; no single defense stops everything.\n");
+    return 0;
+}

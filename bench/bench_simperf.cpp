@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event
+ * throughput, cache access rate, and end-to-end channel simulation
+ * speed. These quantify the cost of the timing model, not the paper's
+ * results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/sync/sync_channel.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+#include "mem/set_assoc_cache.h"
+#include "sim/event_queue.h"
+#include "sim/resource_pool.h"
+
+using namespace gpucc;
+
+namespace
+{
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 10000; ++i)
+            q.schedule(Tick(i), [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void
+BM_ResourcePoolAcquire(benchmark::State &state)
+{
+    sim::ResourcePool pool("bench", 4);
+    Tick t = 0;
+    for (auto _ : state) {
+        auto r = pool.acquire(t, 100);
+        benchmark::DoNotOptimize(r);
+        t += 50;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourcePoolAcquire);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::SetAssocCache cache("bench", {32768, 256, 8});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a));
+        a = (a + 4096) % (1 << 20);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_KernelRoundTrip(benchmark::State &state)
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+    for (auto _ : state) {
+        gpu::Device dev(arch);
+        gpu::HostContext host(dev);
+        gpu::KernelLaunch k;
+        k.name = "bench";
+        k.config.gridBlocks = 15;
+        k.config.threadsPerBlock = 128;
+        k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+            for (int i = 0; i < 32; ++i)
+                co_await ctx.op(gpu::OpClass::Sinf);
+            co_return;
+        };
+        auto &s = dev.createStream();
+        host.sync(host.launch(s, k));
+    }
+    state.SetItemsProcessed(state.iterations() * 15 * 4 * 32);
+    state.SetLabel("simulated warp-instructions per iteration: 1920");
+}
+BENCHMARK(BM_KernelRoundTrip);
+
+void
+BM_L1ChannelBitSimulation(benchmark::State &state)
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+    for (auto _ : state) {
+        covert::L1ConstChannel ch(arch);
+        auto r = ch.transmit(alternatingBits(8));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+    state.SetLabel("bits simulated per iteration: 8 (+8 calibration)");
+}
+BENCHMARK(BM_L1ChannelBitSimulation);
+
+void
+BM_SyncChannelThroughput(benchmark::State &state)
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+    for (auto _ : state) {
+        covert::SyncL1Channel ch(arch);
+        auto r = ch.transmit(alternatingBits(64));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SyncChannelThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

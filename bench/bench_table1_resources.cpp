@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 1: number of available resources in each SM, for the three
+ * evaluated GPUs.
+ */
+
+#include "bench_util.h"
+
+using namespace gpucc;
+
+int
+main()
+{
+    bench::banner("Table 1: per-SM resources",
+                  "Section 5.1, Table 1");
+
+    Table t("Number of available resources in each SM");
+    t.header({"GPU", "Warp Scheduler", "Dispatch Unit", "SP", "DPU", "SFU",
+              "LD/ST"});
+    for (const auto &a : gpu::allArchitectures()) {
+        t.row({strfmt("%s (%s)", a.name.c_str(),
+                      gpu::generationName(a.generation)),
+               std::to_string(a.schedulersPerSm),
+               std::to_string(a.schedulersPerSm *
+                              a.dispatchUnitsPerScheduler),
+               std::to_string(a.fuCount(gpu::FuType::SP)),
+               std::to_string(a.fuCount(gpu::FuType::DPU)),
+               std::to_string(a.fuCount(gpu::FuType::SFU)),
+               std::to_string(a.fuCount(gpu::FuType::LDST))});
+    }
+    t.print();
+
+    Table d("Device-level parameters used by the model");
+    d.header({"GPU", "SMs", "core clock", "const L1", "const L2",
+              "smem/SM"});
+    for (const auto &a : gpu::allArchitectures()) {
+        d.row({a.name, std::to_string(a.numSms),
+               fmtDouble(a.clockGHz, 3) + " GHz",
+               strfmt("%zu B, %u-way, %zu B lines",
+                      a.constMem.l1.sizeBytes, a.constMem.l1.ways,
+                      a.constMem.l1.lineBytes),
+               strfmt("%zu B, %u-way, %zu B lines",
+                      a.constMem.l2.sizeBytes, a.constMem.l2.ways,
+                      a.constMem.l2.lineBytes),
+               strfmt("%zu KB", a.limits.smemBytes / 1024)});
+    }
+    d.print();
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 2: improved L1 channels. Columns: launch-per-bit baseline,
+ * synchronized persistent kernels (Figure 11 protocol), + multi-bit
+ * over 6 cache sets, + SM-level parallelism. Paper rows:
+ *   Fermi   33 / 61 / 207 Kbps / 2.8 Mbps
+ *   Kepler  42 / 75 / 285 Kbps / 4.25 Mbps
+ *   Maxwell 42 / 75 / 285 Kbps / 3.7 Mbps
+ */
+
+#include "bench_util.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/sync/sync_channel.h"
+
+using namespace gpucc;
+
+int
+main()
+{
+    bench::banner("Table 2: improved L1 channels",
+                  "Section 7.1, Table 2");
+
+    const char *paper[][4] = {
+        {"33 Kbps", "61 Kbps", "207 Kbps", "2.8 Mbps"},
+        {"42 Kbps", "75 Kbps", "285 Kbps", "4.25 Mbps"},
+        {"42 Kbps", "75 Kbps", "285 Kbps", "3.7 Mbps"},
+    };
+
+    Table t("Improved L1 channel bandwidth (all error-free)");
+    t.header({"GPU", "L1 Baseline", "Sync.", "Sync. + multi-bits",
+              "Sync., multi-bits + parallel"});
+    int i = 0;
+    for (const auto &arch : gpu::allArchitectures()) {
+        covert::L1ConstChannel baseline(arch);
+        auto r0 = baseline.transmit(bench::payload(64));
+
+        covert::SyncL1Channel sync1(arch);
+        auto r1 = sync1.transmit(bench::payload(256));
+
+        covert::SyncChannelConfig cfgM;
+        cfgM.dataSetsPerSm = 6;
+        covert::SyncL1Channel syncM(arch, cfgM);
+        auto r2 = syncM.transmit(bench::payload(512));
+
+        covert::SyncChannelConfig cfgAll = cfgM;
+        cfgAll.allSms = true;
+        covert::SyncL1Channel syncAll(arch, cfgAll);
+        auto r3 = syncAll.transmit(bench::payload(2048));
+
+        GPUCC_ASSERT(r0.report.errorFree() && r1.report.errorFree() &&
+                         r2.report.errorFree() && r3.report.errorFree(),
+                     "Table 2 requires error-free channels");
+
+        t.row({arch.name, bench::vsPaper(r0.bandwidthBps, paper[i][0]),
+               bench::vsPaper(r1.bandwidthBps, paper[i][1]),
+               bench::vsPaper(r2.bandwidthBps, paper[i][2]),
+               bench::vsPaper(r3.bandwidthBps, paper[i][3])});
+        ++i;
+    }
+    t.print();
+
+    // Section 7.1 also reports the sublinear multi-bit scaling on
+    // Kepler: 2/4/6 concurrent bits -> 1.8x / 2.9x / 3.8x.
+    auto kepler = gpu::keplerK40c();
+    covert::SyncL1Channel base(kepler);
+    double b1 = base.transmit(bench::payload(256)).bandwidthBps;
+    Table s("Kepler: multi-bit scaling (paper: 1.8x / 2.9x / 3.8x)");
+    s.header({"concurrent bits", "bandwidth", "speedup over 1 bit"});
+    for (unsigned m : {2u, 4u, 6u}) {
+        covert::SyncChannelConfig cfg;
+        cfg.dataSetsPerSm = m;
+        covert::SyncL1Channel ch(kepler, cfg);
+        auto r = ch.transmit(bench::payload(512));
+        s.row({std::to_string(m), fmtKbps(r.bandwidthBps),
+               fmtDouble(r.bandwidthBps / b1, 2) + "x"});
+    }
+    s.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the reproduction bench binaries. Each binary
+ * regenerates one table or figure from the paper and prints the
+ * measured rows next to the paper's reported values where the paper
+ * states them.
+ */
+
+#ifndef GPUCC_BENCH_BENCH_UTIL_H
+#define GPUCC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "gpu/arch_params.h"
+
+namespace gpucc::bench
+{
+
+/** Standard bench banner. */
+inline void
+banner(const char *what, const char *paperRef)
+{
+    std::printf("\n================================================================\n");
+    std::printf("Reproducing %s\n", what);
+    std::printf("Paper reference: %s\n", paperRef);
+    std::printf("================================================================\n");
+    setVerbose(false);
+}
+
+/** Random payload used by the channel benches. */
+inline BitVec
+payload(std::size_t bits, std::uint64_t seed = 2017)
+{
+    Rng rng(seed);
+    return randomBits(bits, rng);
+}
+
+/** Render "measured (paper: X)" cells. */
+inline std::string
+vsPaper(double measuredBps, const char *paperValue)
+{
+    return fmtKbps(measuredBps) + "  (paper: " + paperValue + ")";
+}
+
+/** A crude ASCII sparkline for latency series. */
+inline std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *glyphs[] = {"_", ".", "-", "=", "+", "*", "#"};
+    double lo = values.front(), hi = values.front();
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    for (double v : values) {
+        double f = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+        out += glyphs[static_cast<int>(f * 6.0 + 0.5)];
+    }
+    return out;
+}
+
+} // namespace gpucc::bench
+
+#endif // GPUCC_BENCH_BENCH_UTIL_H

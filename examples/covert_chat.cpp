@@ -1,0 +1,67 @@
+/**
+ * @file
+ * An interactive-style covert session: two isolated applications hold a
+ * request/response conversation over the full-duplex L1 link (two
+ * independent three-way-handshake channels in opposite directions on
+ * disjoint cache-set groups). This is the substrate the related work
+ * builds real sessions on — Maurice et al. ran ssh over their CPU
+ * cache channel; here the same idea runs between two GPU kernels.
+ *
+ * Run: ./covert_chat
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "covert/sync/duplex_channel.h"
+#include "gpu/arch_params.h"
+
+using namespace gpucc;
+
+int
+main()
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+
+    std::vector<std::pair<std::string, std::string>> script = {
+        {"SYN: anyone on this GPU?", "ACK: spy here, loud and clear"},
+        {"GET /etc/model/weights.bin", "HDR: 4096 bytes, 8 frames"},
+        {"READY to receive frame 0", "FRAME0: 2b7e151628aed2a6abf7"},
+        {"CRC OK, next", "FIN: transfer complete"},
+    };
+
+    std::printf("Full-duplex covert session on a simulated %s\n"
+                "(forward: data set 0, signals 6/7 -- reverse: data set "
+                "1, signals 4/5)\n\n",
+                arch.name.c_str());
+
+    double totalBits = 0.0, totalSeconds = 0.0;
+    for (const auto &[req, rsp] : script) {
+        covert::DuplexSyncChannel link(arch);
+        auto r = link.exchange(textToBits(req), textToBits(rsp));
+        std::printf("A> %-30s  [%5.1f Kbps, BER %.1f%%]\n",
+                    bitsToText(r.aToB.received).c_str(),
+                    r.aToB.bandwidthBps / 1e3,
+                    100.0 * r.aToB.report.errorRate());
+        std::printf("B> %-30s  [%5.1f Kbps, BER %.1f%%]\n",
+                    bitsToText(r.bToA.received).c_str(),
+                    r.bToA.bandwidthBps / 1e3,
+                    100.0 * r.bToA.report.errorRate());
+        totalBits += static_cast<double>(r.aToB.sent.size() +
+                                         r.bToA.sent.size());
+        totalSeconds += r.aToB.seconds;
+        if (!r.aToB.report.errorFree() || !r.bToA.report.errorFree()) {
+            std::printf("!! corrupted exchange\n");
+            return 1;
+        }
+    }
+    std::printf("\nsession complete: %.0f bits exchanged at %.1f Kbps "
+                "aggregate, zero errors,\nzero shared memory, zero "
+                "sockets.\n",
+                totalBits, totalBits / totalSeconds / 1e3);
+    return 0;
+}

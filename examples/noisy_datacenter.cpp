@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Section 8 story: a multi-tenant GPU in a datacenter. The covert
+ * channel pair shares the device with a mix of Rodinia-like tenant
+ * workloads. Without protection the constant-memory-heavy tenant
+ * wrecks the channel; with the exclusive co-location trick (shared-
+ * memory saturation + silent helper launches) the channel runs
+ * error-free while the tenants simply wait their turn.
+ *
+ * Run: ./noisy_datacenter [message]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "covert/colocation/noise_experiment.h"
+#include "gpu/arch_params.h"
+
+using namespace gpucc;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string message =
+        argc > 1 ? argv[1] : "covert channels survive noisy neighbors";
+    BitVec bits = textToBits(message);
+    auto arch = gpu::keplerK40c();
+
+    std::printf("Multi-tenant %s: trojan+spy channel vs a Rodinia-like "
+                "tenant mix\n(constant-memory walker, compute, "
+                "shared-memory user, streaming).\n\n",
+                arch.name.c_str());
+
+    std::printf("--- Attempt 1: no mitigation "
+                "---------------------------------\n");
+    auto plain = covert::runNoiseExperiment(arch, bits, false);
+    std::printf("received: \"%s\"\n",
+                bitsToText(plain.channel.received).c_str());
+    std::printf("bit error rate: %.1f %%  (interferer blocks co-resident "
+                "with the channel: %u)\n\n",
+                100.0 * plain.channel.report.errorRate(),
+                plain.coResidentInterfererBlocks);
+
+    std::printf("--- Attempt 2: exclusive co-location (Section 8) "
+                "--------------\n");
+    std::printf("spy claims all %zu KB of shared memory per SM; helper "
+                "launches soak up the\nleftover thread slots; the "
+                "leftover policy then locks every tenant out.\n",
+                arch.limits.smemPerBlockBytes / 1024);
+    auto excl = covert::runNoiseExperiment(arch, bits, true);
+    std::printf("received: \"%s\"\n",
+                bitsToText(excl.channel.received).c_str());
+    std::printf("bit error rate: %.1f %%  (interferer blocks co-resident "
+                "with the channel: %u)\n",
+                100.0 * excl.channel.report.errorRate(),
+                excl.coResidentInterfererBlocks);
+    std::printf("bandwidth: %.1f Kbps; all %u tenant kernels completed "
+                "after the channel finished.\n",
+                excl.channel.bandwidthBps / 1e3,
+                excl.interferersLaunched);
+
+    bool ok = excl.channel.report.errorFree() && excl.exclusionHeld();
+    std::printf("\n%s\n",
+                ok ? "Noise-free covert communication achieved without "
+                     "error correction."
+                   : "Mitigation failed.");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#include "common/bitstream.h"
+
+#include <algorithm>
+
+namespace gpucc
+{
+
+BitVec
+textToBits(const std::string &text)
+{
+    BitVec bits;
+    bits.reserve(text.size() * 8);
+    for (unsigned char c : text) {
+        for (int b = 7; b >= 0; --b)
+            bits.push_back(static_cast<std::uint8_t>((c >> b) & 1));
+    }
+    return bits;
+}
+
+std::string
+bitsToText(const BitVec &bits)
+{
+    std::string out;
+    out.reserve(bits.size() / 8);
+    for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+        unsigned char c = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            c = static_cast<unsigned char>((c << 1) | (bits[i + b] & 1));
+        out.push_back(static_cast<char>(c));
+    }
+    return out;
+}
+
+BitVec
+randomBits(std::size_t n, Rng &rng)
+{
+    BitVec bits(n);
+    for (auto &b : bits)
+        b = rng.flip() ? 1 : 0;
+    return bits;
+}
+
+BitVec
+alternatingBits(std::size_t n)
+{
+    BitVec bits(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bits[i] = static_cast<std::uint8_t>((i + 1) & 1);
+    return bits;
+}
+
+BitErrorReport
+compareBits(const BitVec &sent, const BitVec &got)
+{
+    BitErrorReport r;
+    r.transmitted = sent.size();
+    r.received = got.size();
+    std::size_t common = std::min(sent.size(), got.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (sent[i] != got[i])
+            ++r.errors;
+    }
+    if (got.size() < sent.size())
+        r.missing = sent.size() - got.size();
+    return r;
+}
+
+} // namespace gpucc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Payload/bitstream helpers shared by all covert channels: converting
+ * text to bits and back, generating random payloads, and scoring a
+ * received stream against the transmitted ground truth.
+ */
+
+#ifndef GPUCC_COMMON_BITSTREAM_H
+#define GPUCC_COMMON_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gpucc
+{
+
+/** A transmitted or received sequence of bits, MSB-first per byte. */
+using BitVec = std::vector<std::uint8_t>;
+
+/** Convert a text message to bits (MSB first within each byte). */
+BitVec textToBits(const std::string &text);
+
+/** Convert bits back to text; incomplete trailing bytes are dropped. */
+std::string bitsToText(const BitVec &bits);
+
+/** Generate @p n random bits from @p rng. */
+BitVec randomBits(std::size_t n, Rng &rng);
+
+/** Generate the alternating pattern 1,0,1,0,... of length @p n. */
+BitVec alternatingBits(std::size_t n);
+
+/** Result of comparing a received stream against ground truth. */
+struct BitErrorReport
+{
+    std::size_t transmitted = 0; //!< bits sent
+    std::size_t received = 0;    //!< bits decoded by the receiver
+    std::size_t errors = 0;      //!< flipped bits (over compared prefix)
+    std::size_t missing = 0;     //!< bits the receiver never produced
+
+    /** Bit error rate over transmitted bits; missing bits count as errors. */
+    double
+    errorRate() const
+    {
+        if (transmitted == 0)
+            return 0.0;
+        return static_cast<double>(errors + missing) /
+               static_cast<double>(transmitted);
+    }
+
+    /** @return true when every transmitted bit arrived intact. */
+    bool errorFree() const { return errors == 0 && missing == 0; }
+};
+
+/** Compare @p got against @p sent position by position. */
+BitErrorReport compareBits(const BitVec &sent, const BitVec &got);
+
+} // namespace gpucc
+
+#endif // GPUCC_COMMON_BITSTREAM_H

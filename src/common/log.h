@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic()  - an internal simulator invariant was violated; aborts.
+ * fatal()  - the user asked for something impossible; exits cleanly.
+ * warn()   - something is modeled approximately; execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef GPUCC_COMMON_LOG_H
+#define GPUCC_COMMON_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gpucc
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message: an internal simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Exit with a message: a user/configuration error. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Non-fatal warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Globally enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace gpucc
+
+#define GPUCC_PANIC(...) \
+    ::gpucc::panicImpl(__FILE__, __LINE__, ::gpucc::strfmt(__VA_ARGS__))
+#define GPUCC_FATAL(...) \
+    ::gpucc::fatalImpl(__FILE__, __LINE__, ::gpucc::strfmt(__VA_ARGS__))
+#define GPUCC_WARN(...) ::gpucc::warnImpl(::gpucc::strfmt(__VA_ARGS__))
+#define GPUCC_INFORM(...) ::gpucc::informImpl(::gpucc::strfmt(__VA_ARGS__))
+
+/** Assert an invariant with a formatted message. */
+#define GPUCC_ASSERT(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            GPUCC_PANIC("assertion failed: %s: %s", #cond,                    \
+                        ::gpucc::strfmt(__VA_ARGS__).c_str());                \
+        }                                                                     \
+    } while (0)
+
+#endif // GPUCC_COMMON_LOG_H

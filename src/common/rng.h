@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic elements of the simulation (kernel launch jitter, payload
+ * generation) draw from explicitly-seeded generators so every experiment
+ * is reproducible bit-for-bit.
+ */
+
+#ifndef GPUCC_COMMON_RNG_H
+#define GPUCC_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace gpucc
+{
+
+/** Thin deterministic wrapper around a 64-bit Mersenne twister. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen(seed) {}
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t s) { gen.seed(s); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> d(lo, hi);
+        return d(gen);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(gen);
+    }
+
+    /** Fair coin flip. */
+    bool flip() { return (gen() & 1) != 0; }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        std::bernoulli_distribution d(p);
+        return d(gen);
+    }
+
+    /** Raw 64-bit draw. */
+    std::uint64_t raw() { return gen(); }
+
+  private:
+    std::mt19937_64 gen;
+};
+
+} // namespace gpucc
+
+#endif // GPUCC_COMMON_RNG_H

@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gpucc
+{
+
+void
+Accumulator::add(double x)
+{
+    if (n == 0) {
+        minV = maxV = x;
+    } else {
+        minV = std::min(minV, x);
+        maxV = std::max(maxV, x);
+    }
+    ++n;
+    sumV += x;
+    sumSq += x * x;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::mean() const
+{
+    return n ? sumV / static_cast<double>(n) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    if (n < 2)
+        return 0.0;
+    double m = mean();
+    double var = sumSq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins_)
+    : lo(lo_), hi(hi_), counts(bins_, 0)
+{
+    GPUCC_ASSERT(bins_ >= 1, "histogram needs at least one bin");
+    GPUCC_ASSERT(hi_ > lo_, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo) / (hi - lo);
+    auto idx = static_cast<std::int64_t>(
+        frac * static_cast<double>(counts.size()));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+    ++totalN;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    double w = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * w;
+}
+
+double
+separationThreshold(const Accumulator &zeros, const Accumulator &ones)
+{
+    return 0.5 * (zeros.mean() + ones.mean());
+}
+
+} // namespace gpucc

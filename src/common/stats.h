@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the characterization
+ * microbenchmarks and the channel harnesses.
+ */
+
+#ifndef GPUCC_COMMON_STATS_H
+#define GPUCC_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpucc
+{
+
+/** Streaming accumulator for min/max/mean/stddev of a sample set. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** @return number of samples added. */
+    std::size_t count() const { return n; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const;
+
+    /** @return population standard deviation (0 when n < 2). */
+    double stddev() const;
+
+    /** @return smallest sample (0 when empty). */
+    double min() const { return n ? minV : 0.0; }
+
+    /** @return largest sample (0 when empty). */
+    double max() const { return n ? maxV : 0.0; }
+
+    /** @return sum of all samples. */
+    double sum() const { return sumV; }
+
+  private:
+    std::size_t n = 0;
+    double sumV = 0.0;
+    double sumSq = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over a [lo, hi) range with out-of-range samples
+ * clamped into the edge bins. Used to visualize latency separations
+ * between "0" and "1" symbols.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin.
+     * @param bins Number of bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double x);
+
+    /** @return count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return counts.at(i); }
+
+    /** @return number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** @return center value of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** @return total samples added. */
+    std::uint64_t total() const { return totalN; }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalN = 0;
+};
+
+/**
+ * Pick the threshold that best separates two latency sample sets
+ * (midpoint of the class means). Used by receivers that decode a bit
+ * by comparing a measured latency against a calibrated threshold.
+ */
+double separationThreshold(const Accumulator &zeros, const Accumulator &ones);
+
+} // namespace gpucc
+
+#endif // GPUCC_COMMON_STATS_H

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gpucc
+{
+
+Table::Table(std::string title_) : title(std::move(title_)) {}
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto &r : rows)
+        grow(r);
+
+    std::ostringstream os;
+    os << "== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << cell << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string
+fmtKbps(double bitsPerSecond)
+{
+    if (bitsPerSecond >= 1e6)
+        return fmtDouble(bitsPerSecond / 1e6, 2) + " Mbps";
+    return fmtDouble(bitsPerSecond / 1e3, 1) + " Kbps";
+}
+
+} // namespace gpucc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer. The bench binaries use it to
+ * print rows in the same layout as the paper's tables and figure series.
+ */
+
+#ifndef GPUCC_COMMON_TABLE_H
+#define GPUCC_COMMON_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpucc
+{
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render and print to @p out (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format helpers for table cells. */
+std::string fmtDouble(double v, int precision = 1);
+std::string fmtKbps(double bitsPerSecond);
+
+} // namespace gpucc
+
+#endif // GPUCC_COMMON_TABLE_H

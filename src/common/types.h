@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * Simulated time is kept in @ref gpucc::Tick units, a fixed-point
+ * sub-cycle resolution of 1/256 of a core clock cycle. Sub-cycle
+ * resolution is needed because functional-unit issue occupancies are
+ * fractional cycles (e.g. a 32-lane warp instruction spread over 48
+ * single-precision units occupies an issue port for 32/48 of a cycle).
+ */
+
+#ifndef GPUCC_COMMON_TYPES_H
+#define GPUCC_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace gpucc
+{
+
+/** Simulated time in 1/256-cycle units. */
+using Tick = std::uint64_t;
+
+/** Simulated time in whole core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A simulated device address (constant space or global space). */
+using Addr = std::uint64_t;
+
+/** Fixed-point scale between Tick and Cycle. */
+inline constexpr Tick ticksPerCycle = 256;
+
+/** Convert whole cycles to ticks. */
+constexpr Tick
+cyclesToTicks(Cycle c)
+{
+    return static_cast<Tick>(c) * ticksPerCycle;
+}
+
+/** Convert a fractional cycle count to ticks (rounded to nearest). */
+constexpr Tick
+cyclesToTicks(double c)
+{
+    return static_cast<Tick>(c * static_cast<double>(ticksPerCycle) + 0.5);
+}
+
+/** Convert ticks to whole cycles (truncating). */
+constexpr Cycle
+ticksToCycles(Tick t)
+{
+    return t / ticksPerCycle;
+}
+
+/** Convert ticks to fractional cycles. */
+constexpr double
+ticksToCyclesF(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerCycle);
+}
+
+/** Threads per warp on every modeled architecture. */
+inline constexpr int warpSize = 32;
+
+} // namespace gpucc
+
+#endif // GPUCC_COMMON_TYPES_H

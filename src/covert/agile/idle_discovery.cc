@@ -1,0 +1,92 @@
+#include "covert/agile/idle_discovery.h"
+
+#include <limits>
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "covert/sync/handshake.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+std::vector<SetActivity>
+probeSetActivity(gpu::Device &dev, gpu::HostContext &host, unsigned rounds,
+                 Cycle idleCycles)
+{
+    const auto &geom = dev.arch().constMem.l1;
+    unsigned numSets = static_cast<unsigned>(geom.numSets());
+    Addr base = dev.allocConst(probeArrayBytes(geom), setStride(geom));
+    double missThresh = ProtocolTiming::forArch(dev.arch())
+                            .dataThresholdCycles;
+
+    gpu::KernelLaunch k;
+    k.name = "set-activity-scan";
+    k.config.gridBlocks = dev.numSms();
+    k.config.threadsPerBlock = warpSize;
+    k.body = [base, geom, numSets, rounds, idleCycles,
+              missThresh](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        for (unsigned set = 0; set < numSets; ++set) {
+            auto lines = setFillingAddrs(geom, base, set);
+            unsigned evicted = 0;
+            co_await ctx.constLoadSeq(lines); // own the set
+            for (unsigned r = 0; r < rounds; ++r) {
+                co_await ctx.sleep(idleCycles);
+                std::uint64_t total = co_await ctx.constLoadSeq(lines);
+                double avg = static_cast<double>(total) / lines.size();
+                if (avg > missThresh)
+                    ++evicted;
+            }
+            ctx.out(set);
+            ctx.out(evicted);
+        }
+        co_return;
+    };
+
+    auto &stream = dev.createStream();
+    auto &inst = host.launch(stream, k);
+    host.sync(inst);
+
+    std::vector<SetActivity> activity;
+    unsigned wpb = inst.config().warpsPerBlock();
+    for (const auto &rec : inst.blockRecords()) {
+        if (rec.smId != 0)
+            continue;
+        const auto &out = inst.out(rec.blockId * wpb);
+        for (std::size_t i = 0; i + 1 < out.size(); i += 2) {
+            activity.push_back(SetActivity{
+                static_cast<unsigned>(out[i]),
+                static_cast<double>(out[i + 1]) / rounds});
+        }
+    }
+    GPUCC_ASSERT(activity.size() == numSets,
+                 "scan produced %zu sets, expected %u", activity.size(),
+                 numSets);
+    return activity;
+}
+
+unsigned
+pickQuietDataSet(const std::vector<SetActivity> &activity,
+                 unsigned dataSets, unsigned reservedSignalSets)
+{
+    GPUCC_ASSERT(!activity.empty(), "empty activity scan");
+    unsigned usable = static_cast<unsigned>(activity.size()) -
+                      reservedSignalSets;
+    GPUCC_ASSERT(dataSets <= usable, "window larger than usable sets");
+    double best = std::numeric_limits<double>::max();
+    unsigned bestStart = 0;
+    for (unsigned start = 0; start + dataSets <= usable; ++start) {
+        double sum = 0.0;
+        for (unsigned i = 0; i < dataSets; ++i)
+            sum += activity[start + i].missFraction;
+        if (sum < best) {
+            best = sum;
+            bestStart = start;
+        }
+    }
+    return bestStart;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Idle-resource discovery (Section 8, "dynamically identifying idle
+ * resources").
+ *
+ * The paper sketches a whitespace-networking-style alternative to
+ * exclusive co-location: instead of locking interferers out, the two
+ * parties scan the shared resource (cache sets) for quiet ones and move
+ * the channel there. This module implements the scan: a probe kernel
+ * repeatedly primes each L1 set, idles, and re-probes; sets that a
+ * third workload is hammering show evictions, quiet sets do not. The
+ * attacker pair runs the scan independently (both see the same
+ * interferer) and configures the channel's data sets on the quiet
+ * window.
+ */
+
+#ifndef GPUCC_COVERT_AGILE_IDLE_DISCOVERY_H
+#define GPUCC_COVERT_AGILE_IDLE_DISCOVERY_H
+
+#include <vector>
+
+#include "gpu/device.h"
+#include "gpu/host.h"
+
+namespace gpucc::covert
+{
+
+/** Observed activity of one L1 cache set. */
+struct SetActivity
+{
+    unsigned set = 0;
+    double missFraction = 0.0; //!< re-probe misses / probes (0 = quiet)
+};
+
+/**
+ * Scan every L1 set on SM 0 for third-party eviction activity.
+ *
+ * @param dev Device shared with the (already running) interferers.
+ * @param host Application performing the scan.
+ * @param rounds Prime/idle/probe rounds per set.
+ * @param idleCycles Idle window between prime and probe.
+ */
+std::vector<SetActivity> probeSetActivity(gpu::Device &dev,
+                                          gpu::HostContext &host,
+                                          unsigned rounds = 16,
+                                          Cycle idleCycles = 4000);
+
+/**
+ * Choose the quietest contiguous window of @p dataSets sets, keeping
+ * the top @p reservedSignalSets sets free for the handshake.
+ */
+unsigned pickQuietDataSet(const std::vector<SetActivity> &activity,
+                          unsigned dataSets,
+                          unsigned reservedSignalSets = 2);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_AGILE_IDLE_DISCOVERY_H

@@ -1,0 +1,32 @@
+#include "covert/analysis/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpucc::covert
+{
+
+double
+binaryEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+CapacityEstimate
+estimateCapacity(const ChannelResult &result)
+{
+    CapacityEstimate e;
+    e.rawRateBps = result.bandwidthBps;
+    e.errorRate = std::min(result.report.errorRate(), 0.5);
+    e.bscCapacityBps = (1.0 - binaryEntropy(e.errorRate)) * e.rawRateBps;
+    double spread =
+        result.zeroMetric.stddev() + result.oneMetric.stddev() + 1.0;
+    e.symbolSeparation =
+        std::abs(result.oneMetric.mean() - result.zeroMetric.mean()) /
+        spread;
+    return e;
+}
+
+} // namespace gpucc::covert

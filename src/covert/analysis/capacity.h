@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Channel-capacity analysis, in the spirit of Hunger et al. (the paper
+ * compares against their "theoretical upper bound on capacity of
+ * practical channels", Section 10).
+ *
+ * Two estimates from a transmission's measured statistics:
+ *
+ *  - the binary-symmetric-channel capacity at the measured bit error
+ *    rate, C = (1 - H2(p)) * rate — the information actually carried;
+ *  - a symbol-separation (SNR-style) bound from the two latency
+ *    populations: when the "0" and "1" latency distributions barely
+ *    overlap, the channel is effectively noiseless and the raw rate is
+ *    the capacity.
+ */
+
+#ifndef GPUCC_COVERT_ANALYSIS_CAPACITY_H
+#define GPUCC_COVERT_ANALYSIS_CAPACITY_H
+
+#include "covert/channel.h"
+
+namespace gpucc::covert
+{
+
+/** Capacity estimates for one transmission. */
+struct CapacityEstimate
+{
+    double rawRateBps = 0.0;       //!< transmitted bits / window
+    double errorRate = 0.0;        //!< measured BER
+    double bscCapacityBps = 0.0;   //!< (1 - H2(BER)) * rawRate
+    double symbolSeparation = 0.0; //!< |mu1 - mu0| / (sigma0 + sigma1 + 1)
+};
+
+/** Binary entropy H2(p) in bits. */
+double binaryEntropy(double p);
+
+/** Analyze @p result. */
+CapacityEstimate estimateCapacity(const ChannelResult &result);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_ANALYSIS_CAPACITY_H

@@ -1,0 +1,113 @@
+#include "covert/channel.h"
+
+#include "common/log.h"
+
+namespace gpucc::covert
+{
+
+TwoPartyHarness::TwoPartyHarness(const gpu::ArchParams &arch,
+                                 std::uint64_t seed)
+{
+    dev = std::make_unique<gpu::Device>(arch);
+    trojan = std::make_unique<gpu::HostContext>(*dev, seed * 2654435761ULL +
+                                                          101);
+    spy = std::make_unique<gpu::HostContext>(*dev, seed * 2654435761ULL +
+                                                       202);
+    tStream = &dev->createStream();
+    sStream = &dev->createStream();
+}
+
+void
+TwoPartyHarness::setJitterUs(double us)
+{
+    if (us >= 0.0) {
+        trojan->setJitterUs(us);
+        spy->setJitterUs(us);
+    }
+}
+
+LaunchPerBitChannel::LaunchPerBitChannel(const gpu::ArchParams &arch,
+                                         const LaunchPerBitConfig &cfg_,
+                                         std::string name)
+    : archParams(arch), cfg(cfg_), channelName(std::move(name))
+{
+    parties = std::make_unique<TwoPartyHarness>(archParams, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    parties->device().setMitigations(cfg.mitigations);
+}
+
+LaunchPerBitChannel::~LaunchPerBitChannel() = default;
+
+double
+LaunchPerBitChannel::runBit(bool bit)
+{
+    auto &tHost = parties->trojanHost();
+    auto &sHost = parties->spyHost();
+    auto &trojan = tHost.launch(parties->trojanStream(),
+                                makeTrojanKernel(bit));
+    // Launch-timing overlap control (Section 4.2): the spy lags the
+    // trojan so the trojan's contention window covers the probe window.
+    if (cfg.trojanLeadUs > 0.0) {
+        // Lead measured against the trojan application's clock so the
+        // spy's launch trails the trojan's by the full lead regardless
+        // of how the two hosts' sync overheads drifted apart.
+        sHost.catchUpTo(tHost.now());
+        sHost.advanceUs(cfg.trojanLeadUs);
+    }
+    auto &spy = sHost.launch(parties->spyStream(), makeSpyKernel());
+    sHost.sync(spy);
+    tHost.sync(trojan);
+    return decodeMetric(spy);
+}
+
+ChannelResult
+LaunchPerBitChannel::transmit(const BitVec &message)
+{
+    if (!isSetup) {
+        setup();
+        isSetup = true;
+    }
+
+    ChannelResult res;
+    res.channelName = channelName;
+    res.sent = message;
+
+    // Calibration preamble: alternating known bits pick the threshold,
+    // exactly how an attacker pair would agree on one in the field.
+    Accumulator calZeros, calOnes;
+    BitVec preamble = alternatingBits(cfg.calibrationBits);
+    for (std::uint8_t b : preamble) {
+        double m = runBit(b != 0);
+        (b ? calOnes : calZeros).add(m);
+    }
+    GPUCC_ASSERT(calZeros.count() > 0 && calOnes.count() > 0,
+                 "calibration needs both symbols");
+    res.threshold = separationThreshold(calZeros, calOnes);
+
+    // Payload transmission.
+    Tick windowStart = parties->spyHost().now();
+    for (std::uint8_t b : message) {
+        double m = runBit(b != 0);
+        bool decoded = m > res.threshold;
+        res.received.push_back(decoded ? 1 : 0);
+        (b ? res.oneMetric : res.zeroMetric).add(m);
+    }
+    Tick windowEnd = parties->spyHost().now();
+
+    res.report = compareBits(res.sent, res.received);
+    finalizeResult(res, archParams, windowEnd - windowStart);
+    return res;
+}
+
+void
+finalizeResult(ChannelResult &r, const gpu::ArchParams &arch,
+               Tick windowTicks)
+{
+    r.windowTicks = windowTicks;
+    r.seconds = arch.secondsFromTicks(windowTicks);
+    r.bandwidthBps = r.seconds > 0.0
+                         ? static_cast<double>(r.sent.size()) / r.seconds
+                         : 0.0;
+}
+
+} // namespace gpucc::covert

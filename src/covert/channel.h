@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Common covert-channel framework.
+ *
+ * Every channel in the paper follows the same outer shape: a trojan
+ * application modulates contention on a shared resource, a spy
+ * application times its own accesses to that resource, and a threshold
+ * separates the "0" and "1" latency populations. This header provides:
+ *
+ *  - TwoPartyHarness: a device shared by two independent host
+ *    applications (trojan and spy), each with its own launch jitter;
+ *  - ChannelResult: bits sent/received, error report, and bandwidth
+ *    accounting over the transmission window;
+ *  - LaunchPerBitChannel: the Section 4/5/6 baseline pattern that
+ *    launches one kernel pair per bit and decodes a latency metric,
+ *    with an alternating-bit calibration preamble to pick the
+ *    threshold (as a real attacker would).
+ */
+
+#ifndef GPUCC_COVERT_CHANNEL_H
+#define GPUCC_COVERT_CHANNEL_H
+
+#include <memory>
+#include <string>
+
+#include "common/bitstream.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "gpu/mitigations.h"
+
+namespace gpucc::covert
+{
+
+/** Outcome of transmitting one message through a channel. */
+struct ChannelResult
+{
+    std::string channelName;
+    BitVec sent;
+    BitVec received;
+    BitErrorReport report;     //!< errors/missing vs ground truth
+    Tick windowTicks = 0;      //!< transmission wall window (device ticks)
+    double seconds = 0.0;      //!< window in seconds on the device clock
+    double bandwidthBps = 0.0; //!< sent bits / window
+    Accumulator zeroMetric;    //!< decode metric samples for 0 bits
+    Accumulator oneMetric;     //!< decode metric samples for 1 bits
+    double threshold = 0.0;    //!< decision threshold used
+};
+
+/** Device plus two independent host applications (trojan and spy). */
+class TwoPartyHarness
+{
+  public:
+    /**
+     * @param arch Architecture to instantiate.
+     * @param seed Base RNG seed; trojan/spy derive distinct streams.
+     */
+    explicit TwoPartyHarness(const gpu::ArchParams &arch,
+                             std::uint64_t seed = 1);
+
+    gpu::Device &device() { return *dev; }
+    gpu::HostContext &trojanHost() { return *trojan; }
+    gpu::HostContext &spyHost() { return *spy; }
+    gpu::Stream &trojanStream() { return *tStream; }
+    gpu::Stream &spyStream() { return *sStream; }
+
+    /** Set both applications' launch jitter (us); <0 keeps defaults. */
+    void setJitterUs(double us);
+
+  private:
+    std::unique_ptr<gpu::Device> dev;
+    std::unique_ptr<gpu::HostContext> trojan;
+    std::unique_ptr<gpu::HostContext> spy;
+    gpu::Stream *tStream;
+    gpu::Stream *sStream;
+};
+
+/** Configuration shared by the launch-per-bit baseline channels. */
+struct LaunchPerBitConfig
+{
+    unsigned iterations = 20;   //!< contention iterations per bit
+    unsigned calibrationBits = 8; //!< preamble length (alternating 1010..)
+    double jitterUs = -1.0;     //!< launch jitter; <0 = arch default
+    /**
+     * Deliberate trojan head start per bit (us). The paper's baseline
+     * channels "force overlap between the trojan and the spy by timing
+     * the launch of the kernel": the trojan is launched early enough
+     * that its contention window covers the spy's probing window.
+     */
+    double trojanLeadUs = 5.0;
+    std::uint64_t seed = 1;     //!< harness seed
+    /** Section 9 defenses active on the device (ablation studies). */
+    gpu::MitigationConfig mitigations;
+};
+
+/**
+ * Base class for the Section 4-6 baseline channels: one trojan kernel
+ * and one spy kernel launched per transmitted bit.
+ */
+class LaunchPerBitChannel
+{
+  public:
+    LaunchPerBitChannel(const gpu::ArchParams &arch,
+                        const LaunchPerBitConfig &cfg, std::string name);
+    virtual ~LaunchPerBitChannel();
+
+    /**
+     * Transmit @p message: runs the calibration preamble, then one
+     * kernel pair per bit, and decodes the spy's latency metric.
+     */
+    ChannelResult transmit(const BitVec &message);
+
+    /** Channel name (tables/diagnostics). */
+    const std::string &name() const { return channelName; }
+
+    /** Harness accessor (tests inspect device state). */
+    TwoPartyHarness &harness() { return *parties; }
+
+  protected:
+    /** Build the trojan kernel encoding @p bit. */
+    virtual gpu::KernelLaunch makeTrojanKernel(bool bit) = 0;
+
+    /** Build the spy (receiver) kernel. */
+    virtual gpu::KernelLaunch makeSpyKernel() = 0;
+
+    /**
+     * Extract the decode metric (e.g. average probe latency in cycles)
+     * from a completed spy kernel.
+     */
+    virtual double decodeMetric(const gpu::KernelInstance &spy) = 0;
+
+    /** One-time channel setup (allocate arrays) before any launches. */
+    virtual void setup() {}
+
+    const gpu::ArchParams &arch() const { return archParams; }
+    const LaunchPerBitConfig &config() const { return cfg; }
+
+    /** Adjust the per-bit iteration count (auto-tuning channels). */
+    void setIterations(unsigned n) { cfg.iterations = n; }
+
+  private:
+    /** Launch trojan+spy for one bit and return the decode metric. */
+    double runBit(bool bit);
+
+    gpu::ArchParams archParams;
+    LaunchPerBitConfig cfg;
+    std::string channelName;
+    std::unique_ptr<TwoPartyHarness> parties;
+    bool isSetup = false;
+};
+
+/** Fill bandwidth/seconds fields of @p r from a tick window. */
+void finalizeResult(ChannelResult &r, const gpu::ArchParams &arch,
+                    Tick windowTicks);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNEL_H

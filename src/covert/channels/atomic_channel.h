@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Global-memory atomic covert channel (Section 6).
+ *
+ * Normal loads/stores cannot create measurable contention against the
+ * very wide DRAM bandwidth, so the channel funnels traffic through the
+ * atomic units. The paper defines three access scenarios:
+ *
+ *  1. each thread hammers one fixed address (addresses differ per
+ *     thread);
+ *  2. strided addresses, warp-coalesced (one transaction per warp op,
+ *     walking across memory);
+ *  3. consecutive addresses per thread, un-coalesced (32 transactions
+ *     per warp op) — the slowest channel, because poor coalescing
+ *     defeats the fast L2 atomic path.
+ *
+ * The trojan storms atomics from every SM to send 1; the spy times its
+ * own atomics. Iterations are auto-tuned to the minimum count that
+ * separates the symbols, mirroring the paper's methodology.
+ */
+
+#ifndef GPUCC_COVERT_CHANNELS_ATOMIC_CHANNEL_H
+#define GPUCC_COVERT_CHANNELS_ATOMIC_CHANNEL_H
+
+#include "covert/channel.h"
+
+namespace gpucc::covert
+{
+
+/** The three access scenarios of Figure 10. */
+enum class AtomicScenario
+{
+    FixedPerThread,      //!< scenario 1
+    StridedCoalesced,    //!< scenario 2
+    ConsecutiveUncoalesced, //!< scenario 3
+};
+
+/** @return printable scenario name matching the paper's x axis. */
+const char *atomicScenarioName(AtomicScenario s);
+
+/** Launch-per-bit contention channel on the global atomic units. */
+class AtomicChannel : public LaunchPerBitChannel
+{
+  public:
+    AtomicChannel(const gpu::ArchParams &arch, AtomicScenario scenario,
+                  LaunchPerBitConfig cfg = makeDefaultConfig());
+
+    /**
+     * Find the minimum iteration count whose calibration separation is
+     * robust (paper: "we tune the number of iterations to the minimum
+     * that will cause observable contention"). Applies the result to
+     * this channel and returns it.
+     */
+    unsigned autoTuneIterations();
+
+    /** Scenario accessor. */
+    AtomicScenario scenario() const { return scen; }
+
+    static LaunchPerBitConfig
+    makeDefaultConfig()
+    {
+        LaunchPerBitConfig cfg;
+        cfg.iterations = 16;
+        return cfg;
+    }
+
+    /** Per-lane addresses for iteration @p iter of @p scenario. */
+    static std::vector<Addr> laneAddrs(AtomicScenario scenario, Addr base,
+                                       unsigned warpIdx, unsigned iter);
+
+  protected:
+    void setup() override;
+    gpu::KernelLaunch makeTrojanKernel(bool bit) override;
+    gpu::KernelLaunch makeSpyKernel() override;
+    double decodeMetric(const gpu::KernelInstance &spy) override;
+
+  private:
+    AtomicScenario scen;
+    Addr trojanBase = 0;
+    Addr spyBase = 0;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNELS_ATOMIC_CHANNEL_H

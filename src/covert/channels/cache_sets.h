@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cache-set address generation for the prime+probe channels.
+ *
+ * The Section 4 attack builds, per application, an array whose strided
+ * accesses all hash into one chosen cache set: stride = numSets * line,
+ * with as many lines as the set has ways. Both applications use the
+ * same stride from their own base, so their lines collide in the shared
+ * cache set without sharing any memory.
+ */
+
+#ifndef GPUCC_COVERT_CHANNELS_CACHE_SETS_H
+#define GPUCC_COVERT_CHANNELS_CACHE_SETS_H
+
+#include <vector>
+
+#include "gpu/arch_params.h"
+#include "mem/cache_geometry.h"
+
+namespace gpucc::covert
+{
+
+/** Addresses (one per way) that fill set @p set of @p geom from @p base.
+ *  @p base must be aligned to the set stride. */
+inline std::vector<Addr>
+setFillingAddrs(const mem::CacheGeometry &geom, Addr base, unsigned set)
+{
+    std::vector<Addr> addrs;
+    Addr stride = geom.numSets() * geom.lineBytes;
+    for (unsigned way = 0; way < geom.ways; ++way)
+        addrs.push_back(base + Addr(set) * geom.lineBytes +
+                        Addr(way) * stride);
+    return addrs;
+}
+
+/** Alignment a base needs so set indices are preserved. */
+inline std::size_t
+setStride(const mem::CacheGeometry &geom)
+{
+    return geom.numSets() * geom.lineBytes;
+}
+
+/** Byte footprint of one application's probe array over @p geom. */
+inline std::size_t
+probeArrayBytes(const mem::CacheGeometry &geom)
+{
+    return geom.sizeBytes;
+}
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNELS_CACHE_SETS_H

@@ -1,0 +1,53 @@
+#include "covert/channels/fu_channel_plan.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "covert/characterize/fu_characterizer.h"
+
+namespace gpucc::covert
+{
+
+FuChannelPlan
+deriveFuChannelPlan(const gpu::ArchParams &arch, gpu::OpClass op)
+{
+    FuChannelPlan plan;
+    plan.op = op;
+    if (!arch.supports(op))
+        return plan; // infeasible: no units at all
+
+    FuCharacterizer fc(arch);
+    auto curve = fc.curve(op, 32, 96);
+    unsigned onset = FuCharacterizer::contentionOnset(curve, 0.12);
+    plan.onsetWarps = onset;
+    if (onset == 0)
+        return plan; // flat over the whole sweep: no carrier
+
+    unsigned n = arch.schedulersPerSm;
+    auto roundDown = [n](unsigned w) { return std::max(n, w - w % n); };
+    auto roundUp = [n](unsigned w) { return ((w + n - 1) / n) * n; };
+
+    // Spy inside the flat region with some margin; trojan pushes the
+    // combined count three scheduler rows past the onset — short-latency
+    // ops (e.g. Add at ~6 cycles) need the extra rows because their
+    // absolute per-step contrast is only a cycle or two.
+    unsigned spy = onset > n + 1 ? roundDown((onset - 1) / 2 + 1) : n;
+    spy = std::max(spy, n);
+    unsigned trojan = roundUp(std::max(onset + 3 * n, spy + n) - spy);
+
+    if (spy + trojan > arch.limits.maxWarps)
+        return plan;
+
+    plan.spyWarpsPerBlock = spy;
+    plan.trojanWarpsPerBlock = trojan;
+    plan.predictedBaseCycles = curve[spy - 1].warp0AvgCycles;
+    plan.predictedContendedCycles =
+        curve[std::min<unsigned>(spy + trojan, 32) - 1].warp0AvgCycles;
+
+    // The channel needs a decodable contrast between the symbols.
+    plan.feasible = plan.predictedContendedCycles >
+                    plan.predictedBaseCycles * 1.12;
+    return plan;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Automatic functional-unit channel construction.
+ *
+ * Section 5.2 builds the __sinf channel by reading the Figure 6 curves:
+ * pick a spy warp count inside the flat region and a trojan warp count
+ * that lands the combined load on a visible latency step. "Similar
+ * channels can be constructed using other resources" — this module
+ * automates exactly that derivation for any operation class: it runs
+ * the characterization sweep, finds the contention onset, sizes the spy
+ * and trojan, and predicts the two symbol latencies. Operations whose
+ * units never saturate (single-precision Add/Mul on the K40C's 192 SP
+ * cores) are correctly reported as infeasible carriers.
+ */
+
+#ifndef GPUCC_COVERT_CHANNELS_FU_CHANNEL_PLAN_H
+#define GPUCC_COVERT_CHANNELS_FU_CHANNEL_PLAN_H
+
+#include "gpu/arch_params.h"
+
+namespace gpucc::covert
+{
+
+/** A derived functional-unit channel configuration. */
+struct FuChannelPlan
+{
+    gpu::OpClass op = gpu::OpClass::Sinf;
+    bool feasible = false;           //!< the op's units can saturate
+    unsigned spyWarpsPerBlock = 0;   //!< inside the flat region
+    unsigned trojanWarpsPerBlock = 0; //!< lands on a latency step
+    double predictedBaseCycles = 0.0;     //!< "0" symbol latency
+    double predictedContendedCycles = 0.0; //!< "1" symbol latency
+    unsigned onsetWarps = 0;         //!< first rising point of the curve
+};
+
+/**
+ * Derive a channel plan for @p op on @p arch from the latency-vs-warps
+ * characterization (the attack's offline step).
+ */
+FuChannelPlan deriveFuChannelPlan(const gpu::ArchParams &arch,
+                                  gpu::OpClass op);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNELS_FU_CHANNEL_PLAN_H

@@ -1,0 +1,89 @@
+#include "covert/channels/l1_const_channel.h"
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+L1ConstChannel::L1ConstChannel(const gpu::ArchParams &arch,
+                               LaunchPerBitConfig cfg)
+    : LaunchPerBitChannel(arch, cfg, "L1 constant cache")
+{
+}
+
+void
+L1ConstChannel::setup()
+{
+    const auto &geom = arch().constMem.l1;
+    auto &dev = harness().device();
+    std::size_t align = setStride(geom);
+    // The trojan walks ways+1 lines of the target set: one more
+    // candidate than the set holds thrashes under LRU, so the prime
+    // keeps missing — it stays active across the spy's whole probing
+    // window and keeps evicting the spy's lines for the entire bit
+    // period, instead of settling into hits after the first pass.
+    trojanBase = dev.allocConst(2 * probeArrayBytes(geom), align);
+    spyBase = dev.allocConst(probeArrayBytes(geom), align);
+    trojanAddrs = setFillingAddrs(geom, trojanBase, set);
+    trojanAddrs.push_back(
+        setFillingAddrs(geom, trojanBase + probeArrayBytes(geom), set)
+            .front());
+    spyAddrs = setFillingAddrs(geom, spyBase, set);
+}
+
+gpu::KernelLaunch
+L1ConstChannel::makeTrojanKernel(bool bit)
+{
+    gpu::KernelLaunch k;
+    k.name = "l1-trojan";
+    k.config.gridBlocks = arch().numSms;
+    k.config.threadsPerBlock = warpSize;
+    // The prime must cover the spy's probing window plus the launch
+    // lead and jitter; Fermi's slower constant hierarchy needs extra.
+    unsigned iters = config().iterations + config().iterations / 4;
+    if (arch().generation == gpu::Generation::Fermi)
+        iters += config().iterations / 4;
+    auto addrs = trojanAddrs;
+    k.body = [bit, iters, addrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (bit) {
+            for (unsigned i = 0; i < iters; ++i)
+                co_await ctx.constLoadSeq(addrs);
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+L1ConstChannel::makeSpyKernel()
+{
+    gpu::KernelLaunch k;
+    k.name = "l1-spy";
+    k.config.gridBlocks = arch().numSms;
+    k.config.threadsPerBlock = warpSize;
+    unsigned iters = config().iterations;
+    auto addrs = spyAddrs;
+    k.body = [iters, addrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < iters; ++i)
+            total += co_await ctx.constLoadSeq(addrs);
+        ctx.out(total);
+        co_return;
+    };
+    return k;
+}
+
+double
+L1ConstChannel::decodeMetric(const gpu::KernelInstance &spy)
+{
+    // Average per-access latency seen by block 0's warp.
+    const auto &out = spy.out(0);
+    GPUCC_ASSERT(!out.empty(), "spy produced no measurement");
+    double accesses = static_cast<double>(config().iterations) *
+                      static_cast<double>(spyAddrs.size());
+    return static_cast<double>(out[0]) / accesses;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Baseline L1 constant-cache covert channel (Section 4.2).
+ *
+ * Trojan and spy each launch one block per SM (guaranteeing
+ * co-residency under the leftover policy). To send 1 the trojan
+ * repeatedly fills one L1 set with its own lines, evicting the spy's;
+ * to send 0 it stays idle. The spy times strided loads of its own
+ * set-filling array: ~49 cycles per access (hits) decode as 0, ~112
+ * cycles (L1 misses served by the L2) decode as 1. One kernel pair is
+ * launched per bit, using stream synchronization to keep the pair
+ * aligned — the overhead that Section 7's synchronized channel removes.
+ */
+
+#ifndef GPUCC_COVERT_CHANNELS_L1_CONST_CHANNEL_H
+#define GPUCC_COVERT_CHANNELS_L1_CONST_CHANNEL_H
+
+#include "covert/channel.h"
+
+namespace gpucc::covert
+{
+
+/** Launch-per-bit prime+probe channel on the L1 constant cache. */
+class L1ConstChannel : public LaunchPerBitChannel
+{
+  public:
+    /**
+     * @param arch Target architecture.
+     * @param cfg Harness configuration; iterations defaults to the
+     *            paper's 20 for the L1 channel.
+     */
+    L1ConstChannel(const gpu::ArchParams &arch,
+                   LaunchPerBitConfig cfg = {});
+
+    /** Cache set used for communication. */
+    unsigned communicationSet() const { return set; }
+
+  protected:
+    void setup() override;
+    gpu::KernelLaunch makeTrojanKernel(bool bit) override;
+    gpu::KernelLaunch makeSpyKernel() override;
+    double decodeMetric(const gpu::KernelInstance &spy) override;
+
+  private:
+    unsigned set = 0;
+    Addr trojanBase = 0;
+    Addr spyBase = 0;
+    std::vector<Addr> trojanAddrs;
+    std::vector<Addr> spyAddrs;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNELS_L1_CONST_CHANNEL_H

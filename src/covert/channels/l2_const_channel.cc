@@ -1,0 +1,95 @@
+#include "covert/channels/l2_const_channel.h"
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+L2ConstChannel::L2ConstChannel(const gpu::ArchParams &arch,
+                               LaunchPerBitConfig cfg)
+    : LaunchPerBitChannel(arch, cfg, "L2 constant cache")
+{
+}
+
+void
+L2ConstChannel::setup()
+{
+    const auto &geom = arch().constMem.l2;
+    auto &dev = harness().device();
+    std::size_t align = setStride(geom);
+    // As in the L1 channel, the trojan walks ways+1 lines of the target
+    // set: the scan thrashes under LRU, so the prime keeps running (and
+    // keeps evicting) across the spy's whole sampling window instead of
+    // settling into cache hits after the first pass.
+    Addr trojanBase = dev.allocConst(2 * probeArrayBytes(geom), align);
+    Addr spyBase = dev.allocConst(probeArrayBytes(geom), align);
+    trojanAddrs = setFillingAddrs(geom, trojanBase, set);
+    trojanAddrs.push_back(
+        setFillingAddrs(geom, trojanBase + probeArrayBytes(geom), set)
+            .front());
+    spyAddrs = setFillingAddrs(geom, spyBase, set);
+}
+
+gpu::KernelLaunch
+L2ConstChannel::makeTrojanKernel(bool bit)
+{
+    gpu::KernelLaunch k;
+    k.name = "l2-trojan";
+    // A single block: the spy's block lands on a different SM, making
+    // this the inter-SM variant of the attack.
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warpSize;
+    unsigned iters = config().iterations;
+    auto addrs = trojanAddrs;
+    k.body = [bit, iters, addrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (bit) {
+            // With only 2 spy samples per bit (the paper's L2 setting)
+            // and no handshake, the trojan must keep the set evicted
+            // across the spy's whole spaced sampling window plus the
+            // launch skew, hence the long prime.
+            for (unsigned i = 0; i < 9 * iters; ++i)
+                co_await ctx.constLoadSeq(addrs);
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+L2ConstChannel::makeSpyKernel()
+{
+    gpu::KernelLaunch k;
+    k.name = "l2-spy";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warpSize;
+    unsigned iters = config().iterations;
+    auto addrs = spyAddrs;
+    k.body = [iters, addrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < iters; ++i) {
+            total += co_await ctx.constLoadSeq(addrs);
+            // Space the samples: without a handshake the spy cannot know
+            // when the trojan's eviction lands, so the few samples are
+            // spread across the expected contention window.
+            if (i + 1 < iters)
+                co_await ctx.sleep(4000);
+        }
+        ctx.out(total);
+        co_return;
+    };
+    return k;
+}
+
+double
+L2ConstChannel::decodeMetric(const gpu::KernelInstance &spy)
+{
+    const auto &out = spy.out(0);
+    GPUCC_ASSERT(!out.empty(), "spy produced no measurement");
+    double accesses = static_cast<double>(config().iterations) *
+                      static_cast<double>(spyAddrs.size());
+    return static_cast<double>(out[0]) / accesses;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baseline L2 constant-cache covert channel (Section 4.3).
+ *
+ * Used when the two kernels cannot co-reside on one SM: the L2 constant
+ * cache is shared device-wide. Trojan and spy each use one block (the
+ * round-robin block scheduler puts them on different SMs), fill one L2
+ * set with stride numSets*line = 4096 B, and the spy decodes from its
+ * per-access latency: L2 hits against L2 misses served by device
+ * memory. The paper uses 2 contention iterations per bit for this
+ * channel.
+ */
+
+#ifndef GPUCC_COVERT_CHANNELS_L2_CONST_CHANNEL_H
+#define GPUCC_COVERT_CHANNELS_L2_CONST_CHANNEL_H
+
+#include "covert/channel.h"
+
+namespace gpucc::covert
+{
+
+/** Launch-per-bit prime+probe channel on the shared L2 constant cache. */
+class L2ConstChannel : public LaunchPerBitChannel
+{
+  public:
+    L2ConstChannel(const gpu::ArchParams &arch,
+                   LaunchPerBitConfig cfg = makeDefaultConfig());
+
+    /** Paper default: 2 iterations for the L2 channel. */
+    static LaunchPerBitConfig
+    makeDefaultConfig()
+    {
+        LaunchPerBitConfig cfg;
+        cfg.iterations = 2;
+        return cfg;
+    }
+
+  protected:
+    void setup() override;
+    gpu::KernelLaunch makeTrojanKernel(bool bit) override;
+    gpu::KernelLaunch makeSpyKernel() override;
+    double decodeMetric(const gpu::KernelInstance &spy) override;
+
+  private:
+    unsigned set = 0;
+    std::vector<Addr> trojanAddrs;
+    std::vector<Addr> spyAddrs;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNELS_L2_CONST_CHANNEL_H

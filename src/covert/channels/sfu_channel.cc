@@ -1,0 +1,131 @@
+#include "covert/channels/sfu_channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+SfuChannel::SfuChannel(const gpu::ArchParams &arch, LaunchPerBitConfig cfg,
+                       gpu::OpClass op_)
+    : LaunchPerBitChannel(arch, cfg, "SFU contention"), op(op_),
+      spyWarps(warpsPerBlock(arch)), trojanWarps(warpsPerBlock(arch))
+{
+    if (cfg.iterations == 0)
+        setIterations(defaultIterations(arch));
+}
+
+SfuChannel::SfuChannel(const gpu::ArchParams &arch,
+                       const FuChannelPlan &plan, LaunchPerBitConfig cfg)
+    : LaunchPerBitChannel(arch, cfg,
+                          strfmt("FU contention (%s)",
+                                 gpu::opClassName(plan.op))),
+      op(plan.op), spyWarps(plan.spyWarpsPerBlock),
+      trojanWarps(plan.trojanWarpsPerBlock)
+{
+    if (!plan.feasible) {
+        GPUCC_FATAL("%s is not a feasible contention carrier on %s",
+                    gpu::opClassName(plan.op), arch.name.c_str());
+    }
+    if (cfg.iterations == 0) {
+        // Size the measurement window in *time*, not op count: short
+        // ops need proportionally more iterations to span the launch
+        // jitter that the overlap depends on.
+        const auto &sinfT = arch.timing(gpu::OpClass::Sinf);
+        double sinfBase = static_cast<double>(sinfT.latencyCycles) +
+                          ticksToCyclesF(sinfT.occTicks);
+        double scale = plan.predictedBaseCycles > 0.0
+                           ? sinfBase / plan.predictedBaseCycles
+                           : 1.0;
+        scale = std::clamp(scale, 1.0, 4.0);
+        setIterations(static_cast<unsigned>(defaultIterations(arch) *
+                                            scale));
+    }
+}
+
+unsigned
+SfuChannel::defaultIterations(const gpu::ArchParams &arch)
+{
+    // The minimum iteration counts that give reliable decoding under
+    // launch jitter on each architecture; they land the baseline
+    // bandwidths on the paper's Section 5.2 numbers.
+    switch (arch.generation) {
+      case gpu::Generation::Fermi:
+        return 620;
+      case gpu::Generation::Kepler:
+        return 800;
+      case gpu::Generation::Maxwell:
+        return 750;
+    }
+    return 500;
+}
+
+unsigned
+SfuChannel::warpsPerBlock(const gpu::ArchParams &arch)
+{
+    // Section 5.2: 3 warps (Fermi), 12 (Kepler), 10 (Maxwell) per block
+    // for each of the spy and the trojan.
+    switch (arch.generation) {
+      case gpu::Generation::Fermi:
+        return 3;
+      case gpu::Generation::Kepler:
+        return 12;
+      case gpu::Generation::Maxwell:
+        return 10;
+    }
+    return 4;
+}
+
+gpu::KernelLaunch
+SfuChannel::makeTrojanKernel(bool bit)
+{
+    gpu::KernelLaunch k;
+    k.name = "sfu-trojan";
+    k.config.gridBlocks = arch().numSms;
+    k.config.threadsPerBlock = trojanWarps * warpSize;
+    // The trojan runs 1.5x the spy's iterations so its contention window
+    // covers the spy's whole measurement despite launch jitter.
+    unsigned iters = config().iterations * 3 / 2;
+    gpu::OpClass opc = op;
+    k.body = [bit, iters, opc](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (bit) {
+            for (unsigned i = 0; i < iters; ++i)
+                co_await ctx.op(opc);
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+SfuChannel::makeSpyKernel()
+{
+    gpu::KernelLaunch k;
+    k.name = "sfu-spy";
+    k.config.gridBlocks = arch().numSms;
+    k.config.threadsPerBlock = spyWarps * warpSize;
+    unsigned iters = config().iterations;
+    gpu::OpClass opc = op;
+    k.body = [iters, opc](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < iters; ++i)
+            total += co_await ctx.op(opc);
+        if (ctx.warpInBlock() == 0)
+            ctx.out(total);
+        co_return;
+    };
+    return k;
+}
+
+double
+SfuChannel::decodeMetric(const gpu::KernelInstance &spy)
+{
+    const auto &out = spy.out(0);
+    GPUCC_ASSERT(!out.empty(), "spy produced no measurement");
+    return static_cast<double>(out[0]) /
+           static_cast<double>(config().iterations);
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Baseline functional-unit (SFU) covert channel (Section 5.2).
+ *
+ * Trojan and spy co-reside on every SM. The spy continuously issues
+ * __sinf and times each operation; when the trojan also issues __sinf,
+ * the combined warp count on the spy's warp scheduler crosses the SFU
+ * issue-port saturation point and the spy's per-op latency steps up
+ * (41->48 Fermi, 18->24 Kepler, 15->20 Maxwell). The per-architecture
+ * warp counts (3/12/10 per block) are the minimum that makes the step
+ * observable, straight from the Figure 6 curves.
+ */
+
+#ifndef GPUCC_COVERT_CHANNELS_SFU_CHANNEL_H
+#define GPUCC_COVERT_CHANNELS_SFU_CHANNEL_H
+
+#include "covert/channel.h"
+#include "covert/channels/fu_channel_plan.h"
+
+namespace gpucc::covert
+{
+
+/** Launch-per-bit contention channel on the special function units —
+ *  or, given a derived FuChannelPlan, on any functional-unit class. */
+class SfuChannel : public LaunchPerBitChannel
+{
+  public:
+    /**
+     * @param arch Target architecture.
+     * @param cfg Harness configuration. An iteration count of 0 selects
+     *            the per-architecture default (tuned to the paper's
+     *            21 / 24 / 28 Kbps baselines).
+     * @param op Operation class to contend on (default __sinf).
+     */
+    SfuChannel(const gpu::ArchParams &arch,
+               LaunchPerBitConfig cfg = makeDefaultConfig(),
+               gpu::OpClass op = gpu::OpClass::Sinf);
+
+    /**
+     * Build a channel from a derived plan (Section 5.2 generalized to
+     * any functional unit). Fatal if the plan is infeasible.
+     */
+    SfuChannel(const gpu::ArchParams &arch, const FuChannelPlan &plan,
+               LaunchPerBitConfig cfg = makeDefaultConfig());
+
+    /** Config requesting the per-architecture iteration default. */
+    static LaunchPerBitConfig
+    makeDefaultConfig()
+    {
+        LaunchPerBitConfig cfg;
+        cfg.iterations = 0;
+        return cfg;
+    }
+
+    /** Per-architecture default iteration count. */
+    static unsigned defaultIterations(const gpu::ArchParams &arch);
+
+    /** Warps per block each party launches on this architecture. */
+    static unsigned warpsPerBlock(const gpu::ArchParams &arch);
+
+  protected:
+    gpu::KernelLaunch makeTrojanKernel(bool bit) override;
+    gpu::KernelLaunch makeSpyKernel() override;
+    double decodeMetric(const gpu::KernelInstance &spy) override;
+
+  private:
+    gpu::OpClass op;
+    unsigned spyWarps;
+    unsigned trojanWarps;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHANNELS_SFU_CHANNEL_H

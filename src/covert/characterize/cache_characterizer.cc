@@ -1,0 +1,141 @@
+#include "covert/characterize/cache_characterizer.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+CacheCharacterizer::CacheCharacterizer(const gpu::ArchParams &arch_)
+    : arch(arch_)
+{
+}
+
+double
+CacheCharacterizer::measurePoint(CacheLevel level, std::size_t arrayBytes,
+                                 std::size_t strideBytes)
+{
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev, 7);
+    host.setJitterUs(0.0);
+
+    Addr base = dev.allocConst(arrayBytes, 4096);
+    std::vector<Addr> addrs;
+    for (std::size_t off = 0; off < arrayBytes; off += strideBytes)
+        addrs.push_back(base + off);
+
+    // Timed passes: the paper warms the cache with a first traversal,
+    // then times subsequent traversals of the same array.
+    const unsigned timedPasses = 4;
+    gpu::KernelLaunch k;
+    k.name = "wong-microbenchmark";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warpSize;
+    k.body = [addrs, timedPasses](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        co_await ctx.constLoadSeq(addrs); // warm-up pass
+        std::uint64_t total = 0;
+        for (unsigned p = 0; p < timedPasses; ++p)
+            total += co_await ctx.constLoadSeq(addrs);
+        ctx.out(total);
+        co_return;
+    };
+
+    // For the L2 sweep the L1 still caches a handful of lines; that is
+    // physical reality on the GPU as well and shows up as a slightly
+    // lower plateau, not a different staircase.
+    (void)level;
+
+    auto &s = host.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    double total = static_cast<double>(inst.out(0).at(0));
+    return total / (timedPasses * static_cast<double>(addrs.size()));
+}
+
+std::vector<CacheLatencyPoint>
+CacheCharacterizer::sweep(CacheLevel level, std::size_t fromBytes,
+                          std::size_t toBytes, std::size_t stepBytes,
+                          std::size_t strideBytes)
+{
+    GPUCC_ASSERT(stepBytes > 0 && strideBytes > 0, "bad sweep parameters");
+    std::vector<CacheLatencyPoint> series;
+    for (std::size_t size = fromBytes; size <= toBytes; size += stepBytes) {
+        series.push_back(
+            CacheLatencyPoint{size, measurePoint(level, size, strideBytes)});
+    }
+    return series;
+}
+
+std::vector<CacheLatencyPoint>
+CacheCharacterizer::figure2Sweep()
+{
+    std::size_t cap = arch.constMem.l1.sizeBytes;
+    std::size_t line = arch.constMem.l1.lineBytes;
+    // Paper axis: 1800..3000 bytes for the 2 KB Kepler L1; generalize to
+    // [0.88*cap, 1.5*cap] so the Fermi 4 KB L1 sweeps its own capacity.
+    return sweep(CacheLevel::L1, cap - 4 * line, cap + cap / 2, line, line);
+}
+
+std::vector<CacheLatencyPoint>
+CacheCharacterizer::figure3Sweep()
+{
+    std::size_t cap = arch.constMem.l2.sizeBytes;
+    std::size_t line = arch.constMem.l2.lineBytes;
+    return sweep(CacheLevel::L2, cap - 4 * line, cap + 20 * line, line,
+                 line);
+}
+
+RecoveredGeometry
+CacheCharacterizer::recover(const std::vector<CacheLatencyPoint> &series,
+                            std::size_t lineStride)
+{
+    GPUCC_ASSERT(series.size() >= 4, "series too short to recover geometry");
+    RecoveredGeometry g;
+    g.plateauCycles = series.front().avgLatencyCycles;
+    g.ceilingCycles = series.back().avgLatencyCycles;
+    double span = g.ceilingCycles - g.plateauCycles;
+    GPUCC_ASSERT(span > 1.0, "no staircase in series (all flat)");
+
+    // A point is still "inside the cache" while its latency stays within
+    // 5% of the span above the plateau (the first overflowing set
+    // already lifts the average by one step ~ span/numSets).
+    double insideThresh = g.plateauCycles + 0.05 * span;
+    std::size_t lastInside = series.front().arrayBytes;
+    for (const auto &p : series) {
+        if (p.avgLatencyCycles <= insideThresh)
+            lastInside = std::max(lastInside, p.arrayBytes);
+    }
+    g.sizeBytes = lastInside;
+
+    // Count upward jumps after the plateau: one per overflowing set.
+    double jumpThresh = 0.04 * span;
+    std::size_t jumps = 0;
+    std::vector<std::size_t> jumpPositions;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        double d = series[i].avgLatencyCycles -
+                   series[i - 1].avgLatencyCycles;
+        if (d > jumpThresh && series[i].arrayBytes > g.sizeBytes) {
+            ++jumps;
+            jumpPositions.push_back(series[i].arrayBytes);
+        }
+    }
+    g.numSets = jumps;
+
+    // Step width = distance between consecutive jumps = line size.
+    if (jumpPositions.size() >= 2) {
+        std::vector<std::size_t> gaps;
+        for (std::size_t i = 1; i < jumpPositions.size(); ++i)
+            gaps.push_back(jumpPositions[i] - jumpPositions[i - 1]);
+        std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2,
+                         gaps.end());
+        g.lineBytes = gaps[gaps.size() / 2];
+    } else {
+        g.lineBytes = lineStride;
+    }
+    return g;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Offline constant-memory characterization (attack step I, Section 4.1).
+ *
+ * Reimplements the Wong et al. microbenchmark: load arrays of increasing
+ * size from constant memory with a fixed stride, timing the accesses.
+ * While the array fits in a cache level the latency is flat; once it
+ * spills, sets overflow one by one, producing a staircase whose step
+ * count equals the number of sets and whose step width equals the line
+ * size (Figures 2 and 3). The recovered geometry feeds the channel
+ * construction step.
+ */
+
+#ifndef GPUCC_COVERT_CHARACTERIZE_CACHE_CHARACTERIZER_H
+#define GPUCC_COVERT_CHARACTERIZE_CACHE_CHARACTERIZER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "gpu/arch_params.h"
+
+namespace gpucc::covert
+{
+
+/** One sample of the latency-vs-array-size sweep. */
+struct CacheLatencyPoint
+{
+    std::size_t arrayBytes = 0; //!< array size for this experiment
+    double avgLatencyCycles = 0.0; //!< mean per-access latency
+};
+
+/** Which constant-cache level a sweep targets. */
+enum class CacheLevel
+{
+    L1,
+    L2,
+};
+
+/** Result of recovering geometry from a staircase. */
+struct RecoveredGeometry
+{
+    std::size_t sizeBytes = 0;
+    std::size_t lineBytes = 0;
+    std::size_t numSets = 0;
+    double plateauCycles = 0.0; //!< flat-region latency
+    double ceilingCycles = 0.0; //!< latency once every set thrashes
+};
+
+/** Runs the strided-load sweeps and geometry recovery. */
+class CacheCharacterizer
+{
+  public:
+    explicit CacheCharacterizer(const gpu::ArchParams &arch);
+
+    /**
+     * Sweep array sizes [@p fromBytes, @p toBytes] with @p stepBytes,
+     * loading at @p strideBytes, one fresh device per point (the paper
+     * reruns the experiment per size).
+     */
+    std::vector<CacheLatencyPoint> sweep(CacheLevel level,
+                                         std::size_t fromBytes,
+                                         std::size_t toBytes,
+                                         std::size_t stepBytes,
+                                         std::size_t strideBytes);
+
+    /** Figure 2 sweep: L1, stride 64 B, around the L1 capacity. */
+    std::vector<CacheLatencyPoint> figure2Sweep();
+
+    /** Figure 3 sweep: L2, stride 256 B, around the L2 capacity. */
+    std::vector<CacheLatencyPoint> figure3Sweep();
+
+    /**
+     * Recover cache geometry from a fine-grained sweep (the attack's
+     * offline analysis). @p lineStride must equal the sweep step.
+     */
+    static RecoveredGeometry recover(
+        const std::vector<CacheLatencyPoint> &series,
+        std::size_t lineStride);
+
+  private:
+    /** Measure one (arraySize, stride) point on a fresh device. */
+    double measurePoint(CacheLevel level, std::size_t arrayBytes,
+                        std::size_t strideBytes);
+
+    gpu::ArchParams arch;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHARACTERIZE_CACHE_CHARACTERIZER_H

@@ -1,0 +1,71 @@
+#include "covert/characterize/fu_characterizer.h"
+
+#include "common/log.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+FuCharacterizer::FuCharacterizer(const gpu::ArchParams &arch_) : arch(arch_)
+{
+}
+
+double
+FuCharacterizer::measure(gpu::OpClass op, unsigned warps,
+                         unsigned iterations)
+{
+    GPUCC_ASSERT(warps >= 1 && warps <= arch.limits.maxWarps,
+                 "warp count %u out of range", warps);
+    if (!arch.supports(op)) {
+        GPUCC_FATAL("%s does not execute %s", arch.name.c_str(),
+                    gpu::opClassName(op));
+    }
+
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev, 11);
+    host.setJitterUs(0.0);
+
+    gpu::KernelLaunch k;
+    k.name = "fu-sweep";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warps * warpSize;
+    k.body = [op, iterations](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < iterations; ++i)
+            total += co_await ctx.op(op);
+        ctx.out(total);
+        co_return;
+    };
+
+    auto &s = host.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    double total = static_cast<double>(inst.out(0).at(0));
+    return total / iterations;
+}
+
+std::vector<FuLatencyPoint>
+FuCharacterizer::curve(gpu::OpClass op, unsigned maxWarps,
+                       unsigned iterations)
+{
+    std::vector<FuLatencyPoint> c;
+    for (unsigned w = 1; w <= maxWarps; ++w)
+        c.push_back(FuLatencyPoint{w, measure(op, w, iterations)});
+    return c;
+}
+
+unsigned
+FuCharacterizer::contentionOnset(const std::vector<FuLatencyPoint> &c,
+                                 double riseFraction)
+{
+    GPUCC_ASSERT(!c.empty(), "empty curve");
+    double base = c.front().warp0AvgCycles;
+    for (const auto &p : c) {
+        if (p.warp0AvgCycles > base * (1.0 + riseFraction))
+            return p.warps;
+    }
+    return 0; // never rose: contention-free over the sweep (e.g. Kepler Add)
+}
+
+} // namespace gpucc::covert

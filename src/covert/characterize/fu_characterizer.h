@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional-unit contention characterization (Section 5.1).
+ *
+ * Launches one kernel with an increasing number of warps, all issuing
+ * dependent chains of one operation class, and reports the average
+ * per-operation latency observed by warp 0. Reproduces the
+ * latency-vs-warp-count curves of Figures 6 (single precision) and 7
+ * (double precision): flat until the per-scheduler issue port
+ * saturates, then a step each time warp 0's scheduler gains a warp.
+ */
+
+#ifndef GPUCC_COVERT_CHARACTERIZE_FU_CHARACTERIZER_H
+#define GPUCC_COVERT_CHARACTERIZE_FU_CHARACTERIZER_H
+
+#include <vector>
+
+#include "gpu/arch_params.h"
+
+namespace gpucc::covert
+{
+
+/** One sample of a latency-vs-warps curve. */
+struct FuLatencyPoint
+{
+    unsigned warps = 0;
+    double warp0AvgCycles = 0.0;
+};
+
+/** Runs the warp-count sweeps of Figures 6 and 7. */
+class FuCharacterizer
+{
+  public:
+    explicit FuCharacterizer(const gpu::ArchParams &arch);
+
+    /** Average per-op latency of warp 0 with @p warps resident warps. */
+    double measure(gpu::OpClass op, unsigned warps,
+                   unsigned iterations = 128);
+
+    /** Full curve for @p op over 1..@p maxWarps warps. */
+    std::vector<FuLatencyPoint> curve(gpu::OpClass op,
+                                      unsigned maxWarps = 32,
+                                      unsigned iterations = 128);
+
+    /**
+     * Number of warps at which the curve first rises noticeably above
+     * its base latency (the contention onset the channels exploit).
+     */
+    static unsigned contentionOnset(const std::vector<FuLatencyPoint> &c,
+                                    double riseFraction = 0.15);
+
+  private:
+    gpu::ArchParams arch;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHARACTERIZE_FU_CHARACTERIZER_H

@@ -1,0 +1,163 @@
+#include "covert/characterize/scheduler_probe.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+namespace
+{
+
+/** Probe kernel: warp 0 of each block records smid and start/stop clock,
+ *  padded with compute so blocks measurably overlap. */
+gpu::KernelLaunch
+probeKernel(const char *name, unsigned blocks, unsigned threads,
+            unsigned workIters)
+{
+    gpu::KernelLaunch k;
+    k.name = name;
+    k.config.gridBlocks = blocks;
+    k.config.threadsPerBlock = threads;
+    // The saturating probe maximizes threads per block; compile it lean
+    // on registers so the thread limit binds before the register file
+    // (matters on Fermi's 32 K-register SMs).
+    k.config.regsPerThread = 16;
+    k.body = [workIters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        std::uint64_t t0 = co_await ctx.clock();
+        for (unsigned i = 0; i < workIters; ++i)
+            co_await ctx.op(gpu::OpClass::FAdd);
+        std::uint64_t t1 = co_await ctx.clock();
+        if (ctx.warpInBlock() == 0) {
+            ctx.out(ctx.smid());
+            ctx.out(t0);
+            ctx.out(t1);
+        }
+        co_return;
+    };
+    return k;
+}
+
+KernelObservation
+collect(const gpu::KernelInstance &inst)
+{
+    KernelObservation obs;
+    unsigned wpb = inst.config().warpsPerBlock();
+    for (unsigned b = 0; b < inst.config().gridBlocks; ++b) {
+        const auto &out = inst.out(b * wpb);
+        GPUCC_ASSERT(out.size() >= 3, "probe block %u produced no output",
+                     b);
+        obs.blocks.push_back(BlockObservation{
+            b, static_cast<unsigned>(out[0]), out[1], out[2]});
+    }
+    return obs;
+}
+
+} // namespace
+
+SchedulerProbe::SchedulerProbe(const gpu::ArchParams &arch_) : arch(arch_) {}
+
+std::pair<KernelObservation, KernelObservation>
+SchedulerProbe::observeTwoKernels(unsigned blocks1, unsigned blocks2,
+                                  unsigned threads)
+{
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev, 3);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &k1 = host.launch(s1, probeKernel("probe1", blocks1, threads, 600));
+    auto &k2 = host.launch(s2, probeKernel("probe2", blocks2, threads, 600));
+    host.sync(k1);
+    host.sync(k2);
+    return {collect(k1), collect(k2)};
+}
+
+std::vector<unsigned>
+SchedulerProbe::observeWarpSchedulers(unsigned warps)
+{
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev, 5);
+    host.setJitterUs(0.0);
+    gpu::KernelLaunch k;
+    k.name = "warp-sched-probe";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warps * warpSize;
+    k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        // One op so the warp actually executes before reporting.
+        co_await ctx.op(gpu::OpClass::FAdd);
+        ctx.out(ctx.schedulerId());
+        co_return;
+    };
+    auto &s = dev.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    std::vector<unsigned> scheds;
+    for (unsigned w = 0; w < warps; ++w)
+        scheds.push_back(static_cast<unsigned>(inst.out(w).at(0)));
+    return scheds;
+}
+
+SchedulerFindings
+SchedulerProbe::run()
+{
+    SchedulerFindings f;
+
+    // Experiment 1: one block per SM from each of two kernels.
+    auto [k1, k2] = observeTwoKernels(arch.numSms, arch.numSms, 128);
+    std::set<unsigned> sms1;
+    f.blockAssignmentRoundRobin = true;
+    for (const auto &b : k1.blocks) {
+        sms1.insert(b.smId);
+        if (b.smId != b.blockId % arch.numSms)
+            f.blockAssignmentRoundRobin = false;
+    }
+    f.observedSms = static_cast<unsigned>(sms1.size());
+
+    // Leftover co-residency: kernel 2 blocks landed on SMs while kernel 1
+    // blocks were still running there.
+    f.secondKernelUsesLeftover = false;
+    for (const auto &b2 : k2.blocks) {
+        for (const auto &b1 : k1.blocks) {
+            if (b1.smId == b2.smId && b2.startClock < b1.endClock) {
+                f.secondKernelUsesLeftover = true;
+                break;
+            }
+        }
+    }
+
+    // Experiment 2: saturate the device with kernel 1; kernel 2 queues.
+    {
+        gpu::Device dev(arch);
+        gpu::HostContext host(dev, 9);
+        host.setJitterUs(0.0);
+        auto &s1 = dev.createStream();
+        auto &s2 = dev.createStream();
+        auto &big = host.launch(
+            s1, probeKernel("big", arch.numSms, arch.limits.maxThreads,
+                            600));
+        auto &late = host.launch(s2, probeKernel("late", 1, 64, 10));
+        host.sync(late);
+        host.sync(big);
+        f.fullDeviceBlocksSecondKernel =
+            late.startTick() >= big.blockRecords().front().endTick;
+    }
+
+    // Experiment 3: warp -> scheduler round-robin.
+    auto scheds = observeWarpSchedulers(2 * arch.schedulersPerSm);
+    f.warpAssignmentRoundRobin = true;
+    std::set<unsigned> uniq;
+    for (unsigned w = 0; w < scheds.size(); ++w) {
+        uniq.insert(scheds[w]);
+        if (scheds[w] != w % arch.schedulersPerSm)
+            f.warpAssignmentRoundRobin = false;
+    }
+    f.observedSchedulers = static_cast<unsigned>(uniq.size());
+    return f;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reverse engineering of the hardware schedulers (Section 3.1).
+ *
+ * Reproduces the paper's methodology from the *outside*: launch kernels
+ * with varying grid configurations, read the smid register and clock()
+ * from each block, and infer the placement policies. The probes only
+ * use information a real kernel can observe, so the inference logic is
+ * exactly what an attacker would run.
+ */
+
+#ifndef GPUCC_COVERT_CHARACTERIZE_SCHEDULER_PROBE_H
+#define GPUCC_COVERT_CHARACTERIZE_SCHEDULER_PROBE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch_params.h"
+
+namespace gpucc::covert
+{
+
+/** Observation from one block of a probe kernel. */
+struct BlockObservation
+{
+    unsigned blockId = 0;
+    unsigned smId = 0;
+    std::uint64_t startClock = 0;
+    std::uint64_t endClock = 0;
+};
+
+/** Observations from one probe kernel. */
+struct KernelObservation
+{
+    std::vector<BlockObservation> blocks;
+};
+
+/** Summary of the reverse-engineered policies. */
+struct SchedulerFindings
+{
+    bool blockAssignmentRoundRobin = false;   //!< block b -> SM b mod #SM
+    bool secondKernelUsesLeftover = false;    //!< co-residency achieved
+    bool fullDeviceBlocksSecondKernel = false; //!< queued when saturated
+    bool warpAssignmentRoundRobin = false;    //!< warp w -> scheduler w mod N
+    unsigned observedSms = 0;                 //!< distinct SMs seen
+    unsigned observedSchedulers = 0;          //!< distinct schedulers seen
+};
+
+/** Scheduler reverse-engineering probe suite. */
+class SchedulerProbe
+{
+  public:
+    explicit SchedulerProbe(const gpu::ArchParams &arch);
+
+    /**
+     * Launch two concurrent kernels with @p blocks1/@p blocks2 blocks of
+     * @p threads threads and record per-block smid/clock observations.
+     */
+    std::pair<KernelObservation, KernelObservation> observeTwoKernels(
+        unsigned blocks1, unsigned blocks2, unsigned threads);
+
+    /**
+     * Launch one kernel with @p warps warps and record each warp's
+     * scheduler via contention probing (the paper infers the mapping
+     * from latency; the model exposes it via per-warp observation).
+     */
+    std::vector<unsigned> observeWarpSchedulers(unsigned warps);
+
+    /** Run the full methodology and summarize the findings. */
+    SchedulerFindings run();
+
+  private:
+    gpu::ArchParams arch;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_CHARACTERIZE_SCHEDULER_PROBE_H

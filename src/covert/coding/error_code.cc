@@ -1,0 +1,166 @@
+#include "covert/coding/error_code.h"
+
+#include "common/log.h"
+
+namespace gpucc::covert
+{
+
+RepetitionCode::RepetitionCode(unsigned k_) : k(k_)
+{
+    GPUCC_ASSERT(k >= 1 && k % 2 == 1,
+                 "repetition factor must be odd (majority decode)");
+}
+
+std::string
+RepetitionCode::name() const
+{
+    return strfmt("repetition x%u", k);
+}
+
+BitVec
+RepetitionCode::encode(const BitVec &payload) const
+{
+    BitVec out;
+    out.reserve(payload.size() * k);
+    for (std::uint8_t b : payload) {
+        for (unsigned i = 0; i < k; ++i)
+            out.push_back(b);
+    }
+    return out;
+}
+
+BitVec
+RepetitionCode::decode(const BitVec &received,
+                       std::size_t payloadBits) const
+{
+    BitVec out;
+    out.reserve(payloadBits);
+    for (std::size_t i = 0; i < payloadBits; ++i) {
+        unsigned ones = 0, seen = 0;
+        for (unsigned c = 0; c < k; ++c) {
+            std::size_t idx = i * k + c;
+            if (idx < received.size()) {
+                ones += received[idx] & 1;
+                ++seen;
+            }
+        }
+        out.push_back(seen && 2 * ones > seen ? 1 : 0);
+    }
+    return out;
+}
+
+InterleavedRepetitionCode::InterleavedRepetitionCode(unsigned k_) : k(k_)
+{
+    GPUCC_ASSERT(k >= 1 && k % 2 == 1,
+                 "repetition factor must be odd (majority decode)");
+}
+
+std::string
+InterleavedRepetitionCode::name() const
+{
+    return strfmt("interleaved repetition x%u", k);
+}
+
+BitVec
+InterleavedRepetitionCode::encode(const BitVec &payload) const
+{
+    BitVec out;
+    out.reserve(payload.size() * k);
+    for (unsigned c = 0; c < k; ++c)
+        out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+BitVec
+InterleavedRepetitionCode::decode(const BitVec &received,
+                                  std::size_t payloadBits) const
+{
+    BitVec out;
+    out.reserve(payloadBits);
+    for (std::size_t i = 0; i < payloadBits; ++i) {
+        unsigned ones = 0, seen = 0;
+        for (unsigned c = 0; c < k; ++c) {
+            std::size_t idx = c * payloadBits + i;
+            if (idx < received.size()) {
+                ones += received[idx] & 1;
+                ++seen;
+            }
+        }
+        out.push_back(seen && 2 * ones > seen ? 1 : 0);
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Encode one nibble into a Hamming(7,4) block: p1 p2 d1 p3 d2 d3 d4. */
+void
+hammingEncodeNibble(const std::uint8_t d[4], BitVec &out)
+{
+    std::uint8_t p1 = d[0] ^ d[1] ^ d[3];
+    std::uint8_t p2 = d[0] ^ d[2] ^ d[3];
+    std::uint8_t p3 = d[1] ^ d[2] ^ d[3];
+    out.push_back(p1);
+    out.push_back(p2);
+    out.push_back(d[0]);
+    out.push_back(p3);
+    out.push_back(d[1]);
+    out.push_back(d[2]);
+    out.push_back(d[3]);
+}
+
+/** Decode one block with single-error correction into 4 data bits. */
+void
+hammingDecodeBlock(std::uint8_t b[7], BitVec &out)
+{
+    // Syndrome over positions 1..7.
+    std::uint8_t s1 = b[0] ^ b[2] ^ b[4] ^ b[6];
+    std::uint8_t s2 = b[1] ^ b[2] ^ b[5] ^ b[6];
+    std::uint8_t s3 = b[3] ^ b[4] ^ b[5] ^ b[6];
+    unsigned syndrome = static_cast<unsigned>(s1) |
+                        (static_cast<unsigned>(s2) << 1) |
+                        (static_cast<unsigned>(s3) << 2);
+    if (syndrome != 0)
+        b[syndrome - 1] ^= 1;
+    out.push_back(b[2]);
+    out.push_back(b[4]);
+    out.push_back(b[5]);
+    out.push_back(b[6]);
+}
+
+} // namespace
+
+BitVec
+Hamming74Code::encode(const BitVec &payload) const
+{
+    BitVec out;
+    out.reserve((payload.size() + 3) / 4 * 7);
+    for (std::size_t i = 0; i < payload.size(); i += 4) {
+        std::uint8_t d[4] = {0, 0, 0, 0};
+        for (std::size_t j = 0; j < 4 && i + j < payload.size(); ++j)
+            d[j] = payload[i + j] & 1;
+        hammingEncodeNibble(d, out);
+    }
+    return out;
+}
+
+BitVec
+Hamming74Code::decode(const BitVec &received,
+                      std::size_t payloadBits) const
+{
+    BitVec out;
+    out.reserve(payloadBits);
+    for (std::size_t i = 0; i + 7 <= received.size() &&
+                            out.size() < payloadBits;
+         i += 7) {
+        std::uint8_t b[7];
+        for (std::size_t j = 0; j < 7; ++j)
+            b[j] = received[i + j] & 1;
+        hammingDecodeBlock(b, out);
+    }
+    out.resize(payloadBits, 0);
+    return out;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,67 @@
+#include "covert/colocation/exclusive.h"
+
+#include "common/log.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+ExclusivePlan
+makeExclusivePlan(const gpu::ArchParams &arch, unsigned spyThreads,
+                  unsigned trojanThreads)
+{
+    ExclusivePlan plan;
+    const auto &lim = arch.limits;
+    if (lim.smemBytes >= 2 * lim.smemPerBlockBytes) {
+        // Maxwell-style: two per-block-max allocations saturate the SM.
+        plan.spySmemBytes = lim.smemPerBlockBytes;
+        plan.trojanSmemBytes = lim.smemPerBlockBytes;
+    } else {
+        // Fermi/Kepler: the spy takes all shared memory, the trojan
+        // takes none and co-locates through the leftover policy.
+        plan.spySmemBytes = lim.smemPerBlockBytes;
+        plan.trojanSmemBytes = 0;
+    }
+    // Shared memory alone blocks every smem-using kernel; interferers
+    // that use no smem still fit into spare thread slots, so helpers
+    // exhaust those too.
+    unsigned used = spyThreads + trojanThreads;
+    GPUCC_ASSERT(used <= lim.maxThreads,
+                 "channel blocks alone exceed SM thread capacity");
+    unsigned spare = lim.maxThreads - used;
+    if (spare >= warpSize) {
+        plan.needHelpers = true;
+        plan.helperThreadsPerBlock = spare - (spare % warpSize);
+        plan.helperBlocks = arch.numSms;
+    }
+    return plan;
+}
+
+gpu::KernelLaunch
+makeHelperKernel(const gpu::ArchParams &arch, const ExclusivePlan &plan,
+                 Cycle durationCycles)
+{
+    GPUCC_ASSERT(plan.needHelpers, "plan has no helper role");
+    gpu::KernelLaunch k;
+    k.name = "colocation-helper";
+    k.config.gridBlocks = plan.helperBlocks;
+    k.config.threadsPerBlock = plan.helperThreadsPerBlock;
+    // Helpers exist to claim *thread slots*; compile them register-lean
+    // so the register file (32 K on Fermi) never binds first.
+    k.config.regsPerThread = 16;
+    (void)arch;
+    k.body = [durationCycles](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        // Occupy the slots silently: sleep in slices so the block can be
+        // sized against any duration without a single huge event gap.
+        Cycle remaining = durationCycles;
+        while (remaining > 0) {
+            Cycle slice = remaining > 5000 ? 5000 : remaining;
+            co_await ctx.sleep(slice);
+            remaining -= slice;
+        }
+        co_return;
+    };
+    return k;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exclusive co-location strategies (Section 8).
+ *
+ * The leftover block-scheduling policy admits a block only when every
+ * resource it asks for is available, and prioritizes earlier launches.
+ * The attack exploits this to lock other workloads out of the SMs the
+ * channel uses: the spy asks for the maximum per-block shared memory,
+ * the trojan asks for none (Fermi/Kepler, where per-block max == per-SM
+ * max), or both ask for the per-block max (Maxwell, where the SM holds
+ * exactly two such allocations). Helper kernels that use no noisy
+ * resources can additionally exhaust leftover thread slots.
+ */
+
+#ifndef GPUCC_COVERT_COLOCATION_EXCLUSIVE_H
+#define GPUCC_COVERT_COLOCATION_EXCLUSIVE_H
+
+#include "gpu/arch_params.h"
+#include "gpu/kernel.h"
+
+namespace gpucc::covert
+{
+
+/** Resource-request plan that locks out third-party blocks. */
+struct ExclusivePlan
+{
+    std::size_t spySmemBytes = 0;
+    std::size_t trojanSmemBytes = 0;
+    bool needHelpers = false;       //!< thread slots remain -> exhaust them
+    unsigned helperThreadsPerBlock = 0;
+    unsigned helperBlocks = 0;
+};
+
+/**
+ * Build the exclusive co-location plan for a channel whose spy and
+ * trojan blocks use @p spyThreads / @p trojanThreads threads per SM.
+ */
+ExclusivePlan makeExclusivePlan(const gpu::ArchParams &arch,
+                                unsigned spyThreads, unsigned trojanThreads);
+
+/**
+ * A helper kernel that occupies thread slots without touching caches,
+ * SFUs, or memory (it only sleeps), for roughly @p durationCycles.
+ */
+gpu::KernelLaunch makeHelperKernel(const gpu::ArchParams &arch,
+                                   const ExclusivePlan &plan,
+                                   Cycle durationCycles);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_COLOCATION_EXCLUSIVE_H

@@ -1,0 +1,102 @@
+#include "covert/colocation/noise_experiment.h"
+
+#include <vector>
+
+#include "common/log.h"
+#include "covert/colocation/exclusive.h"
+#include "workloads/interference.h"
+
+namespace gpucc::covert
+{
+
+NoiseOutcome
+runNoiseExperiment(const gpu::ArchParams &arch, const BitVec &message,
+                   bool exclusive, std::uint64_t seed,
+                   unsigned dataSetsPerSm, bool allSms)
+{
+    NoiseOutcome outcome;
+    outcome.exclusiveUsed = exclusive;
+
+    SyncChannelConfig cfg;
+    cfg.seed = seed;
+    cfg.dataSetsPerSm = dataSetsPerSm;
+    cfg.allSms = allSms;
+
+    std::vector<const gpu::KernelInstance *> interferers;
+    gpu::HostContext *thirdApp = nullptr;
+    std::unique_ptr<gpu::HostContext> thirdAppStorage;
+
+    // Helpers/interferers are injected once the channel kernels are on
+    // the device (launch-time priority is what the defense exploits).
+    cfg.afterLaunch = [&](TwoPartyHarness &h) {
+        gpu::Device &dev = h.device();
+        unsigned chThreads = (dataSetsPerSm + 1) * warpSize;
+
+        if (exclusive) {
+            // Silent helpers exhaust the leftover thread slots so even
+            // smem-free interferers cannot co-locate. Launched by the
+            // trojan application on a fresh stream right after the
+            // channel kernels (its own stream is busy with the trojan).
+            auto plan = makeExclusivePlan(arch, chThreads, chThreads);
+            if (plan.needHelpers) {
+                auto helper =
+                    makeHelperKernel(arch, plan, Cycle(6'000'000));
+                h.trojanHost().launch(dev.createStream(), helper);
+            }
+        }
+
+        // Third application: the Rodinia-like mix on its own streams,
+        // arriving while the channel is already communicating.
+        thirdAppStorage =
+            std::make_unique<gpu::HostContext>(dev, seed + 777);
+        thirdApp = thirdAppStorage.get();
+        thirdApp->advanceUs(30.0);
+        workloads::WorkloadSpec spec;
+        spec.blocks = arch.numSms;
+        spec.threadsPerBlock = 128;
+        spec.iterations = 2500;
+        for (auto &k : workloads::makeRodiniaLikeMix(dev, spec)) {
+            auto &stream = dev.createStream();
+            interferers.push_back(&thirdApp->launch(stream, std::move(k)));
+        }
+    };
+
+    if (exclusive) {
+        cfg.useArchTiming = true;
+    }
+
+    SyncL1Channel channel(arch, cfg);
+    channel.enableExclusiveColocation(exclusive);
+    outcome.channel = channel.transmit(message);
+
+    // Drain the interferers, then check co-residency against the spy's
+    // active (participating) communication blocks.
+    channel.harness().device().runUntilIdle();
+    std::vector<gpu::BlockRecord> spyBlocks;
+    for (const auto &k : channel.harness().device().kernels()) {
+        if (k->name() != "sync-spy")
+            continue;
+        for (const auto &b : k->blockRecords()) {
+            // Non-participating blocks exit within a few hundred cycles;
+            // the communication block spans the whole transmission.
+            if (b.endTick - b.startTick > cyclesToTicks(Cycle(10000)))
+                spyBlocks.push_back(b);
+        }
+    }
+    outcome.interferersLaunched = static_cast<unsigned>(interferers.size());
+    for (const auto *k : interferers) {
+        GPUCC_ASSERT(k->done(), "interferer '%s' never completed",
+                     k->name().c_str());
+        for (const auto &ib : k->blockRecords()) {
+            for (const auto &sb : spyBlocks) {
+                if (ib.smId == sb.smId && ib.startTick < sb.endTick &&
+                    sb.startTick < ib.endTick) {
+                    ++outcome.coResidentInterfererBlocks;
+                }
+            }
+        }
+    }
+    return outcome;
+}
+
+} // namespace gpucc::covert

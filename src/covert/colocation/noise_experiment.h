@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The Section 8 noise experiment: run the synchronized L1 channel while
+ * Rodinia-like workloads execute on a third stream, with and without
+ * the exclusive co-location defense.
+ *
+ * Without mitigation, the interfering workloads co-locate with the
+ * channel under the leftover policy; the constant-memory walker evicts
+ * the protocol's cache sets and corrupts bits. With mitigation — the
+ * spy saturating shared memory, the trojan claiming none, and silent
+ * helper kernels exhausting the leftover thread slots — every
+ * interferer is starved until the channel completes, restoring
+ * error-free communication.
+ */
+
+#ifndef GPUCC_COVERT_COLOCATION_NOISE_EXPERIMENT_H
+#define GPUCC_COVERT_COLOCATION_NOISE_EXPERIMENT_H
+
+#include "covert/channel.h"
+#include "covert/sync/sync_channel.h"
+
+namespace gpucc::covert
+{
+
+/** Outcome of one noise-experiment run. */
+struct NoiseOutcome
+{
+    ChannelResult channel;        //!< channel result under the scenario
+    unsigned interferersLaunched = 0;
+    /**
+     * Interferer blocks that were co-resident (same SM, overlapping in
+     * time) with the spy's active communication block. Exclusive
+     * co-location succeeds when this is zero: blocks may still run on
+     * SMs the channel does not use, but none share the channel's SM.
+     */
+    unsigned coResidentInterfererBlocks = 0;
+    bool exclusiveUsed = false;
+
+    /** @return true when no interferer touched the channel's SM. */
+    bool exclusionHeld() const { return coResidentInterfererBlocks == 0; }
+};
+
+/**
+ * Run the synchronized L1 channel transmitting @p message while the
+ * Rodinia-like mix runs on a third application's streams.
+ *
+ * @param arch Target architecture.
+ * @param message Payload bits.
+ * @param exclusive Apply the Section 8 exclusive co-location defense.
+ * @param seed Experiment seed.
+ * @param dataSetsPerSm Channel data sets per SM (Table 2 variants).
+ * @param allSms Run the channel on every SM (the full-rate variant;
+ *        the paper's exclusive co-location protects it on all SMs at
+ *        once, keeping multi-Mbps rates under interference).
+ */
+NoiseOutcome runNoiseExperiment(const gpu::ArchParams &arch,
+                                const BitVec &message, bool exclusive,
+                                std::uint64_t seed = 1,
+                                unsigned dataSetsPerSm = 1,
+                                bool allSms = false);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_COLOCATION_NOISE_EXPERIMENT_H

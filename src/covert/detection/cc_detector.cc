@@ -1,0 +1,79 @@
+#include "covert/detection/cc_detector.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gpucc::covert
+{
+
+DetectionResult
+analyzeEvictionTrace(const std::vector<mem::EvictionEvent> &trace,
+                     const DetectorConfig &cfg)
+{
+    struct Train
+    {
+        unsigned cross = 0;
+        unsigned turnTransitions = 0;
+        unsigned flips = 0;
+        int turnBy = -1;
+        int turnVictim = -1;
+        bool haveTurn = false;
+    };
+    std::map<std::pair<unsigned, unsigned>, Train> trains;
+
+    for (const auto &e : trace) {
+        // Self-evictions are capacity misses: benign by construction.
+        if (e.byApp < 0 || e.victimApp < 0 || e.byApp == e.victimApp)
+            continue;
+        Train &t = trains[{e.smId, e.set}];
+        ++t.cross;
+        // Burst granularity: a prime evicts several victim lines in a
+        // row; consecutive evictions in the same direction are one
+        // "turn". The channel's signature is near-perfect alternation
+        // of turn direction (trojan burst, spy burst, trojan burst...).
+        bool sameDirection = t.haveTurn && e.byApp == t.turnBy &&
+                             e.victimApp == t.turnVictim;
+        if (sameDirection)
+            continue;
+        if (t.haveTurn) {
+            ++t.turnTransitions;
+            if (e.byApp == t.turnVictim && e.victimApp == t.turnBy)
+                ++t.flips;
+        }
+        t.turnBy = e.byApp;
+        t.turnVictim = e.victimApp;
+        t.haveTurn = true;
+    }
+
+    DetectionResult res;
+    for (const auto &[key, t] : trains) {
+        SetConflictScore s;
+        s.smId = key.first;
+        s.set = key.second;
+        s.crossAppEvictions = t.cross;
+        s.oscillationFraction =
+            t.turnTransitions > 0
+                ? static_cast<double>(t.flips) / t.turnTransitions
+                : 0.0;
+        res.scores.push_back(s);
+    }
+    std::sort(res.scores.begin(), res.scores.end(),
+              [](const SetConflictScore &a, const SetConflictScore &b) {
+                  if (a.oscillationFraction != b.oscillationFraction)
+                      return a.oscillationFraction > b.oscillationFraction;
+                  return a.crossAppEvictions > b.crossAppEvictions;
+              });
+    for (const auto &s : res.scores) {
+        if (s.crossAppEvictions >= cfg.minCrossEvictions &&
+            s.oscillationFraction >= cfg.oscillationThreshold) {
+            res.covertChannelSuspected = true;
+            res.topSet = s;
+            break;
+        }
+    }
+    if (!res.covertChannelSuspected && !res.scores.empty())
+        res.topSet = res.scores.front();
+    return res;
+}
+
+} // namespace gpucc::covert

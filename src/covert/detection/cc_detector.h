@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Contention-anomaly detector (Section 9: "attempt to detect anomalous
+ * contention", in the spirit of CC-Hunter).
+ *
+ * A cache covert channel leaves a distinctive footprint in the eviction
+ * stream: on the communication set, two applications evict *each
+ * other's* lines in a sustained, oscillating train (trojan evicts spy,
+ * spy's probe re-installs and evicts trojan, ...). Benign workloads
+ * evict mostly their own lines (capacity misses), spread their conflict
+ * misses over many sets, and rarely oscillate.
+ *
+ * The detector consumes the ConstMemory eviction trace and scores each
+ * (SM, set) conflict train on (a) cross-application eviction count and
+ * (b) oscillation fraction — the fraction of consecutive cross-app
+ * evictions whose direction flips (A evicts B followed by B evicts A).
+ */
+
+#ifndef GPUCC_COVERT_DETECTION_CC_DETECTOR_H
+#define GPUCC_COVERT_DETECTION_CC_DETECTOR_H
+
+#include <vector>
+
+#include "mem/const_memory.h"
+
+namespace gpucc::covert
+{
+
+/** Score of one (SM, set) conflict train. */
+struct SetConflictScore
+{
+    unsigned smId = 0;
+    unsigned set = 0;
+    unsigned crossAppEvictions = 0; //!< evictions with byApp != victimApp
+    double oscillationFraction = 0.0; //!< direction flips / transitions
+};
+
+/** Detector configuration. */
+struct DetectorConfig
+{
+    /** Minimum cross-app evictions on one set to consider it at all. */
+    unsigned minCrossEvictions = 64;
+    /** Oscillation fraction above which a set looks like a channel. */
+    double oscillationThreshold = 0.55;
+};
+
+/** Verdict over one trace. */
+struct DetectionResult
+{
+    bool covertChannelSuspected = false;
+    SetConflictScore topSet;              //!< highest-scoring set
+    std::vector<SetConflictScore> scores; //!< all sets with conflicts
+};
+
+/** Analyze an eviction trace. */
+DetectionResult analyzeEvictionTrace(
+    const std::vector<mem::EvictionEvent> &trace,
+    const DetectorConfig &cfg = {});
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_DETECTION_CC_DETECTOR_H

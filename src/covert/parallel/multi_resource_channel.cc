@@ -1,0 +1,157 @@
+#include "covert/parallel/multi_resource_channel.h"
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "covert/channels/sfu_channel.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+MultiResourceChannel::MultiResourceChannel(const gpu::ArchParams &arch_,
+                                           MultiResourceConfig cfg_)
+    : arch(arch_), cfg(cfg_)
+{
+    parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    const auto &geom = arch.constMem.l1;
+    auto &dev = parties->device();
+    std::size_t align = setStride(geom);
+    // ways+1 trojan lines: the prime thrashes under LRU and stays active
+    // across the spy's probing window (see L1ConstChannel::setup).
+    Addr trojanBase = dev.allocConst(2 * probeArrayBytes(geom), align);
+    trojanAddrs = setFillingAddrs(geom, trojanBase, 0);
+    trojanAddrs.push_back(
+        setFillingAddrs(geom, trojanBase + probeArrayBytes(geom), 0)
+            .front());
+    spyAddrs =
+        setFillingAddrs(geom, dev.allocConst(probeArrayBytes(geom), align),
+                        0);
+    sfuWarps = SfuChannel::warpsPerBlock(arch);
+    if (cfg.sfuIterations == 0)
+        cfg.sfuIterations = SfuChannel::defaultIterations(arch);
+}
+
+MultiResourceChannel::~MultiResourceChannel() = default;
+
+void
+MultiResourceChannel::runRound(bool cacheBit, bool sfuBit,
+                               double &cacheMetric, double &sfuMetric)
+{
+    unsigned cacheIters = cfg.cacheIterations;
+    unsigned sfuIters = cfg.sfuIterations;
+    // The trojan covers the spy's full window despite launch jitter.
+    unsigned tCacheIters = cacheIters + cacheIters / 2;
+    unsigned tSfuIters = sfuIters + sfuIters / 2;
+
+    // Warp 0 runs the cache side; warps 1..sfuWarps run the SFU side.
+    gpu::KernelLaunch trojanK;
+    trojanK.name = "multires-trojan";
+    trojanK.config.gridBlocks = arch.numSms;
+    trojanK.config.threadsPerBlock = (sfuWarps + 1) * warpSize;
+    auto tAddrs = trojanAddrs;
+    trojanK.body = [cacheBit, sfuBit, tCacheIters, tSfuIters,
+                    tAddrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.warpInBlock() == 0) {
+            if (cacheBit) {
+                for (unsigned i = 0; i < tCacheIters; ++i)
+                    co_await ctx.constLoadSeq(tAddrs);
+            }
+        } else {
+            if (sfuBit) {
+                for (unsigned i = 0; i < tSfuIters; ++i)
+                    co_await ctx.op(gpu::OpClass::Sinf);
+            }
+        }
+        co_return;
+    };
+
+    gpu::KernelLaunch spyK;
+    spyK.name = "multires-spy";
+    spyK.config.gridBlocks = arch.numSms;
+    spyK.config.threadsPerBlock = (sfuWarps + 1) * warpSize;
+    auto sAddrs = spyAddrs;
+    spyK.body = [cacheIters, sfuIters,
+                 sAddrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.warpInBlock() == 0) {
+            std::uint64_t total = 0;
+            for (unsigned i = 0; i < cacheIters; ++i)
+                total += co_await ctx.constLoadSeq(sAddrs);
+            ctx.out(total);
+        } else {
+            std::uint64_t total = 0;
+            for (unsigned i = 0; i < sfuIters; ++i)
+                total += co_await ctx.op(gpu::OpClass::Sinf);
+            ctx.out(total);
+        }
+        co_return;
+    };
+
+    auto &tHost = parties->trojanHost();
+    auto &sHost = parties->spyHost();
+    auto &trojan = tHost.launch(parties->trojanStream(), trojanK);
+    if (cfg.trojanLeadUs > 0.0) {
+        // Lead measured against the trojan application's clock so the
+        // spy's launch trails the trojan's by the full lead regardless
+        // of how the two hosts' sync overheads drifted apart.
+        sHost.catchUpTo(tHost.now());
+        sHost.advanceUs(cfg.trojanLeadUs);
+    }
+    auto &spy = sHost.launch(parties->spyStream(), spyK);
+    sHost.sync(spy);
+    tHost.sync(trojan);
+
+    unsigned wpb = spy.config().warpsPerBlock();
+    const auto &cacheOut = spy.out(0);
+    GPUCC_ASSERT(!cacheOut.empty(), "no cache measurement");
+    cacheMetric = static_cast<double>(cacheOut[0]) /
+                  (static_cast<double>(cacheIters) * spyAddrs.size());
+    double sfuSum = 0.0;
+    unsigned sfuCnt = 0;
+    for (unsigned w = 1; w < wpb; ++w) {
+        const auto &o = spy.out(w);
+        if (!o.empty()) {
+            sfuSum += static_cast<double>(o[0]) / sfuIters;
+            ++sfuCnt;
+        }
+    }
+    GPUCC_ASSERT(sfuCnt > 0, "no SFU measurement");
+    sfuMetric = sfuSum / sfuCnt;
+}
+
+ChannelResult
+MultiResourceChannel::transmit(const BitVec &message)
+{
+    BitVec payload = message;
+    if (payload.size() % 2)
+        payload.push_back(0);
+
+    // Calibrate both resources with one all-zeros and one all-ones round.
+    double c0, s0, c1, s1;
+    runRound(false, false, c0, s0);
+    runRound(true, true, c1, s1);
+    double cacheThresh = 0.5 * (c0 + c1);
+    double sfuThresh = 0.5 * (s0 + s1);
+
+    ChannelResult res;
+    res.channelName = "multi-resource (L1 + SFU)";
+    res.sent = message;
+    res.threshold = cacheThresh;
+
+    Tick start = parties->spyHost().now();
+    for (std::size_t i = 0; i < payload.size(); i += 2) {
+        double cm = 0.0, sm = 0.0;
+        runRound(payload[i] != 0, payload[i + 1] != 0, cm, sm);
+        res.received.push_back(cm > cacheThresh ? 1 : 0);
+        res.received.push_back(sm > sfuThresh ? 1 : 0);
+        (payload[i] ? res.oneMetric : res.zeroMetric).add(cm);
+    }
+    Tick end = parties->spyHost().now();
+
+    res.received.resize(message.size());
+    res.report = compareBits(res.sent, res.received);
+    finalizeResult(res, arch, end - start);
+    return res;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,191 @@
+#include "covert/parallel/sfu_parallel_channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "covert/channels/sfu_channel.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+namespace
+{
+
+/** Spy/trojan warp counts per block: spy alone sits in the flat region
+ *  of the __sinf curve, spy+trojan lands on a visible step (Figure 6). */
+void
+warpCounts(const gpu::ArchParams &arch, unsigned &spy, unsigned &trojan)
+{
+    switch (arch.generation) {
+      case gpu::Generation::Fermi:
+        spy = 2;
+        trojan = 4;
+        return;
+      case gpu::Generation::Kepler:
+        spy = 12;
+        trojan = 12;
+        return;
+      case gpu::Generation::Maxwell:
+        spy = 8;
+        trojan = 12;
+        return;
+    }
+    spy = 4;
+    trojan = 8;
+}
+
+} // namespace
+
+SfuParallelChannel::SfuParallelChannel(const gpu::ArchParams &arch_,
+                                       SfuParallelConfig cfg_)
+    : arch(arch_), cfg(cfg_)
+{
+    parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    parties->device().setMitigations(cfg.mitigations);
+    warpCounts(arch, spyWarps, trojanWarps);
+    if (cfg.iterations == 0) {
+        cfg.iterations = SfuChannel::defaultIterations(arch);
+        // The Fermi parallel variant pays a larger per-op latency (its
+        // SFU ports saturate with the extra warps), and the paper's
+        // measurement shows a correspondingly slower round.
+        if (arch.generation == gpu::Generation::Fermi)
+            cfg.iterations += cfg.iterations / 2;
+    }
+}
+
+SfuParallelChannel::~SfuParallelChannel() = default;
+
+unsigned
+SfuParallelChannel::bitsPerLaunch() const
+{
+    return arch.schedulersPerSm * (cfg.acrossSms ? arch.numSms : 1);
+}
+
+void
+SfuParallelChannel::runRound(const BitVec &roundBits,
+                             std::vector<double> &metrics)
+{
+    unsigned N = arch.schedulersPerSm;
+    bool acrossSms = cfg.acrossSms;
+    unsigned iters = cfg.iterations;
+
+    gpu::KernelLaunch trojanK;
+    trojanK.name = "sfu-par-trojan";
+    trojanK.config.gridBlocks = arch.numSms;
+    trojanK.config.threadsPerBlock = trojanWarps * warpSize;
+    BitVec bits = roundBits;
+    unsigned trojanIters = iters + iters / 2; // cover the spy's window
+    trojanK.body = [bits, N, acrossSms,
+                    trojanIters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (!acrossSms && ctx.smid() != 0)
+            co_return;
+        unsigned smSlot = acrossSms ? ctx.smid() : 0;
+        std::size_t idx = std::size_t(smSlot) * N + ctx.schedulerId();
+        if (idx < bits.size() && bits[idx]) {
+            for (unsigned i = 0; i < trojanIters; ++i)
+                co_await ctx.op(gpu::OpClass::Sinf);
+        }
+        co_return;
+    };
+
+    gpu::KernelLaunch spyK;
+    spyK.name = "sfu-par-spy";
+    spyK.config.gridBlocks = arch.numSms;
+    spyK.config.threadsPerBlock = spyWarps * warpSize;
+    spyK.body = [iters, acrossSms](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (!acrossSms && ctx.smid() != 0)
+            co_return;
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < iters; ++i)
+            total += co_await ctx.op(gpu::OpClass::Sinf);
+        ctx.out(ctx.schedulerId());
+        ctx.out(total);
+        co_return;
+    };
+
+    auto &tHost = parties->trojanHost();
+    auto &sHost = parties->spyHost();
+    auto &trojan = tHost.launch(parties->trojanStream(), trojanK);
+    if (cfg.trojanLeadUs > 0.0) {
+        // Lead measured against the trojan application's clock so the
+        // spy's launch trails the trojan's by the full lead regardless
+        // of how the two hosts' sync overheads drifted apart.
+        sHost.catchUpTo(tHost.now());
+        sHost.advanceUs(cfg.trojanLeadUs);
+    }
+    auto &spy = sHost.launch(parties->spyStream(), spyK);
+    sHost.sync(spy);
+    tHost.sync(trojan);
+
+    // Aggregate spy warp latencies per (SM slot, scheduler) lane.
+    std::vector<double> sum(metrics.size(), 0.0);
+    std::vector<unsigned> cnt(metrics.size(), 0);
+    unsigned wpb = spy.config().warpsPerBlock();
+    for (const auto &rec : spy.blockRecords()) {
+        if (!acrossSms && rec.smId != 0)
+            continue;
+        unsigned smSlot = acrossSms ? rec.smId : 0;
+        for (unsigned w = 0; w < wpb; ++w) {
+            const auto &out = spy.out(rec.blockId * wpb + w);
+            if (out.size() < 2)
+                continue;
+            std::size_t idx = std::size_t(smSlot) * N + out[0];
+            if (idx < sum.size()) {
+                sum[idx] += static_cast<double>(out[1]) / cfg.iterations;
+                cnt[idx] += 1;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+        metrics[i] = cnt[i] ? sum[i] / cnt[i] : 0.0;
+}
+
+ChannelResult
+SfuParallelChannel::transmit(const BitVec &message)
+{
+    unsigned perLaunch = bitsPerLaunch();
+    unsigned rounds = (static_cast<unsigned>(message.size()) + perLaunch -
+                       1) / perLaunch;
+    BitVec payload = message;
+    payload.resize(std::size_t(rounds) * perLaunch, 0);
+
+    // Calibration: one all-zeros and one all-ones round fix per-lane
+    // thresholds.
+    std::vector<double> zeroRef(perLaunch, 0.0), oneRef(perLaunch, 0.0);
+    runRound(BitVec(perLaunch, 0), zeroRef);
+    runRound(BitVec(perLaunch, 1), oneRef);
+    std::vector<double> thresh(perLaunch);
+    for (unsigned i = 0; i < perLaunch; ++i)
+        thresh[i] = 0.5 * (zeroRef[i] + oneRef[i]);
+
+    ChannelResult res;
+    res.channelName = cfg.acrossSms
+                          ? "SFU parallel (schedulers x SMs)"
+                          : "SFU parallel (schedulers)";
+    res.sent = message;
+    res.threshold = thresh.empty() ? 0.0 : thresh[0];
+
+    Tick start = parties->spyHost().now();
+    std::vector<double> metrics(perLaunch, 0.0);
+    res.received.assign(payload.size(), 0);
+    for (unsigned r = 0; r < rounds; ++r) {
+        BitVec roundBits(payload.begin() + std::size_t(r) * perLaunch,
+                         payload.begin() + std::size_t(r + 1) * perLaunch);
+        runRound(roundBits, metrics);
+        for (unsigned i = 0; i < perLaunch; ++i) {
+            bool bit = metrics[i] > thresh[i];
+            res.received[std::size_t(r) * perLaunch + i] = bit ? 1 : 0;
+            (roundBits[i] ? res.oneMetric : res.zeroMetric).add(metrics[i]);
+        }
+    }
+    Tick end = parties->spyHost().now();
+
+    res.received.resize(message.size());
+    res.report = compareBits(res.sent, res.received);
+    finalizeResult(res, arch, end - start);
+    return res;
+}
+
+} // namespace gpucc::covert

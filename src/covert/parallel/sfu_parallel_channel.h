@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parallelized SFU covert channel (Section 7.2, Table 3).
+ *
+ * Contention on the SFUs is isolated per warp scheduler, so each
+ * scheduler carries an independent bit: the trojan activates __sinf
+ * traffic on scheduler s iff bit s is 1, and the spy decodes from the
+ * per-scheduler latencies of its own warps. Enabling all SMs multiplies
+ * the parallelism again by the SM count, giving the paper's
+ * 380 Kbps / 1.2 Mbps / 1.3 Mbps results.
+ */
+
+#ifndef GPUCC_COVERT_PARALLEL_SFU_PARALLEL_CHANNEL_H
+#define GPUCC_COVERT_PARALLEL_SFU_PARALLEL_CHANNEL_H
+
+#include <memory>
+
+#include "covert/channel.h"
+
+namespace gpucc::covert
+{
+
+/** Configuration of the parallel SFU channel. */
+struct SfuParallelConfig
+{
+    bool acrossSms = false;   //!< one channel instance per SM
+    /** __sinf loop length per launch; 0 = per-architecture default. */
+    unsigned iterations = 0;
+    unsigned calibrationBits = 2; //!< calibration rounds (per lane)
+    double trojanLeadUs = 5.0; //!< launch-timing overlap control
+    double jitterUs = -1.0;
+    std::uint64_t seed = 1;
+    /** Section 9 defenses active on the device (ablation studies). */
+    gpu::MitigationConfig mitigations;
+};
+
+/** Multi-bit-per-launch SFU channel (one bit per warp scheduler). */
+class SfuParallelChannel
+{
+  public:
+    SfuParallelChannel(const gpu::ArchParams &arch,
+                       SfuParallelConfig cfg = {});
+    ~SfuParallelChannel();
+
+    /** Transmit @p message; bits are striped over schedulers (and SMs). */
+    ChannelResult transmit(const BitVec &message);
+
+    /** Bits carried per kernel-pair launch. */
+    unsigned bitsPerLaunch() const;
+
+  private:
+    /** Run one launch round; fills metrics[lane]. */
+    void runRound(const BitVec &roundBits, std::vector<double> &metrics);
+
+    gpu::ArchParams arch;
+    SfuParallelConfig cfg;
+    std::unique_ptr<TwoPartyHarness> parties;
+    unsigned spyWarps;
+    unsigned trojanWarps;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_PARALLEL_SFU_PARALLEL_CHANNEL_H

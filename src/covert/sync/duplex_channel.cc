@@ -1,0 +1,199 @@
+#include "covert/sync/duplex_channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "gpu/device_task.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+namespace
+{
+
+constexpr double outScale = 256.0;
+
+/** The three line groups one direction of the protocol uses. */
+struct DirectionSets
+{
+    std::vector<Addr> rts;
+    std::vector<Addr> rtr;
+    std::vector<Addr> data;
+};
+
+DirectionSets
+makeDirection(const mem::CacheGeometry &geom, Addr base, unsigned dataSet,
+              unsigned rtsSet, unsigned rtrSet)
+{
+    return DirectionSets{setFillingAddrs(geom, base, rtsSet),
+                         setFillingAddrs(geom, base, rtrSet),
+                         setFillingAddrs(geom, base, dataSet)};
+}
+
+/** One sender round: announce, await the receiver, transmit the bit. */
+gpu::DeviceTask<void>
+senderRound(gpu::WarpCtx &ctx, const DirectionSets &mine, bool bit,
+            const ProtocolTiming &t)
+{
+    for (unsigned attempt = 0; attempt < t.maxRetries; ++attempt) {
+        co_await primeSet(ctx, mine.rts);
+        if (co_await waitForSignal(ctx, mine.rtr, t))
+            break;
+    }
+    if (bit)
+        co_await primeSet(ctx, mine.data);
+    co_await ctx.sleep(t.roundGuardCycles);
+    co_return;
+}
+
+/** One receiver round: await the sender, acknowledge, sample the bit. */
+gpu::DeviceTask<double>
+receiverRound(gpu::WarpCtx &ctx, const DirectionSets &mine,
+              const ProtocolTiming &t)
+{
+    for (unsigned attempt = 0; attempt < t.maxRetries; ++attempt) {
+        if (co_await waitForSignal(ctx, mine.rts, t))
+            break;
+    }
+    co_await primeSet(ctx, mine.rtr);
+    co_await ctx.sleep(t.settleCycles);
+    double avg = co_await probeSetAvg(ctx, mine.data);
+    co_return avg;
+}
+
+} // namespace
+
+DuplexSyncChannel::DuplexSyncChannel(const gpu::ArchParams &arch_,
+                                     DuplexConfig cfg_)
+    : arch(arch_), cfg(cfg_), timing(ProtocolTiming::forArch(arch_))
+{
+    parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    parties->device().setMitigations(cfg.mitigations);
+}
+
+DuplexSyncChannel::~DuplexSyncChannel() = default;
+
+DuplexResult
+DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
+{
+    const auto &geom = arch.constMem.l1;
+    unsigned sets = static_cast<unsigned>(geom.numSets());
+    GPUCC_ASSERT(sets >= 8, "duplex link needs at least 8 L1 sets");
+    auto &dev = parties->device();
+    std::size_t align = setStride(geom);
+    Addr aBase = dev.allocConst(probeArrayBytes(geom), align);
+    Addr bBase = dev.allocConst(probeArrayBytes(geom), align);
+
+    // Forward (A sends): data 0, RTS sets-2, RTR sets-1.
+    // Reverse (B sends): data 1, RTS sets-4, RTR sets-3.
+    DirectionSets fwdA = makeDirection(geom, aBase, 0, sets - 2, sets - 1);
+    DirectionSets fwdB = makeDirection(geom, bBase, 0, sets - 2, sets - 1);
+    DirectionSets revA = makeDirection(geom, aBase, 1, sets - 4, sets - 3);
+    DirectionSets revB = makeDirection(geom, bBase, 1, sets - 4, sets - 3);
+
+    ProtocolTiming t = timing;
+    BitVec fwdBits = aToB;
+    BitVec revBits = bToA;
+    unsigned fwdRounds = static_cast<unsigned>(fwdBits.size());
+    unsigned revRounds = static_cast<unsigned>(revBits.size());
+
+    // Application A: warp 0 sends forward, warp 1 receives reverse.
+    gpu::KernelLaunch appA;
+    appA.name = "duplex-A";
+    appA.config.gridBlocks = arch.numSms;
+    appA.config.threadsPerBlock = 2 * warpSize;
+    appA.body = [fwdA, revA, fwdBits, fwdRounds, revRounds,
+                 t](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        if (ctx.warpInBlock() == 0) {
+            co_await primeSet(ctx, fwdA.rtr); // poll lines (sender waits)
+            for (unsigned r = 0; r < fwdRounds; ++r)
+                co_await senderRound(ctx, fwdA, fwdBits[r] != 0, t);
+        } else {
+            co_await primeSet(ctx, revA.rts); // poll lines (receiver)
+            co_await primeSet(ctx, revA.data);
+            for (unsigned r = 0; r < revRounds; ++r) {
+                double avg = co_await receiverRound(ctx, revA, t);
+                ctx.out(static_cast<std::uint64_t>(avg * outScale));
+            }
+        }
+        co_return;
+    };
+
+    // Application B: warp 0 receives forward, warp 1 sends reverse.
+    gpu::KernelLaunch appB;
+    appB.name = "duplex-B";
+    appB.config.gridBlocks = arch.numSms;
+    appB.config.threadsPerBlock = 2 * warpSize;
+    appB.body = [fwdB, revB, revBits, fwdRounds, revRounds,
+                 t](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        if (ctx.warpInBlock() == 0) {
+            co_await primeSet(ctx, fwdB.rts);
+            co_await primeSet(ctx, fwdB.data);
+            for (unsigned r = 0; r < fwdRounds; ++r) {
+                double avg = co_await receiverRound(ctx, fwdB, t);
+                ctx.out(static_cast<std::uint64_t>(avg * outScale));
+            }
+        } else {
+            co_await primeSet(ctx, revB.rtr);
+            for (unsigned r = 0; r < revRounds; ++r)
+                co_await senderRound(ctx, revB, revBits[r] != 0, t);
+        }
+        co_return;
+    };
+
+    auto &hostA = parties->trojanHost();
+    auto &hostB = parties->spyHost();
+    auto &instA = hostA.launch(parties->trojanStream(), appA);
+    auto &instB = hostB.launch(parties->spyStream(), appB);
+    hostB.sync(instB);
+    hostA.sync(instA);
+
+    // Decode both directions.
+    auto decode = [&](const gpu::KernelInstance &inst, unsigned warp,
+                      const BitVec &sent) {
+        ChannelResult res;
+        res.sent = sent;
+        res.threshold = t.dataThresholdCycles;
+        unsigned wpb = inst.config().warpsPerBlock();
+        for (const auto &rec : inst.blockRecords()) {
+            if (rec.smId != 0)
+                continue;
+            const auto &vals = inst.out(rec.blockId * wpb + warp);
+            for (std::size_t r = 0; r < vals.size() && r < sent.size();
+                 ++r) {
+                double avg = static_cast<double>(vals[r]) / outScale;
+                res.received.push_back(avg > t.dataThresholdCycles ? 1
+                                                                   : 0);
+                (sent[r] ? res.oneMetric : res.zeroMetric).add(avg);
+            }
+        }
+        res.report = compareBits(res.sent, res.received);
+        return res;
+    };
+
+    DuplexResult out;
+    out.aToB = decode(instB, 0, fwdBits);
+    out.aToB.channelName = "duplex forward (A->B)";
+    out.bToA = decode(instA, 1, revBits);
+    out.bToA.channelName = "duplex reverse (B->A)";
+
+    Tick window = std::max(instA.endTick(), instB.endTick()) -
+                  std::min(instA.startTick(), instB.startTick());
+    finalizeResult(out.aToB, arch, window);
+    finalizeResult(out.bToA, arch, window);
+    out.aggregateBps =
+        arch.secondsFromTicks(window) > 0.0
+            ? static_cast<double>(aToB.size() + bToA.size()) /
+                  arch.secondsFromTicks(window)
+            : 0.0;
+    return out;
+}
+
+} // namespace gpucc::covert

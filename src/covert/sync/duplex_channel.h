@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Full-duplex covert link.
+ *
+ * The Section 7.1 synchronized channel is one-directional. The L1
+ * constant cache has sets to spare, so two independent instances of the
+ * three-set protocol can run concurrently in opposite directions:
+ *
+ *   forward  (A -> B): data set 0, RTS set 6, RTR set 7
+ *   reverse  (B -> A): data set 1, RTS set 4, RTR set 5
+ *
+ * Each direction is driven by a single warp per side (the handshake and
+ * the data transfer are sequential within the protocol, so no block
+ * barrier is needed), which lets both directions progress fully
+ * independently. This is the substrate the related work builds
+ * interactive sessions on (Maurice et al. run ssh over their CPU cache
+ * channel); examples/covert_chat.cpp shows a request/response exchange.
+ */
+
+#ifndef GPUCC_COVERT_SYNC_DUPLEX_CHANNEL_H
+#define GPUCC_COVERT_SYNC_DUPLEX_CHANNEL_H
+
+#include <memory>
+
+#include "covert/channel.h"
+#include "covert/sync/handshake.h"
+
+namespace gpucc::covert
+{
+
+/** Result of one full-duplex exchange. */
+struct DuplexResult
+{
+    ChannelResult aToB; //!< forward direction
+    ChannelResult bToA; //!< reverse direction
+    double aggregateBps = 0.0; //!< both payloads over the common window
+};
+
+/** Configuration of the duplex link. */
+struct DuplexConfig
+{
+    double jitterUs = -1.0;
+    std::uint64_t seed = 1;
+    gpu::MitigationConfig mitigations;
+};
+
+/** Two applications exchanging bits in both directions at once. */
+class DuplexSyncChannel
+{
+  public:
+    DuplexSyncChannel(const gpu::ArchParams &arch, DuplexConfig cfg = {});
+    ~DuplexSyncChannel();
+
+    /**
+     * Run both directions concurrently: application A sends @p aToB
+     * while application B sends @p bToA.
+     */
+    DuplexResult exchange(const BitVec &aToB, const BitVec &bToA);
+
+    /** Harness accessor. */
+    TwoPartyHarness &harness() { return *parties; }
+
+  private:
+    gpu::ArchParams arch;
+    DuplexConfig cfg;
+    ProtocolTiming timing;
+    std::unique_ptr<TwoPartyHarness> parties;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_SYNC_DUPLEX_CHANNEL_H

@@ -1,0 +1,75 @@
+#include "covert/sync/handshake.h"
+
+namespace gpucc::covert
+{
+
+ProtocolTiming
+ProtocolTiming::forArch(const gpu::ArchParams &arch)
+{
+    ProtocolTiming t;
+    const auto &cm = arch.constMem;
+    double hit = static_cast<double>(cm.l1HitCycles);
+    double miss = static_cast<double>(cm.l2HitCycles);
+    t.missThresholdCycles = hit + 0.85 * (miss - hit);
+    t.dataThresholdCycles = 0.5 * (hit + miss);
+    switch (arch.generation) {
+      case gpu::Generation::Fermi:
+        // The Fermi protocol pays more per round (higher constant-cache
+        // latencies and one dispatch unit per scheduler).
+        t.pollBackoffCycles = 700;
+        t.settleCycles = 16600;
+        t.roundGuardCycles = 5400;
+        t.setStaggerCycles = 2900;
+        break;
+      case gpu::Generation::Kepler:
+        t.pollBackoffCycles = 400;
+        t.settleCycles = 8600;
+        t.roundGuardCycles = 3000;
+        t.setStaggerCycles = 1150;
+        break;
+      case gpu::Generation::Maxwell:
+        t.pollBackoffCycles = 400;
+        t.settleCycles = 9000;
+        t.roundGuardCycles = 3200;
+        t.setStaggerCycles = 1200;
+        break;
+    }
+    return t;
+}
+
+gpu::DeviceTask<void>
+primeSet(gpu::WarpCtx &ctx, const std::vector<Addr> &addrs)
+{
+    co_await ctx.constLoadSeq(addrs);
+    co_return;
+}
+
+gpu::DeviceTask<double>
+probeSetAvg(gpu::WarpCtx &ctx, const std::vector<Addr> &addrs)
+{
+    std::uint64_t total = co_await ctx.constLoadSeq(addrs);
+    co_return static_cast<double>(total) /
+        static_cast<double>(addrs.size());
+}
+
+gpu::DeviceTask<bool>
+waitForSignal(gpu::WarpCtx &ctx, const std::vector<Addr> &mine,
+              const ProtocolTiming &timing)
+{
+    for (unsigned poll = 0; poll < timing.maxPolls; ++poll) {
+        double avg = co_await probeSetAvg(ctx, mine);
+        if (avg > timing.missThresholdCycles) {
+            // Re-arm: if the detecting probe interleaved with the
+            // peer's in-flight prime, the peer's tail re-evicted our
+            // refills and the set would spuriously signal again next
+            // round. One confirming pass restores ownership (pure hits
+            // when the detection was clean).
+            co_await probeSetAvg(ctx, mine);
+            co_return true;
+        }
+        co_await ctx.sleep(timing.pollBackoffCycles);
+    }
+    co_return false;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Device-side building blocks of the synchronized covert-channel
+ * protocol (Section 7.1, Figure 11).
+ *
+ * Three cache sets synchronize the two kernels: one carries data, one
+ * carries ready-to-send (trojan -> spy), one carries ready-to-receive
+ * (spy -> trojan). A party signals by filling the pre-agreed set with
+ * its own lines; the other party detects the signal by timing loads of
+ * *its* lines in that set — evictions (misses) mean the peer signaled.
+ * Signals are durable (cache state), and every poll re-installs the
+ * poller's lines, re-arming the set.
+ *
+ * All waits are bounded: on timeout the caller repeats the step before
+ * the wait (the paper's deadlock-recovery rule).
+ */
+
+#ifndef GPUCC_COVERT_SYNC_HANDSHAKE_H
+#define GPUCC_COVERT_SYNC_HANDSHAKE_H
+
+#include <vector>
+
+#include "gpu/arch_params.h"
+#include "gpu/device_task.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+/** Tunable timing of the synchronized protocol. */
+struct ProtocolTiming
+{
+    /**
+     * Signal-detection threshold (per-access cycles). Set close to the
+     * all-ways-missing latency: a poll that interleaves with an
+     * in-flight prime reads a *partial* eviction, and accepting those
+     * leaves residue in the set that fires a spurious detection one
+     * round later, permanently skewing the two parties. Only complete
+     * evictions count; a partial read is simply re-polled.
+     */
+    double missThresholdCycles = 97.0;
+    /** Data-bit decode threshold (midpoint of hit/miss populations);
+     *  the settle interval guarantees the data prime never interleaves
+     *  with the probe, so the midpoint is safe and more noise-robust. */
+    double dataThresholdCycles = 76.0;
+    unsigned maxPolls = 48;       //!< bounded wait (timeout -> resend)
+    unsigned maxRetries = 3;      //!< resend attempts per handshake
+    Cycle pollBackoffCycles = 400; //!< idle time between polls
+    Cycle settleCycles = 6600;    //!< RTR -> data-probe guard interval
+    Cycle roundGuardCycles = 2400; //!< end-of-round pacing
+    /**
+     * Per-data-set serialization in the multi-bit channel. The paper's
+     * multi-bit variant sends one bit per cache set from different
+     * threads of the same warp; divergent constant-memory addresses
+     * within a warp are replayed serially by the constant cache, which
+     * is why the 6-set channel yields 3.8x rather than 6x. Modeled as a
+     * stagger between consecutive data sets' prime/probe windows.
+     */
+    Cycle setStaggerCycles = 1100;
+
+    /** Defaults derived from an architecture's cache latencies and the
+     *  per-generation protocol costs. */
+    static ProtocolTiming forArch(const gpu::ArchParams &arch);
+};
+
+/** Fill a set with the caller's lines (send a durable signal). */
+gpu::DeviceTask<void> primeSet(gpu::WarpCtx &ctx,
+                               const std::vector<Addr> &addrs);
+
+/**
+ * Time one pass over the caller's lines in a set.
+ * @return average per-access latency in cycles; also re-installs the
+ *         lines, re-arming the set for the next signal.
+ */
+gpu::DeviceTask<double> probeSetAvg(gpu::WarpCtx &ctx,
+                                    const std::vector<Addr> &addrs);
+
+/**
+ * Poll the caller's lines until an eviction shows up.
+ * @return true when the peer's signal was detected, false on timeout.
+ */
+gpu::DeviceTask<bool> waitForSignal(gpu::WarpCtx &ctx,
+                                    const std::vector<Addr> &mine,
+                                    const ProtocolTiming &timing);
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_SYNC_HANDSHAKE_H

@@ -1,0 +1,238 @@
+#include "covert/sync/sync_channel.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "gpu/warp.h"
+
+namespace gpucc::covert
+{
+
+namespace
+{
+
+/** Fixed-point scale for latencies reported through out(). */
+constexpr double outScale = 256.0;
+
+/** Per-party, per-set line addresses. */
+struct SetPlan
+{
+    std::vector<std::vector<Addr>> data; //!< [m] -> lines of data set m
+    std::vector<Addr> rts;               //!< ready-to-send set lines
+    std::vector<Addr> rtr;               //!< ready-to-receive set lines
+};
+
+SetPlan
+makePlan(const mem::CacheGeometry &geom, Addr base, unsigned dataSets,
+         unsigned firstDataSet)
+{
+    SetPlan p;
+    unsigned sets = static_cast<unsigned>(geom.numSets());
+    GPUCC_ASSERT(dataSets + 2 <= sets,
+                 "L1 has %u sets; cannot carry %u data bits + 2 signals",
+                 sets, dataSets);
+    GPUCC_ASSERT(firstDataSet + dataSets <= sets - 2,
+                 "data sets [%u, %u) collide with the signalling sets",
+                 firstDataSet, firstDataSet + dataSets);
+    for (unsigned m = 0; m < dataSets; ++m)
+        p.data.push_back(setFillingAddrs(geom, base, firstDataSet + m));
+    p.rts = setFillingAddrs(geom, base, sets - 2);
+    p.rtr = setFillingAddrs(geom, base, sets - 1);
+    return p;
+}
+
+} // namespace
+
+SyncL1Channel::SyncL1Channel(const gpu::ArchParams &arch_,
+                             SyncChannelConfig cfg_)
+    : arch(arch_), cfg(cfg_)
+{
+    timing = cfg.useArchTiming ? ProtocolTiming::forArch(arch) : cfg.timing;
+    parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    parties->device().setMitigations(cfg.mitigations);
+}
+
+SyncL1Channel::~SyncL1Channel() = default;
+
+unsigned
+SyncL1Channel::bitsPerRound() const
+{
+    unsigned sms = cfg.allSms ? arch.numSms : 1;
+    return sms * cfg.dataSetsPerSm;
+}
+
+ChannelResult
+SyncL1Channel::transmit(const BitVec &message)
+{
+    const auto &geom = arch.constMem.l1;
+    auto &dev = parties->device();
+    unsigned M = cfg.dataSetsPerSm;
+    unsigned participants = cfg.allSms ? arch.numSms : 1;
+    unsigned perRound = bitsPerRound();
+    unsigned rounds =
+        (static_cast<unsigned>(message.size()) + perRound - 1) / perRound;
+
+    std::size_t align = setStride(geom);
+    SetPlan trojanPlan = makePlan(
+        geom, dev.allocConst(probeArrayBytes(geom), align), M,
+        cfg.firstDataSet);
+    SetPlan spyPlan = makePlan(
+        geom, dev.allocConst(probeArrayBytes(geom), align), M,
+        cfg.firstDataSet);
+
+    ProtocolTiming t = timing;
+    BitVec payload = message;
+    payload.resize(static_cast<std::size_t>(rounds) * perRound, 0);
+
+    // ---- Trojan kernel -------------------------------------------------
+    gpu::KernelLaunch trojanK;
+    trojanK.name = "sync-trojan";
+    trojanK.config.gridBlocks = arch.numSms;
+    trojanK.config.threadsPerBlock = (M + 1) * warpSize;
+    if (exclusive &&
+        arch.limits.smemBytes >= 2 * arch.limits.smemPerBlockBytes) {
+        // Maxwell-style: both parties can claim a full per-block
+        // allocation and still co-locate.
+        trojanK.config.smemBytesPerBlock = arch.limits.smemPerBlockBytes;
+    }
+    bool allSms = cfg.allSms;
+    trojanK.body = [trojanPlan, payload, rounds, M, participants, t,
+                    allSms](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        unsigned smSlot = allSms ? ctx.smid() : 0;
+        if (!allSms && ctx.smid() != 0)
+            co_return; // only the SM-0 pair participates
+        unsigned w = ctx.warpInBlock();
+
+        // Warm-up: a party pre-loads only the lines it will *poll* —
+        // priming a set it signals on would send a spurious signal and
+        // permanently skew the round alignment.
+        if (w == 0)
+            co_await primeSet(ctx, trojanPlan.rtr);
+        co_await ctx.syncthreads();
+        co_await ctx.sleep(t.settleCycles);
+
+        for (unsigned r = 0; r < rounds; ++r) {
+            if (w == 0) {
+                // Handshake: announce, then wait for the spy.
+                for (unsigned attempt = 0; attempt < t.maxRetries;
+                     ++attempt) {
+                    co_await primeSet(ctx, trojanPlan.rts);
+                    bool ok =
+                        co_await waitForSignal(ctx, trojanPlan.rtr, t);
+                    if (ok)
+                        break;
+                }
+            }
+            co_await ctx.syncthreads();
+            if (w != 0) {
+                // Divergent constant accesses replay serially: data sets
+                // are handled with a per-set stagger (see ProtocolTiming).
+                if (w > 1)
+                    co_await ctx.sleep((w - 1) * t.setStaggerCycles);
+                std::size_t idx = std::size_t(r) * (participants * M) +
+                                  std::size_t(smSlot) * M + (w - 1);
+                if (payload[idx])
+                    co_await primeSet(ctx, trojanPlan.data[w - 1]);
+            }
+            co_await ctx.syncthreads();
+            co_await ctx.sleep(t.roundGuardCycles);
+        }
+        // Linger until the spy's final settle+probe completes: if the
+        // trojan's block retired first, the leftover scheduler would
+        // admit a queued interferer onto this SM mid-probe and corrupt
+        // the last round (the exclusive co-location seal must outlive
+        // the receiver, not the sender).
+        co_await ctx.sleep(t.settleCycles + 6 * t.setStaggerCycles + 4000);
+        co_return;
+    };
+
+    // ---- Spy kernel ----------------------------------------------------
+    gpu::KernelLaunch spyK;
+    spyK.name = "sync-spy";
+    spyK.config.gridBlocks = arch.numSms;
+    spyK.config.threadsPerBlock = (M + 1) * warpSize;
+    if (exclusive)
+        spyK.config.smemBytesPerBlock = arch.limits.smemPerBlockBytes;
+    spyK.body = [spyPlan, rounds, M, t,
+                 allSms](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (!allSms && ctx.smid() != 0)
+            co_return;
+        unsigned w = ctx.warpInBlock();
+
+        // Warm the polled sets only: RTS for the handshake warp, the
+        // data sets for the receiver warps.
+        if (w == 0) {
+            co_await primeSet(ctx, spyPlan.rts);
+        } else {
+            co_await primeSet(ctx, spyPlan.data[w - 1]);
+        }
+        co_await ctx.syncthreads();
+
+        for (unsigned r = 0; r < rounds; ++r) {
+            if (w == 0) {
+                // Bounded wait; on timeout proceed anyway so both sides
+                // stay aligned on round count.
+                for (unsigned attempt = 0; attempt < t.maxRetries;
+                     ++attempt) {
+                    bool ok = co_await waitForSignal(ctx, spyPlan.rts, t);
+                    if (ok)
+                        break;
+                }
+                co_await primeSet(ctx, spyPlan.rtr);
+            }
+            co_await ctx.syncthreads();
+            co_await ctx.sleep(t.settleCycles);
+            if (w != 0) {
+                if (w > 1)
+                    co_await ctx.sleep((w - 1) * t.setStaggerCycles);
+                double avg = co_await probeSetAvg(ctx, spyPlan.data[w - 1]);
+                ctx.out(static_cast<std::uint64_t>(avg * outScale));
+            }
+            co_await ctx.syncthreads();
+        }
+        co_return;
+    };
+
+    // ---- Run -------------------------------------------------------------
+    auto &tHost = parties->trojanHost();
+    auto &sHost = parties->spyHost();
+    auto &trojan = tHost.launch(parties->trojanStream(), trojanK);
+    auto &spy = sHost.launch(parties->spyStream(), spyK);
+    if (cfg.afterLaunch)
+        cfg.afterLaunch(*parties);
+    sHost.sync(spy);
+    tHost.sync(trojan);
+
+    // ---- Decode ----------------------------------------------------------
+    ChannelResult res;
+    res.channelName = strfmt("sync L1 (M=%u%s)", M, allSms ? ", all SMs" : "");
+    res.sent = message;
+    res.threshold = t.dataThresholdCycles;
+    res.received.assign(payload.size(), 0);
+
+    unsigned wpb = spy.config().warpsPerBlock();
+    for (const auto &rec : spy.blockRecords()) {
+        if (!allSms && rec.smId != 0)
+            continue;
+        unsigned smSlot = allSms ? rec.smId : 0;
+        for (unsigned m = 0; m < M; ++m) {
+            const auto &vals = spy.out(rec.blockId * wpb + (m + 1));
+            for (unsigned r = 0; r < rounds && r < vals.size(); ++r) {
+                double avg = static_cast<double>(vals[r]) / outScale;
+                std::size_t idx = std::size_t(r) * (participants * M) +
+                                  std::size_t(smSlot) * M + m;
+                bool bit = avg > t.dataThresholdCycles;
+                res.received[idx] = bit ? 1 : 0;
+                (payload[idx] ? res.oneMetric : res.zeroMetric).add(avg);
+            }
+        }
+    }
+    res.received.resize(message.size());
+    res.report = compareBits(res.sent, res.received);
+    finalizeResult(res, arch, spy.endTick() - spy.startTick());
+    return res;
+}
+
+} // namespace gpucc::covert

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synchronized persistent-kernel L1 covert channel (Section 7.1,
+ * Table 2).
+ *
+ * Both kernels are launched once and communicate continuously through
+ * the Figure 11 three-way handshake, removing the per-bit kernel launch
+ * overhead of the baseline channel. Three configurations reproduce the
+ * Table 2 columns:
+ *
+ *  - dataSetsPerSm = 1            -> "Sync."
+ *  - dataSetsPerSm = 6            -> "Sync. and multi-bits" (SIMT: one
+ *    warp per data set in parallel; the two remaining sets carry the
+ *    handshake signals)
+ *  - allSms = true                -> "Sync., multi-bits and parallel"
+ *    (an independent instance of the channel on every SM)
+ */
+
+#ifndef GPUCC_COVERT_SYNC_SYNC_CHANNEL_H
+#define GPUCC_COVERT_SYNC_SYNC_CHANNEL_H
+
+#include <memory>
+
+#include "covert/channel.h"
+#include "covert/sync/handshake.h"
+
+namespace gpucc::covert
+{
+
+/** Configuration of the synchronized L1 channel. */
+struct SyncChannelConfig
+{
+    unsigned dataSetsPerSm = 1; //!< bits carried per SM per round
+    /** First L1 set carrying data (agile channels relocate the data
+     *  sets away from sets a third workload is hammering, Section 8's
+     *  "dynamically identifying idle resources"). */
+    unsigned firstDataSet = 0;
+    bool allSms = false;        //!< one channel instance per SM
+    double jitterUs = -1.0;     //!< launch jitter (launches happen once)
+    std::uint64_t seed = 1;
+    /** Timing knobs; zero-initialized fields fall back to per-arch
+     *  defaults. */
+    ProtocolTiming timing;
+    bool useArchTiming = true;
+    /** Section 9 defenses active on the device (ablation studies). */
+    gpu::MitigationConfig mitigations;
+    /**
+     * Invoked right after the trojan and spy kernels are launched,
+     * before the device runs to completion. The Section 8 experiments
+     * use it to inject helper launches and interfering workloads that
+     * arrive while the channel is running.
+     */
+    std::function<void(TwoPartyHarness &)> afterLaunch;
+};
+
+/** Persistent-kernel synchronized channel on the L1 constant cache. */
+class SyncL1Channel
+{
+  public:
+    SyncL1Channel(const gpu::ArchParams &arch, SyncChannelConfig cfg = {});
+    ~SyncL1Channel();
+
+    /** Transmit @p message; both kernels launch exactly once. */
+    ChannelResult transmit(const BitVec &message);
+
+    /** Bits moved per protocol round (dataSets * participating SMs). */
+    unsigned bitsPerRound() const;
+
+    /** Harness accessor (the Section 8 experiments add interferers). */
+    TwoPartyHarness &harness() { return *parties; }
+
+    /**
+     * Request exclusive co-location (Section 8): the spy claims the full
+     * per-block shared memory; on architectures where that cannot
+     * saturate the SM, helper launches are added by the caller.
+     */
+    void enableExclusiveColocation(bool on) { exclusive = on; }
+
+    /** Decode threshold used for the data sets (cycles per access). */
+    double dataThreshold() const { return timing.dataThresholdCycles; }
+
+  private:
+    gpu::ArchParams arch;
+    SyncChannelConfig cfg;
+    ProtocolTiming timing;
+    std::unique_ptr<TwoPartyHarness> parties;
+    bool exclusive = false;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_SYNC_SYNC_CHANNEL_H

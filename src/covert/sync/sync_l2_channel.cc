@@ -1,0 +1,136 @@
+#include "covert/sync/sync_l2_channel.h"
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+namespace
+{
+constexpr double outScale = 256.0;
+}
+
+ProtocolTiming
+SyncL2Channel::l2TimingFor(const gpu::ArchParams &arch)
+{
+    // Same protocol, L2-level symbols: a set the peer filled reads at
+    // device-memory latency instead of the L2 hit latency. (The L2-set
+    // strides alias into a single L1 set and thrash it, so every access
+    // structurally bypasses the L1 — no L1 masking to worry about.)
+    ProtocolTiming t;
+    double hit = static_cast<double>(arch.constMem.l2HitCycles);
+    double miss = static_cast<double>(arch.constMem.memCycles);
+    t.missThresholdCycles = hit + 0.85 * (miss - hit);
+    t.dataThresholdCycles = 0.5 * (hit + miss);
+    t.maxPolls = 48;
+    t.maxRetries = 3;
+    t.pollBackoffCycles = 700;
+    t.settleCycles = 7000;
+    t.roundGuardCycles = 3000;
+    return t;
+}
+
+SyncL2Channel::SyncL2Channel(const gpu::ArchParams &arch_,
+                             SyncL2Config cfg_)
+    : arch(arch_), cfg(cfg_), timing(l2TimingFor(arch_))
+{
+    parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    parties->device().setMitigations(cfg.mitigations);
+}
+
+SyncL2Channel::~SyncL2Channel() = default;
+
+ChannelResult
+SyncL2Channel::transmit(const BitVec &message)
+{
+    const auto &geom = arch.constMem.l2;
+    unsigned sets = static_cast<unsigned>(geom.numSets());
+    auto &dev = parties->device();
+    std::size_t align = setStride(geom);
+    Addr tBase = dev.allocConst(probeArrayBytes(geom), align);
+    Addr sBase = dev.allocConst(probeArrayBytes(geom), align);
+
+    auto dataT = setFillingAddrs(geom, tBase, 0);
+    auto rtsT = setFillingAddrs(geom, tBase, sets - 2);
+    auto rtrT = setFillingAddrs(geom, tBase, sets - 1);
+    auto dataS = setFillingAddrs(geom, sBase, 0);
+    auto rtsS = setFillingAddrs(geom, sBase, sets - 2);
+    auto rtrS = setFillingAddrs(geom, sBase, sets - 1);
+
+    ProtocolTiming t = timing;
+    BitVec payload = message;
+    unsigned rounds = static_cast<unsigned>(payload.size());
+
+    // Single-warp protocol drivers; one block each, so the leftover
+    // policy puts the two kernels on different SMs (the inter-SM
+    // scenario this channel exists for).
+    gpu::KernelLaunch trojanK;
+    trojanK.name = "sync-l2-trojan";
+    trojanK.config.gridBlocks = 1;
+    trojanK.config.threadsPerBlock = warpSize;
+    trojanK.body = [rtsT, rtrT, dataT, payload, rounds,
+                    t](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        co_await primeSet(ctx, rtrT);
+        co_await ctx.sleep(t.settleCycles);
+        for (unsigned r = 0; r < rounds; ++r) {
+            for (unsigned attempt = 0; attempt < t.maxRetries;
+                 ++attempt) {
+                co_await primeSet(ctx, rtsT);
+                if (co_await waitForSignal(ctx, rtrT, t))
+                    break;
+            }
+            if (payload[r])
+                co_await primeSet(ctx, dataT);
+            co_await ctx.sleep(t.roundGuardCycles);
+        }
+        co_return;
+    };
+
+    gpu::KernelLaunch spyK;
+    spyK.name = "sync-l2-spy";
+    spyK.config.gridBlocks = 1;
+    spyK.config.threadsPerBlock = warpSize;
+    spyK.body = [rtsS, rtrS, dataS, rounds,
+                 t](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        co_await primeSet(ctx, rtsS);
+        co_await primeSet(ctx, dataS);
+        for (unsigned r = 0; r < rounds; ++r) {
+            for (unsigned attempt = 0; attempt < t.maxRetries;
+                 ++attempt) {
+                if (co_await waitForSignal(ctx, rtsS, t))
+                    break;
+            }
+            co_await primeSet(ctx, rtrS);
+            co_await ctx.sleep(t.settleCycles);
+            double avg = co_await probeSetAvg(ctx, dataS);
+            ctx.out(static_cast<std::uint64_t>(avg * outScale));
+        }
+        co_return;
+    };
+
+    auto &tHost = parties->trojanHost();
+    auto &sHost = parties->spyHost();
+    auto &trojan = tHost.launch(parties->trojanStream(), trojanK);
+    auto &spy = sHost.launch(parties->spyStream(), spyK);
+    sHost.sync(spy);
+    tHost.sync(trojan);
+
+    ChannelResult res;
+    res.channelName = "sync L2 (inter-SM)";
+    res.sent = message;
+    res.threshold = t.dataThresholdCycles;
+    const auto &vals = spy.out(0);
+    for (std::size_t r = 0; r < vals.size() && r < payload.size(); ++r) {
+        double avg = static_cast<double>(vals[r]) / outScale;
+        res.received.push_back(avg > t.dataThresholdCycles ? 1 : 0);
+        (payload[r] ? res.oneMetric : res.zeroMetric).add(avg);
+    }
+    res.report = compareBits(res.sent, res.received);
+    finalizeResult(res, arch, spy.endTick() - spy.startTick());
+    return res;
+}
+
+} // namespace gpucc::covert

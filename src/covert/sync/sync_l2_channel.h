@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synchronized L2 covert channel (Section 7.1: "We illustrate the
+ * synchronization process for the L1 and L2 covert channels").
+ *
+ * The inter-SM variant of the persistent synchronized channel: trojan
+ * and spy occupy different SMs and communicate entirely through the
+ * device-wide L2 constant cache. Three L2 sets carry the protocol
+ * (data, ready-to-send, ready-to-receive); each side is driven by a
+ * single warp, so no block barrier is involved. Signal detection uses
+ * L2-level latencies: a set the peer filled reads at device-memory
+ * latency instead of the L2 hit latency.
+ */
+
+#ifndef GPUCC_COVERT_SYNC_SYNC_L2_CHANNEL_H
+#define GPUCC_COVERT_SYNC_SYNC_L2_CHANNEL_H
+
+#include <memory>
+
+#include "covert/channel.h"
+#include "covert/sync/handshake.h"
+
+namespace gpucc::covert
+{
+
+/** Configuration of the synchronized L2 channel. */
+struct SyncL2Config
+{
+    double jitterUs = -1.0;
+    std::uint64_t seed = 1;
+    gpu::MitigationConfig mitigations;
+};
+
+/** Persistent-kernel synchronized channel on the shared L2. */
+class SyncL2Channel
+{
+  public:
+    SyncL2Channel(const gpu::ArchParams &arch, SyncL2Config cfg = {});
+    ~SyncL2Channel();
+
+    /** Transmit @p message; both kernels launch exactly once. */
+    ChannelResult transmit(const BitVec &message);
+
+    /** The L2-level protocol timing in use. */
+    const ProtocolTiming &protocolTiming() const { return timing; }
+
+    /** Derive L2-level thresholds/pacing for @p arch. */
+    static ProtocolTiming l2TimingFor(const gpu::ArchParams &arch);
+
+    /** Harness accessor. */
+    TwoPartyHarness &harness() { return *parties; }
+
+  private:
+    gpu::ArchParams arch;
+    SyncL2Config cfg;
+    ProtocolTiming timing;
+    std::unique_ptr<TwoPartyHarness> parties;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_SYNC_SYNC_L2_CHANNEL_H

@@ -1,0 +1,181 @@
+#include "covert/sync/sync_sfu_channel.h"
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "covert/channels/sfu_channel.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert
+{
+
+namespace
+{
+constexpr double outScale = 256.0;
+}
+
+SyncSfuChannel::SyncSfuChannel(const gpu::ArchParams &arch_,
+                               SyncSfuConfig cfg_)
+    : arch(arch_), cfg(cfg_), timing(ProtocolTiming::forArch(arch_))
+{
+    parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
+    parties->setJitterUs(cfg.jitterUs);
+    parties->device().setMitigations(cfg.mitigations);
+}
+
+SyncSfuChannel::~SyncSfuChannel() = default;
+
+ChannelResult
+SyncSfuChannel::transmit(const BitVec &message)
+{
+    const auto &geom = arch.constMem.l1;
+    auto &dev = parties->device();
+    unsigned rounds = static_cast<unsigned>(message.size());
+    unsigned dataWarps = SfuChannel::warpsPerBlock(arch);
+    unsigned sets = static_cast<unsigned>(geom.numSets());
+
+    std::size_t align = setStride(geom);
+    Addr tBase = dev.allocConst(probeArrayBytes(geom), align);
+    Addr sBase = dev.allocConst(probeArrayBytes(geom), align);
+    auto rtsT = setFillingAddrs(geom, tBase, sets - 2);
+    auto rtrT = setFillingAddrs(geom, tBase, sets - 1);
+    auto rtsS = setFillingAddrs(geom, sBase, sets - 2);
+    auto rtrS = setFillingAddrs(geom, sBase, sets - 1);
+
+    ProtocolTiming t = timing;
+    unsigned dataOps = cfg.dataOpsPerBit;
+    BitVec payload = message;
+    // Spy waits this long after sending RTR before measuring (covers
+    // the trojan's RTR-detection poll plus the barrier).
+    Cycle dataSettle = t.settleCycles / 4;
+    // Unlike cache evictions, SFU contention is transient: the trojan
+    // must keep spinning across the spy's settle AND its whole
+    // measurement window.
+    const auto &sinfT = arch.timing(gpu::OpClass::Sinf);
+    double sinfBase = static_cast<double>(sinfT.latencyCycles) +
+                      ticksToCyclesF(sinfT.occTicks);
+    unsigned trojanOps =
+        2 * dataOps +
+        static_cast<unsigned>((dataSettle + 1200) / sinfBase);
+
+    gpu::KernelLaunch trojanK;
+    trojanK.name = "sync-sfu-trojan";
+    trojanK.config.gridBlocks = arch.numSms;
+    trojanK.config.threadsPerBlock = (dataWarps + 1) * warpSize;
+    trojanK.body = [rtsT, rtrT, payload, rounds, t, trojanOps,
+                    dataSettle](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        unsigned w = ctx.warpInBlock();
+        if (w == 0)
+            co_await primeSet(ctx, rtrT);
+        co_await ctx.syncthreads();
+        co_await ctx.sleep(t.settleCycles);
+
+        for (unsigned r = 0; r < rounds; ++r) {
+            if (w == 0) {
+                for (unsigned attempt = 0; attempt < t.maxRetries;
+                     ++attempt) {
+                    co_await primeSet(ctx, rtsT);
+                    if (co_await waitForSignal(ctx, rtrT, t))
+                        break;
+                }
+            }
+            co_await ctx.syncthreads();
+            if (w != 0 && payload[r]) {
+                for (unsigned i = 0; i < trojanOps; ++i)
+                    co_await ctx.op(gpu::OpClass::Sinf);
+            }
+            co_await ctx.syncthreads();
+            co_await ctx.sleep(t.roundGuardCycles / 2 + dataSettle);
+        }
+        // Keep the SM sealed until the spy's final measurement ends
+        // (see the matching comment in sync_channel.cc).
+        co_await ctx.sleep(dataSettle + 4000);
+        co_return;
+    };
+
+    gpu::KernelLaunch spyK;
+    spyK.name = "sync-sfu-spy";
+    spyK.config.gridBlocks = arch.numSms;
+    spyK.config.threadsPerBlock = (dataWarps + 1) * warpSize;
+    spyK.body = [rtsS, rtrS, rounds, t, dataOps,
+                 dataSettle](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        unsigned w = ctx.warpInBlock();
+        if (w == 0)
+            co_await primeSet(ctx, rtsS);
+        co_await ctx.syncthreads();
+
+        for (unsigned r = 0; r < rounds; ++r) {
+            if (w == 0) {
+                for (unsigned attempt = 0; attempt < t.maxRetries;
+                     ++attempt) {
+                    if (co_await waitForSignal(ctx, rtsS, t))
+                        break;
+                }
+                co_await primeSet(ctx, rtrS);
+            }
+            co_await ctx.syncthreads();
+            // Every spy warp waits out the settle, then all run the
+            // measurement window together: warp 1 records, the others
+            // supply the Section 5.2 baseline SFU load for the whole
+            // window (a partial baseline would shift the symbols).
+            co_await ctx.sleep(dataSettle);
+            if (w == 1) {
+                std::uint64_t total = 0;
+                for (unsigned i = 0; i < dataOps; ++i)
+                    total += co_await ctx.op(gpu::OpClass::Sinf);
+                double avg = static_cast<double>(total) / dataOps;
+                ctx.out(static_cast<std::uint64_t>(avg * outScale));
+            } else if (w > 1) {
+                for (unsigned i = 0; i < dataOps; ++i)
+                    co_await ctx.op(gpu::OpClass::Sinf);
+            }
+            co_await ctx.syncthreads();
+        }
+        co_return;
+    };
+
+    auto &tHost = parties->trojanHost();
+    auto &sHost = parties->spyHost();
+    auto &trojan = tHost.launch(parties->trojanStream(), trojanK);
+    auto &spy = sHost.launch(parties->spyStream(), spyK);
+    sHost.sync(spy);
+    tHost.sync(trojan);
+
+    // Decode against the Section 5.2 symbol midpoint.
+    const auto &ot = arch.timing(gpu::OpClass::Sinf);
+    double base = static_cast<double>(ot.latencyCycles) +
+                  ticksToCyclesF(ot.occTicks);
+    // Contended symbol: roughly (spy+trojan warps per scheduler) x occ.
+    double perSched = static_cast<double>(2 * SfuChannel::warpsPerBlock(
+                                              arch)) /
+                      arch.schedulersPerSm;
+    double contended =
+        std::max(base + 2.0, perSched * ticksToCyclesF(ot.occTicks));
+    double threshold = 0.5 * (base + contended);
+
+    ChannelResult res;
+    res.channelName = "sync SFU";
+    res.sent = message;
+    res.threshold = threshold;
+    res.received.assign(message.size(), 0);
+    unsigned wpb = spy.config().warpsPerBlock();
+    for (const auto &rec : spy.blockRecords()) {
+        if (rec.smId != 0)
+            continue;
+        const auto &vals = spy.out(rec.blockId * wpb + 1);
+        for (unsigned r = 0; r < rounds && r < vals.size(); ++r) {
+            double avg = static_cast<double>(vals[r]) / outScale;
+            bool bit = avg > threshold;
+            res.received[r] = bit ? 1 : 0;
+            (message[r] ? res.oneMetric : res.zeroMetric).add(avg);
+        }
+    }
+    res.report = compareBits(res.sent, res.received);
+    finalizeResult(res, arch, spy.endTick() - spy.startTick());
+    return res;
+}
+
+} // namespace gpucc::covert

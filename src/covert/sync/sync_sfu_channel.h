@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synchronized SFU channel (the Section 7.1 suggestion "it is possible
+ * to implement synchronization for other channels as well", realized).
+ *
+ * Persistent kernels communicate one bit per protocol round: the
+ * Figure 11 three-way handshake runs over two L1 constant-cache sets
+ * exactly as in the synchronized L1 channel, but the data phase carries
+ * the bit through SFU issue-port contention — the trojan's data warps
+ * spin __sinf during the agreed window iff the bit is 1, and the spy's
+ * data warps measure their own __sinf latency. Removing the per-bit
+ * kernel launches multiplies the Section 5.2 baseline severalfold.
+ */
+
+#ifndef GPUCC_COVERT_SYNC_SYNC_SFU_CHANNEL_H
+#define GPUCC_COVERT_SYNC_SYNC_SFU_CHANNEL_H
+
+#include <memory>
+
+#include "covert/channel.h"
+#include "covert/sync/handshake.h"
+
+namespace gpucc::covert
+{
+
+/** Configuration of the synchronized SFU channel. */
+struct SyncSfuConfig
+{
+    unsigned dataOpsPerBit = 64; //!< spy __sinf samples per bit
+    double jitterUs = -1.0;
+    std::uint64_t seed = 1;
+    gpu::MitigationConfig mitigations;
+};
+
+/** Persistent-kernel synchronized channel on the SFU issue ports. */
+class SyncSfuChannel
+{
+  public:
+    SyncSfuChannel(const gpu::ArchParams &arch, SyncSfuConfig cfg = {});
+    ~SyncSfuChannel();
+
+    /** Transmit @p message; both kernels launch exactly once. */
+    ChannelResult transmit(const BitVec &message);
+
+    /** Harness accessor. */
+    TwoPartyHarness &harness() { return *parties; }
+
+  private:
+    gpu::ArchParams arch;
+    SyncSfuConfig cfg;
+    ProtocolTiming timing;
+    std::unique_ptr<TwoPartyHarness> parties;
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_SYNC_SYNC_SFU_CHANNEL_H

@@ -1,0 +1,265 @@
+#include "gpu/arch_params.h"
+
+#include <vector>
+
+#include "common/log.h"
+
+namespace gpucc::gpu
+{
+
+const char *
+generationName(Generation g)
+{
+    switch (g) {
+      case Generation::Fermi:
+        return "Fermi";
+      case Generation::Kepler:
+        return "Kepler";
+      case Generation::Maxwell:
+        return "Maxwell";
+    }
+    return "?";
+}
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::FAdd:
+        return "Add";
+      case OpClass::FMul:
+        return "Mul";
+      case OpClass::Sinf:
+        return "__sinf";
+      case OpClass::Sqrt:
+        return "sqrt";
+      case OpClass::DAdd:
+        return "Add (double)";
+      case OpClass::DMul:
+        return "Mul (double)";
+      case OpClass::IAdd:
+        return "iadd";
+    }
+    return "?";
+}
+
+const OpTiming &
+ArchParams::timing(OpClass op) const
+{
+    auto it = ops.find(op);
+    GPUCC_ASSERT(it != ops.end(), "%s: no timing for op %s", name.c_str(),
+                 opClassName(op));
+    if (!it->second.supported) {
+        GPUCC_FATAL("%s does not support %s (no functional units)",
+                    name.c_str(), opClassName(op));
+    }
+    return it->second;
+}
+
+bool
+ArchParams::supports(OpClass op) const
+{
+    auto it = ops.find(op);
+    return it != ops.end() && it->second.supported;
+}
+
+unsigned
+ArchParams::fuCount(FuType fu) const
+{
+    switch (fu) {
+      case FuType::SP:
+        return spUnits;
+      case FuType::DPU:
+        return dpUnits;
+      case FuType::SFU:
+        return sfuUnits;
+      case FuType::LDST:
+        return ldstUnits;
+    }
+    return 0;
+}
+
+namespace
+{
+
+/** Occupancy (ticks) of a full-warp instruction on a per-scheduler port
+ *  that fronts @p unitsPerScheduler units, optionally scaled. */
+Tick
+warpOcc(double unitsPerScheduler, double scale = 1.0)
+{
+    double cycles = (static_cast<double>(warpSize) / unitsPerScheduler) *
+                    scale;
+    return cyclesToTicks(cycles);
+}
+
+} // namespace
+
+ArchParams
+fermiC2075()
+{
+    ArchParams a;
+    a.name = "Tesla C2075";
+    a.generation = Generation::Fermi;
+    a.numSms = 14;
+    a.clockGHz = 1.15;
+    a.schedulersPerSm = 2;
+    a.dispatchUnitsPerScheduler = 1;
+    a.spUnits = 32;
+    a.dpUnits = 16;
+    a.sfuUnits = 4;
+    a.ldstUnits = 16;
+
+    a.limits.maxThreads = 1536;
+    a.limits.maxBlocks = 8;
+    a.limits.maxWarps = 48;
+    a.limits.numRegs = 32768;
+    a.limits.smemBytes = 48 * 1024;
+    a.limits.smemPerBlockBytes = 48 * 1024;
+
+    a.constMem.l1 = {4096, 64, 4};   // 4 KB, 64 B lines, 4-way (16 sets)
+    a.constMem.l2 = {32768, 256, 8}; // 32 KB, 256 B lines, 8-way (16 sets)
+    a.constMem.l1HitCycles = 56;
+    a.constMem.l2HitCycles = 130;
+    a.constMem.memCycles = 300;
+
+    a.gmem.numPartitions = 6;
+    a.gmem.atomicOccCycles = 9;      // pre-Kepler slow RMW atomics
+    a.gmem.atomicTxnOverheadCycles = 20;
+    a.gmem.atomicLatencyCycles = 360;
+    a.gmem.loadLatencyCycles = 450;
+    a.gmem.txnOccCycles = 4;
+
+    a.host.launchOverheadUs = 5.0;
+    a.host.launchLatencyUs = 9.0;
+    a.host.syncOverheadUs = 4.0;
+
+    // Issue occupancies per scheduler-level port: Fermi has 2 schedulers
+    // soft-sharing the SM's units, so each scheduler fronts half of them.
+    const double spPerSched = 32.0 / 2.0;
+    const double dpPerSched = 16.0 / 2.0;
+    const double sfuPerSched = 4.0 / 2.0;
+    a.ops[OpClass::FAdd] = {FuType::SP, 14, warpOcc(spPerSched), true};
+    a.ops[OpClass::FMul] = {FuType::SP, 14, warpOcc(spPerSched), true};
+    a.ops[OpClass::IAdd] = {FuType::SP, 14, warpOcc(spPerSched), true};
+    a.ops[OpClass::Sinf] = {FuType::SFU, 25, warpOcc(sfuPerSched), true};
+    // sqrt is a multi-pass SFU sequence: higher latency and ~2.3x the
+    // port occupancy of a single SFU pass.
+    a.ops[OpClass::Sqrt] = {FuType::SFU, 113, warpOcc(sfuPerSched, 2.3),
+                            true};
+    a.ops[OpClass::DAdd] = {FuType::DPU, 16, warpOcc(dpPerSched), true};
+    a.ops[OpClass::DMul] = {FuType::DPU, 16, warpOcc(dpPerSched), true};
+    return a;
+}
+
+ArchParams
+keplerK40c()
+{
+    ArchParams a;
+    a.name = "Tesla K40C";
+    a.generation = Generation::Kepler;
+    a.numSms = 15;
+    a.clockGHz = 0.745;
+    a.schedulersPerSm = 4;
+    a.dispatchUnitsPerScheduler = 2;
+    a.spUnits = 192;
+    a.dpUnits = 64;
+    a.sfuUnits = 32;
+    a.ldstUnits = 32;
+
+    a.limits.maxThreads = 2048;
+    a.limits.maxBlocks = 16;
+    a.limits.maxWarps = 64;
+    a.limits.numRegs = 65536;
+    a.limits.smemBytes = 48 * 1024;
+    a.limits.smemPerBlockBytes = 48 * 1024;
+
+    a.constMem.l1 = {2048, 64, 4};   // 2 KB, 64 B lines, 4-way (8 sets)
+    a.constMem.l2 = {32768, 256, 8};
+    a.constMem.l1HitCycles = 46;
+    a.constMem.l2HitCycles = 106;
+    a.constMem.memCycles = 248;
+
+    a.gmem.numPartitions = 6;
+    a.gmem.atomicOccCycles = 1;      // L2-resident atomics, 1 op/clk/line
+    a.gmem.atomicTxnOverheadCycles = 8;
+    a.gmem.atomicLatencyCycles = 180;
+    a.gmem.loadLatencyCycles = 350;
+    a.gmem.txnOccCycles = 2;
+
+    a.host.launchOverheadUs = 3.2;
+    a.host.launchLatencyUs = 5.0;
+    a.host.syncOverheadUs = 2.0;
+
+    const double spPerSched = 192.0 / 4.0;
+    const double dpPerSched = 64.0 / 4.0;
+    const double sfuPerSched = 32.0 / 4.0;
+    a.ops[OpClass::FAdd] = {FuType::SP, 5, warpOcc(spPerSched), true};
+    a.ops[OpClass::FMul] = {FuType::SP, 5, warpOcc(spPerSched), true};
+    a.ops[OpClass::IAdd] = {FuType::SP, 5, warpOcc(spPerSched), true};
+    a.ops[OpClass::Sinf] = {FuType::SFU, 14, warpOcc(sfuPerSched), true};
+    a.ops[OpClass::Sqrt] = {FuType::SFU, 128, warpOcc(sfuPerSched, 5.5),
+                            true};
+    a.ops[OpClass::DAdd] = {FuType::DPU, 6, warpOcc(dpPerSched, 1.2), true};
+    a.ops[OpClass::DMul] = {FuType::DPU, 6, warpOcc(dpPerSched, 1.2), true};
+    return a;
+}
+
+ArchParams
+maxwellM4000()
+{
+    ArchParams a;
+    a.name = "Quadro M4000";
+    a.generation = Generation::Maxwell;
+    a.numSms = 13;
+    a.clockGHz = 0.772;
+    a.schedulersPerSm = 4; // one per SM quadrant with dedicated units
+    a.dispatchUnitsPerScheduler = 2;
+    a.spUnits = 128;
+    a.dpUnits = 0;
+    a.sfuUnits = 32;
+    a.ldstUnits = 32;
+
+    a.limits.maxThreads = 2048;
+    a.limits.maxBlocks = 32;
+    a.limits.maxWarps = 64;
+    a.limits.numRegs = 65536;
+    a.limits.smemBytes = 96 * 1024;        // twice the per-block cap
+    a.limits.smemPerBlockBytes = 48 * 1024;
+
+    a.constMem.l1 = {2048, 64, 4};
+    a.constMem.l2 = {32768, 256, 8};
+    a.constMem.l1HitCycles = 44;
+    a.constMem.l2HitCycles = 100;
+    a.constMem.memCycles = 240;
+
+    a.gmem.numPartitions = 4;
+    a.gmem.atomicOccCycles = 1;
+    a.gmem.atomicTxnOverheadCycles = 8;
+    a.gmem.atomicLatencyCycles = 170;
+    a.gmem.loadLatencyCycles = 330;
+    a.gmem.txnOccCycles = 2;
+
+    a.host.launchOverheadUs = 3.2;
+    a.host.launchLatencyUs = 5.0;
+    a.host.syncOverheadUs = 2.0;
+
+    const double spPerQuad = 128.0 / 4.0;
+    const double sfuPerQuad = 32.0 / 4.0;
+    a.ops[OpClass::FAdd] = {FuType::SP, 5, warpOcc(spPerQuad, 1.4), true};
+    a.ops[OpClass::FMul] = {FuType::SP, 5, warpOcc(spPerQuad, 1.4), true};
+    a.ops[OpClass::IAdd] = {FuType::SP, 5, warpOcc(spPerQuad), true};
+    a.ops[OpClass::Sinf] = {FuType::SFU, 11, warpOcc(sfuPerQuad), true};
+    a.ops[OpClass::Sqrt] = {FuType::SFU, 110, warpOcc(sfuPerQuad, 6.3),
+                            true};
+    a.ops[OpClass::DAdd] = {FuType::DPU, 0, 0, false};
+    a.ops[OpClass::DMul] = {FuType::DPU, 0, 0, false};
+    return a;
+}
+
+std::vector<ArchParams>
+allArchitectures()
+{
+    return {fermiC2075(), keplerK40c(), maxwellM4000()};
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Per-architecture parameter bundles for the three GPUs the paper
+ * evaluates: Tesla C2075 (Fermi), Tesla K40C (Kepler), Quadro M4000
+ * (Maxwell). The functional-unit counts reproduce Table 1; latencies
+ * and issue occupancies are calibrated so the characterization curves
+ * (Figures 6 and 7) and the channel latencies quoted in Sections 4-5
+ * match the paper.
+ */
+
+#ifndef GPUCC_GPU_ARCH_PARAMS_H
+#define GPUCC_GPU_ARCH_PARAMS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/const_memory.h"
+#include "mem/global_memory.h"
+
+namespace gpucc::gpu
+{
+
+/** GPU microarchitecture generation. */
+enum class Generation
+{
+    Fermi,
+    Kepler,
+    Maxwell,
+};
+
+/** @return human-readable generation name. */
+const char *generationName(Generation g);
+
+/** Classes of functional units inside an SM (Table 1 columns). */
+enum class FuType
+{
+    SP,   //!< single-precision CUDA cores
+    DPU,  //!< double-precision units
+    SFU,  //!< special function units
+    LDST, //!< load/store units
+};
+
+/** Warp-instruction classes the device programs can issue. */
+enum class OpClass
+{
+    FAdd, //!< single-precision add
+    FMul, //!< single-precision multiply
+    Sinf, //!< __sinf intrinsic (SFU)
+    Sqrt, //!< sqrt (SFU sequence)
+    DAdd, //!< double-precision add
+    DMul, //!< double-precision multiply
+    IAdd, //!< integer ALU op (loop/branch overhead)
+};
+
+/** @return printable op-class name. */
+const char *opClassName(OpClass op);
+
+/** Timing of one warp instruction of a given class. */
+struct OpTiming
+{
+    FuType fu = FuType::SP;  //!< which unit type executes it
+    Cycle latencyCycles = 0; //!< pipeline (result) latency
+    Tick occTicks = 0;       //!< per-scheduler issue-port occupancy
+    bool supported = true;   //!< e.g. DP is absent on the M4000
+};
+
+/** Host-side (driver/runtime) timing parameters. */
+struct HostParams
+{
+    double launchOverheadUs = 4.0; //!< host CPU time per launch call
+    double launchLatencyUs = 6.0;  //!< launch-to-first-block latency
+    double syncOverheadUs = 3.0;   //!< stream/device synchronize cost
+    double launchJitterUs = 1.5;   //!< +/- uniform jitter on launches
+};
+
+/** Per-SM occupancy limits used by the leftover block scheduler. */
+struct SmLimits
+{
+    unsigned maxThreads = 2048;
+    unsigned maxBlocks = 16;
+    unsigned maxWarps = 64;
+    std::uint32_t numRegs = 65536;
+    std::size_t smemBytes = 48 * 1024;        //!< per SM
+    std::size_t smemPerBlockBytes = 48 * 1024; //!< per block cap
+};
+
+/** Complete description of one modeled GPU. */
+struct ArchParams
+{
+    std::string name;      //!< e.g. "Tesla K40C"
+    Generation generation = Generation::Kepler;
+    unsigned numSms = 15;
+    double clockGHz = 0.745; //!< core clock used by clock()
+
+    unsigned schedulersPerSm = 4;
+    unsigned dispatchUnitsPerScheduler = 2;
+
+    // Table 1 (per SM).
+    unsigned spUnits = 192;
+    unsigned dpUnits = 64;
+    unsigned sfuUnits = 32;
+    unsigned ldstUnits = 32;
+
+    SmLimits limits;
+    mem::ConstMemoryParams constMem;
+    mem::GlobalMemoryParams gmem;
+    HostParams host;
+
+    /** Shared-memory banks per SM (bank conflicts serialize lanes). */
+    unsigned smemBanks = 32;
+    /** Conflict-free shared-memory access latency. */
+    Cycle smemBaseCycles = 24;
+    /** Extra cycles per additional lane hitting the same bank. */
+    Cycle smemConflictCycles = 22;
+
+    /** Reading clock() costs this many cycles. */
+    Cycle clockReadCycles = 4;
+    /** clock() values are quantized to this granularity (paper: timing
+     *  short segments is unreliable). */
+    Cycle clockQuantumCycles = 4;
+
+    std::map<OpClass, OpTiming> ops;
+
+    /** Timing for @p op; fatal if the class is not supported. */
+    const OpTiming &timing(OpClass op) const;
+
+    /** @return true when the architecture executes @p op. */
+    bool supports(OpClass op) const;
+
+    /** Core cycles per second. */
+    double cyclesPerSecond() const { return clockGHz * 1e9; }
+
+    /** Convert a tick count to wall-clock seconds on this device. */
+    double
+    secondsFromTicks(Tick t) const
+    {
+        return ticksToCyclesF(t) / cyclesPerSecond();
+    }
+
+    /** Convert microseconds to ticks on this device. */
+    Tick
+    ticksFromUs(double us) const
+    {
+        return cyclesToTicks(us * 1e-6 * cyclesPerSecond());
+    }
+
+    /** Units of @p fu per SM (Table 1). */
+    unsigned fuCount(FuType fu) const;
+};
+
+/** Tesla C2075 preset (Fermi, 14 SMs, 2 schedulers/SM). */
+ArchParams fermiC2075();
+
+/** Tesla K40C preset (Kepler, 15 SMs, 4 schedulers/SM). */
+ArchParams keplerK40c();
+
+/** Quadro M4000 preset (Maxwell, 13 SMs, 4 quadrants/SM, no DPU). */
+ArchParams maxwellM4000();
+
+/** All three presets in the paper's order (Fermi, Kepler, Maxwell). */
+std::vector<ArchParams> allArchitectures();
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_ARCH_PARAMS_H

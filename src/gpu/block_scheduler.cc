@@ -1,0 +1,254 @@
+#include "gpu/block_scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/device.h"
+#include "gpu/sm.h"
+#include "gpu/thread_block.h"
+
+namespace gpucc::gpu
+{
+
+const char *
+multiprogPolicyName(MultiprogPolicy p)
+{
+    switch (p) {
+      case MultiprogPolicy::Leftover:
+        return "leftover";
+      case MultiprogPolicy::SmkPreemptive:
+        return "SMK (preemptive)";
+      case MultiprogPolicy::IntraSmPartition:
+        return "intra-SM partitioning";
+      case MultiprogPolicy::InterSmPartition:
+        return "inter-SM partitioning";
+    }
+    return "?";
+}
+
+BlockScheduler::BlockScheduler(Device &dev_) : dev(&dev_) {}
+
+void
+BlockScheduler::admit(KernelInstance &kernel)
+{
+    active.push_back(&kernel);
+    fill();
+}
+
+bool
+BlockScheduler::admits(const KernelInstance &k, const Sm &sm) const
+{
+    switch (policyKind) {
+      case MultiprogPolicy::Leftover:
+      case MultiprogPolicy::SmkPreemptive:
+        return sm.canHost(k.config());
+      case MultiprogPolicy::IntraSmPartition:
+        return sm.canHostPartitioned(k.config(), k.id());
+      case MultiprogPolicy::InterSmPartition: {
+        auto it = ranges.find(k.id());
+        if (it == ranges.end())
+            return false;
+        if (sm.id() < it->second.first || sm.id() >= it->second.second)
+            return false;
+        return sm.canHost(k.config());
+      }
+    }
+    return false;
+}
+
+bool
+BlockScheduler::placeOne(KernelInstance &k)
+{
+    unsigned numSms = dev->numSms();
+    for (unsigned probe = 0; probe < numSms; ++probe) {
+        unsigned smIdx = (rrCursor + probe) % numSms;
+        Sm &sm = dev->sm(smIdx);
+        if (admits(k, sm)) {
+            dev->placeBlock(k, sm);
+            rrCursor = (smIdx + 1) % numSms;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+BlockScheduler::preemptFor(KernelInstance &k)
+{
+    // Wang et al.: evict the resident block with the highest resource
+    // usage (from another kernel) whose removal lets k's block fit.
+    ThreadBlock *victim = nullptr;
+    std::uint64_t bestScore = 0;
+    for (ThreadBlock *b : dev->liveBlocks()) {
+        // Only *previously scheduled* kernels are preemption victims
+        // (Wang et al.); this also rules out preemption ping-pong.
+        if (b->kernel().id() >= k.id())
+            continue;
+        const LaunchConfig &vc = b->kernel().config();
+        // Would k's block fit on b's SM after removing b?
+        Sm &sm = b->sm();
+        const SmLimits &lim = dev->arch().limits;
+        const SmOccupancy &occ = sm.occupancy();
+        const LaunchConfig &kc = k.config();
+        bool fits =
+            occ.blocks - 1 + 1 <= lim.maxBlocks &&
+            occ.threads - vc.threadsPerBlock + kc.threadsPerBlock <=
+                lim.maxThreads &&
+            occ.warps - vc.warpsPerBlock() + kc.warpsPerBlock() <=
+                lim.maxWarps &&
+            occ.regs - vc.regsPerThread * vc.threadsPerBlock +
+                    kc.regsPerThread * kc.threadsPerBlock <=
+                lim.numRegs &&
+            occ.smemBytes - vc.smemBytesPerBlock + kc.smemBytesPerBlock <=
+                lim.smemBytes;
+        if (!fits)
+            continue;
+        std::uint64_t score = std::uint64_t(vc.threadsPerBlock) +
+                              vc.smemBytesPerBlock / 16 +
+                              std::uint64_t(vc.regsPerThread) *
+                                  vc.threadsPerBlock / 32;
+        if (!victim || score > bestScore) {
+            victim = b;
+            bestScore = score;
+        }
+    }
+    if (!victim)
+        return false;
+    dev->preemptBlock(*victim);
+    ++preemptCount;
+    return true;
+}
+
+void
+BlockScheduler::refreshRanges()
+{
+    // Free ranges of completed kernels, then hand halves to waiters in
+    // launch order.
+    std::erase_if(ranges, [this](const auto &kv) {
+        for (const auto &inst : dev->kernels()) {
+            if (inst->id() == kv.first)
+                return inst->done();
+        }
+        return true;
+    });
+    unsigned n = dev->numSms();
+    unsigned half = n / 2;
+    for (KernelInstance *k : active) {
+        if (ranges.count(k->id()))
+            continue;
+        bool loTaken = false, hiTaken = false;
+        for (const auto &kv : ranges) {
+            if (kv.second.first == 0)
+                loTaken = true;
+            else
+                hiTaken = true;
+        }
+        if (!loTaken)
+            ranges[k->id()] = {0, half};
+        else if (!hiTaken)
+            ranges[k->id()] = {half, n};
+        // else: the kernel waits for a free partition.
+    }
+}
+
+void
+BlockScheduler::noteRequeued(KernelInstance &kernel)
+{
+    readmits.push_back(&kernel);
+}
+
+void
+BlockScheduler::fill()
+{
+    // Merge kernels whose blocks were preempted back into the active
+    // list, keeping launch order (kernel ids are monotonic).
+    if (!readmits.empty()) {
+        for (KernelInstance *k : readmits) {
+            if (std::find(active.begin(), active.end(), k) == active.end())
+                active.push_back(k);
+        }
+        readmits.clear();
+        std::sort(active.begin(), active.end(),
+                  [](const KernelInstance *a, const KernelInstance *b) {
+                      return a->id() < b->id();
+                  });
+    }
+
+    bool temporal = dev->mitigations().temporalPartitioning;
+    if (policyKind == MultiprogPolicy::InterSmPartition)
+        refreshRanges();
+
+    // Kernels are scanned in launch (admission) order: earlier launches
+    // have priority. A kernel whose next block fits nowhere keeps
+    // waiting but (leftover/Hyper-Q semantics) does not stop later
+    // kernels from using spare capacity.
+    for (KernelInstance *k : active) {
+        if (temporal) {
+            // Section 9 mitigation: one kernel owns the device at a
+            // time.
+            bool othersResident = false;
+            for (const auto &other : dev->kernels()) {
+                if (other.get() != k && other->residentBlocks() > 0)
+                    othersResident = true;
+            }
+            if (othersResident)
+                break;
+        }
+        while (!k->fullyPlaced()) {
+            if (placeOne(*k))
+                continue;
+            if (policyKind == MultiprogPolicy::SmkPreemptive &&
+                preemptFor(*k) && placeOne(*k)) {
+                continue;
+            }
+            break;
+        }
+        if (temporal)
+            break;
+    }
+    std::erase_if(active,
+                  [](KernelInstance *k) { return k->fullyPlaced(); });
+}
+
+void
+BlockScheduler::blockRetired()
+{
+    fill();
+}
+
+unsigned
+BlockScheduler::pendingKernels() const
+{
+    return static_cast<unsigned>(active.size());
+}
+
+bool
+BlockScheduler::couldEverPlace(const KernelInstance &k) const
+{
+    for (unsigned i = 0; i < dev->numSms(); ++i) {
+        const Sm &sm = dev->sm(i);
+        switch (policyKind) {
+          case MultiprogPolicy::IntraSmPartition:
+            if (sm.canHostPartitioned(k.config(), k.id()))
+                return true;
+            break;
+          default:
+            // Leftover/SMK/InterSm: placeable whenever the raw SM
+            // capacity suffices (partitions/preemption free up later).
+            if (sm.canHost(k.config()))
+                return true;
+            break;
+        }
+    }
+    return false;
+}
+
+std::pair<unsigned, unsigned>
+BlockScheduler::smRange(std::uint64_t kernelId) const
+{
+    auto it = ranges.find(kernelId);
+    return it == ranges.end() ? std::pair<unsigned, unsigned>{0, 0}
+                              : it->second;
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Hardware thread-block scheduler with selectable multiprogramming
+ * policies.
+ *
+ * The default is the leftover policy the paper reverse engineers on
+ * real GPUs (Section 3.1): round-robin block placement, later kernels
+ * filling spare capacity, blocks queueing when nothing fits, earlier
+ * launches prioritized.
+ *
+ * Section 3.2 discusses how the attack carries over to multiprogramming
+ * schemes proposed in the literature; those schedulers are implemented
+ * here as alternative policies:
+ *
+ *  - SmkPreemptive (Wang et al., simultaneous multikernel): a kernel
+ *    whose block fits nowhere preempts the resident block with the
+ *    highest resource usage. Co-location becomes trivial (a one-block
+ *    channel kernel is never the preemption victim), but other
+ *    workloads can share the SM and add noise.
+ *  - IntraSmPartition (Xu et al., Warped-Slicer): up to two kernels
+ *    share an SM, each capped at a fair share of every resource; no
+ *    preemption, so exclusive co-location remains possible.
+ *  - InterSmPartition (Adriaens et al. / Tanasic et al.): concurrent
+ *    kernels receive disjoint SM sets; intra-SM channels die but the
+ *    L2/atomic channels survive.
+ */
+
+#ifndef GPUCC_GPU_BLOCK_SCHEDULER_H
+#define GPUCC_GPU_BLOCK_SCHEDULER_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/kernel.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+class Sm;
+class ThreadBlock;
+
+/** Multiprogramming policy (Sections 3.1-3.2). */
+enum class MultiprogPolicy
+{
+    Leftover,         //!< current GPUs (default)
+    SmkPreemptive,    //!< Wang et al., block-level preemption
+    IntraSmPartition, //!< Xu et al., fair intra-SM partitioning
+    InterSmPartition, //!< Adriaens/Tanasic, disjoint SM sets
+};
+
+/** @return printable policy name. */
+const char *multiprogPolicyName(MultiprogPolicy p);
+
+/** Device-wide block scheduler. */
+class BlockScheduler
+{
+  public:
+    explicit BlockScheduler(Device &dev);
+
+    /** Select the multiprogramming policy (before launching kernels). */
+    void setPolicy(MultiprogPolicy p) { policyKind = p; }
+
+    /** Active policy. */
+    MultiprogPolicy policy() const { return policyKind; }
+
+    /** Admit a kernel whose stream made it eligible (launch order). */
+    void admit(KernelInstance &kernel);
+
+    /** Re-admit a kernel whose block was preempted (SMK policy). */
+    void noteRequeued(KernelInstance &kernel);
+
+    /** Place as many pending blocks as the policy allows. */
+    void fill();
+
+    /** Notification that a block retired. */
+    void blockRetired();
+
+    /** Kernels admitted but not fully placed (tests inspect this). */
+    unsigned pendingKernels() const;
+
+    /**
+     * Could @p k's blocks ever be placed under the active policy given
+     * an otherwise empty device? Used for starvation diagnostics.
+     */
+    bool couldEverPlace(const KernelInstance &k) const;
+
+    /** Preemptions performed so far (SMK policy statistics). */
+    unsigned preemptions() const { return preemptCount; }
+
+    /** SM range assigned to @p kernelId under inter-SM partitioning;
+     *  {0,0} when none is assigned yet. */
+    std::pair<unsigned, unsigned> smRange(std::uint64_t kernelId) const;
+
+  private:
+    /** Policy-specific admission test for one block of @p k on @p sm. */
+    bool admits(const KernelInstance &k, const Sm &sm) const;
+
+    /** Try to place one block of @p k; @return true on success. */
+    bool placeOne(KernelInstance &k);
+
+    /** SMK: preempt the highest-usage victim so @p k's block fits. */
+    bool preemptFor(KernelInstance &k);
+
+    /** Inter-SM partitioning: assign/free SM ranges lazily. */
+    void refreshRanges();
+
+    Device *dev;
+    MultiprogPolicy policyKind = MultiprogPolicy::Leftover;
+    std::vector<KernelInstance *> active; //!< launch-ordered
+    std::vector<KernelInstance *> readmits; //!< preempted, to re-merge
+    std::map<std::uint64_t, std::pair<unsigned, unsigned>> ranges;
+    unsigned rrCursor = 0;
+    unsigned preemptCount = 0;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_BLOCK_SCHEDULER_H

@@ -1,0 +1,161 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/thread_block.h"
+
+namespace gpucc::gpu
+{
+
+Device::Device(ArchParams arch) : params(std::move(arch))
+{
+    cmem = std::make_unique<mem::ConstMemory>(params.constMem,
+                                              params.numSms);
+    gmem = std::make_unique<mem::GlobalMemory>(params.gmem);
+    for (unsigned i = 0; i < params.numSms; ++i)
+        sms.push_back(std::make_unique<Sm>(*this, i));
+    blockSched = std::make_unique<BlockScheduler>(*this);
+}
+
+Device::~Device() = default;
+
+Sm &
+Device::sm(unsigned i)
+{
+    GPUCC_ASSERT(i < sms.size(), "bad SM id %u", i);
+    return *sms[i];
+}
+
+Stream &
+Device::createStream()
+{
+    streams.push_back(std::make_unique<Stream>(
+        *this, static_cast<unsigned>(streams.size())));
+    return *streams.back();
+}
+
+KernelInstance &
+Device::submit(Stream &stream, KernelLaunch launch, Tick arrivalTick)
+{
+    instances.push_back(std::make_unique<KernelInstance>(
+        nextKernelId++, std::move(launch), stream));
+    KernelInstance &inst = *instances.back();
+    stream.submit(inst, arrivalTick);
+    return inst;
+}
+
+void
+Device::placeBlock(KernelInstance &kernel, Sm &sm)
+{
+    sm.reserve(kernel.config(), kernel.id());
+    unsigned blockId = kernel.notePlaced();
+    blocks.push_back(std::make_unique<ThreadBlock>(kernel, blockId, sm));
+    ThreadBlock *b = blocks.back().get();
+    Tick startTick = now() + cyclesToTicks(blockStartCycles);
+    b->start(startTick);
+}
+
+void
+Device::blockFinished(ThreadBlock &block)
+{
+    KernelInstance &kernel = block.kernel();
+    block.sm().release(kernel.config(), kernel.id());
+    kernel.noteBlockDone();
+    if (kernel.done()) {
+        kernel.noteEnd(now());
+        // Section 9 mitigation: purge cache state between kernels so
+        // temporal partitioning also stops state-based cache channels.
+        if (mitigationCfg.flushCachesBetweenKernels)
+            cmem->flushAll();
+        kernel.stream().kernelDone(kernel);
+    }
+    blockSched->blockRetired();
+
+    // Reclaim the block after the current event unwinds: the finishing
+    // warp's coroutine frame lives inside it.
+    ThreadBlock *dead = &block;
+    events().schedule(now(), [this, dead] {
+        std::erase_if(blocks, [dead](const std::unique_ptr<ThreadBlock> &b) {
+            return b.get() == dead;
+        });
+    });
+}
+
+void
+Device::preemptBlock(ThreadBlock &block)
+{
+    GPUCC_ASSERT(!block.done() && !block.cancelled(),
+                 "preempting a dead block");
+    KernelInstance &kernel = block.kernel();
+    block.cancel(now());
+    block.sm().release(kernel.config(), kernel.id());
+    kernel.requeueBlock(block.id());
+    blockSched->noteRequeued(kernel);
+    // Re-fill after the current scheduling pass unwinds.
+    events().schedule(now(), [this] { blockSched->fill(); });
+}
+
+std::vector<ThreadBlock *>
+Device::liveBlocks()
+{
+    std::vector<ThreadBlock *> live;
+    for (const auto &b : blocks) {
+        if (!b->done() && !b->cancelled())
+            live.push_back(b.get());
+    }
+    return live;
+}
+
+void
+Device::runUntilIdle()
+{
+    queue.run();
+}
+
+void
+Device::runUntilDone(const KernelInstance &kernel)
+{
+    while (!kernel.done()) {
+        if (queue.empty()) {
+            if (starved(kernel)) {
+                GPUCC_FATAL("kernel '%s' is starved: its blocks fit on no "
+                            "SM given current residency",
+                            kernel.name().c_str());
+            }
+            GPUCC_FATAL("event queue drained before kernel '%s' completed",
+                        kernel.name().c_str());
+        }
+        queue.step();
+    }
+}
+
+bool
+Device::starved(const KernelInstance &kernel) const
+{
+    if (kernel.done() || kernel.fullyPlaced())
+        return false;
+    return !blockSched->couldEverPlace(kernel);
+}
+
+Addr
+Device::allocConst(std::size_t bytes, std::size_t align)
+{
+    GPUCC_ASSERT(align > 0, "alignment must be positive");
+    constBrk = (constBrk + align - 1) / align * align;
+    Addr base = constBrk;
+    constBrk += bytes;
+    return base;
+}
+
+Addr
+Device::allocGlobal(std::size_t bytes, std::size_t align)
+{
+    GPUCC_ASSERT(align > 0, "alignment must be positive");
+    globalBrk = (globalBrk + align - 1) / align * align;
+    Addr base = globalBrk;
+    globalBrk += bytes;
+    return base;
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The simulated GPU device: SMs, constant-cache hierarchy, global
+ * memory, block scheduler, streams, and the event queue that drives
+ * everything.
+ */
+
+#ifndef GPUCC_GPU_DEVICE_H
+#define GPUCC_GPU_DEVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/arch_params.h"
+#include "gpu/block_scheduler.h"
+#include "gpu/kernel.h"
+#include "gpu/mitigations.h"
+#include "gpu/sm.h"
+#include "gpu/stream.h"
+#include "mem/const_memory.h"
+#include "mem/global_memory.h"
+#include "sim/event_queue.h"
+
+namespace gpucc::gpu
+{
+
+class ThreadBlock;
+
+/** A simulated GPGPU. */
+class Device
+{
+  public:
+    explicit Device(ArchParams arch);
+    ~Device();
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /** Architecture parameters. */
+    const ArchParams &arch() const { return params; }
+
+    /** Event queue / current simulated tick. */
+    sim::EventQueue &events() { return queue; }
+    Tick now() const { return queue.now(); }
+
+    /** Constant-memory hierarchy. */
+    mem::ConstMemory &constMem() { return *cmem; }
+
+    /** Global memory. */
+    mem::GlobalMemory &globalMem() { return *gmem; }
+
+    /** SM @p i. */
+    Sm &sm(unsigned i);
+
+    /** Number of SMs. */
+    unsigned numSms() const { return static_cast<unsigned>(sms.size()); }
+
+    /** Block scheduler. */
+    BlockScheduler &blockScheduler() { return *blockSched; }
+
+    /** Create a new stream. */
+    Stream &createStream();
+
+    /**
+     * Create a kernel instance and submit it to @p stream, arriving at
+     * the device at @p arrivalTick. (HostContext is the usual caller.)
+     */
+    KernelInstance &submit(Stream &stream, KernelLaunch launch,
+                           Tick arrivalTick);
+
+    /** Place one block of @p kernel on @p sm (block scheduler only). */
+    void placeBlock(KernelInstance &kernel, Sm &sm);
+
+    /** Called by a ThreadBlock when all of its warps completed. */
+    void blockFinished(ThreadBlock &block);
+
+    /** Preempt @p block (SMK policy): cancel it, release its SM slice,
+     *  and requeue its block id for re-placement. */
+    void preemptBlock(ThreadBlock &block);
+
+    /** Blocks currently executing (not finished, not preempted). */
+    std::vector<ThreadBlock *> liveBlocks();
+
+    /** Run the event queue dry. */
+    void runUntilIdle();
+
+    /**
+     * Run until @p kernel completes. Fatal if the queue drains first
+     * (the kernel was starved, e.g. blocked by exclusive co-location).
+     */
+    void runUntilDone(const KernelInstance &kernel);
+
+    /** @return true when @p kernel can never be placed given current
+     *  residency (diagnostics for starvation scenarios). */
+    bool starved(const KernelInstance &kernel) const;
+
+    /**
+     * Bump-allocate constant-space addresses (per application buffer).
+     */
+    Addr allocConst(std::size_t bytes, std::size_t align = 256);
+
+    /** Bump-allocate global-space addresses. */
+    Addr allocGlobal(std::size_t bytes, std::size_t align = 256);
+
+    /** All kernel instances launched so far (diagnostics). */
+    const std::vector<std::unique_ptr<KernelInstance>> &kernels() const
+    {
+        return instances;
+    }
+
+    /** Cycles between block placement and its warps starting. */
+    static constexpr Cycle blockStartCycles = 100;
+
+    /** Active Section 9 mitigations (all off by default). */
+    const MitigationConfig &mitigations() const { return mitigationCfg; }
+
+    /** Enable/disable mitigations (before launching kernels). */
+    void setMitigations(const MitigationConfig &cfg) { mitigationCfg = cfg; }
+
+    /** Device-internal RNG (scheduler randomization, timer fuzz). */
+    Rng &deviceRng() { return rng; }
+
+  private:
+    ArchParams params;
+    sim::EventQueue queue;
+    std::unique_ptr<mem::ConstMemory> cmem;
+    std::unique_ptr<mem::GlobalMemory> gmem;
+    std::vector<std::unique_ptr<Sm>> sms;
+    std::unique_ptr<BlockScheduler> blockSched;
+    std::vector<std::unique_ptr<Stream>> streams;
+    std::vector<std::unique_ptr<KernelInstance>> instances;
+    std::vector<std::unique_ptr<ThreadBlock>> blocks;
+    std::uint64_t nextKernelId = 0;
+    Addr constBrk = 0;
+    Addr globalBrk = 0;
+    MitigationConfig mitigationCfg;
+    Rng rng{0x6d69746967617465ULL};
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_DEVICE_H

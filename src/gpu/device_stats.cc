@@ -1,0 +1,119 @@
+#include "gpu/device_stats.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "gpu/device.h"
+#include "gpu/warp_scheduler.h"
+
+namespace gpucc::gpu
+{
+
+namespace
+{
+
+/** Accumulate one pool into a port row. */
+void
+accumulate(PortUtilization &row, const sim::ResourcePool &pool)
+{
+    row.busyTicks += pool.busyTicks();
+    row.requests += pool.requests();
+    row.queueingTicks += pool.totalQueueing();
+}
+
+} // namespace
+
+DeviceStatsReport
+collectStats(Device &dev)
+{
+    DeviceStatsReport r;
+    r.elapsedTicks = dev.now();
+    r.eventsExecuted = dev.events().executed();
+    r.kernelsLaunched = dev.kernels().size();
+    for (const auto &k : dev.kernels()) {
+        if (k->done())
+            ++r.kernelsCompleted;
+    }
+    r.preemptions = dev.blockScheduler().preemptions();
+
+    PortUtilization dispatch{"dispatch", 0, 0, 0, 0.0};
+    PortUtilization sp{"SP issue", 0, 0, 0, 0.0};
+    PortUtilization dp{"DPU issue", 0, 0, 0, 0.0};
+    PortUtilization sfu{"SFU issue", 0, 0, 0, 0.0};
+    PortUtilization ldst{"LD/ST issue", 0, 0, 0, 0.0};
+    unsigned schedCount = 0;
+    for (unsigned s = 0; s < dev.numSms(); ++s) {
+        Sm &sm = dev.sm(s);
+        for (unsigned i = 0; i < sm.numSchedulers(); ++i) {
+            WarpScheduler &ws = sm.scheduler(i);
+            accumulate(dispatch, ws.dispatch());
+            accumulate(sp, ws.port(FuType::SP));
+            accumulate(dp, ws.port(FuType::DPU));
+            accumulate(sfu, ws.port(FuType::SFU));
+            accumulate(ldst, ws.port(FuType::LDST));
+            ++schedCount;
+        }
+    }
+    auto finish = [&](PortUtilization &row, double serversPerScheduler) {
+        double capacity = static_cast<double>(r.elapsedTicks) *
+                          static_cast<double>(schedCount) *
+                          serversPerScheduler;
+        row.utilization =
+            capacity > 0.0 ? static_cast<double>(row.busyTicks) / capacity
+                           : 0.0;
+        r.ports.push_back(row);
+    };
+    finish(dispatch, dev.arch().dispatchUnitsPerScheduler);
+    finish(sp, 1.0);
+    finish(dp, 1.0);
+    finish(sfu, 1.0);
+    finish(ldst, 1.0);
+
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    for (unsigned s = 0; s < dev.numSms(); ++s) {
+        const auto &l1 = dev.constMem().l1Cache(s);
+        l1Hits += l1.hits();
+        l1Misses += l1.misses();
+    }
+    r.caches.push_back(CacheStats{"const L1 (all SMs)", l1Hits, l1Misses});
+    r.caches.push_back(CacheStats{"const L2",
+                                  dev.constMem().l2Cache().hits(),
+                                  dev.constMem().l2Cache().misses()});
+    r.atomicBusyTicks = dev.globalMem().atomicBusyTicks();
+    return r;
+}
+
+std::string
+DeviceStatsReport::render() const
+{
+    std::ostringstream os;
+    os << "device time: " << ticksToCycles(elapsedTicks) << " cycles, "
+       << eventsExecuted << " events, " << kernelsCompleted << "/"
+       << kernelsLaunched << " kernels done";
+    if (preemptions)
+        os << ", " << preemptions << " preemptions";
+    os << "\n";
+
+    Table ports("issue-port activity");
+    ports.header({"port", "instructions", "busy cycles", "queueing cycles",
+                  "utilization"});
+    for (const auto &p : this->ports) {
+        ports.row({p.name, std::to_string(p.requests),
+                   std::to_string(ticksToCycles(p.busyTicks)),
+                   std::to_string(ticksToCycles(p.queueingTicks)),
+                   fmtDouble(100.0 * p.utilization, 2) + " %"});
+    }
+    os << ports.render();
+
+    Table caches("constant caches");
+    caches.header({"cache", "hits", "misses", "hit rate"});
+    for (const auto &c : this->caches) {
+        caches.row({c.name, std::to_string(c.hits),
+                    std::to_string(c.misses),
+                    fmtDouble(100.0 * c.hitRate(), 1) + " %"});
+    }
+    os << caches.render();
+    return os.str();
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Device introspection: aggregate utilization and cache statistics for
+ * analysis and the utilization bench. The same counters a profiler
+ * (or a defender, Section 9) would watch.
+ */
+
+#ifndef GPUCC_GPU_DEVICE_STATS_H
+#define GPUCC_GPU_DEVICE_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+
+/** Utilization of one issue-port class aggregated over the device. */
+struct PortUtilization
+{
+    std::string name;          //!< e.g. "SFU issue"
+    Tick busyTicks = 0;        //!< server-ticks consumed
+    std::uint64_t requests = 0; //!< instructions issued
+    Tick queueingTicks = 0;    //!< total queueing delay
+    double utilization = 0.0;  //!< busy / (servers * elapsed)
+};
+
+/** Cache hit statistics of one level. */
+struct CacheStats
+{
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/** Snapshot of device activity since construction. */
+struct DeviceStatsReport
+{
+    Tick elapsedTicks = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t kernelsLaunched = 0;
+    std::uint64_t kernelsCompleted = 0;
+    unsigned preemptions = 0;
+    std::vector<PortUtilization> ports;
+    std::vector<CacheStats> caches;
+    Tick atomicBusyTicks = 0;
+
+    /** Render as an aligned text table. */
+    std::string render() const;
+};
+
+/** Collect a statistics snapshot from @p dev. */
+DeviceStatsReport collectStats(Device &dev);
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_DEVICE_STATS_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Nested device coroutines.
+ *
+ * A DeviceTask<T> is a coroutine a warp program can co_await, used to
+ * factor protocol building blocks (prime a set, poll for a signal) out
+ * of kernel bodies. Completion hands control back to the awaiting
+ * coroutine via symmetric transfer, so the warp-level suspend/resume
+ * machinery in WarpCtx works unchanged: whichever leaf coroutine
+ * suspends is the handle that gets resumed by the event queue.
+ */
+
+#ifndef GPUCC_GPU_DEVICE_TASK_H
+#define GPUCC_GPU_DEVICE_TASK_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace gpucc::gpu
+{
+
+/** Awaitable nested coroutine returning T (may be void). */
+template <typename T>
+class DeviceTask
+{
+  public:
+    struct promise_type
+    {
+        T value{};
+        std::coroutine_handle<> continuation;
+
+        DeviceTask
+        get_return_object()
+        {
+            return DeviceTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) const noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() const noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_value(T v) { value = std::move(v); }
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    explicit DeviceTask(Handle h) : coro(h) {}
+    DeviceTask(const DeviceTask &) = delete;
+    DeviceTask &operator=(const DeviceTask &) = delete;
+
+    DeviceTask(DeviceTask &&other) noexcept
+        : coro(std::exchange(other.coro, nullptr))
+    {
+    }
+
+    ~DeviceTask()
+    {
+        if (coro)
+            coro.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        coro.promise().continuation = cont;
+        return coro; // symmetric transfer into the nested body
+    }
+
+    T await_resume() { return std::move(coro.promise().value); }
+
+  private:
+    Handle coro;
+};
+
+/** Void specialization. */
+template <>
+class DeviceTask<void>
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        DeviceTask
+        get_return_object()
+        {
+            return DeviceTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) const noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() const noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    explicit DeviceTask(Handle h) : coro(h) {}
+    DeviceTask(const DeviceTask &) = delete;
+    DeviceTask &operator=(const DeviceTask &) = delete;
+
+    DeviceTask(DeviceTask &&other) noexcept
+        : coro(std::exchange(other.coro, nullptr))
+    {
+    }
+
+    ~DeviceTask()
+    {
+        if (coro)
+            coro.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        coro.promise().continuation = cont;
+        return coro;
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    Handle coro;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_DEVICE_TASK_H

@@ -1,0 +1,66 @@
+#include "gpu/host.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gpucc::gpu
+{
+
+HostContext::HostContext(Device &dev_, std::uint64_t seed)
+    : dev(&dev_), rng(seed), jitterUs(dev_.arch().host.launchJitterUs)
+{
+}
+
+KernelInstance &
+HostContext::launch(Stream &stream, KernelLaunch launch)
+{
+    const HostParams &h = dev->arch().host;
+    hostTick = std::max(hostTick, dev->now());
+    hostTick += dev->arch().ticksFromUs(h.launchOverheadUs);
+
+    double jitter = jitterUs > 0.0 ? rng.uniformReal(-jitterUs, jitterUs)
+                                   : 0.0;
+    double latencyUs = std::max(0.5, h.launchLatencyUs + jitter);
+    Tick arrival = std::max(dev->now(),
+                            hostTick + dev->arch().ticksFromUs(latencyUs));
+    return dev->submit(stream, std::move(launch), arrival);
+}
+
+void
+HostContext::sync(const KernelInstance &kernel)
+{
+    dev->runUntilDone(kernel);
+    const HostParams &h = dev->arch().host;
+    hostTick = std::max(hostTick, kernel.endTick()) +
+               dev->arch().ticksFromUs(h.syncOverheadUs);
+}
+
+void
+HostContext::syncAll()
+{
+    dev->runUntilIdle();
+    const HostParams &h = dev->arch().host;
+    hostTick = std::max(hostTick, dev->now()) +
+               dev->arch().ticksFromUs(h.syncOverheadUs);
+}
+
+void
+HostContext::advanceUs(double us)
+{
+    hostTick += dev->arch().ticksFromUs(us);
+}
+
+void
+HostContext::catchUpToDevice()
+{
+    hostTick = std::max(hostTick, dev->now());
+}
+
+void
+HostContext::catchUpTo(Tick tick)
+{
+    hostTick = std::max(hostTick, tick);
+}
+
+} // namespace gpucc::gpu

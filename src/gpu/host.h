@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host-process model. Each HostContext represents one CPU application
+ * (the trojan and the spy are separate applications) launching kernels
+ * through the driver: every launch pays host overhead, a
+ * launch-to-device latency, and a per-process random jitter. The jitter
+ * is what makes unsynchronized launch-per-bit channels lose overlap at
+ * low iteration counts (Figure 5).
+ */
+
+#ifndef GPUCC_GPU_HOST_H
+#define GPUCC_GPU_HOST_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "gpu/device.h"
+
+namespace gpucc::gpu
+{
+
+/** One host application using the device. */
+class HostContext
+{
+  public:
+    /**
+     * @param dev Shared device.
+     * @param seed Per-process jitter seed.
+     */
+    explicit HostContext(Device &dev, std::uint64_t seed = 1);
+
+    /** Create a stream owned by this application. */
+    Stream &createStream() { return dev->createStream(); }
+
+    /** Launch @p launch on @p stream; returns the kernel instance. */
+    KernelInstance &launch(Stream &stream, KernelLaunch launch);
+
+    /** Block until @p kernel completes; advances host time. */
+    void sync(const KernelInstance &kernel);
+
+    /** Drain the device completely; advances host time. */
+    void syncAll();
+
+    /** Host time in device ticks. */
+    Tick now() const { return hostTick; }
+
+    /** Host time in seconds. */
+    double seconds() const { return dev->arch().secondsFromTicks(hostTick); }
+
+    /** Override the launch jitter amplitude (us); default per-arch. */
+    void setJitterUs(double us) { jitterUs = us; }
+
+    /** Let host time idle forward by @p us microseconds. */
+    void advanceUs(double us);
+
+    /** Bring host time up to the device's current tick (no overhead). */
+    void catchUpToDevice();
+
+    /** Bring host time up to at least @p tick (no overhead). */
+    void catchUpTo(Tick tick);
+
+    /** Underlying device. */
+    Device &device() { return *dev; }
+
+  private:
+    Device *dev;
+    Rng rng;
+    Tick hostTick = 0;
+    double jitterUs;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_HOST_H

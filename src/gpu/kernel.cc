@@ -1,0 +1,99 @@
+#include "gpu/kernel.h"
+
+#include "common/log.h"
+
+namespace gpucc::gpu
+{
+
+KernelInstance::KernelInstance(std::uint64_t id, KernelLaunch launch,
+                               Stream &stream)
+    : kernelId(id), launchDesc(std::move(launch)), owningStream(&stream)
+{
+    GPUCC_ASSERT(launchDesc.config.gridBlocks >= 1,
+                 "%s: empty grid", launchDesc.name.c_str());
+    GPUCC_ASSERT(launchDesc.config.threadsPerBlock >= 1,
+                 "%s: empty block", launchDesc.name.c_str());
+    GPUCC_ASSERT(static_cast<bool>(launchDesc.body),
+                 "%s: kernel has no body", launchDesc.name.c_str());
+    outputs.resize(totalWarps());
+    records.reserve(launchDesc.config.gridBlocks);
+    pending.reserve(launchDesc.config.gridBlocks);
+    for (unsigned b = 0; b < launchDesc.config.gridBlocks; ++b)
+        pending.push_back(b);
+}
+
+bool
+KernelInstance::fullyPlaced() const
+{
+    return pending.empty();
+}
+
+unsigned
+KernelInstance::notePlaced()
+{
+    GPUCC_ASSERT(!fullyPlaced(), "%s: all blocks already placed",
+                 launchDesc.name.c_str());
+    unsigned id = pending.front();
+    pending.erase(pending.begin());
+    return id;
+}
+
+void
+KernelInstance::requeueBlock(unsigned blockId)
+{
+    GPUCC_ASSERT(blockId < launchDesc.config.gridBlocks,
+                 "%s: bad requeue id %u", launchDesc.name.c_str(), blockId);
+    pending.push_back(blockId);
+}
+
+unsigned
+KernelInstance::residentBlocks() const
+{
+    unsigned placed = launchDesc.config.gridBlocks -
+                      static_cast<unsigned>(pending.size());
+    return placed - blocksDone;
+}
+
+void
+KernelInstance::noteBlockDone()
+{
+    ++blocksDone;
+    GPUCC_ASSERT(blocksDone <= launchDesc.config.gridBlocks,
+                 "%s: more blocks retired than launched",
+                 launchDesc.name.c_str());
+    if (blocksDone == launchDesc.config.gridBlocks)
+        doneFlag = true;
+}
+
+void
+KernelInstance::noteStart(Tick t)
+{
+    if (!started) {
+        started = true;
+        start = t;
+    }
+}
+
+std::vector<std::uint64_t> &
+KernelInstance::out(unsigned globalWarpIdx)
+{
+    GPUCC_ASSERT(globalWarpIdx < outputs.size(), "%s: warp %u out of range",
+                 launchDesc.name.c_str(), globalWarpIdx);
+    return outputs[globalWarpIdx];
+}
+
+const std::vector<std::uint64_t> &
+KernelInstance::out(unsigned globalWarpIdx) const
+{
+    GPUCC_ASSERT(globalWarpIdx < outputs.size(), "%s: warp %u out of range",
+                 launchDesc.name.c_str(), globalWarpIdx);
+    return outputs[globalWarpIdx];
+}
+
+unsigned
+KernelInstance::totalWarps() const
+{
+    return launchDesc.config.gridBlocks * launchDesc.config.warpsPerBlock();
+}
+
+} // namespace gpucc::gpu

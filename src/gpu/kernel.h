@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Kernel launch descriptors and the runtime state of an in-flight
+ * kernel (grid) on the device.
+ */
+
+#ifndef GPUCC_GPU_KERNEL_H
+#define GPUCC_GPU_KERNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/warp_program.h"
+
+namespace gpucc::gpu
+{
+
+class WarpCtx;
+class ThreadBlock;
+class Stream;
+
+/** Grid/block/resource configuration of a kernel launch. */
+struct LaunchConfig
+{
+    unsigned gridBlocks = 1;
+    unsigned threadsPerBlock = 128;
+    std::size_t smemBytesPerBlock = 0;
+    unsigned regsPerThread = 32;
+
+    /** Warps per block (threads rounded up to full warps). */
+    unsigned
+    warpsPerBlock() const
+    {
+        return (threadsPerBlock + warpSize - 1) / warpSize;
+    }
+};
+
+/** Warp-granularity kernel body. Invoked once per warp. */
+using KernelBody = std::function<WarpProgram(WarpCtx &)>;
+
+/** A kernel ready to be launched. */
+struct KernelLaunch
+{
+    std::string name = "kernel";
+    LaunchConfig config;
+    KernelBody body;
+};
+
+/** Where/when one thread block executed (reverse-engineering probes). */
+struct BlockRecord
+{
+    unsigned blockId = 0;
+    unsigned smId = 0;
+    Tick startTick = 0;
+    Tick endTick = 0;
+};
+
+/** Runtime state of a launched kernel. */
+class KernelInstance
+{
+  public:
+    KernelInstance(std::uint64_t id, KernelLaunch launch, Stream &stream);
+
+    /** Unique launch id (monotonic per device). */
+    std::uint64_t id() const { return kernelId; }
+
+    /** Kernel name for diagnostics. */
+    const std::string &name() const { return launchDesc.name; }
+
+    /** Launch configuration. */
+    const LaunchConfig &config() const { return launchDesc.config; }
+
+    /** Kernel body factory. */
+    const KernelBody &body() const { return launchDesc.body; }
+
+    /** Stream the kernel was launched on. */
+    Stream &stream() const { return *owningStream; }
+
+    /** @return true when every block has been placed on an SM. */
+    bool fullyPlaced() const;
+
+    /** Record placement of the next pending block. @return its id. */
+    unsigned notePlaced();
+
+    /** Return block @p blockId to the pending queue (SMK preemption). */
+    void requeueBlock(unsigned blockId);
+
+    /** Record completion of one block. */
+    void noteBlockDone();
+
+    /** @return true when all blocks have completed. */
+    bool done() const { return doneFlag; }
+
+    /** Blocks currently resident on SMs (placed but not finished). */
+    unsigned residentBlocks() const;
+
+    /** Blocks awaiting (re-)placement. */
+    unsigned pendingBlocks() const
+    {
+        return static_cast<unsigned>(pending.size());
+    }
+
+    /** Tick the kernel became eligible for block placement. */
+    Tick arrivalTick() const { return arrival; }
+    void setArrivalTick(Tick t) { arrival = t; }
+
+    /** Tick the first block started / the last block finished. */
+    Tick startTick() const { return start; }
+    Tick endTick() const { return end; }
+    void noteStart(Tick t);
+    void noteEnd(Tick t) { end = t; }
+
+    /** Per-warp output buffer (global warp index). */
+    std::vector<std::uint64_t> &out(unsigned globalWarpIdx);
+    const std::vector<std::uint64_t> &out(unsigned globalWarpIdx) const;
+
+    /** Number of warps in the whole grid. */
+    unsigned totalWarps() const;
+
+    /** Scheduling record of each block (filled as blocks run). */
+    std::vector<BlockRecord> &blockRecords() { return records; }
+    const std::vector<BlockRecord> &blockRecords() const { return records; }
+
+  private:
+    std::uint64_t kernelId;
+    KernelLaunch launchDesc;
+    Stream *owningStream;
+    std::vector<unsigned> pending; //!< block ids awaiting placement
+    unsigned blocksDone = 0;
+    bool doneFlag = false;
+    bool started = false;
+    Tick arrival = 0;
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<std::vector<std::uint64_t>> outputs;
+    std::vector<BlockRecord> records;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_KERNEL_H

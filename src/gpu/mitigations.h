@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section 9 mitigations, implemented as device-level options.
+ *
+ * The paper sketches four defense families against GPU covert channels;
+ * each is modeled here so its effect on every channel can be measured:
+ *
+ *  - spatial cache partitioning: the constant caches' ways are split
+ *    between applications, so one application's loads can never evict
+ *    another's lines (cf. NoMo/Catalyst-style way partitioning);
+ *  - scheduler randomization: warps are assigned to warp schedulers
+ *    randomly instead of round-robin, destroying the per-scheduler bit
+ *    lanes of the parallel SFU channel;
+ *  - timer fuzzing: latency observations available to programs are
+ *    perturbed (cf. TimeWarp), drowning small contention deltas;
+ *  - temporal partitioning: kernels from different applications never
+ *    execute concurrently; optionally the caches are flushed between
+ *    kernels — without the flush, *state-based* cache channels survive
+ *    temporal isolation even though contention channels die.
+ */
+
+#ifndef GPUCC_GPU_MITIGATIONS_H
+#define GPUCC_GPU_MITIGATIONS_H
+
+#include "common/types.h"
+
+namespace gpucc::gpu
+{
+
+/** Device-level mitigation switches (all off by default). */
+struct MitigationConfig
+{
+    /** Split constant-cache ways between even/odd applications. */
+    bool cacheWayPartitioning = false;
+
+    /** Assign warps to schedulers randomly instead of round-robin. */
+    bool randomizeWarpSchedulers = false;
+
+    /** Amplitude (cycles) of uniform noise added to every latency a
+     *  program can observe; 0 disables. */
+    Cycle timerFuzzCycles = 0;
+
+    /** Only one application's kernels run on the device at a time. */
+    bool temporalPartitioning = false;
+
+    /** Flush the constant caches whenever a kernel completes (only
+     *  meaningful combined with temporal partitioning). */
+    bool flushCachesBetweenKernels = false;
+
+    /** @return true when any mitigation is enabled. */
+    bool
+    any() const
+    {
+        return cacheWayPartitioning || randomizeWarpSchedulers ||
+               timerFuzzCycles > 0 || temporalPartitioning ||
+               flushCachesBetweenKernels;
+    }
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_MITIGATIONS_H

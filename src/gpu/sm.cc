@@ -1,0 +1,153 @@
+#include "gpu/sm.h"
+
+#include "common/log.h"
+#include "gpu/device.h"
+
+namespace gpucc::gpu
+{
+
+Sm::Sm(Device &dev_, unsigned id)
+    : dev(&dev_), smId(id)
+{
+    const ArchParams &arch = dev_.arch();
+    for (unsigned s = 0; s < arch.schedulersPerSm; ++s)
+        schedulers.push_back(
+            std::make_unique<WarpScheduler>(arch, smId, s));
+}
+
+WarpScheduler &
+Sm::scheduler(unsigned i)
+{
+    GPUCC_ASSERT(i < schedulers.size(), "sm%u: bad scheduler %u", smId, i);
+    return *schedulers[i];
+}
+
+unsigned
+Sm::numSchedulers() const
+{
+    return static_cast<unsigned>(schedulers.size());
+}
+
+bool
+Sm::canHost(const LaunchConfig &cfg) const
+{
+    const SmLimits &lim = dev->arch().limits;
+    if (cfg.smemBytesPerBlock > lim.smemPerBlockBytes)
+        return false; // can never launch anywhere
+    if (occ.blocks + 1 > lim.maxBlocks)
+        return false;
+    if (occ.threads + cfg.threadsPerBlock > lim.maxThreads)
+        return false;
+    if (occ.warps + cfg.warpsPerBlock() > lim.maxWarps)
+        return false;
+    if (occ.regs + cfg.regsPerThread * cfg.threadsPerBlock > lim.numRegs)
+        return false;
+    if (occ.smemBytes + cfg.smemBytesPerBlock > lim.smemBytes)
+        return false;
+    return true;
+}
+
+namespace
+{
+
+void
+addOcc(SmOccupancy &o, const LaunchConfig &cfg)
+{
+    o.blocks += 1;
+    o.threads += cfg.threadsPerBlock;
+    o.warps += cfg.warpsPerBlock();
+    o.regs += cfg.regsPerThread * cfg.threadsPerBlock;
+    o.smemBytes += cfg.smemBytesPerBlock;
+}
+
+void
+subOcc(SmOccupancy &o, const LaunchConfig &cfg)
+{
+    o.blocks -= 1;
+    o.threads -= cfg.threadsPerBlock;
+    o.warps -= cfg.warpsPerBlock();
+    o.regs -= cfg.regsPerThread * cfg.threadsPerBlock;
+    o.smemBytes -= cfg.smemBytesPerBlock;
+}
+
+} // namespace
+
+bool
+Sm::canHostPartitioned(const LaunchConfig &cfg, std::uint64_t kernelId,
+                       unsigned maxKernels) const
+{
+    const SmLimits &lim = dev->arch().limits;
+    if (cfg.smemBytesPerBlock > lim.smemPerBlockBytes)
+        return false;
+    // Kernel-count cap.
+    bool resident = perKernel.count(kernelId) > 0;
+    if (!resident && residentKernels() >= maxKernels)
+        return false;
+    // Fair-share cap on every resource for this kernel's slice.
+    SmOccupancy mine = kernelOccupancy(kernelId);
+    unsigned share = maxKernels;
+    if (mine.blocks + 1 > std::max(1u, lim.maxBlocks / share))
+        return false;
+    if (mine.threads + cfg.threadsPerBlock > lim.maxThreads / share)
+        return false;
+    if (mine.warps + cfg.warpsPerBlock() > lim.maxWarps / share)
+        return false;
+    if (mine.regs + cfg.regsPerThread * cfg.threadsPerBlock >
+        lim.numRegs / share) {
+        return false;
+    }
+    if (mine.smemBytes + cfg.smemBytesPerBlock > lim.smemBytes / share)
+        return false;
+    return true;
+}
+
+void
+Sm::reserve(const LaunchConfig &cfg, std::uint64_t kernelId)
+{
+    addOcc(occ, cfg);
+    addOcc(perKernel[kernelId], cfg);
+    const SmLimits &lim = dev->arch().limits;
+    GPUCC_ASSERT(occ.threads <= lim.maxThreads &&
+                     occ.smemBytes <= lim.smemBytes &&
+                     occ.regs <= lim.numRegs,
+                 "sm%u: reserved beyond capacity", smId);
+}
+
+void
+Sm::release(const LaunchConfig &cfg, std::uint64_t kernelId)
+{
+    GPUCC_ASSERT(occ.blocks >= 1, "sm%u: releasing an empty SM", smId);
+    subOcc(occ, cfg);
+    auto it = perKernel.find(kernelId);
+    GPUCC_ASSERT(it != perKernel.end(), "sm%u: unknown kernel release",
+                 smId);
+    subOcc(it->second, cfg);
+    if (it->second.blocks == 0)
+        perKernel.erase(it);
+    if (occ.blocks == 0)
+        warpRR = 0;
+}
+
+SmOccupancy
+Sm::kernelOccupancy(std::uint64_t kernelId) const
+{
+    auto it = perKernel.find(kernelId);
+    return it == perKernel.end() ? SmOccupancy{} : it->second;
+}
+
+unsigned
+Sm::takeSchedulerSlot()
+{
+    unsigned n = static_cast<unsigned>(schedulers.size());
+    // Section 9 mitigation: randomized assignment destroys the
+    // per-scheduler bit lanes the parallel channels rely on.
+    if (dev->mitigations().randomizeWarpSchedulers) {
+        return static_cast<unsigned>(
+            dev->deviceRng().uniformInt(0, static_cast<int>(n) - 1));
+    }
+    unsigned s = warpRR % n;
+    ++warpRR;
+    return s;
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Streaming multiprocessor: warp schedulers plus the occupancy
+ * accounting (threads, blocks, warps, registers, shared memory) that
+ * the leftover block-scheduling policy checks — and that the paper's
+ * Section 8 exclusive-co-location trick deliberately saturates.
+ */
+
+#ifndef GPUCC_GPU_SM_H
+#define GPUCC_GPU_SM_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gpu/arch_params.h"
+#include "gpu/kernel.h"
+#include "gpu/warp_scheduler.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+class ThreadBlock;
+
+/** Occupancy snapshot of an SM. */
+struct SmOccupancy
+{
+    unsigned blocks = 0;
+    unsigned threads = 0;
+    unsigned warps = 0;
+    std::uint32_t regs = 0;
+    std::size_t smemBytes = 0;
+};
+
+/** One streaming multiprocessor. */
+class Sm
+{
+  public:
+    Sm(Device &dev, unsigned id);
+
+    /** SM id (%smid). */
+    unsigned id() const { return smId; }
+
+    /** Owning device. */
+    Device &device() { return *dev; }
+
+    /** Scheduler @p i (0-based). */
+    WarpScheduler &scheduler(unsigned i);
+
+    /** Number of warp schedulers. */
+    unsigned numSchedulers() const;
+
+    /** @return true when a block with @p cfg fits in leftover capacity. */
+    bool canHost(const LaunchConfig &cfg) const;
+
+    /**
+     * Intra-SM partitioning admission (Warped-Slicer-style, Section
+     * 3.2): at most @p maxKernels kernels co-resident, each capped at a
+     * 1/maxKernels share of every resource.
+     */
+    bool canHostPartitioned(const LaunchConfig &cfg, std::uint64_t kernelId,
+                            unsigned maxKernels = 2) const;
+
+    /** Reserve resources for a block of kernel @p kernelId. */
+    void reserve(const LaunchConfig &cfg, std::uint64_t kernelId);
+
+    /** Release resources of a block of kernel @p kernelId. */
+    void release(const LaunchConfig &cfg, std::uint64_t kernelId);
+
+    /** Current occupancy. */
+    const SmOccupancy &occupancy() const { return occ; }
+
+    /** Occupancy attributed to kernel @p kernelId (zero if absent). */
+    SmOccupancy kernelOccupancy(std::uint64_t kernelId) const;
+
+    /** Number of distinct kernels with resident blocks. */
+    unsigned residentKernels() const
+    {
+        return static_cast<unsigned>(perKernel.size());
+    }
+
+    /** @return true when nothing is resident. */
+    bool idle() const { return occ.blocks == 0; }
+
+    /**
+     * Next warp -> scheduler assignment. The counter runs round-robin
+     * across *all* blocks resident on the SM (Section 3.1): a second
+     * kernel's warps continue where the first kernel's stopped, which
+     * is what balances trojan+spy warps across schedulers. It resets
+     * when the SM drains.
+     */
+    unsigned takeSchedulerSlot();
+
+  private:
+    Device *dev;
+    unsigned smId;
+    std::vector<std::unique_ptr<WarpScheduler>> schedulers;
+    SmOccupancy occ;
+    std::map<std::uint64_t, SmOccupancy> perKernel;
+    unsigned warpRR = 0;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_SM_H

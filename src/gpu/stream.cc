@@ -1,0 +1,45 @@
+#include "gpu/stream.h"
+
+#include "common/log.h"
+#include "gpu/device.h"
+
+namespace gpucc::gpu
+{
+
+Stream::Stream(Device &dev_, unsigned id) : dev(&dev_), streamId(id) {}
+
+void
+Stream::submit(KernelInstance &kernel, Tick arrivalTick)
+{
+    kernel.setArrivalTick(arrivalTick);
+    KernelInstance *k = &kernel;
+    Stream *self = this;
+    dev->events().schedule(arrivalTick, [self, k] {
+        self->waiting.push_back(k);
+        if (!self->running)
+            self->dispatchHead();
+    });
+}
+
+void
+Stream::dispatchHead()
+{
+    GPUCC_ASSERT(!running, "stream %u already has a running kernel",
+                 streamId);
+    if (waiting.empty())
+        return;
+    running = waiting.front();
+    waiting.pop_front();
+    dev->blockScheduler().admit(*running);
+}
+
+void
+Stream::kernelDone(KernelInstance &kernel)
+{
+    GPUCC_ASSERT(running == &kernel, "stream %u: out-of-order completion",
+                 streamId);
+    running = nullptr;
+    dispatchHead();
+}
+
+} // namespace gpucc::gpu

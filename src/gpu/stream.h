@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CUDA-style stream: kernels on the same stream execute in order;
+ * kernels on different streams run concurrently (the multiprogramming
+ * mechanism the paper uses for co-locating trojan and spy).
+ */
+
+#ifndef GPUCC_GPU_STREAM_H
+#define GPUCC_GPU_STREAM_H
+
+#include <deque>
+
+#include "common/types.h"
+#include "gpu/kernel.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+
+/** An in-order kernel queue sharing the device with other streams. */
+class Stream
+{
+  public:
+    Stream(Device &dev, unsigned id);
+
+    /** Stream id. */
+    unsigned id() const { return streamId; }
+
+    /**
+     * Submit @p kernel to arrive at the device at @p arrivalTick (the
+     * host launch path). The kernel becomes eligible for block placement
+     * once every earlier kernel on this stream completed.
+     */
+    void submit(KernelInstance &kernel, Tick arrivalTick);
+
+    /** Notification that @p kernel (the running head) completed. */
+    void kernelDone(KernelInstance &kernel);
+
+    /** @return true when a kernel from this stream is on the device. */
+    bool busy() const { return running != nullptr; }
+
+  private:
+    void dispatchHead();
+
+    Device *dev;
+    unsigned streamId;
+    KernelInstance *running = nullptr;
+    std::deque<KernelInstance *> waiting;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_STREAM_H

@@ -1,0 +1,133 @@
+#include "gpu/thread_block.h"
+
+#include "common/log.h"
+#include "gpu/device.h"
+#include "gpu/sm.h"
+#include "gpu/warp.h"
+
+namespace gpucc::gpu
+{
+
+namespace
+{
+/** Cycles a barrier release costs after the last warp arrives. */
+constexpr Cycle barrierCycles = 24;
+}
+
+ThreadBlock::ThreadBlock(KernelInstance &kernel, unsigned blockId_, Sm &sm)
+    : kernelInst(&kernel), blockId(blockId_), hostSm(&sm)
+{
+    recordIdx = kernel.blockRecords().size();
+    kernel.blockRecords().push_back(
+        BlockRecord{blockId_, sm.id(), 0, 0});
+    smem.resize(kernel.config().smemBytesPerBlock / 4, 0);
+}
+
+void
+ThreadBlock::smemWrite(Addr offset, std::uint32_t value)
+{
+    GPUCC_ASSERT(offset / 4 < smem.size(),
+                 "smem offset %llu outside the block's %zu-byte "
+                 "allocation",
+                 static_cast<unsigned long long>(offset), smem.size() * 4);
+    smem[offset / 4] = value;
+}
+
+std::uint32_t
+ThreadBlock::smemRead(Addr offset) const
+{
+    GPUCC_ASSERT(offset / 4 < smem.size(),
+                 "smem offset %llu outside the block's %zu-byte "
+                 "allocation",
+                 static_cast<unsigned long long>(offset), smem.size() * 4);
+    return smem[offset / 4];
+}
+
+ThreadBlock::~ThreadBlock() = default;
+
+void
+ThreadBlock::start(Tick startTick)
+{
+    unsigned n = kernelInst->config().warpsPerBlock();
+    warps.reserve(n);
+    for (unsigned w = 0; w < n; ++w) {
+        // Round-robin warp -> warp-scheduler assignment, continuing
+        // across resident blocks on this SM (Section 3.1).
+        warps.push_back(
+            std::make_unique<Warp>(*this, w, hostSm->takeSchedulerSlot()));
+        warps.back()->bindBody();
+        // A preempted-and-restarted block re-runs from scratch: discard
+        // any output its previous incarnation produced.
+        kernelInst
+            ->out(blockId * kernelInst->config().warpsPerBlock() + w)
+            .clear();
+    }
+    kernelInst->blockRecords()[recordIdx].startTick = startTick;
+    kernelInst->noteStart(startTick);
+    Device &dev = hostSm->device();
+    for (auto &w : warps) {
+        Warp *wp = w.get();
+        dev.events().schedule(startTick, [wp] { wp->resumeNow(); });
+    }
+}
+
+void
+ThreadBlock::warpFinished(Warp &)
+{
+    ++warpsDone;
+    GPUCC_ASSERT(warpsDone <= warps.size(), "too many finished warps");
+    if (warpsDone == warps.size()) {
+        Device &dev = hostSm->device();
+        kernelInst->blockRecords()[recordIdx].endTick = dev.now();
+        dev.blockFinished(*this);
+    }
+}
+
+void
+ThreadBlock::arriveBarrier(Warp &warp, std::coroutine_handle<> h)
+{
+    barrierWaiters.emplace_back(&warp, h);
+    GPUCC_ASSERT(barrierWaiters.size() <= warps.size() - warpsDone,
+                 "barrier overflow in block %u of %s", blockId,
+                 kernelInst->name().c_str());
+    // A barrier releases when every still-running warp arrived. Warps
+    // that already returned no longer participate (CUDA forbids
+    // divergent exits around __syncthreads(); our kernels honor that).
+    if (barrierWaiters.size() == warps.size() - warpsDone) {
+        Device &dev = hostSm->device();
+        Tick release = dev.now() + cyclesToTicks(barrierCycles);
+        auto woken = std::move(barrierWaiters);
+        barrierWaiters.clear();
+        for (auto [w, wh] : woken) {
+            dev.events().schedule(release,
+                                  [w, wh] { w->resumeHandle(wh); });
+        }
+    }
+}
+
+void
+ThreadBlock::cancel(Tick when)
+{
+    GPUCC_ASSERT(!cancelledFlag, "block %u cancelled twice", blockId);
+    cancelledFlag = true;
+    for (auto &w : warps) {
+        if (!w->finished())
+            w->cancel();
+    }
+    barrierWaiters.clear();
+    kernelInst->blockRecords()[recordIdx].endTick = when;
+}
+
+unsigned
+ThreadBlock::numWarps() const
+{
+    return static_cast<unsigned>(warps.size());
+}
+
+bool
+ThreadBlock::done() const
+{
+    return warpsDone == warps.size() && !warps.empty();
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A thread block resident on an SM: owns its warps and implements the
+ * block-wide barrier (__syncthreads()).
+ */
+
+#ifndef GPUCC_GPU_THREAD_BLOCK_H
+#define GPUCC_GPU_THREAD_BLOCK_H
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/kernel.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+class Sm;
+class Warp;
+
+/** A placed, executing thread block. */
+class ThreadBlock
+{
+  public:
+    /**
+     * @param kernel Owning kernel instance.
+     * @param blockId Block index within the grid.
+     * @param sm SM the block was placed on.
+     */
+    ThreadBlock(KernelInstance &kernel, unsigned blockId, Sm &sm);
+    ~ThreadBlock();
+
+    ThreadBlock(const ThreadBlock &) = delete;
+    ThreadBlock &operator=(const ThreadBlock &) = delete;
+
+    /**
+     * Create the warps (round-robin scheduler assignment) and schedule
+     * their first execution at @p startTick.
+     */
+    void start(Tick startTick);
+
+    /** Called by a warp when its body completes. */
+    void warpFinished(Warp &warp);
+
+    /**
+     * Preempt the block (SMK scheduling): cancel every live warp. The
+     * caller releases the SM resources and requeues the block id; the
+     * object stays alive so already-scheduled resume events are no-ops.
+     */
+    void cancel(Tick when);
+
+    /** @return true once preempted. */
+    bool cancelled() const { return cancelledFlag; }
+
+    /** Register @p warp (suspended at @p h) at the block barrier. */
+    void arriveBarrier(Warp &warp, std::coroutine_handle<> h);
+
+    /** Owning kernel. */
+    KernelInstance &kernel() { return *kernelInst; }
+
+    /** Block id within the grid. */
+    unsigned id() const { return blockId; }
+
+    /** Hosting SM. */
+    Sm &sm() { return *hostSm; }
+
+    /** Number of warps in the block. */
+    unsigned numWarps() const;
+
+    /** @return true when all warps completed. */
+    bool done() const;
+
+    /** Scheduling record index into kernel().blockRecords(). */
+    std::size_t recordIndex() const { return recordIdx; }
+
+    /** Functional write into the block's shared memory (4-byte word). */
+    void smemWrite(Addr offset, std::uint32_t value);
+
+    /** Functional read from the block's shared memory (4-byte word). */
+    std::uint32_t smemRead(Addr offset) const;
+
+  private:
+    KernelInstance *kernelInst;
+    unsigned blockId;
+    Sm *hostSm;
+    std::vector<std::unique_ptr<Warp>> warps;
+    std::vector<std::pair<Warp *, std::coroutine_handle<>>> barrierWaiters;
+    unsigned warpsDone = 0;
+    std::size_t recordIdx = 0;
+    bool cancelledFlag = false;
+    std::vector<std::uint32_t> smem; //!< functional shared-memory words
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_THREAD_BLOCK_H

@@ -1,0 +1,51 @@
+#include "gpu/warp.h"
+
+#include "common/log.h"
+#include "gpu/sm.h"
+#include "gpu/thread_block.h"
+
+namespace gpucc::gpu
+{
+
+Warp::Warp(ThreadBlock &block, unsigned warpInBlock, unsigned schedulerId)
+    : parent(&block), warpIdx(warpInBlock), schedId(schedulerId)
+{
+    ctx = std::make_unique<WarpCtx>(block.sm().device(), block.sm(), block,
+                                    *this);
+}
+
+Warp::~Warp() = default;
+
+void
+Warp::bindBody()
+{
+    GPUCC_ASSERT(!program.valid(), "warp body already bound");
+    program = parent->kernel().body()(*ctx);
+    GPUCC_ASSERT(program.valid(), "kernel body returned empty coroutine");
+}
+
+void
+Warp::resumeNow()
+{
+    GPUCC_ASSERT(program.valid(), "warp has no body");
+    resumeHandle(program.handle());
+}
+
+void
+Warp::resumeHandle(std::coroutine_handle<> h)
+{
+    if (cancelledFlag)
+        return; // preempted: the frame stays suspended forever
+    GPUCC_ASSERT(program.valid() && !program.done(),
+                 "resuming a finished warp");
+    state = WarpState::Running;
+    h.resume();
+    // Nested completions symmetric-transfer back up before resume()
+    // returns, so the top-level done() flag is accurate here.
+    if (program.done()) {
+        state = WarpState::Finished;
+        parent->warpFinished(*this);
+    }
+}
+
+} // namespace gpucc::gpu

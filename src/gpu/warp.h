@@ -1,0 +1,103 @@
+/**
+ * @file
+ * One resident warp: the coroutine execution wrapper plus its scheduler
+ * binding. Warps are created when a thread block is placed on an SM and
+ * are assigned to warp schedulers round-robin by warp index, the policy
+ * the paper reverse engineers in Section 3.1.
+ */
+
+#ifndef GPUCC_GPU_WARP_H
+#define GPUCC_GPU_WARP_H
+
+#include <memory>
+
+#include "common/types.h"
+#include "gpu/warp_ctx.h"
+#include "gpu/warp_program.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+class Sm;
+class ThreadBlock;
+
+/** Execution state of a warp. */
+enum class WarpState
+{
+    Created,   //!< not yet started
+    Running,   //!< between events (suspended on an op)
+    InBarrier, //!< waiting on __syncthreads()
+    Finished,  //!< body returned
+};
+
+/** A warp resident on an SM. */
+class Warp
+{
+  public:
+    /**
+     * @param block Owning thread block.
+     * @param warpInBlock Warp index within the block.
+     * @param schedulerId Warp scheduler the warp is bound to.
+     */
+    Warp(ThreadBlock &block, unsigned warpInBlock, unsigned schedulerId);
+    ~Warp();
+
+    Warp(const Warp &) = delete;
+    Warp &operator=(const Warp &) = delete;
+
+    /** Instantiate the kernel body coroutine for this warp. */
+    void bindBody();
+
+    /** Start / resume the top-level body (called from event context). */
+    void resumeNow();
+
+    /**
+     * Resume a specific suspended coroutine of this warp (the top-level
+     * body or a nested DeviceTask) and detect body completion.
+     */
+    void resumeHandle(std::coroutine_handle<> h);
+
+    /** Mark the warp as parked in the block barrier. */
+    void parkInBarrier() { state = WarpState::InBarrier; }
+
+    /**
+     * Cancel the warp (SMK preemption): pending resume events become
+     * no-ops and the coroutine frame is simply never resumed again.
+     */
+    void cancel() { cancelledFlag = true; }
+
+    /** @return true once cancelled. */
+    bool cancelled() const { return cancelledFlag; }
+
+    /** @return current state. */
+    WarpState warpState() const { return state; }
+
+    /** @return true once the body completed. */
+    bool finished() const { return state == WarpState::Finished; }
+
+    /** Warp index within its block. */
+    unsigned indexInBlock() const { return warpIdx; }
+
+    /** Warp scheduler binding. */
+    unsigned schedulerId() const { return schedId; }
+
+    /** Owning block. */
+    ThreadBlock &block() { return *parent; }
+
+    /** Device-side context. */
+    WarpCtx &context() { return *ctx; }
+
+  private:
+    ThreadBlock *parent;
+    unsigned warpIdx;
+    unsigned schedId;
+    WarpState state = WarpState::Created;
+    bool cancelledFlag = false;
+    std::unique_ptr<WarpCtx> ctx;
+    WarpProgram program;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_WARP_H

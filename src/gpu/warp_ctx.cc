@@ -1,0 +1,275 @@
+#include "gpu/warp_ctx.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/device.h"
+#include "gpu/sm.h"
+#include "gpu/stream.h"
+#include "gpu/thread_block.h"
+#include "gpu/warp.h"
+
+namespace gpucc::gpu
+{
+
+WarpCtx::WarpCtx(Device &dev_, Sm &sm_, ThreadBlock &block_, Warp &warp_)
+    : dev(&dev_), smPtr(&sm_), blockPtr(&block_), warpPtr(&warp_)
+{
+}
+
+void
+WarpCtx::Await::await_suspend(std::coroutine_handle<> h) const
+{
+    ctx->scheduleResume(h, when);
+}
+
+void
+WarpCtx::BarrierAwait::await_suspend(std::coroutine_handle<> h) const
+{
+    ctx->enterBarrier(h);
+}
+
+void
+WarpCtx::scheduleResume(std::coroutine_handle<> h, Tick when) const
+{
+    Warp *w = warpPtr;
+    dev->events().schedule(when, [w, h] { w->resumeHandle(h); });
+}
+
+void
+WarpCtx::enterBarrier(std::coroutine_handle<> h) const
+{
+    warpPtr->parkInBarrier();
+    blockPtr->arriveBarrier(*warpPtr, h);
+}
+
+Tick
+WarpCtx::issueDispatch(Tick now) const
+{
+    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    auto r = sched.dispatch().acquire(now, cyclesToTicks(Cycle(1)));
+    return r.serviceStart;
+}
+
+std::uint64_t
+WarpCtx::fuzzLatency(std::uint64_t cycles) const
+{
+    // Section 9 mitigation (TimeWarp-style): every latency a program
+    // observes carries uniform noise, drowning small contention deltas.
+    Cycle f = dev->mitigations().timerFuzzCycles;
+    if (f == 0)
+        return cycles;
+    std::int64_t noise = dev->deviceRng().uniformInt(
+        -static_cast<std::int64_t>(f), static_cast<std::int64_t>(f));
+    std::int64_t v = static_cast<std::int64_t>(cycles) + noise;
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+int
+WarpCtx::partitionDomain() const
+{
+    if (!dev->mitigations().cacheWayPartitioning)
+        return -1;
+    // Applications are told apart by the stream their kernel arrived on.
+    return static_cast<int>(blockPtr->kernel().stream().id() % 2);
+}
+
+Tick
+WarpCtx::issueOp(OpClass op, Tick now) const
+{
+    const ArchParams &arch = dev->arch();
+    const OpTiming &t = arch.timing(op);
+    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    auto d = sched.dispatch().acquire(now, cyclesToTicks(Cycle(1)));
+    auto f = sched.port(t.fu).acquire(d.serviceStart, t.occTicks);
+    return f.serviceEnd + cyclesToTicks(t.latencyCycles);
+}
+
+WarpCtx::Await
+WarpCtx::clock()
+{
+    const ArchParams &arch = dev->arch();
+    Tick now = dev->now();
+    Tick start = issueDispatch(now);
+    Tick done = start + cyclesToTicks(arch.clockReadCycles);
+    Cycle q = arch.clockQuantumCycles ? arch.clockQuantumCycles : 1;
+    Cycle value = (ticksToCycles(start) / q) * q;
+    return Await(*this, done, value);
+}
+
+unsigned
+WarpCtx::smid() const
+{
+    return smPtr->id();
+}
+
+unsigned
+WarpCtx::blockId() const
+{
+    return blockPtr->id();
+}
+
+unsigned
+WarpCtx::warpInBlock() const
+{
+    return warpPtr->indexInBlock();
+}
+
+unsigned
+WarpCtx::globalWarpId() const
+{
+    return blockPtr->id() * blockPtr->kernel().config().warpsPerBlock() +
+           warpPtr->indexInBlock();
+}
+
+unsigned
+WarpCtx::schedulerId() const
+{
+    return warpPtr->schedulerId();
+}
+
+unsigned
+WarpCtx::threadId(unsigned lane) const
+{
+    return blockPtr->id() * blockPtr->kernel().config().threadsPerBlock +
+           warpPtr->indexInBlock() * warpSize + lane;
+}
+
+WarpCtx::Await
+WarpCtx::op(OpClass opClass)
+{
+    Tick now = dev->now();
+    Tick done = issueOp(opClass, now);
+    // Round to the nearest cycle: sub-cycle issue occupancies would
+    // otherwise truncate away (e.g. Kepler FAdd at 5.67 cycles).
+    Cycle lat = ticksToCycles(done - now + ticksPerCycle / 2);
+    return Await(*this, done, fuzzLatency(lat));
+}
+
+WarpCtx::Await
+WarpCtx::sleep(Cycle cycles)
+{
+    Tick now = dev->now();
+    return Await(*this, now + cyclesToTicks(cycles), cycles);
+}
+
+WarpCtx::Await
+WarpCtx::constLoad(Addr addr)
+{
+    Tick now = dev->now();
+    Tick start = issueDispatch(now);
+    int app = static_cast<int>(blockPtr->kernel().stream().id());
+    auto res = dev->constMem().access(smPtr->id(), addr, start,
+                                      partitionDomain(), app);
+    return Await(*this, res.completion,
+                 fuzzLatency(ticksToCycles(res.completion - now)));
+}
+
+DeviceTask<std::uint64_t>
+WarpCtx::constLoadSeq(std::vector<Addr> addrs)
+{
+    GPUCC_ASSERT(!addrs.empty(), "empty constant load sequence");
+    std::uint64_t total = 0;
+    for (Addr a : addrs)
+        total += co_await constLoad(a);
+    co_return total;
+}
+
+WarpCtx::Await
+WarpCtx::atomicAdd(const std::vector<Addr> &laneAddrs, std::uint64_t value)
+{
+    GPUCC_ASSERT(!laneAddrs.empty(), "empty atomic address list");
+    Tick now = dev->now();
+    Tick start = issueDispatch(now);
+    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    auto l = sched.port(FuType::LDST).acquire(start,
+                                              cyclesToTicks(Cycle(1)));
+    Tick done = dev->globalMem().atomicAdd(laneAddrs, value, l.serviceEnd);
+    return Await(*this, done, ticksToCycles(done - now));
+}
+
+WarpCtx::Await
+WarpCtx::globalLoad(const std::vector<Addr> &laneAddrs)
+{
+    GPUCC_ASSERT(!laneAddrs.empty(), "empty load address list");
+    Tick now = dev->now();
+    Tick start = issueDispatch(now);
+    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    auto l = sched.port(FuType::LDST).acquire(start,
+                                              cyclesToTicks(Cycle(1)));
+    Tick done = dev->globalMem().load(laneAddrs, l.serviceEnd);
+    return Await(*this, done, ticksToCycles(done - now));
+}
+
+WarpCtx::Await
+WarpCtx::globalStore(const std::vector<Addr> &laneAddrs)
+{
+    GPUCC_ASSERT(!laneAddrs.empty(), "empty store address list");
+    Tick now = dev->now();
+    Tick start = issueDispatch(now);
+    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    auto l = sched.port(FuType::LDST).acquire(start,
+                                              cyclesToTicks(Cycle(1)));
+    Tick done = dev->globalMem().store(laneAddrs, l.serviceEnd);
+    return Await(*this, done, ticksToCycles(done - now));
+}
+
+unsigned
+WarpCtx::bankConflictDegree(const std::vector<Addr> &laneOffsets) const
+{
+    unsigned banks = dev->arch().smemBanks;
+    std::vector<unsigned> perBank(banks, 0);
+    unsigned worst = 0;
+    for (Addr off : laneOffsets) {
+        unsigned bank = static_cast<unsigned>((off / 4) % banks);
+        worst = std::max(worst, ++perBank[bank]);
+    }
+    return worst;
+}
+
+WarpCtx::Await
+WarpCtx::sharedAccess(const std::vector<Addr> &laneOffsets)
+{
+    GPUCC_ASSERT(!laneOffsets.empty(), "empty shared-memory access");
+    const ArchParams &arch = dev->arch();
+    Tick now = dev->now();
+    Tick start = issueDispatch(now);
+    // Bank conflicts serialize the lanes *within this warp's access*:
+    // the replays occupy the warp, not a shared structure, which is why
+    // this artifact cannot be observed by a competing kernel (§10).
+    unsigned degree = bankConflictDegree(laneOffsets);
+    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    auto l = sched.port(FuType::LDST).acquire(start,
+                                              cyclesToTicks(Cycle(1)));
+    Tick done = l.serviceEnd +
+                cyclesToTicks(arch.smemBaseCycles +
+                              Cycle(degree - 1) * arch.smemConflictCycles);
+    return Await(*this, done,
+                 fuzzLatency(ticksToCycles(done - now)));
+}
+
+void
+WarpCtx::smemWrite(Addr offset, std::uint32_t value)
+{
+    blockPtr->smemWrite(offset, value);
+}
+
+std::uint32_t
+WarpCtx::smemRead(Addr offset) const
+{
+    return blockPtr->smemRead(offset);
+}
+
+WarpCtx::BarrierAwait
+WarpCtx::syncthreads()
+{
+    return BarrierAwait(*this);
+}
+
+void
+WarpCtx::out(std::uint64_t value)
+{
+    blockPtr->kernel().out(globalWarpId()).push_back(value);
+}
+
+} // namespace gpucc::gpu

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Device-side API available to warp programs.
+ *
+ * WarpCtx mirrors what a CUDA kernel can do on real hardware: read the
+ * SM cycle counter (clock()), read the SM id (%smid), issue arithmetic
+ * to the functional units, load from constant memory, perform global
+ * memory loads/stores/atomics, and synchronize the thread block. All
+ * operations are awaitables that charge simulated time.
+ */
+
+#ifndef GPUCC_GPU_WARP_CTX_H
+#define GPUCC_GPU_WARP_CTX_H
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/arch_params.h"
+#include "gpu/device_task.h"
+
+namespace gpucc::gpu
+{
+
+class Device;
+class Sm;
+class ThreadBlock;
+class Warp;
+
+/** Execution context of one warp (SIMT at warp granularity). */
+class WarpCtx
+{
+  public:
+    WarpCtx(Device &dev, Sm &sm, ThreadBlock &block, Warp &warp);
+
+    /** Generic awaitable produced by timed device operations. */
+    class Await
+    {
+      public:
+        Await(WarpCtx &c, Tick resumeAt, std::uint64_t value)
+            : ctx(&c), when(resumeAt), result(value)
+        {
+        }
+
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) const;
+        std::uint64_t await_resume() const noexcept { return result; }
+
+      private:
+        WarpCtx *ctx;
+        Tick when;
+        std::uint64_t result;
+    };
+
+    /** Awaitable for __syncthreads(); resumed by the block barrier. */
+    class BarrierAwait
+    {
+      public:
+        explicit BarrierAwait(WarpCtx &c) : ctx(&c) {}
+
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) const;
+        void await_resume() const noexcept {}
+
+      private:
+        WarpCtx *ctx;
+    };
+
+    // ---- Timing / identification primitives -------------------------
+
+    /**
+     * Read the SM cycle counter (CUDA clock()). The returned value is
+     * quantized to the architecture's clock read granularity, modeling
+     * the paper's observation that timing short code segments is
+     * unreliable.
+     */
+    Await clock();
+
+    /** SM the warp is resident on (%smid register). */
+    unsigned smid() const;
+
+    /** Block id within the grid. */
+    unsigned blockId() const;
+
+    /** Warp index within the block. */
+    unsigned warpInBlock() const;
+
+    /** Global warp index within the grid. */
+    unsigned globalWarpId() const;
+
+    /** Warp scheduler this warp was assigned to (round-robin). */
+    unsigned schedulerId() const;
+
+    /** Global thread id of lane @p lane in this warp. */
+    unsigned threadId(unsigned lane) const;
+
+    // ---- Compute ------------------------------------------------------
+
+    /**
+     * Execute one warp instruction of class @p op.
+     *
+     * Exactly one instruction per await: reservations on the shared
+     * issue ports must happen in global time order for contention to be
+     * causal, so dependent chains are written as kernel-side loops.
+     *
+     * @return elapsed cycles from issue to completion (queueing +
+     *         occupancy + pipeline latency).
+     */
+    Await op(OpClass op);
+
+    /** Idle (no-issue) wait of @p cycles. */
+    Await sleep(Cycle cycles);
+
+    // ---- Constant memory ----------------------------------------------
+
+    /** Broadcast load of one constant address; result = latency cycles. */
+    Await constLoad(Addr addr);
+
+    /**
+     * Dependent sequence of constant loads (the strided prime/probe
+     * loops). Issues one load per event so port/cache reservations stay
+     * causal with concurrent warps (a one-shot booking of the whole
+     * sequence would let one warp reserve the port timeline far into
+     * the future and starve its contenders unrealistically).
+     *
+     * @return total elapsed cycles for the whole sequence.
+     */
+    DeviceTask<std::uint64_t> constLoadSeq(std::vector<Addr> addrs);
+
+    // ---- Global memory --------------------------------------------------
+
+    /**
+     * Warp-wide atomic add; per-lane addresses. Result = latency cycles.
+     */
+    Await atomicAdd(const std::vector<Addr> &laneAddrs,
+                    std::uint64_t value = 1);
+
+    /** Warp-wide global load; result = latency cycles. */
+    Await globalLoad(const std::vector<Addr> &laneAddrs);
+
+    /** Warp-wide global store; result = latency cycles. */
+    Await globalStore(const std::vector<Addr> &laneAddrs);
+
+    // ---- Shared memory ---------------------------------------------------
+
+    /**
+     * Warp-wide shared-memory access with per-lane byte offsets into the
+     * block's allocation. Lanes hitting the same bank serialize: the
+     * latency is base + (maxLanesPerBank - 1) * conflictPenalty. This is
+     * the self-contention artifact of Jiang et al. that Section 10 shows
+     * CANNOT carry a covert channel: the serialization happens inside
+     * the warp's own access and is invisible to competing kernels.
+     *
+     * @return elapsed cycles.
+     */
+    Await sharedAccess(const std::vector<Addr> &laneOffsets);
+
+    /** Bank-conflict degree of a lane-offset pattern on this device. */
+    unsigned bankConflictDegree(const std::vector<Addr> &laneOffsets) const;
+
+    /** Functional write of one 4-byte word of block shared memory. */
+    void smemWrite(Addr offset, std::uint32_t value);
+
+    /** Functional read of one 4-byte word of block shared memory. */
+    std::uint32_t smemRead(Addr offset) const;
+
+    // ---- Synchronization ------------------------------------------------
+
+    /** Block-wide barrier (__syncthreads()). */
+    BarrierAwait syncthreads();
+
+    // ---- Results ----------------------------------------------------------
+
+    /** Append a value to this warp's output buffer (host-visible). */
+    void out(std::uint64_t value);
+
+    /** Owning device (characterization helpers peek at caches). */
+    Device &device() { return *dev; }
+
+  private:
+    friend class Await;
+    friend class BarrierAwait;
+
+    /**
+     * Schedule @p h (the coroutine that just suspended — possibly a
+     * nested DeviceTask, not the warp's top-level body) to resume at
+     * @p when.
+     */
+    void scheduleResume(std::coroutine_handle<> h, Tick when) const;
+
+    /** Register @p h with the block barrier. */
+    void enterBarrier(std::coroutine_handle<> h) const;
+
+    /** Charge one instruction through dispatch + FU port. */
+    Tick issueOp(OpClass op, Tick now) const;
+
+    /** Charge the dispatch slot only (loads, clock reads). */
+    Tick issueDispatch(Tick now) const;
+
+    /** Apply the timer-fuzz mitigation to an observed latency. */
+    std::uint64_t fuzzLatency(std::uint64_t cycles) const;
+
+    /** Cache way-partition domain of this warp's application, or -1. */
+    int partitionDomain() const;
+
+    Device *dev;
+    Sm *smPtr;
+    ThreadBlock *blockPtr;
+    Warp *warpPtr;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_WARP_CTX_H

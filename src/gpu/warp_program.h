@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Coroutine plumbing for device programs.
+ *
+ * A kernel body is a C++20 coroutine executed once per warp (the SIMT
+ * model at warp granularity). Each device operation is an awaitable:
+ * awaiting it charges simulated time through the timing model and
+ * suspends the warp until the operation's completion tick. The warp is
+ * resumed by the device event queue, so concurrent warps interleave in
+ * global simulated-time order.
+ */
+
+#ifndef GPUCC_GPU_WARP_PROGRAM_H
+#define GPUCC_GPU_WARP_PROGRAM_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace gpucc::gpu
+{
+
+/** Return type of a warp-granularity kernel body coroutine. */
+class WarpProgram
+{
+  public:
+    struct promise_type
+    {
+        WarpProgram
+        get_return_object()
+        {
+            return WarpProgram(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    WarpProgram() = default;
+    explicit WarpProgram(Handle h) : coro(h) {}
+
+    WarpProgram(const WarpProgram &) = delete;
+    WarpProgram &operator=(const WarpProgram &) = delete;
+
+    WarpProgram(WarpProgram &&other) noexcept
+        : coro(std::exchange(other.coro, nullptr))
+    {
+    }
+
+    WarpProgram &
+    operator=(WarpProgram &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            coro = std::exchange(other.coro, nullptr);
+        }
+        return *this;
+    }
+
+    ~WarpProgram() { destroy(); }
+
+    /** Underlying coroutine handle (empty when default constructed). */
+    Handle handle() const { return coro; }
+
+    /** @return true when the body ran to completion. */
+    bool done() const { return !coro || coro.done(); }
+
+    /** @return true when a coroutine is attached. */
+    bool valid() const { return static_cast<bool>(coro); }
+
+  private:
+    void
+    destroy()
+    {
+        if (coro) {
+            coro.destroy();
+            coro = nullptr;
+        }
+    }
+
+    Handle coro;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_WARP_PROGRAM_H

@@ -1,0 +1,36 @@
+#include "gpu/warp_scheduler.h"
+
+#include "common/log.h"
+
+namespace gpucc::gpu
+{
+
+WarpScheduler::WarpScheduler(const ArchParams &arch, unsigned smId,
+                             unsigned schedId_)
+    : schedId(schedId_),
+      dispatchPool(strfmt("sm%u.s%u.dispatch", smId, schedId_),
+                   arch.dispatchUnitsPerScheduler),
+      spPort(strfmt("sm%u.s%u.sp", smId, schedId_), 1),
+      dpPort(strfmt("sm%u.s%u.dp", smId, schedId_), 1),
+      sfuPort(strfmt("sm%u.s%u.sfu", smId, schedId_), 1),
+      ldstPort(strfmt("sm%u.s%u.ldst", smId, schedId_), 1)
+{
+}
+
+sim::ResourcePool &
+WarpScheduler::port(FuType fu)
+{
+    switch (fu) {
+      case FuType::SP:
+        return spPort;
+      case FuType::DPU:
+        return dpPort;
+      case FuType::SFU:
+        return sfuPort;
+      case FuType::LDST:
+        return ldstPort;
+    }
+    GPUCC_PANIC("unknown FU type");
+}
+
+} // namespace gpucc::gpu

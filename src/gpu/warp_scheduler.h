@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Warp scheduler model: the per-scheduler dispatch slots and the
+ * functional-unit issue ports it fronts.
+ *
+ * The paper's central Section 5 observation is that functional-unit
+ * contention is isolated to warps sharing a warp scheduler — on Maxwell
+ * because each quadrant has dedicated units, and on Fermi/Kepler because
+ * issue bandwidth to the soft-shared units is still per-scheduler. The
+ * model therefore gives every scheduler its own issue-port timeline per
+ * FU type, sized as (units per SM) / (schedulers per SM).
+ */
+
+#ifndef GPUCC_GPU_WARP_SCHEDULER_H
+#define GPUCC_GPU_WARP_SCHEDULER_H
+
+#include <memory>
+
+#include "gpu/arch_params.h"
+#include "sim/resource_pool.h"
+
+namespace gpucc::gpu
+{
+
+/** One warp scheduler (or Maxwell quadrant) inside an SM. */
+class WarpScheduler
+{
+  public:
+    /**
+     * @param arch Architecture parameters.
+     * @param smId Hosting SM id (debug names only).
+     * @param schedId Scheduler index within the SM.
+     */
+    WarpScheduler(const ArchParams &arch, unsigned smId, unsigned schedId);
+
+    /** Dispatch-slot pool (k = dispatch units per scheduler). */
+    sim::ResourcePool &dispatch() { return dispatchPool; }
+
+    /** Issue port fronting units of type @p fu. */
+    sim::ResourcePool &port(FuType fu);
+
+    /** Scheduler index within the SM. */
+    unsigned id() const { return schedId; }
+
+  private:
+    unsigned schedId;
+    sim::ResourcePool dispatchPool;
+    sim::ResourcePool spPort;
+    sim::ResourcePool dpPort;
+    sim::ResourcePool sfuPort;
+    sim::ResourcePool ldstPort;
+};
+
+} // namespace gpucc::gpu
+
+#endif // GPUCC_GPU_WARP_SCHEDULER_H

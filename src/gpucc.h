@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Umbrella header: the library's public API in one include.
+ *
+ * Layers, bottom to top:
+ *  - gpu::*       the simulated GPGPU (devices, kernels-as-coroutines,
+ *                 streams, hosts, block-scheduling policies, defenses)
+ *  - covert::*    the paper's contribution: characterization, channels,
+ *                 synchronization, parallelization, co-location control,
+ *                 and the extension modules (coding, agility, detection)
+ *  - workloads::* Rodinia-like interference kernels
+ */
+
+#ifndef GPUCC_GPUCC_H
+#define GPUCC_GPUCC_H
+
+// Foundations.
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+// The simulated GPU.
+#include "gpu/arch_params.h"
+#include "gpu/block_scheduler.h"
+#include "gpu/device.h"
+#include "gpu/device_stats.h"
+#include "gpu/device_task.h"
+#include "gpu/host.h"
+#include "gpu/kernel.h"
+#include "gpu/mitigations.h"
+#include "gpu/warp_ctx.h"
+#include "gpu/warp_program.h"
+
+// Covert-channel construction and characterization.
+#include "covert/agile/idle_discovery.h"
+#include "covert/analysis/capacity.h"
+#include "covert/channel.h"
+#include "covert/channels/atomic_channel.h"
+#include "covert/channels/fu_channel_plan.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/l2_const_channel.h"
+#include "covert/channels/sfu_channel.h"
+#include "covert/characterize/cache_characterizer.h"
+#include "covert/characterize/fu_characterizer.h"
+#include "covert/characterize/scheduler_probe.h"
+#include "covert/coding/error_code.h"
+#include "covert/colocation/exclusive.h"
+#include "covert/colocation/noise_experiment.h"
+#include "covert/detection/cc_detector.h"
+#include "covert/parallel/multi_resource_channel.h"
+#include "covert/parallel/sfu_parallel_channel.h"
+#include "covert/sync/duplex_channel.h"
+#include "covert/sync/handshake.h"
+#include "covert/sync/sync_channel.h"
+#include "covert/sync/sync_l2_channel.h"
+#include "covert/sync/sync_sfu_channel.h"
+
+// Interference workloads.
+#include "workloads/interference.h"
+
+#endif // GPUCC_GPUCC_H

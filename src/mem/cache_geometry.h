@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cache geometry descriptor: size / line / associativity and the derived
+ * address decomposition. Matches the parameters the paper reverse
+ * engineers with the Wong et al. microbenchmark (Section 4.1).
+ */
+
+#ifndef GPUCC_MEM_CACHE_GEOMETRY_H
+#define GPUCC_MEM_CACHE_GEOMETRY_H
+
+#include <cstddef>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace gpucc::mem
+{
+
+/** Static geometry of a set-associative cache. */
+struct CacheGeometry
+{
+    std::size_t sizeBytes = 0; //!< total capacity
+    std::size_t lineBytes = 0; //!< line (block) size
+    unsigned ways = 0;         //!< associativity
+
+    /** Number of sets. */
+    std::size_t
+    numSets() const
+    {
+        return sizeBytes / (lineBytes * ways);
+    }
+
+    /** Set index of @p addr. */
+    std::size_t
+    setOf(Addr addr) const
+    {
+        return (addr / lineBytes) % numSets();
+    }
+
+    /** Tag of @p addr (line address above the index bits). */
+    Addr
+    tagOf(Addr addr) const
+    {
+        return (addr / lineBytes) / numSets();
+    }
+
+    /** Line-aligned base address of @p addr. */
+    Addr
+    lineAlign(Addr addr) const
+    {
+        return addr - (addr % lineBytes);
+    }
+
+    /** Sanity-check invariants (power-of-two-free model is allowed). */
+    void
+    validate(const char *name) const
+    {
+        GPUCC_ASSERT(sizeBytes > 0 && lineBytes > 0 && ways > 0,
+                     "%s: empty geometry", name);
+        GPUCC_ASSERT(sizeBytes % (lineBytes * ways) == 0,
+                     "%s: size must be a multiple of line*ways", name);
+    }
+};
+
+} // namespace gpucc::mem
+
+#endif // GPUCC_MEM_CACHE_GEOMETRY_H

@@ -1,0 +1,33 @@
+#include "mem/coalescer.h"
+
+#include "common/log.h"
+
+namespace gpucc::mem
+{
+
+Coalescer::Coalescer(std::size_t segmentBytes) : segBytes(segmentBytes)
+{
+    GPUCC_ASSERT(segBytes > 0, "segment size must be positive");
+}
+
+std::vector<Transaction>
+Coalescer::coalesce(const std::vector<Addr> &laneAddrs) const
+{
+    std::vector<Transaction> txns;
+    for (Addr a : laneAddrs) {
+        Addr base = a - (a % segBytes);
+        bool found = false;
+        for (auto &t : txns) {
+            if (t.segmentBase == base) {
+                ++t.laneOps;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            txns.push_back(Transaction{base, 1});
+    }
+    return txns;
+}
+
+} // namespace gpucc::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Memory access coalescer.
+ *
+ * Groups the 32 per-lane addresses of a warp memory instruction into
+ * memory-segment transactions, exactly the behaviour the paper leans on
+ * in Section 6: consecutive small accesses land in few segments but
+ * serialize at the per-line atomic units, while strided accesses spread
+ * across segments and partitions.
+ */
+
+#ifndef GPUCC_MEM_COALESCER_H
+#define GPUCC_MEM_COALESCER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::mem
+{
+
+/** One coalesced transaction: a segment plus how many lane ops hit it. */
+struct Transaction
+{
+    Addr segmentBase = 0; //!< segment-aligned base address
+    unsigned laneOps = 0; //!< number of lane operations in this segment
+};
+
+/** Stateless coalescing helper. */
+class Coalescer
+{
+  public:
+    /** @param segmentBytes Memory segment (transaction) size. */
+    explicit Coalescer(std::size_t segmentBytes);
+
+    /**
+     * Coalesce one warp's lane addresses.
+     * @param laneAddrs Per-lane byte addresses (any count <= warpSize).
+     * @return transactions in first-touch order.
+     */
+    std::vector<Transaction> coalesce(
+        const std::vector<Addr> &laneAddrs) const;
+
+    /** Segment size accessor. */
+    std::size_t segmentBytes() const { return segBytes; }
+
+  private:
+    std::size_t segBytes;
+};
+
+} // namespace gpucc::mem
+
+#endif // GPUCC_MEM_COALESCER_H

@@ -1,0 +1,127 @@
+#include "mem/const_memory.h"
+
+#include "common/log.h"
+
+namespace gpucc::mem
+{
+
+ConstMemory::ConstMemory(const ConstMemoryParams &params, unsigned numSms)
+    : p(params)
+{
+    p.l1.validate("const L1");
+    p.l2.validate("const L2");
+    for (unsigned i = 0; i < numSms; ++i) {
+        l1s.push_back(std::make_unique<SetAssocCache>(
+            strfmt("constL1.sm%u", i), p.l1));
+        l1Ports.push_back(std::make_unique<sim::ResourcePool>(
+            strfmt("constL1port.sm%u", i), p.l1Ports));
+    }
+    l2 = std::make_unique<SetAssocCache>("constL2", p.l2);
+    l2Port = std::make_unique<sim::ResourcePool>("constL2port", p.l2Ports);
+}
+
+namespace
+{
+
+/** Half-the-ways partition bounds for an application domain. */
+void
+partitionWays(unsigned ways, int domain, unsigned &begin, unsigned &end)
+{
+    unsigned half = ways / 2;
+    if (domain <= 0) {
+        begin = 0;
+        end = half > 0 ? half : 1;
+    } else {
+        begin = half;
+        end = ways;
+    }
+}
+
+} // namespace
+
+ConstAccessResult
+ConstMemory::access(unsigned smId, Addr addr, Tick now, int partitionDomain,
+                    int accessorApp)
+{
+    GPUCC_ASSERT(smId < l1s.size(), "bad smId %u", smId);
+    ConstAccessResult res;
+
+    auto r1 = l1Ports[smId]->acquire(now, cyclesToTicks(p.l1PortOccCycles));
+    Tick t1 = r1.serviceStart;
+    CacheAccessResult a1;
+    if (partitionDomain >= 0) {
+        unsigned wb, we;
+        partitionWays(p.l1.ways, partitionDomain, wb, we);
+        a1 = l1s[smId]->accessInWays(addr, wb, we, accessorApp);
+    } else {
+        a1 = l1s[smId]->access(addr, accessorApp);
+    }
+    if (tracing && a1.evicted) {
+        record(EvictionEvent{now, smId,
+                             static_cast<unsigned>(p.l1.setOf(addr)),
+                             accessorApp, a1.victimOwner});
+    }
+    if (a1.hit) {
+        res.l1Hit = true;
+        res.completion = t1 + cyclesToTicks(p.l1HitCycles);
+        return res;
+    }
+
+    // L1 miss: forward to the shared L2 after the tag check.
+    auto r2 = l2Port->acquire(t1 + cyclesToTicks(p.l1MissFwdCycles),
+                              cyclesToTicks(p.l2PortOccCycles));
+    Tick t2 = r2.serviceStart;
+    CacheAccessResult a2;
+    if (partitionDomain >= 0) {
+        unsigned wb, we;
+        partitionWays(p.l2.ways, partitionDomain, wb, we);
+        a2 = l2->accessInWays(addr, wb, we, accessorApp);
+    } else {
+        a2 = l2->access(addr, accessorApp);
+    }
+    if (tracing && a2.evicted) {
+        record(EvictionEvent{now, ~0u,
+                             static_cast<unsigned>(p.l2.setOf(addr)),
+                             accessorApp, a2.victimOwner});
+    }
+    if (a2.hit) {
+        res.l2Hit = true;
+        // Total observed latency targets l2HitCycles from the L2 access
+        // point; the queueing before t2 adds on top, which is exactly the
+        // L2-port contention the multi-set channel saturates.
+        res.completion = t2 + cyclesToTicks(p.l2HitCycles -
+                                            p.l1MissFwdCycles);
+    } else {
+        res.completion = t2 + cyclesToTicks(p.memCycles -
+                                            p.l1MissFwdCycles);
+    }
+    return res;
+}
+
+const SetAssocCache &
+ConstMemory::l1Cache(unsigned smId) const
+{
+    GPUCC_ASSERT(smId < l1s.size(), "bad smId %u", smId);
+    return *l1s[smId];
+}
+
+void
+ConstMemory::record(const EvictionEvent &e)
+{
+    // Bounded trace: a hardware detector has finite buffering; keep the
+    // most recent window.
+    constexpr std::size_t cap = 400000;
+    if (trace.size() >= cap)
+        trace.erase(trace.begin(), trace.begin() + cap / 4);
+    trace.push_back(e);
+}
+
+void
+ConstMemory::flushAll()
+{
+    for (auto &c : l1s)
+        c->flush();
+    l2->flush();
+}
+
+} // namespace gpucc::mem

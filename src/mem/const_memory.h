@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Constant-memory hierarchy: per-SM L1 constant caches backed by a
+ * device-wide L2 constant cache backed by device memory.
+ *
+ * This is the structure the paper attacks in Section 4. Latencies are
+ * "effective" load-to-use latencies calibrated against the paper's
+ * measurements (L1 hit ~49 cycles, L1-miss/L2-hit ~112 cycles on the
+ * Kepler K40C). Ports are ResourcePools so concurrent probes from many
+ * warps queue — the source of the sub-linear multi-set speedups the
+ * paper reports in Section 7.1.
+ */
+
+#ifndef GPUCC_MEM_CONST_MEMORY_H
+#define GPUCC_MEM_CONST_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/set_assoc_cache.h"
+#include "sim/resource_pool.h"
+
+namespace gpucc::mem
+{
+
+/** Timing/geometry parameters of the constant hierarchy. */
+struct ConstMemoryParams
+{
+    CacheGeometry l1;            //!< per-SM L1 constant cache
+    CacheGeometry l2;            //!< shared L2 constant cache
+    Cycle l1HitCycles = 46;      //!< load-to-use latency on an L1 hit
+    Cycle l2HitCycles = 106;     //!< total latency on L1 miss / L2 hit
+    Cycle memCycles = 248;       //!< total latency on L2 miss
+    Cycle l1MissFwdCycles = 8;   //!< L1 tag-check time before L2 request
+    Cycle l1PortOccCycles = 4;   //!< L1 port occupancy per access
+    Cycle l2PortOccCycles = 2;   //!< L2 port occupancy per access
+    unsigned l1Ports = 1;        //!< ports per SM L1
+    unsigned l2Ports = 8;        //!< banks/ports on the shared L2
+};
+
+/** Result of one constant-memory access. */
+struct ConstAccessResult
+{
+    Tick completion = 0; //!< tick the value is available to the warp
+    bool l1Hit = false;
+    bool l2Hit = false;  //!< only meaningful when !l1Hit
+};
+
+/** One recorded eviction (input to contention detectors, Section 9). */
+struct EvictionEvent
+{
+    Tick when = 0;        //!< issue tick of the evicting access
+    unsigned smId = 0;    //!< SM whose L1 evicted (L2 events use ~0u)
+    unsigned set = 0;     //!< cache set index
+    int byApp = -1;       //!< application that installed the new line
+    int victimApp = -1;   //!< application that owned the evicted line
+};
+
+/** Two-level constant cache hierarchy for one device. */
+class ConstMemory
+{
+  public:
+    /**
+     * @param params Geometry and latencies.
+     * @param numSms Number of SMs (one L1 per SM).
+     */
+    ConstMemory(const ConstMemoryParams &params, unsigned numSms);
+
+    /**
+     * Perform a (broadcast) constant load from SM @p smId.
+     *
+     * @param smId Issuing SM.
+     * @param addr Constant-space address.
+     * @param now Issue tick.
+     * @param partitionDomain With way partitioning enabled (Section 9
+     *        mitigation), the requesting application's domain (0 or 1);
+     *        pass -1 for unpartitioned access.
+     * @param accessorApp Application identity recorded with the line
+     *        (feeds the eviction trace when tracing is enabled).
+     */
+    ConstAccessResult access(unsigned smId, Addr addr, Tick now,
+                             int partitionDomain = -1,
+                             int accessorApp = -1);
+
+    /** Enable/disable eviction tracing (Section 9 detection). */
+    void setEvictionTracing(bool on) { tracing = on; }
+
+    /** @return true while eviction tracing is active. */
+    bool evictionTracing() const { return tracing; }
+
+    /** Recorded evictions (bounded; oldest dropped beyond the cap). */
+    const std::vector<EvictionEvent> &evictionTrace() const
+    {
+        return trace;
+    }
+
+    /** Discard the recorded trace. */
+    void clearEvictionTrace() { trace.clear(); }
+
+    /** L1 cache of SM @p smId (tests/characterization inspect state). */
+    const SetAssocCache &l1Cache(unsigned smId) const;
+
+    /** Shared L2 cache. */
+    const SetAssocCache &l2Cache() const { return *l2; }
+
+    /** Invalidate all cached state (between experiments). */
+    void flushAll();
+
+    /** Parameter accessor. */
+    const ConstMemoryParams &params() const { return p; }
+
+  private:
+    /** Append to the trace, bounded. */
+    void record(const EvictionEvent &e);
+
+    ConstMemoryParams p;
+    std::vector<std::unique_ptr<SetAssocCache>> l1s;
+    std::vector<std::unique_ptr<sim::ResourcePool>> l1Ports;
+    std::unique_ptr<SetAssocCache> l2;
+    std::unique_ptr<sim::ResourcePool> l2Port;
+    bool tracing = false;
+    std::vector<EvictionEvent> trace;
+};
+
+} // namespace gpucc::mem
+
+#endif // GPUCC_MEM_CONST_MEMORY_H

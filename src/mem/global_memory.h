@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Global (device) memory model: address-interleaved memory partitions,
+ * per-partition data ports, and per-partition atomic units.
+ *
+ * Section 6 of the paper builds covert channels on atomic-unit
+ * contention: normal loads/stores cannot saturate the very wide DRAM
+ * bandwidth, but atomic operations funnel through a small number of
+ * units. On Fermi, atomics are slow read-modify-write operations; on
+ * Kepler/Maxwell they execute in the L2 at one operation per clock per
+ * line (the 9x improvement the Kepler whitepaper advertises and the
+ * paper observes). Operations to the same memory segment serialize at
+ * the owning atomic unit, which is why the "consecutive addresses"
+ * scenario 3 is the slowest channel in Figure 10.
+ */
+
+#ifndef GPUCC_MEM_GLOBAL_MEMORY_H
+#define GPUCC_MEM_GLOBAL_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/coalescer.h"
+#include "sim/resource_pool.h"
+
+namespace gpucc::mem
+{
+
+/** Timing parameters for the global memory system. */
+struct GlobalMemoryParams
+{
+    unsigned numPartitions = 6;        //!< memory partitions (channels)
+    std::size_t segmentBytes = 128;    //!< coalescing segment size
+    std::size_t interleaveBytes = 256; //!< partition interleave granule
+    Cycle atomicOccCycles = 1;   //!< atomic-unit occupancy per lane op
+    Cycle atomicTxnOverheadCycles = 8; //!< fixed cost per transaction
+    Cycle atomicLatencyCycles = 180; //!< atomic round-trip latency
+    unsigned atomicUnitsPerPartition = 1;
+    Cycle txnOccCycles = 2;      //!< data-port occupancy per transaction
+    Cycle loadLatencyCycles = 350;   //!< DRAM/L2 load round trip
+    unsigned dataPortsPerPartition = 2;
+};
+
+/** Timing + functional model of device global memory. */
+class GlobalMemory
+{
+  public:
+    explicit GlobalMemory(const GlobalMemoryParams &params);
+
+    /**
+     * Warp-wide atomic add.
+     *
+     * @param laneAddrs Per-lane target addresses (word granularity).
+     * @param value Added to each target word.
+     * @param now Issue tick.
+     * @param oldValues Optional out: previous value per lane.
+     * @return completion tick of the slowest transaction.
+     */
+    Tick atomicAdd(const std::vector<Addr> &laneAddrs, std::uint64_t value,
+                   Tick now, std::vector<std::uint64_t> *oldValues = nullptr);
+
+    /** Warp-wide load; returns completion tick. */
+    Tick load(const std::vector<Addr> &laneAddrs, Tick now);
+
+    /** Warp-wide store; returns completion tick. */
+    Tick store(const std::vector<Addr> &laneAddrs, Tick now);
+
+    /** Functional read of one word (host-side result checking). */
+    std::uint64_t peek(Addr addr) const;
+
+    /** Functional write of one word. */
+    void poke(Addr addr, std::uint64_t value);
+
+    /** Partition that owns @p addr. */
+    unsigned partitionOf(Addr addr) const;
+
+    /** Parameter accessor. */
+    const GlobalMemoryParams &params() const { return p; }
+
+    /** Aggregate atomic-unit busy ticks (tests check contention). */
+    Tick atomicBusyTicks() const;
+
+  private:
+    GlobalMemoryParams p;
+    Coalescer coalescer;
+    std::vector<std::unique_ptr<sim::ResourcePool>> atomicUnits;
+    std::vector<std::unique_ptr<sim::ResourcePool>> dataPorts;
+    std::unordered_map<Addr, std::uint64_t> words;
+};
+
+} // namespace gpucc::mem
+
+#endif // GPUCC_MEM_GLOBAL_MEMORY_H

@@ -1,0 +1,130 @@
+#include "mem/set_assoc_cache.h"
+
+namespace gpucc::mem
+{
+
+SetAssocCache::SetAssocCache(std::string name_, const CacheGeometry &geom_)
+    : name(std::move(name_)), geom(geom_)
+{
+    geom.validate(name.c_str());
+    lines.resize(geom.numSets() * geom.ways);
+}
+
+SetAssocCache::Line &
+SetAssocCache::lineAt(std::size_t set, unsigned way)
+{
+    return lines[set * geom.ways + way];
+}
+
+const SetAssocCache::Line &
+SetAssocCache::lineAt(std::size_t set, unsigned way) const
+{
+    return lines[set * geom.ways + way];
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, int owner)
+{
+    return accessInWays(addr, 0, geom.ways, owner);
+}
+
+CacheAccessResult
+SetAssocCache::accessInWays(Addr addr, unsigned wayBegin, unsigned wayEnd,
+                            int owner)
+{
+    GPUCC_ASSERT(wayBegin < wayEnd && wayEnd <= geom.ways,
+                 "%s: bad way range [%u, %u)", name.c_str(), wayBegin,
+                 wayEnd);
+    CacheAccessResult res;
+    std::size_t set = geom.setOf(addr);
+    Addr tag = geom.tagOf(addr);
+    ++useClock;
+
+    // Hit path: a hit may match any way, partitioned or not.
+    for (unsigned w = 0; w < geom.ways; ++w) {
+        Line &l = lineAt(set, w);
+        if (l.valid && l.tag == tag) {
+            l.lastUse = useClock;
+            ++hitCount;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: allocate into an invalid way or the true-LRU victim, within
+    // the requester's way partition.
+    ++missCount;
+    unsigned victim = wayBegin;
+    std::uint64_t oldest = UINT64_MAX;
+    for (unsigned w = wayBegin; w < wayEnd; ++w) {
+        Line &l = lineAt(set, w);
+        if (!l.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = w;
+        }
+    }
+    Line &v = lineAt(set, victim);
+    if (v.valid) {
+        res.evicted = true;
+        res.victimLine = (v.tag * geom.numSets() + set) * geom.lineBytes;
+        res.victimOwner = v.owner;
+    }
+    v.valid = true;
+    v.tag = tag;
+    v.lastUse = useClock;
+    v.owner = owner;
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    std::size_t set = geom.setOf(addr);
+    Addr tag = geom.tagOf(addr);
+    for (unsigned w = 0; w < geom.ways; ++w) {
+        const Line &l = lineAt(set, w);
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &l : lines)
+        l.valid = false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    std::size_t set = geom.setOf(addr);
+    Addr tag = geom.tagOf(addr);
+    for (unsigned w = 0; w < geom.ways; ++w) {
+        Line &l = lineAt(set, w);
+        if (l.valid && l.tag == tag) {
+            l.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+SetAssocCache::validLinesInSet(std::size_t set) const
+{
+    unsigned n = 0;
+    for (unsigned w = 0; w < geom.ways; ++w) {
+        if (lineAt(set, w).valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace gpucc::mem

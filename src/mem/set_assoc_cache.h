@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Stateful set-associative cache with true-LRU replacement.
+ *
+ * The covert channels rely on real eviction behaviour (prime one set,
+ * observe misses), so the cache keeps actual tags and LRU state rather
+ * than a probabilistic model.
+ */
+
+#ifndef GPUCC_MEM_SET_ASSOC_CACHE_H
+#define GPUCC_MEM_SET_ASSOC_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/cache_geometry.h"
+
+namespace gpucc::mem
+{
+
+/** Outcome of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;          //!< tag matched
+    bool evicted = false;      //!< a valid victim was replaced
+    Addr victimLine = 0;       //!< line address of the victim (if any)
+    int victimOwner = -1;      //!< owner id the victim was installed with
+};
+
+/** Tag-only set-associative LRU cache. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name Debug name.
+     * @param geom Geometry (validated).
+     */
+    SetAssocCache(std::string name, const CacheGeometry &geom);
+
+    /**
+     * Access @p addr: on a hit update LRU, on a miss allocate the line
+     * (evicting true LRU).
+     *
+     * @param owner Identity installed with the line on allocation (the
+     *        accessing application); reported back as the victim's
+     *        owner on later evictions — the raw signal contention
+     *        detectors consume.
+     */
+    CacheAccessResult access(Addr addr, int owner = -1);
+
+    /**
+     * Way-partitioned access (Section 9 mitigation): hits may match any
+     * way, but on a miss the allocation victim is chosen only from ways
+     * [@p wayBegin, @p wayEnd), so this requester can never evict lines
+     * outside its partition.
+     */
+    CacheAccessResult accessInWays(Addr addr, unsigned wayBegin,
+                                   unsigned wayEnd, int owner = -1);
+
+    /** Look up @p addr without changing any state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate every line. */
+    void flush();
+
+    /** Invalidate one line if present. @return true if it was present. */
+    bool invalidate(Addr addr);
+
+    /** Geometry accessor. */
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Hits observed so far. */
+    std::uint64_t hits() const { return hitCount; }
+
+    /** Misses observed so far. */
+    std::uint64_t misses() const { return missCount; }
+
+    /** Number of valid lines currently resident in set @p set. */
+    unsigned validLinesInSet(std::size_t set) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        int owner = -1;
+    };
+
+    Line &lineAt(std::size_t set, unsigned way);
+    const Line &lineAt(std::size_t set, unsigned way) const;
+
+    std::string name;
+    CacheGeometry geom;
+    std::vector<Line> lines; //!< numSets * ways, row-major by set
+    std::uint64_t useClock = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace gpucc::mem
+
+#endif // GPUCC_MEM_SET_ASSOC_CACHE_H

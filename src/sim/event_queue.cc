@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include "common/log.h"
+
+namespace gpucc::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    GPUCC_ASSERT(when >= current,
+                 "event scheduled in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(current));
+    events.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (!events.empty()) {
+        // Move the callback out before popping so re-entrant schedule()
+        // calls from inside the callback see a consistent queue.
+        Entry e = std::move(const_cast<Entry &>(events.top()));
+        events.pop();
+        current = e.when;
+        ++fired;
+        e.cb();
+    }
+    return current;
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    Entry e = std::move(const_cast<Entry &>(events.top()));
+    events.pop();
+    current = e.when;
+    ++fired;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        Entry e = std::move(const_cast<Entry &>(events.top()));
+        events.pop();
+        current = e.when;
+        ++fired;
+        e.cb();
+    }
+    if (current < limit)
+        current = limit;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    GPUCC_ASSERT(events.empty() || events.top().when >= when,
+                 "cannot advance past pending events");
+    if (when > current)
+        current = when;
+}
+
+} // namespace gpucc::sim

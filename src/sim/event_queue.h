@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Global event queue driving the device simulation.
+ *
+ * Warps suspend on device operations and are resumed by events scheduled
+ * at the operation completion tick. Events at equal ticks fire in
+ * schedule order (FIFO), which keeps the simulation deterministic.
+ */
+
+#ifndef GPUCC_SIM_EVENT_QUEUE_H
+#define GPUCC_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::sim
+{
+
+/** Time-ordered callback queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute tick @p when (>= now()). */
+    void schedule(Tick when, Callback cb);
+
+    /** @return current simulated tick. */
+    Tick now() const { return current; }
+
+    /** Run events until the queue drains. @return final tick. */
+    Tick run();
+
+    /** Execute exactly one event. @return false when the queue is empty. */
+    bool step();
+
+    /**
+     * Run events up to and including tick @p limit; later events remain
+     * queued. Advances now() to at most @p limit.
+     */
+    void runUntil(Tick limit);
+
+    /** @return true when no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of events executed since construction. */
+    std::uint64_t executed() const { return fired; }
+
+    /** Force the current tick forward (host-side idle time). */
+    void advanceTo(Tick when);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    Tick current = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t fired = 0;
+};
+
+} // namespace gpucc::sim
+
+#endif // GPUCC_SIM_EVENT_QUEUE_H

@@ -1,0 +1,52 @@
+#include "sim/resource_pool.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gpucc::sim
+{
+
+ResourcePool::ResourcePool(std::string name, unsigned servers)
+    : poolName(std::move(name)), numServers(servers)
+{
+    GPUCC_ASSERT(servers >= 1, "pool %s needs >= 1 server",
+                 poolName.c_str());
+    for (unsigned i = 0; i < numServers; ++i)
+        free.push(0);
+}
+
+Reservation
+ResourcePool::acquire(Tick now, Tick occupancy)
+{
+    Tick earliest = free.top();
+    free.pop();
+    Reservation r;
+    r.serviceStart = std::max(now, earliest);
+    r.serviceEnd = r.serviceStart + occupancy;
+    free.push(r.serviceEnd);
+    busy += occupancy;
+    queued += r.serviceStart - now;
+    ++count;
+    return r;
+}
+
+Tick
+ResourcePool::peekStart(Tick now) const
+{
+    return std::max(now, free.top());
+}
+
+void
+ResourcePool::reset()
+{
+    while (!free.empty())
+        free.pop();
+    for (unsigned i = 0; i < numServers; ++i)
+        free.push(0);
+    busy = 0;
+    queued = 0;
+    count = 0;
+}
+
+} // namespace gpucc::sim

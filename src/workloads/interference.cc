@@ -1,0 +1,157 @@
+#include "workloads/interference.h"
+
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::workloads
+{
+
+gpu::KernelLaunch
+makeConstantMemoryWorkload(gpu::Device &dev, const WorkloadSpec &spec)
+{
+    // An 8 KB constant table walked with a 64 B stride touches every L1
+    // constant-cache set repeatedly — this is the workload class that
+    // actually collides with the cache channels.
+    constexpr std::size_t tableBytes = 8 * 1024;
+    Addr base = dev.allocConst(tableBytes, 4096);
+    std::vector<Addr> addrs;
+    for (std::size_t off = 0; off < tableBytes; off += 64)
+        addrs.push_back(base + off);
+
+    gpu::KernelLaunch k;
+    k.name = "heartwall-like";
+    k.config.gridBlocks = spec.blocks;
+    k.config.threadsPerBlock = spec.threadsPerBlock;
+    unsigned iters = spec.iterations;
+    k.body = [addrs, iters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.warpInBlock() == 0) {
+            for (unsigned i = 0; i < iters / 8; ++i)
+                co_await ctx.constLoadSeq(addrs);
+        } else {
+            for (unsigned i = 0; i < iters; ++i)
+                co_await ctx.op(gpu::OpClass::FMul);
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+makeComputeWorkload(const WorkloadSpec &spec)
+{
+    gpu::KernelLaunch k;
+    k.name = "hotspot-like";
+    k.config.gridBlocks = spec.blocks;
+    k.config.threadsPerBlock = spec.threadsPerBlock;
+    unsigned iters = spec.iterations;
+    k.body = [iters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (unsigned i = 0; i < iters; ++i) {
+            co_await ctx.op(gpu::OpClass::FAdd);
+            co_await ctx.op(gpu::OpClass::FMul);
+            if (i % 4 == 0)
+                co_await ctx.op(gpu::OpClass::Sinf);
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+makeSharedMemoryWorkload(const WorkloadSpec &spec, std::size_t smemBytes)
+{
+    gpu::KernelLaunch k;
+    k.name = "srad-like";
+    k.config.gridBlocks = spec.blocks;
+    k.config.threadsPerBlock = spec.threadsPerBlock;
+    k.config.smemBytesPerBlock = smemBytes;
+    unsigned iters = spec.iterations;
+    k.body = [iters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (unsigned i = 0; i < iters; ++i) {
+            co_await ctx.op(gpu::OpClass::FAdd);
+            if (i % 16 == 0)
+                co_await ctx.syncthreads();
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+makeStreamingWorkload(gpu::Device &dev, const WorkloadSpec &spec)
+{
+    constexpr std::size_t bufferBytes = 1 << 20;
+    Addr base = dev.allocGlobal(bufferBytes, 4096);
+
+    gpu::KernelLaunch k;
+    k.name = "backprop-like";
+    k.config.gridBlocks = spec.blocks;
+    k.config.threadsPerBlock = spec.threadsPerBlock;
+    unsigned iters = spec.iterations;
+    k.body = [base, iters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (unsigned i = 0; i < iters / 4; ++i) {
+            std::vector<Addr> lanes;
+            lanes.reserve(warpSize);
+            Addr off = (Addr(ctx.globalWarpId()) * 4096 + Addr(i) * 128) %
+                       (bufferBytes / 2);
+            for (unsigned t = 0; t < static_cast<unsigned>(warpSize); ++t)
+                lanes.push_back(base + off + Addr(t) * 4);
+            co_await ctx.globalLoad(lanes);
+            co_await ctx.globalStore(lanes);
+        }
+        co_return;
+    };
+    return k;
+}
+
+gpu::KernelLaunch
+makeSetTargetedConstWorkload(gpu::Device &dev, const WorkloadSpec &spec,
+                             unsigned setBegin, unsigned setEnd,
+                             Cycle idleCyclesPerBurst)
+{
+    // Lines covering only the targeted sets, several ways deep so every
+    // burst evicts whatever else lives there.
+    const auto &geom = dev.arch().constMem.l1;
+    Addr base = dev.allocConst(2 * geom.sizeBytes,
+                               geom.numSets() * geom.lineBytes);
+    std::vector<Addr> addrs;
+    Addr stride = geom.numSets() * geom.lineBytes;
+    for (unsigned set = setBegin; set < setEnd; ++set) {
+        for (unsigned way = 0; way < geom.ways; ++way) {
+            addrs.push_back(base + Addr(set) * geom.lineBytes +
+                            Addr(way) * stride);
+        }
+    }
+
+    gpu::KernelLaunch k;
+    k.name = strfmt("set-walker[%u,%u)", setBegin, setEnd);
+    k.config.gridBlocks = spec.blocks;
+    k.config.threadsPerBlock = spec.threadsPerBlock;
+    unsigned iters = spec.iterations;
+    k.body = [addrs, iters,
+              idleCyclesPerBurst](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.warpInBlock() != 0)
+            co_return;
+        for (unsigned i = 0; i < iters; ++i) {
+            co_await ctx.constLoadSeq(addrs);
+            // Aperiodic idle intervals (hash of the iteration index):
+            // a perfectly periodic interferer would beat against the
+            // channel's round period and correlate the induced errors.
+            Cycle jitter = (Cycle(i) * 2654435761u) % idleCyclesPerBurst;
+            co_await ctx.sleep(idleCyclesPerBurst / 2 + jitter);
+        }
+        co_return;
+    };
+    return k;
+}
+
+std::vector<gpu::KernelLaunch>
+makeRodiniaLikeMix(gpu::Device &dev, const WorkloadSpec &spec)
+{
+    std::vector<gpu::KernelLaunch> mix;
+    mix.push_back(makeConstantMemoryWorkload(dev, spec));
+    mix.push_back(makeComputeWorkload(spec));
+    mix.push_back(makeSharedMemoryWorkload(spec, 16 * 1024));
+    mix.push_back(makeStreamingWorkload(dev, spec));
+    return mix;
+}
+
+} // namespace gpucc::workloads

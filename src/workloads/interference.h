@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interfering workloads with Rodinia-like resource signatures
+ * (Section 8 evaluation).
+ *
+ * The paper runs Rodinia benchmarks on a third stream to disturb the
+ * covert channel. What matters to the channel is each workload's
+ * resource signature, so the factories here synthesize kernels that
+ * stress the same resources the Rodinia applications do:
+ *
+ *  - "heartwall"-like: walks constant memory (collides with the L1/L2
+ *    constant-cache channels);
+ *  - "hotspot"-like: compute-bound on SP/SFU units;
+ *  - "srad"-like: claims shared memory (collides with the exclusive
+ *    co-location resource requests);
+ *  - "backprop"-like: streams global memory.
+ */
+
+#ifndef GPUCC_WORKLOADS_INTERFERENCE_H
+#define GPUCC_WORKLOADS_INTERFERENCE_H
+
+#include <vector>
+
+#include "gpu/arch_params.h"
+#include "gpu/device.h"
+#include "gpu/kernel.h"
+
+namespace gpucc::workloads
+{
+
+/** Shape of an interfering workload. */
+struct WorkloadSpec
+{
+    unsigned blocks = 4;
+    unsigned threadsPerBlock = 128;
+    unsigned iterations = 400; //!< main-loop trip count
+};
+
+/** Constant-memory walker ("Heart Wall"): touches many constant sets. */
+gpu::KernelLaunch makeConstantMemoryWorkload(gpu::Device &dev,
+                                             const WorkloadSpec &spec);
+
+/** Compute-bound kernel ("HotSpot"): saturates SP and SFU issue. */
+gpu::KernelLaunch makeComputeWorkload(const WorkloadSpec &spec);
+
+/** Shared-memory user ("SRAD"): claims @p smemBytes per block. */
+gpu::KernelLaunch makeSharedMemoryWorkload(const WorkloadSpec &spec,
+                                           std::size_t smemBytes);
+
+/** Global-memory streamer ("Backprop"): strided loads and stores. */
+gpu::KernelLaunch makeStreamingWorkload(gpu::Device &dev,
+                                        const WorkloadSpec &spec);
+
+/**
+ * A duty-cycled constant-memory walker restricted to L1 sets
+ * [@p setBegin, @p setEnd): the adversarial neighbor the Section 8
+ * "idle resource discovery" defense-evasion scenario needs — it hammers
+ * specific sets in bursts while leaving the others quiet.
+ */
+gpu::KernelLaunch makeSetTargetedConstWorkload(gpu::Device &dev,
+                                               const WorkloadSpec &spec,
+                                               unsigned setBegin,
+                                               unsigned setEnd,
+                                               Cycle idleCyclesPerBurst =
+                                                   3000);
+
+/** The full mix used by the Section 8 experiment. */
+std::vector<gpu::KernelLaunch> makeRodiniaLikeMix(gpu::Device &dev,
+                                                  const WorkloadSpec &spec);
+
+} // namespace gpucc::workloads
+
+#endif // GPUCC_WORKLOADS_INTERFERENCE_H

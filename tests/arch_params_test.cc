@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Parameterized invariant tests over the three architecture presets —
+ * the Table 1 resource counts and the calibrated timing tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/arch_params.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+class ArchTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(ArchTest, BasicSanity)
+{
+    const ArchParams &a = GetParam();
+    EXPECT_FALSE(a.name.empty());
+    EXPECT_GE(a.numSms, 1u);
+    EXPECT_GT(a.clockGHz, 0.1);
+    EXPECT_GE(a.schedulersPerSm, 1u);
+    EXPECT_GE(a.dispatchUnitsPerScheduler, 1u);
+}
+
+TEST_P(ArchTest, OccupancyLimitsAreConsistent)
+{
+    const SmLimits &l = GetParam().limits;
+    EXPECT_EQ(l.maxThreads % warpSize, 0u);
+    EXPECT_EQ(l.maxWarps, l.maxThreads / warpSize);
+    EXPECT_LE(l.smemPerBlockBytes, l.smemBytes);
+    EXPECT_GE(l.maxBlocks, 1u);
+}
+
+TEST_P(ArchTest, SupportedOpsHavePositiveTiming)
+{
+    const ArchParams &a = GetParam();
+    for (auto op : {OpClass::FAdd, OpClass::FMul, OpClass::Sinf,
+                    OpClass::Sqrt, OpClass::IAdd}) {
+        ASSERT_TRUE(a.supports(op)) << a.name;
+        const OpTiming &t = a.timing(op);
+        EXPECT_GT(t.latencyCycles, 0u) << a.name;
+        EXPECT_GT(t.occTicks, 0u) << a.name;
+    }
+}
+
+TEST_P(ArchTest, SfuOpsCostMoreThanSpOps)
+{
+    const ArchParams &a = GetParam();
+    auto base = [](const OpTiming &t) {
+        return static_cast<double>(t.latencyCycles) +
+               ticksToCyclesF(t.occTicks);
+    };
+    EXPECT_GT(base(a.timing(OpClass::Sinf)), base(a.timing(OpClass::FAdd)))
+        << a.name;
+    EXPECT_GT(base(a.timing(OpClass::Sqrt)), base(a.timing(OpClass::Sinf)))
+        << a.name;
+}
+
+TEST_P(ArchTest, CacheGeometriesMatchThePaper)
+{
+    const auto &cm = GetParam().constMem;
+    // All three GPUs: L2 is 32 KB, 8-way, 256 B lines (16 sets).
+    EXPECT_EQ(cm.l2.sizeBytes, 32768u);
+    EXPECT_EQ(cm.l2.ways, 8u);
+    EXPECT_EQ(cm.l2.lineBytes, 256u);
+    EXPECT_EQ(cm.l2.numSets(), 16u);
+    // L1: 4-way, 64 B lines; 4 KB on Fermi, 2 KB on Kepler/Maxwell.
+    EXPECT_EQ(cm.l1.ways, 4u);
+    EXPECT_EQ(cm.l1.lineBytes, 64u);
+    if (GetParam().generation == Generation::Fermi)
+        EXPECT_EQ(cm.l1.sizeBytes, 4096u);
+    else
+        EXPECT_EQ(cm.l1.sizeBytes, 2048u);
+}
+
+TEST_P(ArchTest, LatencyOrderingInConstantHierarchy)
+{
+    const auto &cm = GetParam().constMem;
+    EXPECT_LT(cm.l1HitCycles, cm.l2HitCycles);
+    EXPECT_LT(cm.l2HitCycles, cm.memCycles);
+}
+
+TEST_P(ArchTest, TimeConversionRoundTrips)
+{
+    const ArchParams &a = GetParam();
+    Tick t = a.ticksFromUs(10.0);
+    EXPECT_NEAR(a.secondsFromTicks(t), 10e-6, 1e-9);
+}
+
+TEST_P(ArchTest, HostOverheadsArePositive)
+{
+    const HostParams &h = GetParam().host;
+    EXPECT_GT(h.launchOverheadUs, 0.0);
+    EXPECT_GT(h.launchLatencyUs, 0.0);
+    EXPECT_GT(h.syncOverheadUs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, ArchTest,
+                         ::testing::ValuesIn(allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(ArchParams, Table1ExactCounts)
+{
+    auto f = fermiC2075();
+    EXPECT_EQ(f.numSms, 14u);
+    EXPECT_EQ(f.schedulersPerSm, 2u);
+    EXPECT_EQ(f.dispatchUnitsPerScheduler * f.schedulersPerSm, 2u);
+    EXPECT_EQ(f.fuCount(FuType::SP), 32u);
+    EXPECT_EQ(f.fuCount(FuType::DPU), 16u);
+    EXPECT_EQ(f.fuCount(FuType::SFU), 4u);
+    EXPECT_EQ(f.fuCount(FuType::LDST), 16u);
+
+    auto k = keplerK40c();
+    EXPECT_EQ(k.numSms, 15u);
+    EXPECT_EQ(k.schedulersPerSm, 4u);
+    EXPECT_EQ(k.dispatchUnitsPerScheduler * k.schedulersPerSm, 8u);
+    EXPECT_EQ(k.fuCount(FuType::SP), 192u);
+    EXPECT_EQ(k.fuCount(FuType::DPU), 64u);
+    EXPECT_EQ(k.fuCount(FuType::SFU), 32u);
+    EXPECT_EQ(k.fuCount(FuType::LDST), 32u);
+
+    auto m = maxwellM4000();
+    EXPECT_EQ(m.numSms, 13u);
+    EXPECT_EQ(m.fuCount(FuType::SP), 128u);
+    EXPECT_EQ(m.fuCount(FuType::DPU), 0u);
+    EXPECT_EQ(m.fuCount(FuType::SFU), 32u);
+}
+
+TEST(ArchParams, DoublePrecisionSupportMatrix)
+{
+    EXPECT_TRUE(fermiC2075().supports(OpClass::DAdd));
+    EXPECT_TRUE(keplerK40c().supports(OpClass::DMul));
+    EXPECT_FALSE(maxwellM4000().supports(OpClass::DAdd));
+    EXPECT_FALSE(maxwellM4000().supports(OpClass::DMul));
+}
+
+TEST(ArchParamsDeath, UnsupportedOpTimingIsFatal)
+{
+    auto m = maxwellM4000();
+    EXPECT_EXIT(m.timing(OpClass::DAdd), ::testing::ExitedWithCode(1),
+                "does not support");
+}
+
+TEST(ArchParams, PaperBaseLatencies)
+{
+    // Section 5.2's uncontended __sinf latencies: 41 / 18 / 15 cycles.
+    auto base = [](const ArchParams &a, OpClass op) {
+        const auto &t = a.timing(op);
+        return static_cast<double>(t.latencyCycles) +
+               ticksToCyclesF(t.occTicks);
+    };
+    EXPECT_NEAR(base(fermiC2075(), OpClass::Sinf), 41.0, 1.0);
+    EXPECT_NEAR(base(keplerK40c(), OpClass::Sinf), 18.0, 1.0);
+    EXPECT_NEAR(base(maxwellM4000(), OpClass::Sinf), 15.0, 1.0);
+}
+
+TEST(ArchParams, MaxwellSmemIsTwicePerBlockCap)
+{
+    // The Section 8 Maxwell strategy depends on this ratio.
+    auto m = maxwellM4000();
+    EXPECT_EQ(m.limits.smemBytes, 2 * m.limits.smemPerBlockBytes);
+    auto k = keplerK40c();
+    EXPECT_EQ(k.limits.smemBytes, k.limits.smemPerBlockBytes);
+}
+
+TEST(ArchParams, AtomicThroughputNineTimesBetterOnKepler)
+{
+    // Kepler whitepaper: same-address atomic throughput improved 9x.
+    auto f = fermiC2075();
+    auto k = keplerK40c();
+    EXPECT_EQ(f.gmem.atomicOccCycles, 9 * k.gmem.atomicOccCycles);
+}
+
+TEST(ArchParams, GenerationNames)
+{
+    EXPECT_STREQ(generationName(Generation::Fermi), "Fermi");
+    EXPECT_STREQ(generationName(Generation::Kepler), "Kepler");
+    EXPECT_STREQ(generationName(Generation::Maxwell), "Maxwell");
+}
+
+TEST(ArchParams, OpClassNamesMatchPaperFigures)
+{
+    EXPECT_STREQ(opClassName(OpClass::Sinf), "__sinf");
+    EXPECT_STREQ(opClassName(OpClass::Sqrt), "sqrt");
+    EXPECT_STREQ(opClassName(OpClass::FAdd), "Add");
+    EXPECT_STREQ(opClassName(OpClass::DAdd), "Add (double)");
+}
+
+} // namespace
+} // namespace gpucc::gpu

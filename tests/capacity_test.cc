@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the capacity analysis (Hunger et al.-style bounds) and the
+ * umbrella header's self-containedness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpucc.h" // the umbrella header must be self-contained
+
+namespace gpucc::covert
+{
+namespace
+{
+
+TEST(Capacity, BinaryEntropyEndpoints)
+{
+    EXPECT_DOUBLE_EQ(binaryEntropy(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(binaryEntropy(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(binaryEntropy(0.5), 1.0);
+    EXPECT_NEAR(binaryEntropy(0.11), 0.4999, 0.01);
+}
+
+TEST(Capacity, ErrorFreeChannelKeepsItsRawRate)
+{
+    ChannelResult r;
+    r.sent = BitVec(100, 1);
+    r.received = r.sent;
+    r.report = compareBits(r.sent, r.received);
+    r.bandwidthBps = 42e3;
+    r.zeroMetric.add(49);
+    r.oneMetric.add(106);
+    auto e = estimateCapacity(r);
+    EXPECT_DOUBLE_EQ(e.bscCapacityBps, 42e3);
+    EXPECT_GT(e.symbolSeparation, 10.0);
+}
+
+TEST(Capacity, HalfErrorsCarryNothing)
+{
+    ChannelResult r;
+    r.sent = alternatingBits(100);
+    r.received = BitVec(100, 1); // half the bits wrong
+    r.report = compareBits(r.sent, r.received);
+    r.bandwidthBps = 100e3;
+    auto e = estimateCapacity(r);
+    EXPECT_NEAR(e.bscCapacityBps, 0.0, 1.0);
+}
+
+TEST(Capacity, DegradedChannelLosesCapacityMonotonically)
+{
+    auto at = [](double ber) {
+        ChannelResult r;
+        r.sent = BitVec(1000, 0);
+        r.received = r.sent;
+        r.report.transmitted = 1000;
+        r.report.errors = static_cast<std::size_t>(ber * 1000);
+        r.bandwidthBps = 100e3;
+        return estimateCapacity(r).bscCapacityBps;
+    };
+    EXPECT_GT(at(0.01), at(0.05));
+    EXPECT_GT(at(0.05), at(0.15));
+    EXPECT_GT(at(0.15), at(0.40));
+}
+
+TEST(Capacity, LiveChannelEstimates)
+{
+    // A real run: the error-free L1 channel carries its full raw rate
+    // with a wide symbol separation.
+    L1ConstChannel ch(gpu::keplerK40c());
+    Rng rng(5);
+    auto r = ch.transmit(randomBits(48, rng));
+    auto e = estimateCapacity(r);
+    EXPECT_DOUBLE_EQ(e.bscCapacityBps, e.rawRateBps);
+    EXPECT_GT(e.symbolSeparation, 3.0);
+}
+
+TEST(Capacity, FuzzedChannelLosesCapacity)
+{
+    LaunchPerBitConfig cfg;
+    cfg.mitigations.timerFuzzCycles = 256;
+    L1ConstChannel ch(gpu::keplerK40c(), cfg);
+    Rng rng(5);
+    auto r = ch.transmit(randomBits(96, rng));
+    auto e = estimateCapacity(r);
+    EXPECT_LT(e.bscCapacityBps, 0.9 * e.rawRateBps);
+    EXPECT_LT(e.symbolSeparation, 3.0);
+}
+
+TEST(Umbrella, HeaderExposesEveryLayer)
+{
+    // Compile-time check mostly; touch one symbol per layer.
+    EXPECT_EQ(gpu::keplerK40c().numSms, 15u);
+    EXPECT_STREQ(gpu::multiprogPolicyName(gpu::MultiprogPolicy::Leftover),
+                 "leftover");
+    EXPECT_EQ(RepetitionCode(3).rateOverhead(), 3.0);
+    EXPECT_FALSE(analyzeEvictionTrace({}).covertChannelSuspected);
+    workloads::WorkloadSpec spec;
+    EXPECT_EQ(spec.threadsPerBlock, 128u);
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests for the launch-per-bit covert channels (Sections 4-6): the
+ * shared framework, the L1/L2 constant-cache channels, the SFU channel,
+ * and the global-atomics channel in all three scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/channel.h"
+#include "covert/channels/atomic_channel.h"
+#include "covert/channels/cache_sets.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/l2_const_channel.h"
+#include "covert/channels/sfu_channel.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+using gpu::ArchParams;
+
+BitVec
+testMessage(std::size_t n, std::uint64_t seed = 99)
+{
+    Rng rng(seed);
+    return randomBits(n, rng);
+}
+
+TEST(Framework, HarnessCreatesIndependentHosts)
+{
+    TwoPartyHarness h(gpu::keplerK40c());
+    EXPECT_NE(&h.trojanHost(), &h.spyHost());
+    EXPECT_NE(h.trojanStream().id(), h.spyStream().id());
+}
+
+TEST(Framework, FinalizeResultComputesBandwidth)
+{
+    ChannelResult r;
+    r.sent = BitVec(100, 1);
+    auto arch = gpu::keplerK40c();
+    // 100 bits in 1 ms -> 100 Kbps.
+    Tick oneMs = arch.ticksFromUs(1000.0);
+    finalizeResult(r, arch, oneMs);
+    EXPECT_NEAR(r.bandwidthBps, 100e3, 1e2);
+    EXPECT_NEAR(r.seconds, 1e-3, 1e-6);
+}
+
+TEST(CacheSets, AddressesFillExactlyOneSet)
+{
+    auto arch = gpu::keplerK40c();
+    const auto &geom = arch.constMem.l1;
+    for (unsigned set = 0; set < geom.numSets(); ++set) {
+        auto addrs = setFillingAddrs(geom, 0, set);
+        ASSERT_EQ(addrs.size(), geom.ways);
+        for (Addr a : addrs)
+            EXPECT_EQ(geom.setOf(a), set);
+        // Distinct lines.
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            for (std::size_t j = i + 1; j < addrs.size(); ++j)
+                EXPECT_NE(geom.lineAlign(addrs[i]),
+                          geom.lineAlign(addrs[j]));
+    }
+}
+
+TEST(CacheSets, BaseOffsetPreservesSetIndex)
+{
+    auto arch = gpu::keplerK40c();
+    const auto &geom = arch.constMem.l1;
+    Addr base = 7 * setStride(geom);
+    for (Addr a : setFillingAddrs(geom, base, 3))
+        EXPECT_EQ(geom.setOf(a), 3u);
+}
+
+// ---- Per-architecture error-free transmission -------------------------
+
+class L1ChannelTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(L1ChannelTest, TransmitsErrorFree)
+{
+    L1ConstChannel ch(GetParam());
+    auto r = ch.transmit(testMessage(48));
+    EXPECT_TRUE(r.report.errorFree()) << GetParam().name;
+    EXPECT_GT(r.bandwidthBps, 20e3) << GetParam().name;
+    EXPECT_LT(r.bandwidthBps, 60e3) << GetParam().name;
+}
+
+TEST_P(L1ChannelTest, LatencyPopulationsMatchHitMissLatencies)
+{
+    const ArchParams &arch = GetParam();
+    L1ConstChannel ch(arch);
+    auto r = ch.transmit(alternatingBits(32));
+    // 0 bits: mostly L1 hits. 1 bits: L1 misses served by the L2; the
+    // per-bit average sits between the decode threshold and the L2 hit
+    // latency (probes outside the trojan's window dilute it downward).
+    EXPECT_NEAR(r.zeroMetric.mean(),
+                static_cast<double>(arch.constMem.l1HitCycles), 6.0);
+    EXPECT_GT(r.oneMetric.mean(), r.threshold + 3.0);
+    EXPECT_LE(r.oneMetric.mean(),
+              static_cast<double>(arch.constMem.l2HitCycles) + 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, L1ChannelTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+class L2ChannelTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(L2ChannelTest, TransmitsErrorFree)
+{
+    L2ConstChannel ch(GetParam());
+    auto r = ch.transmit(testMessage(48));
+    EXPECT_TRUE(r.report.errorFree()) << GetParam().name;
+}
+
+TEST_P(L2ChannelTest, SlowerThanL1Channel)
+{
+    // Figure 4: the L2 channel bandwidth sits below the L1 channel's.
+    L1ConstChannel l1(GetParam());
+    L2ConstChannel l2(GetParam());
+    auto m = testMessage(32);
+    EXPECT_LT(l2.transmit(m).bandwidthBps, l1.transmit(m).bandwidthBps);
+}
+
+TEST_P(L2ChannelTest, WorksAcrossDifferentSms)
+{
+    // The spy and trojan use one block each; verify they were NOT
+    // co-resident (this is the inter-SM channel).
+    L2ConstChannel ch(GetParam());
+    ch.transmit(alternatingBits(4));
+    const auto &kernels = ch.harness().device().kernels();
+    const gpu::KernelInstance *spy = nullptr, *trojan = nullptr;
+    for (const auto &k : kernels) {
+        if (k->name() == "l2-spy")
+            spy = k.get();
+        if (k->name() == "l2-trojan")
+            trojan = k.get();
+    }
+    ASSERT_NE(spy, nullptr);
+    ASSERT_NE(trojan, nullptr);
+    EXPECT_NE(spy->blockRecords()[0].smId, trojan->blockRecords()[0].smId);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, L2ChannelTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+class SfuChannelTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(SfuChannelTest, TransmitsErrorFree)
+{
+    SfuChannel ch(GetParam());
+    auto r = ch.transmit(testMessage(48));
+    EXPECT_TRUE(r.report.errorFree()) << GetParam().name;
+}
+
+TEST_P(SfuChannelTest, BandwidthMatchesPaperBand)
+{
+    // Section 5.2: 21 / 24 / 28 Kbps.
+    SfuChannel ch(GetParam());
+    auto r = ch.transmit(testMessage(48));
+    EXPECT_GT(r.bandwidthBps, 15e3) << GetParam().name;
+    EXPECT_LT(r.bandwidthBps, 36e3) << GetParam().name;
+}
+
+TEST_P(SfuChannelTest, LatencySymbolsMatchFigure6Steps)
+{
+    const ArchParams &arch = GetParam();
+    SfuChannel ch(arch);
+    auto r = ch.transmit(alternatingBits(24));
+    double expect0 = 0.0, expect1 = 0.0;
+    switch (arch.generation) {
+      case gpu::Generation::Fermi:
+        expect0 = 41;
+        expect1 = 48;
+        break;
+      case gpu::Generation::Kepler:
+        expect0 = 18;
+        expect1 = 24;
+        break;
+      case gpu::Generation::Maxwell:
+        expect0 = 15;
+        expect1 = 20;
+        break;
+    }
+    EXPECT_NEAR(r.zeroMetric.mean(), expect0, 2.0) << arch.name;
+    EXPECT_NEAR(r.oneMetric.mean(), expect1, 2.5) << arch.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, SfuChannelTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+// ---- Atomic channel -----------------------------------------------------
+
+class AtomicScenarioTest
+    : public ::testing::TestWithParam<std::tuple<ArchParams, AtomicScenario>>
+{
+};
+
+TEST_P(AtomicScenarioTest, TransmitsErrorFree)
+{
+    auto [arch, scen] = GetParam();
+    AtomicChannel ch(arch, scen);
+    auto r = ch.transmit(testMessage(32));
+    EXPECT_TRUE(r.report.errorFree())
+        << arch.name << " / " << atomicScenarioName(scen);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AtomicScenarioTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(gpu::allArchitectures()),
+        ::testing::Values(AtomicScenario::FixedPerThread,
+                          AtomicScenario::StridedCoalesced,
+                          AtomicScenario::ConsecutiveUncoalesced)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param).name + "_S" +
+                        std::to_string(static_cast<int>(
+                            std::get<1>(info.param)) + 1);
+        for (auto &c : n)
+            if (c == ' ')
+                c = '_';
+        return n;
+    });
+
+TEST(AtomicChannel, Scenario3IsSlowestOnEveryGpu)
+{
+    // Figure 10: un-coalesced consecutive addresses defeat the fast L2
+    // atomic path.
+    for (const auto &arch : gpu::allArchitectures()) {
+        auto m = testMessage(24);
+        AtomicChannel s2(arch, AtomicScenario::StridedCoalesced);
+        AtomicChannel s3(arch, AtomicScenario::ConsecutiveUncoalesced);
+        EXPECT_LT(s3.transmit(m).bandwidthBps, s2.transmit(m).bandwidthBps)
+            << arch.name;
+    }
+}
+
+TEST(AtomicChannel, KeplerAndMaxwellBeatFermi)
+{
+    // Figure 10: L2-resident atomics give much higher channel bandwidth.
+    auto m = testMessage(24);
+    auto bw = [&](const ArchParams &a) {
+        AtomicChannel ch(a, AtomicScenario::StridedCoalesced);
+        return ch.transmit(m).bandwidthBps;
+    };
+    double fermi = bw(gpu::fermiC2075());
+    EXPECT_GT(bw(gpu::keplerK40c()), 2.0 * fermi);
+    EXPECT_GT(bw(gpu::maxwellM4000()), 2.0 * fermi);
+}
+
+TEST(AtomicChannel, LaneAddressPatterns)
+{
+    // Scenario 1: fixed per thread, one 128 B segment per warp.
+    auto s1 = AtomicChannel::laneAddrs(AtomicScenario::FixedPerThread,
+                                       0, 0, 5);
+    ASSERT_EQ(s1.size(), static_cast<std::size_t>(warpSize));
+    EXPECT_EQ(s1, AtomicChannel::laneAddrs(AtomicScenario::FixedPerThread,
+                                           0, 0, 6)); // iteration-invariant
+    // Scenario 2: coalesced (all lanes within one 128 B segment).
+    auto s2 = AtomicChannel::laneAddrs(AtomicScenario::StridedCoalesced,
+                                       0, 0, 3);
+    Addr seg = s2[0] / 128;
+    for (Addr a : s2)
+        EXPECT_EQ(a / 128, seg);
+    // ...but walking across iterations.
+    auto s2b = AtomicChannel::laneAddrs(AtomicScenario::StridedCoalesced,
+                                        0, 0, 4);
+    EXPECT_NE(s2b[0] / 128, seg);
+    // Scenario 3: un-coalesced (32 distinct segments).
+    auto s3 = AtomicChannel::laneAddrs(
+        AtomicScenario::ConsecutiveUncoalesced, 0, 0, 0);
+    std::set<Addr> segs;
+    for (Addr a : s3)
+        segs.insert(a / 128);
+    EXPECT_EQ(segs.size(), static_cast<std::size_t>(warpSize));
+    // ...and consecutive per thread across iterations.
+    auto s3b = AtomicChannel::laneAddrs(
+        AtomicScenario::ConsecutiveUncoalesced, 0, 0, 1);
+    EXPECT_EQ(s3b[0], s3[0] + 4);
+}
+
+TEST(AtomicChannel, AutoTuneFindsWorkingIterationCount)
+{
+    AtomicChannel ch(gpu::keplerK40c(), AtomicScenario::StridedCoalesced);
+    unsigned n = ch.autoTuneIterations();
+    EXPECT_GE(n, 4u);
+    EXPECT_LE(n, 64u);
+    auto r = ch.transmit(testMessage(32));
+    EXPECT_TRUE(r.report.errorFree());
+}
+
+// ---- Cross-channel properties -----------------------------------------
+
+TEST(Channels, TextMessageRoundTripsThroughEveryChannel)
+{
+    auto arch = gpu::keplerK40c();
+    std::string secret = "k=0xDEADBEEF";
+    BitVec bits = textToBits(secret);
+    {
+        L1ConstChannel ch(arch);
+        EXPECT_EQ(bitsToText(ch.transmit(bits).received), secret);
+    }
+    {
+        SfuChannel ch(arch);
+        EXPECT_EQ(bitsToText(ch.transmit(bits).received), secret);
+    }
+    {
+        AtomicChannel ch(arch, AtomicScenario::FixedPerThread);
+        EXPECT_EQ(bitsToText(ch.transmit(bits).received), secret);
+    }
+}
+
+class PatternTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PatternTest, L1ChannelHandlesAdversarialPatterns)
+{
+    auto arch = gpu::keplerK40c();
+    L1ConstChannel ch(arch);
+    BitVec msg;
+    switch (GetParam()) {
+      case 0:
+        msg = BitVec(32, 0);
+        break;
+      case 1:
+        msg = BitVec(32, 1);
+        break;
+      case 2:
+        msg = alternatingBits(32);
+        break;
+      case 3: // long runs
+        for (int i = 0; i < 32; ++i)
+            msg.push_back(i < 16 ? 1 : 0);
+        break;
+      default:
+        msg = testMessage(32, GetParam());
+        break;
+    }
+    auto r = ch.transmit(msg);
+    EXPECT_TRUE(r.report.errorFree()) << "pattern " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PatternTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(Channels, SingleBitAndEmptyMessagesAreHandled)
+{
+    auto arch = gpu::keplerK40c();
+    {
+        L1ConstChannel ch(arch);
+        auto r = ch.transmit(BitVec{1});
+        EXPECT_TRUE(r.report.errorFree());
+        EXPECT_EQ(r.received.size(), 1u);
+    }
+    {
+        L1ConstChannel ch(arch);
+        auto r = ch.transmit(BitVec{});
+        EXPECT_EQ(r.received.size(), 0u);
+        EXPECT_DOUBLE_EQ(r.bandwidthBps, 0.0);
+        EXPECT_TRUE(r.report.errorFree());
+    }
+}
+
+TEST(Channels, DeterministicForFixedSeed)
+{
+    auto run = [] {
+        L1ConstChannel ch(gpu::keplerK40c());
+        return ch.transmit(alternatingBits(16)).bandwidthBps;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Channels, DifferentSeedsStillErrorFree)
+{
+    for (std::uint64_t seed : {7ull, 77ull, 777ull}) {
+        LaunchPerBitConfig cfg;
+        cfg.seed = seed;
+        L1ConstChannel ch(gpu::keplerK40c(), cfg);
+        EXPECT_TRUE(ch.transmit(testMessage(24, seed)).report.errorFree())
+            << seed;
+    }
+}
+
+TEST(Channels, ReducedMarginsRaiseErrorRate)
+{
+    // The Figure 5 mechanism: shrinking iterations under launch skew
+    // degrades the channel.
+    auto arch = gpu::keplerK40c();
+    auto ber = [&](unsigned iters) {
+        LaunchPerBitConfig cfg;
+        cfg.iterations = iters;
+        cfg.trojanLeadUs = 1.0;
+        cfg.jitterUs = 2.5;
+        L1ConstChannel ch(arch, cfg);
+        return ch.transmit(testMessage(64)).report.errorRate();
+    };
+    EXPECT_LE(ber(20), 0.05);
+    EXPECT_GT(ber(6), 0.10);
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the attack's offline characterization step: cache geometry
+ * recovery (Figures 2/3), functional-unit contention curves (Figures
+ * 6/7), and the scheduler reverse-engineering probes (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/characterize/cache_characterizer.h"
+#include "covert/characterize/fu_characterizer.h"
+#include "covert/characterize/scheduler_probe.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+using gpu::ArchParams;
+using gpu::OpClass;
+
+class CacheCharTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(CacheCharTest, L1GeometryRecoveredExactly)
+{
+    const ArchParams &arch = GetParam();
+    CacheCharacterizer cc(arch);
+    auto series = cc.figure2Sweep();
+    auto g = CacheCharacterizer::recover(series, arch.constMem.l1.lineBytes);
+    EXPECT_EQ(g.sizeBytes, arch.constMem.l1.sizeBytes) << arch.name;
+    EXPECT_EQ(g.lineBytes, arch.constMem.l1.lineBytes) << arch.name;
+    EXPECT_EQ(g.numSets, arch.constMem.l1.numSets()) << arch.name;
+}
+
+TEST_P(CacheCharTest, L2GeometryRecoveredExactly)
+{
+    const ArchParams &arch = GetParam();
+    CacheCharacterizer cc(arch);
+    auto series = cc.figure3Sweep();
+    auto g = CacheCharacterizer::recover(series, arch.constMem.l2.lineBytes);
+    EXPECT_EQ(g.sizeBytes, arch.constMem.l2.sizeBytes) << arch.name;
+    EXPECT_EQ(g.lineBytes, arch.constMem.l2.lineBytes) << arch.name;
+    EXPECT_EQ(g.numSets, arch.constMem.l2.numSets()) << arch.name;
+}
+
+TEST_P(CacheCharTest, L1PlateauAndCeilingMatchLatencies)
+{
+    const ArchParams &arch = GetParam();
+    CacheCharacterizer cc(arch);
+    auto series = cc.figure2Sweep();
+    auto g = CacheCharacterizer::recover(series, arch.constMem.l1.lineBytes);
+    EXPECT_NEAR(g.plateauCycles,
+                static_cast<double>(arch.constMem.l1HitCycles), 3.0);
+    EXPECT_NEAR(g.ceilingCycles,
+                static_cast<double>(arch.constMem.l2HitCycles), 5.0);
+}
+
+TEST_P(CacheCharTest, SweepLatencyIsMonotonicallyNondecreasing)
+{
+    CacheCharacterizer cc(GetParam());
+    auto series = cc.figure2Sweep();
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        EXPECT_GE(series[i].avgLatencyCycles,
+                  series[i - 1].avgLatencyCycles - 0.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, CacheCharTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(CacheChar, RecoverRejectsFlatSeries)
+{
+    std::vector<CacheLatencyPoint> flat;
+    for (int i = 0; i < 10; ++i)
+        flat.push_back({std::size_t(1000 + i * 64), 46.0});
+    EXPECT_DEATH(CacheCharacterizer::recover(flat, 64), "flat");
+}
+
+class FuCharTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(FuCharTest, SingleWarpMatchesBaseLatency)
+{
+    const ArchParams &arch = GetParam();
+    FuCharacterizer fc(arch);
+    const auto &t = arch.timing(OpClass::Sinf);
+    double expect = static_cast<double>(t.latencyCycles) +
+                    ticksToCyclesF(t.occTicks);
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 1), expect, 1.5) << arch.name;
+}
+
+TEST_P(FuCharTest, SinfLatencyStepsUpWithWarpCount)
+{
+    FuCharacterizer fc(GetParam());
+    double w1 = fc.measure(OpClass::Sinf, 1);
+    double w32 = fc.measure(OpClass::Sinf, 32);
+    EXPECT_GT(w32, w1 * 1.3) << GetParam().name;
+}
+
+TEST_P(FuCharTest, CurveIsNondecreasing)
+{
+    FuCharacterizer fc(GetParam());
+    auto c = fc.curve(OpClass::Sinf, 32, 64);
+    for (std::size_t i = 1; i < c.size(); ++i)
+        EXPECT_GE(c[i].warp0AvgCycles, c[i - 1].warp0AvgCycles - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, FuCharTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(FuChar, KeplerSinfMatchesPaperPoints)
+{
+    // Figure 6 / Section 5.2: 18 cycles uncontended, ~24 at 24 warps.
+    FuCharacterizer fc(gpu::keplerK40c());
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 12), 18.0, 1.5);
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 24), 24.0, 2.0);
+}
+
+TEST(FuChar, FermiSinfMatchesPaperPoints)
+{
+    // 41 cycles uncontended (3 warps), 48 contended (6 warps).
+    FuCharacterizer fc(gpu::fermiC2075());
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 3), 41.0, 2.0);
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 6), 48.0, 3.0);
+}
+
+TEST(FuChar, MaxwellSinfMatchesPaperPoints)
+{
+    // 15 cycles uncontended (10 warps), ~20 contended (20 warps).
+    FuCharacterizer fc(gpu::maxwellM4000());
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 10), 15.0, 1.5);
+    EXPECT_NEAR(fc.measure(OpClass::Sinf, 20), 20.0, 2.0);
+}
+
+TEST(FuChar, KeplerAddIsFlatOverTheWholeSweep)
+{
+    // Figure 6: 192 SP units leave single-precision Add contention-free.
+    FuCharacterizer fc(gpu::keplerK40c());
+    auto c = fc.curve(OpClass::FAdd, 32, 64);
+    EXPECT_EQ(FuCharacterizer::contentionOnset(c), 0u);
+}
+
+TEST(FuChar, FermiAddShowsContention)
+{
+    // Figure 6: Fermi's 32 SP units saturate within the sweep.
+    FuCharacterizer fc(gpu::fermiC2075());
+    auto c = fc.curve(OpClass::FAdd, 32, 64);
+    unsigned onset = FuCharacterizer::contentionOnset(c);
+    EXPECT_GT(onset, 0u);
+    EXPECT_NEAR(static_cast<double>(onset), 19.0, 4.0);
+}
+
+TEST(FuChar, DoublePrecisionCurvesOnFermiAndKepler)
+{
+    // Figure 7 shapes: flat then rising; Kepler ~8 -> ~19-20 cycles.
+    FuCharacterizer fk(gpu::keplerK40c());
+    EXPECT_NEAR(fk.measure(OpClass::DAdd, 1), 8.0, 1.0);
+    EXPECT_NEAR(fk.measure(OpClass::DAdd, 32), 19.0, 2.0);
+    FuCharacterizer ff(gpu::fermiC2075());
+    double w1 = ff.measure(OpClass::DAdd, 1);
+    double w32 = ff.measure(OpClass::DAdd, 32);
+    EXPECT_NEAR(w1, 20.0, 2.0);
+    EXPECT_NEAR(w32, 64.0, 6.0);
+}
+
+TEST(FuCharDeath, MaxwellDoublePrecisionIsFatal)
+{
+    FuCharacterizer fc(gpu::maxwellM4000());
+    EXPECT_EXIT(fc.measure(OpClass::DAdd, 1), ::testing::ExitedWithCode(1),
+                "does not execute");
+}
+
+TEST(FuChar, ContentionOnsetHelper)
+{
+    std::vector<FuLatencyPoint> c{{1, 10.0}, {2, 10.0}, {3, 13.0},
+                                  {4, 20.0}};
+    EXPECT_EQ(FuCharacterizer::contentionOnset(c), 3u);
+    std::vector<FuLatencyPoint> flat{{1, 10.0}, {2, 10.0}};
+    EXPECT_EQ(FuCharacterizer::contentionOnset(flat), 0u);
+}
+
+class SchedulerProbeTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(SchedulerProbeTest, RecoversAllFourPolicies)
+{
+    SchedulerProbe probe(GetParam());
+    auto f = probe.run();
+    EXPECT_TRUE(f.blockAssignmentRoundRobin) << GetParam().name;
+    EXPECT_TRUE(f.secondKernelUsesLeftover) << GetParam().name;
+    EXPECT_TRUE(f.fullDeviceBlocksSecondKernel) << GetParam().name;
+    EXPECT_TRUE(f.warpAssignmentRoundRobin) << GetParam().name;
+    EXPECT_EQ(f.observedSms, GetParam().numSms) << GetParam().name;
+    EXPECT_EQ(f.observedSchedulers, GetParam().schedulersPerSm)
+        << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, SchedulerProbeTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SchedulerProbe, WarpSchedulerObservationIsRoundRobin)
+{
+    SchedulerProbe probe(gpu::keplerK40c());
+    auto scheds = probe.observeWarpSchedulers(8);
+    ASSERT_EQ(scheds.size(), 8u);
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(scheds[w], w % 4);
+}
+
+TEST(SchedulerProbe, TwoKernelObservationsOverlapInTime)
+{
+    SchedulerProbe probe(gpu::keplerK40c());
+    auto [k1, k2] = probe.observeTwoKernels(15, 15, 128);
+    ASSERT_EQ(k1.blocks.size(), 15u);
+    ASSERT_EQ(k2.blocks.size(), 15u);
+    bool overlapped = false;
+    for (const auto &a : k1.blocks) {
+        for (const auto &b : k2.blocks) {
+            if (a.smId == b.smId && b.startClock < a.endClock &&
+                a.startClock < b.endClock) {
+                overlapped = true;
+            }
+        }
+    }
+    EXPECT_TRUE(overlapped);
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the Section 8 noise-tolerance alternatives: error-
+ * correcting codes over the covert channel and idle-cache-set
+ * discovery (frequency agility).
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/agile/idle_discovery.h"
+#include "covert/coding/error_code.h"
+#include "covert/sync/sync_channel.h"
+#include "workloads/interference.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+BitVec
+msg(std::size_t n, std::uint64_t seed = 51)
+{
+    Rng rng(seed);
+    return randomBits(n, rng);
+}
+
+/** Inject @p ber random bit flips. */
+BitVec
+flipRandom(const BitVec &bits, double ber, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVec out = bits;
+    for (auto &b : out) {
+        if (rng.bernoulli(ber))
+            b ^= 1;
+    }
+    return out;
+}
+
+/** Inject a contiguous burst of flips. */
+BitVec
+flipBurst(const BitVec &bits, std::size_t start, std::size_t len)
+{
+    BitVec out = bits;
+    for (std::size_t i = start; i < std::min(bits.size(), start + len);
+         ++i) {
+        out[i] ^= 1;
+    }
+    return out;
+}
+
+// ---- Pure coding properties -----------------------------------------------
+
+TEST(Coding, RepetitionRoundTrip)
+{
+    RepetitionCode code(5);
+    auto m = msg(64);
+    EXPECT_EQ(code.decode(code.encode(m), m.size()), m);
+    EXPECT_DOUBLE_EQ(code.rateOverhead(), 5.0);
+}
+
+TEST(Coding, InterleavedRepetitionRoundTrip)
+{
+    InterleavedRepetitionCode code(3);
+    auto m = msg(64);
+    EXPECT_EQ(code.decode(code.encode(m), m.size()), m);
+}
+
+TEST(Coding, HammingRoundTrip)
+{
+    Hamming74Code code;
+    auto m = msg(64);
+    EXPECT_EQ(code.decode(code.encode(m), m.size()), m);
+    EXPECT_NEAR(code.rateOverhead(), 1.75, 1e-9);
+}
+
+TEST(Coding, HammingCorrectsAnySingleBitErrorPerBlock)
+{
+    Hamming74Code code;
+    auto m = msg(4);
+    BitVec coded = code.encode(m);
+    ASSERT_EQ(coded.size(), 7u);
+    for (std::size_t i = 0; i < 7; ++i) {
+        BitVec corrupted = coded;
+        corrupted[i] ^= 1;
+        EXPECT_EQ(code.decode(corrupted, 4), m) << "flip at " << i;
+    }
+}
+
+TEST(Coding, RepetitionMajorityCorrectsMinorityFlips)
+{
+    RepetitionCode code(5);
+    auto m = msg(32);
+    BitVec coded = code.encode(m);
+    // Flip two of the five copies of every bit.
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        coded[i * 5] ^= 1;
+        coded[i * 5 + 3] ^= 1;
+    }
+    EXPECT_EQ(code.decode(coded, m.size()), m);
+}
+
+class RandomNoiseTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RandomNoiseTest, InterleavedRepetitionReducesRandomBer)
+{
+    double ber = GetParam();
+    InterleavedRepetitionCode code(5);
+    auto m = msg(256);
+    auto corrupted = flipRandom(code.encode(m), ber, 77);
+    auto decoded = code.decode(corrupted, m.size());
+    double residual = compareBits(m, decoded).errorRate();
+    EXPECT_LT(residual, ber * 0.6) << "raw BER " << ber;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomNoiseTest,
+                         ::testing::Values(0.05, 0.10, 0.15));
+
+TEST(Coding, InterleavedBeatsAdjacentRepetitionOnBursts)
+{
+    // A burst the length of several bits wipes adjacent repetition but
+    // costs interleaved repetition at most one vote per bit.
+    auto m = msg(128);
+    RepetitionCode adjacent(3);
+    InterleavedRepetitionCode interleaved(3);
+    std::size_t burstLen = 30;
+    auto corruptedAdj = flipBurst(adjacent.encode(m), 60, burstLen);
+    auto corruptedInt = flipBurst(interleaved.encode(m), 60, burstLen);
+    double adjErr =
+        compareBits(m, adjacent.decode(corruptedAdj, m.size())).errorRate();
+    double intErr = compareBits(m, interleaved.decode(corruptedInt,
+                                                      m.size()))
+                        .errorRate();
+    EXPECT_GT(adjErr, 0.0);
+    EXPECT_DOUBLE_EQ(intErr, 0.0);
+}
+
+TEST(Coding, DecodeHandlesTruncatedStreams)
+{
+    InterleavedRepetitionCode code(3);
+    auto m = msg(16);
+    BitVec coded = code.encode(m);
+    coded.resize(coded.size() - 20); // last copy partially lost
+    auto decoded = code.decode(coded, m.size());
+    EXPECT_EQ(decoded.size(), m.size());
+}
+
+// ---- Coded transmission over the live channel ----------------------------
+
+TEST(Coding, CodedTransmitOverCleanChannelIsExact)
+{
+    SyncL1Channel ch(gpu::keplerK40c());
+    InterleavedRepetitionCode code(3);
+    auto m = msg(48);
+    auto r = transmitCoded(ch, code, m);
+    EXPECT_TRUE(r.report.errorFree());
+    // Bandwidth is accounted against payload bits: ~1/3 of the raw rate.
+    EXPECT_LT(r.bandwidthBps, 40e3);
+    EXPECT_GT(r.bandwidthBps, 15e3);
+}
+
+TEST(Coding, CodingRepairsAnInterferedChannel)
+{
+    auto arch = gpu::keplerK40c();
+    auto buildCfg = [&](std::uint64_t seed) {
+        SyncChannelConfig cfg;
+        cfg.seed = seed;
+        cfg.afterLaunch = [&](TwoPartyHarness &h) {
+            auto &dev = h.device();
+            auto host = std::make_shared<gpu::HostContext>(dev, 999);
+            host->advanceUs(25.0);
+            workloads::WorkloadSpec spec;
+            spec.blocks = dev.numSms();
+            spec.iterations = 3000;
+            auto k = workloads::makeSetTargetedConstWorkload(
+                dev, spec, 0, 2, 80000);
+            auto &s = dev.createStream();
+            host->launch(s, std::move(k));
+            // Keep the host alive via the capture below.
+            static std::vector<std::shared_ptr<gpu::HostContext>> keep;
+            keep.push_back(host);
+        };
+        return cfg;
+    };
+
+    auto m = msg(160);
+    // Raw channel under the duty-cycled set walker: noticeable errors.
+    SyncL1Channel raw(arch, buildCfg(1));
+    double rawBer = raw.transmit(m).report.errorRate();
+    EXPECT_GT(rawBer, 0.01);
+    EXPECT_LT(rawBer, 0.30);
+
+    // Same interference, interleaved repetition x5: (near-)clean.
+    SyncL1Channel coded(arch, buildCfg(2));
+    InterleavedRepetitionCode code(5);
+    auto r = transmitCoded(coded, code, m);
+    EXPECT_LT(r.report.errorRate(), std::max(0.02, rawBer / 3.0));
+}
+
+// ---- Idle set discovery -----------------------------------------------------
+
+TEST(Agile, ScanFindsTheHammeredSets)
+{
+    auto arch = gpu::keplerK40c();
+    gpu::Device dev(arch);
+    gpu::HostContext interfererHost(dev, 5);
+    workloads::WorkloadSpec spec;
+    spec.blocks = dev.numSms();
+    spec.iterations = 2000;
+    auto walker =
+        workloads::makeSetTargetedConstWorkload(dev, spec, 0, 3, 2000);
+    interfererHost.launch(dev.createStream(), std::move(walker));
+
+    gpu::HostContext scanner(dev, 6);
+    scanner.advanceUs(20.0);
+    auto activity = probeSetActivity(dev, scanner);
+    ASSERT_EQ(activity.size(), arch.constMem.l1.numSets());
+    // Hammered sets show activity; quiet sets do not.
+    for (unsigned s = 0; s < 3; ++s)
+        EXPECT_GT(activity[s].missFraction, 0.3) << "set " << s;
+    for (unsigned s = 3; s < 6; ++s)
+        EXPECT_LT(activity[s].missFraction, 0.1) << "set " << s;
+    dev.runUntilIdle();
+}
+
+TEST(Agile, PickQuietDataSetAvoidsActivity)
+{
+    std::vector<SetActivity> act;
+    for (unsigned s = 0; s < 8; ++s)
+        act.push_back(SetActivity{s, s < 3 ? 0.9 : 0.0});
+    EXPECT_EQ(pickQuietDataSet(act, 2), 3u);
+    EXPECT_EQ(pickQuietDataSet(act, 3), 3u);
+}
+
+TEST(Agile, PickRespectsReservedSignalSets)
+{
+    std::vector<SetActivity> act;
+    for (unsigned s = 0; s < 8; ++s)
+        act.push_back(SetActivity{s, s >= 6 ? 0.0 : 0.5});
+    // Sets 6,7 are quiet but reserved for signalling.
+    unsigned start = pickQuietDataSet(act, 2);
+    EXPECT_LE(start + 2, 6u);
+}
+
+TEST(Agile, RelocatedChannelEvadesTheSetWalker)
+{
+    auto arch = gpu::keplerK40c();
+    auto buildCfg = [&](unsigned firstDataSet, std::uint64_t seed) {
+        SyncChannelConfig cfg;
+        cfg.seed = seed;
+        cfg.firstDataSet = firstDataSet;
+        cfg.afterLaunch = [&](TwoPartyHarness &h) {
+            auto &dev = h.device();
+            static std::vector<std::shared_ptr<gpu::HostContext>> keep;
+            auto host = std::make_shared<gpu::HostContext>(dev, 321);
+            host->advanceUs(25.0);
+            workloads::WorkloadSpec spec;
+            spec.blocks = dev.numSms();
+            spec.iterations = 4000;
+            auto k = workloads::makeSetTargetedConstWorkload(
+                dev, spec, 0, 2, 6000);
+            host->launch(dev.createStream(), std::move(k));
+            keep.push_back(host);
+        };
+        return cfg;
+    };
+
+    auto m = msg(128);
+    SyncL1Channel onHammered(arch, buildCfg(0, 3));
+    double berHammered = onHammered.transmit(m).report.errorRate();
+    EXPECT_GT(berHammered, 0.05);
+
+    SyncL1Channel relocated(arch, buildCfg(3, 4));
+    double berQuiet = relocated.transmit(m).report.errorRate();
+    EXPECT_DOUBLE_EQ(berQuiet, 0.0);
+}
+
+TEST(AgileDeath, DataSetsMustNotCollideWithSignalSets)
+{
+    SyncChannelConfig cfg;
+    cfg.firstDataSet = 6; // sets 6,7 carry RTS/RTR on Kepler
+    SyncL1Channel ch(gpu::keplerK40c(), cfg);
+    EXPECT_DEATH(ch.transmit(alternatingBits(8)), "collide");
+}
+
+} // namespace
+} // namespace gpucc::covert

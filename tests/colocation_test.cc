@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Section 8 machinery: exclusive co-location planning,
+ * helper kernels, and the end-to-end noise experiment with the
+ * Rodinia-like interference mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/colocation/exclusive.h"
+#include "covert/colocation/noise_experiment.h"
+#include "gpu/host.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+using gpu::ArchParams;
+
+TEST(ExclusivePlan, FermiKeplerSpyTakesAllSharedMemory)
+{
+    for (const auto &arch : {gpu::fermiC2075(), gpu::keplerK40c()}) {
+        auto plan = makeExclusivePlan(arch, 64, 64);
+        EXPECT_EQ(plan.spySmemBytes, arch.limits.smemPerBlockBytes)
+            << arch.name;
+        EXPECT_EQ(plan.trojanSmemBytes, 0u) << arch.name;
+        // Together they saturate the SM's shared memory entirely.
+        EXPECT_EQ(plan.spySmemBytes + plan.trojanSmemBytes,
+                  arch.limits.smemBytes)
+            << arch.name;
+    }
+}
+
+TEST(ExclusivePlan, MaxwellBothPartiesClaimPerBlockMax)
+{
+    auto arch = gpu::maxwellM4000();
+    auto plan = makeExclusivePlan(arch, 64, 64);
+    EXPECT_EQ(plan.spySmemBytes, arch.limits.smemPerBlockBytes);
+    EXPECT_EQ(plan.trojanSmemBytes, arch.limits.smemPerBlockBytes);
+    EXPECT_EQ(plan.spySmemBytes + plan.trojanSmemBytes,
+              arch.limits.smemBytes);
+}
+
+TEST(ExclusivePlan, HelpersCoverLeftoverThreads)
+{
+    for (const auto &arch : gpu::allArchitectures()) {
+        auto plan = makeExclusivePlan(arch, 64, 64);
+        ASSERT_TRUE(plan.needHelpers) << arch.name;
+        EXPECT_EQ(plan.helperThreadsPerBlock % warpSize, 0u) << arch.name;
+        EXPECT_EQ(64 + 64 + plan.helperThreadsPerBlock,
+                  arch.limits.maxThreads)
+            << arch.name;
+        EXPECT_EQ(plan.helperBlocks, arch.numSms) << arch.name;
+    }
+}
+
+TEST(ExclusivePlan, NoHelpersWhenChannelFillsTheSm)
+{
+    auto arch = gpu::keplerK40c();
+    auto plan = makeExclusivePlan(arch, 1024, 1024);
+    EXPECT_FALSE(plan.needHelpers);
+}
+
+TEST(ExclusivePlanDeath, OvercommittedChannelIsRejected)
+{
+    auto arch = gpu::keplerK40c();
+    EXPECT_DEATH(makeExclusivePlan(arch, 2048, 2048), "exceed");
+}
+
+TEST(HelperKernel, OccupiesSlotsForRequestedDuration)
+{
+    auto arch = gpu::keplerK40c();
+    auto plan = makeExclusivePlan(arch, 64, 64);
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto helper = makeHelperKernel(arch, plan, 50000);
+    auto &s = dev.createStream();
+    auto &k = host.launch(s, helper);
+    host.sync(k);
+    Tick span = k.endTick() - k.startTick();
+    EXPECT_GE(ticksToCycles(span), 50000u);
+    EXPECT_LE(ticksToCycles(span), 70000u);
+}
+
+TEST(HelperKernel, UsesNoNoisyResources)
+{
+    // The helper must not touch the constant caches (it would corrupt
+    // the very channel it protects).
+    auto arch = gpu::keplerK40c();
+    auto plan = makeExclusivePlan(arch, 64, 64);
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    auto helper = makeHelperKernel(arch, plan, 20000);
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, helper));
+    EXPECT_EQ(dev.constMem().l1Cache(0).hits() +
+                  dev.constMem().l1Cache(0).misses(),
+              0u);
+}
+
+class NoiseTest : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(NoiseTest, InterferenceCorruptsUnprotectedChannel)
+{
+    Rng rng(4);
+    auto outcome = runNoiseExperiment(GetParam(), randomBits(192, rng),
+                                      /*exclusive=*/false);
+    EXPECT_GT(outcome.channel.report.errorRate(), 0.05) << GetParam().name;
+    EXPECT_FALSE(outcome.exclusionHeld()) << GetParam().name;
+    EXPECT_EQ(outcome.interferersLaunched, 4u);
+}
+
+TEST_P(NoiseTest, ExclusiveColocationRestoresErrorFreeOperation)
+{
+    Rng rng(4);
+    auto outcome = runNoiseExperiment(GetParam(), randomBits(192, rng),
+                                      /*exclusive=*/true);
+    EXPECT_TRUE(outcome.channel.report.errorFree()) << GetParam().name;
+    EXPECT_TRUE(outcome.exclusionHeld()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, NoiseTest,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Noise, InterferersEventuallyComplete)
+{
+    // The defense delays, but never permanently starves, the victims.
+    Rng rng(4);
+    auto outcome = runNoiseExperiment(gpu::keplerK40c(),
+                                      randomBits(96, rng), true);
+    EXPECT_EQ(outcome.interferersLaunched, 4u);
+}
+
+TEST(Noise, FullRateChannelProtectedOnAllSms)
+{
+    // The headline composition: the 6-set all-SM channel (Table 2's
+    // multi-Mbps column) stays error-free under the Rodinia-like mix
+    // when protected by exclusive co-location — on every SM at once.
+    Rng rng(4);
+    auto msg = randomBits(1800, rng);
+    auto arch = gpu::keplerK40c();
+    auto excl = runNoiseExperiment(arch, msg, /*exclusive=*/true,
+                                   /*seed=*/1, /*dataSetsPerSm=*/6,
+                                   /*allSms=*/true);
+    EXPECT_TRUE(excl.channel.report.errorFree());
+    EXPECT_TRUE(excl.exclusionHeld());
+    EXPECT_GT(excl.channel.bandwidthBps, 3.5e6);
+}
+
+TEST(Noise, FullRateChannelCorruptedWithoutProtection)
+{
+    Rng rng(4);
+    auto msg = randomBits(1800, rng);
+    auto plain = runNoiseExperiment(gpu::keplerK40c(), msg, false, 1, 6,
+                                    true);
+    EXPECT_GT(plain.channel.report.errorRate(), 0.05);
+}
+
+TEST(Noise, BandwidthUnderExclusionMatchesCleanRun)
+{
+    Rng rng(4);
+    auto msg = randomBits(192, rng);
+    auto excl = runNoiseExperiment(gpu::keplerK40c(), msg, true);
+    // Table 2 sync bandwidth (~75 Kbps) is preserved under protection.
+    EXPECT_NEAR(excl.channel.bandwidthBps, 75e3, 12e3);
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for src/common: formatting, statistics, bitstreams, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace gpucc
+{
+namespace
+{
+
+TEST(Types, TickCycleRoundTrip)
+{
+    EXPECT_EQ(cyclesToTicks(Cycle(1)), ticksPerCycle);
+    EXPECT_EQ(ticksToCycles(cyclesToTicks(Cycle(123))), 123u);
+    EXPECT_EQ(cyclesToTicks(0.5), ticksPerCycle / 2);
+    EXPECT_DOUBLE_EQ(ticksToCyclesF(cyclesToTicks(2.25)), 2.25);
+}
+
+TEST(Types, FractionalOccupancyIsExactEnough)
+{
+    // 32 lanes over 48 SP units = 2/3 cycle must not collapse to 0.
+    Tick t = cyclesToTicks(32.0 / 48.0);
+    EXPECT_GT(t, 0u);
+    EXPECT_NEAR(ticksToCyclesF(t), 2.0 / 3.0, 0.01);
+}
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("a=%d b=%s", 7, "x"), "a=7 b=x");
+    EXPECT_EQ(strfmt("no args"), "no args");
+}
+
+TEST(Stats, AccumulatorBasics)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.add(1.0);
+    a.add(2.0);
+    a.add(3.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_NEAR(a.stddev(), 0.8165, 1e-3);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, SeparationThresholdIsMidpoint)
+{
+    Accumulator zeros;
+    Accumulator ones;
+    zeros.add(49.0);
+    zeros.add(51.0);
+    ones.add(110.0);
+    ones.add(114.0);
+    EXPECT_DOUBLE_EQ(separationThreshold(zeros, ones), (50.0 + 112.0) / 2);
+}
+
+TEST(Stats, HistogramBinsAndClamps)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // clamps into bin 0
+    h.add(0.5);
+    h.add(9.9);
+    h.add(99.0); // clamps into last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+}
+
+TEST(Bitstream, TextRoundTrip)
+{
+    std::string msg = "GPU covert channel!";
+    BitVec bits = textToBits(msg);
+    EXPECT_EQ(bits.size(), msg.size() * 8);
+    EXPECT_EQ(bitsToText(bits), msg);
+}
+
+TEST(Bitstream, PartialByteDropped)
+{
+    BitVec bits = textToBits("AB");
+    bits.resize(12); // 1.5 bytes
+    EXPECT_EQ(bitsToText(bits), "A");
+}
+
+TEST(Bitstream, AlternatingPattern)
+{
+    BitVec b = alternatingBits(5);
+    ASSERT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[0], 1);
+    EXPECT_EQ(b[1], 0);
+    EXPECT_EQ(b[2], 1);
+}
+
+TEST(Bitstream, RandomBitsDeterministicPerSeed)
+{
+    Rng r1(42);
+    Rng r2(42);
+    EXPECT_EQ(randomBits(64, r1), randomBits(64, r2));
+}
+
+TEST(Bitstream, CompareCountsErrorsAndMissing)
+{
+    BitVec sent = {1, 0, 1, 1, 0, 0};
+    BitVec got = {1, 1, 1, 1};
+    auto r = compareBits(sent, got);
+    EXPECT_EQ(r.transmitted, 6u);
+    EXPECT_EQ(r.received, 4u);
+    EXPECT_EQ(r.errors, 1u);
+    EXPECT_EQ(r.missing, 2u);
+    EXPECT_DOUBLE_EQ(r.errorRate(), 3.0 / 6.0);
+    EXPECT_FALSE(r.errorFree());
+}
+
+TEST(Bitstream, CompareErrorFree)
+{
+    BitVec sent = {1, 0, 1};
+    auto r = compareBits(sent, sent);
+    EXPECT_TRUE(r.errorFree());
+    EXPECT_DOUBLE_EQ(r.errorRate(), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.header({"GPU", "Bandwidth"});
+    t.row({"Kepler", "42 Kbps"});
+    t.row({"Fermi", "33 Kbps"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("Kepler"), std::string::npos);
+    EXPECT_NE(s.find("42 Kbps"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtKbps(42000.0), "42.0 Kbps");
+    EXPECT_EQ(fmtKbps(4.25e6), "4.25 Mbps");
+}
+
+TEST(Rng, DistributionsInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i) {
+        auto v = r.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        auto d = r.uniformReal(0.5, 1.5);
+        EXPECT_GE(d, 0.5);
+        EXPECT_LT(d, 1.5);
+    }
+}
+
+} // namespace
+} // namespace gpucc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the Section 9 contention-anomaly detector: it must flag the
+ * cache covert channels (launch-per-bit and synchronized), stay quiet
+ * on benign workloads, and localize the communication set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/channels/l1_const_channel.h"
+#include "covert/detection/cc_detector.h"
+#include "covert/sync/sync_channel.h"
+#include "gpu/host.h"
+#include "workloads/interference.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+BitVec
+msg(std::size_t n)
+{
+    Rng rng(71);
+    return randomBits(n, rng);
+}
+
+TEST(Detector, EmptyTraceIsBenign)
+{
+    auto r = analyzeEvictionTrace({});
+    EXPECT_FALSE(r.covertChannelSuspected);
+    EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(Detector, SyntheticPingPongIsFlagged)
+{
+    std::vector<mem::EvictionEvent> trace;
+    for (unsigned i = 0; i < 200; ++i) {
+        int a = i % 2 == 0 ? 0 : 1;
+        trace.push_back(mem::EvictionEvent{Tick(i) * 1000, 0, 3, a, 1 - a});
+    }
+    auto r = analyzeEvictionTrace(trace);
+    EXPECT_TRUE(r.covertChannelSuspected);
+    EXPECT_EQ(r.topSet.set, 3u);
+    EXPECT_GT(r.topSet.oscillationFraction, 0.9);
+}
+
+TEST(Detector, OneSidedEvictionStreamIsNotFlagged)
+{
+    // A streaming workload evicting a victim without retaliation is a
+    // conflict, but not an oscillating channel train.
+    std::vector<mem::EvictionEvent> trace;
+    for (unsigned i = 0; i < 200; ++i)
+        trace.push_back(mem::EvictionEvent{Tick(i) * 1000, 0, 3, 0, 1});
+    auto r = analyzeEvictionTrace(trace);
+    EXPECT_FALSE(r.covertChannelSuspected);
+}
+
+TEST(Detector, SelfEvictionsAreIgnored)
+{
+    std::vector<mem::EvictionEvent> trace;
+    for (unsigned i = 0; i < 500; ++i)
+        trace.push_back(mem::EvictionEvent{Tick(i) * 1000, 0, 1, 2, 2});
+    auto r = analyzeEvictionTrace(trace);
+    EXPECT_FALSE(r.covertChannelSuspected);
+    EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(Detector, FlagsTheLaunchPerBitL1Channel)
+{
+    L1ConstChannel ch(gpu::keplerK40c());
+    ch.harness().device().constMem().setEvictionTracing(true);
+    ch.transmit(msg(48));
+    auto trace = ch.harness().device().constMem().evictionTrace();
+    auto r = analyzeEvictionTrace(trace);
+    EXPECT_TRUE(r.covertChannelSuspected);
+    // The channel communicates on L1 set 0.
+    EXPECT_EQ(r.topSet.set, 0u);
+}
+
+TEST(Detector, FlagsTheSynchronizedChannel)
+{
+    SyncL1Channel ch(gpu::keplerK40c());
+    ch.harness().device().constMem().setEvictionTracing(true);
+    ch.transmit(msg(128));
+    auto r = analyzeEvictionTrace(
+        ch.harness().device().constMem().evictionTrace());
+    EXPECT_TRUE(r.covertChannelSuspected);
+}
+
+TEST(Detector, StaysQuietOnTheRodiniaLikeMix)
+{
+    auto arch = gpu::keplerK40c();
+    gpu::Device dev(arch);
+    dev.constMem().setEvictionTracing(true);
+    gpu::HostContext host(dev);
+    workloads::WorkloadSpec spec;
+    spec.blocks = 8;
+    spec.threadsPerBlock = 128;
+    spec.iterations = 800;
+    for (auto &k : workloads::makeRodiniaLikeMix(dev, spec))
+        host.launch(dev.createStream(), std::move(k));
+    host.syncAll();
+    auto r = analyzeEvictionTrace(dev.constMem().evictionTrace());
+    EXPECT_FALSE(r.covertChannelSuspected);
+}
+
+TEST(Detector, TracingIsBoundedAndClearable)
+{
+    auto arch = gpu::keplerK40c();
+    mem::ConstMemory cm(arch.constMem, 1);
+    cm.setEvictionTracing(true);
+    // Force far more evictions than the cap by thrashing one set.
+    Tick t = 0;
+    for (unsigned i = 0; i < 500000; ++i) {
+        Addr a = Addr(i % 5) * 512;
+        t = cm.access(0, a, t, -1, static_cast<int>(i % 2)).completion;
+    }
+    EXPECT_LE(cm.evictionTrace().size(), 400000u);
+    cm.clearEvictionTrace();
+    EXPECT_TRUE(cm.evictionTrace().empty());
+}
+
+TEST(Detector, TracingOffRecordsNothing)
+{
+    L1ConstChannel ch(gpu::keplerK40c());
+    ch.transmit(alternatingBits(8));
+    EXPECT_TRUE(
+        ch.harness().device().constMem().evictionTrace().empty());
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the device statistics snapshot: counters must reflect the
+ * work actually performed and the utilization math must be bounded.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device_stats.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+TEST(DeviceStats, FreshDeviceIsEmpty)
+{
+    Device dev(keplerK40c());
+    auto r = collectStats(dev);
+    EXPECT_EQ(r.kernelsLaunched, 0u);
+    EXPECT_EQ(r.kernelsCompleted, 0u);
+    for (const auto &p : r.ports) {
+        EXPECT_EQ(p.requests, 0u);
+        EXPECT_EQ(p.busyTicks, 0u);
+    }
+    for (const auto &c : r.caches)
+        EXPECT_EQ(c.hits + c.misses, 0u);
+}
+
+TEST(DeviceStats, CountsSfuInstructionsExactly)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    KernelLaunch k;
+    k.name = "sfu-count";
+    k.config.gridBlocks = 2;
+    k.config.threadsPerBlock = 3 * warpSize;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        for (int i = 0; i < 50; ++i)
+            co_await ctx.op(OpClass::Sinf);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    auto r = collectStats(dev);
+    for (const auto &p : r.ports) {
+        if (p.name == "SFU issue")
+            EXPECT_EQ(p.requests, 2u * 3u * 50u);
+        if (p.name == "DPU issue")
+            EXPECT_EQ(p.requests, 0u);
+    }
+    EXPECT_EQ(r.kernelsCompleted, 1u);
+}
+
+TEST(DeviceStats, CacheCountersTrackLoads)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::vector<Addr> addrs{0, 64, 128};
+    KernelLaunch k;
+    k.name = "loads";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.body = [addrs](WarpCtx &ctx) -> WarpProgram {
+        for (int pass = 0; pass < 4; ++pass)
+            co_await ctx.constLoadSeq(addrs);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    auto r = collectStats(dev);
+    // 12 accesses: 3 cold misses, 9 hits.
+    EXPECT_EQ(r.caches[0].hits, 9u);
+    EXPECT_EQ(r.caches[0].misses, 3u);
+    EXPECT_NEAR(r.caches[0].hitRate(), 0.75, 1e-9);
+    // The 3 L1 misses reached the L2; all three addresses share one
+    // 256-byte L2 line, so only the first missed there.
+    EXPECT_EQ(r.caches[1].misses, 1u);
+    EXPECT_EQ(r.caches[1].hits, 2u);
+}
+
+TEST(DeviceStats, UtilizationIsBoundedAndRisesUnderLoad)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    KernelLaunch k;
+    k.name = "hot";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 16 * warpSize;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        for (int i = 0; i < 200; ++i)
+            co_await ctx.op(OpClass::Sinf);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    auto r = collectStats(dev);
+    double sfuUtil = 0.0;
+    for (const auto &p : r.ports) {
+        EXPECT_GE(p.utilization, 0.0) << p.name;
+        EXPECT_LE(p.utilization, 1.0 + 1e-9) << p.name;
+        if (p.name == "SFU issue")
+            sfuUtil = p.utilization;
+    }
+    EXPECT_GT(sfuUtil, 0.0);
+}
+
+TEST(DeviceStats, RenderContainsTheHeadlines)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    KernelLaunch k;
+    k.name = "tiny";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        co_await ctx.op(OpClass::FAdd);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    std::string text = collectStats(dev).render();
+    EXPECT_NE(text.find("issue-port activity"), std::string::npos);
+    EXPECT_NE(text.find("constant caches"), std::string::npos);
+    EXPECT_NE(text.find("1/1 kernels done"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpucc::gpu

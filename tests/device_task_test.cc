@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for nested device coroutines (DeviceTask) and their interaction
+ * with the warp suspend/resume machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.h"
+#include "gpu/device_task.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+DeviceTask<std::uint64_t>
+twoOps(WarpCtx &ctx)
+{
+    std::uint64_t a = co_await ctx.op(OpClass::FAdd);
+    std::uint64_t b = co_await ctx.op(OpClass::FMul);
+    co_return a + b;
+}
+
+DeviceTask<std::uint64_t>
+nestedTwice(WarpCtx &ctx)
+{
+    std::uint64_t x = co_await twoOps(ctx);
+    std::uint64_t y = co_await twoOps(ctx);
+    co_return x + y;
+}
+
+DeviceTask<void>
+justSleep(WarpCtx &ctx, Cycle c)
+{
+    co_await ctx.sleep(c);
+    co_return;
+}
+
+KernelLaunch
+kernelWith(std::function<WarpProgram(WarpCtx &)> body)
+{
+    KernelLaunch k;
+    k.name = "task-test";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.body = std::move(body);
+    return k;
+}
+
+TEST(DeviceTask, NestedTaskReturnsValueAndAdvancesTime)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::uint64_t result = 0;
+    std::uint64_t t0 = 0, t1 = 0;
+    auto k = kernelWith([&](WarpCtx &ctx) -> WarpProgram {
+        t0 = co_await ctx.clock();
+        result = co_await twoOps(ctx);
+        t1 = co_await ctx.clock();
+        co_return;
+    });
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    EXPECT_GT(result, 0u);
+    EXPECT_GT(t1, t0);
+}
+
+TEST(DeviceTask, TwoLevelsOfNestingComplete)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::uint64_t result = 0;
+    auto k = kernelWith([&](WarpCtx &ctx) -> WarpProgram {
+        result = co_await nestedTwice(ctx);
+        co_return;
+    });
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    // Four ops, each of a few cycles.
+    EXPECT_GE(result, 4u);
+}
+
+TEST(DeviceTask, VoidTaskCompletes)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::uint64_t before = 0, after = 0;
+    auto k = kernelWith([&](WarpCtx &ctx) -> WarpProgram {
+        before = co_await ctx.clock();
+        co_await justSleep(ctx, 500);
+        after = co_await ctx.clock();
+        co_return;
+    });
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    EXPECT_GE(after - before, 500u);
+}
+
+TEST(DeviceTask, ManyWarpsRunNestedTasksConcurrently)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    KernelLaunch k;
+    k.name = "many";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 8 * warpSize;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        std::uint64_t v = co_await nestedTwice(ctx);
+        ctx.out(v);
+        co_return;
+    };
+    auto &s = host.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    for (unsigned w = 0; w < 8; ++w) {
+        ASSERT_EQ(inst.out(w).size(), 1u);
+        EXPECT_GT(inst.out(w)[0], 0u);
+    }
+}
+
+TEST(DeviceTask, LoopOfTasksDoesNotLeak)
+{
+    // Each awaited DeviceTask's frame is destroyed at the end of the
+    // full expression; a long loop must therefore complete fine.
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::uint64_t total = 0;
+    auto k = kernelWith([&](WarpCtx &ctx) -> WarpProgram {
+        for (int i = 0; i < 500; ++i)
+            total += co_await twoOps(ctx);
+        co_return;
+    });
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    EXPECT_GT(total, 1000u);
+}
+
+TEST(DeviceTask, ConstLoadSeqIsATaskAndSumsLatencies)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::uint64_t total = 0;
+    std::vector<Addr> addrs{0, 512, 1024, 1536};
+    auto k = kernelWith([&](WarpCtx &ctx) -> WarpProgram {
+        total = co_await ctx.constLoadSeq(addrs);
+        co_return;
+    });
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    // Four cold misses through the whole hierarchy.
+    auto memLat = keplerK40c().constMem.memCycles;
+    EXPECT_GE(total, 4u * memLat);
+}
+
+TEST(DeviceTask, BarrierInsideTaskWorks)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    int reached = 0;
+    KernelLaunch k;
+    k.name = "barrier-task";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 4 * warpSize;
+    k.body = [&reached](WarpCtx &ctx) -> WarpProgram {
+        co_await ctx.op(OpClass::FAdd);
+        co_await ctx.syncthreads();
+        ++reached;
+        co_return;
+    };
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    EXPECT_EQ(reached, 4);
+}
+
+} // namespace
+} // namespace gpucc::gpu

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for automatic functional-unit channel construction: derive a
+ * plan from the Figure 6/7 characterization and run the channel on any
+ * operation class — including the paper-consistent negative result that
+ * single-precision Add cannot carry a channel on the K40C (192 SP units
+ * never saturate within the warp limit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/channels/fu_channel_plan.h"
+#include "covert/channels/sfu_channel.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+using gpu::OpClass;
+
+BitVec
+msg(std::size_t n)
+{
+    Rng rng(61);
+    return randomBits(n, rng);
+}
+
+TEST(FuPlan, SinfIsFeasibleEverywhereAndMatchesThePaperSymbols)
+{
+    for (const auto &arch : gpu::allArchitectures()) {
+        auto plan = deriveFuChannelPlan(arch, OpClass::Sinf);
+        ASSERT_TRUE(plan.feasible) << arch.name;
+        EXPECT_EQ(plan.spyWarpsPerBlock % arch.schedulersPerSm, 0u)
+            << arch.name;
+        EXPECT_EQ(plan.trojanWarpsPerBlock % arch.schedulersPerSm, 0u)
+            << arch.name;
+        EXPECT_GT(plan.predictedContendedCycles,
+                  plan.predictedBaseCycles * 1.12)
+            << arch.name;
+    }
+}
+
+TEST(FuPlan, SqrtIsFeasibleEverywhere)
+{
+    for (const auto &arch : gpu::allArchitectures()) {
+        auto plan = deriveFuChannelPlan(arch, OpClass::Sqrt);
+        EXPECT_TRUE(plan.feasible) << arch.name;
+    }
+}
+
+TEST(FuPlan, SpAddIsNotACarrierOnKepler)
+{
+    // Figure 6: Kepler Add/Mul stay flat over the whole sweep — the 192
+    // SP units cannot be saturated, so there is no channel.
+    auto plan = deriveFuChannelPlan(gpu::keplerK40c(), OpClass::FAdd);
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_EQ(plan.onsetWarps, 0u);
+}
+
+TEST(FuPlan, SpAddIsACarrierOnFermiAndMaxwell)
+{
+    // Fermi's 32 SP units saturate easily; Maxwell's quadrants do too.
+    EXPECT_TRUE(
+        deriveFuChannelPlan(gpu::fermiC2075(), OpClass::FAdd).feasible);
+    EXPECT_TRUE(
+        deriveFuChannelPlan(gpu::maxwellM4000(), OpClass::FAdd).feasible);
+}
+
+TEST(FuPlan, DoublePrecisionFeasibleOnlyWhereUnitsExist)
+{
+    EXPECT_TRUE(
+        deriveFuChannelPlan(gpu::fermiC2075(), OpClass::DAdd).feasible);
+    EXPECT_TRUE(
+        deriveFuChannelPlan(gpu::keplerK40c(), OpClass::DAdd).feasible);
+    EXPECT_FALSE(
+        deriveFuChannelPlan(gpu::maxwellM4000(), OpClass::DAdd).feasible);
+}
+
+struct PlanCase
+{
+    gpu::ArchParams arch;
+    OpClass op;
+};
+
+class PlannedChannelTest : public ::testing::TestWithParam<PlanCase>
+{
+};
+
+TEST_P(PlannedChannelTest, DerivedChannelTransmitsErrorFree)
+{
+    const auto &[arch, op] = GetParam();
+    auto plan = deriveFuChannelPlan(arch, op);
+    ASSERT_TRUE(plan.feasible) << arch.name;
+    SfuChannel ch(arch, plan);
+    auto r = ch.transmit(msg(32));
+    EXPECT_TRUE(r.report.errorFree())
+        << arch.name << " / " << gpu::opClassName(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlannedChannelTest,
+    ::testing::Values(PlanCase{gpu::fermiC2075(), OpClass::Sinf},
+                      PlanCase{gpu::keplerK40c(), OpClass::Sinf},
+                      PlanCase{gpu::maxwellM4000(), OpClass::Sinf},
+                      PlanCase{gpu::keplerK40c(), OpClass::Sqrt},
+                      PlanCase{gpu::keplerK40c(), OpClass::DAdd},
+                      PlanCase{gpu::fermiC2075(), OpClass::DAdd},
+                      PlanCase{gpu::fermiC2075(), OpClass::FAdd},
+                      PlanCase{gpu::maxwellM4000(), OpClass::FAdd}),
+    [](const auto &info) {
+        std::string n = info.param.arch.name + "_" +
+                        gpu::opClassName(info.param.op);
+        for (auto &c : n)
+            if (c == ' ' || c == '(' || c == ')')
+                c = '_';
+        return n;
+    });
+
+TEST(FuPlanDeath, InfeasiblePlanIsRejectedByTheChannel)
+{
+    auto plan = deriveFuChannelPlan(gpu::keplerK40c(), OpClass::FAdd);
+    ASSERT_FALSE(plan.feasible);
+    EXPECT_EXIT((SfuChannel(gpu::keplerK40c(), plan)),
+                ::testing::ExitedWithCode(1), "not a feasible");
+}
+
+TEST(FuPlan, PlanSymbolsPredictTheMeasuredLatencies)
+{
+    auto arch = gpu::keplerK40c();
+    auto plan = deriveFuChannelPlan(arch, OpClass::Sinf);
+    SfuChannel ch(arch, plan);
+    auto r = ch.transmit(alternatingBits(24));
+    EXPECT_NEAR(r.zeroMetric.mean(), plan.predictedBaseCycles, 2.5);
+    // The single-kernel sweep caps at 32 warps while the live channel
+    // can exceed it; allow a proportional margin.
+    EXPECT_NEAR(r.oneMetric.mean(), plan.predictedContendedCycles,
+                0.15 * plan.predictedContendedCycles);
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Randomized stress tests of the whole GPU substrate: random kernel
+ * mixes (compute, constant loads, atomics, barriers, sleeps) across
+ * random grids, streams, and hosts, swept over every architecture and
+ * every block-scheduling policy. Invariants: everything completes, SMs
+ * drain to zero occupancy, every warp reports, and runs are
+ * deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/block_scheduler.h"
+#include "gpu/device_stats.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+struct FuzzScenario
+{
+    ArchParams arch;
+    MultiprogPolicy policy;
+    std::uint64_t seed;
+};
+
+/** Build a random kernel whose demands fit under every policy. */
+KernelLaunch
+randomKernel(Rng &rng, const ArchParams &arch, unsigned idx)
+{
+    KernelLaunch k;
+    k.name = strfmt("fuzz%u", idx);
+    k.config.gridBlocks =
+        static_cast<unsigned>(rng.uniformInt(1, 2 * arch.numSms));
+    unsigned warps = static_cast<unsigned>(rng.uniformInt(1, 6));
+    k.config.threadsPerBlock = warps * warpSize;
+    k.config.regsPerThread = 16;
+    // At most a quarter of the SM's shared memory: placeable even under
+    // the half-share intra-SM partitioning policy.
+    if (rng.flip()) {
+        k.config.smemBytesPerBlock =
+            static_cast<std::size_t>(rng.uniformInt(0, 4)) * 1024;
+    }
+
+    unsigned flavor = static_cast<unsigned>(rng.uniformInt(0, 3));
+    unsigned iters = static_cast<unsigned>(rng.uniformInt(4, 60));
+    bool useBarrier = rng.flip();
+    Addr gbase = static_cast<Addr>(rng.uniformInt(0, 1 << 16)) * 256;
+    Addr cbase = static_cast<Addr>(rng.uniformInt(0, 64)) * 512;
+    bool dp = arch.supports(OpClass::DAdd) && rng.flip();
+
+    k.body = [flavor, iters, useBarrier, gbase, cbase,
+              dp](WarpCtx &ctx) -> WarpProgram {
+        for (unsigned i = 0; i < iters; ++i) {
+            switch ((flavor + i) % 4) {
+              case 0:
+                co_await ctx.op(OpClass::Sinf);
+                break;
+              case 1:
+                co_await ctx.op(dp ? OpClass::DAdd : OpClass::FMul);
+                break;
+              case 2:
+                co_await ctx.constLoad(cbase + Addr(i % 8) * 64);
+                break;
+              case 3: {
+                std::vector<Addr> lanes;
+                for (unsigned t = 0; t < 4; ++t)
+                    lanes.push_back(gbase + Addr(t) * 4);
+                co_await ctx.atomicAdd(lanes, 1);
+                break;
+              }
+            }
+            if (useBarrier && i % 16 == 15)
+                co_await ctx.syncthreads();
+        }
+        ctx.out(ctx.smid());
+        co_return;
+    };
+    return k;
+}
+
+Tick
+runScenario(const FuzzScenario &sc, std::uint64_t *outChecksum = nullptr)
+{
+    Device dev(sc.arch);
+    dev.blockScheduler().setPolicy(sc.policy);
+    Rng rng(sc.seed);
+
+    std::vector<std::unique_ptr<HostContext>> hosts;
+    unsigned numHosts = static_cast<unsigned>(rng.uniformInt(1, 3));
+    for (unsigned h = 0; h < numHosts; ++h)
+        hosts.push_back(std::make_unique<HostContext>(dev, sc.seed + h));
+
+    std::vector<const KernelInstance *> launched;
+    unsigned numKernels = static_cast<unsigned>(rng.uniformInt(2, 6));
+    std::vector<Stream *> streams;
+    for (unsigned i = 0; i < numKernels; ++i) {
+        auto k = randomKernel(rng, sc.arch, i);
+        HostContext &host = *hosts[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(hosts.size()) - 1))];
+        Stream *stream;
+        if (!streams.empty() && rng.flip()) {
+            stream = streams[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(streams.size()) - 1))];
+        } else {
+            stream = &dev.createStream();
+            streams.push_back(stream);
+        }
+        launched.push_back(&host.launch(*stream, std::move(k)));
+    }
+    dev.runUntilIdle();
+
+    // Invariant: every kernel completed with one output per warp.
+    std::uint64_t checksum = 0;
+    for (const KernelInstance *k : launched) {
+        EXPECT_TRUE(k->done()) << k->name();
+        for (unsigned w = 0; w < k->totalWarps(); ++w) {
+            EXPECT_EQ(k->out(w).size(), 1u)
+                << k->name() << " warp " << w;
+            if (!k->out(w).empty())
+                checksum = checksum * 1099511628211ULL + k->out(w)[0];
+        }
+    }
+    // Invariant: the device drained completely.
+    EXPECT_TRUE(dev.liveBlocks().empty());
+    for (unsigned s = 0; s < dev.numSms(); ++s) {
+        EXPECT_TRUE(dev.sm(s).idle()) << "SM " << s;
+        EXPECT_EQ(dev.sm(s).occupancy().threads, 0u);
+        EXPECT_EQ(dev.sm(s).occupancy().smemBytes, 0u);
+    }
+    // Invariant: utilization accounting stays bounded.
+    auto stats = collectStats(dev);
+    for (const auto &p : stats.ports)
+        EXPECT_LE(p.utilization, 1.0 + 1e-9) << p.name;
+
+    if (outChecksum)
+        *outChecksum = checksum;
+    return dev.now();
+}
+
+class FuzzTest : public ::testing::TestWithParam<FuzzScenario>
+{
+};
+
+TEST_P(FuzzTest, RandomMixCompletesCleanly)
+{
+    runScenario(GetParam());
+}
+
+TEST_P(FuzzTest, RunsAreDeterministicPerSeed)
+{
+    std::uint64_t c1 = 0, c2 = 0;
+    Tick t1 = runScenario(GetParam(), &c1);
+    Tick t2 = runScenario(GetParam(), &c2);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(c1, c2);
+}
+
+std::vector<FuzzScenario>
+scenarios()
+{
+    std::vector<FuzzScenario> out;
+    std::uint64_t seed = 1000;
+    for (const auto &arch : allArchitectures()) {
+        for (auto policy :
+             {MultiprogPolicy::Leftover, MultiprogPolicy::SmkPreemptive,
+              MultiprogPolicy::IntraSmPartition,
+              MultiprogPolicy::InterSmPartition}) {
+            for (int i = 0; i < 3; ++i)
+                out.push_back(FuzzScenario{arch, policy, seed++});
+        }
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzTest, ::testing::ValuesIn(scenarios()),
+    [](const auto &info) {
+        std::string n = info.param.arch.name + "_" +
+                        multiprogPolicyName(info.param.policy) + "_" +
+                        std::to_string(info.param.seed);
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(FuzzExtras, TemporalPartitioningFuzz)
+{
+    for (std::uint64_t seed = 2000; seed < 2006; ++seed) {
+        FuzzScenario sc{keplerK40c(), MultiprogPolicy::Leftover, seed};
+        Device dev(sc.arch);
+        MitigationConfig m;
+        m.temporalPartitioning = true;
+        m.flushCachesBetweenKernels = true;
+        dev.setMitigations(m);
+        Rng rng(seed);
+        HostContext host(dev, seed);
+        std::vector<const KernelInstance *> launched;
+        for (unsigned i = 0; i < 4; ++i) {
+            launched.push_back(&host.launch(
+                dev.createStream(), randomKernel(rng, sc.arch, i)));
+        }
+        dev.runUntilIdle();
+        for (const auto *k : launched)
+            EXPECT_TRUE(k->done()) << seed;
+    }
+}
+
+} // namespace
+} // namespace gpucc::gpu

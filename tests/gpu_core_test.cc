@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Integration tests of the GPU core: kernel execution through the
+ * coroutine machinery, block placement (round-robin + leftover policy),
+ * warp->scheduler assignment, stream semantics, barriers, contention,
+ * and the host launch path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "gpu/warp.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+/** Kernel writing (smid, blockId, schedulerId) per warp. */
+KernelLaunch
+probeKernel(unsigned blocks, unsigned threads)
+{
+    KernelLaunch k;
+    k.name = "probe";
+    k.config.gridBlocks = blocks;
+    k.config.threadsPerBlock = threads;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        std::uint64_t t0 = co_await ctx.clock();
+        ctx.out(ctx.smid());
+        ctx.out(ctx.blockId());
+        ctx.out(ctx.schedulerId());
+        ctx.out(t0);
+        co_return;
+    };
+    return k;
+}
+
+TEST(Device, ArchPresetsConstructCorrectSmCounts)
+{
+    for (const auto &arch : allArchitectures()) {
+        Device dev(arch);
+        EXPECT_EQ(dev.numSms(), arch.numSms);
+        EXPECT_EQ(dev.sm(0).numSchedulers(), arch.schedulersPerSm);
+    }
+}
+
+TEST(Device, Table1ResourceCounts)
+{
+    auto f = fermiC2075();
+    EXPECT_EQ(f.schedulersPerSm, 2u);
+    EXPECT_EQ(f.spUnits, 32u);
+    EXPECT_EQ(f.dpUnits, 16u);
+    EXPECT_EQ(f.sfuUnits, 4u);
+    EXPECT_EQ(f.ldstUnits, 16u);
+    auto k = keplerK40c();
+    EXPECT_EQ(k.schedulersPerSm, 4u);
+    EXPECT_EQ(k.spUnits, 192u);
+    EXPECT_EQ(k.dpUnits, 64u);
+    EXPECT_EQ(k.sfuUnits, 32u);
+    auto m = maxwellM4000();
+    EXPECT_EQ(m.dpUnits, 0u);
+    EXPECT_FALSE(m.supports(OpClass::DAdd));
+}
+
+TEST(Device, BlocksPlacedRoundRobinAcrossSms)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s = host.createStream();
+    auto &k = host.launch(s, probeKernel(15, 128));
+    host.sync(k);
+    ASSERT_TRUE(k.done());
+    // Block b must have landed on SM b (fresh device, cursor at 0).
+    for (const auto &rec : k.blockRecords())
+        EXPECT_EQ(rec.smId, rec.blockId);
+}
+
+TEST(Device, WarpSchedulerAssignmentIsRoundRobin)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    auto &s = host.createStream();
+    auto &k = host.launch(s, probeKernel(1, 8 * warpSize));
+    host.sync(k);
+    for (unsigned w = 0; w < 8; ++w) {
+        const auto &out = k.out(w);
+        ASSERT_GE(out.size(), 3u);
+        EXPECT_EQ(out[2], w % 4);
+    }
+}
+
+TEST(Device, TwoKernelsCoResideOnEverySm)
+{
+    // The Section 3.1 co-location recipe: each kernel launches one block
+    // per SM; the leftover policy co-locates them pairwise.
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = host.createStream();
+    auto &s2 = host.createStream();
+    auto &k1 = host.launch(s1, probeKernel(15, 128));
+    auto &k2 = host.launch(s2, probeKernel(15, 128));
+    host.sync(k1);
+    host.sync(k2);
+    std::set<unsigned> sms1, sms2;
+    for (const auto &r : k1.blockRecords())
+        sms1.insert(r.smId);
+    for (const auto &r : k2.blockRecords())
+        sms2.insert(r.smId);
+    EXPECT_EQ(sms1.size(), 15u);
+    EXPECT_EQ(sms2.size(), 15u);
+}
+
+TEST(Device, LeftoverPolicyQueuesWhenSmsFull)
+{
+    // Kernel 1 saturates every SM's thread capacity; kernel 2 must wait
+    // for it to finish entirely.
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = host.createStream();
+    auto &s2 = host.createStream();
+
+    KernelLaunch big = probeKernel(15, 2048);
+    big.name = "big";
+    KernelLaunch late = probeKernel(1, 32);
+    late.name = "late";
+
+    auto &k1 = host.launch(s1, big);
+    auto &k2 = host.launch(s2, late);
+    host.sync(k2);
+    EXPECT_TRUE(k1.done());
+    // k2's block could only start after some k1 block retired.
+    EXPECT_GE(k2.startTick(), k1.blockRecords()[0].endTick);
+}
+
+TEST(Device, ExclusiveColocationViaSharedMemorySaturation)
+{
+    // Section 8: spy claims all 48 KB of shared memory per SM, trojan
+    // claims none -> they co-locate; an interferer that needs smem is
+    // locked out until the spy retires.
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = host.createStream();
+    auto &s2 = host.createStream();
+    auto &s3 = host.createStream();
+
+    // Spy and trojan run long enough (~40 us) to overlap despite the
+    // launch latency between them.
+    auto longKernel = [](const char *name) {
+        KernelLaunch k;
+        k.name = name;
+        k.config.gridBlocks = 15;
+        k.config.threadsPerBlock = 128;
+        k.body = [](WarpCtx &ctx) -> WarpProgram {
+            for (int i = 0; i < 1500; ++i)
+                co_await ctx.op(OpClass::Sinf);
+            co_return;
+        };
+        return k;
+    };
+    KernelLaunch spy = longKernel("spy");
+    spy.config.smemBytesPerBlock = 48 * 1024;
+    KernelLaunch trojan = longKernel("trojan");
+    KernelLaunch victim = probeKernel(15, 128);
+    victim.name = "victim";
+    victim.config.smemBytesPerBlock = 1024;
+
+    auto &kSpy = host.launch(s1, spy);
+    auto &kTrojan = host.launch(s2, trojan);
+    auto &kVictim = host.launch(s3, victim);
+    host.sync(kVictim);
+    host.sync(kTrojan);
+
+    EXPECT_TRUE(kSpy.done());
+    EXPECT_TRUE(kTrojan.done());
+    // Trojan overlapped the spy; the victim started strictly after the
+    // spy's last block retired.
+    EXPECT_LT(kTrojan.startTick(), kSpy.endTick());
+    EXPECT_GE(kVictim.startTick(), kSpy.endTick());
+}
+
+TEST(Device, StreamSerializesItsOwnKernels)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s = host.createStream();
+    auto &k1 = host.launch(s, probeKernel(15, 128));
+    auto &k2 = host.launch(s, probeKernel(15, 128));
+    host.sync(k2);
+    EXPECT_GE(k2.startTick(), k1.endTick());
+}
+
+TEST(Device, DifferentStreamsOverlap)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+
+    // A long-running kernel (many sinf loops) on stream 1.
+    KernelLaunch slow;
+    slow.name = "slow";
+    slow.config.gridBlocks = 1;
+    slow.config.threadsPerBlock = 32;
+    slow.body = [](WarpCtx &ctx) -> WarpProgram {
+        for (int i = 0; i < 400; ++i)
+            co_await ctx.op(OpClass::Sinf);
+        co_return;
+    };
+
+    auto &s1 = host.createStream();
+    auto &s2 = host.createStream();
+    auto &k1 = host.launch(s1, slow);
+    auto &k2 = host.launch(s2, probeKernel(1, 32));
+    host.sync(k1);
+    host.sync(k2);
+    // k2 started before k1 ended: true concurrency.
+    EXPECT_LT(k2.startTick(), k1.endTick());
+}
+
+TEST(Warp, ClockIsMonotonicAndQuantized)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::vector<std::uint64_t> clocks;
+
+    KernelLaunch k;
+    k.name = "clocks";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.body = [&clocks](WarpCtx &ctx) -> WarpProgram {
+        for (int i = 0; i < 5; ++i) {
+            clocks.push_back(co_await ctx.clock());
+            co_await ctx.op(OpClass::FAdd);
+        }
+        co_return;
+    };
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+
+    ASSERT_EQ(clocks.size(), 5u);
+    auto quantum = keplerK40c().clockQuantumCycles;
+    for (std::size_t i = 0; i < clocks.size(); ++i) {
+        EXPECT_EQ(clocks[i] % quantum, 0u);
+        if (i > 0) {
+            EXPECT_GE(clocks[i], clocks[i - 1]);
+        }
+    }
+    EXPECT_GT(clocks.back(), clocks.front());
+}
+
+TEST(Warp, SingleWarpOpLatencyMatchesBaseTiming)
+{
+    // One warp, no contention: latency == occupancy + pipeline latency.
+    for (const auto &arch : allArchitectures()) {
+        Device dev(arch);
+        HostContext host(dev);
+        std::uint64_t lat = 0;
+        KernelLaunch k;
+        k.name = "lat";
+        k.config.gridBlocks = 1;
+        k.config.threadsPerBlock = 32;
+        k.body = [&lat](WarpCtx &ctx) -> WarpProgram {
+            co_await ctx.op(OpClass::Sinf); // warm
+            lat = co_await ctx.op(OpClass::Sinf);
+            co_return;
+        };
+        auto &s = host.createStream();
+        host.sync(host.launch(s, k));
+        const auto &t = arch.timing(OpClass::Sinf);
+        Cycle expect = t.latencyCycles + ticksToCycles(t.occTicks);
+        EXPECT_NEAR(static_cast<double>(lat), static_cast<double>(expect),
+                    1.5)
+            << arch.name;
+    }
+}
+
+TEST(Warp, PaperSinfBaseLatencies)
+{
+    // Section 5.2: ~41 (Fermi), ~18 (Kepler), ~15 (Maxwell) uncontended.
+    std::map<std::string, double> expected = {
+        {"Tesla C2075", 41.0}, {"Tesla K40C", 18.0}, {"Quadro M4000", 15.0}};
+    for (const auto &arch : allArchitectures()) {
+        const auto &t = arch.timing(OpClass::Sinf);
+        double base = static_cast<double>(t.latencyCycles) +
+                      ticksToCyclesF(t.occTicks);
+        EXPECT_NEAR(base, expected[arch.name], 1.0) << arch.name;
+    }
+}
+
+TEST(Warp, SameSchedulerWarpsContendOnSfu)
+{
+    // 24 warps on Kepler = 6 per scheduler; the paper reports ~24 cycles
+    // of per-op latency under this load (vs 18 uncontended).
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    KernelLaunch k;
+    k.name = "contend";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 24 * warpSize;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        std::uint64_t total = 0;
+        const int iters = 128;
+        for (int i = 0; i < iters; ++i)
+            total += co_await ctx.op(OpClass::Sinf);
+        ctx.out(total / iters);
+        co_return;
+    };
+    auto &s = host.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    double w0 = static_cast<double>(inst.out(0).at(0));
+    EXPECT_NEAR(w0, 24.0, 3.0);
+}
+
+TEST(Warp, BarrierReleasesAllWarpsTogether)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::vector<std::uint64_t> after;
+    KernelLaunch k;
+    k.name = "barrier";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 4 * warpSize;
+    k.body = [&after](WarpCtx &ctx) -> WarpProgram {
+        // Warp w delays ~w*200 cycles before the barrier.
+        for (unsigned i = 0; i < ctx.warpInBlock(); ++i)
+            co_await ctx.sleep(200);
+        co_await ctx.syncthreads();
+        after.push_back(co_await ctx.clock());
+        co_return;
+    };
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    ASSERT_EQ(after.size(), 4u);
+    auto [mn, mx] = std::minmax_element(after.begin(), after.end());
+    // All warps resumed within a few cycles of each other, and only
+    // after the slowest warp's 600-cycle delay.
+    EXPECT_LE(*mx - *mn, 16u);
+    EXPECT_GE(*mn, 600u);
+}
+
+TEST(Warp, AtomicsAreFunctionallyCorrectAcrossWarps)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    Addr counter = dev.allocGlobal(8);
+    KernelLaunch k;
+    k.name = "atomics";
+    k.config.gridBlocks = 4;
+    k.config.threadsPerBlock = 64;
+    k.body = [counter](WarpCtx &ctx) -> WarpProgram {
+        std::vector<Addr> lanes(warpSize, counter);
+        co_await ctx.atomicAdd(lanes, 1);
+        co_return;
+    };
+    auto &s = host.createStream();
+    host.sync(host.launch(s, k));
+    // 4 blocks * 2 warps * 32 lanes.
+    EXPECT_EQ(dev.globalMem().peek(counter), 4u * 2u * 32u);
+}
+
+TEST(Host, LaunchOverheadAndSyncAdvanceHostTime)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s = host.createStream();
+    EXPECT_EQ(host.now(), 0u);
+    auto &k = host.launch(s, probeKernel(1, 32));
+    Tick afterLaunch = host.now();
+    EXPECT_GT(afterLaunch, 0u);
+    host.sync(k);
+    EXPECT_GT(host.now(), afterLaunch);
+    EXPECT_GE(k.startTick(),
+              dev.arch().ticksFromUs(dev.arch().host.launchLatencyUs));
+}
+
+TEST(Host, JitterIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        Device dev(keplerK40c());
+        HostContext host(dev, seed);
+        auto &s = host.createStream();
+        auto &k = host.launch(s, probeKernel(1, 32));
+        host.sync(k);
+        return k.startTick();
+    };
+    EXPECT_EQ(run(9), run(9));
+    EXPECT_NE(run(9), run(10));
+}
+
+TEST(Host, StarvedKernelIsFatal)
+{
+    // A block demanding more smem than the per-block cap can never run.
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    auto &s = host.createStream();
+    KernelLaunch k = probeKernel(1, 32);
+    k.config.smemBytesPerBlock = 100 * 1024;
+    auto &inst = host.launch(s, k);
+    EXPECT_EXIT(host.sync(inst), ::testing::ExitedWithCode(1), "starved");
+}
+
+TEST(Device, BlockRecordsTrackLifetimes)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    auto &s = host.createStream();
+    auto &k = host.launch(s, probeKernel(3, 64));
+    host.sync(k);
+    ASSERT_EQ(k.blockRecords().size(), 3u);
+    for (const auto &r : k.blockRecords()) {
+        EXPECT_GT(r.endTick, r.startTick);
+        EXPECT_LT(r.smId, dev.numSms());
+    }
+}
+
+TEST(Device, AllocatorsAlignAndAdvance)
+{
+    Device dev(keplerK40c());
+    Addr a = dev.allocConst(100, 256);
+    Addr b = dev.allocConst(100, 256);
+    EXPECT_EQ(a % 256, 0u);
+    EXPECT_EQ(b % 256, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_NE(dev.allocGlobal(8), dev.allocGlobal(8));
+}
+
+} // namespace
+} // namespace gpucc::gpu

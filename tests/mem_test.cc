@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: cache geometry, set-associative
+ * LRU behaviour (the prime+probe substrate), the coalescer, the
+ * constant-cache hierarchy timing, and global-memory atomics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/arch_params.h"
+#include "mem/cache_geometry.h"
+#include "mem/coalescer.h"
+#include "mem/const_memory.h"
+#include "mem/global_memory.h"
+#include "mem/set_assoc_cache.h"
+
+namespace gpucc::mem
+{
+namespace
+{
+
+using gpucc::gpu::keplerK40c;
+
+CacheGeometry keplerL1{2048, 64, 4};   // 8 sets
+CacheGeometry keplerL2{32768, 256, 8}; // 16 sets
+
+TEST(CacheGeometry, DerivedParameters)
+{
+    EXPECT_EQ(keplerL1.numSets(), 8u);
+    EXPECT_EQ(keplerL2.numSets(), 16u);
+    EXPECT_EQ(keplerL1.setOf(0), 0u);
+    EXPECT_EQ(keplerL1.setOf(64), 1u);
+    EXPECT_EQ(keplerL1.setOf(512), 0u); // stride 512 maps to set 0
+    EXPECT_EQ(keplerL1.lineAlign(100), 64u);
+}
+
+TEST(CacheGeometry, PaperStridesHitOneSet)
+{
+    // Section 4.2: a 2 KB array at stride 512 B -> 4 lines, all set 0.
+    for (Addr a = 0; a < 2048; a += 512)
+        EXPECT_EQ(keplerL1.setOf(a), 0u);
+    // Section 4.3: stride 4096 = 16 sets * 256 B on the L2.
+    for (Addr a = 0; a < 32768; a += 4096)
+        EXPECT_EQ(keplerL2.setOf(a), 0u);
+}
+
+TEST(SetAssocCache, ColdMissThenHit)
+{
+    SetAssocCache c("c", keplerL1);
+    EXPECT_FALSE(c.access(0).hit);
+    EXPECT_TRUE(c.access(0).hit);
+    EXPECT_TRUE(c.access(63).hit);  // same line
+    EXPECT_FALSE(c.access(64).hit); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(SetAssocCache, FillsAllWaysBeforeEvicting)
+{
+    SetAssocCache c("c", keplerL1);
+    // 4 lines mapping to set 0.
+    for (Addr a = 0; a < 4 * 512; a += 512)
+        EXPECT_FALSE(c.access(a).hit);
+    // All four hit now.
+    for (Addr a = 0; a < 4 * 512; a += 512)
+        EXPECT_TRUE(c.access(a).hit);
+    EXPECT_EQ(c.validLinesInSet(0), 4u);
+}
+
+TEST(SetAssocCache, LruEvictsOldest)
+{
+    SetAssocCache c("c", keplerL1);
+    c.access(0 * 512);
+    c.access(1 * 512);
+    c.access(2 * 512);
+    c.access(3 * 512);
+    c.access(0 * 512);              // refresh line 0
+    auto r = c.access(4 * 512);     // evicts line 1*512 (LRU)
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victimLine, 512u);
+    EXPECT_TRUE(c.access(0).hit);       // line 0 survived
+    EXPECT_FALSE(c.access(512).hit);    // line 1 evicted
+}
+
+TEST(SetAssocCache, PrimeEvictsVictimExactly)
+{
+    // The covert-channel primitive: trojan primes set 0 with its own
+    // 4 lines; every spy line in set 0 must now miss.
+    SetAssocCache c("c", keplerL1);
+    const Addr spyBase = 0;
+    const Addr trojanBase = 1 << 20;
+    for (int i = 0; i < 4; ++i)
+        c.access(spyBase + Addr(i) * 512);
+    for (int i = 0; i < 4; ++i)
+        c.access(trojanBase + Addr(i) * 512);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(c.probe(spyBase + Addr(i) * 512));
+}
+
+TEST(SetAssocCache, OtherSetsUnaffectedByPrime)
+{
+    SetAssocCache c("c", keplerL1);
+    c.access(64); // set 1
+    for (int i = 0; i < 8; ++i)
+        c.access(Addr(1 << 20) + Addr(i) * 512); // hammer set 0
+    EXPECT_TRUE(c.probe(64));
+}
+
+TEST(SetAssocCache, ProbeDoesNotDisturbLru)
+{
+    SetAssocCache c("c", keplerL1);
+    c.access(0 * 512);
+    c.access(1 * 512);
+    c.access(2 * 512);
+    c.access(3 * 512);
+    EXPECT_TRUE(c.probe(0));
+    c.access(4 * 512); // must evict 0*512 (LRU despite probe)
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(SetAssocCache, FlushAndInvalidate)
+{
+    SetAssocCache c("c", keplerL1);
+    c.access(0);
+    c.access(64);
+    EXPECT_TRUE(c.invalidate(0));
+    EXPECT_FALSE(c.invalidate(0));
+    EXPECT_TRUE(c.probe(64));
+    c.flush();
+    EXPECT_FALSE(c.probe(64));
+}
+
+// Property: sequentially scanning an array larger than the cache with
+// LRU replacement thrashes the overflowing sets on every pass — the
+// staircase mechanism behind Figures 2 and 3.
+class ThrashTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ThrashTest, OverflowingSetsMissEveryPass)
+{
+    int extraLines = GetParam();
+    SetAssocCache c("c", keplerL1);
+    std::size_t lines = keplerL1.sizeBytes / keplerL1.lineBytes +
+                        static_cast<std::size_t>(extraLines);
+    // Warm-up pass.
+    for (std::size_t i = 0; i < lines; ++i)
+        c.access(Addr(i) * 64);
+    // Steady-state pass: exactly (extraLines ? overflowSets*(ways+1) : 0)
+    // misses, where each overflowing set has ways+1 resident candidates.
+    std::uint64_t missesBefore = c.misses();
+    for (std::size_t i = 0; i < lines; ++i)
+        c.access(Addr(i) * 64);
+    std::uint64_t newMisses = c.misses() - missesBefore;
+    if (extraLines == 0) {
+        EXPECT_EQ(newMisses, 0u);
+    } else {
+        std::uint64_t overflowSets = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(extraLines), keplerL1.numSets());
+        EXPECT_EQ(newMisses, overflowSets * (keplerL1.ways + 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThrashTest,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+TEST(Coalescer, CoalescedAccessesFormOneTransaction)
+{
+    Coalescer co(128);
+    std::vector<Addr> lanes;
+    for (int i = 0; i < 32; ++i)
+        lanes.push_back(Addr(i) * 4); // consecutive words
+    auto txns = co.coalesce(lanes);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].segmentBase, 0u);
+    EXPECT_EQ(txns[0].laneOps, 32u);
+}
+
+TEST(Coalescer, StridedAccessesScatter)
+{
+    Coalescer co(128);
+    std::vector<Addr> lanes;
+    for (int i = 0; i < 32; ++i)
+        lanes.push_back(Addr(i) * 128);
+    auto txns = co.coalesce(lanes);
+    EXPECT_EQ(txns.size(), 32u);
+    for (const auto &t : txns)
+        EXPECT_EQ(t.laneOps, 1u);
+}
+
+TEST(Coalescer, MixedPattern)
+{
+    Coalescer co(128);
+    std::vector<Addr> lanes{0, 4, 128, 132, 256};
+    auto txns = co.coalesce(lanes);
+    ASSERT_EQ(txns.size(), 3u);
+    EXPECT_EQ(txns[0].laneOps, 2u);
+    EXPECT_EQ(txns[1].laneOps, 2u);
+    EXPECT_EQ(txns[2].laneOps, 1u);
+}
+
+TEST(ConstMemory, L1HitFasterThanL2HitFasterThanMem)
+{
+    auto arch = keplerK40c();
+    ConstMemory cm(arch.constMem, 1);
+    // Cold: L2 miss -> memory latency.
+    auto cold = cm.access(0, 0, 0);
+    EXPECT_FALSE(cold.l1Hit);
+    EXPECT_FALSE(cold.l2Hit);
+    // Warm: L1 hit.
+    auto warm = cm.access(0, 0, cold.completion);
+    EXPECT_TRUE(warm.l1Hit);
+    Tick l1Lat = warm.completion - cold.completion;
+    EXPECT_EQ(ticksToCycles(l1Lat), arch.constMem.l1HitCycles);
+    EXPECT_GT(ticksToCycles(cold.completion),
+              arch.constMem.l2HitCycles);
+}
+
+TEST(ConstMemory, L1MissL2HitIntermediateLatency)
+{
+    auto arch = keplerK40c();
+    ConstMemory cm(arch.constMem, 2);
+    // SM0 warms the shared L2.
+    auto a = cm.access(0, 0, 0);
+    // SM1 misses its own L1 but hits L2.
+    auto b = cm.access(1, 0, a.completion);
+    EXPECT_FALSE(b.l1Hit);
+    EXPECT_TRUE(b.l2Hit);
+    Cycle lat = ticksToCycles(b.completion - a.completion);
+    EXPECT_NEAR(static_cast<double>(lat),
+                static_cast<double>(arch.constMem.l2HitCycles), 2.0);
+}
+
+TEST(ConstMemory, SeparateL1PerSm)
+{
+    auto arch = keplerK40c();
+    ConstMemory cm(arch.constMem, 2);
+    cm.access(0, 0, 0);
+    EXPECT_TRUE(cm.l1Cache(0).probe(0));
+    EXPECT_FALSE(cm.l1Cache(1).probe(0));
+}
+
+TEST(ConstMemory, CrossKernelEvictionInSharedL1)
+{
+    // Trojan (address base B) primes set 0 of SM0's L1; spy lines die.
+    auto arch = keplerK40c();
+    ConstMemory cm(arch.constMem, 1);
+    Tick t = 0;
+    for (int i = 0; i < 4; ++i)
+        t = cm.access(0, Addr(i) * 512, t).completion;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(cm.l1Cache(0).probe(Addr(i) * 512));
+    Addr trojanBase = 1 << 20;
+    for (int i = 0; i < 4; ++i)
+        t = cm.access(0, trojanBase + Addr(i) * 512, t).completion;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(cm.l1Cache(0).probe(Addr(i) * 512));
+}
+
+TEST(GlobalMemory, AtomicFunctionalSemantics)
+{
+    auto arch = keplerK40c();
+    GlobalMemory gm(arch.gmem);
+    std::vector<std::uint64_t> old;
+    gm.atomicAdd({0x100, 0x100, 0x200}, 5, 0, &old);
+    ASSERT_EQ(old.size(), 3u);
+    EXPECT_EQ(old[0], 0u);
+    EXPECT_EQ(old[1], 5u); // second lane sees the first lane's add
+    EXPECT_EQ(old[2], 0u);
+    EXPECT_EQ(gm.peek(0x100), 10u);
+    EXPECT_EQ(gm.peek(0x200), 5u);
+}
+
+TEST(GlobalMemory, UncoalescedAtomicsAreSlowest)
+{
+    // Figure 10, scenario 3: one warp atomic spread over 32 segments
+    // pays 32 per-transaction overheads; the coalesced single-segment
+    // form pays one overhead plus the per-lane serialization.
+    auto arch = keplerK40c();
+    GlobalMemory gm(arch.gmem);
+    std::vector<Addr> sameLine, spread;
+    for (int i = 0; i < 32; ++i) {
+        sameLine.push_back(Addr(i) * 4);
+        spread.push_back(Addr(i) * 4096);
+    }
+    Tick tSame = gm.atomicAdd(sameLine, 1, 0);
+    GlobalMemory gm2(arch.gmem);
+    Tick tSpread = gm2.atomicAdd(spread, 1, 0);
+    EXPECT_GT(tSpread, tSame);
+    // Both still complete no sooner than the atomic round trip.
+    EXPECT_GE(ticksToCycles(tSame), arch.gmem.atomicLatencyCycles);
+}
+
+TEST(GlobalMemory, SameLineSerializationScalesWithLaneCount)
+{
+    auto arch = keplerK40c();
+    GlobalMemory gm(arch.gmem);
+    std::vector<Addr> few(4, 0x100), many(32, 0x100);
+    Tick tFew = gm.atomicAdd(few, 1, 0);
+    GlobalMemory gm2(arch.gmem);
+    Tick tMany = gm2.atomicAdd(many, 1, 0);
+    EXPECT_GT(tMany, tFew);
+}
+
+TEST(GlobalMemory, FermiAtomicsSlowerThanKepler)
+{
+    auto kepler = keplerK40c();
+    auto fermi = gpucc::gpu::fermiC2075();
+    GlobalMemory gmK(kepler.gmem);
+    GlobalMemory gmF(fermi.gmem);
+    std::vector<Addr> sameLine;
+    for (int i = 0; i < 32; ++i)
+        sameLine.push_back(Addr(i) * 4);
+    // Repeated warp atomics to the same line: Fermi's 9x occupancy
+    // dominates.
+    Tick tK = 0, tF = 0;
+    for (int r = 0; r < 8; ++r)
+        tK = gmK.atomicAdd(sameLine, 1, tK);
+    for (int r = 0; r < 8; ++r)
+        tF = gmF.atomicAdd(sameLine, 1, tF);
+    // Compare in cycles of equal count (both expressed in ticks here;
+    // the 9x occupancy difference swamps the latency difference).
+    EXPECT_GT(tF, tK * 2);
+}
+
+TEST(GlobalMemory, PartitionInterleaving)
+{
+    auto arch = keplerK40c();
+    GlobalMemory gm(arch.gmem);
+    EXPECT_EQ(gm.partitionOf(0), 0u);
+    EXPECT_EQ(gm.partitionOf(256), 1u);
+    EXPECT_EQ(gm.partitionOf(256 * 6), 0u);
+}
+
+TEST(GlobalMemory, LoadsAndStoresComplete)
+{
+    auto arch = keplerK40c();
+    GlobalMemory gm(arch.gmem);
+    std::vector<Addr> lanes{0, 4, 8};
+    Tick tl = gm.load(lanes, 0);
+    EXPECT_GE(ticksToCycles(tl), arch.gmem.loadLatencyCycles);
+    Tick ts = gm.store(lanes, 0);
+    EXPECT_LT(ts, tl); // stores are fire-and-forget
+}
+
+} // namespace
+} // namespace gpucc::mem

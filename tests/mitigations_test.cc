@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the Section 9 mitigations: each defense must (a) break the
+ * channel class it targets and (b) leave unrelated machinery intact.
+ * Also covers the subtle negative result: temporal partitioning alone
+ * does NOT stop the state-based cache channel — the caches must also be
+ * flushed between kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/sfu_channel.h"
+#include "covert/parallel/sfu_parallel_channel.h"
+#include "covert/sync/sync_channel.h"
+#include "gpu/host.h"
+#include "gpu/mitigations.h"
+#include "gpu/warp_ctx.h"
+#include "mem/set_assoc_cache.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+BitVec
+msg(std::size_t n, std::uint64_t seed = 31)
+{
+    Rng rng(seed);
+    return randomBits(n, rng);
+}
+
+TEST(MitigationConfig, AnyDetectsEnabledDefenses)
+{
+    gpu::MitigationConfig m;
+    EXPECT_FALSE(m.any());
+    m.timerFuzzCycles = 8;
+    EXPECT_TRUE(m.any());
+    m = {};
+    m.cacheWayPartitioning = true;
+    EXPECT_TRUE(m.any());
+}
+
+TEST(WayPartitionedCache, PartitionsCannotEvictEachOther)
+{
+    mem::CacheGeometry geom{2048, 64, 4};
+    mem::SetAssocCache c("c", geom);
+    // Domain A allocates into ways [0,2), domain B into [2,4).
+    for (int i = 0; i < 2; ++i)
+        c.accessInWays(Addr(i) * 512, 0, 2);
+    // Domain B hammers the same set with many lines.
+    for (int i = 0; i < 8; ++i)
+        c.accessInWays(Addr(1 << 20) + Addr(i) * 512, 2, 4);
+    // Domain A's lines survived.
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.probe(512));
+}
+
+TEST(WayPartitionedCache, HitsMayMatchAnyWay)
+{
+    mem::CacheGeometry geom{2048, 64, 4};
+    mem::SetAssocCache c("c", geom);
+    c.accessInWays(0, 0, 2);
+    // A request from the other partition still hits the cached line.
+    EXPECT_TRUE(c.accessInWays(0, 2, 4).hit);
+}
+
+TEST(Mitigation, WayPartitioningBreaksTheL1Channel)
+{
+    LaunchPerBitConfig cfg;
+    cfg.mitigations.cacheWayPartitioning = true;
+    L1ConstChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(64));
+    // The trojan can no longer evict the spy's lines: the two symbol
+    // populations collapse and decoding degrades to coin flipping.
+    EXPECT_GT(r.report.errorRate(), 0.25);
+}
+
+TEST(Mitigation, WayPartitioningBreaksTheSyncChannel)
+{
+    SyncChannelConfig cfg;
+    cfg.mitigations.cacheWayPartitioning = true;
+    SyncL1Channel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(64));
+    EXPECT_GT(r.report.errorRate(), 0.25);
+}
+
+TEST(Mitigation, WayPartitioningLeavesSfuChannelAlone)
+{
+    // Orthogonality: the cache defense does nothing to the FU channel.
+    LaunchPerBitConfig cfg;
+    cfg.iterations = 0; // per-arch SFU default
+    cfg.mitigations.cacheWayPartitioning = true;
+    SfuChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(32));
+    EXPECT_TRUE(r.report.errorFree());
+}
+
+TEST(Mitigation, SchedulerRandomizationDegradesParallelSfuLanes)
+{
+    SfuParallelConfig cfg;
+    cfg.mitigations.randomizeWarpSchedulers = true;
+    SfuParallelChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(64));
+    // Bits no longer map to schedulers; substantial corruption.
+    EXPECT_GT(r.report.errorRate(), 0.10);
+}
+
+TEST(Mitigation, SchedulerRandomizationKeepsWarpsSchedulable)
+{
+    // Sanity: kernels still run correctly under random assignment.
+    gpu::MitigationConfig m;
+    m.randomizeWarpSchedulers = true;
+    gpu::Device dev(gpu::keplerK40c());
+    dev.setMitigations(m);
+    gpu::HostContext host(dev);
+    gpu::KernelLaunch k;
+    k.name = "rand";
+    k.config.gridBlocks = 2;
+    k.config.threadsPerBlock = 8 * warpSize;
+    k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        co_await ctx.op(gpu::OpClass::FAdd);
+        ctx.out(ctx.schedulerId());
+        co_return;
+    };
+    auto &s = dev.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    for (unsigned w = 0; w < 16; ++w)
+        EXPECT_LT(inst.out(w).at(0), 4u);
+}
+
+TEST(Mitigation, TimerFuzzSweepDegradesTheL1Channel)
+{
+    // BER should grow with the fuzz amplitude.
+    auto ber = [&](Cycle fuzz) {
+        LaunchPerBitConfig cfg;
+        cfg.mitigations.timerFuzzCycles = fuzz;
+        L1ConstChannel ch(gpu::keplerK40c(), cfg);
+        return ch.transmit(msg(64)).report.errorRate();
+    };
+    EXPECT_DOUBLE_EQ(ber(0), 0.0);
+    double high = ber(256);
+    EXPECT_GT(high, 0.10);
+    EXPECT_GE(high + 0.05, ber(64)); // roughly monotone
+}
+
+TEST(Mitigation, AveragingChannelsResistMildTimerFuzz)
+{
+    // The SFU channel averages hundreds of samples per bit: mild fuzz
+    // does not break it (the paper's Section 9 caveat that fuzzing must
+    // be aggressive enough to matter).
+    LaunchPerBitConfig cfg;
+    cfg.iterations = 0; // per-arch SFU default
+    cfg.mitigations.timerFuzzCycles = 16;
+    SfuChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(32));
+    EXPECT_TRUE(r.report.errorFree());
+}
+
+TEST(Mitigation, TemporalPartitioningSerializesKernels)
+{
+    gpu::MitigationConfig m;
+    m.temporalPartitioning = true;
+    gpu::Device dev(gpu::keplerK40c());
+    dev.setMitigations(m);
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto mkKernel = [](const char *name) {
+        gpu::KernelLaunch k;
+        k.name = name;
+        k.config.gridBlocks = 2;
+        k.config.threadsPerBlock = 64;
+        k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+            for (int i = 0; i < 300; ++i)
+                co_await ctx.op(gpu::OpClass::Sinf);
+            co_return;
+        };
+        return k;
+    };
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &k1 = host.launch(s1, mkKernel("a"));
+    auto &k2 = host.launch(s2, mkKernel("b"));
+    host.sync(k2);
+    host.sync(k1);
+    // No overlap: the later kernel started after the earlier one ended.
+    EXPECT_GE(k2.startTick(), k1.endTick());
+}
+
+TEST(Mitigation, TemporalPartitioningKillsContentionChannels)
+{
+    // No concurrency -> no SFU contention -> the channel collapses.
+    LaunchPerBitConfig cfg;
+    cfg.iterations = 0; // per-arch SFU default
+    cfg.mitigations.temporalPartitioning = true;
+    SfuChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(48));
+    EXPECT_GT(r.report.errorRate(), 0.2);
+}
+
+TEST(Mitigation, TemporalPartitioningAloneDoesNotStopStateChannels)
+{
+    // The subtle negative result: cache evictions are durable, so the
+    // prime+probe channel decodes from *state*, not contention — the
+    // kernels need not overlap at all.
+    LaunchPerBitConfig cfg;
+    cfg.mitigations.temporalPartitioning = true;
+    L1ConstChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(48));
+    EXPECT_TRUE(r.report.errorFree());
+}
+
+TEST(Mitigation, TemporalPartitioningPlusFlushStopsStateChannels)
+{
+    LaunchPerBitConfig cfg;
+    cfg.mitigations.temporalPartitioning = true;
+    cfg.mitigations.flushCachesBetweenKernels = true;
+    L1ConstChannel ch(gpu::keplerK40c(), cfg);
+    auto r = ch.transmit(msg(48));
+    EXPECT_GT(r.report.errorRate(), 0.25);
+}
+
+TEST(Mitigation, DefensesCompose)
+{
+    // Everything on: every channel class should be dead.
+    gpu::MitigationConfig all;
+    all.cacheWayPartitioning = true;
+    all.randomizeWarpSchedulers = true;
+    all.timerFuzzCycles = 128;
+    all.temporalPartitioning = true;
+    all.flushCachesBetweenKernels = true;
+
+    LaunchPerBitConfig cfg;
+    cfg.mitigations = all;
+    {
+        L1ConstChannel ch(gpu::keplerK40c(), cfg);
+        EXPECT_GT(ch.transmit(msg(48)).report.errorRate(), 0.2);
+    }
+    {
+        LaunchPerBitConfig sfuCfg = cfg;
+        sfuCfg.iterations = 0; // per-arch SFU default
+        SfuChannel ch(gpu::keplerK40c(), sfuCfg);
+        EXPECT_GT(ch.transmit(msg(48)).report.errorRate(), 0.2);
+    }
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the Section 3.2 multiprogramming policies: SMK block-level
+ * preemption (Wang et al.), fair intra-SM partitioning (Xu et al.), and
+ * inter-SM partitioning (Adriaens et al. / Tanasic et al.), plus their
+ * consequences for the covert channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/l2_const_channel.h"
+#include "gpu/block_scheduler.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+KernelLaunch
+workKernel(const char *name, unsigned blocks, unsigned threads,
+           unsigned iters = 400, unsigned regs = 16)
+{
+    KernelLaunch k;
+    k.name = name;
+    k.config.gridBlocks = blocks;
+    k.config.threadsPerBlock = threads;
+    k.config.regsPerThread = regs;
+    k.body = [iters](WarpCtx &ctx) -> WarpProgram {
+        for (unsigned i = 0; i < iters; ++i)
+            co_await ctx.op(OpClass::FAdd);
+        if (ctx.warpInBlock() == 0) {
+            ctx.out(ctx.smid());
+            ctx.out(co_await ctx.clock());
+        }
+        co_return;
+    };
+    return k;
+}
+
+TEST(Multiprog, PolicyNames)
+{
+    EXPECT_STREQ(multiprogPolicyName(MultiprogPolicy::Leftover),
+                 "leftover");
+    EXPECT_STREQ(multiprogPolicyName(MultiprogPolicy::SmkPreemptive),
+                 "SMK (preemptive)");
+    EXPECT_STREQ(multiprogPolicyName(MultiprogPolicy::IntraSmPartition),
+                 "intra-SM partitioning");
+    EXPECT_STREQ(multiprogPolicyName(MultiprogPolicy::InterSmPartition),
+                 "inter-SM partitioning");
+}
+
+// ---- Intra-SM partitioning ---------------------------------------------
+
+TEST(Multiprog, IntraSmPartitionCoResidesTwoKernels)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::IntraSmPartition);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &k1 = host.launch(s1, workKernel("a", 15, 512));
+    auto &k2 = host.launch(s2, workKernel("b", 15, 512));
+    host.sync(k1);
+    host.sync(k2);
+    // Both kernels got a block on every SM (each within its half share).
+    std::set<unsigned> sms1, sms2;
+    for (const auto &r : k1.blockRecords())
+        sms1.insert(r.smId);
+    for (const auto &r : k2.blockRecords())
+        sms2.insert(r.smId);
+    EXPECT_EQ(sms1.size(), 15u);
+    EXPECT_EQ(sms2.size(), 15u);
+}
+
+TEST(Multiprog, IntraSmPartitionCapsEachKernelAtItsShare)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::IntraSmPartition);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    // One greedy kernel with many blocks: at most half the threads of
+    // each SM may belong to it, so at most 2 x 512-thread blocks per SM.
+    auto &k = host.launch(s1, workKernel("greedy", 40, 512));
+    host.sync(k);
+    std::map<unsigned, unsigned> blocksPerSm;
+    Tick firstEnd = UINT64_MAX;
+    for (const auto &r : k.blockRecords())
+        firstEnd = std::min(firstEnd, r.endTick);
+    unsigned concurrentOnSomeSm = 0;
+    for (const auto &r : k.blockRecords()) {
+        if (r.startTick < firstEnd)
+            concurrentOnSomeSm = std::max(concurrentOnSomeSm,
+                                          ++blocksPerSm[r.smId]);
+    }
+    EXPECT_LE(concurrentOnSomeSm, 2u); // 2 x 512 = half of 2048
+}
+
+TEST(Multiprog, IntraSmPartitionQueuesThirdKernel)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::IntraSmPartition);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &s3 = dev.createStream();
+    auto &k1 = host.launch(s1, workKernel("a", 15, 256, 1500));
+    auto &k2 = host.launch(s2, workKernel("b", 15, 256, 1500));
+    auto &k3 = host.launch(s3, workKernel("c", 15, 256, 10));
+    host.sync(k3);
+    // The third kernel had to wait for one of the first two to finish.
+    EXPECT_GE(k3.startTick(), std::min(k1.endTick(), k2.endTick()));
+}
+
+TEST(MultiprogDeath, IntraSmPartitionRejectsOversizedBlocks)
+{
+    // A block needing more than its fair share can never be placed.
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::IntraSmPartition);
+    HostContext host(dev);
+    auto &s = dev.createStream();
+    auto &k = host.launch(s, workKernel("huge", 1, 2048));
+    EXPECT_EXIT(host.sync(k), ::testing::ExitedWithCode(1), "starved");
+}
+
+// ---- SMK preemption -------------------------------------------------------
+
+TEST(Multiprog, SmkPreemptsToAdmitNewKernel)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::SmkPreemptive);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    // The hog saturates every SM's threads.
+    auto &hog = host.launch(s1, workKernel("hog", 15, 2048, 3000));
+    auto &late = host.launch(s2, workKernel("late", 1, 256, 10));
+    host.sync(late);
+    EXPECT_GT(dev.blockScheduler().preemptions(), 0u);
+    host.sync(hog);
+    EXPECT_TRUE(hog.done()); // the preempted block was restarted
+    // The late kernel ran while the hog still had work.
+    EXPECT_LT(late.endTick(), hog.endTick());
+}
+
+TEST(Multiprog, SmkRestartedBlockProducesCleanOutput)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::SmkPreemptive);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &hog = host.launch(s1, workKernel("hog", 15, 2048, 3000));
+    auto &late = host.launch(s2, workKernel("late", 1, 256, 10));
+    host.sync(late);
+    host.sync(hog);
+    // Every hog block (including any restarted one) reports exactly one
+    // (smid, clock) pair: restarts must not duplicate output.
+    unsigned wpb = hog.config().warpsPerBlock();
+    for (unsigned b = 0; b < hog.config().gridBlocks; ++b)
+        EXPECT_EQ(hog.out(b * wpb).size(), 2u) << "block " << b;
+}
+
+TEST(Multiprog, SmkNeverPreemptsSmallChannelBlocks)
+{
+    // Paper, Section 3.2: one small block per SM is never the victim.
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::SmkPreemptive);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &s3 = dev.createStream();
+    auto &small = host.launch(s1, workKernel("channel", 15, 64, 2000));
+    auto &hog = host.launch(s2, workKernel("hog", 15, 1920, 2000));
+    auto &mid = host.launch(s3, workKernel("mid", 15, 512, 10));
+    host.sync(mid);
+    host.sync(small);
+    host.sync(hog);
+    // Preemption happened (to admit "mid"), but the victims were hog
+    // blocks: every small block ran exactly once, uninterrupted.
+    EXPECT_GT(dev.blockScheduler().preemptions(), 0u);
+    EXPECT_EQ(small.blockRecords().size(), 15u);
+}
+
+TEST(Multiprog, SmkEnablesColocationOnSaturatedDevice)
+{
+    // Under the leftover policy a saturated device delays the channel;
+    // under SMK the channel preempts its way in.
+    auto runStart = [](MultiprogPolicy p) {
+        Device dev(keplerK40c());
+        dev.blockScheduler().setPolicy(p);
+        HostContext host(dev);
+        host.setJitterUs(0.0);
+        auto &s1 = dev.createStream();
+        auto &s2 = dev.createStream();
+        auto &hog = host.launch(s1, workKernel("hog", 15, 2048, 4000));
+        auto &probe = host.launch(s2, workKernel("probe", 15, 64, 10));
+        host.sync(probe);
+        host.sync(hog);
+        return std::pair<Tick, Tick>(probe.startTick(), hog.endTick());
+    };
+    auto [leftStart, leftHogEnd] = runStart(MultiprogPolicy::Leftover);
+    auto [smkStart, smkHogEnd] = runStart(MultiprogPolicy::SmkPreemptive);
+    EXPECT_LT(smkStart, smkHogEnd);  // SMK: in before the hog finishes
+    EXPECT_GE(leftStart,
+              leftHogEnd / 4); // leftover: waits for hog blocks to retire
+    EXPECT_LT(smkStart, leftStart);
+}
+
+// ---- Inter-SM partitioning ---------------------------------------------
+
+TEST(Multiprog, InterSmPartitionGivesDisjointSmSets)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::InterSmPartition);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    // Long enough that the two kernels are concurrent: partition reuse
+    // after a kernel finishes is legitimate and not under test here.
+    auto &k1 = host.launch(s1, workKernel("a", 7, 256, 3000));
+    auto &k2 = host.launch(s2, workKernel("b", 7, 256, 3000));
+    host.sync(k1);
+    host.sync(k2);
+    std::set<unsigned> sms1, sms2;
+    for (const auto &r : k1.blockRecords())
+        sms1.insert(r.smId);
+    for (const auto &r : k2.blockRecords())
+        sms2.insert(r.smId);
+    for (unsigned s : sms1)
+        EXPECT_EQ(sms2.count(s), 0u) << "SM " << s << " shared";
+}
+
+TEST(Multiprog, InterSmRangeFreedWhenKernelFinishes)
+{
+    Device dev(keplerK40c());
+    dev.blockScheduler().setPolicy(MultiprogPolicy::InterSmPartition);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s1 = dev.createStream();
+    auto &s2 = dev.createStream();
+    auto &s3 = dev.createStream();
+    auto &k1 = host.launch(s1, workKernel("a", 4, 256, 100));
+    auto &k2 = host.launch(s2, workKernel("b", 4, 256, 3000));
+    auto &k3 = host.launch(s3, workKernel("c", 4, 256, 100));
+    host.sync(k3);
+    // k3 had to wait for k1's partition to free.
+    EXPECT_GE(k3.startTick(), k1.endTick());
+    host.sync(k2);
+}
+
+TEST(Multiprog, InterSmPartitionKillsTheL1Channel)
+{
+    covert::L1ConstChannel ch(keplerK40c());
+    ch.harness().device().blockScheduler().setPolicy(
+        MultiprogPolicy::InterSmPartition);
+    Rng rng(9);
+    auto r = ch.transmit(randomBits(48, rng));
+    // Spy and trojan never share an SM: no L1 visibility at all.
+    EXPECT_GT(r.report.errorRate(), 0.25);
+}
+
+TEST(Multiprog, InterSmPartitionLeavesTheL2ChannelAlive)
+{
+    // Section 3.2: "covert communication is still possible through
+    // contention on resources that are shared between all SMs".
+    covert::L2ConstChannel ch(keplerK40c());
+    ch.harness().device().blockScheduler().setPolicy(
+        MultiprogPolicy::InterSmPartition);
+    Rng rng(9);
+    auto r = ch.transmit(randomBits(48, rng));
+    EXPECT_TRUE(r.report.errorFree());
+}
+
+TEST(Multiprog, LeftoverPolicyIsTheDefault)
+{
+    Device dev(keplerK40c());
+    EXPECT_EQ(dev.blockScheduler().policy(), MultiprogPolicy::Leftover);
+}
+
+} // namespace
+} // namespace gpucc::gpu

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: resource timelines and the
+ * event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/resource_pool.h"
+
+namespace gpucc::sim
+{
+namespace
+{
+
+TEST(ResourcePool, UncontendedRequestStartsImmediately)
+{
+    ResourcePool p("p", 1);
+    auto r = p.acquire(100, 50);
+    EXPECT_EQ(r.serviceStart, 100u);
+    EXPECT_EQ(r.serviceEnd, 150u);
+    EXPECT_EQ(r.waited(100), 0u);
+}
+
+TEST(ResourcePool, BackToBackRequestsQueue)
+{
+    ResourcePool p("p", 1);
+    p.acquire(0, 100);
+    auto r = p.acquire(10, 100);
+    EXPECT_EQ(r.serviceStart, 100u); // waits for the first to drain
+    EXPECT_EQ(r.waited(10), 90u);
+}
+
+TEST(ResourcePool, MultipleServersServeInParallel)
+{
+    ResourcePool p("p", 2);
+    auto a = p.acquire(0, 100);
+    auto b = p.acquire(0, 100);
+    auto c = p.acquire(0, 100);
+    EXPECT_EQ(a.serviceStart, 0u);
+    EXPECT_EQ(b.serviceStart, 0u);
+    EXPECT_EQ(c.serviceStart, 100u); // third waits for a server
+}
+
+TEST(ResourcePool, IdleGapsAreNotCharged)
+{
+    ResourcePool p("p", 1);
+    p.acquire(0, 10);
+    auto r = p.acquire(1000, 10);
+    EXPECT_EQ(r.serviceStart, 1000u);
+    EXPECT_EQ(p.busyTicks(), 20u);
+    EXPECT_EQ(p.requests(), 2u);
+}
+
+TEST(ResourcePool, PeekDoesNotReserve)
+{
+    ResourcePool p("p", 1);
+    p.acquire(0, 100);
+    EXPECT_EQ(p.peekStart(0), 100u);
+    EXPECT_EQ(p.peekStart(0), 100u); // unchanged
+    auto r = p.acquire(0, 1);
+    EXPECT_EQ(r.serviceStart, 100u);
+}
+
+TEST(ResourcePool, ResetClearsTimelines)
+{
+    ResourcePool p("p", 1);
+    p.acquire(0, 1000);
+    p.reset();
+    auto r = p.acquire(0, 1);
+    EXPECT_EQ(r.serviceStart, 0u);
+    EXPECT_EQ(p.requests(), 1u);
+}
+
+// Property: with one server, total busy time never exceeds the span and
+// requests never overlap.
+class PoolPropertyTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PoolPropertyTest, SingleServerRequestsNeverOverlap)
+{
+    unsigned n = GetParam();
+    ResourcePool p("p", 1);
+    Tick prevEnd = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        auto r = p.acquire(i * 3, 7);
+        EXPECT_GE(r.serviceStart, prevEnd);
+        prevEnd = r.serviceEnd;
+    }
+    EXPECT_EQ(p.busyTicks(), Tick(n) * 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoolPropertyTest,
+                         ::testing::Values(1u, 2u, 5u, 32u, 200u));
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTicksFireFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ReentrantScheduling)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] {
+        order.push_back(1);
+        q.schedule(2, [&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue q;
+    int n = 0;
+    q.schedule(1, [&] { ++n; });
+    q.schedule(2, [&] { ++n; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(n, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(n, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue q;
+    int n = 0;
+    q.schedule(10, [&] { ++n; });
+    q.schedule(20, [&] { ++n; });
+    q.runUntil(15);
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(q.now(), 15u);
+    q.run();
+    EXPECT_EQ(n, 2);
+}
+
+TEST(EventQueue, AdvanceToMovesIdleClock)
+{
+    EventQueue q;
+    q.advanceTo(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace gpucc::sim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Shared-memory model tests: bank-conflict timing (the self-contention
+ * artifact of the Jiang et al. side-channel attacks), functional
+ * storage, and the Section 10 negative result — self-contention cannot
+ * be observed by a competing kernel, so it cannot carry a covert
+ * channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::gpu
+{
+namespace
+{
+
+/** Lane offsets with an exact conflict degree d on 32 banks. */
+std::vector<Addr>
+conflictPattern(unsigned degree)
+{
+    std::vector<Addr> offsets;
+    for (unsigned lane = 0; lane < static_cast<unsigned>(warpSize);
+         ++lane) {
+        // degree lanes share each bank: lane -> bank (lane / degree).
+        unsigned bank = lane / degree;
+        offsets.push_back(Addr(bank) * 4 +
+                          Addr(lane % degree) * 32 * 4);
+    }
+    return offsets;
+}
+
+TEST(SharedMemory, ConflictDegreeComputation)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::vector<unsigned> degrees;
+    KernelLaunch k;
+    k.name = "degree";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.config.smemBytesPerBlock = 8 * 1024;
+    k.body = [&degrees](WarpCtx &ctx) -> WarpProgram {
+        for (unsigned d : {1u, 2u, 4u, 8u, 16u, 32u})
+            degrees.push_back(ctx.bankConflictDegree(conflictPattern(d)));
+        co_await ctx.op(OpClass::FAdd);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    EXPECT_EQ(degrees, (std::vector<unsigned>{1, 2, 4, 8, 16, 32}));
+}
+
+TEST(SharedMemory, LatencyGrowsLinearlyWithConflictDegree)
+{
+    auto arch = keplerK40c();
+    Device dev(arch);
+    HostContext host(dev);
+    std::vector<std::uint64_t> lat;
+    KernelLaunch k;
+    k.name = "conflicts";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.config.smemBytesPerBlock = 8 * 1024;
+    k.body = [&lat](WarpCtx &ctx) -> WarpProgram {
+        for (unsigned d : {1u, 2u, 8u, 32u})
+            lat.push_back(co_await ctx.sharedAccess(conflictPattern(d)));
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    ASSERT_EQ(lat.size(), 4u);
+    EXPECT_NEAR(static_cast<double>(lat[0]),
+                static_cast<double>(arch.smemBaseCycles), 4.0);
+    // Each extra lane per bank costs one conflict penalty.
+    EXPECT_NEAR(static_cast<double>(lat[3] - lat[0]),
+                31.0 * arch.smemConflictCycles, 8.0);
+    EXPECT_LT(lat[0], lat[1]);
+    EXPECT_LT(lat[1], lat[2]);
+    EXPECT_LT(lat[2], lat[3]);
+}
+
+TEST(SharedMemory, FunctionalStorageIsPerBlock)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::vector<std::uint32_t> seen;
+    KernelLaunch k;
+    k.name = "storage";
+    k.config.gridBlocks = 2;
+    k.config.threadsPerBlock = 32;
+    k.config.smemBytesPerBlock = 1024;
+    k.body = [&seen](WarpCtx &ctx) -> WarpProgram {
+        ctx.smemWrite(0, 100 + ctx.blockId());
+        co_await ctx.op(OpClass::FAdd);
+        seen.push_back(ctx.smemRead(0));
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<std::uint32_t>{100, 101}));
+}
+
+TEST(SharedMemory, ProducerConsumerAcrossWarps)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    std::uint32_t consumed = 0;
+    KernelLaunch k;
+    k.name = "prodcons";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 2 * warpSize;
+    k.config.smemBytesPerBlock = 256;
+    k.body = [&consumed](WarpCtx &ctx) -> WarpProgram {
+        if (ctx.warpInBlock() == 0)
+            ctx.smemWrite(16, 0xfeed);
+        co_await ctx.syncthreads();
+        if (ctx.warpInBlock() == 1)
+            consumed = ctx.smemRead(16);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    EXPECT_EQ(consumed, 0xfeedu);
+}
+
+TEST(SharedMemoryDeath, OutOfBoundsAccessPanics)
+{
+    Device dev(keplerK40c());
+    HostContext host(dev);
+    KernelLaunch k;
+    k.name = "oob";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 32;
+    k.config.smemBytesPerBlock = 64;
+    k.body = [](WarpCtx &ctx) -> WarpProgram {
+        ctx.smemWrite(4096, 1);
+        co_await ctx.op(OpClass::FAdd);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    auto &inst = host.launch(s, k);
+    EXPECT_DEATH(host.sync(inst), "outside the block");
+}
+
+TEST(SharedMemory, Section10SelfContentionIsInvisibleToCompetingKernels)
+{
+    // Spy times conflict-free shared accesses on SM0 while a co-resident
+    // trojan alternates between a max-conflict storm and idling. The
+    // spy's observation must not separate the two cases.
+    auto arch = keplerK40c();
+    Device dev(arch);
+    HostContext host(dev);
+    host.setJitterUs(0.0);
+
+    Accumulator quiet, stormy;
+    for (int round = 0; round < 8; ++round) {
+        bool storm = round % 2 == 0;
+
+        KernelLaunch trojan;
+        trojan.name = "smem-trojan";
+        trojan.config.gridBlocks = 15;
+        trojan.config.threadsPerBlock = 4 * warpSize;
+        trojan.config.smemBytesPerBlock = 8 * 1024;
+        trojan.body = [storm](WarpCtx &ctx) -> WarpProgram {
+            if (storm) {
+                for (int i = 0; i < 200; ++i)
+                    co_await ctx.sharedAccess(conflictPattern(32));
+            }
+            co_return;
+        };
+
+        double avg = 0.0;
+        KernelLaunch spy;
+        spy.name = "smem-spy";
+        spy.config.gridBlocks = 15;
+        spy.config.threadsPerBlock = 32;
+        spy.config.smemBytesPerBlock = 8 * 1024;
+        spy.body = [&avg](WarpCtx &ctx) -> WarpProgram {
+            if (ctx.smid() != 0)
+                co_return;
+            std::uint64_t total = 0;
+            for (int i = 0; i < 64; ++i)
+                total += co_await ctx.sharedAccess(conflictPattern(1));
+            avg = static_cast<double>(total) / 64.0;
+            co_return;
+        };
+
+        auto &s1 = dev.createStream();
+        auto &s2 = dev.createStream();
+        auto &kt = host.launch(s1, trojan);
+        auto &ks = host.launch(s2, spy);
+        host.sync(ks);
+        host.sync(kt);
+        (storm ? stormy : quiet).add(avg);
+    }
+    // Less than a cycle of difference: no decodable contrast (compare
+    // with the ~6-cycle step the working SFU channel relies on).
+    EXPECT_LT(std::abs(stormy.mean() - quiet.mean()), 1.0);
+}
+
+} // namespace
+} // namespace gpucc::gpu

