@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_summary.dir/bench_capacity_summary.cpp.o"
+  "CMakeFiles/bench_capacity_summary.dir/bench_capacity_summary.cpp.o.d"
+  "bench_capacity_summary"
+  "bench_capacity_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiresource.dir/bench_multiresource.cpp.o"
+  "CMakeFiles/bench_multiresource.dir/bench_multiresource.cpp.o.d"
+  "bench_multiresource"
+  "bench_multiresource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec10_negative_results.dir/bench_sec10_negative_results.cpp.o"
+  "CMakeFiles/bench_sec10_negative_results.dir/bench_sec10_negative_results.cpp.o.d"
+  "bench_sec10_negative_results"
+  "bench_sec10_negative_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec10_negative_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

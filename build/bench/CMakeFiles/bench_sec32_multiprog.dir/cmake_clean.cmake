@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_multiprog.dir/bench_sec32_multiprog.cpp.o"
+  "CMakeFiles/bench_sec32_multiprog.dir/bench_sec32_multiprog.cpp.o.d"
+  "bench_sec32_multiprog"
+  "bench_sec32_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

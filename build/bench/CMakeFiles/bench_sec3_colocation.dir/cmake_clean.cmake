@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_colocation.dir/bench_sec3_colocation.cpp.o"
+  "CMakeFiles/bench_sec3_colocation.dir/bench_sec3_colocation.cpp.o.d"
+  "bench_sec3_colocation"
+  "bench_sec3_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

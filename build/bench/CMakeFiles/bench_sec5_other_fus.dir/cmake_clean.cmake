@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_other_fus.dir/bench_sec5_other_fus.cpp.o"
+  "CMakeFiles/bench_sec5_other_fus.dir/bench_sec5_other_fus.cpp.o.d"
+  "bench_sec5_other_fus"
+  "bench_sec5_other_fus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_other_fus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_noise_mitigation.dir/bench_sec8_noise_mitigation.cpp.o"
+  "CMakeFiles/bench_sec8_noise_mitigation.dir/bench_sec8_noise_mitigation.cpp.o.d"
+  "bench_sec8_noise_mitigation"
+  "bench_sec8_noise_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_noise_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

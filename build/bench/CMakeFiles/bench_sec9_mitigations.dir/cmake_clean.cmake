@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec9_mitigations.dir/bench_sec9_mitigations.cpp.o"
+  "CMakeFiles/bench_sec9_mitigations.dir/bench_sec9_mitigations.cpp.o.d"
+  "bench_sec9_mitigations"
+  "bench_sec9_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

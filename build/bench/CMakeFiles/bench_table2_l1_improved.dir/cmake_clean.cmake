@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_l1_improved.dir/bench_table2_l1_improved.cpp.o"
+  "CMakeFiles/bench_table2_l1_improved.dir/bench_table2_l1_improved.cpp.o.d"
+  "bench_table2_l1_improved"
+  "bench_table2_l1_improved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_l1_improved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table2_l1_improved.
+# This may be replaced when dependencies are built.

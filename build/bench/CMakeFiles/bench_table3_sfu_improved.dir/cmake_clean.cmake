@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sfu_improved.dir/bench_table3_sfu_improved.cpp.o"
+  "CMakeFiles/bench_table3_sfu_improved.dir/bench_table3_sfu_improved.cpp.o.d"
+  "bench_table3_sfu_improved"
+  "bench_table3_sfu_improved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sfu_improved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_chat.dir/covert_chat.cpp.o"
+  "CMakeFiles/covert_chat.dir/covert_chat.cpp.o.d"
+  "covert_chat"
+  "covert_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

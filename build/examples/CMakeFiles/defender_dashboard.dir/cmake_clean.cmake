@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defender_dashboard.dir/defender_dashboard.cpp.o"
+  "CMakeFiles/defender_dashboard.dir/defender_dashboard.cpp.o.d"
+  "defender_dashboard"
+  "defender_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defender_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exfiltrate_key.dir/exfiltrate_key.cpp.o"
+  "CMakeFiles/exfiltrate_key.dir/exfiltrate_key.cpp.o.d"
+  "exfiltrate_key"
+  "exfiltrate_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exfiltrate_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

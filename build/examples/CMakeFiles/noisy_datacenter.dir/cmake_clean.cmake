@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_datacenter.dir/noisy_datacenter.cpp.o"
+  "CMakeFiles/noisy_datacenter.dir/noisy_datacenter.cpp.o.d"
+  "noisy_datacenter"
+  "noisy_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_engineer.dir/reverse_engineer.cpp.o"
+  "CMakeFiles/reverse_engineer.dir/reverse_engineer.cpp.o.d"
+  "reverse_engineer"
+  "reverse_engineer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_engineer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitstream.cc" "src/CMakeFiles/gpucc.dir/common/bitstream.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/common/bitstream.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/gpucc.dir/common/log.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/gpucc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/gpucc.dir/common/table.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/common/table.cc.o.d"
+  "/root/repo/src/covert/agile/idle_discovery.cc" "src/CMakeFiles/gpucc.dir/covert/agile/idle_discovery.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/agile/idle_discovery.cc.o.d"
+  "/root/repo/src/covert/analysis/capacity.cc" "src/CMakeFiles/gpucc.dir/covert/analysis/capacity.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/analysis/capacity.cc.o.d"
+  "/root/repo/src/covert/channel.cc" "src/CMakeFiles/gpucc.dir/covert/channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/channel.cc.o.d"
+  "/root/repo/src/covert/channels/atomic_channel.cc" "src/CMakeFiles/gpucc.dir/covert/channels/atomic_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/channels/atomic_channel.cc.o.d"
+  "/root/repo/src/covert/channels/fu_channel_plan.cc" "src/CMakeFiles/gpucc.dir/covert/channels/fu_channel_plan.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/channels/fu_channel_plan.cc.o.d"
+  "/root/repo/src/covert/channels/l1_const_channel.cc" "src/CMakeFiles/gpucc.dir/covert/channels/l1_const_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/channels/l1_const_channel.cc.o.d"
+  "/root/repo/src/covert/channels/l2_const_channel.cc" "src/CMakeFiles/gpucc.dir/covert/channels/l2_const_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/channels/l2_const_channel.cc.o.d"
+  "/root/repo/src/covert/channels/sfu_channel.cc" "src/CMakeFiles/gpucc.dir/covert/channels/sfu_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/channels/sfu_channel.cc.o.d"
+  "/root/repo/src/covert/characterize/cache_characterizer.cc" "src/CMakeFiles/gpucc.dir/covert/characterize/cache_characterizer.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/characterize/cache_characterizer.cc.o.d"
+  "/root/repo/src/covert/characterize/fu_characterizer.cc" "src/CMakeFiles/gpucc.dir/covert/characterize/fu_characterizer.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/characterize/fu_characterizer.cc.o.d"
+  "/root/repo/src/covert/characterize/scheduler_probe.cc" "src/CMakeFiles/gpucc.dir/covert/characterize/scheduler_probe.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/characterize/scheduler_probe.cc.o.d"
+  "/root/repo/src/covert/coding/error_code.cc" "src/CMakeFiles/gpucc.dir/covert/coding/error_code.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/coding/error_code.cc.o.d"
+  "/root/repo/src/covert/colocation/exclusive.cc" "src/CMakeFiles/gpucc.dir/covert/colocation/exclusive.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/colocation/exclusive.cc.o.d"
+  "/root/repo/src/covert/colocation/noise_experiment.cc" "src/CMakeFiles/gpucc.dir/covert/colocation/noise_experiment.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/colocation/noise_experiment.cc.o.d"
+  "/root/repo/src/covert/detection/cc_detector.cc" "src/CMakeFiles/gpucc.dir/covert/detection/cc_detector.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/detection/cc_detector.cc.o.d"
+  "/root/repo/src/covert/parallel/multi_resource_channel.cc" "src/CMakeFiles/gpucc.dir/covert/parallel/multi_resource_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/parallel/multi_resource_channel.cc.o.d"
+  "/root/repo/src/covert/parallel/sfu_parallel_channel.cc" "src/CMakeFiles/gpucc.dir/covert/parallel/sfu_parallel_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/parallel/sfu_parallel_channel.cc.o.d"
+  "/root/repo/src/covert/sync/duplex_channel.cc" "src/CMakeFiles/gpucc.dir/covert/sync/duplex_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/sync/duplex_channel.cc.o.d"
+  "/root/repo/src/covert/sync/handshake.cc" "src/CMakeFiles/gpucc.dir/covert/sync/handshake.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/sync/handshake.cc.o.d"
+  "/root/repo/src/covert/sync/sync_channel.cc" "src/CMakeFiles/gpucc.dir/covert/sync/sync_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/sync/sync_channel.cc.o.d"
+  "/root/repo/src/covert/sync/sync_l2_channel.cc" "src/CMakeFiles/gpucc.dir/covert/sync/sync_l2_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/sync/sync_l2_channel.cc.o.d"
+  "/root/repo/src/covert/sync/sync_sfu_channel.cc" "src/CMakeFiles/gpucc.dir/covert/sync/sync_sfu_channel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/covert/sync/sync_sfu_channel.cc.o.d"
+  "/root/repo/src/gpu/arch_params.cc" "src/CMakeFiles/gpucc.dir/gpu/arch_params.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/arch_params.cc.o.d"
+  "/root/repo/src/gpu/block_scheduler.cc" "src/CMakeFiles/gpucc.dir/gpu/block_scheduler.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/block_scheduler.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/CMakeFiles/gpucc.dir/gpu/device.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/device.cc.o.d"
+  "/root/repo/src/gpu/device_stats.cc" "src/CMakeFiles/gpucc.dir/gpu/device_stats.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/device_stats.cc.o.d"
+  "/root/repo/src/gpu/host.cc" "src/CMakeFiles/gpucc.dir/gpu/host.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/host.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/CMakeFiles/gpucc.dir/gpu/kernel.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/kernel.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/CMakeFiles/gpucc.dir/gpu/sm.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/sm.cc.o.d"
+  "/root/repo/src/gpu/stream.cc" "src/CMakeFiles/gpucc.dir/gpu/stream.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/stream.cc.o.d"
+  "/root/repo/src/gpu/thread_block.cc" "src/CMakeFiles/gpucc.dir/gpu/thread_block.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/thread_block.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/gpucc.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/warp.cc.o.d"
+  "/root/repo/src/gpu/warp_ctx.cc" "src/CMakeFiles/gpucc.dir/gpu/warp_ctx.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/warp_ctx.cc.o.d"
+  "/root/repo/src/gpu/warp_scheduler.cc" "src/CMakeFiles/gpucc.dir/gpu/warp_scheduler.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/gpu/warp_scheduler.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/CMakeFiles/gpucc.dir/mem/coalescer.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/mem/const_memory.cc" "src/CMakeFiles/gpucc.dir/mem/const_memory.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/mem/const_memory.cc.o.d"
+  "/root/repo/src/mem/global_memory.cc" "src/CMakeFiles/gpucc.dir/mem/global_memory.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/mem/global_memory.cc.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cc" "src/CMakeFiles/gpucc.dir/mem/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/mem/set_assoc_cache.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/gpucc.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/resource_pool.cc" "src/CMakeFiles/gpucc.dir/sim/resource_pool.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/sim/resource_pool.cc.o.d"
+  "/root/repo/src/workloads/interference.cc" "src/CMakeFiles/gpucc.dir/workloads/interference.cc.o" "gcc" "src/CMakeFiles/gpucc.dir/workloads/interference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_params_test.dir/arch_params_test.cc.o"
+  "CMakeFiles/arch_params_test.dir/arch_params_test.cc.o.d"
+  "arch_params_test"
+  "arch_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

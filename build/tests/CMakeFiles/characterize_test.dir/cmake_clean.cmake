@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_test.dir/characterize_test.cc.o"
+  "CMakeFiles/characterize_test.dir/characterize_test.cc.o.d"
+  "characterize_test"
+  "characterize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_agile_test.dir/coding_agile_test.cc.o"
+  "CMakeFiles/coding_agile_test.dir/coding_agile_test.cc.o.d"
+  "coding_agile_test"
+  "coding_agile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_agile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

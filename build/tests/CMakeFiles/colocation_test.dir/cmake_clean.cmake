@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_test.dir/colocation_test.cc.o"
+  "CMakeFiles/colocation_test.dir/colocation_test.cc.o.d"
+  "colocation_test"
+  "colocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

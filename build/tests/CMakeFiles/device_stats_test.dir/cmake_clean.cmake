@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_stats_test.dir/device_stats_test.cc.o"
+  "CMakeFiles/device_stats_test.dir/device_stats_test.cc.o.d"
+  "device_stats_test"
+  "device_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

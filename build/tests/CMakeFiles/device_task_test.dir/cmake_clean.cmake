@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_task_test.dir/device_task_test.cc.o"
+  "CMakeFiles/device_task_test.dir/device_task_test.cc.o.d"
+  "device_task_test"
+  "device_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

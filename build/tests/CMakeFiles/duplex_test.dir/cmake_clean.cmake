@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplex_test.dir/duplex_test.cc.o"
+  "CMakeFiles/duplex_test.dir/duplex_test.cc.o.d"
+  "duplex_test"
+  "duplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

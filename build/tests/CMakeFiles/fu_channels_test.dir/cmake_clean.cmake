@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fu_channels_test.dir/fu_channels_test.cc.o"
+  "CMakeFiles/fu_channels_test.dir/fu_channels_test.cc.o.d"
+  "fu_channels_test"
+  "fu_channels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fu_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

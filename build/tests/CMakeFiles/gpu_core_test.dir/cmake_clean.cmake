@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_core_test.dir/gpu_core_test.cc.o"
+  "CMakeFiles/gpu_core_test.dir/gpu_core_test.cc.o.d"
+  "gpu_core_test"
+  "gpu_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigations_test.dir/mitigations_test.cc.o"
+  "CMakeFiles/mitigations_test.dir/mitigations_test.cc.o.d"
+  "mitigations_test"
+  "mitigations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smem_test.dir/smem_test.cc.o"
+  "CMakeFiles/smem_test.dir/smem_test.cc.o.d"
+  "smem_test"
+  "smem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

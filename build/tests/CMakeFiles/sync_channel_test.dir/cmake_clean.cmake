@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_channel_test.dir/sync_channel_test.cc.o"
+  "CMakeFiles/sync_channel_test.dir/sync_channel_test.cc.o.d"
+  "sync_channel_test"
+  "sync_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_l2_test.dir/sync_l2_test.cc.o"
+  "CMakeFiles/sync_l2_test.dir/sync_l2_test.cc.o.d"
+  "sync_l2_test"
+  "sync_l2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_l2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_sfu_test.dir/sync_sfu_test.cc.o"
+  "CMakeFiles/sync_sfu_test.dir/sync_sfu_test.cc.o.d"
+  "sync_sfu_test"
+  "sync_sfu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_sfu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
