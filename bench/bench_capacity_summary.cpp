@@ -6,7 +6,13 @@
  * paper positions its channels against Hunger et al.'s theoretical
  * capacity bounds for CPU channels; this table is the corresponding
  * measured record for the GPU channels.
+ *
+ * Each channel instance simulates its own device, so all the rows run
+ * as parallel SweepRunner jobs and print in order afterwards. The
+ * duplex channel contributes one job with two rows.
  */
+
+#include <functional>
 
 #include "bench_util.h"
 #include "covert/analysis/capacity.h"
@@ -19,6 +25,7 @@
 #include "covert/sync/sync_channel.h"
 #include "covert/sync/sync_l2_channel.h"
 #include "covert/sync/sync_sfu_channel.h"
+#include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
 using namespace gpucc::covert;
@@ -26,16 +33,19 @@ using namespace gpucc::covert;
 namespace
 {
 
-Table table("channel capacity summary, Tesla K40C");
-
-void
-add(const char *name, const ChannelResult &r)
+struct NamedResult
 {
-    auto e = estimateCapacity(r);
-    table.row({name, fmtKbps(e.rawRateBps),
-               fmtDouble(100.0 * e.errorRate, 2) + " %",
-               fmtKbps(e.bscCapacityBps),
-               fmtDouble(e.symbolSeparation, 1)});
+    std::string name;
+    ChannelResult result;
+};
+
+std::vector<std::string>
+toRow(const NamedResult &nr)
+{
+    auto e = estimateCapacity(nr.result);
+    return {nr.name, fmtKbps(e.rawRateBps),
+            fmtDouble(100.0 * e.errorRate, 2) + " %",
+            fmtKbps(e.bscCapacityBps), fmtDouble(e.symbolSeparation, 1)};
 }
 
 } // namespace
@@ -46,58 +56,74 @@ main()
     bench::banner("Channel capacity summary",
                   "Section 10 context (capacity bounds, Hunger et al.)");
     auto arch = gpu::keplerK40c();
-    table.header({"channel", "raw rate", "BER", "BSC capacity",
-                  "symbol separation"});
 
-    {
+    using Job = std::function<std::vector<NamedResult>()>;
+    std::vector<Job> jobs;
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         L1ConstChannel ch(arch);
-        add("L1 constant cache (launch/bit)", ch.transmit(bench::payload(64)));
-    }
-    {
+        return {{"L1 constant cache (launch/bit)",
+                 ch.transmit(bench::payload(64))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         L2ConstChannel ch(arch);
-        add("L2 constant cache (launch/bit)", ch.transmit(bench::payload(64)));
-    }
-    {
+        return {{"L2 constant cache (launch/bit)",
+                 ch.transmit(bench::payload(64))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         SfuChannel ch(arch);
-        add("SFU (launch/bit)", ch.transmit(bench::payload(64)));
-    }
-    {
+        return {{"SFU (launch/bit)", ch.transmit(bench::payload(64))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         AtomicChannel ch(arch, AtomicScenario::StridedCoalesced);
         ch.autoTuneIterations();
-        add("global atomics (scenario 2)", ch.transmit(bench::payload(64)));
-    }
-    {
+        return {{"global atomics (scenario 2)",
+                 ch.transmit(bench::payload(64))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         SyncL1Channel ch(arch);
-        add("L1 synchronized", ch.transmit(bench::payload(256)));
-    }
-    {
+        return {{"L1 synchronized", ch.transmit(bench::payload(256))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         SyncSfuChannel ch(arch);
-        add("SFU synchronized", ch.transmit(bench::payload(256)));
-    }
-    {
+        return {{"SFU synchronized", ch.transmit(bench::payload(256))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         SyncL2Channel ch(arch);
-        add("L2 synchronized (inter-SM)", ch.transmit(bench::payload(128)));
-    }
-    {
+        return {{"L2 synchronized (inter-SM)",
+                 ch.transmit(bench::payload(128))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         DuplexSyncChannel ch(arch);
         auto r = ch.exchange(bench::payload(128, 11),
                              bench::payload(128, 12));
-        add("duplex forward (concurrent)", r.aToB);
-        add("duplex reverse (concurrent)", r.bToA);
-    }
-    {
+        return {{"duplex forward (concurrent)", r.aToB},
+                {"duplex reverse (concurrent)", r.bToA}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         SyncChannelConfig cfg;
         cfg.dataSetsPerSm = 6;
         cfg.allSms = true;
         SyncL1Channel ch(arch, cfg);
-        add("L1 sync, 6 sets x 15 SMs", ch.transmit(bench::payload(2048)));
-    }
-    {
+        return {{"L1 sync, 6 sets x 15 SMs",
+                 ch.transmit(bench::payload(2048))}};
+    });
+    jobs.push_back([&arch]() -> std::vector<NamedResult> {
         SfuParallelConfig cfg;
         cfg.acrossSms = true;
         SfuParallelChannel ch(arch, cfg);
-        add("SFU parallel, 4 sched x 15 SMs",
-            ch.transmit(bench::payload(1024)));
+        return {{"SFU parallel, 4 sched x 15 SMs",
+                 ch.transmit(bench::payload(1024))}};
+    });
+
+    sim::exec::SweepRunner runner;
+    auto results = runner.runSweep(jobs, [](const Job &j) { return j(); });
+
+    Table table("channel capacity summary, Tesla K40C");
+    table.header({"channel", "raw rate", "BER", "BSC capacity",
+                  "symbol separation"});
+    for (const auto &group : results) {
+        for (const auto &nr : group)
+            table.row(toRow(nr));
     }
     table.print();
     std::printf("Error-free channels carry their full raw rate; the "

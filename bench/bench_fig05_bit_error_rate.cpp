@@ -9,11 +9,17 @@
  * The sweep runs at reduced launch-timing margins (1 us lead, 2.5 us
  * jitter): with the full 5 us engineering lead the channel decodes
  * correctly even without overlap because cache evictions are durable.
+ *
+ * Every sweep point is an independent simulation (its own Device and
+ * hosts), so the points run in parallel through SweepRunner; rows are
+ * printed in sweep order afterwards and are identical for any
+ * GPUCC_THREADS value.
  */
 
 #include "bench_util.h"
 #include "covert/channels/l1_const_channel.h"
 #include "covert/channels/l2_const_channel.h"
+#include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
 
@@ -22,22 +28,26 @@ namespace
 
 template <typename Channel>
 void
-sweep(const gpu::ArchParams &arch, const char *name,
-      const std::vector<unsigned> &iters)
+sweep(sim::exec::SweepRunner &runner, const gpu::ArchParams &arch,
+      const char *name, const std::vector<unsigned> &iters)
 {
-    auto msg = bench::payload(96);
-    Table t(strfmt("%s: %s channel", arch.name.c_str(), name));
-    t.header({"iterations", "bandwidth", "bit error rate"});
-    for (unsigned it : iters) {
+    auto rows = runner.runSweep(iters, [&](unsigned it) {
+        auto msg = bench::payload(96);
         covert::LaunchPerBitConfig cfg;
         cfg.iterations = it;
         cfg.trojanLeadUs = 1.0;
         cfg.jitterUs = 2.5;
         Channel ch(arch, cfg);
         auto r = ch.transmit(msg);
-        t.row({std::to_string(it), fmtKbps(r.bandwidthBps),
-               fmtDouble(100.0 * r.report.errorRate(), 2) + " %"});
-    }
+        return std::vector<std::string>{
+            std::to_string(it), fmtKbps(r.bandwidthBps),
+            fmtDouble(100.0 * r.report.errorRate(), 2) + " %"};
+    });
+
+    Table t(strfmt("%s: %s channel", arch.name.c_str(), name));
+    t.header({"iterations", "bandwidth", "bit error rate"});
+    for (auto &row : rows)
+        t.row(row);
     t.print();
 }
 
@@ -49,10 +59,11 @@ main()
     bench::banner("Figure 5: bit error rate vs channel bandwidth",
                   "Section 4.3, Figure 5 (Kepler and Maxwell)");
 
+    sim::exec::SweepRunner runner;
     for (const auto &arch : {gpu::keplerK40c(), gpu::maxwellM4000()}) {
-        sweep<covert::L1ConstChannel>(arch, "L1",
+        sweep<covert::L1ConstChannel>(runner, arch, "L1",
                                       {20, 16, 12, 10, 8, 6, 4});
-        sweep<covert::L2ConstChannel>(arch, "L2", {2, 1});
+        sweep<covert::L2ConstChannel>(runner, arch, "L2", {2, 1});
     }
     std::printf("Paper shape: error-free at the Figure 4 operating point "
                 "(20 / 2 iterations),\nBER rising as the iteration count "

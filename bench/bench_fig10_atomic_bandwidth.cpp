@@ -6,10 +6,15 @@
  * methodology. Expected shape: Kepler/Maxwell far above Fermi
  * (L2-resident atomic units), and the un-coalesced scenario 3 strictly
  * slowest.
+ *
+ * The 3x3 (GPU x scenario) grid runs as independent parallel
+ * simulations through SweepRunner; the table is assembled in grid
+ * order afterwards.
  */
 
 #include "bench_util.h"
 #include "covert/channels/atomic_channel.h"
+#include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
 using covert::AtomicChannel;
@@ -21,25 +26,39 @@ main()
     bench::banner("Figure 10: global atomic covert channel bandwidth",
                   "Section 6, Figure 10");
 
-    auto msg = bench::payload(64);
     const AtomicScenario scens[] = {AtomicScenario::FixedPerThread,
                                     AtomicScenario::StridedCoalesced,
                                     AtomicScenario::ConsecutiveUncoalesced};
+    const auto archs = gpu::allArchitectures();
+
+    struct Cell
+    {
+        std::size_t arch;
+        AtomicScenario scenario;
+    };
+    std::vector<Cell> grid;
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+        for (auto s : scens)
+            grid.push_back({a, s});
+    }
+
+    sim::exec::SweepRunner runner;
+    auto cells = runner.runSweep(grid, [&](const Cell &c) {
+        auto msg = bench::payload(64);
+        AtomicChannel ch(archs[c.arch], c.scenario);
+        unsigned iters = ch.autoTuneIterations();
+        auto r = ch.transmit(msg);
+        return strfmt("%s (n=%u, err=%.1f%%)",
+                      fmtKbps(r.bandwidthBps).c_str(), iters,
+                      100.0 * r.report.errorRate());
+    });
 
     Table t("Error-free atomic channel bandwidth (auto-tuned iterations)");
     t.header({"GPU", "Scenario 1 (fixed)", "Scenario 2 (strided)",
               "Scenario 3 (un-coalesced)"});
-    for (const auto &arch : gpu::allArchitectures()) {
-        std::vector<std::string> row{arch.name};
-        for (auto s : scens) {
-            AtomicChannel ch(arch, s);
-            unsigned iters = ch.autoTuneIterations();
-            auto r = ch.transmit(msg);
-            row.push_back(strfmt("%s (n=%u, err=%.1f%%)",
-                                 fmtKbps(r.bandwidthBps).c_str(), iters,
-                                 100.0 * r.report.errorRate()));
-        }
-        t.row(row);
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+        t.row({archs[a].name, cells[a * 3 + 0], cells[a * 3 + 1],
+               cells[a * 3 + 2]});
     }
     t.print();
     std::printf("Paper shape: Kepler/Maxwell >> Fermi (9x atomic "

@@ -6,6 +6,10 @@
  * evaluates all of them against every channel class on the Kepler
  * K40C, including the negative result that temporal partitioning alone
  * does not stop the state-based cache channel.
+ *
+ * The (defense x channel) ablation grid is embarrassingly parallel —
+ * every cell simulates its own device — so all cells run through
+ * SweepRunner and the table is assembled in grid order afterwards.
  */
 
 #include "bench_util.h"
@@ -13,6 +17,7 @@
 #include "covert/channels/sfu_channel.h"
 #include "covert/parallel/sfu_parallel_channel.h"
 #include "covert/sync/sync_channel.h"
+#include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
 using gpu::MitigationConfig;
@@ -125,13 +130,35 @@ main()
         rows.push_back({"temporal + cache flush", m});
     }
 
+    // Flatten the (defense x channel class) grid into independent jobs.
+    using ChannelFn = Cell (*)(const gpu::ArchParams &,
+                               const MitigationConfig &);
+    const ChannelFn channels[] = {l1Baseline, l1Sync, sfu, sfuParallel};
+    constexpr std::size_t numChannels = 4;
+
+    struct Job
+    {
+        std::size_t row;
+        std::size_t channel;
+    };
+    std::vector<Job> grid;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < numChannels; ++c)
+            grid.push_back({r, c});
+    }
+
+    sim::exec::SweepRunner runner;
+    auto cells = runner.runSweep(grid, [&](const Job &j) {
+        return channels[j.channel](arch, rows[j.row].cfg);
+    });
+
     Table t("channel survival under each defense");
     t.header({"defense", "L1 baseline", "L1 synchronized", "SFU",
               "SFU parallel"});
-    for (const auto &row : rows) {
-        t.row({row.name, fmtCell(l1Baseline(arch, row.cfg)),
-               fmtCell(l1Sync(arch, row.cfg)), fmtCell(sfu(arch, row.cfg)),
-               fmtCell(sfuParallel(arch, row.cfg))});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const Cell *c = &cells[r * numChannels];
+        t.row({rows[r].name, fmtCell(c[0]), fmtCell(c[1]), fmtCell(c[2]),
+               fmtCell(c[3])});
     }
     t.print();
 

@@ -4,9 +4,26 @@
  * throughput, cache access rate, and end-to-end channel simulation
  * speed. These quantify the cost of the timing model, not the paper's
  * results.
+ *
+ * Besides the normal console report, the binary maintains
+ * BENCH_simperf.json at the repository root (override the path with
+ * GPUCC_SIMPERF_JSON). The file keeps a committed "baseline" section —
+ * recorded before the event-queue hot-path rework — verbatim across
+ * runs, writes the fresh numbers under "current", and records the
+ * items/s speedup of current over baseline per benchmark. scripts/
+ * check.sh diffs a fresh run against the committed file to catch
+ * simulator performance regressions.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/log.h"
 #include "covert/channels/l1_const_channel.h"
@@ -51,18 +68,44 @@ BM_ResourcePoolAcquire(benchmark::State &state)
 }
 BENCHMARK(BM_ResourcePoolAcquire);
 
+// Hit path: walk a cache-sized working set at line stride so every set
+// and way is exercised (32 KiB / 256 B lines / 8 ways = 16 sets, 128
+// resident lines). After the first lap everything hits; the benchmark
+// measures tag compare + LRU update. (The original version strode by
+// +4096, which with 256 B lines and 16 sets always mapped to set 0.)
 void
 BM_CacheAccess(benchmark::State &state)
 {
     mem::SetAssocCache cache("bench", {32768, 256, 8});
+    constexpr Addr workingSet = 32768;
+    Addr a = 0;
+    for (Addr w = 0; w < workingSet; w += 256)
+        cache.access(w); // warm: fill all 16 sets x 8 ways
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a));
+        a = (a + 256) % workingSet;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("steady-state hits across all 16 sets");
+}
+BENCHMARK(BM_CacheAccess);
+
+// Miss path: a working set twice the cache size maps 16 lines onto each
+// 8-way set, so LRU thrashes and every access misses (fill + eviction).
+void
+BM_CacheAccessMiss(benchmark::State &state)
+{
+    mem::SetAssocCache cache("bench", {32768, 256, 8});
+    constexpr Addr workingSet = 2 * 32768;
     Addr a = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(cache.access(a));
-        a = (a + 4096) % (1 << 20);
+        a = (a + 256) % workingSet;
     }
     state.SetItemsProcessed(state.iterations());
+    state.SetLabel("100% miss, LRU eviction each access");
 }
-BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_CacheAccessMiss);
 
 void
 BM_KernelRoundTrip(benchmark::State &state)
@@ -118,6 +161,187 @@ BM_SyncChannelThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_SyncChannelThroughput);
 
+// ---------------------------------------------------------------------
+// BENCH_simperf.json maintenance.
+
+struct Metric
+{
+    std::string name;
+    double cpuNsPerIter = 0.0;
+    double itemsPerSecond = 0.0;
+};
+
+/// Console reporter that additionally records per-benchmark metrics so
+/// they can be written to BENCH_simperf.json after the run.
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<Metric> metrics;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const auto &run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            Metric m;
+            m.name = run.benchmark_name();
+            m.cpuNsPerIter = run.GetAdjustedCPUTime();
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end()) {
+                // Counters are finalized before reporting: kIsRate
+                // values have already been divided by elapsed time.
+                m.itemsPerSecond = it->second.value;
+            }
+            metrics.push_back(m);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+std::string
+jsonPath()
+{
+    if (const char *env = std::getenv("GPUCC_SIMPERF_JSON"))
+        return env;
+#ifdef GPUCC_REPO_ROOT
+    return std::string(GPUCC_REPO_ROOT) + "/BENCH_simperf.json";
+#else
+    return "BENCH_simperf.json";
+#endif
+}
+
+/// Extract the raw text of the balanced-brace object that follows
+/// `"<key>":` in json, or "" when absent. Good enough for the file this
+/// binary writes itself; not a general JSON parser.
+std::string
+extractObject(const std::string &json, const std::string &key)
+{
+    auto pos = json.find("\"" + key + "\"");
+    if (pos == std::string::npos)
+        return "";
+    pos = json.find('{', pos);
+    if (pos == std::string::npos)
+        return "";
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = pos; i < json.size(); ++i) {
+        char c = json[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+        } else if (c == '"') {
+            inString = true;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}' && --depth == 0) {
+            return json.substr(pos, i - pos + 1);
+        }
+    }
+    return "";
+}
+
+/// Pull `"items_per_second": <num>` for one benchmark out of a raw
+/// metrics object.
+double
+lookupItemsPerSecond(const std::string &raw, const std::string &bench)
+{
+    auto pos = raw.find("\"" + bench + "\"");
+    if (pos == std::string::npos)
+        return 0.0;
+    pos = raw.find("\"items_per_second\"", pos);
+    if (pos == std::string::npos)
+        return 0.0;
+    pos = raw.find(':', pos);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(raw.c_str() + pos + 1, nullptr);
+}
+
+std::string
+metricsObject(const std::vector<Metric> &metrics, const char *indent)
+{
+    std::ostringstream out;
+    out << "{";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        out << (i ? "," : "") << "\n"
+            << indent << "  \"" << metrics[i].name << "\": { "
+            << "\"cpu_ns_per_iter\": " << metrics[i].cpuNsPerIter
+            << ", \"items_per_second\": " << metrics[i].itemsPerSecond
+            << " }";
+    }
+    out << "\n" << indent << "}";
+    return out.str();
+}
+
+void
+writeSimperfJson(const std::vector<Metric> &metrics)
+{
+    const std::string path = jsonPath();
+
+    std::string previous;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            previous = buf.str();
+        }
+    }
+
+    // Keep a previously recorded baseline verbatim; bootstrap it from
+    // this run otherwise (first run on a fresh checkout).
+    std::string baseline = extractObject(previous, "baseline");
+    bool bootstrapped = baseline.empty();
+    if (bootstrapped) {
+        baseline = "{\n    \"label\": \"bootstrapped from first run\","
+                   "\n    \"metrics\": " +
+                   metricsObject(metrics, "    ") + "\n  }";
+    }
+    std::string baselineMetrics = extractObject(baseline, "metrics");
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_simperf: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n"
+        << "  \"_comment\": \"simulator performance record; 'baseline' "
+           "is preserved across runs, 'current' is the latest "
+           "bench_simperf run on this machine\",\n"
+        << "  \"baseline\": " << baseline << ",\n"
+        << "  \"current\": {\n    \"metrics\": "
+        << metricsObject(metrics, "    ") << "\n  },\n"
+        << "  \"speedup_items_per_second\": {";
+    bool first = true;
+    for (const auto &m : metrics) {
+        double base = lookupItemsPerSecond(baselineMetrics, m.name);
+        if (base <= 0.0 || m.itemsPerSecond <= 0.0)
+            continue;
+        out << (first ? "" : ",") << "\n    \"" << m.name
+            << "\": " << m.itemsPerSecond / base;
+        first = false;
+    }
+    out << "\n  }\n}\n";
+    std::printf("\nwrote %s%s\n", path.c_str(),
+                bootstrapped ? " (baseline bootstrapped from this run)"
+                             : "");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    RecordingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    writeSimperfJson(reporter.metrics);
+    return 0;
+}

@@ -6,11 +6,18 @@
  *   Fermi   33 / 61 / 207 Kbps / 2.8 Mbps
  *   Kepler  42 / 75 / 285 Kbps / 4.25 Mbps
  *   Maxwell 42 / 75 / 285 Kbps / 3.7 Mbps
+ *
+ * Each (GPU, column) cell and each scaling point is an independent
+ * simulation; all of them run in parallel through SweepRunner and the
+ * tables are assembled in order afterwards.
  */
+
+#include <functional>
 
 #include "bench_util.h"
 #include "covert/channels/l1_const_channel.h"
 #include "covert/sync/sync_channel.h"
+#include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
 
@@ -26,53 +33,93 @@ main()
         {"42 Kbps", "75 Kbps", "285 Kbps", "3.7 Mbps"},
     };
 
+    const auto archs = gpu::allArchitectures();
+
+    // One job per (GPU, column) cell, flattened row-major.
+    struct Result
+    {
+        double bandwidthBps = 0.0;
+        bool errorFree = false;
+    };
+    std::vector<std::function<Result()>> jobs;
+    for (const auto &arch : archs) {
+        jobs.push_back([&arch]() -> Result {
+            covert::L1ConstChannel ch(arch);
+            auto r = ch.transmit(bench::payload(64));
+            return {r.bandwidthBps, r.report.errorFree()};
+        });
+        jobs.push_back([&arch]() -> Result {
+            covert::SyncL1Channel ch(arch);
+            auto r = ch.transmit(bench::payload(256));
+            return {r.bandwidthBps, r.report.errorFree()};
+        });
+        jobs.push_back([&arch]() -> Result {
+            covert::SyncChannelConfig cfg;
+            cfg.dataSetsPerSm = 6;
+            covert::SyncL1Channel ch(arch, cfg);
+            auto r = ch.transmit(bench::payload(512));
+            return {r.bandwidthBps, r.report.errorFree()};
+        });
+        jobs.push_back([&arch]() -> Result {
+            covert::SyncChannelConfig cfg;
+            cfg.dataSetsPerSm = 6;
+            cfg.allSms = true;
+            covert::SyncL1Channel ch(arch, cfg);
+            auto r = ch.transmit(bench::payload(2048));
+            return {r.bandwidthBps, r.report.errorFree()};
+        });
+    }
+    // Section 7.1's multi-bit scaling sweep on Kepler rides in the same
+    // parallel batch: 1 (baseline) + 2/4/6 concurrent bits.
+    auto kepler = gpu::keplerK40c();
+    jobs.push_back([&kepler]() -> Result {
+        covert::SyncL1Channel ch(kepler);
+        auto r = ch.transmit(bench::payload(256));
+        return {r.bandwidthBps, r.report.errorFree()};
+    });
+    const unsigned multiBits[] = {2u, 4u, 6u};
+    for (unsigned m : multiBits) {
+        jobs.push_back([&kepler, m]() -> Result {
+            covert::SyncChannelConfig cfg;
+            cfg.dataSetsPerSm = m;
+            covert::SyncL1Channel ch(kepler, cfg);
+            auto r = ch.transmit(bench::payload(512));
+            return {r.bandwidthBps, r.report.errorFree()};
+        });
+    }
+
+    sim::exec::SweepRunner runner;
+    auto results =
+        runner.runSweep(jobs, [](const std::function<Result()> &job) {
+            return job();
+        });
+
     Table t("Improved L1 channel bandwidth (all error-free)");
     t.header({"GPU", "L1 Baseline", "Sync.", "Sync. + multi-bits",
               "Sync., multi-bits + parallel"});
-    int i = 0;
-    for (const auto &arch : gpu::allArchitectures()) {
-        covert::L1ConstChannel baseline(arch);
-        auto r0 = baseline.transmit(bench::payload(64));
-
-        covert::SyncL1Channel sync1(arch);
-        auto r1 = sync1.transmit(bench::payload(256));
-
-        covert::SyncChannelConfig cfgM;
-        cfgM.dataSetsPerSm = 6;
-        covert::SyncL1Channel syncM(arch, cfgM);
-        auto r2 = syncM.transmit(bench::payload(512));
-
-        covert::SyncChannelConfig cfgAll = cfgM;
-        cfgAll.allSms = true;
-        covert::SyncL1Channel syncAll(arch, cfgAll);
-        auto r3 = syncAll.transmit(bench::payload(2048));
-
-        GPUCC_ASSERT(r0.report.errorFree() && r1.report.errorFree() &&
-                         r2.report.errorFree() && r3.report.errorFree(),
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        const Result *row = &results[i * 4];
+        GPUCC_ASSERT(row[0].errorFree && row[1].errorFree &&
+                         row[2].errorFree && row[3].errorFree,
                      "Table 2 requires error-free channels");
-
-        t.row({arch.name, bench::vsPaper(r0.bandwidthBps, paper[i][0]),
-               bench::vsPaper(r1.bandwidthBps, paper[i][1]),
-               bench::vsPaper(r2.bandwidthBps, paper[i][2]),
-               bench::vsPaper(r3.bandwidthBps, paper[i][3])});
-        ++i;
+        t.row({archs[i].name,
+               bench::vsPaper(row[0].bandwidthBps, paper[i][0]),
+               bench::vsPaper(row[1].bandwidthBps, paper[i][1]),
+               bench::vsPaper(row[2].bandwidthBps, paper[i][2]),
+               bench::vsPaper(row[3].bandwidthBps, paper[i][3])});
     }
     t.print();
 
     // Section 7.1 also reports the sublinear multi-bit scaling on
     // Kepler: 2/4/6 concurrent bits -> 1.8x / 2.9x / 3.8x.
-    auto kepler = gpu::keplerK40c();
-    covert::SyncL1Channel base(kepler);
-    double b1 = base.transmit(bench::payload(256)).bandwidthBps;
+    const Result *scaling = &results[archs.size() * 4];
+    double b1 = scaling[0].bandwidthBps;
     Table s("Kepler: multi-bit scaling (paper: 1.8x / 2.9x / 3.8x)");
     s.header({"concurrent bits", "bandwidth", "speedup over 1 bit"});
-    for (unsigned m : {2u, 4u, 6u}) {
-        covert::SyncChannelConfig cfg;
-        cfg.dataSetsPerSm = m;
-        covert::SyncL1Channel ch(kepler, cfg);
-        auto r = ch.transmit(bench::payload(512));
-        s.row({std::to_string(m), fmtKbps(r.bandwidthBps),
-               fmtDouble(r.bandwidthBps / b1, 2) + "x"});
+    for (std::size_t j = 0; j < 3; ++j) {
+        s.row({std::to_string(multiBits[j]),
+               fmtKbps(scaling[1 + j].bandwidthBps),
+               fmtDouble(scaling[1 + j].bandwidthBps / b1, 2) + "x"});
     }
     s.print();
     return 0;

@@ -6,12 +6,19 @@
  *   Fermi   21 / 28 Kbps / 380 Kbps
  *   Kepler  24 / 84 Kbps / 1.2 Mbps
  *   Maxwell 28 / 100 Kbps / 1.3 Mbps
+ *
+ * Every (GPU, column) cell — including the synchronized-SFU extension
+ * table — is an independent simulation, run in parallel through
+ * SweepRunner and printed in order afterwards.
  */
+
+#include <functional>
 
 #include "bench_util.h"
 #include "covert/channels/sfu_channel.h"
 #include "covert/parallel/sfu_parallel_channel.h"
 #include "covert/sync/sync_sfu_channel.h"
+#include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
 
@@ -27,30 +34,62 @@ main()
         {"28 Kbps", "100 Kbps", "1.3 Mbps"},
     };
 
+    const auto archs = gpu::allArchitectures();
+
+    struct Result
+    {
+        double bandwidthBps = 0.0;
+        double errorRate = 0.0;
+        bool errorFree = false;
+    };
+    auto toResult = [](const covert::ChannelResult &r) -> Result {
+        return {r.bandwidthBps, r.report.errorRate(),
+                r.report.errorFree()};
+    };
+
+    // Row-major (GPU x 3 columns) cells, then one extension cell per GPU.
+    std::vector<std::function<Result()>> jobs;
+    for (const auto &arch : archs) {
+        jobs.push_back([&arch, toResult] {
+            covert::SfuChannel ch(arch);
+            return toResult(ch.transmit(bench::payload(64)));
+        });
+        jobs.push_back([&arch, toResult] {
+            covert::SfuParallelChannel ch(arch);
+            return toResult(ch.transmit(bench::payload(128)));
+        });
+        jobs.push_back([&arch, toResult] {
+            covert::SfuParallelConfig cfg;
+            cfg.acrossSms = true;
+            covert::SfuParallelChannel ch(arch, cfg);
+            return toResult(ch.transmit(bench::payload(1024)));
+        });
+    }
+    for (const auto &arch : archs) {
+        jobs.push_back([&arch, toResult] {
+            covert::SyncSfuChannel ch(arch);
+            return toResult(ch.transmit(bench::payload(256)));
+        });
+    }
+
+    sim::exec::SweepRunner runner;
+    auto results =
+        runner.runSweep(jobs, [](const std::function<Result()> &job) {
+            return job();
+        });
+
     Table t("Improved SFU channel bandwidth (all error-free)");
     t.header({"GPU", "Baseline", "Parallel (warp schedulers)",
               "Parallel (schedulers x SMs)"});
-    int i = 0;
-    for (const auto &arch : gpu::allArchitectures()) {
-        covert::SfuChannel baseline(arch);
-        auto r0 = baseline.transmit(bench::payload(64));
-
-        covert::SfuParallelChannel perSched(arch);
-        auto r1 = perSched.transmit(bench::payload(128));
-
-        covert::SfuParallelConfig cfg;
-        cfg.acrossSms = true;
-        covert::SfuParallelChannel all(arch, cfg);
-        auto r2 = all.transmit(bench::payload(1024));
-
-        GPUCC_ASSERT(r0.report.errorFree() && r1.report.errorFree() &&
-                         r2.report.errorFree(),
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        const Result *row = &results[i * 3];
+        GPUCC_ASSERT(row[0].errorFree && row[1].errorFree &&
+                         row[2].errorFree,
                      "Table 3 requires error-free channels");
-
-        t.row({arch.name, bench::vsPaper(r0.bandwidthBps, paper[i][0]),
-               bench::vsPaper(r1.bandwidthBps, paper[i][1]),
-               bench::vsPaper(r2.bandwidthBps, paper[i][2])});
-        ++i;
+        t.row({archs[i].name,
+               bench::vsPaper(row[0].bandwidthBps, paper[i][0]),
+               bench::vsPaper(row[1].bandwidthBps, paper[i][1]),
+               bench::vsPaper(row[2].bandwidthBps, paper[i][2])});
     }
     t.print();
     std::printf("Contention is isolated per warp scheduler, so each "
@@ -62,15 +101,12 @@ main()
     // launch overhead.
     Table s("extension: synchronized SFU channel (persistent kernels)");
     s.header({"GPU", "bandwidth", "speedup over baseline", "errors"});
-    int j = 0;
     const double baselinePaper[] = {21e3, 24e3, 28e3};
-    for (const auto &arch : gpu::allArchitectures()) {
-        covert::SyncSfuChannel ch(arch);
-        auto r = ch.transmit(bench::payload(256));
-        s.row({arch.name, fmtKbps(r.bandwidthBps),
+    for (std::size_t j = 0; j < archs.size(); ++j) {
+        const Result &r = results[archs.size() * 3 + j];
+        s.row({archs[j].name, fmtKbps(r.bandwidthBps),
                fmtDouble(r.bandwidthBps / baselinePaper[j], 1) + "x",
-               fmtDouble(100.0 * r.report.errorRate(), 2) + " %"});
-        ++j;
+               fmtDouble(100.0 * r.errorRate, 2) + " %"});
     }
     s.print();
     return 0;

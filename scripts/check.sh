@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a simulator-performance regression gate.
+#
+#  1. Configure, build, and run the full test suite (the ROADMAP.md
+#     tier-1 line).
+#  2. Run bench_simperf into a scratch JSON and compare its numbers
+#     against the committed BENCH_simperf.json baseline; warn on any
+#     metric more than 20% slower. Performance is machine-dependent, so
+#     regressions WARN rather than fail the script.
+#
+# Usage: scripts/check.sh [build-dir]     (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo_root=$PWD
+build=${1:-build}
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$build" -S .
+cmake --build "$build" -j
+(cd "$build" && ctest --output-on-failure -j)
+
+echo
+echo "== simperf: regression check vs committed BENCH_simperf.json =="
+if [ ! -x "$build/bench/bench_simperf" ]; then
+    echo "warning: $build/bench/bench_simperf not built; skipping" >&2
+    exit 0
+fi
+
+scratch=$(mktemp /tmp/gpucc_simperf.XXXXXX.json)
+trap 'rm -f "$scratch"' EXIT
+# Seed the scratch file with the committed baseline so the fresh run
+# reports speedups against the same reference.
+cp "$repo_root/BENCH_simperf.json" "$scratch" 2>/dev/null || true
+GPUCC_SIMPERF_JSON=$scratch \
+    "$build/bench/bench_simperf" --benchmark_min_time=0.2
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "warning: python3 not found; skipping JSON comparison" >&2
+    exit 0
+fi
+
+python3 - "$repo_root/BENCH_simperf.json" "$scratch" <<'EOF'
+import json
+import sys
+
+committed = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+
+reference = committed.get("current", {}).get("metrics", {})
+if not reference:
+    reference = committed.get("baseline", {}).get("metrics", {})
+measured = fresh.get("current", {}).get("metrics", {})
+
+regressions = []
+for name, ref in sorted(reference.items()):
+    cur = measured.get(name)
+    ref_ips = ref.get("items_per_second", 0)
+    if not cur or not ref_ips:
+        continue
+    ratio = cur["items_per_second"] / ref_ips
+    flag = "  <-- REGRESSION (>20% slower)" if ratio < 0.8 else ""
+    print(f"  {name:28s} {ratio:6.2f}x of committed record{flag}")
+    if ratio < 0.8:
+        regressions.append(name)
+
+if regressions:
+    print(f"\nwarning: {len(regressions)} benchmark(s) regressed >20% "
+          f"vs BENCH_simperf.json: {', '.join(regressions)}")
+    print("If this machine is simply slower, re-record with: "
+          "build/bench/bench_simperf  (updates the 'current' section)")
+else:
+    print("\nsimperf OK: no metric more than 20% below the committed "
+          "record")
+EOF
+
+echo
+echo "check.sh: all gates passed"

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Small-buffer-optimized event callback.
+ *
+ * Every event on the simulator hot path captures at most a couple of
+ * raw pointers (a Warp* plus a coroutine_handle for the warp-resume
+ * case), so the type-erased callback can live entirely inside the
+ * queue entry: no heap allocation, no virtual dispatch, one indirect
+ * call through a function pointer whose body is the inlined lambda.
+ *
+ * Callables that are trivially copyable, trivially destructible, and
+ * no larger than @c inlineSize are stored in-place. Anything bigger
+ * (or with a nontrivial destructor) falls back to a single heap node;
+ * that path exists for generality but is never taken by the device
+ * model itself.
+ */
+
+#ifndef GPUCC_SIM_EVENT_FN_H
+#define GPUCC_SIM_EVENT_FN_H
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gpucc::sim
+{
+
+/** Move-only type-erased callback with inline storage. */
+class EventFn
+{
+  public:
+    /** Bytes of in-place capture storage (three pointers' worth). */
+    static constexpr std::size_t inlineSize = 24;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn>>>
+    EventFn(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            invokeFn = [](void *p) { (*static_cast<Fn *>(p))(); };
+        } else {
+            auto *node = new HeapNode<Fn>{std::forward<F>(f)};
+            std::memcpy(buf, &node, sizeof(node));
+            invokeFn = &heapInvoke;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept { moveFrom(other); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void operator()() { invokeFn(buf); }
+
+    /** @return true when a callable is stored. */
+    explicit operator bool() const { return invokeFn != nullptr; }
+
+    /** @return true when @p Fn would be stored without allocating. */
+    template <typename Fn>
+    static constexpr bool
+    storedInline()
+    {
+        return fitsInline<std::decay_t<Fn>>();
+    }
+
+  private:
+    struct HeapNodeBase
+    {
+        virtual void call() = 0;
+        virtual ~HeapNodeBase() = default;
+    };
+    template <typename Fn>
+    struct HeapNode final : HeapNodeBase
+    {
+        Fn fn;
+        explicit HeapNode(Fn f) : fn(std::move(f)) {}
+        void call() override { fn(); }
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineSize &&
+               alignof(Fn) <= alignof(void *) &&
+               std::is_trivially_copyable_v<Fn> &&
+               std::is_trivially_destructible_v<Fn>;
+    }
+
+    static void
+    heapInvoke(void *p)
+    {
+        HeapNodeBase *node;
+        std::memcpy(&node, p, sizeof(node));
+        node->call();
+    }
+
+    void
+    moveFrom(EventFn &other) noexcept
+    {
+        // Inline callables are trivially copyable by construction, and
+        // the heap case only needs its node pointer carried over.
+        std::memcpy(buf, other.buf, inlineSize);
+        invokeFn = other.invokeFn;
+        other.invokeFn = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (invokeFn == &heapInvoke) {
+            HeapNodeBase *node;
+            std::memcpy(&node, buf, sizeof(node));
+            delete node;
+        }
+        invokeFn = nullptr;
+    }
+
+    // Zero-initialized so whole-buffer relocation never reads
+    // indeterminate bytes (keeps -Wmaybe-uninitialized quiet too).
+    alignas(void *) unsigned char buf[inlineSize] = {};
+    void (*invokeFn)(void *) = nullptr;
+};
+
+} // namespace gpucc::sim
+
+#endif // GPUCC_SIM_EVENT_FN_H

@@ -1,58 +1,109 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
 #include "common/log.h"
 
 namespace gpucc::sim
 {
 
-void
-EventQueue::schedule(Tick when, Callback cb)
+namespace
 {
-    GPUCC_ASSERT(when >= current,
-                 "event scheduled in the past (%llu < %llu)",
-                 static_cast<unsigned long long>(when),
-                 static_cast<unsigned long long>(current));
-    events.push(Entry{when, nextSeq++, std::move(cb)});
+/** Arity of the event heap: children of node i are 4i+1 .. 4i+4. */
+constexpr std::size_t heapArity = 4;
+} // namespace
+
+Tick
+EventQueue::clampPastEvent(Tick when) const
+{
+#ifndef NDEBUG
+    GPUCC_PANIC("event scheduled in the past (%llu < %llu)",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(current));
+#else
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+        GPUCC_WARN("event scheduled in the past (%llu < %llu); clamping "
+                   "to now() (further occurrences not reported)",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(current));
+    }
+    return current;
+#endif
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    const Key moving = keys[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / heapArity;
+        if (!moving.before(keys[parent]))
+            break;
+        keys[i] = keys[parent];
+        i = parent;
+    }
+    keys[i] = moving;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = keys.size();
+    const Key moving = keys[i];
+    for (;;) {
+        std::size_t first = heapArity * i + 1;
+        if (first >= n)
+            break;
+        std::size_t limit = std::min(first + heapArity, n);
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < limit; ++c) {
+            if (keys[c].before(keys[best]))
+                best = c;
+        }
+        if (!keys[best].before(moving))
+            break;
+        keys[i] = keys[best];
+        i = best;
+    }
+    keys[i] = moving;
+}
+
+EventQueue::Key
+EventQueue::popTop()
+{
+    const Key top = keys.front();
+    keys.front() = keys.back();
+    keys.pop_back();
+    if (!keys.empty())
+        siftDown(0);
+    return top;
 }
 
 Tick
 EventQueue::run()
 {
-    while (!events.empty()) {
-        // Move the callback out before popping so re-entrant schedule()
-        // calls from inside the callback see a consistent queue.
-        Entry e = std::move(const_cast<Entry &>(events.top()));
-        events.pop();
-        current = e.when;
-        ++fired;
-        e.cb();
-    }
+    while (!keys.empty())
+        fire(popTop());
     return current;
 }
 
 bool
 EventQueue::step()
 {
-    if (events.empty())
+    if (keys.empty())
         return false;
-    Entry e = std::move(const_cast<Entry &>(events.top()));
-    events.pop();
-    current = e.when;
-    ++fired;
-    e.cb();
+    fire(popTop());
     return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!events.empty() && events.top().when <= limit) {
-        Entry e = std::move(const_cast<Entry &>(events.top()));
-        events.pop();
-        current = e.when;
-        ++fired;
-        e.cb();
-    }
+    while (!keys.empty() && keys.front().when <= limit)
+        fire(popTop());
     if (current < limit)
         current = limit;
 }
@@ -60,7 +111,7 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::advanceTo(Tick when)
 {
-    GPUCC_ASSERT(events.empty() || events.top().when >= when,
+    GPUCC_ASSERT(keys.empty() || keys.front().when >= when,
                  "cannot advance past pending events");
     if (when > current)
         current = when;

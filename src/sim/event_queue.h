@@ -5,17 +5,29 @@
  * Warps suspend on device operations and are resumed by events scheduled
  * at the operation completion tick. Events at equal ticks fire in
  * schedule order (FIFO), which keeps the simulation deterministic.
+ *
+ * The queue is the simulator's hottest structure: every warp
+ * instruction retires through at least one event. Two things keep it
+ * cheap:
+ *
+ *  - callbacks are EventFn (small-buffer inline storage), so the
+ *    common warp-resume capture (a Warp* plus a coroutine_handle)
+ *    never touches the heap;
+ *  - ordering is a hand-rolled 4-ary min-heap over 24-byte POD keys
+ *    {when, seq, slot}; the callbacks themselves sit in a stable slab
+ *    indexed by @c slot and recycled through a free list, so sifting
+ *    moves trivially-copyable keys only, never the callables.
  */
 
 #ifndef GPUCC_SIM_EVENT_QUEUE_H
 #define GPUCC_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
+#include "sim/event_fn.h"
 
 namespace gpucc::sim
 {
@@ -24,10 +36,42 @@ namespace gpucc::sim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventFn;
 
-    /** Schedule @p cb to run at absolute tick @p when (>= now()). */
-    void schedule(Tick when, Callback cb);
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * Scheduling in the past (@p when < now()) is a model bug: debug
+     * builds panic, release builds clamp the event to now() so
+     * simulated time still never runs backwards.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        if (when < current) [[unlikely]]
+            when = clampPastEvent(when);
+        std::uint64_t slot;
+        if (freeSlots.empty()) {
+            if (slots.empty()) {
+                // One queue drives one whole device simulation; skip
+                // the doubling ramp for the first few thousand events.
+                keys.reserve(initialCapacity);
+                slots.reserve(initialCapacity);
+            }
+            slot = slots.size();
+            slots.push_back(std::move(cb));
+            GPUCC_ASSERT(slot < (std::uint64_t(1) << slotBits),
+                         "event queue slot space exhausted");
+        } else {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+            slots[slot] = std::move(cb);
+        }
+        GPUCC_ASSERT(nextSeq < (std::uint64_t(1) << (64 - slotBits)),
+                     "event FIFO sequence space exhausted");
+        keys.push_back(Key{when, (nextSeq++ << slotBits) | slot});
+        siftUp(keys.size() - 1);
+    }
 
     /** @return current simulated tick. */
     Tick now() const { return current; }
@@ -45,7 +89,7 @@ class EventQueue
     void runUntil(Tick limit);
 
     /** @return true when no events are pending. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return keys.empty(); }
 
     /** Number of events executed since construction. */
     std::uint64_t executed() const { return fired; }
@@ -54,24 +98,67 @@ class EventQueue
     void advanceTo(Tick when);
 
   private:
-    struct Entry
+    /** Initial reservation for the key heap and callback slab. */
+    static constexpr std::size_t initialCapacity = 4096;
+
+    /**
+     * Low bits of Key::seqSlot holding the slab index; the upper
+     * 64 - slotBits bits hold the FIFO sequence number. 24 bits bound
+     * the *pending* event count (16M simultaneously in-flight events);
+     * 40 bits bound the *lifetime* event count of one queue (1.1e12 —
+     * about three weeks of simulation at current throughput; schedule()
+     * checks both).
+     */
+    static constexpr unsigned slotBits = 24;
+
+    /**
+     * Heap key: 16 bytes, trivially copyable, so sifting compiles to
+     * plain register moves. Ordering on (when, seqSlot) is FIFO within
+     * a tick because the sequence occupies the high bits and is unique.
+     */
+    struct Key
     {
         Tick when;
-        std::uint64_t seq;
-        Callback cb;
-    };
-    struct Later
-    {
+        std::uint64_t seqSlot;
+
         bool
-        operator()(const Entry &a, const Entry &b) const
+        before(const Key &o) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            return when != o.when ? when < o.when : seqSlot < o.seqSlot;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    /** Panic (debug) or clamp (release) an event scheduled in the past. */
+    Tick clampPastEvent(Tick when) const;
+
+    /** Pop the minimum key off the heap. */
+    Key popTop();
+
+    /**
+     * Fire the event under @p k: the callback is moved out and its slot
+     * recycled *before* invocation, so re-entrant schedule() calls see
+     * a consistent queue (and may reuse the slot immediately).
+     */
+    void
+    fire(const Key &k)
+    {
+        current = k.when;
+        ++fired;
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(k.seqSlot & ((1u << slotBits) - 1));
+        EventFn fn = std::move(slots[slot]);
+        freeSlots.push_back(slot);
+        fn();
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** 4-ary min-heap on (when, seq); slot points into @c slots. */
+    std::vector<Key> keys;
+    /** Callback slab; entries at free-listed indices are empty. */
+    std::vector<EventFn> slots;
+    std::vector<std::uint32_t> freeSlots;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t fired = 0;

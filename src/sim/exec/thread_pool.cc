@@ -1,0 +1,113 @@
+#include "sim/exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+
+namespace gpucc::sim::exec
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("GPUCC_THREADS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+        GPUCC_WARN("ignoring GPUCC_THREADS='%s' (want a positive integer)",
+                   env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threadCount)
+    : workerCount(threadCount != 0 ? threadCount : defaultThreads())
+{
+    errors.resize(workerCount);
+    if (workerCount == 1)
+        return; // inline execution, no threads
+    workers.reserve(workerCount);
+    for (unsigned id = 0; id < workerCount; ++id)
+        workers.emplace_back([this, id] { workerMain(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerMain(unsigned id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *body;
+        std::size_t n;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wake.wait(lock,
+                      [&] { return stopping || generation != seen; });
+            if (stopping)
+                return;
+            seen = generation;
+            body = job;
+            n = jobSize;
+        }
+        try {
+            for (std::size_t i = id; i < n; i += workerCount)
+                (*body)(i);
+        } catch (...) {
+            errors[id] = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (--running == 0)
+                done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::forEachIndex(std::size_t n,
+                         const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workerCount == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        job = &body;
+        jobSize = n;
+        running = workerCount;
+        ++generation;
+    }
+    wake.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        done.wait(lock, [&] { return running == 0; });
+        job = nullptr;
+    }
+    for (auto &e : errors) {
+        if (e) {
+            std::exception_ptr err = e;
+            for (auto &clear : errors)
+                clear = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+} // namespace gpucc::sim::exec

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Statically-partitioned thread pool for independent simulations.
+ *
+ * Every paper figure is assembled from dozens of *independent* device
+ * simulations (one Device + hosts + RNG per trial), so the execution
+ * layer needs no shared simulation state, no work stealing, and no
+ * locks on the trial path: index i of a job is statically assigned to
+ * worker i % threads() and workers only ever write results into
+ * disjoint slots owned by the caller. Results are therefore
+ * bit-identical for any thread count, including 1 (which runs inline
+ * on the caller and spawns nothing).
+ *
+ * The worker count defaults to the GPUCC_THREADS environment variable,
+ * falling back to std::thread::hardware_concurrency().
+ */
+
+#ifndef GPUCC_SIM_EXEC_THREAD_POOL_H
+#define GPUCC_SIM_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpucc::sim::exec
+{
+
+/** Fixed set of workers executing statically-assigned index ranges. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threadCount Worker count; 0 means defaultThreads().
+     *
+     * A pool of one worker spawns no threads at all: jobs run inline
+     * on the calling thread, making single-threaded execution exactly
+     * the serial program.
+     */
+    explicit ThreadPool(unsigned threadCount = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return number of workers (>= 1). */
+    unsigned threads() const { return workerCount; }
+
+    /**
+     * Run @p body(i) for every i in [0, n), index i on worker
+     * i % threads() (static round-robin partition; no stealing).
+     * Blocks until all indices completed. If bodies throw, the
+     * exception from the lowest-numbered worker is rethrown after
+     * every worker finished its share.
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * Worker count implied by the environment: GPUCC_THREADS if set to
+     * a positive integer, else std::thread::hardware_concurrency(),
+     * never less than 1.
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void workerMain(unsigned id);
+
+    unsigned workerCount;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake;
+    std::condition_variable done;
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobSize = 0;
+    std::uint64_t generation = 0;
+    unsigned running = 0;
+    bool stopping = false;
+    /** One slot per worker so the rethrown error is deterministic. */
+    std::vector<std::exception_ptr> errors;
+};
+
+} // namespace gpucc::sim::exec
+
+#endif // GPUCC_SIM_EXEC_THREAD_POOL_H

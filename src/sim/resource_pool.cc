@@ -1,6 +1,7 @@
 #include "sim/resource_pool.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/log.h"
 
@@ -12,38 +13,43 @@ ResourcePool::ResourcePool(std::string name, unsigned servers)
 {
     GPUCC_ASSERT(servers >= 1, "pool %s needs >= 1 server",
                  poolName.c_str());
-    for (unsigned i = 0; i < numServers; ++i)
-        free.push(0);
+    if (numServers > inlineCapacity)
+        heapFree.assign(numServers, 0);
 }
 
-Reservation
-ResourcePool::acquire(Tick now, Tick occupancy)
+Tick
+ResourcePool::heapAcquireEarliest()
 {
-    Tick earliest = free.top();
-    free.pop();
-    Reservation r;
-    r.serviceStart = std::max(now, earliest);
-    r.serviceEnd = r.serviceStart + occupancy;
-    free.push(r.serviceEnd);
-    busy += occupancy;
-    queued += r.serviceStart - now;
-    ++count;
-    return r;
+    std::pop_heap(heapFree.begin(), heapFree.end(), std::greater<Tick>());
+    Tick earliest = heapFree.back();
+    heapFree.pop_back();
+    return earliest;
+}
+
+void
+ResourcePool::heapRelease(Tick nextFree)
+{
+    heapFree.push_back(nextFree);
+    std::push_heap(heapFree.begin(), heapFree.end(), std::greater<Tick>());
 }
 
 Tick
 ResourcePool::peekStart(Tick now) const
 {
-    return std::max(now, free.top());
+    Tick earliest;
+    if (numServers <= inlineCapacity)
+        earliest = inlineFree[earliestInlineSlot()];
+    else
+        earliest = heapFree.front();
+    return std::max(now, earliest);
 }
 
 void
 ResourcePool::reset()
 {
-    while (!free.empty())
-        free.pop();
-    for (unsigned i = 0; i < numServers; ++i)
-        free.push(0);
+    inlineFree.fill(0);
+    if (numServers > inlineCapacity)
+        heapFree.assign(numServers, 0);
     busy = 0;
     queued = 0;
     count = 0;

@@ -10,13 +10,21 @@
  * modeled as a timeline rather than polled every cycle, multi-million
  * cycle experiments run in milliseconds while preserving queueing
  * behaviour.
+ *
+ * Every simulated instruction passes through at least two pools
+ * (dispatch + FU port), and the real machine models all use tiny
+ * server counts (1-2 per scheduler port, a handful per memory
+ * partition). Small pools therefore keep their next-free ticks in a
+ * fixed inline array scanned linearly — branch-predictable, no heap
+ * traffic, no sift — and only pools wider than @c inlineCapacity fall
+ * back to a heap-ordered vector.
  */
 
 #ifndef GPUCC_SIM_RESOURCE_POOL_H
 #define GPUCC_SIM_RESOURCE_POOL_H
 
+#include <array>
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -39,6 +47,9 @@ struct Reservation
 class ResourcePool
 {
   public:
+    /** Widest pool served by the inline next-free array. */
+    static constexpr unsigned inlineCapacity = 8;
+
     /**
      * @param name Debug name.
      * @param servers Number of parallel servers (>= 1).
@@ -52,7 +63,22 @@ class ResourcePool
      * @param occupancy Ticks of server time the request consumes.
      * @return Reservation with service start/end ticks.
      */
-    Reservation acquire(Tick now, Tick occupancy);
+    Reservation
+    acquire(Tick now, Tick occupancy)
+    {
+        Tick earliest;
+        if (numServers <= inlineCapacity) [[likely]] {
+            unsigned slot = earliestInlineSlot();
+            earliest = inlineFree[slot];
+            Tick start = earliest > now ? earliest : now;
+            inlineFree[slot] = start + occupancy;
+            return finishAcquire(now, occupancy, start);
+        }
+        earliest = heapAcquireEarliest();
+        Tick start = earliest > now ? earliest : now;
+        heapRelease(start + occupancy);
+        return finishAcquire(now, occupancy, start);
+    }
 
     /**
      * Earliest tick at which a request issued at @p now would begin
@@ -72,14 +98,45 @@ class ResourcePool
     /** Debug name. */
     const std::string &name() const { return poolName; }
 
+    /** Number of parallel servers. */
+    unsigned servers() const { return numServers; }
+
     /** Reset all server timelines and statistics. */
     void reset();
 
   private:
+    /** Index of the server with the smallest next-free tick. */
+    unsigned
+    earliestInlineSlot() const
+    {
+        unsigned best = 0;
+        for (unsigned i = 1; i < numServers; ++i) {
+            if (inlineFree[i] < inlineFree[best])
+                best = i;
+        }
+        return best;
+    }
+
+    Reservation
+    finishAcquire(Tick now, Tick occupancy, Tick start)
+    {
+        busy += occupancy;
+        queued += start - now;
+        ++count;
+        return Reservation{start, start + occupancy};
+    }
+
+    /** Pop the minimum next-free tick off the wide-pool heap. */
+    Tick heapAcquireEarliest();
+    /** Push a next-free tick back onto the wide-pool heap. */
+    void heapRelease(Tick nextFree);
+
     std::string poolName;
     unsigned numServers;
-    /** Min-heap of next-free ticks, one entry per server. */
-    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> free;
+    /** Next-free tick per server; valid slots [0, numServers). */
+    std::array<Tick, inlineCapacity> inlineFree{};
+    /** Min-heap of next-free ticks for pools wider than the array. */
+    std::vector<Tick> heapFree;
     Tick busy = 0;
     Tick queued = 0;
     std::uint64_t count = 0;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner (sim/exec): the determinism
+ * contract — results are byte-identical regardless of thread count —
+ * and the per-trial seed derivation.
+ */
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "covert/channels/l1_const_channel.h"
+#include "gpu/arch_params.h"
+#include "sim/exec/sweep_runner.h"
+
+using namespace gpucc;
+using sim::exec::deriveSeed;
+using sim::exec::splitmix64;
+using sim::exec::SweepRunner;
+using sim::exec::ThreadPool;
+
+namespace
+{
+
+/// POD trial outcome so runs can be compared byte-for-byte.
+struct TrialResult
+{
+    double errorRate;
+    double bandwidthBps;
+};
+
+/// A miniature Figure-5-style sweep: 32 points over the iteration
+/// count, each transmitting through its own L1ConstChannel with a
+/// derived seed.
+std::vector<TrialResult>
+fig5StyleSweep(unsigned threadCount)
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+    SweepRunner runner(threadCount);
+    return runner.runTrials(
+        32, /*seedBase=*/2017,
+        [&arch](std::size_t i, std::uint64_t seed) -> TrialResult {
+            covert::LaunchPerBitConfig cfg;
+            cfg.iterations = 1 + static_cast<unsigned>(i % 8);
+            cfg.jitterUs = 2.5;
+            cfg.seed = seed;
+            covert::L1ConstChannel ch(arch, cfg);
+            auto r = ch.transmit(alternatingBits(16));
+            return {r.report.errorRate(), r.bandwidthBps};
+        });
+}
+
+bool
+byteIdentical(const std::vector<TrialResult> &a,
+              const std::vector<TrialResult> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(TrialResult)) == 0;
+}
+
+} // namespace
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults)
+{
+    auto serial = fig5StyleSweep(1);
+    ASSERT_EQ(serial.size(), 32u);
+    // The sweep must produce a spread of outcomes for the comparison to
+    // be meaningful (low iteration counts are noisy, high ones clean).
+    std::set<double> distinct;
+    for (const auto &t : serial)
+        distinct.insert(t.bandwidthBps);
+    EXPECT_GT(distinct.size(), 1u);
+
+    EXPECT_TRUE(byteIdentical(serial, fig5StyleSweep(2)));
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_TRUE(byteIdentical(serial, fig5StyleSweep(hw)));
+}
+
+TEST(SweepRunner, RunTrialsPassesDerivedSeedsInIndexOrder)
+{
+    SweepRunner runner(4);
+    auto seeds = runner.runTrials(
+        100, /*seedBase=*/42,
+        [](std::size_t, std::uint64_t seed) { return seed; });
+    ASSERT_EQ(seeds.size(), 100u);
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        EXPECT_EQ(seeds[i], deriveSeed(42, i)) << "trial " << i;
+}
+
+TEST(SweepRunner, RunSweepPreservesConfigOrder)
+{
+    SweepRunner runner(3);
+    std::vector<int> configs;
+    for (int i = 0; i < 57; ++i)
+        configs.push_back(i);
+    auto out = runner.runSweep(configs, [](int c) { return c * c; });
+    ASSERT_EQ(out.size(), configs.size());
+    for (int i = 0; i < 57; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SeedDerivation, GridOfBasesAndIndicesHasNoCollisions)
+{
+    // The naive seedBase ^ trialIndex derivation collides across
+    // experiments immediately: base 1 trial 3 and base 2 trial 0 get
+    // the same seed.
+    EXPECT_EQ(1u ^ 3u, 2u ^ 0u);
+
+    // The SplitMix64 derivation keeps a 64x64 (base, index) grid — 4096
+    // seeds — fully distinct, and never hands out the degenerate seed 0.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 0; base < 64; ++base) {
+        for (std::uint64_t idx = 0; idx < 64; ++idx) {
+            auto s = deriveSeed(base, idx);
+            EXPECT_NE(s, 0u);
+            EXPECT_TRUE(seen.insert(s).second)
+                << "collision at base " << base << " index " << idx;
+        }
+    }
+    EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(SeedDerivation, IsAPureFunctionOfBaseAndIndex)
+{
+    EXPECT_EQ(deriveSeed(7, 11), deriveSeed(7, 11));
+    EXPECT_EQ(deriveSeed(7, 11), splitmix64(7 + splitmix64(11)));
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(1000, 0);
+    pool.forEachIndex(hits.size(),
+                      [&hits](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, WorkerExceptionsPropagateToCaller)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.forEachIndex(8,
+                                   [](std::size_t i) {
+                                       if (i == 5)
+                                           throw std::runtime_error(
+                                               "trial 5 failed");
+                                   }),
+                 std::runtime_error);
+    // The pool must survive a failed batch and run the next one.
+    std::vector<int> hits(8, 0);
+    pool.forEachIndex(hits.size(),
+                      [&hits](std::size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, GpuccThreadsEnvironmentOverridesDefault)
+{
+    ASSERT_EQ(setenv("GPUCC_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    ASSERT_EQ(setenv("GPUCC_THREADS", "1", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 1u);
+    ASSERT_EQ(unsetenv("GPUCC_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
