@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Section 8 extension: the reliable ARQ link layer vs forward error
+ * correction under deterministic fault injection.
+ *
+ * The paper stops at characterizing the BER interference causes and
+ * proposes ECC as future work (Section 8). This bench closes the loop:
+ * for each fault-plan preset (quiet / bursty / adversarial /
+ * datacenter) it pushes the same payload through the duplex L1 channel
+ * under four protection modes — raw, FEC only, ARQ, ARQ+FEC — and
+ * reports residual BER and goodput. ARQ turns a 30-40% raw BER into
+ * error-free delivery at a goodput cost; FEC alone cannot.
+ */
+
+#include "bench_util.h"
+#include "covert/coding/error_code.h"
+#include "covert/link/reliable_link.h"
+#include "covert/link/transport.h"
+#include "covert/sync/duplex_channel.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
+
+using namespace gpucc;
+using covert::link::DuplexLinkTransport;
+using covert::link::LinkConfig;
+using covert::link::ReliableLink;
+using sim::fault::FaultInjector;
+using sim::fault::FaultPlan;
+
+namespace
+{
+
+constexpr std::uint64_t faultSeed = 3;
+
+struct Cell
+{
+    double ber = 0.0;
+    double goodputBps = 0.0;
+    bool complete = true;
+    unsigned retransmissions = 0;
+};
+
+/** Fresh channel + armed injector per measurement. */
+struct Rig
+{
+    covert::DuplexSyncChannel chan;
+    std::unique_ptr<FaultInjector> inj;
+
+    explicit Rig(const std::string &plan)
+        : chan(gpu::keplerK40c())
+    {
+        inj = std::make_unique<FaultInjector>(
+            chan.harness().device(), FaultPlan::preset(plan), faultSeed);
+        inj->arm();
+    }
+};
+
+Cell
+rawMode(const std::string &plan, const BitVec &payload)
+{
+    Rig rig(plan);
+    auto r = rig.chan.exchange(payload, {});
+    return {r.aToB.report.errorRate(), r.aToB.bandwidthBps, true, 0};
+}
+
+Cell
+fecMode(const std::string &plan, const BitVec &payload)
+{
+    Rig rig(plan);
+    covert::InterleavedRepetitionCode code(3);
+    auto r = rig.chan.exchange(code.encode(payload), {});
+    BitVec decoded = code.decode(r.aToB.received, payload.size());
+    double seconds = r.aToB.seconds;
+    return {compareBits(payload, decoded).errorRate(),
+            seconds > 0.0 ? static_cast<double>(payload.size()) / seconds
+                          : 0.0,
+            true, 0};
+}
+
+Cell
+arqMode(const std::string &plan, const BitVec &payload,
+        const covert::ErrorCode *fec)
+{
+    Rig rig(plan);
+    DuplexLinkTransport t(rig.chan);
+    LinkConfig cfg;
+    cfg.payloadBits = 32;
+    cfg.window = 4;
+    cfg.innerFec = fec;
+    ReliableLink link(t, cfg);
+    auto r = link.send(payload);
+    return {compareBits(payload, r.payload).errorRate(), r.goodputBps,
+            r.complete, r.retransmissions};
+}
+
+std::string
+fmtCell(const Cell &c)
+{
+    std::string s = fmtDouble(100.0 * c.ber, 2) + " % / " +
+                    fmtKbps(c.goodputBps);
+    if (!c.complete)
+        s += " (incomplete)";
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("reliable ARQ link vs FEC under fault injection",
+                  "Section 8 (interference; ECC as proposed future "
+                  "work)");
+
+    const BitVec payload = bench::payload(128);
+    covert::Hamming74Code hamming;
+
+    Table t("Duplex L1 link, 128-bit payload: residual BER / goodput "
+            "per protection mode");
+    t.header({"fault plan", "raw", "FEC (3x interleaved)",
+              "ARQ (SR, w=4)", "ARQ + Hamming(7,4)"});
+    for (const auto &plan : FaultPlan::presetNames()) {
+        Cell raw = rawMode(plan, payload);
+        Cell fec = fecMode(plan, payload);
+        Cell arq = arqMode(plan, payload, nullptr);
+        Cell both = arqMode(plan, payload, &hamming);
+        t.row({plan, fmtCell(raw), fmtCell(fec), fmtCell(arq),
+               fmtCell(both)});
+    }
+    t.print();
+
+    std::printf(
+        "Cells are residual bit error rate / payload goodput. The raw "
+        "channel degrades with the\nplan's aggression (the adversarial "
+        "plan thrashes the data and handshake sets, degrades\nthe "
+        "timer, and preempts the spy). FEC decodes what it can from one "
+        "pass and still leaks\nerrors under dense fault trains; the ARQ "
+        "link retransmits CRC-failed frames with\nexponential backoff "
+        "and adaptive rate control until the payload lands intact — "
+        "goodput,\nnot correctness, absorbs the damage. Replay any "
+        "cell: same (plan, seed) => identical run\n(seed %u here).\n",
+        static_cast<unsigned>(faultSeed));
+    return 0;
+}

@@ -9,6 +9,12 @@
  * CRC-8 trailer lets the receiver verify integrity, and the whole key
  * crosses the air gap in well under a millisecond.
  *
+ * Act two repeats the theft on a hostile GPU: the "adversarial" fault
+ * plan thrashes the channel's cache sets, degrades the cycle counter,
+ * and preempts the spy. The raw duplex channel mangles the key; the
+ * reliable ARQ link layer delivers it bit-perfect anyway, trading
+ * goodput for correctness.
+ *
  * Run: ./exfiltrate_key [hex-key]
  */
 
@@ -18,8 +24,13 @@
 
 #include "common/bitstream.h"
 #include "common/log.h"
+#include "covert/link/reliable_link.h"
+#include "covert/link/transport.h"
+#include "covert/sync/duplex_channel.h"
 #include "covert/sync/sync_channel.h"
 #include "gpu/arch_params.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
 
 using namespace gpucc;
 
@@ -126,5 +137,84 @@ main(int argc, char **argv)
     std::printf("\n%s\n", ok ? "Key exfiltrated intact: the two kernels "
                                "never shared a byte of memory."
                              : "Transfer corrupted.");
-    return ok ? 0 : 1;
+
+    // -----------------------------------------------------------------
+    // Act two: the same theft on a hostile GPU. The adversarial fault
+    // plan thrashes the data and handshake sets, coarsens clock(), and
+    // preempts the spy — first watch the raw duplex channel fail, then
+    // the ARQ link layer push the key through regardless.
+    // -----------------------------------------------------------------
+    constexpr std::uint64_t faultSeed = 3;
+    std::printf("\n--- hostile GPU: 'adversarial' fault plan (seed %u) "
+                "---\n\n",
+                static_cast<unsigned>(faultSeed));
+
+    double rawBer, rawBps;
+    {
+        covert::DuplexSyncChannel chan(gpu::keplerK40c());
+        sim::fault::FaultInjector inj(
+            chan.harness().device(),
+            sim::fault::FaultPlan::preset("adversarial"), faultSeed);
+        inj.arm();
+        auto raw = chan.exchange(frame, {});
+        rawBer = raw.aToB.report.errorRate();
+        rawBps = raw.aToB.bandwidthBps;
+        BitVec rawRx = raw.aToB.received;
+        rawRx.resize(128);
+        std::printf("raw channel:    %s\n", bitsToHex(rawRx).c_str());
+        std::printf("                bit error rate %.1f %%, %.1f Kbps "
+                    "-> key unusable\n",
+                    100.0 * rawBer, rawBps / 1e3);
+    }
+
+    std::printf("\nretrying with the reliable link (selective-repeat "
+                "ARQ, CRC-8 frames)...\n\n");
+
+    covert::DuplexSyncChannel chan(gpu::keplerK40c());
+    sim::fault::FaultInjector inj(
+        chan.harness().device(),
+        sim::fault::FaultPlan::preset("adversarial"), faultSeed);
+    inj.arm();
+    covert::link::DuplexLinkTransport transport(chan);
+    covert::link::LinkConfig lcfg;
+    lcfg.payloadBits = 32;
+    lcfg.window = 4;
+    covert::link::ReliableLink link(transport, lcfg);
+    auto lr = link.send(frame);
+
+    BitVec arqKey = lr.payload;
+    arqKey.resize(128);
+    std::uint8_t arqCrc = 0;
+    if (lr.payload.size() >= 136) {
+        for (int i = 0; i < 8; ++i) {
+            arqCrc = static_cast<std::uint8_t>(
+                (arqCrc << 1) |
+                (lr.payload[128 + static_cast<std::size_t>(i)] & 1));
+        }
+    }
+
+    std::printf("ARQ delivered:  %s\n", bitsToHex(arqKey).c_str());
+    std::printf("CRC-8:          computed 0x%02x, trailer 0x%02x -> "
+                "%s\n",
+                crc8(arqKey), arqCrc,
+                lr.complete && crc8(arqKey) == arqCrc ? "VALID"
+                                                      : "CORRUPT");
+    std::printf("link stats:     %u rounds, %u data frames (%u "
+                "retransmissions), %u frame errors\n",
+                lr.rounds, lr.dataFramesSent, lr.retransmissions,
+                lr.frameErrors);
+    std::printf("goodput:        %.1f Kbps (raw channel managed %.1f "
+                "Kbps of garbage)\n",
+                lr.goodputBps / 1e3, rawBps / 1e3);
+    std::printf("rate control:   final symbol-period scale x%.1f "
+                "(widens on errors, narrows when clean)\n",
+                lr.finalPeriodScale);
+
+    bool arqOk = lr.complete && bitsToHex(arqKey) == keyHex &&
+                 crc8(arqKey) == arqCrc;
+    std::printf("\n%s\n",
+                arqOk ? "Same faults, zero payload errors: reliability "
+                        "is a protocol property, not a channel one."
+                      : "ARQ transfer failed.");
+    return ok && arqOk ? 0 : 1;
 }

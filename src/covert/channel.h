@@ -26,6 +26,7 @@
 #include "common/bitstream.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "covert/counters.h"
 #include "gpu/device.h"
 #include "gpu/host.h"
 #include "gpu/mitigations.h"
@@ -46,6 +47,9 @@ struct ChannelResult
     Accumulator zeroMetric;    //!< decode metric samples for 0 bits
     Accumulator oneMetric;     //!< decode metric samples for 1 bits
     double threshold = 0.0;    //!< decision threshold used
+    /** Recovery-path accounting (synchronized protocols only; the
+     *  launch-per-bit channels have no waits and leave this zeroed). */
+    RobustnessCounters robustness;
 };
 
 /** Device plus two independent host applications (trojan and spy). */

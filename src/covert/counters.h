@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Robustness counters shared by the synchronized protocols and the
+ * link layer.
+ *
+ * The handshake's bounded waits hide their outcomes inside device-side
+ * coroutines; before these counters existed, a test could only infer
+ * "the channel struggled" from a raised BER. Every protocol variant now
+ * counts its recoveries explicitly so link-layer policies (and tests)
+ * can react to *why* a transfer degraded, not just that it did.
+ */
+
+#ifndef GPUCC_COVERT_COUNTERS_H
+#define GPUCC_COVERT_COUNTERS_H
+
+namespace gpucc::covert
+{
+
+/**
+ * Recovery-path event counts of one transmission, aggregated over both
+ * parties (trojan and spy increment the same instance; the event-driven
+ * simulation is single-threaded, so plain fields suffice).
+ */
+struct RobustnessCounters
+{
+    /** Bounded waits (waitForSignal) that expired without a signal. */
+    unsigned timeouts = 0;
+
+    /** Handshake steps repeated after a timeout (the paper's
+     *  deadlock-recovery rule: on timeout, redo the step before the
+     *  wait). */
+    unsigned retries = 0;
+
+    /** Re-arm confirming passes run after a detected signal (see
+     *  handshake.cc: one extra probe pass re-takes set ownership). */
+    unsigned rearms = 0;
+
+    /** Merge @p o into this instance (link layer aggregates rounds). */
+    void
+    add(const RobustnessCounters &o)
+    {
+        timeouts += o.timeouts;
+        retries += o.retries;
+        rearms += o.rearms;
+    }
+
+    /** @return true when no recovery path was ever taken. */
+    bool
+    clean() const
+    {
+        return timeouts == 0 && retries == 0 && rearms == 0;
+    }
+};
+
+} // namespace gpucc::covert
+
+#endif // GPUCC_COVERT_COUNTERS_H

@@ -1,0 +1,145 @@
+#include "covert/link/frame.h"
+
+#include <algorithm>
+
+#include "covert/coding/error_code.h"
+
+namespace gpucc::covert::link
+{
+
+BitVec
+preamblePattern()
+{
+    return {1, 0, 1, 0, 1, 0, 1, 1};
+}
+
+std::uint8_t
+crc8(const BitVec &bits)
+{
+    std::uint8_t crc = 0;
+    for (std::uint8_t b : bits) {
+        std::uint8_t fb = static_cast<std::uint8_t>(((crc >> 7) & 1) ^
+                                                    (b & 1));
+        crc = static_cast<std::uint8_t>(crc << 1);
+        if (fb)
+            crc ^= 0x07;
+    }
+    return crc;
+}
+
+namespace
+{
+
+void
+appendField(BitVec &out, unsigned value, unsigned width)
+{
+    for (unsigned i = width; i-- > 0;)
+        out.push_back((value >> i) & 1);
+}
+
+unsigned
+readField(const BitVec &bits, std::size_t at, unsigned width)
+{
+    unsigned v = 0;
+    for (unsigned i = 0; i < width; ++i)
+        v = (v << 1) | (bits[at + i] & 1);
+    return v;
+}
+
+/** Body bits (everything the CRC covers, plus the CRC itself). */
+std::size_t
+bodyBits(std::size_t payloadBits)
+{
+    return typeBits + seqBits + lenBits + payloadBits + crcBits;
+}
+
+} // namespace
+
+BitVec
+encodeFrame(const Frame &f, std::size_t payloadBits, const ErrorCode *fec)
+{
+    BitVec body;
+    body.reserve(bodyBits(payloadBits));
+    appendField(body, static_cast<unsigned>(f.type), typeBits);
+    appendField(body, f.seq % seqSpace, seqBits);
+    std::size_t len = std::min(f.payload.size(), payloadBits);
+    appendField(body, static_cast<unsigned>(len), lenBits);
+    for (std::size_t i = 0; i < payloadBits; ++i)
+        body.push_back(i < len ? (f.payload[i] & 1) : 0);
+    appendField(body, crc8(body), crcBits);
+
+    if (fec)
+        body = fec->encode(body);
+
+    BitVec wire = preamblePattern();
+    wire.insert(wire.end(), body.begin(), body.end());
+    return wire;
+}
+
+std::size_t
+frameWireBits(std::size_t payloadBits, const ErrorCode *fec)
+{
+    std::size_t body = bodyBits(payloadBits);
+    if (fec)
+        body = fec->encode(BitVec(body, 0)).size();
+    return preambleBits + body;
+}
+
+FrameParse
+parseFrames(const BitVec &stream, std::size_t payloadBits,
+            const ErrorCode *fec)
+{
+    FrameParse out;
+    const BitVec pre = preamblePattern();
+    const std::size_t plain = bodyBits(payloadBits);
+    const std::size_t coded = frameWireBits(payloadBits, fec) - preambleBits;
+    if (stream.size() < preambleBits + coded)
+        return out;
+
+    std::size_t i = 0;
+    while (i + preambleBits + coded <= stream.size()) {
+        bool sync = true;
+        for (std::size_t j = 0; j < preambleBits; ++j) {
+            if ((stream[i + j] & 1) != pre[j]) {
+                sync = false;
+                break;
+            }
+        }
+        if (!sync) {
+            ++i;
+            continue;
+        }
+
+        BitVec body(stream.begin() + i + preambleBits,
+                    stream.begin() + i + preambleBits + coded);
+        if (fec)
+            body = fec->decode(body, plain);
+        // A decoder returning a short vector (defensive) is a reject.
+        if (body.size() < plain) {
+            ++out.crcFailures;
+            ++i;
+            continue;
+        }
+
+        BitVec covered(body.begin(), body.begin() + (plain - crcBits));
+        unsigned crc = readField(body, plain - crcBits, crcBits);
+        if (crc8(covered) != crc) {
+            ++out.crcFailures;
+            ++i;
+            continue;
+        }
+
+        Frame f;
+        f.type = static_cast<FrameType>(readField(body, 0, typeBits));
+        f.seq = readField(body, typeBits, seqBits);
+        std::size_t len = readField(body, typeBits + seqBits, lenBits);
+        len = std::min(len, payloadBits);
+        std::size_t at = typeBits + seqBits + lenBits;
+        f.payload.assign(body.begin() + at, body.begin() + at + len);
+        out.frames.push_back(std::move(f));
+        i += preambleBits + coded;
+    }
+    return out;
+}
+
+} // namespace gpucc::covert::link

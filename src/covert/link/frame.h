@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Link-layer framing for the covert channels.
+ *
+ * The physical layers (Sections 4-7) move raw bits and lose or flip
+ * some of them under contention. The link layer packages payload into
+ * self-delimiting frames the receiver can validate:
+ *
+ *   | preamble 8 | type 2 | seq 4 | len 8 | payload P | crc 8 |
+ *
+ * The preamble (10101011) lets a receiver resynchronize after bit
+ * slips; type distinguishes DATA from the ACK/NACK control frames the
+ * ARQ layer returns on the duplex reverse direction; seq numbers frames
+ * modulo 16 (window <= 8 keeps the mapping unambiguous); len is the
+ * count of meaningful payload bits (the payload field itself is a fixed
+ * P bits per link, so frames never vary in size); CRC-8 (poly 0x07)
+ * covers type through payload.
+ *
+ * An optional inner error-correcting code protects everything after the
+ * preamble, trading rate for fewer retransmissions (the ARQ+FEC mode of
+ * bench_sec8_arq_link).
+ *
+ * Frame decoding is total: any bit stream — truncated, bit-flipped,
+ * duplicated, or pure garbage — yields a (possibly empty) list of
+ * CRC-valid frames and a count of rejected candidates.
+ */
+
+#ifndef GPUCC_COVERT_LINK_FRAME_H
+#define GPUCC_COVERT_LINK_FRAME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+
+namespace gpucc::covert
+{
+class ErrorCode;
+} // namespace gpucc::covert
+
+namespace gpucc::covert::link
+{
+
+/** Frame types (2-bit field). */
+enum class FrameType : unsigned
+{
+    Data = 0, //!< carries payload chunk `seq`
+    Ack = 1,  //!< seq = next needed; payload = out-of-order bitmap
+    Nack = 2, //!< seq = a frame known corrupt (advisory)
+    Idle = 3, //!< keepalive (sender waiting out a backoff)
+};
+
+constexpr unsigned preambleBits = 8;
+constexpr unsigned typeBits = 2;
+constexpr unsigned seqBits = 4;
+constexpr unsigned seqSpace = 1u << seqBits;
+constexpr unsigned lenBits = 8;
+constexpr unsigned crcBits = 8;
+
+/** The 10101011 sync pattern. */
+BitVec preamblePattern();
+
+/** Bit-serial CRC-8, polynomial x^8+x^2+x+1 (0x07), init 0. */
+std::uint8_t crc8(const BitVec &bits);
+
+/** One link-layer frame (payload length varies 0..payloadBits). */
+struct Frame
+{
+    FrameType type = FrameType::Idle;
+    unsigned seq = 0; //!< modulo seqSpace
+    BitVec payload;   //!< meaningful bits only (encode pads to P)
+};
+
+/**
+ * Serialize @p f into wire bits with a fixed payload field of
+ * @p payloadBits (payload is truncated/zero-padded to fit). When
+ * @p fec is non-null everything after the preamble is passed through
+ * it.
+ */
+BitVec encodeFrame(const Frame &f, std::size_t payloadBits,
+                   const ErrorCode *fec = nullptr);
+
+/** Wire size of any frame of a link with @p payloadBits / @p fec. */
+std::size_t frameWireBits(std::size_t payloadBits,
+                          const ErrorCode *fec = nullptr);
+
+/** Outcome of scanning a received bit stream. */
+struct FrameParse
+{
+    std::vector<Frame> frames;   //!< CRC-valid frames, in stream order
+    std::size_t crcFailures = 0; //!< preamble hits that failed the CRC
+};
+
+/**
+ * Scan @p stream for frames of a link with @p payloadBits / @p fec.
+ * Total: never fails, never reads out of bounds; invalid candidates
+ * advance the scan by one bit (resynchronization).
+ */
+FrameParse parseFrames(const BitVec &stream, std::size_t payloadBits,
+                       const ErrorCode *fec = nullptr);
+
+} // namespace gpucc::covert::link
+
+#endif // GPUCC_COVERT_LINK_FRAME_H

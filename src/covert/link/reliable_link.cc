@@ -1,0 +1,223 @@
+#include "covert/link/reliable_link.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "covert/coding/error_code.h"
+
+namespace gpucc::covert::link
+{
+
+namespace
+{
+
+/**
+ * Map a wire sequence number to an absolute frame index within the
+ * candidate range [lo, hi]. Window <= seqSpace/2 keeps at most one
+ * match. @return -1 when nothing in range carries @p seq.
+ */
+long
+absFromSeq(unsigned seq, std::size_t lo, std::size_t hi)
+{
+    for (std::size_t a = lo; a <= hi; ++a) {
+        if (a % seqSpace == seq)
+            return static_cast<long>(a);
+    }
+    return -1;
+}
+
+} // namespace
+
+ReliableLink::ReliableLink(LinkTransport &t, LinkConfig cfg_)
+    : transport(t), cfg(cfg_)
+{
+    GPUCC_ASSERT(cfg.payloadBits > 0 && cfg.payloadBits <= 255,
+                 "frame payload must fit the 8-bit len field");
+    GPUCC_ASSERT(cfg.window >= 1 && cfg.window <= seqSpace / 2,
+                 "ARQ window must be in [1, %u]", seqSpace / 2);
+}
+
+LinkResult
+ReliableLink::send(const BitVec &payload)
+{
+    LinkResult res;
+    res.finalPeriodScale = transport.periodScale();
+    if (payload.empty()) {
+        res.complete = true;
+        return res;
+    }
+
+    // Chunk the payload; every frame is payloadBits on the wire, the
+    // len field marks how much of the last one is real.
+    const std::size_t P = cfg.payloadBits;
+    const std::size_t nFrames = (payload.size() + P - 1) / P;
+    std::vector<BitVec> chunks(nFrames);
+    for (std::size_t i = 0; i < nFrames; ++i) {
+        std::size_t at = i * P;
+        std::size_t n = std::min(P, payload.size() - at);
+        chunks[i].assign(payload.begin() + at, payload.begin() + at + n);
+    }
+
+    // Sender A state.
+    struct TxState
+    {
+        bool acked = false;
+        unsigned sends = 0;
+        unsigned eligibleRound = 0;
+    };
+    std::vector<TxState> tx(nFrames);
+    std::size_t base = 0; //!< first unacked frame
+
+    // Receiver B state (ground truth of delivery; A learns via ACKs).
+    std::vector<bool> got(nFrames, false);
+    std::vector<BitVec> rxChunks(nFrames);
+    std::size_t nextNeeded = 0;
+
+    double scale = transport.periodScale();
+    unsigned cleanStreak = 0;
+    bool aborted = false;
+
+    for (unsigned round = 0; base < nFrames && round < cfg.maxRounds;
+         ++round) {
+        // --- A picks what to transmit this round. ---
+        Frame down;
+        long sending = -1;
+        std::size_t hi = std::min(base + cfg.window,
+                                  static_cast<std::size_t>(nFrames));
+        for (std::size_t i = base; i < hi; ++i) {
+            if (!tx[i].acked && tx[i].eligibleRound <= round) {
+                sending = static_cast<long>(i);
+                break;
+            }
+        }
+        if (sending >= 0) {
+            auto &s = tx[sending];
+            if (s.sends > cfg.maxRetries) {
+                // Retry budget drained: proceed anyway — give up on
+                // the transfer rather than hammer a dead channel.
+                aborted = true;
+                break;
+            }
+            ++s.sends;
+            // The ACK for this send can arrive one round later at the
+            // earliest; back off exponentially past that.
+            s.eligibleRound =
+                round + (1u << std::min(s.sends, 6u));
+            down.type = FrameType::Data;
+            down.seq = static_cast<unsigned>(sending) % seqSpace;
+            down.payload = chunks[sending];
+            ++res.dataFramesSent;
+            if (s.sends > 1)
+                ++res.retransmissions;
+        } else {
+            down.type = FrameType::Idle;
+        }
+
+        // --- B's ACK describes its state before this round. ---
+        Frame up;
+        up.type = FrameType::Ack;
+        up.seq = static_cast<unsigned>(nextNeeded) % seqSpace;
+        up.payload.assign(std::min<std::size_t>(P, cfg.window), 0);
+        for (std::size_t i = 0; i < up.payload.size(); ++i) {
+            std::size_t a = nextNeeded + 1 + i;
+            if (a < nFrames && got[a])
+                up.payload[i] = 1;
+        }
+        ++res.ackFramesSent;
+
+        // --- One simultaneous physical exchange. ---
+        TransportResult ex = transport.exchange(
+            encodeFrame(down, P, cfg.innerFec),
+            encodeFrame(up, P, cfg.innerFec));
+        ++res.rounds;
+        res.seconds += ex.seconds;
+        res.phy.add(ex.robustness);
+
+        // --- B parses the forward stream. ---
+        FrameParse atB = parseFrames(ex.atB, P, cfg.innerFec);
+        res.frameErrors += static_cast<unsigned>(atB.crcFailures);
+        for (const Frame &f : atB.frames) {
+            if (f.type != FrameType::Data)
+                continue;
+            long a = absFromSeq(f.seq, nextNeeded,
+                                std::min(nextNeeded + cfg.window - 1,
+                                         nFrames - 1));
+            if (a < 0 || got[a])
+                continue; // stale duplicate or out of window
+            got[a] = true;
+            rxChunks[a] = f.payload;
+            while (nextNeeded < nFrames && got[nextNeeded])
+                ++nextNeeded;
+        }
+
+        // --- A parses the reverse stream. ---
+        FrameParse atA = parseFrames(ex.atA, P, cfg.innerFec);
+        res.frameErrors += static_cast<unsigned>(atA.crcFailures);
+        for (const Frame &f : atA.frames) {
+            if (f.type != FrameType::Ack)
+                continue;
+            long a = absFromSeq(f.seq, base,
+                                std::min(base + cfg.window, nFrames));
+            if (a < 0)
+                continue; // stale beyond ambiguity range
+            for (std::size_t i = base; i < static_cast<std::size_t>(a);
+                 ++i)
+                tx[i].acked = true;
+            for (std::size_t i = 0; i < f.payload.size(); ++i) {
+                std::size_t sel = static_cast<std::size_t>(a) + 1 + i;
+                if (f.payload[i] && sel < nFrames)
+                    tx[sel].acked = true;
+            }
+            while (base < nFrames && tx[base].acked)
+                ++base;
+        }
+
+        // --- Rate control: errors stretch the period, clean rounds
+        // win it back. A lost frame parses as an empty frame list. ---
+        bool errored = atB.crcFailures > 0 || atA.crcFailures > 0 ||
+                       atB.frames.empty() || atA.frames.empty();
+        if (atB.frames.empty())
+            ++res.frameErrors;
+        if (atA.frames.empty())
+            ++res.frameErrors;
+        if (cfg.adaptiveRate) {
+            if (errored) {
+                cleanStreak = 0;
+                scale = std::min(scale * cfg.rateBackoff,
+                                 cfg.maxPeriodScale);
+                transport.setPeriodScale(scale);
+            } else if (++cleanStreak >= cfg.cleanRoundsToNarrow) {
+                cleanStreak = 0;
+                scale = std::max(1.0, scale * cfg.rateRecovery);
+                transport.setPeriodScale(scale);
+            }
+        }
+    }
+
+    res.complete = base >= nFrames && !aborted;
+    res.framesGivenUp =
+        static_cast<unsigned>(nFrames - std::min(base, nFrames));
+    res.finalPeriodScale = transport.periodScale();
+
+    // B delivers the in-order prefix (selective-repeat reassembly).
+    for (std::size_t i = 0; i < nextNeeded; ++i)
+        res.payload.insert(res.payload.end(), rxChunks[i].begin(),
+                           rxChunks[i].end());
+
+    std::size_t wire = frameWireBits(P, cfg.innerFec);
+    if (res.seconds > 0.0) {
+        res.goodputBps =
+            static_cast<double>(res.payload.size()) / res.seconds;
+        res.rawBandwidthBps =
+            static_cast<double>(res.rounds) * 2.0 *
+            static_cast<double>(wire) / res.seconds;
+    }
+    unsigned framesOnWire = res.dataFramesSent + res.ackFramesSent +
+                            (res.rounds - res.dataFramesSent);
+    if (framesOnWire > 0)
+        res.frameErrorRate = static_cast<double>(res.frameErrors) /
+                             static_cast<double>(framesOnWire);
+    return res;
+}
+
+} // namespace gpucc::covert::link

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reliable ARQ link over an unreliable covert transport.
+ *
+ * The raw channels tolerate noise statistically (thresholds, FEC); this
+ * layer makes delivery *reliable*: payload is chunked into CRC-framed
+ * segments (frame.h), sent with selective-repeat ARQ (window 1 =
+ * stop-and-wait), acknowledged on the reverse direction of the same
+ * duplex exchange, and retransmitted under exponential backoff until
+ * delivered — or until the retry budget runs out, in which case the
+ * link *proceeds anyway* and reports the transfer incomplete, honoring
+ * the PROTOCOL.md no-deadlock invariant end to end.
+ *
+ * Because each exchange is simultaneous, an ACK always describes the
+ * receiver's state *before* the round it travels in; the sender's
+ * picture lags one round, which the eligibility schedule accounts for.
+ *
+ * Adaptive rate control closes the loop with the physical layer: frame
+ * errors widen the symbol period (LinkTransport::setPeriodScale), clean
+ * rounds narrow it back — the link slows down through an interference
+ * burst instead of burning its retry budget at full speed.
+ */
+
+#ifndef GPUCC_COVERT_LINK_RELIABLE_LINK_H
+#define GPUCC_COVERT_LINK_RELIABLE_LINK_H
+
+#include <cstdint>
+
+#include "common/bitstream.h"
+#include "covert/counters.h"
+#include "covert/link/frame.h"
+#include "covert/link/transport.h"
+
+namespace gpucc::covert::link
+{
+
+/** Link-layer tuning knobs. */
+struct LinkConfig
+{
+    std::size_t payloadBits = 32; //!< payload field per frame
+    unsigned window = 4;          //!< <= 8; 1 = stop-and-wait
+    unsigned maxRetries = 12;     //!< per-frame resends before giving up
+    unsigned maxRounds = 600;     //!< hard bound on exchanges
+    const ErrorCode *innerFec = nullptr; //!< optional body FEC (non-owning)
+
+    // Adaptive rate control.
+    bool adaptiveRate = true;
+    double rateBackoff = 1.4;  //!< period multiplier on an errored round
+    double rateRecovery = 0.8; //!< multiplier after a clean streak
+    unsigned cleanRoundsToNarrow = 4;
+    double maxPeriodScale = 8.0;
+};
+
+/** Outcome of one reliable transfer. */
+struct LinkResult
+{
+    BitVec payload;        //!< what the receiver assembled
+    bool complete = false; //!< every frame delivered and acknowledged
+    unsigned rounds = 0;          //!< physical exchanges performed
+    unsigned dataFramesSent = 0;  //!< DATA frames (incl. retransmits)
+    unsigned retransmissions = 0; //!< DATA frames sent more than once
+    unsigned ackFramesSent = 0;
+    unsigned frameErrors = 0;     //!< CRC rejects seen at either end
+    unsigned framesGivenUp = 0;   //!< frames whose retry budget drained
+    double seconds = 0.0;         //!< total device time
+    double goodputBps = 0.0;      //!< payload bits / seconds
+    double rawBandwidthBps = 0.0; //!< wire bits pushed / seconds
+    double frameErrorRate = 0.0;  //!< rejects / frames sent (both dirs)
+    double finalPeriodScale = 1.0;
+    RobustnessCounters phy; //!< physical-layer recovery, aggregated
+};
+
+/** Selective-repeat ARQ endpoint pair driving one transport. */
+class ReliableLink
+{
+  public:
+    /** @param t Physical layer (must outlive the link). */
+    explicit ReliableLink(LinkTransport &t, LinkConfig cfg = {});
+
+    /** Deliver @p payload from A to B. Never deadlocks: bounded by
+     *  config().maxRounds and the per-frame retry budget. */
+    LinkResult send(const BitVec &payload);
+
+    const LinkConfig &config() const { return cfg; }
+
+  private:
+    LinkTransport &transport;
+    LinkConfig cfg;
+};
+
+} // namespace gpucc::covert::link
+
+#endif // GPUCC_COVERT_LINK_RELIABLE_LINK_H

@@ -1,0 +1,85 @@
+#include "covert/link/transport.h"
+
+#include <algorithm>
+
+#include "covert/sync/duplex_channel.h"
+
+namespace gpucc::covert::link
+{
+
+TransportResult
+DuplexLinkTransport::exchange(const BitVec &aToB, const BitVec &bToA)
+{
+    DuplexResult r = chan.exchange(aToB, bToA);
+    TransportResult out;
+    out.atB = r.aToB.received;
+    out.atA = r.bToA.received;
+    out.ticks = std::max(r.aToB.windowTicks, r.bToA.windowTicks);
+    out.seconds = std::max(r.aToB.seconds, r.bToA.seconds);
+    out.robustness = r.aToB.robustness;
+    out.robustness.add(r.bToA.robustness);
+    return out;
+}
+
+void
+DuplexLinkTransport::setPeriodScale(double scale)
+{
+    chan.setPeriodScale(scale);
+}
+
+double
+DuplexLinkTransport::periodScale() const
+{
+    return chan.periodScale();
+}
+
+BitVec
+LossyTransport::corrupt(const BitVec &bits)
+{
+    if (cfg.dropProb > 0.0 && rng.bernoulli(cfg.dropProb))
+        return {};
+
+    BitVec out = bits;
+    double flip = cfg.flipProb;
+    if (cfg.scaleFlipsWithPeriod && scale > 1.0)
+        flip /= scale;
+    if (flip > 0.0) {
+        for (auto &b : out) {
+            if (rng.bernoulli(flip))
+                b ^= 1;
+        }
+    }
+    if (!out.empty() && cfg.duplicateProb > 0.0 &&
+        rng.bernoulli(cfg.duplicateProb)) {
+        // Re-deliver a chunk in place (a repeated symbol run).
+        std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(out.size() - 1)));
+        std::size_t n = std::min<std::size_t>(
+            static_cast<std::size_t>(rng.uniformInt(1, 16)),
+            out.size() - at);
+        BitVec chunk(out.begin() + at, out.begin() + at + n);
+        out.insert(out.begin() + at, chunk.begin(), chunk.end());
+    }
+    if (!out.empty() && cfg.truncateProb > 0.0 &&
+        rng.bernoulli(cfg.truncateProb)) {
+        std::size_t keep = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(out.size())));
+        out.resize(keep);
+    }
+    return out;
+}
+
+TransportResult
+LossyTransport::exchange(const BitVec &aToB, const BitVec &bToA)
+{
+    ++count;
+    TransportResult out;
+    out.atB = corrupt(aToB);
+    out.atA = corrupt(bToA);
+    double bits = static_cast<double>(std::max(aToB.size(), bToA.size()));
+    out.seconds = bits * cfg.secondsPerBit * scale;
+    out.ticks = static_cast<Tick>(bits) * 1000;
+    return out;
+}
+
+} // namespace gpucc::covert::link

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The physical layer under the reliable link: one simultaneous
+ * bidirectional bit exchange per call.
+ *
+ * DuplexLinkTransport adapts the Section 7 duplex L1 channel; the ARQ
+ * layer sends its DATA frame forward while the receiver's ACK frame
+ * travels the reverse direction of the same exchange. LossyTransport is
+ * a channel *model* — deterministic bit flips, truncation, duplication
+ * and outright drops — for exercising the link-layer state machine (and
+ * fuzzing it) without simulating a GPU.
+ */
+
+#ifndef GPUCC_COVERT_LINK_TRANSPORT_H
+#define GPUCC_COVERT_LINK_TRANSPORT_H
+
+#include <string>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "covert/counters.h"
+
+namespace gpucc::covert
+{
+class DuplexSyncChannel;
+} // namespace gpucc::covert
+
+namespace gpucc::covert::link
+{
+
+/** What one physical exchange delivered. */
+struct TransportResult
+{
+    BitVec atB; //!< forward bits as B received them
+    BitVec atA; //!< reverse bits as A received them
+    Tick ticks = 0;       //!< device-time cost of the exchange
+    double seconds = 0.0; //!< same, in seconds
+    RobustnessCounters robustness; //!< physical-layer recovery events
+};
+
+/** A full-duplex unreliable bit pipe. */
+class LinkTransport
+{
+  public:
+    virtual ~LinkTransport() = default;
+
+    /** Send @p aToB forward and @p bToA in reverse, simultaneously. */
+    virtual TransportResult exchange(const BitVec &aToB,
+                                     const BitVec &bToA) = 0;
+
+    /**
+     * Rate-control hook: stretch the symbol period by @p scale >= 1
+     * (slower but more noise-tolerant). Default: no-op.
+     */
+    virtual void setPeriodScale(double scale) { (void)scale; }
+
+    /** Current symbol-period stretch. */
+    virtual double periodScale() const { return 1.0; }
+
+    /** Transport name for tables. */
+    virtual std::string name() const = 0;
+};
+
+/** The real thing: frames ride the duplex L1 constant-cache channel. */
+class DuplexLinkTransport : public LinkTransport
+{
+  public:
+    /** @param ch Underlying channel (must outlive the transport). */
+    explicit DuplexLinkTransport(DuplexSyncChannel &ch) : chan(ch) {}
+
+    TransportResult exchange(const BitVec &aToB,
+                             const BitVec &bToA) override;
+    void setPeriodScale(double scale) override;
+    double periodScale() const override;
+    std::string name() const override { return "duplex-l1-const"; }
+
+  private:
+    DuplexSyncChannel &chan;
+};
+
+/** Corruption model of the LossyTransport. */
+struct LossyConfig
+{
+    double flipProb = 0.0;      //!< per-bit flip probability
+    double truncateProb = 0.0;  //!< per-direction: lose a random tail
+    double duplicateProb = 0.0; //!< per-direction: re-deliver a chunk
+    double dropProb = 0.0;      //!< per-direction: deliver nothing
+    /**
+     * Model rate control: an exchange at periodScale s suffers
+     * flipProb/s (wider symbols integrate more samples). Truncation,
+     * duplication and drops are timing faults and stay unscaled.
+     */
+    bool scaleFlipsWithPeriod = true;
+    double secondsPerBit = 1e-5; //!< synthetic timing for goodput math
+};
+
+/** Deterministic in-memory channel model (tests and fuzzing). */
+class LossyTransport : public LinkTransport
+{
+  public:
+    explicit LossyTransport(LossyConfig cfg = {}, std::uint64_t seed = 1)
+        : cfg(cfg), rng(seed)
+    {
+    }
+
+    TransportResult exchange(const BitVec &aToB,
+                             const BitVec &bToA) override;
+    void setPeriodScale(double s) override { scale = s < 1.0 ? 1.0 : s; }
+    double periodScale() const override { return scale; }
+    std::string name() const override { return "lossy-model"; }
+
+    /** Exchanges performed so far. */
+    unsigned exchanges() const { return count; }
+
+  private:
+    BitVec corrupt(const BitVec &bits);
+
+    LossyConfig cfg;
+    Rng rng;
+    double scale = 1.0;
+    unsigned count = 0;
+};
+
+} // namespace gpucc::covert::link
+
+#endif // GPUCC_COVERT_LINK_TRANSPORT_H

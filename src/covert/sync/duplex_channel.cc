@@ -35,11 +35,13 @@ makeDirection(const mem::CacheGeometry &geom, Addr base, unsigned dataSet,
 /** One sender round: announce, await the receiver, transmit the bit. */
 gpu::DeviceTask<void>
 senderRound(gpu::WarpCtx &ctx, const DirectionSets &mine, bool bit,
-            const ProtocolTiming &t)
+            const ProtocolTiming &t, RobustnessCounters *c)
 {
     for (unsigned attempt = 0; attempt < t.maxRetries; ++attempt) {
+        if (attempt > 0 && c)
+            ++c->retries;
         co_await primeSet(ctx, mine.rts);
-        if (co_await waitForSignal(ctx, mine.rtr, t))
+        if (co_await waitForSignal(ctx, mine.rtr, t, c))
             break;
     }
     if (bit)
@@ -51,10 +53,12 @@ senderRound(gpu::WarpCtx &ctx, const DirectionSets &mine, bool bit,
 /** One receiver round: await the sender, acknowledge, sample the bit. */
 gpu::DeviceTask<double>
 receiverRound(gpu::WarpCtx &ctx, const DirectionSets &mine,
-              const ProtocolTiming &t)
+              const ProtocolTiming &t, RobustnessCounters *c)
 {
     for (unsigned attempt = 0; attempt < t.maxRetries; ++attempt) {
-        if (co_await waitForSignal(ctx, mine.rts, t))
+        if (attempt > 0 && c)
+            ++c->retries;
+        if (co_await waitForSignal(ctx, mine.rts, t, c))
             break;
     }
     co_await primeSet(ctx, mine.rtr);
@@ -76,6 +80,13 @@ DuplexSyncChannel::DuplexSyncChannel(const gpu::ArchParams &arch_,
 
 DuplexSyncChannel::~DuplexSyncChannel() = default;
 
+void
+DuplexSyncChannel::setPeriodScale(double s)
+{
+    GPUCC_ASSERT(s >= 1.0, "period scale must be >= 1 (got %f)", s);
+    scale = s;
+}
+
 DuplexResult
 DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
 {
@@ -94,30 +105,45 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     DirectionSets revA = makeDirection(geom, aBase, 1, sets - 4, sets - 3);
     DirectionSets revB = makeDirection(geom, bBase, 1, sets - 4, sets - 3);
 
+    // Adaptive rate: stretch every pacing interval by the current
+    // scale. The detection thresholds are latency populations, not
+    // pacing, so they stay put.
     ProtocolTiming t = timing;
+    t.pollBackoffCycles = static_cast<Cycle>(t.pollBackoffCycles * scale);
+    t.settleCycles = static_cast<Cycle>(t.settleCycles * scale);
+    t.roundGuardCycles = static_cast<Cycle>(t.roundGuardCycles * scale);
+    t.setStaggerCycles = static_cast<Cycle>(t.setStaggerCycles * scale);
+
     BitVec fwdBits = aToB;
     BitVec revBits = bToA;
     unsigned fwdRounds = static_cast<unsigned>(fwdBits.size());
     unsigned revRounds = static_cast<unsigned>(revBits.size());
+
+    // One counters instance per direction, shared by that direction's
+    // sender and receiver warps across both kernels.
+    auto fwdCounters = std::make_shared<RobustnessCounters>();
+    auto revCounters = std::make_shared<RobustnessCounters>();
 
     // Application A: warp 0 sends forward, warp 1 receives reverse.
     gpu::KernelLaunch appA;
     appA.name = "duplex-A";
     appA.config.gridBlocks = arch.numSms;
     appA.config.threadsPerBlock = 2 * warpSize;
-    appA.body = [fwdA, revA, fwdBits, fwdRounds, revRounds,
-                 t](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+    appA.body = [fwdA, revA, fwdBits, fwdRounds, revRounds, t, fwdCounters,
+                 revCounters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
         if (ctx.smid() != 0)
             co_return;
         if (ctx.warpInBlock() == 0) {
             co_await primeSet(ctx, fwdA.rtr); // poll lines (sender waits)
             for (unsigned r = 0; r < fwdRounds; ++r)
-                co_await senderRound(ctx, fwdA, fwdBits[r] != 0, t);
+                co_await senderRound(ctx, fwdA, fwdBits[r] != 0, t,
+                                     fwdCounters.get());
         } else {
             co_await primeSet(ctx, revA.rts); // poll lines (receiver)
             co_await primeSet(ctx, revA.data);
             for (unsigned r = 0; r < revRounds; ++r) {
-                double avg = co_await receiverRound(ctx, revA, t);
+                double avg = co_await receiverRound(ctx, revA, t,
+                                                    revCounters.get());
                 ctx.out(static_cast<std::uint64_t>(avg * outScale));
             }
         }
@@ -129,21 +155,23 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     appB.name = "duplex-B";
     appB.config.gridBlocks = arch.numSms;
     appB.config.threadsPerBlock = 2 * warpSize;
-    appB.body = [fwdB, revB, revBits, fwdRounds, revRounds,
-                 t](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+    appB.body = [fwdB, revB, revBits, fwdRounds, revRounds, t, fwdCounters,
+                 revCounters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
         if (ctx.smid() != 0)
             co_return;
         if (ctx.warpInBlock() == 0) {
             co_await primeSet(ctx, fwdB.rts);
             co_await primeSet(ctx, fwdB.data);
             for (unsigned r = 0; r < fwdRounds; ++r) {
-                double avg = co_await receiverRound(ctx, fwdB, t);
+                double avg = co_await receiverRound(ctx, fwdB, t,
+                                                    fwdCounters.get());
                 ctx.out(static_cast<std::uint64_t>(avg * outScale));
             }
         } else {
             co_await primeSet(ctx, revB.rtr);
             for (unsigned r = 0; r < revRounds; ++r)
-                co_await senderRound(ctx, revB, revBits[r] != 0, t);
+                co_await senderRound(ctx, revB, revBits[r] != 0, t,
+                                     revCounters.get());
         }
         co_return;
     };
@@ -181,8 +209,10 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     DuplexResult out;
     out.aToB = decode(instB, 0, fwdBits);
     out.aToB.channelName = "duplex forward (A->B)";
+    out.aToB.robustness = *fwdCounters;
     out.bToA = decode(instA, 1, revBits);
     out.bToA.channelName = "duplex reverse (B->A)";
+    out.bToA.robustness = *revCounters;
 
     Tick window = std::max(instA.endTick(), instB.endTick()) -
                   std::min(instA.startTick(), instB.startTick());

@@ -60,10 +60,23 @@ class DuplexSyncChannel
     /** Harness accessor. */
     TwoPartyHarness &harness() { return *parties; }
 
+    /**
+     * Stretch the protocol's pacing intervals (poll backoff, settle,
+     * round guard, stagger) by @p scale >= 1. The link layer's adaptive
+     * rate control widens the symbol period when the frame-error rate
+     * rises and narrows it back when the channel runs clean; takes
+     * effect on the next exchange().
+     */
+    void setPeriodScale(double scale);
+
+    /** Current pacing scale (1.0 = the per-arch calibrated timing). */
+    double periodScale() const { return scale; }
+
   private:
     gpu::ArchParams arch;
     DuplexConfig cfg;
-    ProtocolTiming timing;
+    ProtocolTiming timing; //!< baseline (unscaled) per-arch timing
+    double scale = 1.0;
     std::unique_ptr<TwoPartyHarness> parties;
 };
 

@@ -54,7 +54,7 @@ probeSetAvg(gpu::WarpCtx &ctx, const std::vector<Addr> &addrs)
 
 gpu::DeviceTask<bool>
 waitForSignal(gpu::WarpCtx &ctx, const std::vector<Addr> &mine,
-              const ProtocolTiming &timing)
+              const ProtocolTiming &timing, RobustnessCounters *counters)
 {
     for (unsigned poll = 0; poll < timing.maxPolls; ++poll) {
         double avg = co_await probeSetAvg(ctx, mine);
@@ -64,11 +64,15 @@ waitForSignal(gpu::WarpCtx &ctx, const std::vector<Addr> &mine,
             // refills and the set would spuriously signal again next
             // round. One confirming pass restores ownership (pure hits
             // when the detection was clean).
+            if (counters)
+                ++counters->rearms;
             co_await probeSetAvg(ctx, mine);
             co_return true;
         }
         co_await ctx.sleep(timing.pollBackoffCycles);
     }
+    if (counters)
+        ++counters->timeouts;
     co_return false;
 }
 

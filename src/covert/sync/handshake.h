@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "covert/counters.h"
 #include "gpu/arch_params.h"
 #include "gpu/device_task.h"
 #include "gpu/warp_ctx.h"
@@ -77,11 +78,15 @@ gpu::DeviceTask<double> probeSetAvg(gpu::WarpCtx &ctx,
 
 /**
  * Poll the caller's lines until an eviction shows up.
+ *
+ * @param counters Optional robustness accounting: timeouts and re-arm
+ *        passes are recorded here (callers count their own retries).
  * @return true when the peer's signal was detected, false on timeout.
  */
 gpu::DeviceTask<bool> waitForSignal(gpu::WarpCtx &ctx,
                                     const std::vector<Addr> &mine,
-                                    const ProtocolTiming &timing);
+                                    const ProtocolTiming &timing,
+                                    RobustnessCounters *counters = nullptr);
 
 } // namespace gpucc::covert
 

@@ -86,6 +86,11 @@ SyncL1Channel::transmit(const BitVec &message)
     BitVec payload = message;
     payload.resize(static_cast<std::size_t>(rounds) * perRound, 0);
 
+    // Both kernels record their recovery events into one shared
+    // instance (the event loop is single-threaded, so plain increments
+    // are safe); the result carries a copy.
+    auto counters = std::make_shared<RobustnessCounters>();
+
     // ---- Trojan kernel -------------------------------------------------
     gpu::KernelLaunch trojanK;
     trojanK.name = "sync-trojan";
@@ -99,7 +104,7 @@ SyncL1Channel::transmit(const BitVec &message)
     }
     bool allSms = cfg.allSms;
     trojanK.body = [trojanPlan, payload, rounds, M, participants, t,
-                    allSms](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+                    allSms, counters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
         unsigned smSlot = allSms ? ctx.smid() : 0;
         if (!allSms && ctx.smid() != 0)
             co_return; // only the SM-0 pair participates
@@ -118,9 +123,11 @@ SyncL1Channel::transmit(const BitVec &message)
                 // Handshake: announce, then wait for the spy.
                 for (unsigned attempt = 0; attempt < t.maxRetries;
                      ++attempt) {
+                    if (attempt > 0)
+                        ++counters->retries;
                     co_await primeSet(ctx, trojanPlan.rts);
-                    bool ok =
-                        co_await waitForSignal(ctx, trojanPlan.rtr, t);
+                    bool ok = co_await waitForSignal(ctx, trojanPlan.rtr,
+                                                     t, counters.get());
                     if (ok)
                         break;
                 }
@@ -155,8 +162,8 @@ SyncL1Channel::transmit(const BitVec &message)
     spyK.config.threadsPerBlock = (M + 1) * warpSize;
     if (exclusive)
         spyK.config.smemBytesPerBlock = arch.limits.smemPerBlockBytes;
-    spyK.body = [spyPlan, rounds, M, t,
-                 allSms](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+    spyK.body = [spyPlan, rounds, M, t, allSms,
+                 counters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
         if (!allSms && ctx.smid() != 0)
             co_return;
         unsigned w = ctx.warpInBlock();
@@ -176,7 +183,10 @@ SyncL1Channel::transmit(const BitVec &message)
                 // stay aligned on round count.
                 for (unsigned attempt = 0; attempt < t.maxRetries;
                      ++attempt) {
-                    bool ok = co_await waitForSignal(ctx, spyPlan.rts, t);
+                    if (attempt > 0)
+                        ++counters->retries;
+                    bool ok = co_await waitForSignal(ctx, spyPlan.rts, t,
+                                                     counters.get());
                     if (ok)
                         break;
                 }
@@ -231,6 +241,7 @@ SyncL1Channel::transmit(const BitVec &message)
     }
     res.received.resize(message.size());
     res.report = compareBits(res.sent, res.received);
+    res.robustness = *counters;
     finalizeResult(res, arch, spy.endTick() - spy.startTick());
     return res;
 }

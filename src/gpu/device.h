@@ -23,6 +23,11 @@
 #include "mem/global_memory.h"
 #include "sim/event_queue.h"
 
+namespace gpucc::sim::fault
+{
+class FaultInjector;
+} // namespace gpucc::sim::fault
+
 namespace gpucc::gpu
 {
 
@@ -122,6 +127,17 @@ class Device
     /** Device-internal RNG (scheduler randomization, timer fuzz). */
     Rng &deviceRng() { return rng; }
 
+    /**
+     * Fault-injection hooks (sim/fault). The injector registers itself
+     * on arm() and detaches on destruction; device-side hot paths
+     * (clock reads, latency fuzz, warp resumes) query it when present.
+     * Null — the default — costs one predictable branch.
+     */
+    sim::fault::FaultInjector *faultHooks() const { return injector; }
+
+    /** Attach/detach the fault injector (FaultInjector only). */
+    void setFaultHooks(sim::fault::FaultInjector *inj) { injector = inj; }
+
   private:
     ArchParams params;
     sim::EventQueue queue;
@@ -137,6 +153,7 @@ class Device
     Addr globalBrk = 0;
     MitigationConfig mitigationCfg;
     Rng rng{0x6d69746967617465ULL};
+    sim::fault::FaultInjector *injector = nullptr;
 };
 
 } // namespace gpucc::gpu

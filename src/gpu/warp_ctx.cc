@@ -8,6 +8,7 @@
 #include "gpu/stream.h"
 #include "gpu/thread_block.h"
 #include "gpu/warp.h"
+#include "sim/fault/fault_injector.h"
 
 namespace gpucc::gpu
 {
@@ -32,6 +33,13 @@ WarpCtx::BarrierAwait::await_suspend(std::coroutine_handle<> h) const
 void
 WarpCtx::scheduleResume(std::coroutine_handle<> h, Tick when) const
 {
+    // An active warp-stall fault freezes this application's resumes
+    // until its window closes (one-sided preemption).
+    if (auto *inj = dev->faultHooks()) {
+        unsigned stream =
+            static_cast<unsigned>(blockPtr->kernel().stream().id());
+        when += inj->resumeDelayAt(stream, when);
+    }
     Warp *w = warpPtr;
     dev->events().schedule(when, [w, h] { w->resumeHandle(h); });
 }
@@ -54,13 +62,23 @@ WarpCtx::issueDispatch(Tick now) const
 std::uint64_t
 WarpCtx::fuzzLatency(std::uint64_t cycles) const
 {
+    std::int64_t noise = 0;
     // Section 9 mitigation (TimeWarp-style): every latency a program
     // observes carries uniform noise, drowning small contention deltas.
-    Cycle f = dev->mitigations().timerFuzzCycles;
-    if (f == 0)
+    if (Cycle f = dev->mitigations().timerFuzzCycles; f != 0) {
+        noise += dev->deviceRng().uniformInt(
+            -static_cast<std::int64_t>(f), static_cast<std::int64_t>(f));
+    }
+    // Fault-injected jitter windows: a stateless hash of (tick, warp)
+    // rather than the device RNG, so the perturbation itself never
+    // reorders the RNG stream other consumers see.
+    if (auto *inj = dev->faultHooks()) {
+        std::uint64_t salt = (std::uint64_t(smPtr->id()) << 32) |
+                             globalWarpId();
+        noise += inj->latencyJitterAt(dev->now(), salt);
+    }
+    if (noise == 0)
         return cycles;
-    std::int64_t noise = dev->deviceRng().uniformInt(
-        -static_cast<std::int64_t>(f), static_cast<std::int64_t>(f));
     std::int64_t v = static_cast<std::int64_t>(cycles) + noise;
     return v > 0 ? static_cast<std::uint64_t>(v) : 0;
 }
@@ -93,6 +111,10 @@ WarpCtx::clock()
     Tick start = issueDispatch(now);
     Tick done = start + cyclesToTicks(arch.clockReadCycles);
     Cycle q = arch.clockQuantumCycles ? arch.clockQuantumCycles : 1;
+    // A clock-degrade fault window may demand a coarser counter than
+    // the architecture (or active mitigation) provides.
+    if (auto *inj = dev->faultHooks())
+        q = std::max(q, std::max<Cycle>(inj->clockQuantumAt(now), 1));
     Cycle value = (ticksToCycles(start) / q) * q;
     return Await(*this, done, value);
 }

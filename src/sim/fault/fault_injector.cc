@@ -1,0 +1,298 @@
+#include "sim/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/device.h"
+#include "gpu/stream.h"
+#include "mem/cache_geometry.h"
+#include "sim/exec/sweep_runner.h"
+#include "workloads/interference.h"
+
+namespace gpucc::sim::fault
+{
+
+namespace
+{
+
+/** Stateless 64-bit mix of (seed, spec, occurrence, salt). */
+std::uint64_t
+mix(std::uint64_t seed, std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    using exec::splitmix64;
+    return splitmix64(seed ^ splitmix64(a + splitmix64(b + splitmix64(c))));
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(gpu::Device &dev_, FaultPlan plan_,
+                             std::uint64_t seed_)
+    : dev(dev_), thePlan(std::move(plan_)), seed(seed_)
+{
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (dev.faultHooks() == this)
+        dev.setFaultHooks(nullptr);
+}
+
+Tick
+FaultInjector::occurrenceTick(const FaultSpec &f, std::size_t specIdx,
+                              unsigned k, Tick base) const
+{
+    Tick t = base + cyclesToTicks(f.startCycle) +
+             Tick(k) * cyclesToTicks(f.periodCycles);
+    if (f.jitterCycles > 0) {
+        Cycle j = static_cast<Cycle>(mix(seed, specIdx, k, 0x6a69) %
+                                     (f.jitterCycles + 1));
+        t += cyclesToTicks(j);
+    }
+    return t;
+}
+
+void
+FaultInjector::armInterferer(const FaultSpec &f, std::size_t specIdx,
+                             Tick base)
+{
+    workloads::WorkloadSpec spec;
+    spec.blocks = f.blocks;
+    spec.threadsPerBlock = f.threadsPerBlock;
+    spec.iterations = f.iterations;
+
+    InterfererState st;
+    switch (f.interferer) {
+      case InterfererKind::ConstWalker:
+        st.prototype = workloads::makeConstantMemoryWorkload(dev, spec);
+        break;
+      case InterfererKind::Compute:
+        st.prototype = workloads::makeComputeWorkload(spec);
+        break;
+      case InterfererKind::SharedMem:
+        st.prototype =
+            workloads::makeSharedMemoryWorkload(spec, 8 * 1024);
+        break;
+      case InterfererKind::Streaming:
+        st.prototype = workloads::makeStreamingWorkload(dev, spec);
+        break;
+    }
+    st.prototype.name = f.name;
+    st.stream = &dev.createStream();
+    interferers[specIdx] = st;
+
+    for (unsigned k = 0; k < f.repeat; ++k) {
+        Tick when = occurrenceTick(f, specIdx, k, base);
+        dev.events().schedule(when, [this, specIdx] {
+            if (!isArmed)
+                return;
+            const InterfererState &s = interferers[specIdx];
+            // In-order streams serialize back-to-back bursts of one
+            // spec by themselves; submitting from an event keeps the
+            // launch inside global tick order.
+            dev.submit(*s.stream, s.prototype, dev.now());
+            ++counts.burstsLaunched;
+        });
+    }
+}
+
+void
+FaultInjector::armCacheThrash(const FaultSpec &f, std::size_t specIdx,
+                              Tick base)
+{
+    GPUCC_ASSERT(f.setEnd > f.setBegin, "thrash fault '%s' has an empty "
+                                        "set range",
+                 f.name.c_str());
+    const mem::CacheGeometry &geom = f.thrashL2
+                                         ? dev.arch().constMem.l2
+                                         : dev.arch().constMem.l1;
+    GPUCC_ASSERT(f.setEnd <= geom.numSets(),
+                 "thrash fault '%s' targets set %u of a %zu-set cache",
+                 f.name.c_str(), f.setEnd - 1, geom.numSets());
+
+    // The injector's own line addresses: one array per spec, aligned so
+    // set indices are preserved, never overlapping a kernel's arrays.
+    Addr stride = Addr(geom.numSets()) * geom.lineBytes;
+    Addr arr = dev.allocConst(geom.sizeBytes, stride);
+    std::vector<Addr> addrs;
+    for (unsigned set = f.setBegin; set < f.setEnd; ++set) {
+        for (unsigned way = 0; way < geom.ways; ++way) {
+            addrs.push_back(arr + Addr(set) * geom.lineBytes +
+                            Addr(way) * stride);
+        }
+    }
+    thrashAddrs[specIdx] = std::move(addrs);
+
+    // A window with intra-period spacing re-fires inside each
+    // occurrence window; duration 0 means a single pass per occurrence.
+    for (unsigned k = 0; k < f.repeat; ++k) {
+        Tick start = occurrenceTick(f, specIdx, k, base);
+        unsigned passes = 1;
+        if (f.durationCycles > 0 && f.intraPeriodCycles > 0) {
+            passes = static_cast<unsigned>(f.durationCycles /
+                                           f.intraPeriodCycles) +
+                     1;
+        }
+        for (unsigned j = 0; j < passes; ++j) {
+            Tick when = start + Tick(j) * cyclesToTicks(f.intraPeriodCycles);
+            dev.events().schedule(when, [this, specIdx] {
+                if (!isArmed)
+                    return;
+                thrashOnce(thePlan.faults[specIdx],
+                           thrashAddrs[specIdx]);
+            });
+        }
+    }
+}
+
+void
+FaultInjector::thrashOnce(const FaultSpec &f, const std::vector<Addr> &addrs)
+{
+    // Distinct "application" identity per spec so eviction traces and
+    // way-partitioning treat the injector as a foreign tenant.
+    int app = 9000 + static_cast<int>(f.setBegin);
+    Tick now = dev.now();
+    unsigned smBegin = f.targetSm < 0 ? 0u
+                                      : static_cast<unsigned>(f.targetSm);
+    unsigned smEnd = f.targetSm < 0 ? dev.numSms() : smBegin + 1;
+    for (unsigned sm = smBegin; sm < smEnd; ++sm) {
+        for (Addr a : addrs)
+            dev.constMem().access(sm, a, now, -1, app);
+    }
+    ++counts.thrashPasses;
+}
+
+void
+FaultInjector::armWindows(const FaultSpec &f, std::size_t specIdx,
+                          Tick base, std::vector<Window> &out)
+{
+    for (unsigned k = 0; k < f.repeat; ++k) {
+        Window w;
+        w.begin = occurrenceTick(f, specIdx, k, base);
+        w.end = w.begin + cyclesToTicks(f.durationCycles);
+        w.specIdx = specIdx;
+        out.push_back(w);
+    }
+}
+
+void
+FaultInjector::arm()
+{
+    GPUCC_ASSERT(!isArmed, "fault injector armed twice");
+    GPUCC_ASSERT(dev.faultHooks() == nullptr,
+                 "device already has a fault injector attached");
+    isArmed = true;
+    dev.setFaultHooks(this);
+    Tick base = dev.now();
+
+    interferers.resize(thePlan.faults.size());
+    thrashAddrs.resize(thePlan.faults.size());
+    for (std::size_t i = 0; i < thePlan.faults.size(); ++i) {
+        const FaultSpec &f = thePlan.faults[i];
+        switch (f.kind) {
+          case FaultKind::InterfererBurst:
+            armInterferer(f, i, base);
+            break;
+          case FaultKind::CacheThrash:
+            armCacheThrash(f, i, base);
+            break;
+          case FaultKind::ClockDegrade:
+            armWindows(f, i, base, clockWins);
+            counts.clockWindows += f.repeat;
+            break;
+          case FaultKind::WarpStall:
+            armWindows(f, i, base, stallWins);
+            counts.stallWindows += f.repeat;
+            break;
+        }
+    }
+    auto byBegin = [](const Window &a, const Window &b) {
+        return a.begin < b.begin;
+    };
+    std::sort(clockWins.begin(), clockWins.end(), byBegin);
+    std::sort(stallWins.begin(), stallWins.end(), byBegin);
+}
+
+void
+FaultInjector::disarm()
+{
+    isArmed = false;
+}
+
+namespace
+{
+
+/**
+ * Binary-search helper: visit every window of a begin-sorted list that
+ * covers @p t. Windows of different specs may overlap, so after
+ * locating the first window starting after @p t we walk backwards
+ * while a window could still cover it (plans carry a handful of specs;
+ * in practice this touches 1-3 entries).
+ */
+template <typename Fn>
+void
+coveringWindows(const std::vector<FaultInjector::Window> &wins, Tick t,
+                Fn &&fn)
+{
+    if (wins.empty())
+        return;
+    auto it = std::upper_bound(
+        wins.begin(), wins.end(), t,
+        [](Tick v, const FaultInjector::Window &w) { return v < w.begin; });
+    while (it != wins.begin()) {
+        --it;
+        if (t < it->end)
+            fn(*it);
+        // Earlier windows of the same spec ended before this one began;
+        // keep scanning only for overlapping windows of other specs.
+        // A small fixed lookback bounds the scan.
+        if (it->begin + (it->end - it->begin) * 4 < t)
+            break;
+    }
+}
+
+} // namespace
+
+Cycle
+FaultInjector::clockQuantumAt(Tick now) const
+{
+    if (!isArmed)
+        return 0;
+    Cycle q = 0;
+    coveringWindows(clockWins, now, [&](const Window &w) {
+        q = std::max(q, thePlan.faults[w.specIdx].quantumCycles);
+    });
+    return q;
+}
+
+std::int64_t
+FaultInjector::latencyJitterAt(Tick now, std::uint64_t salt) const
+{
+    if (!isArmed)
+        return 0;
+    Cycle amp = 0;
+    coveringWindows(clockWins, now, [&](const Window &w) {
+        amp = std::max(amp, thePlan.faults[w.specIdx].latencyJitterCycles);
+    });
+    if (amp == 0)
+        return 0;
+    std::uint64_t h = mix(seed, now, salt, 0x6a74);
+    return static_cast<std::int64_t>(h % (2 * amp + 1)) -
+           static_cast<std::int64_t>(amp);
+}
+
+Tick
+FaultInjector::resumeDelayAt(unsigned streamId, Tick when)
+{
+    if (!isArmed || stallWins.empty())
+        return 0;
+    Tick delay = 0;
+    coveringWindows(stallWins, when, [&](const Window &w) {
+        if (thePlan.faults[w.specIdx].victimStream == streamId)
+            delay = std::max(delay, w.end - when);
+    });
+    if (delay > 0)
+        ++counts.stallsApplied;
+    return delay;
+}
+
+} // namespace gpucc::sim::fault

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Seed-deterministic execution of a FaultPlan against a live Device.
+ *
+ * The injector schedules every fault occurrence on the device's event
+ * queue at arm() time, so fault activity interleaves with the simulated
+ * kernels in global tick order — the same (plan, seed) pair replays a
+ * failure scenario bit-identically, independent of host thread count
+ * (each Device owns its injector; nothing is shared across trials).
+ *
+ * Two fault families act through the queue (interferer launches,
+ * cache-set thrash); two act through query hooks the device-side code
+ * calls on its own hot paths (clock degradation in WarpCtx::clock and
+ * the latency fuzz path, warp stalls in WarpCtx::scheduleResume). The
+ * hooks are pure functions of (spec windows, seed, tick), so they add
+ * no hidden state and cost nothing when no injector is attached.
+ */
+
+#ifndef GPUCC_SIM_FAULT_FAULT_INJECTOR_H
+#define GPUCC_SIM_FAULT_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/kernel.h"
+#include "sim/fault/fault_plan.h"
+
+namespace gpucc::gpu
+{
+class Device;
+class Stream;
+} // namespace gpucc::gpu
+
+namespace gpucc::sim::fault
+{
+
+/** What the injector actually did (tests assert faults fired). */
+struct FaultStats
+{
+    unsigned burstsLaunched = 0; //!< interferer kernels submitted
+    unsigned thrashPasses = 0;   //!< cache-set eviction passes
+    unsigned clockWindows = 0;   //!< clock-degrade windows armed
+    unsigned stallWindows = 0;   //!< warp-stall windows armed
+    std::uint64_t stallsApplied = 0; //!< resumes deferred by a stall
+};
+
+/** Drives one FaultPlan against one Device. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param dev Target device (must outlive the injector).
+     * @param plan Scenario to execute.
+     * @param seed Jitter seed; (plan, seed) fully determines behavior.
+     */
+    FaultInjector(gpu::Device &dev, FaultPlan plan, std::uint64_t seed = 1);
+
+    /** Detaches the hooks from the device. */
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Schedule every occurrence and attach the query hooks. Call once,
+     * before (or while) the experiment runs; occurrences are placed
+     * relative to the device's current tick.
+     */
+    void arm();
+
+    /**
+     * Stop injecting: already-queued occurrences become no-ops and the
+     * hooks report no active windows. The queue still drains normally.
+     */
+    void disarm();
+
+    /** @return true between arm() and disarm(). */
+    bool armed() const { return isArmed; }
+
+    /** Executed-fault accounting. */
+    const FaultStats &stats() const { return counts; }
+
+    /** The plan being executed. */
+    const FaultPlan &plan() const { return thePlan; }
+
+    // ---- Hooks (device-side code queries these on its hot paths) ----
+
+    /** Largest clock() quantum demanded by a window active at @p now
+     *  (0 = no degradation). */
+    Cycle clockQuantumAt(Tick now) const;
+
+    /**
+     * Deterministic latency perturbation at @p now (cycles, may be
+     * negative). @p salt decorrelates call sites within one tick.
+     */
+    std::int64_t latencyJitterAt(Tick now, std::uint64_t salt) const;
+
+    /**
+     * Extra delay for a warp resume of @p streamId scheduled at
+     * @p when: the remainder of any stall window covering @p when
+     * whose victim stream matches (0 = run on time).
+     */
+    Tick resumeDelayAt(unsigned streamId, Tick when);
+
+    /** A [begin, end) activity window of one spec (internal, public
+     *  only so free helpers in the implementation can take it). */
+    struct Window
+    {
+        Tick begin = 0;
+        Tick end = 0;
+        std::size_t specIdx = 0;
+    };
+
+  private:
+    /** Occurrence k's start tick (seeded jitter included). */
+    Tick occurrenceTick(const FaultSpec &f, std::size_t specIdx,
+                        unsigned k, Tick base) const;
+
+    void armInterferer(const FaultSpec &f, std::size_t specIdx, Tick base);
+    void armCacheThrash(const FaultSpec &f, std::size_t specIdx,
+                        Tick base);
+    void armWindows(const FaultSpec &f, std::size_t specIdx, Tick base,
+                    std::vector<Window> &out);
+
+    /** One eviction pass over the spec's target sets. */
+    void thrashOnce(const FaultSpec &f, const std::vector<Addr> &addrs);
+
+    gpu::Device &dev;
+    FaultPlan thePlan;
+    std::uint64_t seed;
+    bool isArmed = false;
+    FaultStats counts;
+
+    /** Sorted (by begin) windows per hook family. */
+    std::vector<Window> clockWins;
+    std::vector<Window> stallWins;
+
+    /** Per-interferer-spec prototype launch and private stream. */
+    struct InterfererState
+    {
+        gpu::KernelLaunch prototype;
+        gpu::Stream *stream = nullptr;
+    };
+    std::vector<InterfererState> interferers; //!< indexed by spec
+    std::vector<std::vector<Addr>> thrashAddrs; //!< indexed by spec
+};
+
+} // namespace gpucc::sim::fault
+
+#endif // GPUCC_SIM_FAULT_FAULT_INJECTOR_H

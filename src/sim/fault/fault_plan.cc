@@ -1,0 +1,215 @@
+#include "sim/fault/fault_plan.h"
+
+#include "common/log.h"
+
+namespace gpucc::sim::fault
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::InterfererBurst:
+        return "interferer-burst";
+      case FaultKind::ClockDegrade:
+        return "clock-degrade";
+      case FaultKind::WarpStall:
+        return "warp-stall";
+      case FaultKind::CacheThrash:
+        return "cache-thrash";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * The presets are tuned against the Kepler duplex channel (the link
+ * layer's substrate): its round period is ~15-25k cycles, a 60-bit
+ * frame exchange ~1.5M cycles. Faults therefore come in *trains* with
+ * multi-frame quiet gaps — dense enough to corrupt a sizeable fraction
+ * of raw bits, sparse enough that a retransmitted frame can land clean.
+ */
+
+FaultPlan
+burstyPlan()
+{
+    FaultPlan p;
+    p.name = "bursty";
+
+    FaultSpec walker;
+    walker.name = "const-walker-burst";
+    walker.kind = FaultKind::InterfererBurst;
+    walker.interferer = InterfererKind::ConstWalker;
+    walker.blocks = 4;
+    walker.threadsPerBlock = 128;
+    walker.iterations = 250;
+    walker.startCycle = 150'000;
+    walker.periodCycles = 7'800'000;
+    walker.jitterCycles = 400'000;
+    walker.repeat = 120;
+    p.faults.push_back(walker);
+
+    FaultSpec compute;
+    compute.name = "compute-burst";
+    compute.kind = FaultKind::InterfererBurst;
+    compute.interferer = InterfererKind::Compute;
+    compute.blocks = 4;
+    compute.iterations = 350;
+    compute.startCycle = 1'300'000;
+    compute.periodCycles = 9'400'000;
+    compute.jitterCycles = 500'000;
+    compute.repeat = 90;
+    p.faults.push_back(compute);
+
+    FaultSpec thrash;
+    thrash.name = "occasional-set-thrash";
+    thrash.kind = FaultKind::CacheThrash;
+    thrash.setBegin = 0;
+    thrash.setEnd = 2;
+    thrash.targetSm = 0;
+    thrash.startCycle = 900'000;
+    thrash.periodCycles = 11'000'000;
+    thrash.durationCycles = 60'000;
+    thrash.intraPeriodCycles = 18'000;
+    thrash.jitterCycles = 600'000;
+    thrash.repeat = 60;
+    p.faults.push_back(thrash);
+
+    return p;
+}
+
+FaultPlan
+adversarialPlan()
+{
+    FaultPlan p;
+    p.name = "adversarial";
+
+    // Dense eviction trains on the duplex data sets (fwd set 0, rev
+    // set 1): every probe inside a train reads misses and decodes 1.
+    FaultSpec data;
+    data.name = "data-set-thrash";
+    data.kind = FaultKind::CacheThrash;
+    data.setBegin = 0;
+    data.setEnd = 2;
+    data.targetSm = 0;
+    data.startCycle = 60'000;
+    data.periodCycles = 2'700'000;
+    data.durationCycles = 170'000;
+    data.intraPeriodCycles = 11'000;
+    data.jitterCycles = 120'000;
+    data.repeat = 700;
+    p.faults.push_back(data);
+
+    // Trains on the handshake sets (RTS/RTR live in the top four sets
+    // of the 8-set Kepler L1): spurious signals and missed
+    // announcements — timeouts and retries.
+    FaultSpec shake;
+    shake.name = "handshake-set-thrash";
+    shake.kind = FaultKind::CacheThrash;
+    shake.setBegin = 4;
+    shake.setEnd = 8;
+    shake.targetSm = 0;
+    shake.startCycle = 650'000;
+    shake.periodCycles = 5'600'000;
+    shake.durationCycles = 80'000;
+    shake.intraPeriodCycles = 14'000;
+    shake.jitterCycles = 200'000;
+    shake.repeat = 320;
+    p.faults.push_back(shake);
+
+    // Timer degradation windows: coarse clock() plus latency jitter
+    // that blurs the hit/miss populations near the decode threshold.
+    FaultSpec clock;
+    clock.name = "timer-degrade";
+    clock.kind = FaultKind::ClockDegrade;
+    clock.quantumCycles = 32;
+    clock.latencyJitterCycles = 12;
+    clock.startCycle = 250'000;
+    clock.periodCycles = 6'400'000;
+    clock.durationCycles = 300'000;
+    clock.jitterCycles = 250'000;
+    clock.repeat = 260;
+    p.faults.push_back(clock);
+
+    // One-sided preemption of the spy application: its warps freeze for
+    // the window while the trojan keeps going.
+    FaultSpec stall;
+    stall.name = "spy-preemption";
+    stall.kind = FaultKind::WarpStall;
+    stall.victimStream = 1;
+    stall.startCycle = 1'500'000;
+    stall.periodCycles = 9'300'000;
+    stall.durationCycles = 35'000;
+    stall.jitterCycles = 400'000;
+    stall.repeat = 170;
+    p.faults.push_back(stall);
+
+    return p;
+}
+
+FaultPlan
+datacenterPlan()
+{
+    FaultPlan p;
+    p.name = "datacenter";
+
+    const InterfererKind kinds[] = {
+        InterfererKind::ConstWalker, InterfererKind::Compute,
+        InterfererKind::SharedMem, InterfererKind::Streaming};
+    const char *names[] = {"heartwall-arrivals", "hotspot-arrivals",
+                           "srad-arrivals", "backprop-arrivals"};
+    for (unsigned i = 0; i < 4; ++i) {
+        FaultSpec f;
+        f.name = names[i];
+        f.kind = FaultKind::InterfererBurst;
+        f.interferer = kinds[i];
+        f.blocks = 3;
+        f.threadsPerBlock = 128;
+        f.iterations = 300;
+        f.startCycle = 200'000 + Cycle(i) * 2'150'000;
+        f.periodCycles = 8'100'000 + Cycle(i) * 900'000;
+        f.jitterCycles = 600'000;
+        f.repeat = 90;
+        p.faults.push_back(f);
+    }
+
+    // Ambient timer noise: long mild-jitter windows (shared clocking /
+    // DVFS wobble), no quantization change.
+    FaultSpec clock;
+    clock.name = "ambient-timer-noise";
+    clock.kind = FaultKind::ClockDegrade;
+    clock.latencyJitterCycles = 5;
+    clock.startCycle = 0;
+    clock.periodCycles = 2'000'000;
+    clock.durationCycles = 1'200'000;
+    clock.repeat = 300;
+    p.faults.push_back(clock);
+
+    return p;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::preset(const std::string &name)
+{
+    if (name == "quiet")
+        return FaultPlan{};
+    if (name == "bursty")
+        return burstyPlan();
+    if (name == "adversarial")
+        return adversarialPlan();
+    if (name == "datacenter")
+        return datacenterPlan();
+    GPUCC_FATAL("unknown fault-plan preset '%s'", name.c_str());
+}
+
+std::vector<std::string>
+FaultPlan::presetNames()
+{
+    return {"quiet", "bursty", "adversarial", "datacenter"};
+}
+
+} // namespace gpucc::sim::fault

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Declarative fault plans for deterministic failure injection.
+ *
+ * Section 8 of the paper shows the raw channels degrade badly (BER up
+ * to ~10%) once other workloads share the GPU, but provoking a
+ * *specific* failure on demand — an interferer burst landing exactly on
+ * a handshake, the cycle counter coarsening mid-transfer, one party
+ * being preempted — is hopeless with ad-hoc co-runners. A FaultPlan
+ * states such scenarios as data: a list of named faults, each with a
+ * deterministic schedule, so any failure replays bit-identically from
+ * (plan, seed). FaultInjector (fault_injector.h) executes a plan
+ * against a live Device.
+ *
+ * This header is pure data (no gpu/ dependencies) so plans can be
+ * built, stored, and compared anywhere.
+ */
+
+#ifndef GPUCC_SIM_FAULT_FAULT_PLAN_H
+#define GPUCC_SIM_FAULT_FAULT_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::sim::fault
+{
+
+/** The failure families the injector can provoke. */
+enum class FaultKind
+{
+    /** Launch an interfering kernel (Rodinia-like signature) at the
+     *  scheduled ticks — the Section 8 co-runner, on demand. */
+    InterfererBurst,
+    /** Degrade the cycle counter inside a window: coarser clock()
+     *  quantization and/or deterministic jitter on every latency a
+     *  program observes (a hostile or power-saving driver). */
+    ClockDegrade,
+    /** Freeze one application's warps for the window (one-sided
+     *  preemption): every resume landing inside the window is deferred
+     *  to the window's end. */
+    WarpStall,
+    /** Install foreign lines into a chosen range of constant-cache
+     *  sets (targeted eviction of a channel's data/signal sets). */
+    CacheThrash,
+};
+
+/** @return printable fault-kind name. */
+const char *faultKindName(FaultKind k);
+
+/** Interferer resource signatures (mirrors workloads/interference.h). */
+enum class InterfererKind
+{
+    ConstWalker, //!< "heartwall"-like: walks constant memory
+    Compute,     //!< "hotspot"-like: SP/SFU bound
+    SharedMem,   //!< "srad"-like: claims shared memory
+    Streaming,   //!< "backprop"-like: streams global memory
+};
+
+/**
+ * One scheduled fault.
+ *
+ * Occurrences are derived purely from the spec and the injector seed:
+ * occurrence k starts at startCycle + k * periodCycles (plus a small
+ * seeded jitter when jitterCycles > 0) for k in [0, repeat). Window
+ * faults (ClockDegrade, WarpStall) are active for durationCycles from
+ * each occurrence; CacheThrash re-fires every intraPeriodCycles within
+ * that window; InterfererBurst launches once per occurrence.
+ */
+struct FaultSpec
+{
+    std::string name;                //!< label for traces/tests
+    FaultKind kind = FaultKind::CacheThrash;
+
+    Cycle startCycle = 0;            //!< first occurrence
+    unsigned repeat = 1;             //!< number of occurrences
+    Cycle periodCycles = 0;          //!< occurrence spacing (repeat > 1)
+    Cycle durationCycles = 0;        //!< window length per occurrence
+    Cycle jitterCycles = 0;          //!< seeded start jitter amplitude
+
+    // InterfererBurst
+    InterfererKind interferer = InterfererKind::ConstWalker;
+    unsigned blocks = 4;             //!< interferer grid blocks
+    unsigned threadsPerBlock = 128;
+    unsigned iterations = 400;       //!< interferer loop trip count
+
+    // ClockDegrade
+    Cycle quantumCycles = 0;         //!< clock() granularity override
+    Cycle latencyJitterCycles = 0;   //!< +/- noise on observed latencies
+
+    // WarpStall
+    unsigned victimStream = 1;       //!< kernels on this stream stall
+
+    // CacheThrash
+    unsigned setBegin = 0;           //!< first targeted set
+    unsigned setEnd = 1;             //!< one past the last targeted set
+    int targetSm = 0;                //!< SM whose L1 is thrashed; -1 = all
+    bool thrashL2 = false;           //!< target the shared L2 instead
+    Cycle intraPeriodCycles = 0;     //!< re-fire spacing inside a window
+};
+
+/** A named collection of faults (the replayable scenario). */
+struct FaultPlan
+{
+    std::string name = "quiet";
+    std::vector<FaultSpec> faults;
+
+    /** @return true when the plan injects nothing. */
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Scenario presets shared by tests, benches, and examples:
+     *
+     *  - "quiet": no faults (control).
+     *  - "bursty": sparse interferer bursts plus occasional targeted
+     *    thrash — the co-runner that comes and goes.
+     *  - "adversarial": dense thrash trains on the duplex channel's
+     *    data and handshake sets, clock degradation, and one-sided
+     *    stalls — drives the raw duplex channel to ~10% BER.
+     *  - "datacenter": the full Rodinia-like mix arriving on staggered
+     *    schedules with mild timer jitter — ambient multi-tenant load.
+     */
+    static FaultPlan preset(const std::string &name);
+
+    /** Names accepted by preset(). */
+    static std::vector<std::string> presetNames();
+};
+
+} // namespace gpucc::sim::fault
+
+#endif // GPUCC_SIM_FAULT_FAULT_PLAN_H

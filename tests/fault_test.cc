@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection harness (sim/fault): the
+ * replay contract — the same (plan, seed) produces bit-identical runs,
+ * at any host thread count — plus the observable effect of each fault
+ * family and the no-op guarantee of the quiet plan.
+ */
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/log.h"
+#include "covert/sync/duplex_channel.h"
+#include "gpu/arch_params.h"
+#include "gpu/warp_ctx.h"
+#include "sim/exec/sweep_runner.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
+
+using namespace gpucc;
+using sim::fault::FaultInjector;
+using sim::fault::FaultKind;
+using sim::fault::FaultPlan;
+using sim::fault::FaultSpec;
+
+namespace
+{
+
+BitVec
+msg(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return randomBits(n, rng);
+}
+
+/** One duplex transfer under @p plan; null plan name = no injector. */
+struct FaultedRun
+{
+    BitVec fwd;
+    BitVec rev;
+    Tick windowTicks = 0;
+    double fwdBer = 0.0;
+    double revBer = 0.0;
+    covert::RobustnessCounters robustness;
+    sim::fault::FaultStats stats;
+};
+
+FaultedRun
+runDuplex(const char *planName, std::uint64_t faultSeed,
+          std::size_t bits = 48)
+{
+    setVerbose(false);
+    covert::DuplexSyncChannel link(gpu::keplerK40c());
+    std::unique_ptr<FaultInjector> inj;
+    if (planName) {
+        inj = std::make_unique<FaultInjector>(
+            link.harness().device(), FaultPlan::preset(planName),
+            faultSeed);
+        inj->arm();
+    }
+    auto r = link.exchange(msg(bits, 21), msg(bits, 22));
+    FaultedRun out;
+    out.fwd = r.aToB.received;
+    out.rev = r.bToA.received;
+    out.windowTicks = std::max(r.aToB.windowTicks, r.bToA.windowTicks);
+    out.fwdBer = r.aToB.report.errorRate();
+    out.revBer = r.bToA.report.errorRate();
+    out.robustness = r.aToB.robustness;
+    out.robustness.add(r.bToA.robustness);
+    if (inj)
+        out.stats = inj->stats();
+    return out;
+}
+
+} // namespace
+
+TEST(FaultPlan, PresetsAreWellFormed)
+{
+    for (const auto &name : FaultPlan::presetNames()) {
+        FaultPlan p = FaultPlan::preset(name);
+        EXPECT_EQ(p.name, name);
+        for (const auto &f : p.faults) {
+            EXPECT_FALSE(f.name.empty()) << name;
+            EXPECT_GE(f.repeat, 1u) << name << "/" << f.name;
+            if (f.repeat > 1) {
+                EXPECT_GT(f.periodCycles, 0u) << name << "/" << f.name;
+            }
+        }
+    }
+    EXPECT_TRUE(FaultPlan::preset("quiet").empty());
+    EXPECT_FALSE(FaultPlan::preset("adversarial").empty());
+}
+
+TEST(FaultInjector, QuietPlanIsBitIdenticalNoOp)
+{
+    auto bare = runDuplex(nullptr, 0);
+    auto quiet = runDuplex("quiet", 1);
+    EXPECT_EQ(bare.fwd, quiet.fwd);
+    EXPECT_EQ(bare.rev, quiet.rev);
+    EXPECT_EQ(bare.windowTicks, quiet.windowTicks);
+    EXPECT_EQ(quiet.stats.burstsLaunched, 0u);
+    EXPECT_EQ(quiet.stats.thrashPasses, 0u);
+}
+
+TEST(FaultInjector, SamePlanAndSeedReplaysBitIdentically)
+{
+    auto a = runDuplex("adversarial", 11);
+    auto b = runDuplex("adversarial", 11);
+    EXPECT_EQ(a.fwd, b.fwd);
+    EXPECT_EQ(a.rev, b.rev);
+    EXPECT_EQ(a.windowTicks, b.windowTicks);
+    EXPECT_EQ(a.robustness.timeouts, b.robustness.timeouts);
+    EXPECT_EQ(a.robustness.retries, b.robustness.retries);
+    EXPECT_EQ(a.robustness.rearms, b.robustness.rearms);
+    EXPECT_EQ(a.stats.thrashPasses, b.stats.thrashPasses);
+    EXPECT_EQ(a.stats.stallsApplied, b.stats.stallsApplied);
+}
+
+TEST(FaultInjector, ThreadCountDoesNotChangeFaultedResults)
+{
+    // Mirrors exec_test: a faulted sweep must be byte-identical no
+    // matter how many host threads execute the trials.
+    // All 8-byte fields: no padding, so memcmp compares only data.
+    struct TrialResult
+    {
+        double fwdBer;
+        double revBer;
+        Tick window;
+        std::uint64_t thrashPasses;
+    };
+    auto sweep = [](unsigned threads) {
+        sim::exec::SweepRunner runner(threads);
+        return runner.runTrials(
+            4, /*seedBase=*/77,
+            [](std::size_t, std::uint64_t seed) -> TrialResult {
+                setVerbose(false);
+                covert::DuplexSyncChannel link(gpu::keplerK40c());
+                FaultInjector inj(link.harness().device(),
+                                  FaultPlan::preset("adversarial"), seed);
+                inj.arm();
+                auto r = link.exchange(msg(32, 5), msg(32, 6));
+                return {r.aToB.report.errorRate(),
+                        r.bToA.report.errorRate(),
+                        std::max(r.aToB.windowTicks, r.bToA.windowTicks),
+                        inj.stats().thrashPasses};
+            });
+    };
+    auto serial = sweep(1);
+    auto dual = sweep(2);
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    auto wide = sweep(hw);
+    ASSERT_EQ(serial.size(), 4u);
+    EXPECT_EQ(std::memcmp(serial.data(), dual.data(),
+                          serial.size() * sizeof(TrialResult)),
+              0);
+    EXPECT_EQ(std::memcmp(serial.data(), wide.data(),
+                          serial.size() * sizeof(TrialResult)),
+              0);
+}
+
+TEST(FaultInjector, AdversarialPlanDegradesTheRawChannel)
+{
+    auto quiet = runDuplex(nullptr, 0, 96);
+    auto bad = runDuplex("adversarial", 3, 96);
+    EXPECT_EQ(quiet.fwdBer, 0.0);
+    EXPECT_EQ(quiet.revBer, 0.0);
+    double rawBer = (bad.fwdBer + bad.revBer) / 2.0;
+    EXPECT_GE(rawBer, 0.05) << "fwd " << bad.fwdBer << " rev "
+                            << bad.revBer;
+    // The protocol's recovery paths must actually engage (satellite:
+    // robustness counters surface timeouts/retries/re-arms).
+    EXPECT_GT(bad.robustness.timeouts + bad.robustness.retries +
+                  bad.robustness.rearms,
+              0u);
+    EXPECT_GT(bad.stats.thrashPasses, 0u);
+}
+
+TEST(FaultInjector, ClockDegradeCoarsensTheCycleCounter)
+{
+    setVerbose(false);
+    covert::TwoPartyHarness parties(gpu::keplerK40c());
+    auto &dev = parties.device();
+
+    FaultPlan plan;
+    plan.name = "clock-test";
+    FaultSpec f;
+    f.name = "always-coarse";
+    f.kind = FaultKind::ClockDegrade;
+    f.quantumCycles = 64;
+    f.startCycle = 0;
+    f.durationCycles = 100'000'000;
+    plan.faults.push_back(f);
+    FaultInjector inj(dev, plan, 5);
+    inj.arm();
+
+    gpu::KernelLaunch k;
+    k.name = "clock-reader";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warpSize;
+    k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (int i = 0; i < 16; ++i) {
+            std::uint64_t v = co_await ctx.clock();
+            ctx.out(v);
+            co_await ctx.sleep(333);
+        }
+        co_return;
+    };
+    auto &inst = parties.trojanHost().launch(parties.trojanStream(), k);
+    parties.trojanHost().sync(inst);
+
+    const auto &vals = inst.out(0);
+    ASSERT_EQ(vals.size(), 16u);
+    bool advanced = false;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        EXPECT_EQ(vals[i] % 64, 0u) << "sample " << i;
+        if (i > 0 && vals[i] != vals[i - 1])
+            advanced = true;
+    }
+    EXPECT_TRUE(advanced); // quantized, not frozen
+}
+
+TEST(FaultInjector, WarpStallFreezesOnlyTheVictimStream)
+{
+    setVerbose(false);
+    covert::TwoPartyHarness parties(gpu::keplerK40c());
+    auto &dev = parties.device();
+
+    FaultPlan plan;
+    plan.name = "stall-test";
+    FaultSpec f;
+    f.name = "freeze-spy";
+    f.kind = FaultKind::WarpStall;
+    f.victimStream = 1; // the spy application's stream
+    f.startCycle = 0;
+    f.periodCycles = 20'000;
+    f.durationCycles = 10'000;
+    f.repeat = 60;
+    plan.faults.push_back(f);
+    FaultInjector inj(dev, plan, 9);
+    inj.arm();
+
+    auto makeBusyLoop = [] {
+        gpu::KernelLaunch k;
+        k.name = "busy-loop";
+        k.config.gridBlocks = 1;
+        k.config.threadsPerBlock = warpSize;
+        k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+            for (int i = 0; i < 200; ++i)
+                co_await ctx.sleep(200);
+            co_return;
+        };
+        return k;
+    };
+    auto &tInst =
+        parties.trojanHost().launch(parties.trojanStream(), makeBusyLoop());
+    auto &sInst =
+        parties.spyHost().launch(parties.spyStream(), makeBusyLoop());
+    parties.trojanHost().sync(tInst);
+    parties.spyHost().sync(sInst);
+
+    Tick trojanDur = tInst.endTick() - tInst.startTick();
+    Tick spyDur = sInst.endTick() - sInst.startTick();
+    EXPECT_GT(inj.stats().stallsApplied, 0u);
+    // ~half the spy's time sits inside stall windows; the trojan runs
+    // at full speed.
+    EXPECT_GT(static_cast<double>(spyDur),
+              1.2 * static_cast<double>(trojanDur));
+}
+
+TEST(FaultInjector, CacheThrashEvictsTargetedSetsOnly)
+{
+    setVerbose(false);
+    covert::TwoPartyHarness parties(gpu::keplerK40c());
+    auto &dev = parties.device();
+    auto &cmem = dev.constMem();
+    const auto &geom = dev.arch().constMem.l1;
+    Addr base = dev.allocConst(geom.sizeBytes,
+                               geom.numSets() * geom.lineBytes);
+    Addr inSet0 = base;                   // maps to set 0
+    Addr inSet5 = base + 5 * geom.lineBytes; // maps to set 5
+
+    // Prime both lines, then let a single thrash pass on set 0 run.
+    cmem.access(0, inSet0, 0);
+    cmem.access(0, inSet5, 0);
+
+    FaultPlan plan;
+    plan.name = "thrash-test";
+    FaultSpec f;
+    f.name = "kill-set-0";
+    f.kind = FaultKind::CacheThrash;
+    f.setBegin = 0;
+    f.setEnd = 1;
+    f.targetSm = 0;
+    f.startCycle = 1'000;
+    plan.faults.push_back(f);
+    FaultInjector inj(dev, plan, 2);
+    inj.arm();
+    dev.runUntilIdle();
+    EXPECT_EQ(inj.stats().thrashPasses, 1u);
+
+    auto r0 = cmem.access(0, inSet0, dev.now());
+    auto r5 = cmem.access(0, inSet5, dev.now());
+    EXPECT_FALSE(r0.l1Hit); // evicted by the thrash pass
+    EXPECT_TRUE(r5.l1Hit);  // untouched set survives
+}
+
+TEST(FaultInjector, DisarmStopsInjection)
+{
+    setVerbose(false);
+    covert::TwoPartyHarness parties(gpu::keplerK40c());
+    auto &dev = parties.device();
+
+    FaultPlan plan;
+    plan.name = "disarm-test";
+    FaultSpec f;
+    f.name = "thrash-train";
+    f.kind = FaultKind::CacheThrash;
+    f.setBegin = 0;
+    f.setEnd = 4;
+    f.startCycle = 1'000;
+    f.periodCycles = 1'000;
+    f.repeat = 50;
+    plan.faults.push_back(f);
+    FaultInjector inj(dev, plan, 4);
+    inj.arm();
+    inj.disarm();
+    dev.runUntilIdle();
+    EXPECT_EQ(inj.stats().thrashPasses, 0u);
+    EXPECT_FALSE(inj.armed());
+}

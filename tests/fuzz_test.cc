@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include "covert/coding/error_code.h"
+#include "covert/link/frame.h"
+#include "covert/link/reliable_link.h"
+#include "covert/link/transport.h"
 #include "gpu/block_scheduler.h"
 #include "gpu/device_stats.h"
 #include "gpu/host.h"
@@ -187,6 +191,103 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return n;
     });
+
+// ---------------------------------------------------------------------
+// Link-layer fuzzing: frame decode must be total (any mutation of a
+// valid stream — flips, truncation, duplication, reordering — parses
+// without crashing and never fabricates oversized payloads), and the
+// ARQ state machine must terminate under arbitrary loss patterns, with
+// `complete` implying exact payload delivery.
+// ---------------------------------------------------------------------
+
+TEST(LinkFuzz, FrameDecodeIsTotalUnderRandomMutation)
+{
+    using namespace covert::link;
+    covert::Hamming74Code fec;
+    Rng rng(42);
+    for (int round = 0; round < 300; ++round) {
+        std::size_t payloadBits =
+            static_cast<std::size_t>(rng.uniformInt(1, 64));
+        const covert::ErrorCode *code = rng.flip() ? &fec : nullptr;
+
+        // A valid multi-frame stream...
+        BitVec stream;
+        unsigned nFrames = static_cast<unsigned>(rng.uniformInt(0, 4));
+        for (unsigned i = 0; i < nFrames; ++i) {
+            Frame f;
+            f.type = static_cast<FrameType>(rng.uniformInt(0, 3));
+            f.seq = static_cast<unsigned>(rng.uniformInt(0, 15));
+            f.payload = randomBits(
+                static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(payloadBits))),
+                rng);
+            BitVec wire = encodeFrame(f, payloadBits, code);
+            stream.insert(stream.end(), wire.begin(), wire.end());
+        }
+        // ...mutated: flips, truncation, duplicated chunks, reordering.
+        for (auto &b : stream)
+            if (rng.bernoulli(0.02))
+                b ^= 1;
+        if (!stream.empty() && rng.flip())
+            stream.resize(static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(stream.size()))));
+        if (stream.size() > 16 && rng.flip()) {
+            std::size_t at = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(stream.size() - 9)));
+            BitVec chunk(stream.begin() + at, stream.begin() + at + 8);
+            if (rng.flip())
+                stream.insert(stream.end(), chunk.begin(), chunk.end());
+            else
+                stream.insert(stream.begin(), chunk.begin(),
+                              chunk.end());
+        }
+
+        auto parsed = parseFrames(stream, payloadBits, code);
+        EXPECT_LE(parsed.frames.size(),
+                  stream.size() / frameWireBits(payloadBits, code) + 1);
+        for (const auto &f : parsed.frames)
+            EXPECT_LE(f.payload.size(), payloadBits);
+    }
+}
+
+TEST(LinkFuzz, ArqTerminatesAndCompleteImpliesExactDelivery)
+{
+    using namespace covert::link;
+    Rng rng(1337);
+    unsigned completes = 0;
+    for (int round = 0; round < 60; ++round) {
+        LossyConfig noisy;
+        noisy.flipProb = rng.uniformReal(0.0, 0.05);
+        noisy.truncateProb = rng.uniformReal(0.0, 0.3);
+        noisy.duplicateProb = rng.uniformReal(0.0, 0.3);
+        noisy.dropProb = rng.uniformReal(0.0, 0.5);
+        noisy.scaleFlipsWithPeriod = rng.flip();
+        LossyTransport t(noisy, rng.raw());
+
+        LinkConfig cfg;
+        cfg.payloadBits =
+            static_cast<std::size_t>(rng.uniformInt(4, 48));
+        cfg.window = static_cast<unsigned>(rng.uniformInt(1, 8));
+        cfg.maxRetries = static_cast<unsigned>(rng.uniformInt(1, 20));
+        cfg.maxRounds = 800;
+        cfg.adaptiveRate = rng.flip();
+        ReliableLink link(t, cfg);
+
+        BitVec payload = randomBits(
+            static_cast<std::size_t>(rng.uniformInt(1, 300)), rng);
+        auto r = link.send(payload);
+        EXPECT_LE(r.rounds, cfg.maxRounds);
+        if (r.complete) {
+            ++completes;
+            EXPECT_EQ(r.payload, payload) << "round " << round;
+        } else {
+            EXPECT_LE(r.payload.size(), payload.size());
+        }
+    }
+    // The sweep must exercise both outcomes to mean anything.
+    EXPECT_GT(completes, 0u);
+    EXPECT_LT(completes, 60u);
+}
 
 TEST(FuzzExtras, TemporalPartitioningFuzz)
 {
