@@ -51,8 +51,9 @@ toRow(const NamedResult &nr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink::instance().configure("capacity_summary", argc, argv);
     bench::banner("Channel capacity summary",
                   "Section 10 context (capacity bounds, Hunger et al.)");
     auto arch = gpu::keplerK40c();
@@ -126,9 +127,11 @@ main()
             table.row(toRow(nr));
     }
     table.print();
+    bench::JsonSink::instance().add(table);
     std::printf("Error-free channels carry their full raw rate; the "
                 "symbol separation shows how much\nmargin each channel "
                 "has before noise or defenses (timer fuzz, partitioning) "
                 "bite.\n");
+    bench::JsonSink::instance().write();
     return 0;
 }

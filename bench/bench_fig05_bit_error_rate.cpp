@@ -49,13 +49,16 @@ sweep(sim::exec::SweepRunner &runner, const gpu::ArchParams &arch,
     for (auto &row : rows)
         t.row(row);
     t.print();
+    bench::JsonSink::instance().add(t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink::instance().configure("fig05_bit_error_rate", argc,
+                                          argv);
     bench::banner("Figure 5: bit error rate vs channel bandwidth",
                   "Section 4.3, Figure 5 (Kepler and Maxwell)");
 
@@ -68,5 +71,6 @@ main()
     std::printf("Paper shape: error-free at the Figure 4 operating point "
                 "(20 / 2 iterations),\nBER rising as the iteration count "
                 "is decreased to push bandwidth higher.\n");
+    bench::JsonSink::instance().write();
     return 0;
 }

@@ -22,8 +22,10 @@
 using namespace gpucc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink::instance().configure("table2_l1_improved", argc,
+                                          argv);
     bench::banner("Table 2: improved L1 channels",
                   "Section 7.1, Table 2");
 
@@ -109,6 +111,7 @@ main()
                bench::vsPaper(row[3].bandwidthBps, paper[i][3])});
     }
     t.print();
+    bench::JsonSink::instance().add(t);
 
     // Section 7.1 also reports the sublinear multi-bit scaling on
     // Kepler: 2/4/6 concurrent bits -> 1.8x / 2.9x / 3.8x.
@@ -122,5 +125,7 @@ main()
                fmtDouble(scaling[1 + j].bandwidthBps / b1, 2) + "x"});
     }
     s.print();
+    bench::JsonSink::instance().add(s);
+    bench::JsonSink::instance().write();
     return 0;
 }

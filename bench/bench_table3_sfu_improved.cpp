@@ -23,8 +23,10 @@
 using namespace gpucc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink::instance().configure("table3_sfu_improved", argc,
+                                          argv);
     bench::banner("Table 3: improved SFU channels",
                   "Section 7.2, Table 3");
 
@@ -92,6 +94,7 @@ main()
                bench::vsPaper(row[2].bandwidthBps, paper[i][2])});
     }
     t.print();
+    bench::JsonSink::instance().add(t);
     std::printf("Contention is isolated per warp scheduler, so each "
                 "scheduler carries an independent\nbit; each SM carries "
                 "an independent channel instance on top.\n");
@@ -109,5 +112,7 @@ main()
                fmtDouble(100.0 * r.errorRate, 2) + " %"});
     }
     s.print();
+    bench::JsonSink::instance().add(s);
+    bench::JsonSink::instance().write();
     return 0;
 }

@@ -10,16 +10,119 @@
 #define GPUCC_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/bitstream.h"
 #include "common/log.h"
+#include "common/metrics/json_writer.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "gpu/arch_params.h"
 
 namespace gpucc::bench
 {
+
+/**
+ * Machine-readable bench output behind the shared `--json <path>` flag.
+ * Benches add() every Table they print (and optional scalar values);
+ * write() serializes them with the same JsonWriter the simulator's
+ * trace and metrics exports use, so one schema covers every artifact:
+ * {"bench": name, "tables": [{"title", "header", "rows"}], "values": {}}.
+ */
+class JsonSink
+{
+  public:
+    /** Process-wide sink, so table-building helpers can reach it. */
+    static JsonSink &
+    instance()
+    {
+        static JsonSink sink;
+        return sink;
+    }
+
+    /** Parse `--json <path>` from the command line (fatal if the flag
+     *  is present without a path). */
+    void
+    configure(std::string benchName, int argc, char **argv)
+    {
+        name = std::move(benchName);
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                GPUCC_ASSERT(i + 1 < argc, "--json requires a path");
+                path = argv[i + 1];
+            }
+        }
+    }
+
+    bool enabled() const { return !path.empty(); }
+
+    /** Record a printed table for export (no-op when disabled). */
+    void
+    add(const Table &t)
+    {
+        if (enabled())
+            tables.push_back(t);
+    }
+
+    /** Record a named scalar result (no-op when disabled). */
+    void
+    note(const std::string &key, double v)
+    {
+        if (enabled())
+            values.emplace_back(key, v);
+    }
+
+    /** Write the collected results to the --json path, if given. */
+    void
+    write() const
+    {
+        if (!enabled())
+            return;
+        std::ofstream os(path);
+        GPUCC_ASSERT(os.good(), "cannot open --json path '%s'",
+                     path.c_str());
+        metrics::JsonWriter w(os, true);
+        w.beginObject();
+        w.field("bench", name);
+        w.beginArray("tables");
+        for (const Table &t : tables) {
+            w.beginObject();
+            w.field("title", t.caption());
+            w.beginArray("header");
+            for (const auto &c : t.headerCells())
+                w.value(c);
+            w.endArray();
+            w.beginArray("rows");
+            for (const auto &row : t.dataRows()) {
+                w.beginArray();
+                for (const auto &c : row)
+                    w.value(c);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.beginObject("values");
+        for (const auto &[k, v] : values)
+            w.field(k, v);
+        w.endObject();
+        w.endObject();
+        GPUCC_ASSERT(os.good(), "write to --json path '%s' failed",
+                     path.c_str());
+        std::printf("[json] results written to %s\n", path.c_str());
+    }
+
+  private:
+    std::string name;
+    std::string path;
+    std::vector<Table> tables;
+    std::vector<std::pair<std::string, double>> values;
+};
 
 /** Standard bench banner. */
 inline void

@@ -7,9 +7,12 @@
  * Run: ./defender_dashboard
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/log.h"
+#include "common/metrics/metrics.h"
+#include "common/table.h"
 #include "covert/detection/cc_detector.h"
 #include "covert/sync/sync_channel.h"
 #include "gpu/device_stats.h"
@@ -98,14 +101,48 @@ main()
                     100.0 * r.report.errorRate());
     }
 
-    // Utilization view of an SFU channel: what a profiler would see.
+    // Utilization view of a channel run, as a *time series*: the
+    // metrics registry samples every instrument on a fixed simulated-
+    // cycle cadence, so the defender sees counters over time — the
+    // periodic cache-miss signature of an active channel — instead of
+    // one end-of-run total.
     {
         SyncL1Channel ch(arch);
+        gpu::Device &dev = ch.harness().device();
+        dev.sampleMetricsEvery(250000);
         ch.transmit(randomBits(256, rng));
-        std::printf("device counters after a channel run:\n%s",
-                    gpu::collectStats(ch.harness().device())
-                        .render()
-                        .c_str());
+
+        const auto &series = dev.metricsRegistry().series();
+        Table t(strfmt("interval counters (sampled every 250k cycles, "
+                       "%zu snapshots)",
+                       series.size()));
+        t.header({"cycles", "constL1 misses", "constL2 misses",
+                  "LD/ST busy cycles", "events"});
+        // Print ~10 evenly spaced rows; each shows the delta since the
+        // previous printed row, which is what a polling profiler sees.
+        std::size_t stride = std::max<std::size_t>(1, series.size() / 10);
+        double pL1 = 0, pL2 = 0, pLdst = 0, pEv = 0;
+        for (std::size_t i = 0; i < series.size(); i += stride) {
+            const auto &row = series[i];
+            double l1 = row.get("cache.constL1.misses");
+            double l2 = row.get("cache.constL2.misses");
+            double ldst = row.get("fu.ldst.busyTicks");
+            double ev = row.get("sim.events.executed");
+            t.row({std::to_string(ticksToCycles(row.tick)),
+                   fmtDouble(l1 - pL1, 0), fmtDouble(l2 - pL2, 0),
+                   std::to_string(ticksToCycles(
+                       static_cast<Tick>(ldst - pLdst))),
+                   fmtDouble(ev - pEv, 0)});
+            pL1 = l1;
+            pL2 = l2;
+            pLdst = ldst;
+            pEv = ev;
+        }
+        t.print();
+
+        std::printf("device counters after the run (a view over the "
+                    "same registry):\n%s",
+                    gpu::collectStats(dev).render().c_str());
     }
     return 0;
 }

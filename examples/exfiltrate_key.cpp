@@ -19,6 +19,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -26,6 +27,8 @@
 #include "common/log.h"
 #include "covert/link/reliable_link.h"
 #include "covert/link/transport.h"
+#include "covert/trace/flight_recorder.h"
+#include "gpu/device.h"
 #include "covert/sync/duplex_channel.h"
 #include "covert/sync/sync_channel.h"
 #include "gpu/arch_params.h"
@@ -107,10 +110,14 @@ main(int argc, char **argv)
     for (int i = 7; i >= 0; --i)
         frame.push_back(static_cast<std::uint8_t>((crc >> i) & 1));
 
-    // Fully optimized channel: synchronized + 6 sets/SM + all SMs.
+    // Fully optimized channel: synchronized + 6 sets/SM + all SMs. The
+    // flight recorder logs every symbol decision (latency, threshold,
+    // decoded bit vs ground truth) for post-mortem analysis.
+    covert::trace::FlightRecorder recorder;
     covert::SyncChannelConfig cfg;
     cfg.dataSetsPerSm = 6;
     cfg.allSms = true;
+    cfg.recorder = &recorder;
     covert::SyncL1Channel channel(gpu::keplerK40c(), cfg);
     auto r = channel.transmit(frame);
 
@@ -132,6 +139,14 @@ main(int argc, char **argv)
                 frame.size());
     std::printf("bandwidth:      %.2f Mbps, bit error rate %.2f %%\n",
                 r.bandwidthBps / 1e6, 100.0 * r.report.errorRate());
+    std::printf("flight record:  %zu symbols, %zu decode errors, worst "
+                "decision margin %.1f cycles\n",
+                recorder.records().size(), recorder.errorCount(),
+                recorder.worstMargin());
+    if (const char *path = std::getenv("GPUCC_FLIGHT")) {
+        recorder.writeJson(path);
+        std::printf("flight record:  JSON written to %s\n", path);
+    }
 
     bool ok = bitsToHex(rxKey) == keyHex && crc8(rxKey) == rxCrc;
     std::printf("\n%s\n", ok ? "Key exfiltrated intact: the two kernels "
@@ -179,6 +194,8 @@ main(int argc, char **argv)
     covert::link::LinkConfig lcfg;
     lcfg.payloadBits = 32;
     lcfg.window = 4;
+    // Accumulate link.* counters next to the device's own metrics.
+    lcfg.registry = &chan.harness().device().metricsRegistry();
     covert::link::ReliableLink link(transport, lcfg);
     auto lr = link.send(frame);
 
@@ -209,6 +226,11 @@ main(int argc, char **argv)
     std::printf("rate control:   final symbol-period scale x%.1f "
                 "(widens on errors, narrows when clean)\n",
                 lr.finalPeriodScale);
+
+    if (const char *path = std::getenv("GPUCC_METRICS")) {
+        chan.harness().device().metricsRegistry().writeJson(path);
+        std::printf("metrics:        JSON written to %s\n", path);
+    }
 
     bool arqOk = lr.complete && bitsToHex(arqKey) == keyHex &&
                  crc8(arqKey) == arqCrc;

@@ -10,23 +10,33 @@
 #     --simperf-warn downgrades them back to warnings, for CI boxes
 #     whose absolute speed is unrelated to the recording machine's).
 #
-# Usage: scripts/check.sh [--strict] [--simperf-warn] [build-dir]
+# With --trace-smoke, additionally run the exfiltrate_key example under
+# GPUCC_TRACE and validate every observability artifact — the Chrome
+# trace-event timeline, the channel flight-recorder log, and the metrics
+# registry export — with python's json parser. Artifacts land in
+# <build-dir>/observability/ (CI uploads that directory).
+#
+# Usage: scripts/check.sh [--strict] [--simperf-warn] [--trace-smoke]
+#                         [build-dir]
 #   --strict        non-zero exit on any simperf regression >20%
 #   --simperf-warn  with --strict: keep every other gate fatal but
 #                   report simperf regressions as warnings only
+#   --trace-smoke   emit + validate trace/metrics/flight JSON artifacts
 #   build-dir       CMake build directory (default: build)
 
 set -euo pipefail
 
 strict=0
 simperf_warn=0
+trace_smoke=0
 build=build
 for arg in "$@"; do
     case "$arg" in
       --strict) strict=1 ;;
       --simperf-warn) simperf_warn=1 ;;
+      --trace-smoke) trace_smoke=1 ;;
       -h|--help)
-        sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
       -*)
@@ -44,6 +54,58 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B "$build" -S .
 cmake --build "$build" -j
 (cd "$build" && ctest --output-on-failure -j)
+
+if [ "$trace_smoke" = 1 ]; then
+    echo
+    echo "== trace-smoke: observability artifact validation =="
+    if ! command -v python3 >/dev/null 2>&1; then
+        echo "error: --trace-smoke needs python3 for JSON validation" >&2
+        exit 1
+    fi
+    artdir="$build/observability"
+    mkdir -p "$artdir"
+    GPUCC_TRACE="kernel,warp,cache,link:$artdir/exfiltrate_trace.json" \
+    GPUCC_FLIGHT="$artdir/exfiltrate_flight.json" \
+    GPUCC_METRICS="$artdir/exfiltrate_metrics.json" \
+        "$build/examples/exfiltrate_key" \
+        > "$artdir/exfiltrate_stdout.txt"
+    python3 - "$artdir/exfiltrate_trace.json" \
+        "$artdir/exfiltrate_flight.json" \
+        "$artdir/exfiltrate_metrics.json" <<'EOF'
+import json
+import sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+cats = {e.get("cat") for e in events if e.get("ph") != "M"}
+for want in ("kernel", "warp", "cache", "link"):
+    assert want in cats, f"trace is missing the {want!r} category"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "trace has no spans"
+assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in spans)
+names = {e["name"] for e in events if e.get("ph") == "M"}
+assert {"process_name", "thread_name"} <= names, "missing metadata rows"
+assert trace["otherData"]["shards"] >= 1
+
+flight = json.load(open(sys.argv[2]))
+assert flight["summary"]["symbols"] > 0, "flight recorder is empty"
+assert len(flight["symbols"]) == flight["summary"]["symbols"]
+
+metrics = json.load(open(sys.argv[3]))
+assert metrics["metrics"].get("link.rounds", 0) > 0, \
+    "metrics export is missing the ARQ link counters"
+assert metrics["metrics"].get("cache.constL1.misses", 0) > 0
+
+print(f"  trace   OK: {len(events)} events, "
+      f"categories {sorted(c for c in cats if c)}")
+print(f"  flight  OK: {flight['summary']['symbols']} symbols, "
+      f"{flight['summary']['errors']} decode errors")
+print(f"  metrics OK: {len(metrics['metrics'])} instruments, "
+      f"{metrics['metrics']['link.rounds']:.0f} link rounds")
+EOF
+    echo "trace-smoke OK: artifacts in $artdir"
+fi
 
 echo
 echo "== simperf: regression check vs committed BENCH_simperf.json =="

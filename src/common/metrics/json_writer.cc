@@ -1,0 +1,251 @@
+#include "common/metrics/json_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace gpucc::metrics
+{
+
+JsonWriter::JsonWriter(std::ostream &os_, bool pretty_)
+    : os(os_), pretty(pretty_)
+{
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // Integers within the exactly-representable range print without a
+    // fractional part so counters stay readable (and diffable).
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%" PRId64,
+                      static_cast<std::int64_t>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+JsonWriter::separator()
+{
+    if (!depth.empty()) {
+        if (depth.back().hasEntry)
+            os << ',';
+        depth.back().hasEntry = true;
+    }
+    if (pretty && !depth.empty()) {
+        os << '\n';
+        for (std::size_t i = 0; i < depth.size(); ++i)
+            os << "  ";
+    }
+}
+
+void
+JsonWriter::writeKey(const std::string &key)
+{
+    GPUCC_ASSERT(!depth.empty() && depth.back().isObject,
+                 "JSON key '%s' outside an object", key.c_str());
+    separator();
+    os << '"' << escape(key) << "\":";
+    if (pretty)
+        os << ' ';
+}
+
+void
+JsonWriter::beginObject()
+{
+    GPUCC_ASSERT(!depth.empty() || !rootWritten,
+                 "second JSON root value");
+    if (!depth.empty()) {
+        GPUCC_ASSERT(!depth.back().isObject,
+                     "bare object inside an object needs a key");
+        separator();
+    }
+    rootWritten = true;
+    os << '{';
+    depth.push_back(Level{true, false});
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    writeKey(key);
+    os << '{';
+    depth.push_back(Level{true, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    GPUCC_ASSERT(!depth.empty() && depth.back().isObject,
+                 "endObject with no open object");
+    bool had = depth.back().hasEntry;
+    depth.pop_back();
+    if (pretty && had) {
+        os << '\n';
+        for (std::size_t i = 0; i < depth.size(); ++i)
+            os << "  ";
+    }
+    os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    GPUCC_ASSERT(!depth.empty() || !rootWritten,
+                 "second JSON root value");
+    if (!depth.empty()) {
+        GPUCC_ASSERT(!depth.back().isObject,
+                     "bare array inside an object needs a key");
+        separator();
+    }
+    rootWritten = true;
+    os << '[';
+    depth.push_back(Level{false, false});
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    writeKey(key);
+    os << '[';
+    depth.push_back(Level{false, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    GPUCC_ASSERT(!depth.empty() && !depth.back().isObject,
+                 "endArray with no open array");
+    bool had = depth.back().hasEntry;
+    depth.pop_back();
+    if (pretty && had) {
+        os << '\n';
+        for (std::size_t i = 0; i < depth.size(); ++i)
+            os << "  ";
+    }
+    os << ']';
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &v)
+{
+    writeKey(key);
+    os << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::field(const std::string &key, const char *v)
+{
+    field(key, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &key, double v)
+{
+    writeKey(key);
+    os << number(v);
+}
+
+void
+JsonWriter::field(const std::string &key, std::uint64_t v)
+{
+    writeKey(key);
+    os << v;
+}
+
+void
+JsonWriter::field(const std::string &key, std::int64_t v)
+{
+    writeKey(key);
+    os << v;
+}
+
+void
+JsonWriter::field(const std::string &key, int v)
+{
+    field(key, static_cast<std::int64_t>(v));
+}
+
+void
+JsonWriter::field(const std::string &key, unsigned v)
+{
+    field(key, static_cast<std::uint64_t>(v));
+}
+
+void
+JsonWriter::field(const std::string &key, bool v)
+{
+    writeKey(key);
+    os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    GPUCC_ASSERT(!depth.empty() && !depth.back().isObject,
+                 "bare JSON value outside an array");
+    separator();
+    os << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    GPUCC_ASSERT(!depth.empty() && !depth.back().isObject,
+                 "bare JSON value outside an array");
+    separator();
+    os << number(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    GPUCC_ASSERT(!depth.empty() && !depth.back().isObject,
+                 "bare JSON value outside an array");
+    separator();
+    os << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    GPUCC_ASSERT(!depth.empty() && !depth.back().isObject,
+                 "bare JSON value outside an array");
+    separator();
+    os << (v ? "true" : "false");
+}
+
+} // namespace gpucc::metrics

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by every machine-readable
+ * artifact the simulator emits: the metrics registry export, the
+ * Chrome trace-event file, the channel flight recorder, and the bench
+ * binaries' --json output. Centralizing the serialization keeps the
+ * escaping and number formatting identical everywhere, so one python
+ * json.load() in scripts/check.sh validates them all.
+ *
+ * The writer is a push API over an std::ostream: objects and arrays
+ * are opened and closed explicitly, commas and indentation are
+ * inserted automatically. No intermediate DOM is built, so multi-
+ * million-event traces stream straight to disk.
+ */
+
+#ifndef GPUCC_COMMON_METRICS_JSON_WRITER_H
+#define GPUCC_COMMON_METRICS_JSON_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpucc::metrics
+{
+
+/** Streaming JSON serializer with automatic comma/indent management. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os Destination stream (must outlive the writer).
+     * @param pretty Indent nested containers (traces pass false: a
+     *        10^6-event file doubles in size with indentation).
+     */
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    /** Open the root or a nested object; with @p key inside an object. */
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+
+    /** Open an array; with @p key inside an object. */
+    void beginArray();
+    void beginArray(const std::string &key);
+    void endArray();
+
+    /** Key/value members (only valid inside an object). */
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, std::int64_t value);
+    void field(const std::string &key, int value);
+    void field(const std::string &key, unsigned value);
+    void field(const std::string &key, bool value);
+
+    /** Bare values (only valid inside an array). */
+    void value(const std::string &v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(bool v);
+
+    /** @return true once every opened container has been closed. */
+    bool complete() const { return depth.empty() && rootWritten; }
+
+    /** Escape @p s per RFC 8259 (exposed for tests). */
+    static std::string escape(const std::string &s);
+
+    /**
+     * Format @p v as a JSON number: integers print exactly, other
+     * values with enough digits to round-trip, and non-finite values
+     * (which JSON cannot represent) degrade to 0.
+     */
+    static std::string number(double v);
+
+  private:
+    struct Level
+    {
+        bool isObject = false;
+        bool hasEntry = false;
+    };
+
+    /** Comma/newline/indent before the next entry at this level. */
+    void separator();
+    void writeKey(const std::string &key);
+
+    std::ostream &os;
+    bool pretty;
+    bool rootWritten = false;
+    std::vector<Level> depth;
+};
+
+} // namespace gpucc::metrics
+
+#endif // GPUCC_COMMON_METRICS_JSON_WRITER_H

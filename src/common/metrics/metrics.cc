@@ -1,0 +1,224 @@
+#include "common/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/metrics/json_writer.h"
+
+namespace gpucc::metrics
+{
+
+void
+Histogram::add(double x)
+{
+    ++n;
+    total += x;
+    if (n == 1) {
+        minV = maxV = x;
+    } else {
+        minV = std::min(minV, x);
+        maxV = std::max(maxV, x);
+    }
+    if (samples.size() < cap) {
+        samples.push_back(x);
+        sorted = false;
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank: the smallest sample with at least p% of the mass
+    // at or below it.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    if (rank > 0)
+        --rank;
+    return samples[std::min(rank, samples.size() - 1)];
+}
+
+void
+Histogram::reset()
+{
+    n = 0;
+    total = minV = maxV = 0.0;
+    samples.clear();
+    sorted = true;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    auto &inst = instruments[name];
+    GPUCC_ASSERT(!inst.gauge && !inst.histogram,
+                 "metric '%s' already registered with another type",
+                 name.c_str());
+    if (!inst.counter) {
+        inst.counter = std::make_unique<Counter>();
+        columnsStale = true;
+    }
+    return *inst.counter;
+}
+
+void
+Registry::gauge(const std::string &name, std::function<double()> fn)
+{
+    auto &inst = instruments[name];
+    GPUCC_ASSERT(!inst.counter && !inst.histogram,
+                 "metric '%s' already registered with another type",
+                 name.c_str());
+    if (!inst.gauge)
+        columnsStale = true;
+    inst.gauge = std::move(fn);
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    auto &inst = instruments[name];
+    GPUCC_ASSERT(!inst.counter && !inst.gauge,
+                 "metric '%s' already registered with another type",
+                 name.c_str());
+    if (!inst.histogram) {
+        inst.histogram = std::make_unique<Histogram>();
+        columnsStale = true;
+    }
+    return *inst.histogram;
+}
+
+bool
+Registry::contains(const std::string &name) const
+{
+    return instruments.count(name) != 0;
+}
+
+double
+Registry::value(const std::string &name) const
+{
+    auto it = instruments.find(name);
+    if (it == instruments.end()) {
+        // Histogram derived metrics: "<base>.mean" etc.
+        auto dot = name.rfind('.');
+        if (dot == std::string::npos)
+            return 0.0;
+        auto base = instruments.find(name.substr(0, dot));
+        if (base == instruments.end() || !base->second.histogram)
+            return 0.0;
+        const Histogram &h = *base->second.histogram;
+        std::string suffix = name.substr(dot + 1);
+        if (suffix == "mean")
+            return h.mean();
+        if (suffix == "p50")
+            return h.percentile(50.0);
+        if (suffix == "p95")
+            return h.percentile(95.0);
+        if (suffix == "max")
+            return h.max();
+        return 0.0;
+    }
+    const Instrument &inst = it->second;
+    if (inst.counter)
+        return static_cast<double>(inst.counter->value());
+    if (inst.gauge)
+        return inst.gauge();
+    if (inst.histogram)
+        return static_cast<double>(inst.histogram->count());
+    return 0.0;
+}
+
+void
+Registry::rebuildColumns() const
+{
+    columns.clear();
+    for (const auto &[name, inst] : instruments) {
+        columns.push_back(name);
+        if (inst.histogram) {
+            // Lexicographic within the base's prefix: Snapshot::get
+            // binary-searches the row, so columns must stay sorted.
+            columns.push_back(name + ".max");
+            columns.push_back(name + ".mean");
+            columns.push_back(name + ".p50");
+            columns.push_back(name + ".p95");
+        }
+    }
+    // Guarantee global order even when a sibling name sorts between a
+    // histogram base and its derived suffixes.
+    std::sort(columns.begin(), columns.end());
+    columnsStale = false;
+}
+
+const std::vector<std::string> &
+Registry::metricNames() const
+{
+    if (columnsStale)
+        rebuildColumns();
+    return columns;
+}
+
+double
+Snapshot::get(const std::string &name) const
+{
+    auto it = std::lower_bound(
+        values.begin(), values.end(), name,
+        [](const auto &a, const std::string &b) { return a.first < b; });
+    return it != values.end() && it->first == name ? it->second : 0.0;
+}
+
+const Snapshot &
+Registry::snapshot(Tick tick)
+{
+    const auto &names = metricNames();
+    Snapshot row;
+    row.tick = tick;
+    row.values.reserve(names.size());
+    for (const auto &n : names)
+        row.values.emplace_back(n, value(n));
+    rows.push_back(std::move(row));
+    return rows.back();
+}
+
+std::string
+Registry::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.beginObject("metrics");
+    for (const auto &name : metricNames())
+        w.field(name, value(name));
+    w.endObject();
+    w.beginArray("snapshots");
+    for (const auto &row : rows) {
+        w.beginObject();
+        w.field("tick", static_cast<std::uint64_t>(row.tick));
+        w.beginObject("values");
+        for (const auto &[name, v] : row.values)
+            w.field(name, v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+void
+Registry::writeJson(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        GPUCC_FATAL("cannot open metrics JSON output '%s'", path.c_str());
+    f << toJson() << "\n";
+}
+
+} // namespace gpucc::metrics

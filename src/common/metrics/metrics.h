@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Typed metrics registry: the simulator's one source of numeric truth.
+ *
+ * Components register three kinds of instruments:
+ *
+ *  - Counter: a monotonically increasing count the component pushes
+ *    into (link frames sent, faults fired);
+ *  - Gauge: a pull callback sampled on demand — most simulator tallies
+ *    already live in their owning structure (ResourcePool busy ticks,
+ *    SetAssocCache hits), so a gauge just exposes them without adding
+ *    a second counter to the hot path;
+ *  - Histogram: a sample distribution with percentile queries (symbol
+ *    latencies, per-round frame errors).
+ *
+ * The registry supports *interval snapshots*: snapshot(tick) samples
+ * every instrument into a time-series row, giving benches and the
+ * defender dashboard the profiler-style view the paper's Section 9
+ * defenses presume — counters over time, not one end-of-run total.
+ * Everything exports as stable JSON (names sorted, one schema) via
+ * writeJson()/toJson().
+ *
+ * Threading: one registry belongs to one Device (or one bench binary),
+ * which runs on one thread — the same ownership contract as the event
+ * queue, so no locks anywhere.
+ */
+
+#ifndef GPUCC_COMMON_METRICS_METRICS_H
+#define GPUCC_COMMON_METRICS_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::metrics
+{
+
+/** Monotonic counter, push-updated by its owning component. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { v += n; }
+    std::uint64_t value() const { return v; }
+    void reset() { v = 0; }
+
+  private:
+    std::uint64_t v = 0;
+};
+
+/** Sample distribution with exact percentiles (bounded retention). */
+class Histogram
+{
+  public:
+    /** @param maxSamples Retention cap; further samples still count
+     *  toward count()/sum() but are not retained for percentiles. */
+    explicit Histogram(std::size_t maxSamples = 1 << 20)
+        : cap(maxSamples)
+    {
+    }
+
+    /** Record one sample. */
+    void add(double x);
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? minV : 0.0; }
+    double max() const { return n ? maxV : 0.0; }
+
+    /**
+     * Nearest-rank percentile over the retained samples.
+     * @param p In [0, 100].
+     */
+    double percentile(double p) const;
+
+    void reset();
+
+  private:
+    std::size_t cap;
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+    mutable std::vector<double> samples;
+    mutable bool sorted = true;
+};
+
+/** One sampled row of the time-series. Rows carry their own names so
+ *  instruments registered mid-run (a FaultInjector arming after the
+ *  first sample) cannot misalign earlier rows. */
+struct Snapshot
+{
+    Tick tick = 0; //!< device tick the sample was taken at
+    std::vector<std::pair<std::string, double>> values; //!< sorted by name
+
+    /** Value of @p name in this row (0 when absent). */
+    double get(const std::string &name) const;
+};
+
+/** Registry of named instruments plus the snapshot time-series. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register (or fetch, if @p name exists) a counter. Re-registration
+     * returns the same instance so independent arming passes (e.g. a
+     * second FaultInjector on one device) can share a metric.
+     */
+    Counter &counter(const std::string &name);
+
+    /** Register a pull gauge; replaces any previous gauge of @p name
+     *  (components re-register when they are re-armed). */
+    void gauge(const std::string &name, std::function<double()> fn);
+
+    /** Register (or fetch) a histogram. */
+    Histogram &histogram(const std::string &name);
+
+    /** @return true when @p name names any registered instrument. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Current value of metric @p name: counter value, gauge sample, or
+     * histogram count. Histograms additionally expose derived metrics
+     * under "<name>.mean", "<name>.p50", "<name>.p95", "<name>.max".
+     * @return 0 for unknown names (a snapshot never faults).
+     */
+    double value(const std::string &name) const;
+
+    /**
+     * Sample every instrument into the time-series. Rows are appended
+     * in call order; benches sample on a fixed simulated-tick cadence
+     * so the series is deterministic.
+     */
+    const Snapshot &snapshot(Tick tick);
+
+    /** All sampled rows so far. */
+    const std::vector<Snapshot> &series() const { return rows; }
+
+    /** Column names of the snapshot rows (sorted, stable). */
+    const std::vector<std::string> &metricNames() const;
+
+    /** Drop the sampled series (instruments keep their state). */
+    void clearSeries() { rows.clear(); }
+
+    /**
+     * Serialize as JSON: {"metrics": {name: value, ...},
+     * "snapshots": [{"tick": t, "values": {name: value, ...}}, ...]}.
+     * Stable (sorted-name) ordering throughout.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path (fatal on I/O failure). */
+    void writeJson(const std::string &path) const;
+
+  private:
+    struct Instrument
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Histogram> histogram;
+        std::function<double()> gauge;
+    };
+
+    /** Expanded column list including histogram derived metrics. */
+    void rebuildColumns() const;
+
+    std::map<std::string, Instrument> instruments;
+    std::vector<Snapshot> rows;
+    mutable std::vector<std::string> columns;
+    mutable bool columnsStale = true;
+};
+
+} // namespace gpucc::metrics
+
+#endif // GPUCC_COMMON_METRICS_METRICS_H

@@ -33,6 +33,14 @@ class Table
     /** Render and print to @p out (stdout by default). */
     void print(std::FILE *out = stdout) const;
 
+    /** Structured access for machine-readable export (--json). */
+    const std::string &caption() const { return title; }
+    const std::vector<std::string> &headerCells() const { return head; }
+    const std::vector<std::vector<std::string>> &dataRows() const
+    {
+        return rows;
+    }
+
   private:
     std::string title;
     std::vector<std::string> head;

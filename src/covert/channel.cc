@@ -86,13 +86,27 @@ LaunchPerBitChannel::transmit(const BitVec &message)
 
     // Payload transmission.
     Tick windowStart = parties->spyHost().now();
-    for (std::uint8_t b : message) {
-        double m = runBit(b != 0);
+    for (std::size_t i = 0; i < message.size(); ++i) {
+        bool b = message[i] != 0;
+        double m = runBit(b);
         bool decoded = m > res.threshold;
         res.received.push_back(decoded ? 1 : 0);
         (b ? res.oneMetric : res.zeroMetric).add(m);
+        if (cfg.recorder != nullptr) {
+            trace::SymbolRecord rec;
+            rec.index = i;
+            rec.round = static_cast<std::uint32_t>(i);
+            rec.tick = parties->spyHost().now();
+            rec.metric = m;
+            rec.threshold = res.threshold;
+            rec.decoded = decoded;
+            rec.truth = b;
+            cfg.recorder->record(rec);
+        }
     }
     Tick windowEnd = parties->spyHost().now();
+    if (cfg.recorder != nullptr)
+        cfg.recorder->setChannel(channelName);
 
     res.report = compareBits(res.sent, res.received);
     finalizeResult(res, archParams, windowEnd - windowStart);

@@ -27,6 +27,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "covert/counters.h"
+#include "covert/trace/flight_recorder.h"
 #include "gpu/device.h"
 #include "gpu/host.h"
 #include "gpu/mitigations.h"
@@ -96,6 +97,8 @@ struct LaunchPerBitConfig
     std::uint64_t seed = 1;     //!< harness seed
     /** Section 9 defenses active on the device (ablation studies). */
     gpu::MitigationConfig mitigations;
+    /** Optional per-symbol flight recorder (null = no recording). */
+    trace::FlightRecorder *recorder = nullptr;
 };
 
 /**

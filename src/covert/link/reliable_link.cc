@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/metrics/metrics.h"
 #include "covert/coding/error_code.h"
+#include "sim/trace/trace.h"
 
 namespace gpucc::covert::link
 {
@@ -126,6 +128,7 @@ ReliableLink::send(const BitVec &payload)
         ++res.ackFramesSent;
 
         // --- One simultaneous physical exchange. ---
+        Tick exchangeStart = transport.nowTick();
         TransportResult ex = transport.exchange(
             encodeFrame(down, P, cfg.innerFec),
             encodeFrame(up, P, cfg.innerFec));
@@ -133,9 +136,33 @@ ReliableLink::send(const BitVec &payload)
         res.seconds += ex.seconds;
         res.phy.add(ex.robustness);
 
+        auto *tr = transport.traceShard();
+        if (tr != nullptr && tr->wants(sim::trace::Cat::Link)) {
+            Tick exchangeEnd = transport.nowTick();
+            tr->nameRow(6000, "link rounds");
+            tr->nameRow(6001, "link events");
+            std::string label =
+                down.type == FrameType::Data
+                    ? strfmt("data seq=%u", down.seq)
+                    : std::string("idle");
+            tr->span(sim::trace::Cat::Link, 6000, std::move(label),
+                     exchangeStart, exchangeEnd, "round", round);
+            if (down.type == FrameType::Data &&
+                tx[sending].sends > 1) {
+                tr->instant(sim::trace::Cat::Link, 6001, "retry",
+                            exchangeStart, "seq", down.seq);
+            }
+        }
+
         // --- B parses the forward stream. ---
         FrameParse atB = parseFrames(ex.atB, P, cfg.innerFec);
         res.frameErrors += static_cast<unsigned>(atB.crcFailures);
+        if (tr != nullptr && tr->wants(sim::trace::Cat::Link) &&
+            atB.crcFailures > 0) {
+            tr->instant(sim::trace::Cat::Link, 6001, "crc-reject fwd",
+                        transport.nowTick(), "count",
+                        static_cast<std::uint64_t>(atB.crcFailures));
+        }
         for (const Frame &f : atB.frames) {
             if (f.type != FrameType::Data)
                 continue;
@@ -153,6 +180,12 @@ ReliableLink::send(const BitVec &payload)
         // --- A parses the reverse stream. ---
         FrameParse atA = parseFrames(ex.atA, P, cfg.innerFec);
         res.frameErrors += static_cast<unsigned>(atA.crcFailures);
+        if (tr != nullptr && tr->wants(sim::trace::Cat::Link) &&
+            atA.crcFailures > 0) {
+            tr->instant(sim::trace::Cat::Link, 6001, "crc-reject rev",
+                        transport.nowTick(), "count",
+                        static_cast<std::uint64_t>(atA.crcFailures));
+        }
         for (const Frame &f : atA.frames) {
             if (f.type != FrameType::Ack)
                 continue;
@@ -217,6 +250,17 @@ ReliableLink::send(const BitVec &payload)
     if (framesOnWire > 0)
         res.frameErrorRate = static_cast<double>(res.frameErrors) /
                              static_cast<double>(framesOnWire);
+
+    if (cfg.registry != nullptr) {
+        auto &reg = *cfg.registry;
+        reg.counter("link.rounds").inc(res.rounds);
+        reg.counter("link.dataFrames").inc(res.dataFramesSent);
+        reg.counter("link.retransmissions").inc(res.retransmissions);
+        reg.counter("link.ackFrames").inc(res.ackFramesSent);
+        reg.counter("link.frameErrors").inc(res.frameErrors);
+        reg.counter("link.framesGivenUp").inc(res.framesGivenUp);
+        reg.histogram("link.periodScale").add(res.finalPeriodScale);
+    }
     return res;
 }
 

@@ -31,6 +31,11 @@
 #include "covert/link/frame.h"
 #include "covert/link/transport.h"
 
+namespace gpucc::metrics
+{
+class Registry;
+} // namespace gpucc::metrics
+
 namespace gpucc::covert::link
 {
 
@@ -42,6 +47,9 @@ struct LinkConfig
     unsigned maxRetries = 12;     //!< per-frame resends before giving up
     unsigned maxRounds = 600;     //!< hard bound on exchanges
     const ErrorCode *innerFec = nullptr; //!< optional body FEC (non-owning)
+    /** Optional metrics sink: send() accumulates link.* counters here
+     *  (null = no metrics; non-owning). */
+    metrics::Registry *registry = nullptr;
 
     // Adaptive rate control.
     bool adaptiveRate = true;

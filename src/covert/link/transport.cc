@@ -33,6 +33,18 @@ DuplexLinkTransport::periodScale() const
     return chan.periodScale();
 }
 
+sim::trace::Shard *
+DuplexLinkTransport::traceShard() const
+{
+    return chan.harness().device().traceShard();
+}
+
+Tick
+DuplexLinkTransport::nowTick() const
+{
+    return chan.harness().device().now();
+}
+
 BitVec
 LossyTransport::corrupt(const BitVec &bits)
 {

@@ -26,6 +26,11 @@ namespace gpucc::covert
 class DuplexSyncChannel;
 } // namespace gpucc::covert
 
+namespace gpucc::sim::trace
+{
+class Shard;
+} // namespace gpucc::sim::trace
+
 namespace gpucc::covert::link
 {
 
@@ -60,6 +65,17 @@ class LinkTransport
 
     /** Transport name for tables. */
     virtual std::string name() const = 0;
+
+    /**
+     * Trace shard of the device carrying this transport (null when the
+     * transport has no device or tracing is off). The ARQ layer emits
+     * its frame/ack/retry events here so they line up with the kernel
+     * spans on the same timeline.
+     */
+    virtual sim::trace::Shard *traceShard() const { return nullptr; }
+
+    /** Current device tick under the transport (0 when deviceless). */
+    virtual Tick nowTick() const { return 0; }
 };
 
 /** The real thing: frames ride the duplex L1 constant-cache channel. */
@@ -74,6 +90,8 @@ class DuplexLinkTransport : public LinkTransport
     void setPeriodScale(double scale) override;
     double periodScale() const override;
     std::string name() const override { return "duplex-l1-const"; }
+    sim::trace::Shard *traceShard() const override;
+    Tick nowTick() const override;
 
   private:
     DuplexSyncChannel &chan;

@@ -236,12 +236,25 @@ SyncL1Channel::transmit(const BitVec &message)
                 bool bit = avg > t.dataThresholdCycles;
                 res.received[idx] = bit ? 1 : 0;
                 (payload[idx] ? res.oneMetric : res.zeroMetric).add(avg);
+                if (cfg.recorder != nullptr && idx < message.size()) {
+                    trace::SymbolRecord rec;
+                    rec.index = idx;
+                    rec.round = r;
+                    rec.tick = spy.endTick();
+                    rec.metric = avg;
+                    rec.threshold = t.dataThresholdCycles;
+                    rec.decoded = bit;
+                    rec.truth = payload[idx] != 0;
+                    cfg.recorder->record(rec);
+                }
             }
         }
     }
     res.received.resize(message.size());
     res.report = compareBits(res.sent, res.received);
     res.robustness = *counters;
+    if (cfg.recorder != nullptr)
+        cfg.recorder->setChannel(res.channelName);
     finalizeResult(res, arch, spy.endTick() - spy.startTick());
     return res;
 }

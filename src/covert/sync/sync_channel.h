@@ -23,6 +23,7 @@
 
 #include "covert/channel.h"
 #include "covert/sync/handshake.h"
+#include "covert/trace/flight_recorder.h"
 
 namespace gpucc::covert
 {
@@ -51,6 +52,8 @@ struct SyncChannelConfig
      * arrive while the channel is running.
      */
     std::function<void(TwoPartyHarness &)> afterLaunch;
+    /** Optional per-symbol flight recorder (null = no recording). */
+    trace::FlightRecorder *recorder = nullptr;
 };
 
 /** Persistent-kernel synchronized channel on the L1 constant cache. */

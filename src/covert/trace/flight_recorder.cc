@@ -1,0 +1,110 @@
+#include "covert/trace/flight_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/metrics/json_writer.h"
+
+namespace gpucc::covert::trace
+{
+
+double
+decisionMargin(const SymbolRecord &r)
+{
+    double margin = r.metric - r.threshold;
+    // A "1" decodes above threshold, a "0" below; flip the sign so a
+    // positive margin always means "the correct side".
+    if (!r.truth)
+        margin = -margin;
+    return margin;
+}
+
+FlightRecorder::FlightRecorder(std::string channel)
+    : channelName(std::move(channel))
+{
+}
+
+void
+FlightRecorder::record(const SymbolRecord &r)
+{
+    symbols.push_back(r);
+    if (r.error())
+        ++errors;
+}
+
+double
+FlightRecorder::errorRate() const
+{
+    return symbols.empty()
+               ? 0.0
+               : static_cast<double>(errors) /
+                     static_cast<double>(symbols.size());
+}
+
+double
+FlightRecorder::worstMargin() const
+{
+    double worst = 0.0;
+    bool any = false;
+    for (const auto &r : symbols) {
+        if (r.error())
+            continue;
+        double m = decisionMargin(r);
+        if (!any || m < worst) {
+            worst = m;
+            any = true;
+        }
+    }
+    return any ? worst : 0.0;
+}
+
+void
+FlightRecorder::clear()
+{
+    symbols.clear();
+    errors = 0;
+}
+
+std::string
+FlightRecorder::toJson() const
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("channel", channelName);
+    w.beginArray("symbols");
+    for (const auto &r : symbols) {
+        w.beginObject();
+        w.field("index", r.index);
+        w.field("round", static_cast<std::uint64_t>(r.round));
+        w.field("tick", static_cast<std::uint64_t>(r.tick));
+        w.field("metric", r.metric);
+        w.field("threshold", r.threshold);
+        w.field("decoded", r.decoded);
+        w.field("truth", r.truth);
+        w.field("error", r.error());
+        w.endObject();
+    }
+    w.endArray();
+    w.beginObject("summary");
+    w.field("symbols", static_cast<std::uint64_t>(symbols.size()));
+    w.field("errors", errors);
+    w.field("errorRate", errorRate());
+    w.field("worstMargin", worstMargin());
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+void
+FlightRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        GPUCC_FATAL("cannot open flight-recorder output '%s'", path.c_str());
+    f << toJson() << "\n";
+}
+
+} // namespace gpucc::covert::trace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Channel flight recorder: the per-symbol ground truth log.
+ *
+ * Aggregate bit-error rates (ChannelResult::report) say *how often* a
+ * channel fails; they cannot say *which* symbols failed or how close
+ * the decode metric sat to the threshold when they did. The flight
+ * recorder captures one record per transmitted symbol — send tick,
+ * measured latency metric, the decision threshold in force, the
+ * decoded bit, and the ground-truth bit — so an error burst can be
+ * lined up against the trace timeline (fault windows, ARQ retries,
+ * interferer launches) that caused it.
+ *
+ * Opt-in by pointer: channels carry a null FlightRecorder* by default
+ * (the fault-hook pattern), so recording costs nothing unless a bench
+ * or example attaches one.
+ */
+
+#ifndef GPUCC_COVERT_TRACE_FLIGHT_RECORDER_H
+#define GPUCC_COVERT_TRACE_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::covert::trace
+{
+
+/** One transmitted symbol as the decoder saw it. */
+struct SymbolRecord
+{
+    std::uint64_t index = 0; //!< position in the transmitted message
+    std::uint32_t round = 0; //!< protocol round (launch-per-bit: == index)
+    Tick tick = 0;           //!< device tick the symbol was decoded at
+    double metric = 0.0;     //!< decode metric (avg probe cycles)
+    double threshold = 0.0;  //!< decision threshold in force
+    bool decoded = false;    //!< bit the decoder produced
+    bool truth = false;      //!< bit the sender encoded
+    bool error() const { return decoded != truth; }
+};
+
+/** Margin between the metric and the threshold, signed toward the
+ *  decoded side (negative = the decode was wrong side of truth). */
+double decisionMargin(const SymbolRecord &r);
+
+/** Per-transmission log of SymbolRecords with JSON export. */
+class FlightRecorder
+{
+  public:
+    /** @param channel Channel name stamped into the export. */
+    explicit FlightRecorder(std::string channel = "");
+
+    /** Append one symbol record (called from the decode loop). */
+    void record(const SymbolRecord &r);
+
+    /** Set/replace the channel name (channels stamp their own). */
+    void setChannel(const std::string &name) { channelName = name; }
+
+    const std::vector<SymbolRecord> &records() const { return symbols; }
+    std::uint64_t errorCount() const { return errors; }
+
+    /** Fraction of recorded symbols decoded incorrectly. */
+    double errorRate() const;
+
+    /** Smallest decision margin over all correct decodes: how close
+     *  the channel came to flipping a bit. 0 when nothing recorded. */
+    double worstMargin() const;
+
+    /** Drop all records (recorder reuse across transmissions). */
+    void clear();
+
+    /**
+     * Serialize: {"channel": ..., "symbols": [...], "summary": {...}}.
+     * Symbol rows are flat objects, one per record, in record order.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path (fatal on I/O failure). */
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::string channelName;
+    std::vector<SymbolRecord> symbols;
+    std::uint64_t errors = 0;
+};
+
+} // namespace gpucc::covert::trace
+
+#endif // GPUCC_COVERT_TRACE_FLIGHT_RECORDER_H

@@ -1,12 +1,21 @@
 #include "gpu/device.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/log.h"
 #include "gpu/thread_block.h"
 
 namespace gpucc::gpu
 {
+
+namespace
+{
+
+/** Process-wide ordinal for GPUCC_TRACE auto-attach labels. */
+std::atomic<unsigned> traceDeviceOrdinal{0};
+
+} // namespace
 
 Device::Device(ArchParams arch) : params(std::move(arch))
 {
@@ -16,9 +25,107 @@ Device::Device(ArchParams arch) : params(std::move(arch))
     for (unsigned i = 0; i < params.numSms; ++i)
         sms.push_back(std::make_unique<Sm>(*this, i));
     blockSched = std::make_unique<BlockScheduler>(*this);
+    registerDeviceMetrics();
+    if (auto *session = sim::trace::TraceSession::global()) {
+        attachTrace(*session,
+                    strfmt("device%u", traceDeviceOrdinal.fetch_add(1)));
+    }
 }
 
 Device::~Device() = default;
+
+void
+Device::registerDeviceMetrics()
+{
+    queue.registerMetrics(registry);
+    cmem->registerMetrics(registry);
+    gmem->registerMetrics(registry);
+    for (auto &s : sms)
+        s->registerMetrics(registry);
+
+    registry.gauge("device.ticks",
+                   [this] { return static_cast<double>(queue.now()); });
+    registry.gauge("kernels.launched", [this] {
+        return static_cast<double>(instances.size());
+    });
+    registry.gauge("kernels.completed", [this] {
+        std::uint64_t done = 0;
+        for (const auto &k : instances)
+            done += k->done() ? 1 : 0;
+        return static_cast<double>(done);
+    });
+    registry.gauge("sched.preemptions", [this] {
+        return static_cast<double>(blockSched->preemptions());
+    });
+
+    // Issue-port classes, aggregated over every scheduler of every SM.
+    // Pull gauges read the ResourcePool tallies that already exist, so
+    // the warp-issue hot path gains no new counter.
+    struct PortClass
+    {
+        const char *key;
+        int fu; //!< FuType index, -1 = dispatch pool
+    };
+    static constexpr PortClass classes[] = {
+        {"dispatch", -1},
+        {"sp", static_cast<int>(FuType::SP)},
+        {"dpu", static_cast<int>(FuType::DPU)},
+        {"sfu", static_cast<int>(FuType::SFU)},
+        {"ldst", static_cast<int>(FuType::LDST)},
+    };
+    for (const auto &c : classes) {
+        auto sum = [this, c](int what) {
+            double total = 0.0;
+            for (auto &s : sms) {
+                for (unsigned i = 0; i < s->numSchedulers(); ++i) {
+                    WarpScheduler &ws = s->scheduler(i);
+                    sim::ResourcePool &pool =
+                        c.fu < 0 ? ws.dispatch()
+                                 : ws.port(static_cast<FuType>(c.fu));
+                    total += what == 0
+                                 ? static_cast<double>(pool.busyTicks())
+                             : what == 1
+                                 ? static_cast<double>(pool.requests())
+                                 : static_cast<double>(pool.totalQueueing());
+                }
+            }
+            return total;
+        };
+        registry.gauge(strfmt("fu.%s.busyTicks", c.key),
+                       [sum] { return sum(0); });
+        registry.gauge(strfmt("fu.%s.requests", c.key),
+                       [sum] { return sum(1); });
+        registry.gauge(strfmt("fu.%s.queueingTicks", c.key),
+                       [sum] { return sum(2); });
+    }
+}
+
+void
+Device::attachTrace(sim::trace::TraceSession &session,
+                    const std::string &label)
+{
+    trace = session.makeShard(label);
+    cmem->setTraceShard(trace);
+}
+
+void
+Device::sampleMetricsEvery(Cycle cycles)
+{
+    GPUCC_ASSERT(cycles > 0, "sampling interval must be positive");
+    scheduleMetricsSample(cyclesToTicks(cycles));
+}
+
+void
+Device::scheduleMetricsSample(Tick period)
+{
+    queue.schedule(queue.now() + period, [this, period] {
+        registry.snapshot(queue.now());
+        // Re-arm only while other work is pending; otherwise the
+        // sampler would keep the queue alive forever.
+        if (!queue.empty())
+            scheduleMetricsSample(period);
+    });
+}
 
 Sm &
 Device::sm(unsigned i)
@@ -62,8 +169,29 @@ Device::blockFinished(ThreadBlock &block)
     KernelInstance &kernel = block.kernel();
     block.sm().release(kernel.config(), kernel.id());
     kernel.noteBlockDone();
+    if (auto *tr = traceShard();
+        tr && tr->wants(sim::trace::Cat::Kernel)) {
+        const BlockRecord &rec =
+            kernel.blockRecords()[block.recordIndex()];
+        std::uint32_t tid = 100 + rec.smId;
+        tr->nameRow(tid, strfmt("sm%u blocks", rec.smId));
+        tr->span(sim::trace::Cat::Kernel, tid,
+                 strfmt("%s b%u", kernel.name().c_str(), block.id()),
+                 rec.startTick, now(), "kernel",
+                 kernel.id());
+    }
     if (kernel.done()) {
         kernel.noteEnd(now());
+        if (auto *tr = traceShard();
+            tr && tr->wants(sim::trace::Cat::Kernel)) {
+            std::uint32_t tid =
+                10 + static_cast<std::uint32_t>(kernel.stream().id());
+            tr->nameRow(tid, strfmt("stream%u kernels",
+                                    static_cast<unsigned>(
+                                        kernel.stream().id())));
+            tr->span(sim::trace::Cat::Kernel, tid, kernel.name(),
+                     kernel.startTick(), now(), "kernel", kernel.id());
+        }
         // Section 9 mitigation: purge cache state between kernels so
         // temporal partitioning also stops state-based cache channels.
         if (mitigationCfg.flushCachesBetweenKernels)

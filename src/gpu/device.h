@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics/metrics.h"
 #include "common/rng.h"
 #include "gpu/arch_params.h"
 #include "gpu/block_scheduler.h"
@@ -22,6 +23,7 @@
 #include "mem/const_memory.h"
 #include "mem/global_memory.h"
 #include "sim/event_queue.h"
+#include "sim/trace/trace.h"
 
 namespace gpucc::sim::fault
 {
@@ -138,7 +140,42 @@ class Device
     /** Attach/detach the fault injector (FaultInjector only). */
     void setFaultHooks(sim::fault::FaultInjector *inj) { injector = inj; }
 
+    /**
+     * The device's metrics registry. Every component registers its
+     * instruments here at construction; collectStats() and the interval
+     * snapshots read from it.
+     */
+    metrics::Registry &metricsRegistry() { return registry; }
+
+    /**
+     * Trace shard of this device, or null when tracing is off (the
+     * default — same hook pattern as faultHooks()). Hot paths guard
+     * with `if (auto *tr = traceShard(); tr && tr->wants(cat))`.
+     */
+    sim::trace::Shard *traceShard() const { return trace; }
+
+    /**
+     * Attach this device to @p session under @p label. Devices attach
+     * automatically to the GPUCC_TRACE global session; explicit calls
+     * are for tests and sweeps that need deterministic labels.
+     */
+    void attachTrace(sim::trace::TraceSession &session,
+                     const std::string &label);
+
+    /**
+     * Sample the metrics registry every @p cycles of simulated time.
+     * The sampler rides the event queue and stops rescheduling when the
+     * queue otherwise drains, so runUntilIdle() still terminates.
+     */
+    void sampleMetricsEvery(Cycle cycles);
+
   private:
+    /** Register the device-wide aggregate gauges. */
+    void registerDeviceMetrics();
+
+    /** Self-rescheduling interval sampler (see sampleMetricsEvery). */
+    void scheduleMetricsSample(Tick period);
+
     ArchParams params;
     sim::EventQueue queue;
     std::unique_ptr<mem::ConstMemory> cmem;
@@ -154,6 +191,8 @@ class Device
     MitigationConfig mitigationCfg;
     Rng rng{0x6d69746967617465ULL};
     sim::fault::FaultInjector *injector = nullptr;
+    metrics::Registry registry;
+    sim::trace::Shard *trace = nullptr;
 };
 
 } // namespace gpucc::gpu

@@ -2,84 +2,72 @@
 
 #include <sstream>
 
+#include "common/log.h"
+#include "common/metrics/metrics.h"
 #include "common/table.h"
 #include "gpu/device.h"
-#include "gpu/warp_scheduler.h"
 
 namespace gpucc::gpu
 {
 
-namespace
-{
-
-/** Accumulate one pool into a port row. */
-void
-accumulate(PortUtilization &row, const sim::ResourcePool &pool)
-{
-    row.busyTicks += pool.busyTicks();
-    row.requests += pool.requests();
-    row.queueingTicks += pool.totalQueueing();
-}
-
-} // namespace
-
+// collectStats is a *view* over the metrics registry: every number here
+// comes from the same instruments the interval snapshots and the JSON
+// export read, so a report can never disagree with the time-series.
 DeviceStatsReport
 collectStats(Device &dev)
 {
+    const metrics::Registry &reg = dev.metricsRegistry();
+    auto u64 = [&reg](const char *name) {
+        return static_cast<std::uint64_t>(reg.value(name));
+    };
+
     DeviceStatsReport r;
     r.elapsedTicks = dev.now();
-    r.eventsExecuted = dev.events().executed();
-    r.kernelsLaunched = dev.kernels().size();
-    for (const auto &k : dev.kernels()) {
-        if (k->done())
-            ++r.kernelsCompleted;
-    }
-    r.preemptions = dev.blockScheduler().preemptions();
+    r.eventsExecuted = u64("sim.events.executed");
+    r.kernelsLaunched = u64("kernels.launched");
+    r.kernelsCompleted = u64("kernels.completed");
+    r.preemptions = static_cast<unsigned>(u64("sched.preemptions"));
 
-    PortUtilization dispatch{"dispatch", 0, 0, 0, 0.0};
-    PortUtilization sp{"SP issue", 0, 0, 0, 0.0};
-    PortUtilization dp{"DPU issue", 0, 0, 0, 0.0};
-    PortUtilization sfu{"SFU issue", 0, 0, 0, 0.0};
-    PortUtilization ldst{"LD/ST issue", 0, 0, 0, 0.0};
     unsigned schedCount = 0;
-    for (unsigned s = 0; s < dev.numSms(); ++s) {
-        Sm &sm = dev.sm(s);
-        for (unsigned i = 0; i < sm.numSchedulers(); ++i) {
-            WarpScheduler &ws = sm.scheduler(i);
-            accumulate(dispatch, ws.dispatch());
-            accumulate(sp, ws.port(FuType::SP));
-            accumulate(dp, ws.port(FuType::DPU));
-            accumulate(sfu, ws.port(FuType::SFU));
-            accumulate(ldst, ws.port(FuType::LDST));
-            ++schedCount;
-        }
-    }
-    auto finish = [&](PortUtilization &row, double serversPerScheduler) {
+    for (unsigned s = 0; s < dev.numSms(); ++s)
+        schedCount += dev.sm(s).numSchedulers();
+
+    struct PortClass
+    {
+        const char *key;   //!< registry name segment, e.g. "fu.sp.*"
+        const char *label; //!< report row name
+        bool dispatch;     //!< servers scale with dispatchUnitsPerScheduler
+    };
+    static constexpr PortClass classes[] = {
+        {"dispatch", "dispatch", true}, {"sp", "SP issue", false},
+        {"dpu", "DPU issue", false},    {"sfu", "SFU issue", false},
+        {"ldst", "LD/ST issue", false},
+    };
+    for (const auto &c : classes) {
+        PortUtilization row;
+        row.name = c.label;
+        row.busyTicks = static_cast<Tick>(
+            reg.value(strfmt("fu.%s.busyTicks", c.key)));
+        row.requests = u64(strfmt("fu.%s.requests", c.key).c_str());
+        row.queueingTicks = static_cast<Tick>(
+            reg.value(strfmt("fu.%s.queueingTicks", c.key)));
+        double servers = c.dispatch
+                             ? dev.arch().dispatchUnitsPerScheduler
+                             : 1.0;
         double capacity = static_cast<double>(r.elapsedTicks) *
-                          static_cast<double>(schedCount) *
-                          serversPerScheduler;
+                          static_cast<double>(schedCount) * servers;
         row.utilization =
             capacity > 0.0 ? static_cast<double>(row.busyTicks) / capacity
                            : 0.0;
-        r.ports.push_back(row);
-    };
-    finish(dispatch, dev.arch().dispatchUnitsPerScheduler);
-    finish(sp, 1.0);
-    finish(dp, 1.0);
-    finish(sfu, 1.0);
-    finish(ldst, 1.0);
-
-    std::uint64_t l1Hits = 0, l1Misses = 0;
-    for (unsigned s = 0; s < dev.numSms(); ++s) {
-        const auto &l1 = dev.constMem().l1Cache(s);
-        l1Hits += l1.hits();
-        l1Misses += l1.misses();
+        r.ports.push_back(std::move(row));
     }
-    r.caches.push_back(CacheStats{"const L1 (all SMs)", l1Hits, l1Misses});
-    r.caches.push_back(CacheStats{"const L2",
-                                  dev.constMem().l2Cache().hits(),
-                                  dev.constMem().l2Cache().misses()});
-    r.atomicBusyTicks = dev.globalMem().atomicBusyTicks();
+
+    r.caches.push_back(CacheStats{"const L1 (all SMs)",
+                                  u64("cache.constL1.hits"),
+                                  u64("cache.constL1.misses")});
+    r.caches.push_back(CacheStats{"const L2", u64("cache.constL2.hits"),
+                                  u64("cache.constL2.misses")});
+    r.atomicBusyTicks = static_cast<Tick>(reg.value("mem.atomic.busyTicks"));
     return r;
 }
 

@@ -28,6 +28,19 @@ Sm::numSchedulers() const
     return static_cast<unsigned>(schedulers.size());
 }
 
+void
+Sm::registerMetrics(metrics::Registry &reg)
+{
+    // Per-SM occupancy: what a co-location probe (or a defender
+    // watching for the exclusive-colocation seal) observes over time.
+    reg.gauge(strfmt("sm%u.occupancy.warps", smId),
+              [this] { return static_cast<double>(occ.warps); });
+    reg.gauge(strfmt("sm%u.occupancy.blocks", smId),
+              [this] { return static_cast<double>(occ.blocks); });
+    reg.gauge(strfmt("sm%u.occupancy.smemBytes", smId),
+              [this] { return static_cast<double>(occ.smemBytes); });
+}
+
 bool
 Sm::canHost(const LaunchConfig &cfg) const
 {

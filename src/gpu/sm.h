@@ -18,6 +18,11 @@
 #include "gpu/kernel.h"
 #include "gpu/warp_scheduler.h"
 
+namespace gpucc::metrics
+{
+class Registry;
+} // namespace gpucc::metrics
+
 namespace gpucc::gpu
 {
 
@@ -83,6 +88,9 @@ class Sm
 
     /** @return true when nothing is resident. */
     bool idle() const { return occ.blocks == 0; }
+
+    /** Expose per-SM occupancy gauges in @p reg (Device calls once). */
+    void registerMetrics(metrics::Registry &reg);
 
     /**
      * Next warp -> scheduler assignment. The counter runs round-robin

@@ -40,6 +40,16 @@ WarpCtx::scheduleResume(std::coroutine_handle<> h, Tick when) const
             static_cast<unsigned>(blockPtr->kernel().stream().id());
         when += inj->resumeDelayAt(stream, when);
     }
+    if (auto *tr = dev->traceShard();
+        tr && tr->wants(sim::trace::Cat::Warp)) {
+        Tick now = dev->now();
+        if (when > now) {
+            std::uint32_t tid = 1000 + smPtr->id();
+            tr->nameRow(tid, strfmt("sm%u warp stalls", smPtr->id()));
+            tr->span(sim::trace::Cat::Warp, tid, "stall", now, when,
+                     "warp", globalWarpId());
+        }
+    }
     Warp *w = warpPtr;
     dev->events().schedule(when, [w, h] { w->resumeHandle(h); });
 }
@@ -100,6 +110,18 @@ WarpCtx::issueOp(OpClass op, Tick now) const
     auto &sched = smPtr->scheduler(warpPtr->schedulerId());
     auto d = sched.dispatch().acquire(now, cyclesToTicks(Cycle(1)));
     auto f = sched.port(t.fu).acquire(d.serviceStart, t.occTicks);
+    if (auto *tr = dev->traceShard();
+        tr && tr->wants(sim::trace::Cat::Fu)) {
+        static constexpr const char *fuNames[] = {"SP", "DPU", "SFU",
+                                                  "LDST"};
+        unsigned fuIdx = static_cast<unsigned>(t.fu);
+        std::uint32_t tid = 2000 + smPtr->id() * 100 +
+                            warpPtr->schedulerId() * 10 + fuIdx;
+        tr->nameRow(tid, strfmt("sm%u sched%u %s", smPtr->id(),
+                                warpPtr->schedulerId(), fuNames[fuIdx]));
+        tr->span(sim::trace::Cat::Fu, tid, opClassName(op),
+                 f.serviceStart, f.serviceEnd, "warp", globalWarpId());
+    }
     return f.serviceEnd + cyclesToTicks(t.latencyCycles);
 }
 
@@ -207,6 +229,13 @@ WarpCtx::atomicAdd(const std::vector<Addr> &laneAddrs, std::uint64_t value)
     auto l = sched.port(FuType::LDST).acquire(start,
                                               cyclesToTicks(Cycle(1)));
     Tick done = dev->globalMem().atomicAdd(laneAddrs, value, l.serviceEnd);
+    if (auto *tr = dev->traceShard();
+        tr && tr->wants(sim::trace::Cat::Atomic)) {
+        std::uint32_t tid = 4000 + smPtr->id();
+        tr->nameRow(tid, strfmt("sm%u atomics", smPtr->id()));
+        tr->span(sim::trace::Cat::Atomic, tid, "atomicAdd", now, done,
+                 "lanes", laneAddrs.size());
+    }
     return Await(*this, done, ticksToCycles(done - now));
 }
 

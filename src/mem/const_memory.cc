@@ -1,6 +1,8 @@
 #include "mem/const_memory.h"
 
 #include "common/log.h"
+#include "common/metrics/metrics.h"
+#include "sim/trace/trace.h"
 
 namespace gpucc::mem
 {
@@ -61,6 +63,20 @@ ConstMemory::access(unsigned smId, Addr addr, Tick now, int partitionDomain,
                              static_cast<unsigned>(p.l1.setOf(addr)),
                              accessorApp, a1.victimOwner});
     }
+    auto *tr = traceHook;
+    bool traceCache = tr != nullptr && tr->wants(sim::trace::Cat::Cache);
+    if (traceCache) {
+        std::uint32_t tid = 3000 + smId;
+        tr->nameRow(tid, strfmt("sm%u constL1", smId));
+        if (a1.evicted) {
+            tr->instant(sim::trace::Cat::Cache, tid, "l1-evict", now,
+                        "set",
+                        static_cast<std::uint64_t>(p.l1.setOf(addr)));
+        }
+        tr->instant(sim::trace::Cat::Cache, tid,
+                    a1.hit ? "l1-hit" : "l1-miss", now, "set",
+                    static_cast<std::uint64_t>(p.l1.setOf(addr)));
+    }
     if (a1.hit) {
         res.l1Hit = true;
         res.completion = t1 + cyclesToTicks(p.l1HitCycles);
@@ -83,6 +99,18 @@ ConstMemory::access(unsigned smId, Addr addr, Tick now, int partitionDomain,
         record(EvictionEvent{now, ~0u,
                              static_cast<unsigned>(p.l2.setOf(addr)),
                              accessorApp, a2.victimOwner});
+    }
+    if (traceCache) {
+        constexpr std::uint32_t l2Tid = 3999;
+        tr->nameRow(l2Tid, "constL2");
+        if (a2.evicted) {
+            tr->instant(sim::trace::Cat::Cache, l2Tid, "l2-evict", now,
+                        "set",
+                        static_cast<std::uint64_t>(p.l2.setOf(addr)));
+        }
+        tr->instant(sim::trace::Cat::Cache, l2Tid,
+                    a2.hit ? "l2-hit" : "l2-miss", now, "set",
+                    static_cast<std::uint64_t>(p.l2.setOf(addr)));
     }
     if (a2.hit) {
         res.l2Hit = true;
@@ -114,6 +142,32 @@ ConstMemory::record(const EvictionEvent &e)
     if (trace.size() >= cap)
         trace.erase(trace.begin(), trace.begin() + cap / 4);
     trace.push_back(e);
+}
+
+void
+ConstMemory::registerMetrics(metrics::Registry &reg)
+{
+    // Hits/misses live in the SetAssocCaches already; the gauges just
+    // sum them on demand, so access() gains no extra counter.
+    reg.gauge("cache.constL1.hits", [this] {
+        double total = 0.0;
+        for (const auto &c : l1s)
+            total += static_cast<double>(c->hits());
+        return total;
+    });
+    reg.gauge("cache.constL1.misses", [this] {
+        double total = 0.0;
+        for (const auto &c : l1s)
+            total += static_cast<double>(c->misses());
+        return total;
+    });
+    reg.gauge("cache.constL2.hits",
+              [this] { return static_cast<double>(l2->hits()); });
+    reg.gauge("cache.constL2.misses",
+              [this] { return static_cast<double>(l2->misses()); });
+    reg.gauge("cache.constL2.portQueueingTicks", [this] {
+        return static_cast<double>(l2Port->totalQueueing());
+    });
 }
 
 void

@@ -22,6 +22,16 @@
 #include "mem/set_assoc_cache.h"
 #include "sim/resource_pool.h"
 
+namespace gpucc::metrics
+{
+class Registry;
+} // namespace gpucc::metrics
+
+namespace gpucc::sim::trace
+{
+class Shard;
+} // namespace gpucc::sim::trace
+
 namespace gpucc::mem
 {
 
@@ -111,6 +121,12 @@ class ConstMemory
     /** Parameter accessor. */
     const ConstMemoryParams &params() const { return p; }
 
+    /** Expose aggregate hit/miss gauges in @p reg (Device calls once). */
+    void registerMetrics(metrics::Registry &reg);
+
+    /** Attach/detach the trace shard (Device::attachTrace only). */
+    void setTraceShard(sim::trace::Shard *shard) { traceHook = shard; }
+
   private:
     /** Append to the trace, bounded. */
     void record(const EvictionEvent &e);
@@ -122,6 +138,7 @@ class ConstMemory
     std::unique_ptr<sim::ResourcePool> l2Port;
     bool tracing = false;
     std::vector<EvictionEvent> trace;
+    sim::trace::Shard *traceHook = nullptr;
 };
 
 } // namespace gpucc::mem

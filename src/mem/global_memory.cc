@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/metrics/metrics.h"
 
 namespace gpucc::mem
 {
@@ -109,6 +110,32 @@ GlobalMemory::atomicBusyTicks() const
     for (const auto &u : atomicUnits)
         total += u->busyTicks();
     return total;
+}
+
+void
+GlobalMemory::registerMetrics(metrics::Registry &reg)
+{
+    reg.gauge("mem.atomic.busyTicks", [this] {
+        return static_cast<double>(atomicBusyTicks());
+    });
+    reg.gauge("mem.atomic.requests", [this] {
+        double total = 0.0;
+        for (const auto &u : atomicUnits)
+            total += static_cast<double>(u->requests());
+        return total;
+    });
+    reg.gauge("mem.atomic.queueingTicks", [this] {
+        double total = 0.0;
+        for (const auto &u : atomicUnits)
+            total += static_cast<double>(u->totalQueueing());
+        return total;
+    });
+    reg.gauge("mem.dataPort.busyTicks", [this] {
+        double total = 0.0;
+        for (const auto &u : dataPorts)
+            total += static_cast<double>(u->busyTicks());
+        return total;
+    });
 }
 
 } // namespace gpucc::mem

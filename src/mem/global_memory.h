@@ -26,6 +26,11 @@
 #include "mem/coalescer.h"
 #include "sim/resource_pool.h"
 
+namespace gpucc::metrics
+{
+class Registry;
+} // namespace gpucc::metrics
+
 namespace gpucc::mem
 {
 
@@ -82,6 +87,10 @@ class GlobalMemory
 
     /** Aggregate atomic-unit busy ticks (tests check contention). */
     Tick atomicBusyTicks() const;
+
+    /** Expose atomic-unit/data-port gauges in @p reg (Device calls
+     *  once). */
+    void registerMetrics(metrics::Registry &reg);
 
   private:
     GlobalMemoryParams p;

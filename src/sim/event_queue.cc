@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/metrics/metrics.h"
 
 namespace gpucc::sim
 {
@@ -115,6 +116,15 @@ EventQueue::advanceTo(Tick when)
                  "cannot advance past pending events");
     if (when > current)
         current = when;
+}
+
+void
+EventQueue::registerMetrics(metrics::Registry &reg)
+{
+    reg.gauge("sim.events.executed",
+              [this] { return static_cast<double>(fired); });
+    reg.gauge("sim.events.pending",
+              [this] { return static_cast<double>(keys.size()); });
 }
 
 } // namespace gpucc::sim

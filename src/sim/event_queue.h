@@ -29,6 +29,11 @@
 #include "common/types.h"
 #include "sim/event_fn.h"
 
+namespace gpucc::metrics
+{
+class Registry;
+} // namespace gpucc::metrics
+
 namespace gpucc::sim
 {
 
@@ -94,8 +99,14 @@ class EventQueue
     /** Number of events executed since construction. */
     std::uint64_t executed() const { return fired; }
 
+    /** Number of events currently pending. */
+    std::size_t pending() const { return keys.size(); }
+
     /** Force the current tick forward (host-side idle time). */
     void advanceTo(Tick when);
+
+    /** Expose executed/pending as pull gauges in @p reg. */
+    void registerMetrics(metrics::Registry &reg);
 
   private:
     /** Initial reservation for the key heap and callback slab. */

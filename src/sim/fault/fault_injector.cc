@@ -91,6 +91,14 @@ FaultInjector::armInterferer(const FaultSpec &f, std::size_t specIdx,
             // launch inside global tick order.
             dev.submit(*s.stream, s.prototype, dev.now());
             ++counts.burstsLaunched;
+            if (cBursts != nullptr)
+                cBursts->inc();
+            if (auto *tr = dev.traceShard();
+                tr && tr->wants(trace::Cat::Fault)) {
+                tr->nameRow(5002, "fault bursts");
+                tr->instant(trace::Cat::Fault, 5002,
+                            "burst " + s.prototype.name, dev.now());
+            }
         });
     }
 }
@@ -159,6 +167,14 @@ FaultInjector::thrashOnce(const FaultSpec &f, const std::vector<Addr> &addrs)
             dev.constMem().access(sm, a, now, -1, app);
     }
     ++counts.thrashPasses;
+    if (cThrash != nullptr)
+        cThrash->inc();
+    if (auto *tr = dev.traceShard(); tr && tr->wants(trace::Cat::Fault)) {
+        tr->nameRow(5003, "fault thrash");
+        tr->instant(trace::Cat::Fault, 5003, "thrash " + f.name, now,
+                    "sets",
+                    static_cast<std::uint64_t>(f.setEnd - f.setBegin));
+    }
 }
 
 void
@@ -183,6 +199,13 @@ FaultInjector::arm()
     isArmed = true;
     dev.setFaultHooks(this);
     Tick base = dev.now();
+
+    // Registry counters survive the injector (re-arming a second
+    // injector on the same device resumes the same metric).
+    auto &reg = dev.metricsRegistry();
+    cBursts = &reg.counter("fault.bursts");
+    cThrash = &reg.counter("fault.thrashPasses");
+    cStalls = &reg.counter("fault.stallsApplied");
 
     interferers.resize(thePlan.faults.size());
     thrashAddrs.resize(thePlan.faults.size());
@@ -210,6 +233,22 @@ FaultInjector::arm()
     };
     std::sort(clockWins.begin(), clockWins.end(), byBegin);
     std::sort(stallWins.begin(), stallWins.end(), byBegin);
+
+    // Windows are known in full at arm time; emit their spans up front
+    // so the timeline shows the planned fault schedule even when a
+    // window ends up never being queried.
+    if (auto *tr = dev.traceShard(); tr && tr->wants(trace::Cat::Fault)) {
+        tr->nameRow(5000, "fault clock windows");
+        tr->nameRow(5001, "fault stall windows");
+        for (const Window &w : clockWins) {
+            tr->span(trace::Cat::Fault, 5000,
+                     thePlan.faults[w.specIdx].name, w.begin, w.end);
+        }
+        for (const Window &w : stallWins) {
+            tr->span(trace::Cat::Fault, 5001,
+                     thePlan.faults[w.specIdx].name, w.begin, w.end);
+        }
+    }
 }
 
 void
@@ -290,8 +329,11 @@ FaultInjector::resumeDelayAt(unsigned streamId, Tick when)
         if (thePlan.faults[w.specIdx].victimStream == streamId)
             delay = std::max(delay, w.end - when);
     });
-    if (delay > 0)
+    if (delay > 0) {
         ++counts.stallsApplied;
+        if (cStalls != nullptr)
+            cStalls->inc();
+    }
     return delay;
 }
 

@@ -32,6 +32,11 @@ class Device;
 class Stream;
 } // namespace gpucc::gpu
 
+namespace gpucc::metrics
+{
+class Counter;
+} // namespace gpucc::metrics
+
 namespace gpucc::sim::fault
 {
 
@@ -131,6 +136,12 @@ class FaultInjector
     std::uint64_t seed;
     bool isArmed = false;
     FaultStats counts;
+
+    /** Registry-owned counters mirroring @c counts (cached at arm();
+     *  they outlive the injector, so snapshots never dangle). */
+    metrics::Counter *cBursts = nullptr;
+    metrics::Counter *cThrash = nullptr;
+    metrics::Counter *cStalls = nullptr;
 
     /** Sorted (by begin) windows per hook family. */
     std::vector<Window> clockWins;

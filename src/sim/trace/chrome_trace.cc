@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter for TraceSession.
+ *
+ * Output follows the trace-event format's "JSON Object Format":
+ * {"traceEvents": [...], "displayTimeUnit": "ns", ...}. Each shard
+ * becomes one pid (process); timeline rows become tids (threads);
+ * process_name / thread_name metadata events label them. Timestamps
+ * ("ts") are nominally microseconds in the format — we map one
+ * simulated *cycle* to one displayed unit, so the Perfetto ruler reads
+ * directly in cycles.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "common/metrics/json_writer.h"
+#include "sim/trace/trace.h"
+
+namespace gpucc::sim::trace
+{
+
+namespace
+{
+
+void
+writeCommonFields(metrics::JsonWriter &w, const Event &e, int pid)
+{
+    w.field("name", e.name);
+    w.field("cat", catName(e.cat));
+    w.field("ph", std::string(1, e.phase));
+    w.field("ts", ticksToCyclesF(e.ts));
+    if (e.phase == 'X')
+        w.field("dur", ticksToCyclesF(e.dur));
+    w.field("pid", pid);
+    w.field("tid", static_cast<std::uint64_t>(e.tid));
+}
+
+void
+writeMetadata(metrics::JsonWriter &w, const char *what, int pid,
+              std::uint64_t tid, bool withTid, const std::string &name)
+{
+    w.beginObject();
+    w.field("name", what);
+    w.field("ph", "M");
+    w.field("pid", pid);
+    if (withTid)
+        w.field("tid", tid);
+    w.beginObject("args");
+    w.field("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+TraceSession::writeChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+
+    // pid assignment by label, not creation order, so parallel-sweep
+    // traces are identical for any GPUCC_THREADS.
+    std::vector<const Shard *> ordered;
+    ordered.reserve(shards.size());
+    for (const auto &s : shards)
+        ordered.push_back(s.get());
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Shard *a, const Shard *b) {
+                         return a->shardLabel() < b->shardLabel();
+                     });
+
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.beginArray("traceEvents");
+    for (std::size_t pidIdx = 0; pidIdx < ordered.size(); ++pidIdx) {
+        const Shard &s = *ordered[pidIdx];
+        int pid = static_cast<int>(pidIdx);
+        writeMetadata(w, "process_name", pid, 0, false, s.shardLabel());
+        for (const auto &[tid, rowName] : s.rowNames())
+            writeMetadata(w, "thread_name", pid, tid, true, rowName);
+        for (const Event &e : s.recorded()) {
+            w.beginObject();
+            writeCommonFields(w, e, pid);
+            if (e.argKey != nullptr) {
+                w.beginObject("args");
+                w.field(e.argKey, e.argVal);
+                w.endObject();
+            } else if (e.phase == 'C') {
+                // Counter events need an args series even when unnamed.
+                w.beginObject("args");
+                w.field("value", e.argVal);
+                w.endObject();
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ns");
+    w.beginObject("otherData");
+    w.field("timeUnit", "cycles");
+    std::uint64_t dropped = 0;
+    for (const Shard *s : ordered)
+        dropped += s->dropped();
+    w.field("droppedEvents", dropped);
+    w.field("shards", static_cast<std::uint64_t>(ordered.size()));
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace gpucc::sim::trace

@@ -1,0 +1,163 @@
+#include "sim/trace/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace gpucc::sim::trace
+{
+
+namespace
+{
+
+struct CatEntry
+{
+    const char *name;
+    Cat cat;
+};
+
+constexpr CatEntry catTable[] = {
+    {"kernel", Cat::Kernel}, {"warp", Cat::Warp},     {"cache", Cat::Cache},
+    {"fu", Cat::Fu},         {"atomic", Cat::Atomic}, {"fault", Cat::Fault},
+    {"link", Cat::Link},
+};
+
+} // namespace
+
+std::uint32_t
+parseCats(const std::string &list)
+{
+    std::uint32_t mask = 0;
+    std::stringstream ss(list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        if (tok == "all") {
+            mask |= allCats;
+            continue;
+        }
+        bool found = false;
+        for (const auto &e : catTable) {
+            if (tok == e.name) {
+                mask |= static_cast<std::uint32_t>(e.cat);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            GPUCC_FATAL("unknown trace category '%s' (valid: kernel, warp, "
+                        "cache, fu, atomic, fault, link, all)",
+                        tok.c_str());
+    }
+    return mask;
+}
+
+const char *
+catName(Cat c)
+{
+    for (const auto &e : catTable)
+        if (e.cat == c)
+            return e.name;
+    return "?";
+}
+
+Shard::Shard(std::uint32_t mask, std::string label_)
+    : catMask(mask), label(std::move(label_)), cap(1u << 20)
+{
+}
+
+void
+Shard::nameRow(std::uint32_t tid, const std::string &name)
+{
+    rows.emplace(tid, name);
+}
+
+TraceSession::TraceSession(std::uint32_t mask, std::string path)
+    : catMask(mask), outPath(std::move(path))
+{
+}
+
+TraceSession::~TraceSession() = default;
+
+Shard *
+TraceSession::makeShard(std::string label)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    shards.push_back(std::make_unique<Shard>(catMask, std::move(label)));
+    return shards.back().get();
+}
+
+void
+TraceSession::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        GPUCC_FATAL("cannot open trace output '%s'", path.c_str());
+    writeChromeTrace(f);
+    f << "\n";
+}
+
+namespace
+{
+
+/** The process-wide session parsed from GPUCC_TRACE. */
+struct GlobalTrace
+{
+    std::unique_ptr<TraceSession> session;
+
+    GlobalTrace()
+    {
+        const char *env = std::getenv("GPUCC_TRACE");
+        if (env == nullptr || *env == '\0')
+            return;
+        std::string spec(env);
+        auto colon = spec.rfind(':');
+        if (colon == std::string::npos || colon + 1 == spec.size())
+            GPUCC_FATAL("GPUCC_TRACE must be 'categories:path' "
+                        "(e.g. kernel,cache:out.json), got '%s'",
+                        spec.c_str());
+        std::uint32_t mask = parseCats(spec.substr(0, colon));
+        if (mask == 0)
+            GPUCC_FATAL("GPUCC_TRACE enables no categories: '%s'",
+                        spec.c_str());
+        session =
+            std::make_unique<TraceSession>(mask, spec.substr(colon + 1));
+    }
+
+    ~GlobalTrace()
+    {
+        // Static-destruction-time flush: writes the trace even when the
+        // program never calls flushGlobal() explicitly.
+        if (session && !session->path().empty())
+            session->writeFile(session->path());
+    }
+};
+
+GlobalTrace &
+globalTrace()
+{
+    static GlobalTrace g;
+    return g;
+}
+
+} // namespace
+
+TraceSession *
+TraceSession::global()
+{
+    return globalTrace().session.get();
+}
+
+void
+TraceSession::flushGlobal()
+{
+    TraceSession *s = global();
+    if (s != nullptr && !s->path().empty())
+        s->writeFile(s->path());
+}
+
+} // namespace gpucc::sim::trace

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Deterministic simulation event tracer.
+ *
+ * A TraceSession holds the enabled category mask and a set of
+ * TraceShards. Each shard belongs to exactly one Device (or one
+ * link-layer endpoint) and is therefore written from exactly one
+ * thread with no synchronization on the emit path — the same
+ * per-shard-ownership contract the SweepRunner relies on. The only
+ * lock in the layer guards shard creation and the final export.
+ *
+ * Zero cost when disabled: the Device keeps a null shard pointer by
+ * default (the same pattern as the fault hooks in gpu/device.h), so
+ * every hook is one predictable null-check. When a category is
+ * disabled on an active shard, the hook is one load + mask test.
+ *
+ * Categories mirror the subsystems the paper observes: kernel
+ * lifecycle, warp stalls, cache hits/misses/evictions, FU pipeline
+ * occupancy, atomic-unit activity, fault activations, and ARQ link
+ * frames. The exporter writes Chrome trace-event JSON (pid = device,
+ * tid = timeline row) loadable in Perfetto / chrome://tracing;
+ * timestamps are emitted in *cycles* (the simulator's natural unit).
+ *
+ * Enable process-wide via the environment:
+ *     GPUCC_TRACE=kernel,warp,cache,link:out.json ./exfiltrate_key
+ * Categories are comma-separated ("all" enables everything); the part
+ * after the last ':' is the output path, written at process exit.
+ */
+
+#ifndef GPUCC_SIM_TRACE_TRACE_H
+#define GPUCC_SIM_TRACE_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gpucc::sim::trace
+{
+
+/** Event category bits (GPUCC_TRACE names in lowercase). */
+enum class Cat : std::uint32_t
+{
+    Kernel = 1u << 0, //!< kernel launch -> completion, block spans
+    Warp = 1u << 1,   //!< warp stall/resume spans
+    Cache = 1u << 2,  //!< const L1/L2 hit, miss, eviction instants
+    Fu = 1u << 3,     //!< FU issue-port occupancy spans
+    Atomic = 1u << 4, //!< atomic-unit transactions
+    Fault = 1u << 5,  //!< fault-injector activations
+    Link = 1u << 6,   //!< ARQ frame send / ack / retry / CRC reject
+};
+
+/** All categories. */
+inline constexpr std::uint32_t allCats = 0x7f;
+
+/** Parse a comma-separated category list ("kernel,cache" or "all").
+ *  Unknown names are fatal (a typo silently tracing nothing is worse). */
+std::uint32_t parseCats(const std::string &list);
+
+/** Category bit -> GPUCC_TRACE name. */
+const char *catName(Cat c);
+
+/** One recorded event. */
+struct Event
+{
+    std::string name;          //!< span / instant label
+    const char *argKey = nullptr; //!< optional numeric argument name
+    std::uint64_t argVal = 0;
+    Tick ts = 0;               //!< start tick
+    Tick dur = 0;              //!< duration in ticks (spans only)
+    std::uint32_t tid = 0;     //!< timeline row within the shard
+    Cat cat = Cat::Kernel;
+    char phase = 'X';          //!< 'X' complete, 'i' instant, 'C' counter
+};
+
+/**
+ * One device's (or link endpoint's) private event buffer. All emit
+ * methods are called from the owning simulation thread only.
+ */
+class Shard
+{
+  public:
+    /** @param mask Enabled categories. @param label Process name in the
+     *  exported trace; shards are merged in label order, so labels
+     *  also determine pid assignment (keep them unique). */
+    Shard(std::uint32_t mask, std::string label);
+
+    /** @return true when category @p c is recorded. The hot-path
+     *  guard: hooks call wants() before building any event. */
+    bool
+    wants(Cat c) const
+    {
+        return (catMask & static_cast<std::uint32_t>(c)) != 0 &&
+               events.size() < cap;
+    }
+
+    /** Record a [start, end) span on row @p tid. */
+    void
+    span(Cat c, std::uint32_t tid, std::string name, Tick start, Tick end,
+         const char *argKey = nullptr, std::uint64_t argVal = 0)
+    {
+        Event e;
+        e.name = std::move(name);
+        e.argKey = argKey;
+        e.argVal = argVal;
+        e.ts = start;
+        e.dur = end > start ? end - start : 0;
+        e.tid = tid;
+        e.cat = c;
+        e.phase = 'X';
+        push(std::move(e));
+    }
+
+    /** Record a point event on row @p tid. */
+    void
+    instant(Cat c, std::uint32_t tid, std::string name, Tick at,
+            const char *argKey = nullptr, std::uint64_t argVal = 0)
+    {
+        Event e;
+        e.name = std::move(name);
+        e.argKey = argKey;
+        e.argVal = argVal;
+        e.ts = at;
+        e.tid = tid;
+        e.cat = c;
+        e.phase = 'i';
+        push(std::move(e));
+    }
+
+    /** Record a counter sample (rendered as a track graph). */
+    void
+    counter(Cat c, std::uint32_t tid, std::string name, Tick at,
+            const char *seriesKey, std::uint64_t v)
+    {
+        Event e;
+        e.name = std::move(name);
+        e.argKey = seriesKey;
+        e.argVal = v;
+        e.ts = at;
+        e.tid = tid;
+        e.cat = c;
+        e.phase = 'C';
+        push(std::move(e));
+    }
+
+    /** Name timeline row @p tid (idempotent; first name wins). */
+    void nameRow(std::uint32_t tid, const std::string &name);
+
+    const std::string &shardLabel() const { return label; }
+    const std::vector<Event> &recorded() const { return events; }
+    const std::map<std::uint32_t, std::string> &rowNames() const
+    {
+        return rows;
+    }
+
+    /** Events not recorded because the buffer cap was reached. */
+    std::uint64_t dropped() const { return droppedCount; }
+
+    /** Retention cap (events per shard); settable before tracing. */
+    void setCap(std::size_t n) { cap = n; }
+
+  private:
+    void
+    push(Event e)
+    {
+        if (events.size() >= cap) {
+            ++droppedCount;
+            return;
+        }
+        events.push_back(std::move(e));
+    }
+
+    std::uint32_t catMask;
+    std::string label;
+    std::vector<Event> events;
+    std::map<std::uint32_t, std::string> rows;
+    std::size_t cap;
+    std::uint64_t droppedCount = 0;
+};
+
+/** A set of shards plus the export configuration. */
+class TraceSession
+{
+  public:
+    /** @param mask Enabled categories. @param path Chrome-trace output
+     *  written by writeChromeTrace() / at process exit for the global
+     *  session ("" = caller exports explicitly). */
+    explicit TraceSession(std::uint32_t mask, std::string path = "");
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Enabled category mask. */
+    std::uint32_t mask() const { return catMask; }
+
+    /**
+     * Create a shard named @p label. Thread-safe (sweep trials attach
+     * from worker threads); the emit path on the returned shard is
+     * lock-free. Pass a deterministic label (e.g. derived from the
+     * trial index) when tracing parallel sweeps — export order is
+     * label order, not creation order.
+     */
+    Shard *makeShard(std::string label);
+
+    /**
+     * Write all shards as one Chrome trace-event JSON. Shards are
+     * ordered by label (ties broken by creation order) and assigned
+     * pids 0..n-1, so the file is identical for any GPUCC_THREADS.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** writeChromeTrace() into @p path (fatal on I/O failure). */
+    void writeFile(const std::string &path) const;
+
+    /** Export path configured at construction ("" = none). */
+    const std::string &path() const { return outPath; }
+
+    /**
+     * The process-wide session configured by GPUCC_TRACE, or nullptr
+     * when the variable is unset/empty. Parsed once; the session's
+     * file is written at process exit.
+     */
+    static TraceSession *global();
+
+    /** Write the global session's file now (idempotent; the exit hook
+     *  rewrites it, so intermediate flushes are safe). */
+    static void flushGlobal();
+
+  private:
+    std::uint32_t catMask;
+    std::string outPath;
+    mutable std::mutex mtx;
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+} // namespace gpucc::sim::trace
+
+#endif // GPUCC_SIM_TRACE_TRACE_H

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the metrics registry (common/metrics): instrument
+ * registration semantics, histogram percentiles, interval-snapshot
+ * monotonicity and self-naming rows, the stable JSON export, and the
+ * contract that collectStats() is a pure view over the same registry.
+ */
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics/json_writer.h"
+#include "common/metrics/metrics.h"
+#include "gpu/device_stats.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::metrics
+{
+namespace
+{
+
+TEST(Metrics, CounterRegistrationIsIdempotent)
+{
+    Registry reg;
+    Counter &a = reg.counter("x");
+    a.inc(3);
+    Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_TRUE(reg.contains("x"));
+    EXPECT_FALSE(reg.contains("y"));
+}
+
+TEST(Metrics, GaugeReRegistrationReplacesTheCallback)
+{
+    Registry reg;
+    reg.gauge("g", [] { return 1.0; });
+    EXPECT_DOUBLE_EQ(reg.value("g"), 1.0);
+    reg.gauge("g", [] { return 2.0; });
+    EXPECT_DOUBLE_EQ(reg.value("g"), 2.0);
+}
+
+TEST(Metrics, UnknownNamesReadAsZero)
+{
+    Registry reg;
+    EXPECT_DOUBLE_EQ(reg.value("no.such.metric"), 0.0);
+    EXPECT_DOUBLE_EQ(Snapshot{}.get("nope"), 0.0);
+}
+
+TEST(Metrics, HistogramPercentilesAreExact)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("lat");
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(95.0), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+    // Derived metrics readable through the registry.
+    EXPECT_DOUBLE_EQ(reg.value("lat"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.value("lat.p95"), 95.0);
+    EXPECT_DOUBLE_EQ(reg.value("lat.mean"), 50.5);
+}
+
+TEST(Metrics, SnapshotsAreMonotonicAndSelfNaming)
+{
+    Registry reg;
+    Counter &c = reg.counter("work");
+    c.inc(5);
+    reg.snapshot(100);
+
+    // An instrument registered mid-run must not misalign earlier rows.
+    reg.counter("late").inc(7);
+    c.inc(5);
+    reg.snapshot(200);
+
+    const auto &series = reg.series();
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_LT(series[0].tick, series[1].tick);
+    EXPECT_DOUBLE_EQ(series[0].get("work"), 5.0);
+    EXPECT_DOUBLE_EQ(series[0].get("late"), 0.0); // absent then
+    EXPECT_DOUBLE_EQ(series[1].get("work"), 10.0);
+    EXPECT_DOUBLE_EQ(series[1].get("late"), 7.0);
+    // Counters are monotone, so sampled values never decrease.
+    EXPECT_GE(series[1].get("work"), series[0].get("work"));
+}
+
+TEST(Metrics, JsonExportIsStableAndComplete)
+{
+    Registry reg;
+    reg.counter("b.count").inc(2);
+    reg.gauge("a.gauge", [] { return 1.5; });
+    reg.histogram("c.hist").add(4.0);
+    reg.snapshot(64);
+
+    std::string once = reg.toJson();
+    std::string twice = reg.toJson();
+    EXPECT_EQ(once, twice) << "export must be deterministic";
+    EXPECT_NE(once.find("\"a.gauge\""), std::string::npos);
+    EXPECT_NE(once.find("\"b.count\""), std::string::npos);
+    EXPECT_NE(once.find("\"c.hist.p95\""), std::string::npos);
+    EXPECT_NE(once.find("\"snapshots\""), std::string::npos);
+    // Sorted-name ordering: a.gauge before b.count before c.hist.
+    EXPECT_LT(once.find("\"a.gauge\""), once.find("\"b.count\""));
+    EXPECT_LT(once.find("\"b.count\""), once.find("\"c.hist\""));
+}
+
+TEST(JsonWriter, EscapingAndNumbers)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(JsonWriter::number(3.0), "3");
+    EXPECT_EQ(JsonWriter::number(0.5), "0.5");
+    // JSON cannot carry non-finite values; they degrade to 0.
+    EXPECT_EQ(JsonWriter::number(std::numeric_limits<double>::infinity()),
+              "0");
+
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.beginObject();
+    w.field("k", std::string("v"));
+    w.beginArray("a");
+    w.value(std::uint64_t{1});
+    w.value(2.5);
+    w.endArray();
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(os.str(), "{\"k\":\"v\",\"a\":[1,2.5]}");
+}
+
+TEST(Metrics, DeviceSamplerProducesIntervalSnapshots)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    dev.sampleMetricsEvery(500);
+
+    gpu::KernelLaunch k;
+    k.name = "sampled";
+    k.config.gridBlocks = 2;
+    k.config.threadsPerBlock = 64;
+    k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (int i = 0; i < 200; ++i)
+            co_await ctx.op(gpu::OpClass::FAdd);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+    // The self-rescheduling sampler must not keep the queue alive: the
+    // sync above returning proves the run terminated.
+
+    const auto &series = dev.metricsRegistry().series();
+    ASSERT_GE(series.size(), 2u) << "expected multiple interval samples";
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        EXPECT_GT(series[i].tick, series[i - 1].tick);
+        EXPECT_GE(series[i].get("sim.events.executed"),
+                  series[i - 1].get("sim.events.executed"));
+        EXPECT_GE(series[i].get("fu.sp.requests"),
+                  series[i - 1].get("fu.sp.requests"));
+    }
+    EXPECT_GT(series.back().get("sim.events.executed"), 0.0);
+}
+
+TEST(Metrics, CollectStatsIsAViewOverTheRegistry)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    gpu::KernelLaunch k;
+    k.name = "view";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = 2 * warpSize;
+    k.body = [](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (int i = 0; i < 50; ++i)
+            co_await ctx.op(gpu::OpClass::Sinf);
+        co_return;
+    };
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, k));
+
+    auto r = gpu::collectStats(dev);
+    const auto &reg = dev.metricsRegistry();
+    EXPECT_EQ(static_cast<double>(r.eventsExecuted),
+              reg.value("sim.events.executed"));
+    EXPECT_EQ(static_cast<double>(r.kernelsCompleted),
+              reg.value("kernels.completed"));
+    for (const auto &p : r.ports) {
+        if (p.name == "SFU issue") {
+            EXPECT_EQ(static_cast<double>(p.requests),
+                      reg.value("fu.sfu.requests"));
+            EXPECT_EQ(p.requests, 2u * 50u);
+        }
+    }
+    EXPECT_EQ(static_cast<double>(r.caches[0].hits),
+              reg.value("cache.constL1.hits"));
+}
+
+} // namespace
+} // namespace gpucc::metrics

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the simulation tracer (sim/trace): category parsing, the
+ * per-shard buffer contract (cap + dropped counter), the well-formed
+ * Chrome trace-event export, kernel/block span nesting on a real
+ * device run, the disabled-hook no-op guarantee, and the determinism
+ * contract — the exported file is byte-identical for any worker thread
+ * count (the GPUCC_THREADS invariant).
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "covert/trace/flight_recorder.h"
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+#include "sim/exec/sweep_runner.h"
+#include "sim/trace/trace.h"
+
+namespace gpucc::sim::trace
+{
+namespace
+{
+
+TEST(Trace, ParseCategoryLists)
+{
+    EXPECT_EQ(parseCats("kernel"),
+              static_cast<std::uint32_t>(Cat::Kernel));
+    EXPECT_EQ(parseCats("kernel,cache,link"),
+              static_cast<std::uint32_t>(Cat::Kernel) |
+                  static_cast<std::uint32_t>(Cat::Cache) |
+                  static_cast<std::uint32_t>(Cat::Link));
+    EXPECT_EQ(parseCats("all"), allCats);
+    EXPECT_STREQ(catName(Cat::Fault), "fault");
+}
+
+TEST(Trace, ShardHonorsMaskAndCap)
+{
+    TraceSession session(static_cast<std::uint32_t>(Cat::Cache));
+    Shard *sh = session.makeShard("dev");
+    EXPECT_TRUE(sh->wants(Cat::Cache));
+    EXPECT_FALSE(sh->wants(Cat::Kernel)) << "category not enabled";
+
+    sh->setCap(2);
+    sh->instant(Cat::Cache, 1, "a", 10);
+    sh->instant(Cat::Cache, 1, "b", 20);
+    EXPECT_FALSE(sh->wants(Cat::Cache)) << "buffer full";
+    sh->instant(Cat::Cache, 1, "c", 30);
+    EXPECT_EQ(sh->recorded().size(), 2u);
+    EXPECT_EQ(sh->dropped(), 1u);
+}
+
+TEST(Trace, DeviceHookIsNullWhenTracingIsOff)
+{
+    // The zero-cost contract: an unattached device reports a null
+    // shard, so every instrumentation site is one null-check.
+    gpu::Device dev(gpu::keplerK40c());
+    EXPECT_EQ(dev.traceShard(), nullptr);
+}
+
+/** Count occurrences of @p needle in @p hay. */
+std::size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = hay.find(needle); at != std::string::npos;
+         at = hay.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(Trace, ChromeExportIsWellFormed)
+{
+    TraceSession session(allCats);
+    Shard *sh = session.makeShard("device0");
+    sh->nameRow(7, "my row");
+    sh->span(Cat::Kernel, 7, "work", cyclesToTicks(Cycle{100}),
+             cyclesToTicks(Cycle{300}), "kernel", 42);
+    sh->instant(Cat::Cache, 8, "l1-miss", cyclesToTicks(Cycle{150}),
+                "set", 5);
+    sh->counter(Cat::Fault, 9, "pressure", cyclesToTicks(Cycle{200}),
+                "value", 3);
+
+    std::ostringstream os;
+    session.writeChromeTrace(os);
+    std::string json = os.str();
+
+    // Structure: one traceEvents array, metadata rows, balanced
+    // braces/brackets (no label in this test contains either).
+    EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+    EXPECT_EQ(countOf(json, "{"), countOf(json, "}"));
+    EXPECT_EQ(countOf(json, "["), countOf(json, "]"));
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"device0\""), std::string::npos);
+    EXPECT_NE(json.find("\"my row\""), std::string::npos);
+    // The span: complete event with cycle-unit timestamps and its arg.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":200"), std::string::npos);
+    EXPECT_NE(json.find("\"kernel\":42"), std::string::npos);
+    // Instant and counter phases, category names, footer.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+/** A tiny two-block kernel with a few cache accesses. */
+gpu::KernelLaunch
+tracedKernel()
+{
+    gpu::KernelLaunch k;
+    k.name = "traced";
+    k.config.gridBlocks = 2;
+    k.config.threadsPerBlock = 64;
+    std::vector<Addr> addrs{0, 64};
+    k.body = [addrs](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        for (int i = 0; i < 20; ++i)
+            co_await ctx.op(gpu::OpClass::FAdd);
+        co_await ctx.constLoadSeq(addrs);
+        co_return;
+    };
+    return k;
+}
+
+TEST(Trace, BlockSpansNestInsideTheKernelSpan)
+{
+    TraceSession session(allCats);
+    gpu::Device dev(gpu::keplerK40c());
+    dev.attachTrace(session, "device0");
+    gpu::HostContext host(dev);
+    host.setJitterUs(0.0);
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, tracedKernel()));
+
+    const Shard *sh = dev.traceShard();
+    ASSERT_NE(sh, nullptr);
+    const Event *kernelSpan = nullptr;
+    std::vector<const Event *> blockSpans;
+    for (const Event &e : sh->recorded()) {
+        if (e.cat != Cat::Kernel || e.phase != 'X')
+            continue;
+        if (e.tid >= 10 && e.tid < 100)
+            kernelSpan = &e;
+        else if (e.tid >= 100 && e.tid < 1000)
+            blockSpans.push_back(&e);
+    }
+    ASSERT_NE(kernelSpan, nullptr);
+    ASSERT_EQ(blockSpans.size(), 2u) << "one span per block";
+    for (const Event *b : blockSpans) {
+        EXPECT_GE(b->ts, kernelSpan->ts);
+        EXPECT_LE(b->ts + b->dur, kernelSpan->ts + kernelSpan->dur)
+            << "block span must nest inside its kernel span";
+    }
+    // The cache category recorded the const loads too.
+    bool sawCache = false;
+    for (const Event &e : sh->recorded())
+        sawCache = sawCache || e.cat == Cat::Cache;
+    EXPECT_TRUE(sawCache);
+}
+
+/** Run @p trials traced device simulations on @p threads workers and
+ *  export the merged trace. */
+std::string
+tracedSweep(unsigned threads, std::size_t trials)
+{
+    TraceSession session(allCats);
+    exec::SweepRunner runner(threads);
+    runner.runTrials(trials, 7, [&](std::size_t i, std::uint64_t) {
+        gpu::Device dev(gpu::keplerK40c());
+        dev.attachTrace(session, strfmt("trial%zu", i));
+        gpu::HostContext host(dev);
+        host.setJitterUs(0.0);
+        auto &s = dev.createStream();
+        host.sync(host.launch(s, tracedKernel()));
+        return 0;
+    });
+    std::ostringstream os;
+    session.writeChromeTrace(os);
+    return os.str();
+}
+
+TEST(Trace, ExportIsIdenticalForAnyThreadCount)
+{
+    std::string serial = tracedSweep(1, 4);
+    std::string parallel = tracedSweep(4, 4);
+    EXPECT_EQ(serial, parallel)
+        << "shard label ordering must make the export thread-invariant";
+}
+
+TEST(FlightRecorder, RecordsSymbolsAndMargins)
+{
+    covert::trace::FlightRecorder rec("unit");
+    rec.record({0, 0, 100, 80.0, 50.0, true, true});   // margin +30
+    rec.record({1, 0, 200, 20.0, 50.0, false, false}); // margin +30
+    rec.record({2, 1, 300, 60.0, 50.0, true, false});  // decode error
+    rec.record({3, 1, 400, 52.0, 50.0, true, true});   // margin +2
+    EXPECT_EQ(rec.records().size(), 4u);
+    EXPECT_EQ(rec.errorCount(), 1u);
+    EXPECT_NEAR(rec.errorRate(), 0.25, 1e-12);
+    // Worst margin over the *correct* decodes: the +2 near-miss shows
+    // how close the channel came to flipping another bit.
+    EXPECT_DOUBLE_EQ(rec.worstMargin(), 2.0);
+    EXPECT_DOUBLE_EQ(decisionMargin(rec.records()[2]), -10.0);
+
+    std::string json = rec.toJson();
+    EXPECT_NE(json.find("\"channel\":\"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+    EXPECT_EQ(countOf(json, "\"index\":"), 4u);
+}
+
+} // namespace
+} // namespace gpucc::sim::trace
