@@ -10,15 +10,15 @@
  * jitter): with the full 5 us engineering lead the channel decodes
  * correctly even without overlap because cache evictions are durable.
  *
- * Every sweep point is an independent simulation (its own Device and
- * hosts), so the points run in parallel through SweepRunner; rows are
- * printed in sweep order afterwards and are identical for any
- * GPUCC_THREADS value.
+ * The per-point measurement is verify::measureL1LaunchPerBit /
+ * measureL2LaunchPerBit (shared with the conformance suite). Every
+ * sweep point is an independent simulation (its own Device and hosts),
+ * so the points run in parallel through SweepRunner; rows are printed
+ * in sweep order afterwards and are identical for any GPUCC_THREADS
+ * value.
  */
 
 #include "bench_util.h"
-#include "covert/channels/l1_const_channel.h"
-#include "covert/channels/l2_const_channel.h"
 #include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
@@ -26,22 +26,28 @@ using namespace gpucc;
 namespace
 {
 
-template <typename Channel>
+/** The Figure 5 operating point at @p iters contention iterations. */
+covert::LaunchPerBitConfig
+fig5Config(unsigned iters)
+{
+    covert::LaunchPerBitConfig cfg;
+    cfg.iterations = iters;
+    cfg.trojanLeadUs = 1.0;
+    cfg.jitterUs = 2.5;
+    return cfg;
+}
+
 void
 sweep(sim::exec::SweepRunner &runner, const gpu::ArchParams &arch,
-      const char *name, const std::vector<unsigned> &iters)
+      bool l2, const char *name, const std::vector<unsigned> &iters)
 {
     auto rows = runner.runSweep(iters, [&](unsigned it) {
-        auto msg = bench::payload(96);
-        covert::LaunchPerBitConfig cfg;
-        cfg.iterations = it;
-        cfg.trojanLeadUs = 1.0;
-        cfg.jitterUs = 2.5;
-        Channel ch(arch, cfg);
-        auto r = ch.transmit(msg);
+        verify::ChannelMeasurement m =
+            l2 ? verify::measureL2LaunchPerBit(arch, 96, fig5Config(it))
+               : verify::measureL1LaunchPerBit(arch, 96, fig5Config(it));
         return std::vector<std::string>{
-            std::to_string(it), fmtKbps(r.bandwidthBps),
-            fmtDouble(100.0 * r.report.errorRate(), 2) + " %"};
+            std::to_string(it), fmtKbps(m.bps),
+            fmtDouble(100.0 * m.errorRate, 2) + " %"};
     });
 
     Table t(strfmt("%s: %s channel", arch.name.c_str(), name));
@@ -64,9 +70,8 @@ main(int argc, char **argv)
 
     sim::exec::SweepRunner runner;
     for (const auto &arch : {gpu::keplerK40c(), gpu::maxwellM4000()}) {
-        sweep<covert::L1ConstChannel>(runner, arch, "L1",
-                                      {20, 16, 12, 10, 8, 6, 4});
-        sweep<covert::L2ConstChannel>(runner, arch, "L2", {2, 1});
+        sweep(runner, arch, false, "L1", {20, 16, 12, 10, 8, 6, 4});
+        sweep(runner, arch, true, "L2", {2, 1});
     }
     std::printf("Paper shape: error-free at the Figure 4 operating point "
                 "(20 / 2 iterations),\nBER rising as the iteration count "

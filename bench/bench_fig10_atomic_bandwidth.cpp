@@ -8,16 +8,15 @@
  * slowest.
  *
  * The 3x3 (GPU x scenario) grid runs as independent parallel
- * simulations through SweepRunner; the table is assembled in grid
- * order afterwards.
+ * simulations through SweepRunner via verify::measureAtomic (shared
+ * with the conformance suite); the table is assembled in grid order
+ * afterwards.
  */
 
 #include "bench_util.h"
-#include "covert/channels/atomic_channel.h"
 #include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
-using covert::AtomicChannel;
 using covert::AtomicScenario;
 
 int
@@ -44,13 +43,11 @@ main()
 
     sim::exec::SweepRunner runner;
     auto cells = runner.runSweep(grid, [&](const Cell &c) {
-        auto msg = bench::payload(64);
-        AtomicChannel ch(archs[c.arch], c.scenario);
-        unsigned iters = ch.autoTuneIterations();
-        auto r = ch.transmit(msg);
+        verify::AtomicMeasurement m =
+            verify::measureAtomic(archs[c.arch], c.scenario, 64);
         return strfmt("%s (n=%u, err=%.1f%%)",
-                      fmtKbps(r.bandwidthBps).c_str(), iters,
-                      100.0 * r.report.errorRate());
+                      fmtKbps(m.channel.bps).c_str(), m.iterations,
+                      100.0 * m.channel.errorRate);
     });
 
     Table t("Error-free atomic channel bandwidth (auto-tuned iterations)");

@@ -10,21 +10,16 @@
  * under four protection modes — raw, FEC only, ARQ, ARQ+FEC — and
  * reports residual BER and goodput. ARQ turns a 30-40% raw BER into
  * error-free delivery at a goodput cost; FEC alone cannot.
+ *
+ * The per-mode measurements are the verify/scenarios helpers shared
+ * with the conformance suite and the seed-sweep stability test.
  */
 
 #include "bench_util.h"
 #include "covert/coding/error_code.h"
-#include "covert/link/reliable_link.h"
-#include "covert/link/transport.h"
-#include "covert/sync/duplex_channel.h"
-#include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
 
 using namespace gpucc;
-using covert::link::DuplexLinkTransport;
-using covert::link::LinkConfig;
-using covert::link::ReliableLink;
-using sim::fault::FaultInjector;
 using sim::fault::FaultPlan;
 
 namespace
@@ -40,57 +35,16 @@ struct Cell
     unsigned retransmissions = 0;
 };
 
-/** Fresh channel + armed injector per measurement. */
-struct Rig
-{
-    covert::DuplexSyncChannel chan;
-    std::unique_ptr<FaultInjector> inj;
-
-    explicit Rig(const std::string &plan)
-        : chan(gpu::keplerK40c())
-    {
-        inj = std::make_unique<FaultInjector>(
-            chan.harness().device(), FaultPlan::preset(plan), faultSeed);
-        inj->arm();
-    }
-};
-
 Cell
-rawMode(const std::string &plan, const BitVec &payload)
+fromChannel(const verify::ChannelMeasurement &m)
 {
-    Rig rig(plan);
-    auto r = rig.chan.exchange(payload, {});
-    return {r.aToB.report.errorRate(), r.aToB.bandwidthBps, true, 0};
+    return {m.errorRate, m.bps, true, 0};
 }
 
 Cell
-fecMode(const std::string &plan, const BitVec &payload)
+fromArq(const verify::ArqMeasurement &m)
 {
-    Rig rig(plan);
-    covert::InterleavedRepetitionCode code(3);
-    auto r = rig.chan.exchange(code.encode(payload), {});
-    BitVec decoded = code.decode(r.aToB.received, payload.size());
-    double seconds = r.aToB.seconds;
-    return {compareBits(payload, decoded).errorRate(),
-            seconds > 0.0 ? static_cast<double>(payload.size()) / seconds
-                          : 0.0,
-            true, 0};
-}
-
-Cell
-arqMode(const std::string &plan, const BitVec &payload,
-        const covert::ErrorCode *fec)
-{
-    Rig rig(plan);
-    DuplexLinkTransport t(rig.chan);
-    LinkConfig cfg;
-    cfg.payloadBits = 32;
-    cfg.window = 4;
-    cfg.innerFec = fec;
-    ReliableLink link(t, cfg);
-    auto r = link.send(payload);
-    return {compareBits(payload, r.payload).errorRate(), r.goodputBps,
-            r.complete, r.retransmissions};
+    return {m.residualBer, m.goodputBps, m.complete, m.retransmissions};
 }
 
 std::string
@@ -112,7 +66,9 @@ main()
                   "Section 8 (interference; ECC as proposed future "
                   "work)");
 
+    const auto kepler = gpu::keplerK40c();
     const BitVec payload = bench::payload(128);
+    covert::InterleavedRepetitionCode repetition(3);
     covert::Hamming74Code hamming;
 
     Table t("Duplex L1 link, 128-bit payload: residual BER / goodput "
@@ -120,10 +76,14 @@ main()
     t.header({"fault plan", "raw", "FEC (3x interleaved)",
               "ARQ (SR, w=4)", "ARQ + Hamming(7,4)"});
     for (const auto &plan : FaultPlan::presetNames()) {
-        Cell raw = rawMode(plan, payload);
-        Cell fec = fecMode(plan, payload);
-        Cell arq = arqMode(plan, payload, nullptr);
-        Cell both = arqMode(plan, payload, &hamming);
+        Cell raw = fromChannel(
+            verify::measureDuplexRaw(kepler, plan, faultSeed, payload));
+        Cell fec = fromChannel(verify::measureFecDuplex(
+            kepler, plan, faultSeed, payload, repetition));
+        Cell arq = fromArq(
+            verify::measureArqOverPlan(kepler, plan, faultSeed, payload));
+        Cell both = fromArq(verify::measureArqOverPlan(
+            kepler, plan, faultSeed, payload, &hamming));
         t.row({plan, fmtCell(raw), fmtCell(fec), fmtCell(arq),
                fmtCell(both)});
     }

@@ -7,19 +7,20 @@
  *   Kepler  42 / 75 / 285 Kbps / 4.25 Mbps
  *   Maxwell 42 / 75 / 285 Kbps / 3.7 Mbps
  *
- * Each (GPU, column) cell and each scaling point is an independent
- * simulation; all of them run in parallel through SweepRunner and the
- * tables are assembled in order afterwards.
+ * The measurement bodies live in verify/scenarios (shared with the
+ * conformance suite); the bench runs them at the paper's full payload
+ * sizes. Each (GPU, column) cell and each scaling point is an
+ * independent simulation; all of them run in parallel through
+ * SweepRunner and the tables are assembled in order afterwards.
  */
 
 #include <functional>
 
 #include "bench_util.h"
-#include "covert/channels/l1_const_channel.h"
-#include "covert/sync/sync_channel.h"
 #include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
+using verify::ChannelMeasurement;
 
 int
 main(int argc, char **argv)
@@ -38,61 +39,33 @@ main(int argc, char **argv)
     const auto archs = gpu::allArchitectures();
 
     // One job per (GPU, column) cell, flattened row-major.
-    struct Result
-    {
-        double bandwidthBps = 0.0;
-        bool errorFree = false;
-    };
-    std::vector<std::function<Result()>> jobs;
+    std::vector<std::function<ChannelMeasurement()>> jobs;
     for (const auto &arch : archs) {
-        jobs.push_back([&arch]() -> Result {
-            covert::L1ConstChannel ch(arch);
-            auto r = ch.transmit(bench::payload(64));
-            return {r.bandwidthBps, r.report.errorFree()};
-        });
-        jobs.push_back([&arch]() -> Result {
-            covert::SyncL1Channel ch(arch);
-            auto r = ch.transmit(bench::payload(256));
-            return {r.bandwidthBps, r.report.errorFree()};
-        });
-        jobs.push_back([&arch]() -> Result {
-            covert::SyncChannelConfig cfg;
-            cfg.dataSetsPerSm = 6;
-            covert::SyncL1Channel ch(arch, cfg);
-            auto r = ch.transmit(bench::payload(512));
-            return {r.bandwidthBps, r.report.errorFree()};
-        });
-        jobs.push_back([&arch]() -> Result {
-            covert::SyncChannelConfig cfg;
-            cfg.dataSetsPerSm = 6;
-            cfg.allSms = true;
-            covert::SyncL1Channel ch(arch, cfg);
-            auto r = ch.transmit(bench::payload(2048));
-            return {r.bandwidthBps, r.report.errorFree()};
+        jobs.push_back(
+            [&arch] { return verify::measureL1Baseline(arch, 64); });
+        jobs.push_back(
+            [&arch] { return verify::measureSyncL1(arch, 256); });
+        jobs.push_back(
+            [&arch] { return verify::measureSyncL1(arch, 512, 6); });
+        jobs.push_back([&arch] {
+            return verify::measureSyncL1(arch, 2048, 6, true);
         });
     }
     // Section 7.1's multi-bit scaling sweep on Kepler rides in the same
     // parallel batch: 1 (baseline) + 2/4/6 concurrent bits.
     auto kepler = gpu::keplerK40c();
-    jobs.push_back([&kepler]() -> Result {
-        covert::SyncL1Channel ch(kepler);
-        auto r = ch.transmit(bench::payload(256));
-        return {r.bandwidthBps, r.report.errorFree()};
-    });
+    jobs.push_back(
+        [&kepler] { return verify::measureSyncL1(kepler, 256); });
     const unsigned multiBits[] = {2u, 4u, 6u};
     for (unsigned m : multiBits) {
-        jobs.push_back([&kepler, m]() -> Result {
-            covert::SyncChannelConfig cfg;
-            cfg.dataSetsPerSm = m;
-            covert::SyncL1Channel ch(kepler, cfg);
-            auto r = ch.transmit(bench::payload(512));
-            return {r.bandwidthBps, r.report.errorFree()};
+        jobs.push_back([&kepler, m] {
+            return verify::measureSyncL1(kepler, 512, m);
         });
     }
 
     sim::exec::SweepRunner runner;
-    auto results =
-        runner.runSweep(jobs, [](const std::function<Result()> &job) {
+    auto results = runner.runSweep(
+        jobs, [](const std::function<ChannelMeasurement()> &job) {
             return job();
         });
 
@@ -100,29 +73,28 @@ main(int argc, char **argv)
     t.header({"GPU", "L1 Baseline", "Sync.", "Sync. + multi-bits",
               "Sync., multi-bits + parallel"});
     for (std::size_t i = 0; i < archs.size(); ++i) {
-        const Result *row = &results[i * 4];
+        const ChannelMeasurement *row = &results[i * 4];
         GPUCC_ASSERT(row[0].errorFree && row[1].errorFree &&
                          row[2].errorFree && row[3].errorFree,
                      "Table 2 requires error-free channels");
-        t.row({archs[i].name,
-               bench::vsPaper(row[0].bandwidthBps, paper[i][0]),
-               bench::vsPaper(row[1].bandwidthBps, paper[i][1]),
-               bench::vsPaper(row[2].bandwidthBps, paper[i][2]),
-               bench::vsPaper(row[3].bandwidthBps, paper[i][3])});
+        t.row({archs[i].name, bench::vsPaper(row[0].bps, paper[i][0]),
+               bench::vsPaper(row[1].bps, paper[i][1]),
+               bench::vsPaper(row[2].bps, paper[i][2]),
+               bench::vsPaper(row[3].bps, paper[i][3])});
     }
     t.print();
     bench::JsonSink::instance().add(t);
 
     // Section 7.1 also reports the sublinear multi-bit scaling on
     // Kepler: 2/4/6 concurrent bits -> 1.8x / 2.9x / 3.8x.
-    const Result *scaling = &results[archs.size() * 4];
-    double b1 = scaling[0].bandwidthBps;
+    const ChannelMeasurement *scaling = &results[archs.size() * 4];
+    double b1 = scaling[0].bps;
     Table s("Kepler: multi-bit scaling (paper: 1.8x / 2.9x / 3.8x)");
     s.header({"concurrent bits", "bandwidth", "speedup over 1 bit"});
     for (std::size_t j = 0; j < 3; ++j) {
         s.row({std::to_string(multiBits[j]),
-               fmtKbps(scaling[1 + j].bandwidthBps),
-               fmtDouble(scaling[1 + j].bandwidthBps / b1, 2) + "x"});
+               fmtKbps(scaling[1 + j].bps),
+               fmtDouble(scaling[1 + j].bps / b1, 2) + "x"});
     }
     s.print();
     bench::JsonSink::instance().add(s);

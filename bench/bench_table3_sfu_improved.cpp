@@ -7,20 +7,20 @@
  *   Kepler  24 / 84 Kbps / 1.2 Mbps
  *   Maxwell 28 / 100 Kbps / 1.3 Mbps
  *
- * Every (GPU, column) cell — including the synchronized-SFU extension
- * table — is an independent simulation, run in parallel through
- * SweepRunner and printed in order afterwards.
+ * Measurement bodies are the verify/scenarios helpers shared with the
+ * conformance suite, run here at the paper's full payload sizes. Every
+ * (GPU, column) cell — including the synchronized-SFU extension table
+ * — is an independent simulation, run in parallel through SweepRunner
+ * and printed in order afterwards.
  */
 
 #include <functional>
 
 #include "bench_util.h"
-#include "covert/channels/sfu_channel.h"
-#include "covert/parallel/sfu_parallel_channel.h"
-#include "covert/sync/sync_sfu_channel.h"
 #include "sim/exec/sweep_runner.h"
 
 using namespace gpucc;
+using verify::ChannelMeasurement;
 
 int
 main(int argc, char **argv)
@@ -38,45 +38,26 @@ main(int argc, char **argv)
 
     const auto archs = gpu::allArchitectures();
 
-    struct Result
-    {
-        double bandwidthBps = 0.0;
-        double errorRate = 0.0;
-        bool errorFree = false;
-    };
-    auto toResult = [](const covert::ChannelResult &r) -> Result {
-        return {r.bandwidthBps, r.report.errorRate(),
-                r.report.errorFree()};
-    };
-
     // Row-major (GPU x 3 columns) cells, then one extension cell per GPU.
-    std::vector<std::function<Result()>> jobs;
+    std::vector<std::function<ChannelMeasurement()>> jobs;
     for (const auto &arch : archs) {
-        jobs.push_back([&arch, toResult] {
-            covert::SfuChannel ch(arch);
-            return toResult(ch.transmit(bench::payload(64)));
+        jobs.push_back(
+            [&arch] { return verify::measureSfuBaseline(arch, 64); });
+        jobs.push_back([&arch] {
+            return verify::measureSfuParallel(arch, 128, false);
         });
-        jobs.push_back([&arch, toResult] {
-            covert::SfuParallelChannel ch(arch);
-            return toResult(ch.transmit(bench::payload(128)));
-        });
-        jobs.push_back([&arch, toResult] {
-            covert::SfuParallelConfig cfg;
-            cfg.acrossSms = true;
-            covert::SfuParallelChannel ch(arch, cfg);
-            return toResult(ch.transmit(bench::payload(1024)));
+        jobs.push_back([&arch] {
+            return verify::measureSfuParallel(arch, 1024, true);
         });
     }
     for (const auto &arch : archs) {
-        jobs.push_back([&arch, toResult] {
-            covert::SyncSfuChannel ch(arch);
-            return toResult(ch.transmit(bench::payload(256)));
-        });
+        jobs.push_back(
+            [&arch] { return verify::measureSyncSfu(arch, 256); });
     }
 
     sim::exec::SweepRunner runner;
-    auto results =
-        runner.runSweep(jobs, [](const std::function<Result()> &job) {
+    auto results = runner.runSweep(
+        jobs, [](const std::function<ChannelMeasurement()> &job) {
             return job();
         });
 
@@ -84,14 +65,13 @@ main(int argc, char **argv)
     t.header({"GPU", "Baseline", "Parallel (warp schedulers)",
               "Parallel (schedulers x SMs)"});
     for (std::size_t i = 0; i < archs.size(); ++i) {
-        const Result *row = &results[i * 3];
+        const ChannelMeasurement *row = &results[i * 3];
         GPUCC_ASSERT(row[0].errorFree && row[1].errorFree &&
                          row[2].errorFree,
                      "Table 3 requires error-free channels");
-        t.row({archs[i].name,
-               bench::vsPaper(row[0].bandwidthBps, paper[i][0]),
-               bench::vsPaper(row[1].bandwidthBps, paper[i][1]),
-               bench::vsPaper(row[2].bandwidthBps, paper[i][2])});
+        t.row({archs[i].name, bench::vsPaper(row[0].bps, paper[i][0]),
+               bench::vsPaper(row[1].bps, paper[i][1]),
+               bench::vsPaper(row[2].bps, paper[i][2])});
     }
     t.print();
     bench::JsonSink::instance().add(t);
@@ -106,9 +86,9 @@ main(int argc, char **argv)
     s.header({"GPU", "bandwidth", "speedup over baseline", "errors"});
     const double baselinePaper[] = {21e3, 24e3, 28e3};
     for (std::size_t j = 0; j < archs.size(); ++j) {
-        const Result &r = results[archs.size() * 3 + j];
-        s.row({archs[j].name, fmtKbps(r.bandwidthBps),
-               fmtDouble(r.bandwidthBps / baselinePaper[j], 1) + "x",
+        const ChannelMeasurement &r = results[archs.size() * 3 + j];
+        s.row({archs[j].name, fmtKbps(r.bps),
+               fmtDouble(r.bps / baselinePaper[j], 1) + "x",
                fmtDouble(100.0 * r.errorRate, 2) + " %"});
     }
     s.print();

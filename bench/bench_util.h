@@ -19,9 +19,9 @@
 #include "common/bitstream.h"
 #include "common/log.h"
 #include "common/metrics/json_writer.h"
-#include "common/rng.h"
 #include "common/table.h"
 #include "gpu/arch_params.h"
+#include "verify/scenarios.h"
 
 namespace gpucc::bench
 {
@@ -135,12 +135,13 @@ banner(const char *what, const char *paperRef)
     setVerbose(false);
 }
 
-/** Random payload used by the channel benches. */
+/** Random payload used by the channel benches (the conformance
+ *  scenarios share the same stream, so bench and band measurements
+ *  stay comparable). */
 inline BitVec
 payload(std::size_t bits, std::uint64_t seed = 2017)
 {
-    Rng rng(seed);
-    return randomBits(bits, rng);
+    return verify::scenarioPayload(bits, seed);
 }
 
 /** Render "measured (paper: X)" cells. */

@@ -16,12 +16,19 @@
 # registry export — with python's json parser. Artifacts land in
 # <build-dir>/observability/ (CI uploads that directory).
 #
+# With --conformance, run the paper-fidelity conformance suite
+# (gpucc_verify against conformance/expected/) on all architectures and
+# write the machine-readable report to
+# <build-dir>/observability/conformance_report.json. Any band miss is
+# fatal. See TESTING.md for the band format and how to re-record.
+#
 # Usage: scripts/check.sh [--strict] [--simperf-warn] [--trace-smoke]
-#                         [build-dir]
+#                         [--conformance] [build-dir]
 #   --strict        non-zero exit on any simperf regression >20%
 #   --simperf-warn  with --strict: keep every other gate fatal but
 #                   report simperf regressions as warnings only
 #   --trace-smoke   emit + validate trace/metrics/flight JSON artifacts
+#   --conformance   run the paper-fidelity conformance gate (fatal)
 #   build-dir       CMake build directory (default: build)
 
 set -euo pipefail
@@ -29,14 +36,16 @@ set -euo pipefail
 strict=0
 simperf_warn=0
 trace_smoke=0
+conformance=0
 build=build
 for arg in "$@"; do
     case "$arg" in
       --strict) strict=1 ;;
       --simperf-warn) simperf_warn=1 ;;
       --trace-smoke) trace_smoke=1 ;;
+      --conformance) conformance=1 ;;
       -h|--help)
-        sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
       -*)
@@ -105,6 +114,16 @@ print(f"  metrics OK: {len(metrics['metrics'])} instruments, "
       f"{metrics['metrics']['link.rounds']:.0f} link rounds")
 EOF
     echo "trace-smoke OK: artifacts in $artdir"
+fi
+
+if [ "$conformance" = 1 ]; then
+    echo
+    echo "== conformance: paper-fidelity bands (gpucc_verify) =="
+    artdir="$build/observability"
+    mkdir -p "$artdir"
+    "$build/src/gpucc_verify" \
+        --report "$artdir/conformance_report.json"
+    echo "conformance OK: report in $artdir/conformance_report.json"
 fi
 
 echo

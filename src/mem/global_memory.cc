@@ -112,6 +112,15 @@ GlobalMemory::atomicBusyTicks() const
     return total;
 }
 
+std::vector<std::pair<Addr, std::uint64_t>>
+GlobalMemory::wordsSnapshot() const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> out(words.begin(),
+                                                    words.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 void
 GlobalMemory::registerMetrics(metrics::Registry &reg)
 {

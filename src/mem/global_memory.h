@@ -88,6 +88,22 @@ class GlobalMemory
     /** Aggregate atomic-unit busy ticks (tests check contention). */
     Tick atomicBusyTicks() const;
 
+    /** Atomic-unit pool of partition @p i (verification digests). */
+    const sim::ResourcePool &atomicUnitPool(unsigned i) const
+    {
+        return *atomicUnits[i];
+    }
+
+    /** Data-port pool of partition @p i (verification digests). */
+    const sim::ResourcePool &dataPortPool(unsigned i) const
+    {
+        return *dataPorts[i];
+    }
+
+    /** Functional word store, sorted by address (verification digests;
+     *  the backing map iterates in hash order, which is not stable). */
+    std::vector<std::pair<Addr, std::uint64_t>> wordsSnapshot() const;
+
     /** Expose atomic-unit/data-port gauges in @p reg (Device calls
      *  once). */
     void registerMetrics(metrics::Registry &reg);

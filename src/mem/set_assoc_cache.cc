@@ -116,6 +116,29 @@ SetAssocCache::invalidate(Addr addr)
     return false;
 }
 
+std::vector<SetAssocCache::LineView>
+SetAssocCache::setState(std::size_t set) const
+{
+    std::vector<LineView> out(geom.ways);
+    for (unsigned w = 0; w < geom.ways; ++w) {
+        const Line &l = lineAt(set, w);
+        out[w].valid = l.valid;
+        out[w].tag = l.tag;
+        out[w].owner = l.owner;
+        if (!l.valid)
+            continue;
+        // Rank = number of valid lines in the set touched more recently.
+        unsigned rank = 0;
+        for (unsigned o = 0; o < geom.ways; ++o) {
+            const Line &other = lineAt(set, o);
+            if (o != w && other.valid && other.lastUse > l.lastUse)
+                ++rank;
+        }
+        out[w].lruRank = rank;
+    }
+    return out;
+}
+
 unsigned
 SetAssocCache::validLinesInSet(std::size_t set) const
 {

@@ -79,6 +79,23 @@ class SetAssocCache
     /** Number of valid lines currently resident in set @p set. */
     unsigned validLinesInSet(std::size_t set) const;
 
+    /** Read-only view of one tag-array entry (verification digests). */
+    struct LineView
+    {
+        bool valid = false;
+        Addr tag = 0;     //!< line address of the cached line
+        int owner = -1;   //!< application that installed it
+        unsigned lruRank = 0; //!< 0 = most recent among valid set lines
+    };
+
+    /**
+     * Snapshot of the tag/LRU state of set @p set, indexed by way. The
+     * LRU ordering is reported as a per-set rank rather than the raw
+     * use clock so two caches that saw the same access *pattern* (but
+     * different absolute access counts) still compare equal.
+     */
+    std::vector<LineView> setState(std::size_t set) const;
+
   private:
     struct Line
     {

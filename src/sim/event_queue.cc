@@ -118,6 +118,19 @@ EventQueue::advanceTo(Tick when)
         current = when;
 }
 
+std::vector<std::pair<Tick, std::uint64_t>>
+EventQueue::pendingEvents() const
+{
+    std::vector<Key> sorted = keys;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Key &a, const Key &b) { return a.before(b); });
+    std::vector<std::pair<Tick, std::uint64_t>> out;
+    out.reserve(sorted.size());
+    for (const Key &k : sorted)
+        out.emplace_back(k.when, k.seqSlot);
+    return out;
+}
+
 void
 EventQueue::registerMetrics(metrics::Registry &reg)
 {

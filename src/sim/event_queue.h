@@ -108,6 +108,16 @@ class EventQueue
     /** Expose executed/pending as pull gauges in @p reg. */
     void registerMetrics(metrics::Registry &reg);
 
+    /**
+     * Pending events as (when, fifo-sequence) pairs in firing order —
+     * the exact order run() would execute them. The sequence numbers
+     * are raw (they include the slab slot in the low bits), so two
+     * queues with identical histories produce identical lists; queues
+     * that merely fire the same work in the same order may differ.
+     * Diagnostic/verification use only (copies the key heap).
+     */
+    std::vector<std::pair<Tick, std::uint64_t>> pendingEvents() const;
+
   private:
     /** Initial reservation for the key heap and callback slab. */
     static constexpr std::size_t initialCapacity = 4096;

@@ -44,6 +44,20 @@ ResourcePool::peekStart(Tick now) const
     return std::max(now, earliest);
 }
 
+std::vector<Tick>
+ResourcePool::serverFreeTicks() const
+{
+    std::vector<Tick> out;
+    out.reserve(numServers);
+    if (numServers <= inlineCapacity) {
+        out.assign(inlineFree.begin(), inlineFree.begin() + numServers);
+    } else {
+        out = heapFree;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 void
 ResourcePool::reset()
 {

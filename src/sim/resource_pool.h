@@ -104,6 +104,14 @@ class ResourcePool
     /** Reset all server timelines and statistics. */
     void reset();
 
+    /**
+     * Next-free tick of every server, sorted ascending. The sort
+     * canonicalizes server identity (which inline slot served a request
+     * is an implementation detail); the multiset of free ticks is the
+     * pool's complete timeline state. Diagnostic/verification use.
+     */
+    std::vector<Tick> serverFreeTicks() const;
+
   private:
     /** Index of the server with the smallest next-free tick. */
     unsigned

@@ -164,6 +164,9 @@ class Shard
     /** Retention cap (events per shard); settable before tracing. */
     void setCap(std::size_t n) { cap = n; }
 
+    /** Current retention cap. */
+    std::size_t capacity() const { return cap; }
+
   private:
     void
     push(Event e)

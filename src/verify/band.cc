@@ -1,0 +1,139 @@
+#include "verify/band.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "verify/json.h"
+
+#ifndef GPUCC_REPO_ROOT
+#define GPUCC_REPO_ROOT "."
+#endif
+
+namespace gpucc::verify
+{
+
+namespace
+{
+
+/** Validate and convert one parsed band file. */
+void
+convertFile(const std::string &path, const JsonValue &root,
+            BandLoadResult &out)
+{
+    if (!root.isObject()) {
+        out.errors.push_back(path + ": root is not an object");
+        return;
+    }
+    BandFile f;
+    f.sourcePath = path;
+    f.scenario = root.stringOr("scenario", "");
+    f.paperRef = root.stringOr("paperRef", "");
+    if (f.scenario.empty()) {
+        out.errors.push_back(path + ": missing \"scenario\"");
+        return;
+    }
+    const JsonValue &archs = root.get("archs");
+    if (!archs.isObject() || archs.members.empty()) {
+        out.errors.push_back(path + ": missing/empty \"archs\" object");
+        return;
+    }
+    for (const auto &[archName, list] : archs.members) {
+        if (!list.isArray()) {
+            out.errors.push_back(path + ": archs." + archName +
+                                 " is not an array");
+            return;
+        }
+        std::vector<Band> bands;
+        for (const JsonValue &e : list.items) {
+            Band b;
+            b.metric = e.stringOr("metric", "");
+            b.ref = e.stringOr("ref", "");
+            if (b.metric.empty() || !e.has("lo") || !e.has("hi")) {
+                out.errors.push_back(path + ": archs." + archName +
+                                     " entry needs metric/lo/hi");
+                return;
+            }
+            b.lo = e.numberOr("lo", 0.0);
+            b.hi = e.numberOr("hi", 0.0);
+            if (b.hi < b.lo) {
+                out.errors.push_back(path + ": band " + b.metric +
+                                     " has hi < lo");
+                return;
+            }
+            bands.push_back(std::move(b));
+        }
+        f.archBands[archName] = std::move(bands);
+    }
+    out.files.push_back(std::move(f));
+}
+
+} // namespace
+
+std::vector<Band>
+BandFile::bandsFor(const std::string &archName) const
+{
+    std::vector<Band> out;
+    auto shared = archBands.find("all");
+    if (shared != archBands.end())
+        out.insert(out.end(), shared->second.begin(),
+                   shared->second.end());
+    auto mine = archBands.find(archName);
+    if (mine != archBands.end())
+        out.insert(out.end(), mine->second.begin(), mine->second.end());
+    return out;
+}
+
+BandLoadResult
+loadBandFile(const std::string &path)
+{
+    BandLoadResult out;
+    JsonParseResult parsed = parseJsonFile(path);
+    if (!parsed.ok) {
+        out.errors.push_back(path + ": " + parsed.error);
+        return out;
+    }
+    convertFile(path, parsed.value, out);
+    return out;
+}
+
+BandLoadResult
+loadBandDir(const std::string &dir)
+{
+    BandLoadResult out;
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    }
+    if (ec) {
+        out.errors.push_back(dir + ": " + ec.message());
+        return out;
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) {
+        out.errors.push_back(dir + ": no *.json band files");
+        return out;
+    }
+    for (const std::string &p : paths) {
+        BandLoadResult one = loadBandFile(p);
+        out.errors.insert(out.errors.end(), one.errors.begin(),
+                          one.errors.end());
+        out.files.insert(out.files.end(),
+                         std::make_move_iterator(one.files.begin()),
+                         std::make_move_iterator(one.files.end()));
+    }
+    return out;
+}
+
+std::string
+defaultBandDir()
+{
+    if (const char *env = std::getenv("GPUCC_CONFORMANCE_DIR"))
+        return env;
+    return std::string(GPUCC_REPO_ROOT) + "/conformance/expected";
+}
+
+} // namespace gpucc::verify

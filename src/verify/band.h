@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Machine-readable expected-value bands derived from the paper.
+ *
+ * Each file under conformance/expected/ pins one scenario (a table,
+ * figure, or section claim) to numeric intervals per architecture:
+ *
+ * {
+ *   "scenario": "table2_l1",
+ *   "paperRef": "Section 7.1, Table 2",
+ *   "archs": {
+ *     "Kepler": [
+ *       {"metric": "sync.bps", "lo": 60000, "hi": 95000,
+ *        "ref": "paper: 75 Kbps"},
+ *       ...
+ *     ]
+ *   }
+ * }
+ *
+ * Arch keys are generation names ("Fermi" / "Kepler" / "Maxwell") or
+ * "all" for bands shared by every architecture. The ConformanceRunner
+ * executes the scenario and checks every listed metric against its
+ * interval; a metric the scenario did not produce is itself a failure
+ * (bands are a contract, not a filter).
+ */
+
+#ifndef GPUCC_VERIFY_BAND_H
+#define GPUCC_VERIFY_BAND_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpucc::verify
+{
+
+/** One [lo, hi] interval a measured metric must land in. */
+struct Band
+{
+    std::string metric; //!< scenario metric name
+    double lo = 0.0;
+    double hi = 0.0;
+    std::string ref;    //!< paper anchor (printed in reports)
+
+    /** @return true when @p v lies inside the band (inclusive). */
+    bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+/** All bands of one scenario, keyed by architecture. */
+struct BandFile
+{
+    std::string scenario;            //!< must match a registered scenario
+    std::string paperRef;
+    std::string sourcePath;          //!< file it was loaded from
+    std::map<std::string, std::vector<Band>> archBands; //!< by arch name
+
+    /**
+     * Bands applying to @p archName: the arch-specific list plus any
+     * "all" entries.
+     */
+    std::vector<Band> bandsFor(const std::string &archName) const;
+};
+
+/** Result of loading a band directory. */
+struct BandLoadResult
+{
+    std::vector<BandFile> files;
+    std::vector<std::string> errors; //!< per-file parse/shape problems
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Parse one band file (shape-validated). */
+BandLoadResult loadBandFile(const std::string &path);
+
+/** Load every *.json file in @p dir (sorted by filename). */
+BandLoadResult loadBandDir(const std::string &dir);
+
+/**
+ * Default band directory: $GPUCC_CONFORMANCE_DIR when set, otherwise
+ * the conformance/expected tree committed next to the sources.
+ */
+std::string defaultBandDir();
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_BAND_H

@@ -1,0 +1,266 @@
+#include "verify/conformance_runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "common/metrics/json_writer.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/band.h"
+
+namespace gpucc::verify
+{
+
+namespace
+{
+
+bool
+inFilter(const std::vector<std::string> &filter, const std::string &name)
+{
+    if (filter.empty())
+        return true;
+    for (const std::string &f : filter) {
+        if (f == name)
+            return true;
+    }
+    return false;
+}
+
+/** Architectures a scenario covers, after an optional name filter. */
+std::vector<gpu::ArchParams>
+archsFor(const Scenario &s, const std::vector<std::string> &archFilter)
+{
+    std::vector<gpu::ArchParams> out;
+    for (const auto &arch : gpu::allArchitectures()) {
+        if (!s.runsOn(arch.generation))
+            continue;
+        if (!inFilter(archFilter, gpu::generationName(arch.generation)))
+            continue;
+        out.push_back(arch);
+    }
+    return out;
+}
+
+} // namespace
+
+unsigned
+ConformanceReport::passed() const
+{
+    unsigned n = 0;
+    for (const CheckResult &c : checks)
+        n += c.pass ? 1 : 0;
+    return n;
+}
+
+unsigned
+ConformanceReport::failed() const
+{
+    return static_cast<unsigned>(checks.size()) - passed();
+}
+
+ConformanceReport
+runConformance(const ConformanceOptions &opts)
+{
+    ConformanceReport report;
+    const std::string dir =
+        opts.bandDir.empty() ? defaultBandDir() : opts.bandDir;
+    BandLoadResult loaded = loadBandDir(dir);
+    report.errors = loaded.errors;
+
+    // Resolve band files against the scenario registry up front so
+    // unknown scenarios and impossible architectures are load errors,
+    // not silently skipped contracts.
+    struct Cell
+    {
+        const BandFile *file;
+        const Scenario *scenario;
+        gpu::ArchParams arch;
+    };
+    std::vector<Cell> cells;
+    std::set<std::string> seenScenarios;
+    for (const BandFile &f : loaded.files) {
+        if (!inFilter(opts.scenarios, f.scenario))
+            continue;
+        const Scenario *s = findScenario(f.scenario);
+        if (s == nullptr) {
+            report.errors.push_back(f.sourcePath +
+                                    ": unknown scenario \"" + f.scenario +
+                                    "\"");
+            continue;
+        }
+        if (!seenScenarios.insert(f.scenario).second) {
+            report.errors.push_back(f.sourcePath +
+                                    ": duplicate scenario \"" +
+                                    f.scenario + "\"");
+            continue;
+        }
+        for (const auto &[archName, bands] : f.archBands) {
+            if (archName == "all")
+                continue;
+            bool known = false;
+            for (const auto &arch : gpu::allArchitectures())
+                known |= gpu::generationName(arch.generation) == archName;
+            if (!known) {
+                report.errors.push_back(f.sourcePath +
+                                        ": unknown architecture \"" +
+                                        archName + "\"");
+            } else if (!inFilter(opts.archs, archName)) {
+                // filtered out: fine
+            } else {
+                bool covered = false;
+                for (const auto &arch : archsFor(*s, opts.archs))
+                    covered |= gpu::generationName(arch.generation) ==
+                               archName;
+                if (!covered)
+                    report.errors.push_back(
+                        f.sourcePath + ": scenario \"" + f.scenario +
+                        "\" does not run on " + archName);
+            }
+        }
+        // Only simulate architectures the file actually constrains;
+        // "all" bands fan out to every architecture the scenario
+        // supports.
+        for (const auto &arch : archsFor(*s, opts.archs)) {
+            if (!f.bandsFor(gpu::generationName(arch.generation)).empty())
+                cells.push_back({&f, s, arch});
+        }
+    }
+
+    // Every (scenario, architecture) cell is an independent simulation.
+    sim::exec::SweepRunner runner;
+    auto results = runner.runSweep(cells, [](const Cell &c) {
+        return c.scenario->run(c.arch);
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        const std::string archName =
+            gpu::generationName(c.arch.generation);
+        report.runs.push_back({c.file->scenario, archName, results[i]});
+        for (const Band &b : c.file->bandsFor(archName)) {
+            CheckResult check;
+            check.scenario = c.file->scenario;
+            check.arch = archName;
+            check.metric = b.metric;
+            check.ref = b.ref;
+            check.lo = b.lo;
+            check.hi = b.hi;
+            const MetricValue *m = results[i].find(b.metric);
+            check.present = m != nullptr;
+            if (m != nullptr) {
+                check.measured = m->value;
+                check.pass = b.contains(m->value);
+            }
+            report.checks.push_back(std::move(check));
+        }
+    }
+    return report;
+}
+
+void
+writeConformanceJson(const ConformanceReport &report, std::ostream &os)
+{
+    metrics::JsonWriter w(os, true);
+    w.beginObject();
+    w.field("passed", static_cast<std::uint64_t>(report.passed()));
+    w.field("failed", static_cast<std::uint64_t>(report.failed()));
+    w.field("ok", report.ok());
+    w.beginArray("errors");
+    for (const std::string &e : report.errors)
+        w.value(e);
+    w.endArray();
+    w.beginArray("checks");
+    for (const CheckResult &c : report.checks) {
+        w.beginObject();
+        w.field("scenario", c.scenario);
+        w.field("arch", c.arch);
+        w.field("metric", c.metric);
+        w.field("lo", c.lo);
+        w.field("hi", c.hi);
+        w.field("measured", c.measured);
+        w.field("present", c.present);
+        w.field("pass", c.pass);
+        if (!c.ref.empty())
+            w.field("ref", c.ref);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("runs");
+    for (const ScenarioRun &r : report.runs) {
+        w.beginObject();
+        w.field("scenario", r.scenario);
+        w.field("arch", r.arch);
+        w.beginObject("metrics");
+        for (const MetricValue &m : r.result.metrics)
+            w.field(m.name, m.value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::vector<std::string>
+recordBands(const RecordOptions &opts, std::vector<std::string> &errors)
+{
+    std::vector<std::string> written;
+    std::error_code ec;
+    std::filesystem::create_directories(opts.outDir, ec);
+    if (ec) {
+        errors.push_back(opts.outDir + ": " + ec.message());
+        return written;
+    }
+
+    for (const Scenario &s : conformanceScenarios()) {
+        if (!inFilter(opts.scenarios, s.name))
+            continue;
+        auto archs = archsFor(s, {});
+        sim::exec::SweepRunner runner;
+        auto results =
+            runner.runSweep(archs, [&s](const gpu::ArchParams &a) {
+                return s.run(a);
+            });
+
+        const std::string path = opts.outDir + "/" + s.name + ".json";
+        std::ofstream os(path);
+        if (!os.good()) {
+            errors.push_back(path + ": cannot open for writing");
+            continue;
+        }
+        metrics::JsonWriter w(os, true);
+        w.beginObject();
+        w.field("scenario", s.name);
+        w.field("paperRef", s.paperRef);
+        w.beginObject("archs");
+        for (std::size_t i = 0; i < archs.size(); ++i) {
+            w.beginArray(gpu::generationName(archs[i].generation));
+            for (const MetricValue &m : results[i].metrics) {
+                double lo = m.value;
+                double hi = m.value;
+                if (!m.exact) {
+                    lo = m.value * (1.0 - opts.tolerance);
+                    hi = m.value * (1.0 + opts.tolerance);
+                    if (lo > hi)
+                        std::swap(lo, hi); // negative measurements
+                }
+                w.beginObject();
+                w.field("metric", m.name);
+                w.field("lo", lo);
+                w.field("hi", hi);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+        w.endObject();
+        if (!os.good()) {
+            errors.push_back(path + ": write failed");
+            continue;
+        }
+        written.push_back(path);
+    }
+    return written;
+}
+
+} // namespace gpucc::verify

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ConformanceRunner: executes the registered paper scenarios and checks
+ * every measured metric against the expected-value bands committed
+ * under conformance/expected/.
+ *
+ * The runner is contract-strict in both directions: a band naming a
+ * metric the scenario did not produce fails, and a band file naming an
+ * architecture the scenario does not run on is a load error. Scenario
+ * cells (scenario x architecture) are independent simulations and run
+ * in parallel through SweepRunner, honoring GPUCC_THREADS.
+ *
+ * Record mode regenerates band files from fresh measurements: exact
+ * metrics pin to [v, v], timing-derived metrics get a +-tolerance
+ * band. Recorded files are the starting point — the committed files
+ * carry hand-tuned widths and paper anchors in their "ref" fields.
+ */
+
+#ifndef GPUCC_VERIFY_CONFORMANCE_RUNNER_H
+#define GPUCC_VERIFY_CONFORMANCE_RUNNER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/band.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::verify
+{
+
+/** One band evaluated against one measured metric. */
+struct CheckResult
+{
+    std::string scenario;
+    std::string arch;   //!< generation name ("Fermi"/"Kepler"/"Maxwell")
+    std::string metric;
+    std::string ref;    //!< paper anchor from the band file
+    double lo = 0.0;
+    double hi = 0.0;
+    double measured = 0.0;
+    bool present = false; //!< scenario produced the metric at all
+    bool pass = false;
+};
+
+/** One executed (scenario, architecture) cell. */
+struct ScenarioRun
+{
+    std::string scenario;
+    std::string arch;
+    ScenarioResult result;
+};
+
+/** Full outcome of a conformance pass. */
+struct ConformanceReport
+{
+    std::vector<CheckResult> checks;
+    std::vector<ScenarioRun> runs;
+    std::vector<std::string> errors; //!< load/shape problems
+
+    unsigned passed() const;
+    unsigned failed() const;
+
+    /** @return true when every check passed and nothing errored. */
+    bool
+    ok() const
+    {
+        return errors.empty() && failed() == 0 && !checks.empty();
+    }
+};
+
+/** What to run and against which bands. */
+struct ConformanceOptions
+{
+    std::string bandDir;                 //!< empty = defaultBandDir()
+    std::vector<std::string> scenarios;  //!< name filter; empty = all
+    std::vector<std::string> archs;      //!< generation filter; empty = all
+};
+
+/** Execute the conformance suite. */
+ConformanceReport runConformance(const ConformanceOptions &opts = {});
+
+/** Serialize @p report as JSON (CI artifact schema). */
+void writeConformanceJson(const ConformanceReport &report,
+                          std::ostream &os);
+
+/** Band regeneration parameters. */
+struct RecordOptions
+{
+    std::string outDir;                 //!< directory for *.json files
+    double tolerance = 0.25;            //!< half-width for banded metrics
+    std::vector<std::string> scenarios; //!< name filter; empty = all
+};
+
+/** Run scenarios and write one band file each into outDir.
+ *  @return paths written; load/run problems land in @p errors. */
+std::vector<std::string> recordBands(const RecordOptions &opts,
+                                     std::vector<std::string> &errors);
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_CONFORMANCE_RUNNER_H

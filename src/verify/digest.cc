@@ -1,0 +1,202 @@
+#include "verify/digest.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "gpu/device.h"
+#include "gpu/sm.h"
+#include "gpu/thread_block.h"
+#include "gpu/warp_scheduler.h"
+#include "mem/cache_geometry.h"
+#include "mem/set_assoc_cache.h"
+#include "sim/resource_pool.h"
+
+namespace gpucc::verify
+{
+
+std::uint64_t
+StateDigest::mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+StateDigest::f64(double x)
+{
+    if (x == 0.0)
+        x = 0.0; // collapse -0.0
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    u64(bits);
+}
+
+void
+StateDigest::str(const std::string &s)
+{
+    u64(s.size());
+    std::uint64_t word = 0;
+    unsigned fill = 0;
+    for (unsigned char c : s) {
+        word = (word << 8) | c;
+        if (++fill == 8) {
+            u64(word);
+            word = 0;
+            fill = 0;
+        }
+    }
+    if (fill != 0)
+        u64(word);
+}
+
+void
+digestPool(const sim::ResourcePool &pool, StateDigest &d)
+{
+    d.u64(pool.servers());
+    d.u64(pool.busyTicks());
+    d.u64(pool.totalQueueing());
+    d.u64(pool.requests());
+    for (Tick t : pool.serverFreeTicks())
+        d.u64(t);
+}
+
+void
+digestCache(const mem::SetAssocCache &cache, StateDigest &d)
+{
+    const mem::CacheGeometry &g = cache.geometry();
+    d.u64(g.numSets());
+    d.u64(g.ways);
+    d.u64(cache.hits());
+    d.u64(cache.misses());
+    for (std::size_t set = 0; set < g.numSets(); ++set) {
+        for (const auto &line : cache.setState(set)) {
+            if (!line.valid) {
+                d.u64(0);
+                continue;
+            }
+            d.u64(1);
+            d.u64(line.tag);
+            d.i64(line.owner);
+            d.u64(line.lruRank);
+        }
+    }
+}
+
+void
+digestDevice(gpu::Device &dev, StateDigest &d, const DigestOptions &opts)
+{
+    if (opts.deviceClock)
+        d.u64(dev.now());
+
+    // Per-SM occupancy and per-scheduler pipeline timelines.
+    for (unsigned i = 0; i < dev.numSms(); ++i) {
+        gpu::Sm &sm = dev.sm(i);
+        const gpu::SmOccupancy &occ = sm.occupancy();
+        d.u64(occ.blocks);
+        d.u64(occ.threads);
+        d.u64(occ.warps);
+        d.u64(occ.regs);
+        d.u64(occ.smemBytes);
+        d.u64(sm.residentKernels());
+        for (unsigned s = 0; s < sm.numSchedulers(); ++s) {
+            gpu::WarpScheduler &sched = sm.scheduler(s);
+            digestPool(sched.dispatch(), d);
+            digestPool(sched.port(gpu::FuType::SP), d);
+            digestPool(sched.port(gpu::FuType::SFU), d);
+            digestPool(sched.port(gpu::FuType::LDST), d);
+            if (dev.arch().fuCount(gpu::FuType::DPU) > 0)
+                digestPool(sched.port(gpu::FuType::DPU), d);
+        }
+        digestCache(dev.constMem().l1Cache(i), d);
+    }
+    digestCache(dev.constMem().l2Cache(), d);
+
+    // Global memory: partition timelines plus the functional store.
+    mem::GlobalMemory &gm = dev.globalMem();
+    for (unsigned p = 0; p < gm.params().numPartitions; ++p) {
+        digestPool(gm.atomicUnitPool(p), d);
+        digestPool(gm.dataPortPool(p), d);
+    }
+    if (opts.memoryWords) {
+        auto wordsSorted = gm.wordsSnapshot();
+        d.u64(wordsSorted.size());
+        for (const auto &[addr, value] : wordsSorted) {
+            d.u64(addr);
+            d.u64(value);
+        }
+    }
+
+    if (opts.eventQueue) {
+        auto pending = dev.events().pendingEvents();
+        d.u64(pending.size());
+        for (const auto &[when, seq] : pending) {
+            d.u64(when);
+            d.u64(seq);
+        }
+    }
+
+    if (opts.kernelOutputs) {
+        const auto &kernels = dev.kernels();
+        d.u64(kernels.size());
+        for (const auto &k : kernels) {
+            d.str(k->name());
+            d.u64(k->done() ? 1 : 0);
+            d.u64(k->startTick());
+            d.u64(k->endTick());
+            for (const auto &rec : k->blockRecords()) {
+                d.u64(rec.blockId);
+                d.u64(rec.smId);
+                d.u64(rec.startTick);
+                d.u64(rec.endTick);
+            }
+            for (unsigned w = 0; w < k->totalWarps(); ++w) {
+                const auto &out = k->out(w);
+                d.u64(out.size());
+                for (std::uint64_t v : out)
+                    d.u64(v);
+            }
+        }
+    }
+}
+
+std::uint64_t
+deviceDigest(gpu::Device &dev, const DigestOptions &opts)
+{
+    StateDigest d;
+    digestDevice(dev, d, opts);
+    return d.value();
+}
+
+DigestCheckpoints::DigestCheckpoints(gpu::Device &dev_, Cycle periodCycles,
+                                     DigestOptions opts_)
+    : dev(dev_), period(cyclesToTicks(periodCycles)), opts(opts_)
+{
+    GPUCC_ASSERT(periodCycles > 0, "checkpoint period must be positive");
+    scheduleNext();
+}
+
+void
+DigestCheckpoints::checkpointNow()
+{
+    StateDigest d;
+    digestDevice(dev, d, opts);
+    rolling.fold(d);
+    ++taken;
+}
+
+void
+DigestCheckpoints::scheduleNext()
+{
+    dev.events().schedule(dev.events().now() + period, [this] {
+        checkpointNow();
+        // Re-arm only while other work is pending, mirroring the
+        // metrics sampler: a checkpoint alone must not keep the
+        // simulation alive.
+        if (!dev.events().empty())
+            scheduleNext();
+    });
+}
+
+} // namespace gpucc::verify

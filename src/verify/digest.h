@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Rolling 64-bit digests of simulator state: cheap bit-exactness
+ * oracles for the metamorphic test suite and for pinning refactors of
+ * timing-critical code.
+ *
+ * StateDigest is a keyed sponge over 64-bit words (splitmix64 as the
+ * mixing function). digestDevice() streams a Device's *architectural*
+ * state through it — SM occupancy, warp-scheduler pipeline timelines,
+ * constant-cache tag arrays with LRU order, global-memory timelines and
+ * functional words, kernel outputs and block placements — so two runs
+ * that are "the same experiment" produce the same 64-bit value, and
+ * any divergence (an event reordered, a tag installed into a different
+ * way, one extra cycle of port occupancy) avalanches into a different
+ * value.
+ *
+ * Observability bookkeeping (metric registries, trace buffers, fault
+ * counters) is deliberately *excluded*: the attach-vs-detach oracle
+ * asserts that instrumentation never perturbs what it observes.
+ *
+ * DigestCheckpoints rides the event queue like the metrics sampler:
+ * every @p period cycles it folds a fresh device digest into a rolling
+ * hash, so the final value covers the *trajectory* of the simulation,
+ * not only its endpoint. It stops rescheduling when the queue would
+ * otherwise drain, preserving runUntilIdle() termination.
+ */
+
+#ifndef GPUCC_VERIFY_DIGEST_H
+#define GPUCC_VERIFY_DIGEST_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace gpucc::gpu
+{
+class Device;
+} // namespace gpucc::gpu
+
+namespace gpucc::sim
+{
+class ResourcePool;
+} // namespace gpucc::sim
+
+namespace gpucc::mem
+{
+class SetAssocCache;
+} // namespace gpucc::mem
+
+namespace gpucc::verify
+{
+
+/** Order-sensitive 64-bit rolling hash over typed words. */
+class StateDigest
+{
+  public:
+    explicit StateDigest(std::uint64_t key = 0) { u64(key); }
+
+    /** Fold one 64-bit word. */
+    void
+    u64(std::uint64_t x)
+    {
+        h ^= mix(x + counter++);
+        h = mix(h);
+    }
+
+    /** Fold one signed value. */
+    void i64(std::int64_t x) { u64(static_cast<std::uint64_t>(x)); }
+
+    /** Fold one double (by bit pattern; -0.0 canonicalized to 0.0). */
+    void f64(double x);
+
+    /** Fold a string (length-prefixed, so "ab","c" != "a","bc"). */
+    void str(const std::string &s);
+
+    /** Fold another digest (checkpoint accumulation). */
+    void fold(const StateDigest &other) { u64(other.value()); }
+
+    /** Current digest value. */
+    std::uint64_t value() const { return h; }
+
+    /** SplitMix64 finalizer (the mixing primitive, exposed for tests). */
+    static std::uint64_t mix(std::uint64_t x);
+
+  private:
+    std::uint64_t h = 0x6770756363646967ULL; // "gpuccdig"
+    std::uint64_t counter = 1;
+};
+
+/** What digestDevice() includes beyond the always-on architectural
+ *  state. */
+struct DigestOptions
+{
+    /**
+     * Fold the device clock (now()). Disable together with eventQueue
+     * when comparing against a run whose *schedule* differs benignly —
+     * e.g. the periodic metrics sampler appends events after the last
+     * architectural one, moving the final drain tick.
+     */
+    bool deviceClock = true;
+    /**
+     * Fold the pending event list (when, sequence). Sequence numbers
+     * count every schedule() since construction, so runs must have
+     * identical scheduling histories — the strictest setting. Disable
+     * to compare runs whose bookkeeping differs (e.g. with and without
+     * an armed-but-quiet fault injector that never schedules).
+     */
+    bool eventQueue = true;
+    /** Fold per-kernel warp outputs and block placement records. */
+    bool kernelOutputs = true;
+    /** Fold the functional global-memory word store. */
+    bool memoryWords = true;
+};
+
+/** Stream @p dev's architectural state into @p d. (Non-const only
+ *  because the Device accessors are; nothing is modified.) */
+void digestDevice(gpu::Device &dev, StateDigest &d,
+                  const DigestOptions &opts = {});
+
+/** One-shot convenience: digest of @p dev with @p opts. */
+std::uint64_t deviceDigest(gpu::Device &dev,
+                           const DigestOptions &opts = {});
+
+/** Stream one resource pool's timeline state (helper, reused by
+ *  digestDevice over every scheduler port). */
+void digestPool(const sim::ResourcePool &pool, StateDigest &d);
+
+/** Stream one cache's tag array and LRU order. */
+void digestCache(const mem::SetAssocCache &cache, StateDigest &d);
+
+/** Periodic checkpointing of a device digest along the run. */
+class DigestCheckpoints
+{
+  public:
+    /**
+     * Install on @p dev: every @p periodCycles of simulated time a
+     * checkpoint digest is folded into the rolling value. Must outlive
+     * the run it observes.
+     */
+    DigestCheckpoints(gpu::Device &dev, Cycle periodCycles,
+                      DigestOptions opts = {});
+
+    /** Checkpoints taken so far. */
+    unsigned checkpoints() const { return taken; }
+
+    /** Rolling digest over all checkpoints so far. */
+    std::uint64_t value() const { return rolling.value(); }
+
+    /** Take one checkpoint immediately (also used internally). */
+    void checkpointNow();
+
+  private:
+    void scheduleNext();
+
+    gpu::Device &dev;
+    Tick period;
+    DigestOptions opts;
+    StateDigest rolling;
+    unsigned taken = 0;
+};
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_DIGEST_H

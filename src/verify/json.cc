@@ -1,0 +1,292 @@
+#include "verify/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gpucc::verify
+{
+
+namespace
+{
+
+/** Shared "absent member" sentinel. */
+const JsonValue nullValue{};
+
+/** Cursor over the input with one-shot error reporting. */
+struct Parser
+{
+    const std::string &s;
+    std::size_t at = 0;
+    std::string error;
+
+    bool failed() const { return !error.empty(); }
+
+    void
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(at);
+    }
+
+    void
+    skipWs()
+    {
+        while (at < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[at])))
+            ++at;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (at < s.size() && s[at] == c) {
+            ++at;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return at < s.size() ? s[at] : '\0';
+    }
+
+    JsonValue
+    parseValue(unsigned depth)
+    {
+        if (depth > 64) {
+            fail("nesting too deep");
+            return {};
+        }
+        switch (peek()) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return parseString();
+        case 't':
+        case 'f':
+            return parseBool();
+        case 'n':
+            return parseNull();
+        default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject(unsigned depth)
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        consume('{');
+        if (consume('}'))
+            return v;
+        do {
+            JsonValue key = parseString();
+            if (failed())
+                return v;
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return v;
+            }
+            v.members[key.text] = parseValue(depth + 1);
+            if (failed())
+                return v;
+        } while (consume(','));
+        if (!consume('}'))
+            fail("expected '}' or ','");
+        return v;
+    }
+
+    JsonValue
+    parseArray(unsigned depth)
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        consume('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.items.push_back(parseValue(depth + 1));
+            if (failed())
+                return v;
+        } while (consume(','));
+        if (!consume(']'))
+            fail("expected ']' or ','");
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        if (!consume('"')) {
+            fail("expected string");
+            return v;
+        }
+        while (at < s.size() && s[at] != '"') {
+            char c = s[at];
+            if (c == '\\') {
+                if (at + 1 >= s.size()) {
+                    fail("unterminated escape");
+                    return v;
+                }
+                char esc = s[at + 1];
+                switch (esc) {
+                case '"': v.text += '"'; break;
+                case '\\': v.text += '\\'; break;
+                case '/': v.text += '/'; break;
+                case 'b': v.text += '\b'; break;
+                case 'f': v.text += '\f'; break;
+                case 'n': v.text += '\n'; break;
+                case 'r': v.text += '\r'; break;
+                case 't': v.text += '\t'; break;
+                case 'u': {
+                    // Band files are ASCII; decode BMP escapes to the
+                    // low byte and reject surrogates outright.
+                    if (at + 5 >= s.size()) {
+                        fail("truncated \\u escape");
+                        return v;
+                    }
+                    unsigned code = static_cast<unsigned>(std::strtoul(
+                        s.substr(at + 2, 4).c_str(), nullptr, 16));
+                    if (code > 0x7f) {
+                        fail("non-ASCII \\u escape unsupported");
+                        return v;
+                    }
+                    v.text += static_cast<char>(code);
+                    at += 4;
+                    break;
+                }
+                default:
+                    fail("bad escape");
+                    return v;
+                }
+                at += 2;
+            } else {
+                v.text += c;
+                ++at;
+            }
+        }
+        if (at >= s.size()) {
+            fail("unterminated string");
+            return v;
+        }
+        ++at; // closing quote
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (s.compare(at, 4, "true") == 0) {
+            v.boolean = true;
+            at += 4;
+        } else if (s.compare(at, 5, "false") == 0) {
+            at += 5;
+        } else {
+            fail("expected boolean");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        JsonValue v;
+        if (s.compare(at, 4, "null") == 0)
+            at += 4;
+        else
+            fail("expected null");
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        skipWs();
+        const char *begin = s.c_str() + at;
+        char *end = nullptr;
+        v.number = std::strtod(begin, &end);
+        if (end == begin) {
+            fail("expected a value");
+            return v;
+        }
+        at += static_cast<std::size_t>(end - begin);
+        return v;
+    }
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullValue;
+    auto it = members.find(key);
+    return it == members.end() ? nullValue : it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return kind == Kind::Object && members.count(key) != 0;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue &v = get(key);
+    return v.isNumber() ? v.number : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue &v = get(key);
+    return v.isString() ? v.text : fallback;
+}
+
+JsonParseResult
+parseJson(const std::string &text)
+{
+    Parser p{text, 0, {}};
+    JsonParseResult r;
+    r.value = p.parseValue(0);
+    p.skipWs();
+    if (!p.failed() && p.at != text.size())
+        p.fail("trailing content");
+    r.ok = !p.failed();
+    r.error = p.error;
+    return r;
+}
+
+JsonParseResult
+parseJsonFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is.good()) {
+        JsonParseResult r;
+        r.error = "cannot open " + path;
+        return r;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return parseJson(buf.str());
+}
+
+} // namespace gpucc::verify

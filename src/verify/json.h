@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the verification
+ * subsystem's expected-value band files under conformance/expected/.
+ *
+ * The simulator already owns the *writing* side (common/metrics
+ * JsonWriter); this is the matching read side, restricted to what the
+ * band files need: objects, arrays, strings, finite numbers, booleans
+ * and null. No external dependency, no DOM sharing — parse() builds a
+ * small immutable tree that the band loader walks once.
+ */
+
+#ifndef GPUCC_VERIFY_JSON_H
+#define GPUCC_VERIFY_JSON_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpucc::verify
+{
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;                 //!< Kind::Array
+    std::map<std::string, JsonValue> members;     //!< Kind::Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member @p key, or null-kind sentinel when absent/not an object. */
+    const JsonValue &get(const std::string &key) const;
+
+    /** @return true when this is an object containing @p key. */
+    bool has(const std::string &key) const;
+
+    /** Number value of member @p key (@p fallback when absent). */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** String value of member @p key (@p fallback when absent). */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+};
+
+/** Outcome of a parse: a value or a position-annotated error. */
+struct JsonParseResult
+{
+    bool ok = false;
+    JsonValue value;
+    std::string error; //!< "<message> at offset N" when !ok
+};
+
+/** Parse @p text as one JSON document (trailing whitespace allowed). */
+JsonParseResult parseJson(const std::string &text);
+
+/** Parse the file at @p path; I/O failures report through error. */
+JsonParseResult parseJsonFile(const std::string &path);
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_JSON_H

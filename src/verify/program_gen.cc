@@ -1,0 +1,182 @@
+#include "verify/program_gen.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::verify
+{
+
+namespace
+{
+
+/** splitmix64 (also the digest mixer): cheap seed derivation. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** The seed-determined program shape shared by every warp. */
+struct Skeleton
+{
+    struct Segment
+    {
+        bool barrierAfter = false;
+    };
+    std::vector<Segment> segments;
+    std::uint64_t seed = 0;
+    unsigned minOps = 1;
+    unsigned maxOps = 1;
+    std::size_t smemBytes = 0;
+    Addr globalBase = 0;
+    Addr globalSpan = 0;
+    bool useGlobal = false;
+    bool useConst = false;
+    bool useShared = false;
+    std::vector<gpu::OpClass> ops; //!< compute ops this arch supports
+};
+
+/** One warp's body: replays the skeleton with per-warp random choices. */
+gpu::WarpProgram
+runWarp(gpu::WarpCtx &ctx, const Skeleton &plan)
+{
+    Rng rng(mix64(plan.seed ^ mix64(ctx.globalWarpId() + 1)));
+    std::uint64_t acc = 0;
+
+    for (const auto &segment : plan.segments) {
+        unsigned ops = static_cast<unsigned>(
+            rng.uniformInt(plan.minOps, plan.maxOps));
+        for (unsigned i = 0; i < ops; ++i) {
+            // Weighted action pick; unavailable families fall through
+            // to a plain compute op so draw counts stay seed-stable.
+            unsigned roll = static_cast<unsigned>(rng.uniformInt(0, 99));
+            Addr base = plan.globalBase +
+                        static_cast<Addr>(rng.uniformInt(
+                            0, static_cast<std::int64_t>(
+                                   plan.globalSpan / 8 - warpSize))) *
+                            4;
+            if (roll < 40) {
+                auto op = plan.ops[static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<std::int64_t>(
+                                       plan.ops.size() - 1)))];
+                acc += co_await ctx.op(op);
+            } else if (roll < 50) {
+                acc += co_await ctx.clock();
+            } else if (roll < 65 && plan.useConst) {
+                Addr caddr =
+                    static_cast<Addr>(rng.uniformInt(0, 16384 / 4 - 1)) *
+                    4;
+                if (roll < 60) {
+                    acc += co_await ctx.constLoad(caddr);
+                } else {
+                    std::vector<Addr> chain;
+                    unsigned n =
+                        static_cast<unsigned>(rng.uniformInt(2, 5));
+                    for (unsigned j = 0; j < n; ++j)
+                        chain.push_back((caddr + j * 256) % 16384);
+                    acc += co_await ctx.constLoadSeq(std::move(chain));
+                }
+            } else if (roll < 80 && plan.useGlobal) {
+                std::vector<Addr> lanes;
+                bool coalesced = rng.flip();
+                for (unsigned lane = 0; lane < warpSize; ++lane)
+                    lanes.push_back(coalesced ? base + lane * 4 : base);
+                if (roll < 70)
+                    acc += co_await ctx.globalLoad(lanes);
+                else if (roll < 75)
+                    acc += co_await ctx.globalStore(lanes);
+                else
+                    acc += co_await ctx.atomicAdd(lanes, 1 + (roll % 3));
+            } else if (roll < 90 && plan.useShared) {
+                std::vector<Addr> offsets;
+                unsigned stride =
+                    rng.flip() ? 4u : 8u; // 8 = 2-way bank conflicts
+                for (unsigned lane = 0; lane < warpSize; ++lane)
+                    offsets.push_back((lane * stride) %
+                                      plan.smemBytes);
+                acc += co_await ctx.sharedAccess(offsets);
+                ctx.smemWrite((ctx.warpInBlock() * 4) % plan.smemBytes,
+                              static_cast<std::uint32_t>(acc));
+            } else if (roll < 95) {
+                acc += co_await
+                    ctx.sleep(static_cast<Cycle>(rng.uniformInt(1, 32)));
+            } else {
+                acc += co_await ctx.op(plan.ops.front());
+            }
+        }
+        if (segment.barrierAfter)
+            co_await ctx.syncthreads();
+    }
+
+    ctx.out(acc);
+    ctx.out(mix64(acc ^ ctx.globalWarpId()));
+    co_return;
+}
+
+} // namespace
+
+ProgramGen::ProgramGen(const gpu::ArchParams &arch_, ProgramGenConfig cfg_)
+    : arch(arch_), cfg(cfg_)
+{
+    GPUCC_ASSERT(cfg.minSegments >= 1 &&
+                     cfg.maxSegments >= cfg.minSegments,
+                 "bad segment bounds");
+    GPUCC_ASSERT(cfg.minOpsPerSegment >= 1 &&
+                     cfg.maxOpsPerSegment >= cfg.minOpsPerSegment,
+                 "bad op bounds");
+}
+
+gpu::KernelLaunch
+ProgramGen::makeKernel(std::uint64_t seed) const
+{
+    Rng rng(mix64(seed));
+
+    Skeleton plan;
+    plan.seed = seed;
+    plan.minOps = cfg.minOpsPerSegment;
+    plan.maxOps = cfg.maxOpsPerSegment;
+    plan.globalBase = cfg.globalBase;
+    plan.globalSpan = cfg.globalSpan;
+    plan.useGlobal = cfg.useGlobalMemory;
+    plan.useConst = cfg.useConstMemory;
+    plan.useShared = cfg.useSharedMemory;
+    plan.smemBytes = cfg.useSharedMemory ? 1024 : 0;
+
+    plan.ops = {gpu::OpClass::FAdd, gpu::OpClass::FMul,
+                gpu::OpClass::Sinf, gpu::OpClass::Sqrt};
+    if (arch.supports(gpu::OpClass::DAdd))
+        plan.ops.push_back(gpu::OpClass::DAdd);
+
+    unsigned segments = static_cast<unsigned>(
+        rng.uniformInt(cfg.minSegments, cfg.maxSegments));
+    for (unsigned i = 0; i < segments; ++i) {
+        Skeleton::Segment s;
+        // Never after the last segment: a trailing barrier adds nothing.
+        s.barrierAfter =
+            cfg.useBarriers && i + 1 < segments && rng.flip();
+        plan.segments.push_back(s);
+    }
+
+    gpu::KernelLaunch k;
+    k.name = "gen-" + std::to_string(seed);
+    k.config.gridBlocks = static_cast<unsigned>(
+        rng.uniformInt(1, cfg.maxGridBlocks));
+    k.config.threadsPerBlock =
+        static_cast<unsigned>(rng.uniformInt(1, cfg.maxWarpsPerBlock)) *
+        warpSize;
+    k.config.smemBytesPerBlock = plan.smemBytes;
+    k.body = [plan = std::move(plan)](gpu::WarpCtx &ctx) {
+        return runWarp(ctx, plan);
+    };
+    return k;
+}
+
+} // namespace gpucc::verify

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Seeded random warp-program generator for the metamorphic test suite.
+ *
+ * ProgramGen turns a 64-bit seed into a complete KernelLaunch whose
+ * body exercises the device API surface — FU ops, clock reads, constant
+ * loads (single and dependent sequences), global loads/stores, atomics,
+ * shared-memory accesses, idle sleeps, and block barriers — with every
+ * choice drawn from deterministic RNG streams. The same seed always
+ * yields the same program, so generated kernels can serve as oracles
+ * that need no golden values: run the program twice (or at different
+ * GPUCC_THREADS, or with instrumentation attached vs detached) and
+ * compare state digests.
+ *
+ * Barrier safety: the number and placement of __syncthreads() slots is
+ * drawn from the *skeleton* stream (seed only), identical for every
+ * warp, so all warps of a block always reach the same barrier count and
+ * generated programs cannot deadlock. Per-warp variation (which ops,
+ * which addresses) comes from a stream derived from seed and global
+ * warp id.
+ */
+
+#ifndef GPUCC_VERIFY_PROGRAM_GEN_H
+#define GPUCC_VERIFY_PROGRAM_GEN_H
+
+#include <cstdint>
+
+#include "gpu/arch_params.h"
+#include "gpu/kernel.h"
+
+namespace gpucc::verify
+{
+
+/** Knobs bounding what generated programs may do. */
+struct ProgramGenConfig
+{
+    unsigned minSegments = 2;  //!< barrier-delimited program sections
+    unsigned maxSegments = 5;
+    unsigned minOpsPerSegment = 1;
+    unsigned maxOpsPerSegment = 6;
+    unsigned maxGridBlocks = 3;
+    unsigned maxWarpsPerBlock = 4;
+    bool useBarriers = true;
+    bool useGlobalMemory = true; //!< loads/stores/atomics
+    bool useConstMemory = true;  //!< single loads and dependent chains
+    bool useSharedMemory = true;
+    /** Global-address region base; programs stay inside
+     *  [base, base + span). */
+    Addr globalBase = 0x400000;
+    Addr globalSpan = 0x4000;
+};
+
+/** Deterministic random kernel factory. */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(const gpu::ArchParams &arch,
+                        ProgramGenConfig cfg = {});
+
+    /**
+     * Build the kernel for @p seed: grid shape, shared-memory
+     * footprint, and the warp body are all functions of the seed alone
+     * (given a fixed config and architecture).
+     */
+    gpu::KernelLaunch makeKernel(std::uint64_t seed) const;
+
+  private:
+    gpu::ArchParams arch;
+    ProgramGenConfig cfg;
+};
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_PROGRAM_GEN_H

@@ -1,0 +1,410 @@
+#include "verify/scenarios.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/channels/l2_const_channel.h"
+#include "covert/channels/sfu_channel.h"
+#include "covert/characterize/fu_characterizer.h"
+#include "covert/coding/error_code.h"
+#include "covert/link/reliable_link.h"
+#include "covert/link/transport.h"
+#include "covert/parallel/sfu_parallel_channel.h"
+#include "covert/sync/duplex_channel.h"
+#include "covert/sync/sync_channel.h"
+#include "covert/sync/sync_sfu_channel.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
+
+namespace gpucc::verify
+{
+
+BitVec
+scenarioPayload(std::size_t bits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return randomBits(bits, rng);
+}
+
+ChannelMeasurement
+summarize(const covert::ChannelResult &r)
+{
+    return {r.bandwidthBps, r.report.errorRate(), r.report.errorFree()};
+}
+
+ChannelMeasurement
+measureL1Baseline(const gpu::ArchParams &arch, std::size_t bits)
+{
+    covert::L1ConstChannel ch(arch);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+ChannelMeasurement
+measureL1LaunchPerBit(const gpu::ArchParams &arch, std::size_t bits,
+                      const covert::LaunchPerBitConfig &cfg)
+{
+    covert::L1ConstChannel ch(arch, cfg);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+ChannelMeasurement
+measureL2LaunchPerBit(const gpu::ArchParams &arch, std::size_t bits,
+                      const covert::LaunchPerBitConfig &cfg)
+{
+    covert::L2ConstChannel ch(arch, cfg);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+ChannelMeasurement
+measureSyncL1(const gpu::ArchParams &arch, std::size_t bits,
+              unsigned dataSetsPerSm, bool allSms)
+{
+    covert::SyncChannelConfig cfg;
+    cfg.dataSetsPerSm = dataSetsPerSm;
+    cfg.allSms = allSms;
+    covert::SyncL1Channel ch(arch, cfg);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+ChannelMeasurement
+measureSfuBaseline(const gpu::ArchParams &arch, std::size_t bits)
+{
+    covert::SfuChannel ch(arch);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+ChannelMeasurement
+measureSfuParallel(const gpu::ArchParams &arch, std::size_t bits,
+                   bool acrossSms)
+{
+    covert::SfuParallelConfig cfg;
+    cfg.acrossSms = acrossSms;
+    covert::SfuParallelChannel ch(arch, cfg);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+ChannelMeasurement
+measureSyncSfu(const gpu::ArchParams &arch, std::size_t bits)
+{
+    covert::SyncSfuChannel ch(arch);
+    return summarize(ch.transmit(scenarioPayload(bits)));
+}
+
+AtomicMeasurement
+measureAtomic(const gpu::ArchParams &arch, covert::AtomicScenario scenario,
+              std::size_t bits)
+{
+    covert::AtomicChannel ch(arch, scenario);
+    AtomicMeasurement m;
+    m.iterations = ch.autoTuneIterations();
+    m.channel = summarize(ch.transmit(scenarioPayload(bits)));
+    return m;
+}
+
+FuCurveSummary
+measureFuCurve(const gpu::ArchParams &arch, gpu::OpClass op,
+               unsigned maxWarps)
+{
+    covert::FuCharacterizer fc(arch);
+    auto curve = fc.curve(op, maxWarps);
+    FuCurveSummary s;
+    s.baseCycles = curve.front().warp0AvgCycles;
+    s.peakCycles = curve.back().warp0AvgCycles;
+    s.onsetWarps = covert::FuCharacterizer::contentionOnset(curve);
+    return s;
+}
+
+namespace
+{
+
+/** Fresh duplex channel with an armed fault injector (one per
+ *  measurement, as in the Section 8 bench). */
+struct FaultedDuplex
+{
+    covert::DuplexSyncChannel chan;
+    sim::fault::FaultInjector injector;
+
+    FaultedDuplex(const gpu::ArchParams &arch, const std::string &plan,
+                  std::uint64_t seed)
+        : chan(arch),
+          injector(chan.harness().device(),
+                   sim::fault::FaultPlan::preset(plan), seed)
+    {
+        injector.arm();
+    }
+};
+
+} // namespace
+
+ChannelMeasurement
+measureDuplexRaw(const gpu::ArchParams &arch, const std::string &planName,
+                 std::uint64_t faultSeed, const BitVec &payload)
+{
+    FaultedDuplex rig(arch, planName, faultSeed);
+    auto r = rig.chan.exchange(payload, {});
+    return summarize(r.aToB);
+}
+
+ChannelMeasurement
+measureFecDuplex(const gpu::ArchParams &arch, const std::string &planName,
+                 std::uint64_t faultSeed, const BitVec &payload,
+                 const covert::ErrorCode &code)
+{
+    FaultedDuplex rig(arch, planName, faultSeed);
+    auto r = rig.chan.exchange(code.encode(payload), {});
+    BitVec decoded = code.decode(r.aToB.received, payload.size());
+    auto report = compareBits(payload, decoded);
+    double seconds = r.aToB.seconds;
+    double bps = seconds > 0.0
+                     ? static_cast<double>(payload.size()) / seconds
+                     : 0.0;
+    return {bps, report.errorRate(), report.errorFree()};
+}
+
+ArqMeasurement
+measureArqOverPlan(const gpu::ArchParams &arch, const std::string &planName,
+                   std::uint64_t faultSeed, const BitVec &payload,
+                   const covert::ErrorCode *innerFec)
+{
+    FaultedDuplex rig(arch, planName, faultSeed);
+    covert::link::DuplexLinkTransport transport(rig.chan);
+    covert::link::LinkConfig cfg;
+    cfg.payloadBits = 32;
+    cfg.window = 4;
+    cfg.innerFec = innerFec;
+    covert::link::ReliableLink link(transport, cfg);
+    auto r = link.send(payload);
+    return {compareBits(payload, r.payload).errorRate(), r.goodputBps,
+            r.complete, r.retransmissions};
+}
+
+const MetricValue *
+ScenarioResult::find(const std::string &name) const
+{
+    for (const MetricValue &m : metrics) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+Scenario::runsOn(gpu::Generation g) const
+{
+    return std::find(generations.begin(), generations.end(), g) !=
+           generations.end();
+}
+
+namespace
+{
+
+constexpr gpu::Generation allGens[] = {gpu::Generation::Fermi,
+                                       gpu::Generation::Kepler,
+                                       gpu::Generation::Maxwell};
+
+void
+addChannel(ScenarioResult &r, const std::string &prefix,
+           const ChannelMeasurement &m)
+{
+    r.add(prefix + ".bps", m.bps);
+    r.add(prefix + ".error_free", m.errorFree ? 1.0 : 0.0, true);
+}
+
+ScenarioResult
+runTable1(const gpu::ArchParams &a)
+{
+    ScenarioResult r;
+    r.add("schedulers", a.schedulersPerSm, true);
+    r.add("dispatch", a.schedulersPerSm * a.dispatchUnitsPerScheduler,
+          true);
+    r.add("sp", a.fuCount(gpu::FuType::SP), true);
+    r.add("dpu", a.fuCount(gpu::FuType::DPU), true);
+    r.add("sfu", a.fuCount(gpu::FuType::SFU), true);
+    r.add("ldst", a.fuCount(gpu::FuType::LDST), true);
+    r.add("sms", a.numSms, true);
+    r.add("clock_ghz", a.clockGHz, true);
+    r.add("const_l1_bytes", static_cast<double>(a.constMem.l1.sizeBytes),
+          true);
+    r.add("const_l1_ways", a.constMem.l1.ways, true);
+    r.add("const_l2_bytes", static_cast<double>(a.constMem.l2.sizeBytes),
+          true);
+    r.add("smem_bytes", static_cast<double>(a.limits.smemBytes), true);
+    return r;
+}
+
+ScenarioResult
+runTable2(const gpu::ArchParams &a)
+{
+    ScenarioResult r;
+    addChannel(r, "baseline", measureL1Baseline(a, 32));
+    ChannelMeasurement sync = measureSyncL1(a, 96);
+    addChannel(r, "sync", sync);
+    ChannelMeasurement multibit = measureSyncL1(a, 192, 6);
+    addChannel(r, "multibit", multibit);
+    addChannel(r, "parallel", measureSyncL1(a, 384, 6, true));
+    r.add("multibit.speedup",
+          sync.bps > 0.0 ? multibit.bps / sync.bps : 0.0);
+    return r;
+}
+
+ScenarioResult
+runTable3(const gpu::ArchParams &a)
+{
+    ScenarioResult r;
+    addChannel(r, "baseline", measureSfuBaseline(a, 32));
+    addChannel(r, "parallel", measureSfuParallel(a, 64, false));
+    addChannel(r, "sms", measureSfuParallel(a, 256, true));
+    ChannelMeasurement sync = measureSyncSfu(a, 96);
+    r.add("sync.bps", sync.bps);
+    r.add("sync.error_rate", sync.errorRate);
+    return r;
+}
+
+ScenarioResult
+runFig05(const gpu::ArchParams &a)
+{
+    auto point = [&](unsigned iters) {
+        covert::LaunchPerBitConfig cfg;
+        cfg.iterations = iters;
+        cfg.trojanLeadUs = 1.0;
+        cfg.jitterUs = 2.5;
+        return measureL1LaunchPerBit(a, 64, cfg);
+    };
+    ChannelMeasurement it20 = point(20);
+    ChannelMeasurement it8 = point(8);
+    ChannelMeasurement it4 = point(4);
+    covert::LaunchPerBitConfig l2cfg;
+    l2cfg.iterations = 2;
+    l2cfg.trojanLeadUs = 1.0;
+    l2cfg.jitterUs = 2.5;
+    ChannelMeasurement l2 = measureL2LaunchPerBit(a, 48, l2cfg);
+
+    ScenarioResult r;
+    r.add("l1.ber.iter20", it20.errorRate);
+    r.add("l1.ber.iter8", it8.errorRate);
+    r.add("l1.ber.iter4", it4.errorRate);
+    r.add("l1.ber.rise", it4.errorRate - it20.errorRate);
+    r.add("l1.bw_ratio_4_20", it20.bps > 0.0 ? it4.bps / it20.bps : 0.0);
+    r.add("l2.ber.iter2", l2.errorRate);
+    return r;
+}
+
+ScenarioResult
+runFig06(const gpu::ArchParams &a)
+{
+    ScenarioResult r;
+    const std::pair<gpu::OpClass, const char *> ops[] = {
+        {gpu::OpClass::Sinf, "sinf"},
+        {gpu::OpClass::Sqrt, "sqrt"},
+        {gpu::OpClass::FAdd, "fadd"},
+    };
+    for (const auto &[op, name] : ops) {
+        FuCurveSummary s = measureFuCurve(a, op);
+        r.add(std::string(name) + ".base_cycles", s.baseCycles);
+        r.add(std::string(name) + ".peak_cycles", s.peakCycles);
+        if (op == gpu::OpClass::Sinf)
+            r.add("sinf.onset_warps", s.onsetWarps, true);
+    }
+    return r;
+}
+
+ScenarioResult
+runFig07(const gpu::ArchParams &a)
+{
+    ScenarioResult r;
+    FuCurveSummary add = measureFuCurve(a, gpu::OpClass::DAdd);
+    FuCurveSummary mul = measureFuCurve(a, gpu::OpClass::DMul);
+    r.add("dadd.base_cycles", add.baseCycles);
+    r.add("dadd.peak_cycles", add.peakCycles);
+    r.add("dadd.onset_warps", add.onsetWarps, true);
+    r.add("dmul.base_cycles", mul.baseCycles);
+    r.add("dmul.peak_cycles", mul.peakCycles);
+    return r;
+}
+
+ScenarioResult
+runFig10(const gpu::ArchParams &a)
+{
+    AtomicMeasurement s1 =
+        measureAtomic(a, covert::AtomicScenario::FixedPerThread, 24);
+    AtomicMeasurement s2 =
+        measureAtomic(a, covert::AtomicScenario::StridedCoalesced, 24);
+    AtomicMeasurement s3 =
+        measureAtomic(a, covert::AtomicScenario::ConsecutiveUncoalesced,
+                      24);
+    ScenarioResult r;
+    r.add("s1.bps", s1.channel.bps);
+    r.add("s1.error_free", s1.channel.errorFree ? 1.0 : 0.0, true);
+    r.add("s1.iterations", s1.iterations, true);
+    r.add("s2.bps", s2.channel.bps);
+    r.add("s2.error_free", s2.channel.errorFree ? 1.0 : 0.0, true);
+    r.add("s3.bps", s3.channel.bps);
+    r.add("s3.error_free", s3.channel.errorFree ? 1.0 : 0.0, true);
+    r.add("s3_vs_s1",
+          s1.channel.bps > 0.0 ? s3.channel.bps / s1.channel.bps : 0.0);
+    return r;
+}
+
+ScenarioResult
+runSec8(const gpu::ArchParams &a)
+{
+    const std::uint64_t seed = 3;
+    const BitVec payload = scenarioPayload(96);
+    ChannelMeasurement raw = measureDuplexRaw(a, "bursty", seed, payload);
+    ArqMeasurement arq = measureArqOverPlan(a, "bursty", seed, payload);
+    ScenarioResult r;
+    r.add("raw.ber", raw.errorRate);
+    r.add("arq.residual_ber", arq.residualBer, true);
+    r.add("arq.complete", arq.complete ? 1.0 : 0.0, true);
+    r.add("arq.retransmissions", arq.retransmissions);
+    r.add("arq.goodput_bps", arq.goodputBps);
+    return r;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+conformanceScenarios()
+{
+    static const std::vector<Scenario> scenarios = [] {
+        std::vector<Scenario> s;
+        auto all = std::vector<gpu::Generation>(std::begin(allGens),
+                                                std::end(allGens));
+        s.push_back({"table1_resources", "Section 5.1, Table 1", all,
+                     runTable1});
+        s.push_back({"table2_l1", "Section 7.1, Table 2", all, runTable2});
+        s.push_back({"table3_sfu", "Section 7.2, Table 3", all,
+                     runTable3});
+        s.push_back({"fig05_ber",
+                     "Section 4.3, Figure 5",
+                     {gpu::Generation::Kepler, gpu::Generation::Maxwell},
+                     runFig05});
+        s.push_back({"fig06_sp_latency", "Section 5.1, Figure 6", all,
+                     runFig06});
+        s.push_back({"fig07_dp_latency",
+                     "Section 5.1, Figure 7",
+                     {gpu::Generation::Fermi, gpu::Generation::Kepler},
+                     runFig07});
+        s.push_back({"fig10_atomic", "Section 6, Figure 10", all,
+                     runFig10});
+        s.push_back({"sec8_arq",
+                     "Section 8 (ARQ extension)",
+                     {gpu::Generation::Kepler},
+                     runSec8});
+        return s;
+    }();
+    return scenarios;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const Scenario &s : conformanceScenarios()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+} // namespace gpucc::verify

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Callable conformance scenarios: the measurement bodies of the bench
+ * binaries, factored into functions that (a) the benches call with the
+ * paper's full payload sizes and (b) the ConformanceRunner calls with
+ * scaled-down payloads to check against the expected-value bands in
+ * conformance/expected/.
+ *
+ * Every measure*() helper builds a fresh channel (own Device, own
+ * hosts) and is therefore safe to run concurrently through
+ * SweepRunner, matching the determinism contract of the bench suite.
+ *
+ * A Scenario bundles a named, per-architecture run() producing a
+ * ScenarioResult: an ordered list of (metric, value) pairs. Metrics
+ * flagged `exact` are architectural invariants (unit counts, error-free
+ * flags, contention onsets) that recording pins to a point band
+ * [v, v]; the rest are timing-derived and get a tolerance band.
+ */
+
+#ifndef GPUCC_VERIFY_SCENARIOS_H
+#define GPUCC_VERIFY_SCENARIOS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "covert/channel.h"
+#include "covert/channels/atomic_channel.h"
+#include "gpu/arch_params.h"
+
+namespace gpucc::covert
+{
+class ErrorCode;
+} // namespace gpucc::covert
+
+namespace gpucc::verify
+{
+
+/** Deterministic payload shared by benches and conformance runs. */
+BitVec scenarioPayload(std::size_t bits, std::uint64_t seed = 2017);
+
+/** Bandwidth/error summary of one channel transmission. */
+struct ChannelMeasurement
+{
+    double bps = 0.0;
+    double errorRate = 0.0;
+    bool errorFree = false;
+};
+
+/** Condense a ChannelResult into the summary the scenarios report. */
+ChannelMeasurement summarize(const covert::ChannelResult &r);
+
+// ---- Constant-cache channels (Tables 2, Figure 5) -------------------
+
+/** Launch-per-bit L1 baseline with the default operating point. */
+ChannelMeasurement measureL1Baseline(const gpu::ArchParams &arch,
+                                     std::size_t bits);
+
+/** Launch-per-bit L1 at an explicit (iterations, lead, jitter) point. */
+ChannelMeasurement measureL1LaunchPerBit(const gpu::ArchParams &arch,
+                                         std::size_t bits,
+                                         const covert::LaunchPerBitConfig &cfg);
+
+/** Launch-per-bit L2 at an explicit operating point. */
+ChannelMeasurement measureL2LaunchPerBit(const gpu::ArchParams &arch,
+                                         std::size_t bits,
+                                         const covert::LaunchPerBitConfig &cfg);
+
+/** Synchronized persistent-kernel L1 channel (Figure 11 protocol);
+ *  @p dataSetsPerSm > 1 adds multi-bit cache sets, @p allSms adds
+ *  SM-level parallelism (the Table 2 columns). */
+ChannelMeasurement measureSyncL1(const gpu::ArchParams &arch,
+                                 std::size_t bits,
+                                 unsigned dataSetsPerSm = 1,
+                                 bool allSms = false);
+
+// ---- SFU channels (Table 3) -----------------------------------------
+
+/** Launch-per-bit SFU baseline. */
+ChannelMeasurement measureSfuBaseline(const gpu::ArchParams &arch,
+                                      std::size_t bits);
+
+/** SFU channel parallel over warp schedulers (@p acrossSms adds SMs). */
+ChannelMeasurement measureSfuParallel(const gpu::ArchParams &arch,
+                                      std::size_t bits, bool acrossSms);
+
+/** Synchronized persistent SFU channel (Section 7.1 extension). */
+ChannelMeasurement measureSyncSfu(const gpu::ArchParams &arch,
+                                  std::size_t bits);
+
+// ---- Atomic channel (Figure 10) -------------------------------------
+
+struct AtomicMeasurement
+{
+    ChannelMeasurement channel;
+    unsigned iterations = 0; //!< auto-tuned per-bit iteration count
+};
+
+/** Auto-tuned atomic channel for one Figure 10 access scenario. */
+AtomicMeasurement measureAtomic(const gpu::ArchParams &arch,
+                                covert::AtomicScenario scenario,
+                                std::size_t bits);
+
+// ---- Functional-unit latency curves (Figures 6 and 7) ---------------
+
+struct FuCurveSummary
+{
+    double baseCycles = 0.0; //!< warp-0 latency with 1 resident warp
+    double peakCycles = 0.0; //!< warp-0 latency at @p maxWarps
+    unsigned onsetWarps = 0; //!< first warp count that shows contention
+};
+
+/** Characterize one op's latency-vs-warps curve. */
+FuCurveSummary measureFuCurve(const gpu::ArchParams &arch, gpu::OpClass op,
+                              unsigned maxWarps = 32);
+
+// ---- Reliable link under fault injection (Section 8 extension) ------
+
+/** Raw duplex L1 exchange (A->B direction) under a fault plan. */
+ChannelMeasurement measureDuplexRaw(const gpu::ArchParams &arch,
+                                    const std::string &planName,
+                                    std::uint64_t faultSeed,
+                                    const BitVec &payload);
+
+/** One-pass FEC over the raw duplex channel (no retransmission):
+ *  encode, exchange once, decode; residual errors vs @p payload. */
+ChannelMeasurement measureFecDuplex(const gpu::ArchParams &arch,
+                                    const std::string &planName,
+                                    std::uint64_t faultSeed,
+                                    const BitVec &payload,
+                                    const covert::ErrorCode &code);
+
+struct ArqMeasurement
+{
+    double residualBer = 0.0;
+    double goodputBps = 0.0;
+    bool complete = false;
+    unsigned retransmissions = 0;
+};
+
+/** ARQ link (selective repeat) over the duplex channel under a fault
+ *  plan; @p innerFec optionally protects each frame. */
+ArqMeasurement measureArqOverPlan(const gpu::ArchParams &arch,
+                                  const std::string &planName,
+                                  std::uint64_t faultSeed,
+                                  const BitVec &payload,
+                                  const covert::ErrorCode *innerFec = nullptr);
+
+// ---- Scenario registry ----------------------------------------------
+
+/** One (metric, value) scenario output. */
+struct MetricValue
+{
+    std::string name;
+    double value = 0.0;
+    bool exact = false; //!< record as [v, v] instead of a tolerance band
+};
+
+/** Ordered metric list produced by one scenario on one architecture. */
+struct ScenarioResult
+{
+    std::vector<MetricValue> metrics;
+
+    void
+    add(std::string name, double value, bool exact = false)
+    {
+        metrics.push_back({std::move(name), value, exact});
+    }
+
+    /** @return the named metric or nullptr. */
+    const MetricValue *find(const std::string &name) const;
+};
+
+/** A named conformance scenario, tied to its paper anchor. */
+struct Scenario
+{
+    std::string name;     //!< band-file "scenario" key
+    std::string paperRef; //!< table/figure/section it pins
+    std::vector<gpu::Generation> generations; //!< archs it runs on
+    std::function<ScenarioResult(const gpu::ArchParams &)> run;
+
+    bool runsOn(gpu::Generation g) const;
+};
+
+/** All registered scenarios, in report order. */
+const std::vector<Scenario> &conformanceScenarios();
+
+/** Look up a scenario by name (nullptr when unknown). */
+const Scenario *findScenario(const std::string &name);
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_SCENARIOS_H

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * gpucc_verify: command-line driver for the paper-fidelity conformance
+ * suite.
+ *
+ *   gpucc_verify                         run all bands, print a table
+ *   gpucc_verify --expected DIR          use a different band directory
+ *   gpucc_verify --scenario NAME ...     restrict to named scenarios
+ *   gpucc_verify --arch GEN ...          restrict to Fermi/Kepler/Maxwell
+ *   gpucc_verify --report PATH           also write the JSON report
+ *   gpucc_verify --record DIR            regenerate band files instead
+ *   gpucc_verify --tolerance F           half-width for --record bands
+ *   gpucc_verify --list                  list registered scenarios
+ *
+ * Exit status: 0 when every check passes, 1 on any failed check,
+ * 2 on usage or load errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "gpu/arch_params.h"
+#include "verify/conformance_runner.h"
+#include "verify/scenarios.h"
+
+using namespace gpucc;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--expected DIR] [--scenario NAME]... "
+                 "[--arch GEN]...\n"
+                 "          [--report PATH] [--record DIR] "
+                 "[--tolerance F] [--list]\n",
+                 argv0);
+    return 2;
+}
+
+int
+listScenarios()
+{
+    Table t("Registered conformance scenarios");
+    t.header({"scenario", "paper reference", "architectures"});
+    for (const auto &s : verify::conformanceScenarios()) {
+        std::string archs;
+        for (auto g : s.generations) {
+            if (!archs.empty())
+                archs += ", ";
+            archs += gpu::generationName(g);
+        }
+        t.row({s.name, s.paperRef, archs});
+    }
+    t.print();
+    return 0;
+}
+
+std::string
+fmtBound(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    verify::ConformanceOptions opts;
+    verify::RecordOptions record;
+    std::string reportPath;
+    bool doRecord = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag, std::string &out) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                std::exit(2);
+            }
+            out = argv[++i];
+            return true;
+        };
+        std::string v;
+        if (std::strcmp(argv[i], "--list") == 0)
+            return listScenarios();
+        if (arg("--expected", opts.bandDir))
+            continue;
+        if (arg("--report", reportPath))
+            continue;
+        if (arg("--scenario", v)) {
+            opts.scenarios.push_back(v);
+            record.scenarios.push_back(v);
+            continue;
+        }
+        if (arg("--arch", v)) {
+            opts.archs.push_back(v);
+            continue;
+        }
+        if (arg("--record", record.outDir)) {
+            doRecord = true;
+            continue;
+        }
+        if (arg("--tolerance", v)) {
+            record.tolerance = std::stod(v);
+            continue;
+        }
+        return usage(argv[0]);
+    }
+
+    setVerbose(false);
+
+    if (doRecord) {
+        std::vector<std::string> errors;
+        auto written = verify::recordBands(record, errors);
+        for (const auto &p : written)
+            std::printf("[record] wrote %s\n", p.c_str());
+        for (const auto &e : errors)
+            std::fprintf(stderr, "[record] error: %s\n", e.c_str());
+        return errors.empty() ? 0 : 2;
+    }
+
+    verify::ConformanceReport report = verify::runConformance(opts);
+
+    for (const auto &e : report.errors)
+        std::fprintf(stderr, "[conformance] error: %s\n", e.c_str());
+
+    Table t("Conformance checks vs paper bands");
+    t.header({"scenario", "arch", "metric", "measured", "band",
+              "status"});
+    for (const auto &c : report.checks) {
+        t.row({c.scenario, c.arch, c.metric,
+               c.present ? fmtBound(c.measured) : "(missing)",
+               "[" + fmtBound(c.lo) + ", " + fmtBound(c.hi) + "]",
+               c.pass ? "pass" : "FAIL"});
+    }
+    t.print();
+    std::printf("conformance: %u passed, %u failed, %zu errors\n",
+                report.passed(), report.failed(), report.errors.size());
+    for (const auto &c : report.checks) {
+        if (!c.pass && !c.ref.empty())
+            std::printf("  FAIL %s/%s %s  (%s)\n", c.scenario.c_str(),
+                        c.arch.c_str(), c.metric.c_str(), c.ref.c_str());
+    }
+
+    if (!reportPath.empty()) {
+        std::ofstream os(reportPath);
+        if (!os.good()) {
+            std::fprintf(stderr, "cannot open report path %s\n",
+                         reportPath.c_str());
+            return 2;
+        }
+        verify::writeConformanceJson(report, os);
+        std::printf("[report] written to %s\n", reportPath.c_str());
+    }
+
+    if (!report.errors.empty())
+        return 2;
+    return report.ok() ? 0 : 1;
+}

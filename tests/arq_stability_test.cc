@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Seed-sweep stability of the reliable ARQ link: across 32 fault-
+ * injection seeds of the bursty plan the link must always deliver the
+ * payload with zero residual errors and a bounded retransmission
+ * count. This pins the Section 8 zero-error guarantee as a property of
+ * the protocol, not of one lucky seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::verify
+{
+namespace
+{
+
+TEST(ArqStability, ZeroResidualErrorsAcross32BurstySeeds)
+{
+    setVerbose(false);
+    constexpr std::size_t seeds = 32;
+    constexpr unsigned retryBudget = 64; // frames are 32 bits of 96
+
+    const gpu::ArchParams arch = gpu::keplerK40c();
+    const BitVec payload = scenarioPayload(96);
+
+    sim::exec::SweepRunner runner;
+    auto results = runner.runTrials(
+        seeds, 1234, [&](std::size_t, std::uint64_t seed) {
+            return measureArqOverPlan(arch, "bursty", seed, payload);
+        });
+
+    ASSERT_EQ(results.size(), seeds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ArqMeasurement &r = results[i];
+        EXPECT_TRUE(r.complete) << "seed index " << i;
+        EXPECT_DOUBLE_EQ(r.residualBer, 0.0)
+            << "seed index " << i << ": ARQ leaked errors";
+        EXPECT_LE(r.retransmissions, retryBudget)
+            << "seed index " << i << ": retry count unbounded";
+        EXPECT_GT(r.goodputBps, 0.0) << "seed index " << i;
+    }
+}
+
+TEST(ArqStability, ReplayIsDeterministicPerSeed)
+{
+    setVerbose(false);
+    const gpu::ArchParams arch = gpu::keplerK40c();
+    const BitVec payload = scenarioPayload(96);
+    ArqMeasurement a = measureArqOverPlan(arch, "bursty", 3, payload);
+    ArqMeasurement b = measureArqOverPlan(arch, "bursty", 3, payload);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_DOUBLE_EQ(a.goodputBps, b.goodputBps);
+    EXPECT_DOUBLE_EQ(a.residualBer, b.residualBer);
+}
+
+} // namespace
+} // namespace gpucc::verify

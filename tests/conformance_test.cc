@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Conformance-labeled tests: execute the committed paper bands end to
+ * end on all three architectures, and prove the suite has teeth — a
+ * deliberate perturbation of one timing parameter (the SFU pipeline
+ * latency) must trip at least one band check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "verify/band.h"
+#include "verify/conformance_runner.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::verify
+{
+namespace
+{
+
+TEST(ConformanceSuite, CommittedBandsPassOnEveryArchitecture)
+{
+    setVerbose(false);
+    auto report = runConformance({});
+    for (const auto &e : report.errors)
+        ADD_FAILURE() << "load error: " << e;
+    for (const auto &c : report.checks) {
+        EXPECT_TRUE(c.pass)
+            << c.scenario << "/" << c.arch << " " << c.metric << " = "
+            << c.measured << " outside [" << c.lo << ", " << c.hi << "]"
+            << (c.ref.empty() ? "" : " (" + c.ref + ")");
+    }
+    EXPECT_TRUE(report.ok());
+
+    // Every architecture a scenario covers must actually have run.
+    unsigned expectedCells = 0;
+    for (const Scenario &s : conformanceScenarios())
+        expectedCells += static_cast<unsigned>(s.generations.size());
+    EXPECT_EQ(report.runs.size(), expectedCells);
+}
+
+TEST(ConformanceSuite, PerturbedSfuPipelineTripsAtLeastOneBand)
+{
+    setVerbose(false);
+    // Deepen the SFU pipeline on a copy of the Kepler preset: __sinf
+    // results now arrive 24 cycles later. The fig06 latency bands were
+    // recorded against the calibrated preset and must notice.
+    gpu::ArchParams perturbed = gpu::keplerK40c();
+    auto it = perturbed.ops.find(gpu::OpClass::Sinf);
+    ASSERT_NE(it, perturbed.ops.end());
+    it->second.latencyCycles += 24;
+
+    const Scenario *fig06 = findScenario("fig06_sp_latency");
+    ASSERT_NE(fig06, nullptr);
+    ScenarioResult measured = fig06->run(perturbed);
+
+    auto loaded = loadBandDir(defaultBandDir());
+    ASSERT_TRUE(loaded.ok()) << loaded.errors.front();
+    const BandFile *file = nullptr;
+    for (const auto &f : loaded.files) {
+        if (f.scenario == "fig06_sp_latency")
+            file = &f;
+    }
+    ASSERT_NE(file, nullptr) << "fig06 band file must be committed";
+
+    unsigned failures = 0;
+    for (const Band &b : file->bandsFor("Kepler")) {
+        const MetricValue *m = measured.find(b.metric);
+        if (m == nullptr || !b.contains(m->value))
+            ++failures;
+    }
+    EXPECT_GE(failures, 1u)
+        << "a +24-cycle SFU pipeline must fall outside the recorded "
+           "latency bands; if this passes the suite has no teeth";
+}
+
+TEST(ConformanceSuite, ScenarioFilterRunsOnlyTheNamedScenario)
+{
+    setVerbose(false);
+    ConformanceOptions opts;
+    opts.scenarios = {"table1_resources"};
+    auto report = runConformance(opts);
+    EXPECT_TRUE(report.ok());
+    for (const auto &r : report.runs)
+        EXPECT_EQ(r.scenario, "table1_resources");
+    EXPECT_EQ(report.runs.size(), 3u);
+}
+
+} // namespace
+} // namespace gpucc::verify

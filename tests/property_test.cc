@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Metamorphic properties over seeded random warp programs: oracles
+ * that need no golden values. Each property relates two runs that must
+ * agree (or be ordered) by construction:
+ *
+ *  - worker-thread invariance: per-trial state digests are identical
+ *    for SweepRunner thread counts 1, 2 and 8;
+ *  - replay stability: the same (program seed, harness seed) always
+ *    reproduces the same digest;
+ *  - quiet fault plan == no injector: an armed injector whose plan
+ *    schedules nothing must not perturb architectural state;
+ *  - instrumentation transparency: tracing attached vs detached, and
+ *    metrics sampling attached vs detached, leave the architectural
+ *    digest unchanged;
+ *  - contention monotonicity: adding a resident warp never lowers
+ *    warp 0's observed op latency.
+ */
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "covert/characterize/fu_characterizer.h"
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "sim/exec/sweep_runner.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
+#include "sim/trace/trace.h"
+#include "verify/digest.h"
+#include "verify/program_gen.h"
+
+namespace gpucc::verify
+{
+namespace
+{
+
+/** Run generated program @p seed on a fresh Kepler device; digest. */
+std::uint64_t
+runProgram(std::uint64_t seed, const DigestOptions &opts = {})
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev, 5);
+    host.setJitterUs(0.0);
+    ProgramGen gen(gpu::keplerK40c());
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, gen.makeKernel(seed)));
+    return deviceDigest(dev, opts);
+}
+
+TEST(Property, DigestsAreThreadCountInvariant)
+{
+    setVerbose(false);
+    constexpr std::size_t trials = 12;
+    auto sweep = [&](unsigned threads) {
+        sim::exec::SweepRunner runner(threads);
+        return runner.runTrials(trials, 99,
+                                [](std::size_t, std::uint64_t seed) {
+                                    return runProgram(seed);
+                                });
+    };
+    auto t1 = sweep(1);
+    auto t2 = sweep(2);
+    auto t8 = sweep(8);
+    ASSERT_EQ(t1.size(), trials);
+    EXPECT_EQ(t1, t2) << "2 workers changed a simulation result";
+    EXPECT_EQ(t1, t8) << "8 workers changed a simulation result";
+}
+
+TEST(Property, ReplayOfTheSameSeedIsStable)
+{
+    setVerbose(false);
+    for (std::uint64_t seed : {1ULL, 42ULL, 0xdeadULL})
+        EXPECT_EQ(runProgram(seed), runProgram(seed)) << seed;
+}
+
+TEST(Property, DistinctSeedsExploreDistinctPrograms)
+{
+    setVerbose(false);
+    std::set<std::uint64_t> digests;
+    for (std::uint64_t seed = 0; seed < 8; ++seed)
+        digests.insert(runProgram(seed));
+    EXPECT_GE(digests.size(), 7u)
+        << "generator collapsed to near-identical programs";
+}
+
+/** One deterministic device run; knobs select the observers. */
+std::uint64_t
+observedRun(bool quietInjector, bool tracing, bool metricsSampling,
+            const DigestOptions &opts)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    sim::trace::TraceSession session(sim::trace::allCats);
+    if (tracing)
+        dev.attachTrace(session, "prop");
+    std::unique_ptr<sim::fault::FaultInjector> inj;
+    if (quietInjector) {
+        inj = std::make_unique<sim::fault::FaultInjector>(
+            dev, sim::fault::FaultPlan::preset("quiet"), 7);
+        inj->arm();
+    }
+    if (metricsSampling)
+        dev.sampleMetricsEvery(200);
+    gpu::HostContext host(dev, 5);
+    host.setJitterUs(0.0);
+    ProgramGen gen(gpu::keplerK40c());
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, gen.makeKernel(21)));
+    host.syncAll();
+    return deviceDigest(dev, opts);
+}
+
+TEST(Property, QuietFaultPlanEqualsNoInjector)
+{
+    setVerbose(false);
+    // Strict digest (event queue included): a quiet plan must schedule
+    // nothing at all.
+    DigestOptions strict;
+    EXPECT_EQ(observedRun(true, false, false, strict),
+              observedRun(false, false, false, strict));
+}
+
+TEST(Property, TracingAttachEqualsDetach)
+{
+    setVerbose(false);
+    DigestOptions strict;
+    EXPECT_EQ(observedRun(false, true, false, strict),
+              observedRun(false, false, false, strict))
+        << "trace hooks must be architecturally invisible";
+}
+
+TEST(Property, MetricsSamplingEqualsDetached)
+{
+    setVerbose(false);
+    // The sampler legitimately appends its own events, so compare the
+    // architectural end state minus schedule bookkeeping.
+    DigestOptions arch;
+    arch.deviceClock = false;
+    arch.eventQueue = false;
+    EXPECT_EQ(observedRun(false, false, true, arch),
+              observedRun(false, false, false, arch))
+        << "metrics sampling must not perturb what it observes";
+}
+
+TEST(Property, ContentionNeverLowersWarp0Latency)
+{
+    setVerbose(false);
+    for (const auto &arch : gpu::allArchitectures()) {
+        covert::FuCharacterizer fc(arch);
+        auto curve = fc.curve(gpu::OpClass::Sinf, 16);
+        for (std::size_t i = 1; i < curve.size(); ++i) {
+            EXPECT_GE(curve[i].warp0AvgCycles,
+                      curve[i - 1].warp0AvgCycles - 1e-9)
+                << arch.name << ": adding warp " << i + 1
+                << " lowered warp 0 latency";
+        }
+    }
+}
+
+} // namespace
+} // namespace gpucc::verify

@@ -193,6 +193,37 @@ TEST(Trace, ExportIsIdenticalForAnyThreadCount)
         << "shard label ordering must make the export thread-invariant";
 }
 
+TEST(Trace, ShardMergeIsByteIdenticalAcrossWorkerCounts)
+{
+    // Pin the GPUCC_THREADS contract at the documented set {1, 2, 8}:
+    // the merged Chrome trace must not move a single byte.
+    std::string one = tracedSweep(1, 6);
+    std::string two = tracedSweep(2, 6);
+    std::string eight = tracedSweep(8, 6);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+}
+
+TEST(Trace, DefaultCapIsOneMebiEventAndDropsAreExported)
+{
+    TraceSession fresh(allCats);
+    EXPECT_EQ(fresh.makeShard("d")->capacity(), std::size_t{1} << 20)
+        << "retention cap regression";
+
+    // Overflow a tiny cap and check the drop counter lands in the
+    // export footer (the signal that a trace is incomplete).
+    TraceSession session(allCats);
+    Shard *sh = session.makeShard("dev");
+    sh->setCap(3);
+    for (unsigned i = 0; i < 8; ++i)
+        sh->instant(Cat::Cache, 1, "e", 10 * (i + 1));
+    EXPECT_EQ(sh->dropped(), 5u);
+    std::ostringstream os;
+    session.writeChromeTrace(os);
+    EXPECT_NE(os.str().find("\"droppedEvents\":5"), std::string::npos)
+        << "dropped-event counter must be exported";
+}
+
 TEST(FlightRecorder, RecordsSymbolsAndMargins)
 {
     covert::trace::FlightRecorder rec("unit");

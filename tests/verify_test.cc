@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Unit tests for the verification subsystem: the StateDigest hash
+ * contract, the JSON reader, band-file loading and shape validation,
+ * device digests (determinism, divergence, checkpointing), and the
+ * conformance runner's contract-strict plumbing on a fast scenario.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "gpu/warp_ctx.h"
+#include "verify/band.h"
+#include "verify/conformance_runner.h"
+#include "verify/digest.h"
+#include "verify/json.h"
+#include "verify/program_gen.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::verify
+{
+namespace
+{
+
+// ---- StateDigest ----------------------------------------------------
+
+TEST(StateDigest, IsOrderAndPositionSensitive)
+{
+    StateDigest a, b;
+    a.u64(1);
+    a.u64(2);
+    b.u64(2);
+    b.u64(1);
+    EXPECT_NE(a.value(), b.value()) << "order must matter";
+
+    StateDigest c, d;
+    c.u64(0);
+    d.u64(0);
+    d.u64(0);
+    EXPECT_NE(c.value(), d.value()) << "length must matter";
+}
+
+TEST(StateDigest, StringFramingPreventsConcatenationCollisions)
+{
+    StateDigest a, b;
+    a.str("ab");
+    a.str("c");
+    b.str("a");
+    b.str("bc");
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(StateDigest, DoubleCanonicalizesNegativeZero)
+{
+    StateDigest a, b;
+    a.f64(0.0);
+    b.f64(-0.0);
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(StateDigest, KeyedAndDeterministic)
+{
+    StateDigest a(7), b(7), c(8);
+    a.u64(42);
+    b.u64(42);
+    c.u64(42);
+    EXPECT_EQ(a.value(), b.value());
+    EXPECT_NE(a.value(), c.value());
+}
+
+TEST(StateDigest, FoldCombinesCheckpoints)
+{
+    StateDigest a, inner;
+    inner.u64(3);
+    a.fold(inner);
+    StateDigest b;
+    b.u64(inner.value());
+    EXPECT_EQ(a.value(), b.value());
+}
+
+// ---- JSON reader ----------------------------------------------------
+
+TEST(Json, ParsesTheBandFileShape)
+{
+    auto r = parseJson(R"({"scenario":"s","archs":{"Kepler":[
+        {"metric":"m","lo":-1.5,"hi":2e3,"ref":"x \" y"}]},
+        "extra":[true,false,null,7]})");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.stringOr("scenario", ""), "s");
+    const JsonValue &band =
+        r.value.get("archs").get("Kepler").items.at(0);
+    EXPECT_DOUBLE_EQ(band.numberOr("lo", 0), -1.5);
+    EXPECT_DOUBLE_EQ(band.numberOr("hi", 0), 2000.0);
+    EXPECT_EQ(band.stringOr("ref", ""), "x \" y");
+    const JsonValue &extra = r.value.get("extra");
+    ASSERT_EQ(extra.items.size(), 4u);
+    EXPECT_TRUE(extra.items[0].boolean);
+    EXPECT_TRUE(extra.items[2].isNull());
+    EXPECT_DOUBLE_EQ(extra.items[3].number, 7.0);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson("").ok);
+    EXPECT_FALSE(parseJson("{").ok);
+    EXPECT_FALSE(parseJson("{}extra").ok);
+    EXPECT_FALSE(parseJson("{\"a\":}").ok);
+    EXPECT_FALSE(parseJson("[1,]").ok);
+    EXPECT_FALSE(parseJson("nul").ok);
+    EXPECT_FALSE(parseJson("\"unterminated").ok);
+}
+
+TEST(Json, MissingMembersFallBack)
+{
+    auto r = parseJson("{\"a\":1}");
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(r.value.has("b"));
+    EXPECT_DOUBLE_EQ(r.value.numberOr("b", 9.0), 9.0);
+    EXPECT_EQ(r.value.stringOr("b", "dflt"), "dflt");
+}
+
+// ---- Band loading ---------------------------------------------------
+
+/** RAII scratch directory for band-file tests. */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    TempDir()
+    {
+        static int counter = 0;
+        path = std::filesystem::temp_directory_path() /
+               ("gpucc_verify_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    write(const std::string &name, const std::string &text) const
+    {
+        std::ofstream os(path / name);
+        os << text;
+        return (path / name).string();
+    }
+};
+
+TEST(Band, LoadsAndMergesAllWithArchBands)
+{
+    TempDir tmp;
+    std::string p = tmp.write("b.json", R"({
+        "scenario":"table1_resources","paperRef":"T1","archs":{
+          "all":[{"metric":"sms","lo":1,"hi":99}],
+          "Kepler":[{"metric":"sp","lo":192,"hi":192,"ref":"K40c"}]}})");
+    auto r = loadBandFile(p);
+    ASSERT_TRUE(r.ok()) << r.errors.front();
+    ASSERT_EQ(r.files.size(), 1u);
+    auto kepler = r.files[0].bandsFor("Kepler");
+    ASSERT_EQ(kepler.size(), 2u) << "'all' bands must merge in";
+    EXPECT_EQ(kepler[0].metric, "sms");
+    EXPECT_EQ(kepler[1].metric, "sp");
+    EXPECT_TRUE(kepler[1].contains(192.0));
+    EXPECT_FALSE(kepler[1].contains(191.0));
+    auto fermi = r.files[0].bandsFor("Fermi");
+    ASSERT_EQ(fermi.size(), 1u);
+}
+
+TEST(Band, RejectsMalformedShapes)
+{
+    TempDir tmp;
+    EXPECT_FALSE(
+        loadBandFile(tmp.write("a.json", "{\"archs\":{}}")).ok())
+        << "missing scenario";
+    EXPECT_FALSE(loadBandFile(tmp.write("b.json",
+                                        "{\"scenario\":\"x\"}"))
+                     .ok())
+        << "missing archs";
+    EXPECT_FALSE(
+        loadBandFile(
+            tmp.write("c.json", R"({"scenario":"x","archs":{
+                "Kepler":[{"metric":"m","lo":2,"hi":1}]}})"))
+            .ok())
+        << "hi < lo";
+    EXPECT_FALSE(
+        loadBandFile(
+            tmp.write("d.json", R"({"scenario":"x","archs":{
+                "Kepler":[{"lo":1,"hi":2}]}})"))
+            .ok())
+        << "missing metric";
+    EXPECT_FALSE(loadBandFile(tmp.write("e.json", "not json")).ok());
+}
+
+TEST(Band, LoadDirReadsSortedAndFlagsEmpty)
+{
+    TempDir tmp;
+    tmp.write("2.json", R"({"scenario":"b","archs":{
+        "all":[{"metric":"m","lo":0,"hi":1}]}})");
+    tmp.write("1.json", R"({"scenario":"a","archs":{
+        "all":[{"metric":"m","lo":0,"hi":1}]}})");
+    auto r = loadBandDir(tmp.path.string());
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.files.size(), 2u);
+    EXPECT_EQ(r.files[0].scenario, "a") << "sorted by filename";
+
+    TempDir empty;
+    EXPECT_FALSE(loadBandDir(empty.path.string()).ok());
+}
+
+TEST(Band, DefaultDirHonorsEnvOverride)
+{
+    ::setenv("GPUCC_CONFORMANCE_DIR", "/somewhere", 1);
+    EXPECT_EQ(defaultBandDir(), "/somewhere");
+    ::unsetenv("GPUCC_CONFORMANCE_DIR");
+    EXPECT_NE(defaultBandDir().find("conformance/expected"),
+              std::string::npos);
+}
+
+// ---- Device digests -------------------------------------------------
+
+/** Run one generated program on a fresh device and digest the end
+ *  state. */
+std::uint64_t
+runAndDigest(std::uint64_t seed, const DigestOptions &opts = {})
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev, 5);
+    host.setJitterUs(0.0);
+    ProgramGen gen(gpu::keplerK40c());
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, gen.makeKernel(seed)));
+    return deviceDigest(dev, opts);
+}
+
+TEST(DeviceDigest, IdenticalRunsProduceIdenticalDigests)
+{
+    EXPECT_EQ(runAndDigest(11), runAndDigest(11));
+}
+
+TEST(DeviceDigest, DifferentProgramsDiverge)
+{
+    EXPECT_NE(runAndDigest(11), runAndDigest(12));
+}
+
+TEST(DeviceDigest, FreshDevicesAgreeBeforeAnyWork)
+{
+    gpu::Device a(gpu::fermiC2075());
+    gpu::Device b(gpu::fermiC2075());
+    EXPECT_EQ(deviceDigest(a), deviceDigest(b));
+    gpu::Device c(gpu::maxwellM4000());
+    EXPECT_NE(deviceDigest(a), deviceDigest(c))
+        << "different architectures must not collide";
+}
+
+TEST(DeviceDigest, CheckpointsFollowTheRunAndTerminate)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev, 5);
+    host.setJitterUs(0.0);
+    DigestCheckpoints cp(dev, 500);
+    ProgramGen gen(gpu::keplerK40c());
+    auto &s = dev.createStream();
+    host.sync(host.launch(s, gen.makeKernel(3)));
+    host.syncAll();
+    EXPECT_GE(cp.checkpoints(), 1u)
+        << "a multi-segment kernel spans at least one 500-cycle period";
+    std::uint64_t mid = cp.value();
+    cp.checkpointNow();
+    EXPECT_NE(cp.value(), mid) << "rolling value folds new checkpoints";
+}
+
+// ---- Conformance runner plumbing ------------------------------------
+
+/** Band text pinning the (parameter-only, fast) table1 scenario. */
+std::string
+table1Band(const char *metric, double lo, double hi)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"scenario\":\"table1_resources\",\"archs\":{"
+                  "\"Kepler\":[{\"metric\":\"%s\",\"lo\":%g,\"hi\":%g}"
+                  "]}}",
+                  metric, lo, hi);
+    return buf;
+}
+
+TEST(Conformance, PassesAndFailsAgainstBands)
+{
+    TempDir tmp;
+    tmp.write("t.json", table1Band("sp", 192, 192));
+    ConformanceOptions opts;
+    opts.bandDir = tmp.path.string();
+    auto report = runConformance(opts);
+    EXPECT_TRUE(report.ok()) << "K40c has 192 SP units";
+    ASSERT_EQ(report.checks.size(), 1u);
+    EXPECT_EQ(report.checks[0].arch, "Kepler");
+    EXPECT_DOUBLE_EQ(report.checks[0].measured, 192.0);
+
+    tmp.write("t.json", table1Band("sp", 1, 2));
+    report = runConformance(opts);
+    EXPECT_EQ(report.failed(), 1u);
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(Conformance, MissingMetricIsAFailureNotASkip)
+{
+    TempDir tmp;
+    tmp.write("t.json", table1Band("no_such_metric", 0, 1));
+    ConformanceOptions opts;
+    opts.bandDir = tmp.path.string();
+    auto report = runConformance(opts);
+    ASSERT_EQ(report.checks.size(), 1u);
+    EXPECT_FALSE(report.checks[0].present);
+    EXPECT_FALSE(report.checks[0].pass);
+}
+
+TEST(Conformance, UnknownScenarioAndArchAreLoadErrors)
+{
+    TempDir tmp;
+    tmp.write("u.json", R"({"scenario":"nonsense","archs":{
+        "all":[{"metric":"m","lo":0,"hi":1}]}})");
+    tmp.write("v.json", R"({"scenario":"table1_resources","archs":{
+        "Volta":[{"metric":"sp","lo":0,"hi":1}]}})");
+    tmp.write("w.json", R"({"scenario":"sec8_arq","archs":{
+        "Maxwell":[{"metric":"raw.ber","lo":0,"hi":1}]}})");
+    ConformanceOptions opts;
+    opts.bandDir = tmp.path.string();
+    auto report = runConformance(opts);
+    ASSERT_EQ(report.errors.size(), 3u);
+    EXPECT_NE(report.errors[0].find("unknown scenario"),
+              std::string::npos);
+    EXPECT_NE(report.errors[1].find("unknown architecture"),
+              std::string::npos);
+    EXPECT_NE(report.errors[2].find("does not run on"),
+              std::string::npos);
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(Conformance, ArchFilterRestrictsCells)
+{
+    TempDir tmp;
+    tmp.write("t.json", R"({"scenario":"table1_resources","archs":{
+        "all":[{"metric":"schedulers","lo":1,"hi":8}]}})");
+    ConformanceOptions opts;
+    opts.bandDir = tmp.path.string();
+    opts.archs = {"Fermi"};
+    auto report = runConformance(opts);
+    ASSERT_EQ(report.runs.size(), 1u);
+    EXPECT_EQ(report.runs[0].arch, "Fermi");
+}
+
+TEST(Conformance, RecordedBandsRoundTripThroughTheChecker)
+{
+    TempDir tmp;
+    RecordOptions rec;
+    rec.outDir = tmp.path.string();
+    rec.scenarios = {"table1_resources"};
+    std::vector<std::string> errors;
+    auto written = recordBands(rec, errors);
+    ASSERT_TRUE(errors.empty()) << errors.front();
+    ASSERT_EQ(written.size(), 1u);
+
+    ConformanceOptions opts;
+    opts.bandDir = tmp.path.string();
+    auto report = runConformance(opts);
+    EXPECT_TRUE(report.ok())
+        << "freshly recorded bands must pass immediately";
+    EXPECT_EQ(report.runs.size(), 3u) << "one cell per architecture";
+}
+
+TEST(Conformance, ReportJsonIsWellFormed)
+{
+    TempDir tmp;
+    tmp.write("t.json", table1Band("sp", 192, 192));
+    ConformanceOptions opts;
+    opts.bandDir = tmp.path.string();
+    auto report = runConformance(opts);
+    std::ostringstream os;
+    writeConformanceJson(report, os);
+    auto parsed = parseJson(os.str());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_DOUBLE_EQ(parsed.value.numberOr("passed", -1), 1.0);
+    EXPECT_DOUBLE_EQ(parsed.value.numberOr("failed", -1), 0.0);
+    EXPECT_EQ(parsed.value.get("checks").items.size(), 1u);
+    EXPECT_EQ(parsed.value.get("runs").items.size(), 1u);
+}
+
+TEST(Scenarios, RegistryLookupAndCoverage)
+{
+    EXPECT_NE(findScenario("table2_l1"), nullptr);
+    EXPECT_EQ(findScenario("bogus"), nullptr);
+    const Scenario *arq = findScenario("sec8_arq");
+    ASSERT_NE(arq, nullptr);
+    EXPECT_TRUE(arq->runsOn(gpu::Generation::Kepler));
+    EXPECT_FALSE(arq->runsOn(gpu::Generation::Fermi));
+    for (const Scenario &s : conformanceScenarios()) {
+        EXPECT_FALSE(s.generations.empty()) << s.name;
+        EXPECT_FALSE(s.paperRef.empty()) << s.name;
+    }
+}
+
+TEST(Scenarios, PayloadMatchesTheBenchHelper)
+{
+    // scenarioPayload is the single source of truth the benches now
+    // call; pin the historical (seed 2017) stream so refactors cannot
+    // silently change every bench's message.
+    BitVec a = scenarioPayload(16);
+    BitVec b = scenarioPayload(16);
+    ASSERT_EQ(a.size(), 16u);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(scenarioPayload(16, 1), a);
+}
+
+} // namespace
+} // namespace gpucc::verify
