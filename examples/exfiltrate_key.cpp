@@ -15,6 +15,12 @@
  * reliable ARQ link layer delivers it bit-perfect anyway, trading
  * goodput for correctness.
  *
+ * Act three is the long game: the "eviction" plan kicks whole kernels
+ * off the GPU mid-transfer and lets latencies drift. A self-calibrating
+ * session — thresholds measured at start, pilots watching for desync,
+ * transfers resumed from the last acknowledged frame — still lands the
+ * key with zero residual errors.
+ *
  * Run: ./exfiltrate_key [hex-key]
  */
 
@@ -27,6 +33,7 @@
 #include "common/log.h"
 #include "covert/link/reliable_link.h"
 #include "covert/link/transport.h"
+#include "covert/session/session.h"
 #include "covert/trace/flight_recorder.h"
 #include "gpu/device.h"
 #include "covert/sync/duplex_channel.h"
@@ -227,16 +234,72 @@ main(int argc, char **argv)
                 "(widens on errors, narrows when clean)\n",
                 lr.finalPeriodScale);
 
-    if (const char *path = std::getenv("GPUCC_METRICS")) {
-        chan.harness().device().metricsRegistry().writeJson(path);
-        std::printf("metrics:        JSON written to %s\n", path);
-    }
-
     bool arqOk = lr.complete && bitsToHex(arqKey) == keyHex &&
                  crc8(arqKey) == arqCrc;
     std::printf("\n%s\n",
                 arqOk ? "Same faults, zero payload errors: reliability "
                         "is a protocol property, not a channel one."
                       : "ARQ transfer failed.");
-    return ok && arqOk ? 0 : 1;
+
+    // -----------------------------------------------------------------
+    // Act three: eviction-grade hostility. The driver kicks whole
+    // kernels off the GPU mid-transfer and thermal drift erodes any
+    // pre-tuned threshold. The session layer calibrates its thresholds
+    // on the live device, interleaves epoch pilots to catch desync, and
+    // resumes each segment from the last ARQ-acknowledged frame.
+    // -----------------------------------------------------------------
+    std::printf("\n--- eviction-grade GPU: 'eviction' fault plan (seed "
+                "%u), self-calibrating session ---\n\n",
+                static_cast<unsigned>(faultSeed));
+
+    covert::session::SessionConfig scfg;
+    scfg.link.payloadBits = 32;
+    scfg.link.window = 4;
+    covert::session::ChannelSession sess(gpu::keplerK40c(), scfg);
+    sim::fault::FaultInjector sinj(
+        sess.channel().harness().device(),
+        sim::fault::FaultPlan::preset("eviction"), faultSeed);
+    sinj.arm();
+    auto sr = sess.run(frame);
+
+    BitVec sessKey = sr.delivered;
+    sessKey.resize(128);
+    std::printf("session key:    %s\n", bitsToHex(sessKey).c_str());
+    std::printf("calibration:    hit %.1f / miss %.1f cycles -> "
+                "threshold %.1f (margin %.1f), %s\n",
+                sr.calibration.hitCycles, sr.calibration.missCycles,
+                sr.calibration.timing.dataThresholdCycles,
+                sr.calibration.marginCycles,
+                sr.calibration.ok ? "measured" : "fallback");
+    std::printf("survived:       %u kernel evictions, %u resumed "
+                "frames, %u desyncs (%u resyncs)\n",
+                sinj.stats().evictions, sr.resumedFrames, sr.desyncs,
+                sr.resyncs);
+    std::printf("healing:        %u recalibrations, %u/%u ladder steps "
+                "down/up, final rung %u\n",
+                sr.recalibrations, sr.degradeSteps, sr.upgradeSteps,
+                sr.finalRung);
+    std::printf("integrity:      %u pilot failures, %u segment audits "
+                "failed, residual BER %.2f %%\n",
+                sr.pilotFailures, sr.auditFailures,
+                100.0 * sr.residualBer);
+    std::printf("goodput:        %.1f Kbps over %u segments\n",
+                sr.goodputBps / 1e3, sr.segments);
+
+    // One registry now carries the whole story: cache.* and fault.*
+    // from the device, link.* from the ARQ segments, session.* from
+    // the healing layer above them.
+    if (const char *path = std::getenv("GPUCC_METRICS")) {
+        sess.channel().harness().device().metricsRegistry().writeJson(
+            path);
+        std::printf("metrics:        JSON written to %s\n", path);
+    }
+
+    bool sessOk = sr.complete && sr.residualBitErrors == 0 &&
+                  bitsToHex(sessKey) == keyHex;
+    std::printf("\n%s\n",
+                sessOk ? "Evicted, drifted, resynced - and the key "
+                         "still left the sandbox intact."
+                       : "Session transfer failed.");
+    return ok && arqOk && sessOk ? 0 : 1;
 }

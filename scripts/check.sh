@@ -105,6 +105,10 @@ metrics = json.load(open(sys.argv[3]))
 assert metrics["metrics"].get("link.rounds", 0) > 0, \
     "metrics export is missing the ARQ link counters"
 assert metrics["metrics"].get("cache.constL1.misses", 0) > 0
+assert metrics["metrics"].get("session.segments", 0) > 0, \
+    "metrics export is missing the session-layer counters"
+assert metrics["metrics"].get("fault.evictions", 0) > 0, \
+    "metrics export is missing the kernel-eviction counter"
 
 print(f"  trace   OK: {len(events)} events, "
       f"categories {sorted(c for c in cats if c)}")

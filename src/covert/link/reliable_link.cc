@@ -135,6 +135,7 @@ ReliableLink::send(const BitVec &payload)
         ++res.rounds;
         res.seconds += ex.seconds;
         res.phy.add(ex.robustness);
+        res.worstMargin = std::min(res.worstMargin, ex.worstMargin);
 
         auto *tr = transport.traceShard();
         if (tr != nullptr && tr->wants(sim::trace::Cat::Link)) {

@@ -76,6 +76,9 @@ struct LinkResult
     double frameErrorRate = 0.0;  //!< rejects / frames sent (both dirs)
     double finalPeriodScale = 1.0;
     RobustnessCounters phy; //!< physical-layer recovery, aggregated
+    /** Worst decode margin seen across all rounds (see
+     *  TransportResult::worstMargin; infinity when unavailable). */
+    double worstMargin = std::numeric_limits<double>::infinity();
 };
 
 /** Selective-repeat ARQ endpoint pair driving one transport. */

@@ -18,6 +18,14 @@ DuplexLinkTransport::exchange(const BitVec &aToB, const BitVec &bToA)
     out.seconds = std::max(r.aToB.seconds, r.bToA.seconds);
     out.robustness = r.aToB.robustness;
     out.robustness.add(r.bToA.robustness);
+    auto margin = [](const ChannelResult &c, double &worst) {
+        if (c.zeroMetric.count() > 0)
+            worst = std::min(worst, c.threshold - c.zeroMetric.max());
+        if (c.oneMetric.count() > 0)
+            worst = std::min(worst, c.oneMetric.min() - c.threshold);
+    };
+    margin(r.aToB, out.worstMargin);
+    margin(r.bToA, out.worstMargin);
     return out;
 }
 

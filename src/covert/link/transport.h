@@ -14,6 +14,7 @@
 #ifndef GPUCC_COVERT_LINK_TRANSPORT_H
 #define GPUCC_COVERT_LINK_TRANSPORT_H
 
+#include <limits>
 #include <string>
 
 #include "common/bitstream.h"
@@ -42,6 +43,14 @@ struct TransportResult
     Tick ticks = 0;       //!< device-time cost of the exchange
     double seconds = 0.0; //!< same, in seconds
     RobustnessCounters robustness; //!< physical-layer recovery events
+    /**
+     * Smallest decode-metric distance to the decision threshold over
+     * every symbol of the exchange (cycles; negative when a symbol sat
+     * on the wrong side). Infinity when the transport has no decode
+     * metric (e.g. the lossy model). The session layer's drift tracker
+     * watches this to decide when to recalibrate.
+     */
+    double worstMargin = std::numeric_limits<double>::infinity();
 };
 
 /** A full-duplex unreliable bit pipe. */

@@ -1,0 +1,182 @@
+#include "covert/session/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+#include "covert/channels/cache_sets.h"
+#include "covert/sync/duplex_channel.h"
+#include "gpu/device_task.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert::session
+{
+
+namespace
+{
+
+constexpr double outScale = 256.0; //!< fixed-point scale for out()
+
+/** Median of @p v (0 when empty); sorts a copy. */
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    return v[mid];
+}
+
+/**
+ * Measurement kernel of one party: alternate hit and miss probes over
+ * two arrays aliased into the same private cache set, emitting one
+ * (hit, miss) sample pair per round.
+ */
+gpu::KernelLaunch
+makeCalibrationKernel(const gpu::ArchParams &arch,
+                      const std::vector<Addr> &main,
+                      const std::vector<Addr> &alias, unsigned rounds,
+                      Cycle spacing, const char *name)
+{
+    gpu::KernelLaunch k;
+    k.name = name;
+    k.config.gridBlocks = arch.numSms;
+    k.config.threadsPerBlock = warpSize;
+    k.body = [main, alias, rounds,
+              spacing](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        // Cold fills (DRAM-deep) are not part of either population.
+        co_await primeSet(ctx, main);
+        co_await primeSet(ctx, alias);
+        for (unsigned i = 0; i < rounds; ++i) {
+            co_await primeSet(ctx, main);
+            double hit = co_await probeSetAvg(ctx, main);
+            ctx.out(static_cast<std::uint64_t>(hit * outScale));
+            co_await primeSet(ctx, alias); // evict main from L1
+            double miss = co_await probeSetAvg(ctx, main);
+            ctx.out(static_cast<std::uint64_t>(miss * outScale));
+            // Spread the pairs so drift/jitter windows active right now
+            // are represented in the populations.
+            co_await ctx.sleep(spacing);
+        }
+        co_return;
+    };
+    return k;
+}
+
+/** Collect the SM-0 warp's samples into hit/miss vectors. */
+void
+collectSamples(const gpu::KernelInstance &inst, std::vector<double> &hits,
+               std::vector<double> &misses)
+{
+    unsigned wpb = inst.config().warpsPerBlock();
+    for (const auto &rec : inst.blockRecords()) {
+        if (rec.smId != 0)
+            continue;
+        const auto &vals = inst.out(rec.blockId * wpb);
+        for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+            hits.push_back(static_cast<double>(vals[i]) / outScale);
+            misses.push_back(static_cast<double>(vals[i + 1]) / outScale);
+        }
+    }
+}
+
+} // namespace
+
+CalibrationResult
+calibrateThresholds(DuplexSyncChannel &ch, unsigned rounds)
+{
+    GPUCC_ASSERT(rounds >= 4, "calibration needs >= 4 sample pairs");
+    TwoPartyHarness &parties = ch.harness();
+    auto &dev = parties.device();
+    const gpu::ArchParams &arch = dev.arch();
+    const auto &geom = arch.constMem.l1;
+
+    // Party A samples in set 0, party B in set 1 — the channel's data
+    // sets, quiet before and between transfers, so calibration probes
+    // the very sets the signals will ride.
+    std::size_t align = setStride(geom);
+    auto lines = [&](unsigned set) {
+        Addr base = dev.allocConst(probeArrayBytes(geom), align);
+        return setFillingAddrs(geom, base, set);
+    };
+    std::vector<Addr> aMain = lines(0), aAlias = lines(0);
+    std::vector<Addr> bMain = lines(1), bAlias = lines(1);
+
+    ProtocolTiming nominal = ProtocolTiming::forArch(arch);
+    Cycle spacing = nominal.settleCycles;
+
+    auto ka = makeCalibrationKernel(arch, aMain, aAlias, rounds, spacing,
+                                    "calibrate-A");
+    auto kb = makeCalibrationKernel(arch, bMain, bAlias, rounds, spacing,
+                                    "calibrate-B");
+    auto &instA = parties.trojanHost().launch(parties.trojanStream(), ka);
+    auto &instB = parties.spyHost().launch(parties.spyStream(), kb);
+    parties.spyHost().sync(instB);
+    parties.trojanHost().sync(instA);
+
+    std::vector<double> hits, misses;
+    collectSamples(instA, hits, misses);
+    collectSamples(instB, hits, misses);
+
+    CalibrationResult res;
+    res.samples = static_cast<unsigned>(hits.size() + misses.size());
+    res.hitCycles = median(hits);
+    res.missCycles = median(misses);
+
+    // Reject a calibration whose populations overlap (e.g. every probe
+    // landed inside a thrash train): installing a threshold between two
+    // indistinguishable populations would decode noise.
+    if (hits.empty() || misses.empty() ||
+        res.missCycles <= res.hitCycles + 4.0) {
+        res.ok = false;
+        res.timing = nominal;
+        res.marginCycles =
+            0.5 * (static_cast<double>(arch.constMem.l2HitCycles) -
+                   static_cast<double>(arch.constMem.l1HitCycles));
+        return res;
+    }
+
+    res.ok = true;
+    double gap = res.missCycles - res.hitCycles;
+    res.marginCycles = 0.5 * gap;
+    // Same shape as forArch, anchored to the measured populations: the
+    // signal threshold sits near the miss population (partial evictions
+    // must re-poll), the data threshold at the midpoint.
+    res.timing.missThresholdCycles = res.hitCycles + 0.85 * gap;
+    res.timing.dataThresholdCycles = 0.5 * (res.hitCycles + res.missCycles);
+    return res;
+}
+
+DriftTracker::DriftTracker(double calibratedMargin, double guardFraction,
+                           double alpha_)
+    : reference(calibratedMargin), guard(guardFraction), alpha(alpha_),
+      ewma(calibratedMargin)
+{
+}
+
+void
+DriftTracker::observe(double margin)
+{
+    if (!std::isfinite(margin))
+        return;
+    ewma = alpha * margin + (1.0 - alpha) * ewma;
+}
+
+bool
+DriftTracker::belowGuard() const
+{
+    return ewma < guard * reference;
+}
+
+void
+DriftTracker::rebase(double calibratedMargin)
+{
+    reference = calibratedMargin;
+    ewma = calibratedMargin;
+}
+
+} // namespace gpucc::covert::session

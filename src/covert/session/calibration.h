@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Online threshold calibration and drift tracking.
+ *
+ * ProtocolTiming::forArch derives thresholds from the architecture's
+ * *nominal* cache latencies — correct on a quiet device, and wrong the
+ * moment a fault plan biases observed latencies (thermal drift, timer
+ * degradation) away from the datasheet numbers. A real attacker never
+ * has the datasheet anyway: both parties measure the device they are
+ * actually on.
+ *
+ * calibrateThresholds() runs a measurement kernel pair on the duplex
+ * channel's own harness. Each party owns two L1-aliased line arrays in
+ * a private cache set and alternates prime/probe over them: probing a
+ * just-primed array samples the *hit* population, probing after the
+ * alias array evicted it samples the *miss* population (an L2 hit —
+ * exactly what an evicted signal line costs in the protocol). Samples
+ * are spread over time so active jitter/drift windows are represented,
+ * and medians are used so a burst polluting a few samples cannot move
+ * the thresholds. The derived timing carries only the two thresholds;
+ * pacing fields stay 0 and fall back per-arch when installed with
+ * DuplexSyncChannel::setTiming.
+ *
+ * DriftTracker watches the decode margins of live traffic (see
+ * TransportResult::worstMargin) with an EWMA; when the smoothed margin
+ * falls below a guard-band fraction of the margin measured at
+ * calibration time, the session recalibrates *before* bits start
+ * flipping.
+ */
+
+#ifndef GPUCC_COVERT_SESSION_CALIBRATION_H
+#define GPUCC_COVERT_SESSION_CALIBRATION_H
+
+#include "covert/sync/handshake.h"
+
+namespace gpucc::covert
+{
+class DuplexSyncChannel;
+} // namespace gpucc::covert
+
+namespace gpucc::covert::session
+{
+
+/** What the measurement produced. */
+struct CalibrationResult
+{
+    double hitCycles = 0.0;    //!< median per-access hit latency
+    double missCycles = 0.0;   //!< median per-access miss latency
+    double marginCycles = 0.0; //!< half the hit/miss separation
+    /** Thresholds derived from the measured populations (pacing fields
+     *  unset — they overlay the per-arch defaults on install). When
+     *  !ok this is the plain per-arch fallback. */
+    ProtocolTiming timing;
+    bool ok = false;       //!< populations separated cleanly
+    unsigned samples = 0;  //!< hit+miss samples used (both parties)
+};
+
+/**
+ * Measure the hit/miss latency populations on @p ch's device and
+ * derive protocol thresholds from them.
+ *
+ * Runs one measurement kernel per party (concurrently, SM 0, private
+ * cache sets) taking @p rounds hit/miss sample pairs each. Falls back
+ * to ProtocolTiming::forArch (ok=false) when the measured populations
+ * overlap — a calibration run swamped by faults must not install
+ * nonsense thresholds.
+ */
+CalibrationResult calibrateThresholds(DuplexSyncChannel &ch,
+                                      unsigned rounds = 12);
+
+/** EWMA drift watchdog over live decode margins. */
+class DriftTracker
+{
+  public:
+    /**
+     * @param calibratedMargin Margin measured at calibration time.
+     * @param guardFraction Recalibrate when the smoothed margin drops
+     *        below this fraction of the calibrated margin.
+     * @param alpha EWMA weight of the newest observation.
+     */
+    explicit DriftTracker(double calibratedMargin,
+                          double guardFraction = 0.35,
+                          double alpha = 0.4);
+
+    /** Feed one observed margin (ignores non-finite values). */
+    void observe(double margin);
+
+    /** @return true when the smoothed margin has entered the guard
+     *  band (time to recalibrate). */
+    bool belowGuard() const;
+
+    /** Reset against a fresh calibration. */
+    void rebase(double calibratedMargin);
+
+    /** Current smoothed margin (calibrated margin until observed). */
+    double smoothed() const { return ewma; }
+
+  private:
+    double reference; //!< margin at calibration time
+    double guard;     //!< guard-band fraction
+    double alpha;     //!< EWMA weight
+    double ewma;      //!< smoothed observed margin
+};
+
+} // namespace gpucc::covert::session
+
+#endif // GPUCC_COVERT_SESSION_CALIBRATION_H

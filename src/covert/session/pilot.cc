@@ -1,0 +1,113 @@
+#include "covert/session/pilot.h"
+
+#include "covert/link/frame.h"
+
+namespace gpucc::covert::session
+{
+
+namespace
+{
+
+/** Append @p value LSB-first as @p bits wire bits. */
+void
+appendField(BitVec &out, std::uint32_t value, unsigned bits)
+{
+    for (unsigned i = 0; i < bits; ++i)
+        out.push_back((value >> i) & 1u);
+}
+
+/** Read @p bits LSB-first from @p in at @p at. */
+std::uint32_t
+readField(const BitVec &in, std::size_t at, unsigned bits)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        if (in[at + i])
+            v |= 1u << i;
+    }
+    return v;
+}
+
+} // namespace
+
+BitVec
+pilotSyncPattern()
+{
+    return {1, 1, 1, 0, 0, 0, 1, 0};
+}
+
+BitVec
+encodePilot(const Pilot &p)
+{
+    BitVec out = pilotSyncPattern();
+    BitVec body;
+    appendField(body, p.epoch, pilotEpochBits);
+    appendField(body, p.rung & 0xF, pilotRungBits);
+    std::uint8_t crc = link::crc8(body);
+    out.insert(out.end(), body.begin(), body.end());
+    appendField(out, crc, pilotCrcBits);
+    return out;
+}
+
+PilotParse
+parsePilot(const BitVec &stream)
+{
+    PilotParse res;
+    const BitVec sync = pilotSyncPattern();
+    if (stream.size() < pilotWireBits)
+        return res;
+    for (std::size_t at = 0; at + pilotWireBits <= stream.size(); ++at) {
+        bool hit = true;
+        for (unsigned i = 0; i < pilotSyncBits; ++i) {
+            if (stream[at + i] != sync[i]) {
+                hit = false;
+                break;
+            }
+        }
+        if (!hit)
+            continue;
+        std::size_t bodyAt = at + pilotSyncBits;
+        BitVec body(stream.begin() + bodyAt,
+                    stream.begin() + bodyAt + pilotEpochBits +
+                        pilotRungBits);
+        auto crc = static_cast<std::uint8_t>(readField(
+            stream, bodyAt + pilotEpochBits + pilotRungBits,
+            pilotCrcBits));
+        if (link::crc8(body) != crc)
+            continue; // CRC reject: resume the scan one bit on
+        res.valid = true;
+        res.pilot.epoch = static_cast<std::uint16_t>(
+            readField(stream, bodyAt, pilotEpochBits));
+        res.pilot.rung = static_cast<std::uint8_t>(readField(
+            stream, bodyAt + pilotEpochBits, pilotRungBits));
+        return res;
+    }
+    return res;
+}
+
+std::uint16_t
+segmentChecksum(const BitVec &bits)
+{
+    // CRC-16/CCITT, bit at a time (segments are short; simplicity
+    // beats a table here).
+    std::uint16_t crc = 0xFFFF;
+    for (std::uint8_t b : bits) {
+        bool top = (((crc >> 15) & 1u) != 0) != (b != 0);
+        crc = static_cast<std::uint16_t>(crc << 1);
+        if (top)
+            crc ^= 0x1021;
+    }
+    return crc;
+}
+
+bool
+staleEpoch(std::uint16_t got, std::uint16_t expect)
+{
+    // Signed distance under mod-2^16 arithmetic: got strictly behind
+    // expect (distance in [1, 2^15)) is a replay; equal or ahead is
+    // current.
+    auto delta = static_cast<std::uint16_t>(expect - got);
+    return delta != 0 && delta < 0x8000;
+}
+
+} // namespace gpucc::covert::session

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Epoch-numbered pilot symbols for desync detection.
+ *
+ * The link layer recovers from *lost or corrupted frames*; it cannot
+ * tell when the two parties have lost their common view of the session
+ * — after a kernel eviction one side restarts with stale thresholds,
+ * a stale rate ladder rung, or a stale frame position. The session
+ * layer interleaves pilot exchanges into the data stream: each party
+ * sends a small self-checking pilot carrying the session epoch and the
+ * current degradation rung. A pilot that fails to decode, carries a
+ * *stale* epoch (a replayed symbol from before a resync), or disagrees
+ * on the rung is evidence of desynchronization; N consecutive failures
+ * trigger the full resynchronization procedure (a Figure-11 handshake
+ * cycle that re-establishes a common epoch).
+ *
+ * Wire format (36 bits):
+ *
+ *   | sync 8 | epoch 16 | rung 4 | crc 8 |
+ *
+ * The sync pattern (11100010) is distinct from the link layer's frame
+ * preamble so a pilot never parses as a data frame or vice versa.
+ * Decoding is total: any bit stream yields either a valid pilot or a
+ * rejection, never UB — the decoder is fuzzed alongside the frame
+ * parser (tests/fuzz_test.cc).
+ */
+
+#ifndef GPUCC_COVERT_SESSION_PILOT_H
+#define GPUCC_COVERT_SESSION_PILOT_H
+
+#include <cstdint>
+
+#include "common/bitstream.h"
+
+namespace gpucc::covert::session
+{
+
+constexpr unsigned pilotSyncBits = 8;
+constexpr unsigned pilotEpochBits = 16;
+constexpr unsigned pilotRungBits = 4;
+constexpr unsigned pilotCrcBits = 8;
+constexpr unsigned pilotWireBits =
+    pilotSyncBits + pilotEpochBits + pilotRungBits + pilotCrcBits;
+
+/** The 11100010 pilot sync pattern. */
+BitVec pilotSyncPattern();
+
+/** One pilot symbol (the fields both parties must agree on). */
+struct Pilot
+{
+    std::uint16_t epoch = 0; //!< session epoch (bumped by every resync)
+    std::uint8_t rung = 0;   //!< degradation-ladder rung in force
+};
+
+/** Serialize @p p into its 36 wire bits. */
+BitVec encodePilot(const Pilot &p);
+
+/** Outcome of scanning a received bit stream for a pilot. */
+struct PilotParse
+{
+    bool valid = false; //!< a sync+CRC-clean pilot was found
+    Pilot pilot;        //!< meaningful only when valid
+};
+
+/**
+ * Scan @p stream for a pilot. Total: truncated, flipped, duplicated or
+ * garbage input yields valid=false (or the first CRC-clean candidate).
+ * Invalid sync candidates advance the scan by one bit.
+ */
+PilotParse parsePilot(const BitVec &stream);
+
+/**
+ * Replay check: @p got is stale relative to @p expect when it lies in
+ * the half-space *behind* expect under 16-bit wraparound arithmetic.
+ * An equal or slightly-ahead epoch is not stale (the peer may have
+ * advanced first during a resync race).
+ */
+bool staleEpoch(std::uint16_t got, std::uint16_t expect);
+
+/**
+ * Segment-audit checksum (CRC-16/CCITT over the raw bits). The link
+ * layer's per-frame CRC-8 leaves a ~2^-8 undetected-corruption chance
+ * per damaged frame; before a session commits a delivered prefix, the
+ * parties exchange this 16-bit checksum of it in an audit pilot (the
+ * epoch field carries the checksum, the rung field the marker below)
+ * and discard the segment on any disagreement.
+ */
+std::uint16_t segmentChecksum(const BitVec &bits);
+
+/** Rung-field marker distinguishing audit pilots from epoch pilots
+ *  (the ladder is asserted to stay below this value). */
+constexpr std::uint8_t auditRungMarker = 0xF;
+
+} // namespace gpucc::covert::session
+
+#endif // GPUCC_COVERT_SESSION_PILOT_H

@@ -1,0 +1,362 @@
+#include "covert/session/session.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.h"
+#include "common/metrics/metrics.h"
+#include "covert/session/pilot.h"
+#include "covert/trace/flight_recorder.h"
+#include "sim/trace/trace.h"
+
+namespace gpucc::covert::session
+{
+
+namespace
+{
+
+/**
+ * Transport decorator enforcing the ladder rung's period floor: the
+ * ARQ layer's adaptive rate control keeps narrowing toward scale 1.0
+ * on clean streaks, which would silently undo a degradation step. The
+ * floor clamps every scale the link installs.
+ */
+class FlooredTransport : public link::LinkTransport
+{
+  public:
+    explicit FlooredTransport(link::LinkTransport &inner_) : inner(inner_)
+    {
+    }
+
+    link::TransportResult
+    exchange(const BitVec &aToB, const BitVec &bToA) override
+    {
+        return inner.exchange(aToB, bToA);
+    }
+
+    void
+    setPeriodScale(double scale) override
+    {
+        inner.setPeriodScale(std::max(scale, floor));
+    }
+
+    double periodScale() const override { return inner.periodScale(); }
+    std::string name() const override { return inner.name(); }
+    sim::trace::Shard *traceShard() const override
+    {
+        return inner.traceShard();
+    }
+    Tick nowTick() const override { return inner.nowTick(); }
+
+    void
+    setFloor(double f)
+    {
+        floor = f;
+        if (inner.periodScale() < floor)
+            inner.setPeriodScale(floor);
+    }
+
+  private:
+    link::LinkTransport &inner;
+    double floor = 1.0;
+};
+
+} // namespace
+
+std::vector<SessionRung>
+defaultLadder(std::size_t payloadBits)
+{
+    std::size_t small = std::max<std::size_t>(payloadBits / 2, 8);
+    return {
+        {2, 1.0, payloadBits}, //!< multi-bit: two data sets per direction
+        {1, 1.0, payloadBits}, //!< single-bit at full rate
+        {1, 2.0, payloadBits}, //!< single-bit, doubled symbol period
+        {1, 4.0, small},       //!< crawl: 4x period, half-size frames
+    };
+}
+
+ChannelSession::ChannelSession(const gpu::ArchParams &arch_,
+                               SessionConfig cfg_, DuplexConfig duplexCfg)
+    : arch(arch_), cfg(std::move(cfg_))
+{
+    rungs = cfg.ladder.empty() ? defaultLadder(cfg.link.payloadBits)
+                               : cfg.ladder;
+    GPUCC_ASSERT(!rungs.empty(), "session ladder cannot be empty");
+    GPUCC_ASSERT(rungs.size() <= auditRungMarker,
+                 "ladder too tall: rung 0xF is the audit marker");
+    chan = std::make_unique<DuplexSyncChannel>(arch, duplexCfg);
+}
+
+ChannelSession::~ChannelSession() = default;
+
+SessionResult
+ChannelSession::run(const BitVec &payload)
+{
+    SessionResult out;
+    auto &dev = chan->harness().device();
+    auto &reg = dev.metricsRegistry();
+    auto *shard = dev.traceShard();
+
+    auto &cRecal = reg.counter("session.recalibrations");
+    auto &cDesync = reg.counter("session.desyncs");
+    auto &cResync = reg.counter("session.resyncs");
+    auto &cDegrade = reg.counter("session.degradeSteps");
+    auto &cUpgrade = reg.counter("session.upgradeSteps");
+    auto &cResumed = reg.counter("session.resumedFrames");
+    auto &cPilots = reg.counter("session.pilotsSent");
+    auto &cPilotFail = reg.counter("session.pilotFailures");
+    auto &cAuditFail = reg.counter("session.auditFailures");
+    auto &cSegments = reg.counter("session.segments");
+
+    // The rung gauge outlives this call (pull callbacks are sampled at
+    // snapshot time), so it owns its backing value.
+    auto rungValue = std::make_shared<double>(0.0);
+    reg.gauge("session.rung", [rungValue] { return *rungValue; });
+
+    auto note = [&](const std::string &label) {
+        if (shard != nullptr && shard->wants(sim::trace::Cat::Link)) {
+            shard->nameRow(7000, "session events");
+            shard->instant(sim::trace::Cat::Link, 7000, label, dev.now());
+        }
+        if (cfg.recorder != nullptr)
+            cfg.recorder->annotate(dev.now(), label);
+    };
+
+    link::DuplexLinkTransport base(*chan);
+    FlooredTransport floored(base);
+
+    unsigned rung = cfg.startMultiBit ? 0u : std::min<unsigned>(
+                                                 1u, rungs.size() - 1);
+    std::uint16_t epoch = 0;
+
+    auto applyRung = [&] {
+        const SessionRung &R = rungs[rung];
+        chan->setDataSetsPerDirection(R.dataSets);
+        floored.setFloor(R.periodFloor);
+        *rungValue = static_cast<double>(rung);
+    };
+    auto stepDown = [&] {
+        if (rung + 1 >= rungs.size())
+            return;
+        ++rung;
+        applyRung();
+        ++out.degradeSteps;
+        cDegrade.inc();
+        note(strfmt("degrade:%u", rung));
+    };
+    auto stepUp = [&] {
+        if (rung == 0)
+            return;
+        --rung;
+        applyRung();
+        ++out.upgradeSteps;
+        cUpgrade.inc();
+        note(strfmt("upgrade:%u", rung));
+    };
+    applyRung();
+
+    // ---- Online calibration: no hand-tuned threshold enters the
+    // session; the device is measured, the thresholds derived. ----
+    out.calibration = calibrateThresholds(*chan, cfg.calibrationRounds);
+    chan->setTiming(out.calibration.timing);
+    DriftTracker tracker(out.calibration.marginCycles, cfg.guardFraction);
+    note("calibrate");
+
+    auto recalibrate = [&] {
+        CalibrationResult c =
+            calibrateThresholds(*chan, cfg.calibrationRounds);
+        chan->setTiming(c.timing);
+        tracker.rebase(c.marginCycles);
+        ++out.recalibrations;
+        cRecal.inc();
+        note("recalibrate");
+    };
+
+    // ---- Pilot exchange: one epoch-numbered pilot each way, riding a
+    // normal Figure-11 duplex exchange. ----
+    auto pilotOk = [&]() -> bool {
+        Pilot p{epoch, static_cast<std::uint8_t>(rung)};
+        BitVec wire = encodePilot(p);
+        link::TransportResult ex = floored.exchange(wire, wire);
+        out.pilotsSent += 2;
+        cPilots.inc(2);
+        ++out.rounds;
+        out.seconds += ex.seconds;
+        tracker.observe(ex.worstMargin);
+        PilotParse atB = parsePilot(ex.atB);
+        PilotParse atA = parsePilot(ex.atA);
+        bool ok = atB.valid && atA.valid &&
+                  !staleEpoch(atB.pilot.epoch, epoch) &&
+                  !staleEpoch(atA.pilot.epoch, epoch) &&
+                  atB.pilot.epoch == epoch && atA.pilot.epoch == epoch &&
+                  atB.pilot.rung == rung && atA.pilot.rung == rung;
+        if (!ok) {
+            ++out.pilotFailures;
+            cPilotFail.inc();
+            note("pilot-fail");
+        }
+        return ok;
+    };
+
+    // ---- Resync: new epoch, fresh calibration, pilot handshakes until
+    // the parties agree again (all bounded; a failed attempt also steps
+    // down the ladder before retrying). ----
+    auto resync = [&]() -> bool {
+        ++out.desyncs;
+        cDesync.inc();
+        note("desync");
+        for (unsigned attempt = 0; attempt < cfg.maxResyncAttempts;
+             ++attempt) {
+            ++epoch; // stale pilots from before the desync are rejected
+            recalibrate();
+            unsigned clean = 0;
+            for (unsigned t = 0; t < cfg.resyncCleanPilots + 4; ++t) {
+                if (pilotOk()) {
+                    if (++clean >= cfg.resyncCleanPilots) {
+                        ++out.resyncs;
+                        cResync.inc();
+                        note("resync");
+                        return true;
+                    }
+                } else {
+                    clean = 0;
+                }
+            }
+            stepDown();
+        }
+        return false; // proceed anyway; the segment loop stays bounded
+    };
+
+    // ---- Transfer loop: pilot, then one bounded data segment, resumed
+    // from the last ARQ-acknowledged frame after any interruption. ----
+    std::size_t cursor = 0;
+    unsigned consecPilotFails = 0;
+    unsigned cleanStreak = 0;
+    unsigned iters = 0;
+    const unsigned maxIters = 4 * cfg.maxSegments;
+
+    while (cursor < payload.size() && out.segments < cfg.maxSegments &&
+           iters < maxIters) {
+        ++iters;
+
+        if (!pilotOk()) {
+            if (++consecPilotFails >= cfg.pilotFailLimit) {
+                consecPilotFails = 0;
+                resync();
+            }
+            continue;
+        }
+        consecPilotFails = 0;
+
+        const SessionRung &R = rungs[rung];
+        std::size_t chunkBits = std::min<std::size_t>(
+            std::size_t(cfg.segmentFrames) * R.payloadBits,
+            payload.size() - cursor);
+        BitVec chunk(payload.begin() + static_cast<long>(cursor),
+                     payload.begin() +
+                         static_cast<long>(cursor + chunkBits));
+
+        link::LinkConfig lc = cfg.link;
+        lc.payloadBits = R.payloadBits;
+        lc.registry = &reg;
+        link::ReliableLink link(floored, lc);
+        link::LinkResult res = link.send(chunk);
+
+        ++out.segments;
+        cSegments.inc();
+        out.rounds += res.rounds;
+        out.seconds += res.seconds;
+
+        // The link delivers the receiver's in-order prefix: everything
+        // in it is ARQ-acknowledged, and the ack counts are protocol-
+        // visible to both sides, so the sender can checksum the same
+        // prefix from its own copy. The audit exchange commits the
+        // prefix only when both checksums survive the channel and
+        // agree — an undetected CRC-8 collision inside a frame costs a
+        // retransmitted segment, never a flipped delivered bit.
+        bool keep = !res.payload.empty();
+        if (keep) {
+            BitVec acked(chunk.begin(),
+                         chunk.begin() +
+                             static_cast<long>(res.payload.size()));
+            Pilot aAudit{segmentChecksum(acked), auditRungMarker};
+            Pilot bAudit{segmentChecksum(res.payload), auditRungMarker};
+            keep = false;
+            for (unsigned t = 0; t <= cfg.auditRetries; ++t) {
+                link::TransportResult ax = floored.exchange(
+                    encodePilot(aAudit), encodePilot(bAudit));
+                ++out.rounds;
+                out.seconds += ax.seconds;
+                tracker.observe(ax.worstMargin);
+                PilotParse atB = parsePilot(ax.atB);
+                PilotParse atA = parsePilot(ax.atA);
+                bool readable = atB.valid && atA.valid &&
+                                atB.pilot.rung == auditRungMarker &&
+                                atA.pilot.rung == auditRungMarker;
+                if (!readable)
+                    continue; // the audit itself was garbled: re-send
+                keep = atB.pilot.epoch == bAudit.epoch &&
+                       atA.pilot.epoch == aAudit.epoch;
+                break; // a readable verdict is final either way
+            }
+            if (!keep) {
+                ++out.auditFailures;
+                cAuditFail.inc();
+                note("audit-fail");
+            }
+        }
+
+        if (keep) {
+            // Committed: the next segment starts right after the
+            // audited prefix — an eviction mid-segment costs the
+            // unfinished tail, never the transfer.
+            cursor += res.payload.size();
+            out.delivered.insert(out.delivered.end(),
+                                 res.payload.begin(),
+                                 res.payload.end());
+            if (!res.complete) {
+                auto kept = static_cast<unsigned>(res.payload.size() /
+                                                  R.payloadBits);
+                out.resumedFrames += kept;
+                cResumed.inc(kept);
+                note("resume");
+            }
+        }
+
+        tracker.observe(res.worstMargin);
+        if (tracker.belowGuard())
+            recalibrate();
+
+        bool bad = !keep || !res.complete ||
+                   res.frameErrorRate > cfg.degradeFer;
+        if (bad) {
+            cleanStreak = 0;
+            stepDown();
+        } else if (++cleanStreak >= cfg.cleanSegmentsToUpgrade) {
+            cleanStreak = 0;
+            stepUp();
+        }
+    }
+
+    out.finalRung = rung;
+    out.complete = cursor >= payload.size() &&
+                   out.delivered.size() == payload.size();
+    std::size_t common = std::min(out.delivered.size(), payload.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (out.delivered[i] != payload[i])
+            ++out.residualBitErrors;
+    }
+    out.residualBitErrors +=
+        std::max(out.delivered.size(), payload.size()) - common;
+    if (!payload.empty()) {
+        out.residualBer = static_cast<double>(out.residualBitErrors) /
+                          static_cast<double>(payload.size());
+    }
+    if (out.seconds > 0.0) {
+        out.goodputBps =
+            static_cast<double>(out.delivered.size()) / out.seconds;
+    }
+    return out;
+}
+
+} // namespace gpucc::covert::session

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Self-calibrating, self-healing channel sessions.
+ *
+ * The layers below this one each solve a local problem: the Figure-11
+ * handshake synchronizes rounds, the ARQ link redelivers lost frames,
+ * adaptive rate control rides out interference bursts. What none of
+ * them handle is *session-scale* failure: thresholds tuned for a
+ * device the channel is not actually running on, slow latency drift
+ * that erodes a once-correct threshold, or a mid-transfer kernel
+ * eviction that restarts one party with no memory of where the
+ * transfer stood. ChannelSession closes these gaps:
+ *
+ *  - **Online calibration** (calibration.h): both parties measure the
+ *    hit/miss populations on the live device at session start and
+ *    derive the thresholds from data; no ProtocolTiming literal is
+ *    trusted. An EWMA drift tracker watches decode margins during the
+ *    transfer and recalibrates when they erode into a guard band.
+ *  - **Desync detection** (pilot.h): epoch-numbered pilot symbols are
+ *    interleaved between data segments; N consecutive pilot failures
+ *    declare desynchronization and trigger resync — a fresh epoch, a
+ *    fresh calibration, and repeated pilot handshakes (each pilot
+ *    rides the Figure-11 exchange) until the parties agree again.
+ *  - **Eviction-survivable transfer**: payload moves in bounded
+ *    segments; each segment's ARQ result reports the receiver's
+ *    in-order delivered prefix, so after any interruption the session
+ *    resumes from the last acknowledged frame instead of resending
+ *    the transfer. Before a prefix is committed the parties exchange
+ *    a 16-bit audit checksum of it (pilot.h): the link's per-frame
+ *    CRC-8 admits rare undetected corruption under dense interference,
+ *    and an audit disagreement discards the segment for retransmission
+ *    instead of silently delivering a flipped bit.
+ *  - **Graceful degradation ladder**: under persistent frame errors
+ *    the session steps down — two data sets per direction, then one,
+ *    then progressively longer symbol periods — and steps back up
+ *    after a streak of clean segments. Every transition is counted in
+ *    the device metrics registry and visible on the trace timeline.
+ */
+
+#ifndef GPUCC_COVERT_SESSION_SESSION_H
+#define GPUCC_COVERT_SESSION_SESSION_H
+
+#include <memory>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "covert/link/reliable_link.h"
+#include "covert/session/calibration.h"
+#include "covert/sync/duplex_channel.h"
+
+namespace gpucc::covert::trace
+{
+class FlightRecorder;
+} // namespace gpucc::covert::trace
+
+namespace gpucc::covert::session
+{
+
+/** One rung of the degradation ladder. */
+struct SessionRung
+{
+    unsigned dataSets = 1;   //!< data cache sets per direction (1-2)
+    double periodFloor = 1.0; //!< minimum symbol-period stretch
+    std::size_t payloadBits = 32; //!< frame payload field at this rung
+};
+
+/** Session-layer tuning knobs. */
+struct SessionConfig
+{
+    /** Base link configuration (window, retry budget, rate control);
+     *  payloadBits is overridden per rung. */
+    link::LinkConfig link;
+
+    /** Ladder from fastest (index 0) to most conservative. Empty uses
+     *  the default 4-rung ladder. */
+    std::vector<SessionRung> ladder;
+    bool startMultiBit = true; //!< start at rung 0 (else rung 1)
+
+    unsigned segmentFrames = 3;   //!< data frames per segment (pilot cadence)
+    unsigned pilotFailLimit = 2;  //!< consecutive failures -> desync
+    unsigned resyncCleanPilots = 2; //!< clean pilots to declare resync
+    unsigned maxResyncAttempts = 6;
+    /** Re-sends of a *garbled* audit exchange before the segment is
+     *  dropped (a readable checksum mismatch drops it immediately —
+     *  retrying cannot change the verdict, only noise can). */
+    unsigned auditRetries = 2;
+    unsigned maxSegments = 256;   //!< hard bound on data segments
+
+    unsigned calibrationRounds = 12; //!< sample pairs per party
+    double guardFraction = 0.35;  //!< drift guard band (of cal. margin)
+    double degradeFer = 0.25;     //!< segment FER that forces a step down
+    unsigned cleanSegmentsToUpgrade = 3;
+
+    /** Optional session-event annotation sink (non-owning). */
+    trace::FlightRecorder *recorder = nullptr;
+};
+
+/** Outcome of one session transfer. */
+struct SessionResult
+{
+    BitVec delivered;      //!< receiver's assembled payload
+    bool complete = false; //!< delivered == payload, in full
+    std::size_t residualBitErrors = 0; //!< mismatches vs ground truth
+    double residualBer = 0.0;
+
+    CalibrationResult calibration; //!< initial calibration
+    unsigned recalibrations = 0;   //!< drift/resync-triggered re-runs
+    unsigned desyncs = 0;          //!< desync declarations
+    unsigned resyncs = 0;          //!< successful resynchronizations
+    unsigned degradeSteps = 0;     //!< ladder steps down
+    unsigned upgradeSteps = 0;     //!< ladder steps up
+    unsigned resumedFrames = 0;    //!< frames kept across interruptions
+    unsigned pilotsSent = 0;       //!< pilot symbols transmitted
+    unsigned pilotFailures = 0;    //!< pilot exchanges that failed
+    unsigned auditFailures = 0;    //!< segment checksums that disagreed
+    unsigned segments = 0;         //!< data segments attempted
+    unsigned finalRung = 0;        //!< ladder rung at session end
+
+    unsigned rounds = 0;   //!< physical exchanges (data + pilots)
+    double seconds = 0.0;  //!< device time consumed
+    double goodputBps = 0.0; //!< delivered bits / seconds
+};
+
+/** A calibrated, self-healing transfer session over the duplex link. */
+class ChannelSession
+{
+  public:
+    /** Owns its duplex channel (and through it the device). */
+    explicit ChannelSession(const gpu::ArchParams &arch,
+                            SessionConfig cfg = {},
+                            DuplexConfig duplexCfg = {});
+    ~ChannelSession();
+
+    /** Deliver @p payload A -> B. Never deadlocks: every wait, retry,
+     *  resync attempt and segment count is bounded. */
+    SessionResult run(const BitVec &payload);
+
+    /** Underlying channel (tests arm fault injectors on its device). */
+    DuplexSyncChannel &channel() { return *chan; }
+
+    const SessionConfig &config() const { return cfg; }
+
+    /** The ladder in force (defaulted when the config left it empty). */
+    const std::vector<SessionRung> &ladder() const { return rungs; }
+
+  private:
+    gpu::ArchParams arch;
+    SessionConfig cfg;
+    std::vector<SessionRung> rungs;
+    std::unique_ptr<DuplexSyncChannel> chan;
+};
+
+/** The default 4-rung ladder: multi-bit, single-bit, then single-bit
+ *  at 2x and 4x symbol period (the last rung also halves the frame). */
+std::vector<SessionRung> defaultLadder(std::size_t payloadBits);
+
+} // namespace gpucc::covert::session
+
+#endif // GPUCC_COVERT_SESSION_SESSION_H

@@ -15,27 +15,38 @@ namespace
 
 constexpr double outScale = 256.0;
 
-/** The three line groups one direction of the protocol uses. */
+/** The line groups one direction of the protocol uses: one handshake
+ *  pair plus one or two data sets (multi-bit rung). */
 struct DirectionSets
 {
     std::vector<Addr> rts;
     std::vector<Addr> rtr;
-    std::vector<Addr> data;
+    std::vector<std::vector<Addr>> data; //!< one group per data set
 };
 
 DirectionSets
-makeDirection(const mem::CacheGeometry &geom, Addr base, unsigned dataSet,
-              unsigned rtsSet, unsigned rtrSet)
+makeDirection(const mem::CacheGeometry &geom, Addr base,
+              const std::vector<unsigned> &dataSets, unsigned rtsSet,
+              unsigned rtrSet)
 {
-    return DirectionSets{setFillingAddrs(geom, base, rtsSet),
-                         setFillingAddrs(geom, base, rtrSet),
-                         setFillingAddrs(geom, base, dataSet)};
+    DirectionSets d{setFillingAddrs(geom, base, rtsSet),
+                    setFillingAddrs(geom, base, rtrSet),
+                    {}};
+    for (unsigned s : dataSets)
+        d.data.push_back(setFillingAddrs(geom, base, s));
+    return d;
 }
 
-/** One sender round: announce, await the receiver, transmit the bit. */
+/**
+ * One sender round: announce, await the receiver, transmit the round's
+ * bits — one per data set, staggered like the Table 2 multi-bit
+ * channel (no stagger before the first set, so the single-set path is
+ * event-identical to the original single-bit protocol).
+ */
 gpu::DeviceTask<void>
-senderRound(gpu::WarpCtx &ctx, const DirectionSets &mine, bool bit,
-            const ProtocolTiming &t, RobustnessCounters *c)
+senderRound(gpu::WarpCtx &ctx, const DirectionSets &mine,
+            const BitVec &bits, std::size_t at, const ProtocolTiming &t,
+            RobustnessCounters *c)
 {
     for (unsigned attempt = 0; attempt < t.maxRetries; ++attempt) {
         if (attempt > 0 && c)
@@ -44,14 +55,19 @@ senderRound(gpu::WarpCtx &ctx, const DirectionSets &mine, bool bit,
         if (co_await waitForSignal(ctx, mine.rtr, t, c))
             break;
     }
-    if (bit)
-        co_await primeSet(ctx, mine.data);
+    for (std::size_t j = 0; j < mine.data.size(); ++j) {
+        if (j > 0)
+            co_await ctx.sleep(t.setStaggerCycles);
+        if (at + j < bits.size() && bits[at + j])
+            co_await primeSet(ctx, mine.data[j]);
+    }
     co_await ctx.sleep(t.roundGuardCycles);
     co_return;
 }
 
-/** One receiver round: await the sender, acknowledge, sample the bit. */
-gpu::DeviceTask<double>
+/** One receiver round: await the sender, acknowledge, sample every
+ *  data set (one output value per set, in set order). */
+gpu::DeviceTask<void>
 receiverRound(gpu::WarpCtx &ctx, const DirectionSets &mine,
               const ProtocolTiming &t, RobustnessCounters *c)
 {
@@ -63,15 +79,20 @@ receiverRound(gpu::WarpCtx &ctx, const DirectionSets &mine,
     }
     co_await primeSet(ctx, mine.rtr);
     co_await ctx.sleep(t.settleCycles);
-    double avg = co_await probeSetAvg(ctx, mine.data);
-    co_return avg;
+    for (std::size_t j = 0; j < mine.data.size(); ++j) {
+        if (j > 0)
+            co_await ctx.sleep(t.setStaggerCycles);
+        double avg = co_await probeSetAvg(ctx, mine.data[j]);
+        ctx.out(static_cast<std::uint64_t>(avg * outScale));
+    }
+    co_return;
 }
 
 } // namespace
 
 DuplexSyncChannel::DuplexSyncChannel(const gpu::ArchParams &arch_,
                                      DuplexConfig cfg_)
-    : arch(arch_), cfg(cfg_), timing(ProtocolTiming::forArch(arch_))
+    : arch(arch_), cfg(cfg_), protoTiming(ProtocolTiming::forArch(arch_))
 {
     parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
     parties->setJitterUs(cfg.jitterUs);
@@ -87,6 +108,22 @@ DuplexSyncChannel::setPeriodScale(double s)
     scale = s;
 }
 
+void
+DuplexSyncChannel::setTiming(const ProtocolTiming &t)
+{
+    protoTiming = t.withDefaultsFrom(ProtocolTiming::forArch(arch));
+}
+
+void
+DuplexSyncChannel::setDataSetsPerDirection(unsigned k)
+{
+    GPUCC_ASSERT(k >= 1 && k <= 2,
+                 "duplex link supports 1 or 2 data sets per direction "
+                 "(got %u)",
+                 k);
+    dataSets = k;
+}
+
 DuplexResult
 DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
 {
@@ -98,17 +135,26 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     Addr aBase = dev.allocConst(probeArrayBytes(geom), align);
     Addr bBase = dev.allocConst(probeArrayBytes(geom), align);
 
-    // Forward (A sends): data 0, RTS sets-2, RTR sets-1.
-    // Reverse (B sends): data 1, RTS sets-4, RTR sets-3.
-    DirectionSets fwdA = makeDirection(geom, aBase, 0, sets - 2, sets - 1);
-    DirectionSets fwdB = makeDirection(geom, bBase, 0, sets - 2, sets - 1);
-    DirectionSets revA = makeDirection(geom, aBase, 1, sets - 4, sets - 3);
-    DirectionSets revB = makeDirection(geom, bBase, 1, sets - 4, sets - 3);
+    // Forward (A sends): data 0 (+2 multi-bit), RTS sets-2, RTR sets-1.
+    // Reverse (B sends): data 1 (+3 multi-bit), RTS sets-4, RTR sets-3.
+    std::vector<unsigned> fwdData{0}, revData{1};
+    if (dataSets > 1) {
+        fwdData.push_back(2);
+        revData.push_back(3);
+    }
+    DirectionSets fwdA =
+        makeDirection(geom, aBase, fwdData, sets - 2, sets - 1);
+    DirectionSets fwdB =
+        makeDirection(geom, bBase, fwdData, sets - 2, sets - 1);
+    DirectionSets revA =
+        makeDirection(geom, aBase, revData, sets - 4, sets - 3);
+    DirectionSets revB =
+        makeDirection(geom, bBase, revData, sets - 4, sets - 3);
 
     // Adaptive rate: stretch every pacing interval by the current
     // scale. The detection thresholds are latency populations, not
     // pacing, so they stay put.
-    ProtocolTiming t = timing;
+    ProtocolTiming t = protoTiming;
     t.pollBackoffCycles = static_cast<Cycle>(t.pollBackoffCycles * scale);
     t.settleCycles = static_cast<Cycle>(t.settleCycles * scale);
     t.roundGuardCycles = static_cast<Cycle>(t.roundGuardCycles * scale);
@@ -116,8 +162,12 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
 
     BitVec fwdBits = aToB;
     BitVec revBits = bToA;
-    unsigned fwdRounds = static_cast<unsigned>(fwdBits.size());
-    unsigned revRounds = static_cast<unsigned>(revBits.size());
+    const unsigned k = dataSets;
+    auto roundsFor = [k](const BitVec &bits) {
+        return static_cast<unsigned>((bits.size() + k - 1) / k);
+    };
+    unsigned fwdRounds = roundsFor(fwdBits);
+    unsigned revRounds = roundsFor(revBits);
 
     // One counters instance per direction, shared by that direction's
     // sender and receiver warps across both kernels.
@@ -129,23 +179,23 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     appA.name = "duplex-A";
     appA.config.gridBlocks = arch.numSms;
     appA.config.threadsPerBlock = 2 * warpSize;
-    appA.body = [fwdA, revA, fwdBits, fwdRounds, revRounds, t, fwdCounters,
+    appA.body = [fwdA, revA, fwdBits, fwdRounds, revRounds, k, t,
+                 fwdCounters,
                  revCounters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
         if (ctx.smid() != 0)
             co_return;
         if (ctx.warpInBlock() == 0) {
             co_await primeSet(ctx, fwdA.rtr); // poll lines (sender waits)
             for (unsigned r = 0; r < fwdRounds; ++r)
-                co_await senderRound(ctx, fwdA, fwdBits[r] != 0, t,
+                co_await senderRound(ctx, fwdA, fwdBits,
+                                     std::size_t(r) * k, t,
                                      fwdCounters.get());
         } else {
             co_await primeSet(ctx, revA.rts); // poll lines (receiver)
-            co_await primeSet(ctx, revA.data);
-            for (unsigned r = 0; r < revRounds; ++r) {
-                double avg = co_await receiverRound(ctx, revA, t,
-                                                    revCounters.get());
-                ctx.out(static_cast<std::uint64_t>(avg * outScale));
-            }
+            for (const auto &set : revA.data)
+                co_await primeSet(ctx, set);
+            for (unsigned r = 0; r < revRounds; ++r)
+                co_await receiverRound(ctx, revA, t, revCounters.get());
         }
         co_return;
     };
@@ -155,22 +205,22 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     appB.name = "duplex-B";
     appB.config.gridBlocks = arch.numSms;
     appB.config.threadsPerBlock = 2 * warpSize;
-    appB.body = [fwdB, revB, revBits, fwdRounds, revRounds, t, fwdCounters,
+    appB.body = [fwdB, revB, revBits, fwdRounds, revRounds, k, t,
+                 fwdCounters,
                  revCounters](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
         if (ctx.smid() != 0)
             co_return;
         if (ctx.warpInBlock() == 0) {
             co_await primeSet(ctx, fwdB.rts);
-            co_await primeSet(ctx, fwdB.data);
-            for (unsigned r = 0; r < fwdRounds; ++r) {
-                double avg = co_await receiverRound(ctx, fwdB, t,
-                                                    fwdCounters.get());
-                ctx.out(static_cast<std::uint64_t>(avg * outScale));
-            }
+            for (const auto &set : fwdB.data)
+                co_await primeSet(ctx, set);
+            for (unsigned r = 0; r < fwdRounds; ++r)
+                co_await receiverRound(ctx, fwdB, t, fwdCounters.get());
         } else {
             co_await primeSet(ctx, revB.rtr);
             for (unsigned r = 0; r < revRounds; ++r)
-                co_await senderRound(ctx, revB, revBits[r] != 0, t,
+                co_await senderRound(ctx, revB, revBits,
+                                     std::size_t(r) * k, t,
                                      revCounters.get());
         }
         co_return;
@@ -183,7 +233,8 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     hostB.sync(instB);
     hostA.sync(instA);
 
-    // Decode both directions.
+    // Decode both directions. With k data sets the receiver emits k
+    // values per round in set order, so output index == bit index.
     auto decode = [&](const gpu::KernelInstance &inst, unsigned warp,
                       const BitVec &sent) {
         ChannelResult res;
@@ -194,12 +245,12 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
             if (rec.smId != 0)
                 continue;
             const auto &vals = inst.out(rec.blockId * wpb + warp);
-            for (std::size_t r = 0; r < vals.size() && r < sent.size();
-                 ++r) {
-                double avg = static_cast<double>(vals[r]) / outScale;
+            for (std::size_t v = 0; v < vals.size() && v < sent.size();
+                 ++v) {
+                double avg = static_cast<double>(vals[v]) / outScale;
                 res.received.push_back(avg > t.dataThresholdCycles ? 1
                                                                    : 0);
-                (sent[r] ? res.oneMetric : res.zeroMetric).add(avg);
+                (sent[v] ? res.oneMetric : res.zeroMetric).add(avg);
             }
         }
         res.report = compareBits(res.sent, res.received);

@@ -61,6 +61,29 @@ class DuplexSyncChannel
     TwoPartyHarness &harness() { return *parties; }
 
     /**
+     * Replace the protocol timing (session layer installs online-
+     * calibrated thresholds here). Zero-valued fields of @p t fall
+     * back to the per-arch defaults; takes effect on the next
+     * exchange().
+     */
+    void setTiming(const ProtocolTiming &t);
+
+    /** Timing currently in force (unscaled). */
+    const ProtocolTiming &timing() const { return protoTiming; }
+
+    /**
+     * Data cache sets per direction (1 or 2). At 2 — the session
+     * ladder's "multi-bit" rung — each protocol round moves two bits
+     * per direction through two data sets (forward {0, 2}, reverse
+     * {1, 3}), serialized by the per-set stagger exactly like the
+     * Table 2 multi-bit channel. Takes effect on the next exchange().
+     */
+    void setDataSetsPerDirection(unsigned k);
+
+    /** Current bits-per-round per direction. */
+    unsigned dataSetsPerDirection() const { return dataSets; }
+
+    /**
      * Stretch the protocol's pacing intervals (poll backoff, settle,
      * round guard, stagger) by @p scale >= 1. The link layer's adaptive
      * rate control widens the symbol period when the frame-error rate
@@ -75,8 +98,9 @@ class DuplexSyncChannel
   private:
     gpu::ArchParams arch;
     DuplexConfig cfg;
-    ProtocolTiming timing; //!< baseline (unscaled) per-arch timing
+    ProtocolTiming protoTiming; //!< baseline (unscaled) timing in force
     double scale = 1.0;
+    unsigned dataSets = 1; //!< data sets (bits per round) per direction
     std::unique_ptr<TwoPartyHarness> parties;
 };
 

@@ -1,5 +1,7 @@
 #include "covert/sync/handshake.h"
 
+#include "common/log.h"
+
 namespace gpucc::covert
 {
 
@@ -37,6 +39,29 @@ ProtocolTiming::forArch(const gpu::ArchParams &arch)
     return t;
 }
 
+ProtocolTiming
+ProtocolTiming::withDefaultsFrom(const ProtocolTiming &defaults) const
+{
+    ProtocolTiming t = *this;
+    if (t.missThresholdCycles <= 0.0)
+        t.missThresholdCycles = defaults.missThresholdCycles;
+    if (t.dataThresholdCycles <= 0.0)
+        t.dataThresholdCycles = defaults.dataThresholdCycles;
+    if (t.maxPolls == 0)
+        t.maxPolls = defaults.maxPolls;
+    if (t.maxRetries == 0)
+        t.maxRetries = defaults.maxRetries;
+    if (t.pollBackoffCycles == 0)
+        t.pollBackoffCycles = defaults.pollBackoffCycles;
+    if (t.settleCycles == 0)
+        t.settleCycles = defaults.settleCycles;
+    if (t.roundGuardCycles == 0)
+        t.roundGuardCycles = defaults.roundGuardCycles;
+    if (t.setStaggerCycles == 0)
+        t.setStaggerCycles = defaults.setStaggerCycles;
+    return t;
+}
+
 gpu::DeviceTask<void>
 primeSet(gpu::WarpCtx &ctx, const std::vector<Addr> &addrs)
 {
@@ -56,6 +81,9 @@ gpu::DeviceTask<bool>
 waitForSignal(gpu::WarpCtx &ctx, const std::vector<Addr> &mine,
               const ProtocolTiming &timing, RobustnessCounters *counters)
 {
+    GPUCC_ASSERT(timing.missThresholdCycles > 0.0,
+                 "ProtocolTiming has no signal threshold: derive it via "
+                 "forArch()/withDefaultsFrom() or calibrate online");
     for (unsigned poll = 0; poll < timing.maxPolls; ++poll) {
         double avg = co_await probeSetAvg(ctx, mine);
         if (avg > timing.missThresholdCycles) {

@@ -28,7 +28,17 @@
 namespace gpucc::covert
 {
 
-/** Tunable timing of the synchronized protocol. */
+/**
+ * Tunable timing of the synchronized protocol.
+ *
+ * Cycle-valued fields default to 0, meaning *unset*: real values are
+ * always derived from an architecture via forArch() (or measured
+ * online by session::calibrateThresholds). Earlier revisions shipped
+ * Fermi-tuned literals as in-class defaults, which meant a
+ * default-constructed ProtocolTiming silently ran Fermi thresholds on
+ * Kepler/Maxwell; withDefaultsFrom() is the supported way to overlay
+ * a partially-filled struct onto the per-arch values.
+ */
 struct ProtocolTiming
 {
     /**
@@ -39,16 +49,16 @@ struct ProtocolTiming
      * round later, permanently skewing the two parties. Only complete
      * evictions count; a partial read is simply re-polled.
      */
-    double missThresholdCycles = 97.0;
+    double missThresholdCycles = 0.0;
     /** Data-bit decode threshold (midpoint of hit/miss populations);
      *  the settle interval guarantees the data prime never interleaves
      *  with the probe, so the midpoint is safe and more noise-robust. */
-    double dataThresholdCycles = 76.0;
+    double dataThresholdCycles = 0.0;
     unsigned maxPolls = 48;       //!< bounded wait (timeout -> resend)
     unsigned maxRetries = 3;      //!< resend attempts per handshake
-    Cycle pollBackoffCycles = 400; //!< idle time between polls
-    Cycle settleCycles = 6600;    //!< RTR -> data-probe guard interval
-    Cycle roundGuardCycles = 2400; //!< end-of-round pacing
+    Cycle pollBackoffCycles = 0;  //!< idle time between polls
+    Cycle settleCycles = 0;       //!< RTR -> data-probe guard interval
+    Cycle roundGuardCycles = 0;   //!< end-of-round pacing
     /**
      * Per-data-set serialization in the multi-bit channel. The paper's
      * multi-bit variant sends one bit per cache set from different
@@ -57,11 +67,22 @@ struct ProtocolTiming
      * is why the 6-set channel yields 3.8x rather than 6x. Modeled as a
      * stagger between consecutive data sets' prime/probe windows.
      */
-    Cycle setStaggerCycles = 1100;
+    Cycle setStaggerCycles = 0;
 
     /** Defaults derived from an architecture's cache latencies and the
      *  per-generation protocol costs. */
     static ProtocolTiming forArch(const gpu::ArchParams &arch);
+
+    /** Overlay onto @p defaults: every zero (unset) field of this
+     *  struct takes the corresponding value from @p defaults. */
+    ProtocolTiming withDefaultsFrom(const ProtocolTiming &defaults) const;
+
+    /** @return true when both decode thresholds are set (> 0). */
+    bool
+    thresholdsSet() const
+    {
+        return missThresholdCycles > 0.0 && dataThresholdCycles > 0.0;
+    }
 };
 
 /** Fill a set with the caller's lines (send a durable signal). */

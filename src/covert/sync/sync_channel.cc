@@ -48,7 +48,11 @@ SyncL1Channel::SyncL1Channel(const gpu::ArchParams &arch_,
                              SyncChannelConfig cfg_)
     : arch(arch_), cfg(cfg_)
 {
-    timing = cfg.useArchTiming ? ProtocolTiming::forArch(arch) : cfg.timing;
+    // Zero-valued fields of a caller-supplied timing fall back to the
+    // per-arch defaults (the struct itself carries no tuned literals).
+    timing = cfg.useArchTiming
+                 ? ProtocolTiming::forArch(arch)
+                 : cfg.timing.withDefaultsFrom(ProtocolTiming::forArch(arch));
     parties = std::make_unique<TwoPartyHarness>(arch, cfg.seed);
     parties->setJitterUs(cfg.jitterUs);
     parties->device().setMitigations(cfg.mitigations);

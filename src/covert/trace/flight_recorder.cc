@@ -61,9 +61,16 @@ FlightRecorder::worstMargin() const
 }
 
 void
+FlightRecorder::annotate(Tick tick, std::string label)
+{
+    events.push_back({tick, std::move(label)});
+}
+
+void
 FlightRecorder::clear()
 {
     symbols.clear();
+    events.clear();
     errors = 0;
 }
 
@@ -85,6 +92,14 @@ FlightRecorder::toJson() const
         w.field("decoded", r.decoded);
         w.field("truth", r.truth);
         w.field("error", r.error());
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("annotations");
+    for (const auto &a : events) {
+        w.beginObject();
+        w.field("tick", static_cast<std::uint64_t>(a.tick));
+        w.field("label", a.label);
         w.endObject();
     }
     w.endArray();

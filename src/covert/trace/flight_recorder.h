@@ -45,6 +45,14 @@ struct SymbolRecord
  *  decoded side (negative = the decode was wrong side of truth). */
 double decisionMargin(const SymbolRecord &r);
 
+/** A session-layer event pinned to the symbol timeline (calibration,
+ *  desync, resync, ladder transition). */
+struct AnnotationRecord
+{
+    Tick tick = 0;     //!< device tick of the event
+    std::string label; //!< e.g. "recalibrate", "desync", "degrade:2"
+};
+
 /** Per-transmission log of SymbolRecords with JSON export. */
 class FlightRecorder
 {
@@ -54,6 +62,15 @@ class FlightRecorder
 
     /** Append one symbol record (called from the decode loop). */
     void record(const SymbolRecord &r);
+
+    /** Pin a session event to the timeline (exported alongside the
+     *  symbols so error bursts line up with what the session did). */
+    void annotate(Tick tick, std::string label);
+
+    const std::vector<AnnotationRecord> &annotations() const
+    {
+        return events;
+    }
 
     /** Set/replace the channel name (channels stamp their own). */
     void setChannel(const std::string &name) { channelName = name; }
@@ -83,6 +100,7 @@ class FlightRecorder
   private:
     std::string channelName;
     std::vector<SymbolRecord> symbols;
+    std::vector<AnnotationRecord> events;
     std::uint64_t errors = 0;
 };
 

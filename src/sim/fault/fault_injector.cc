@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
+#include "gpu/thread_block.h"
 #include "mem/cache_geometry.h"
 #include "sim/exec/sweep_runner.h"
 #include "workloads/interference.h"
@@ -178,6 +179,45 @@ FaultInjector::thrashOnce(const FaultSpec &f, const std::vector<Addr> &addrs)
 }
 
 void
+FaultInjector::armKernelEvict(const FaultSpec &f, std::size_t specIdx,
+                              Tick base)
+{
+    for (unsigned k = 0; k < f.repeat; ++k) {
+        Tick when = occurrenceTick(f, specIdx, k, base);
+        dev.events().schedule(when, [this, specIdx] {
+            if (!isArmed)
+                return;
+            evictOnce(thePlan.faults[specIdx]);
+        });
+    }
+}
+
+void
+FaultInjector::evictOnce(const FaultSpec &f)
+{
+    // Snapshot first: preemptBlock mutates the device's block list.
+    std::vector<gpu::ThreadBlock *> victims;
+    for (gpu::ThreadBlock *b : dev.liveBlocks()) {
+        if (b->kernel().stream().id() == f.victimStream)
+            victims.push_back(b);
+    }
+    for (gpu::ThreadBlock *b : victims) {
+        dev.preemptBlock(*b);
+        ++counts.evictions;
+        if (cEvicts != nullptr)
+            cEvicts->inc();
+    }
+    if (victims.empty())
+        return;
+    if (auto *tr = dev.traceShard(); tr && tr->wants(trace::Cat::Fault)) {
+        tr->nameRow(5004, "fault evictions");
+        tr->instant(trace::Cat::Fault, 5004, "evict " + f.name,
+                    dev.now(), "blocks",
+                    static_cast<std::uint64_t>(victims.size()));
+    }
+}
+
+void
 FaultInjector::armWindows(const FaultSpec &f, std::size_t specIdx,
                           Tick base, std::vector<Window> &out)
 {
@@ -206,6 +246,7 @@ FaultInjector::arm()
     cBursts = &reg.counter("fault.bursts");
     cThrash = &reg.counter("fault.thrashPasses");
     cStalls = &reg.counter("fault.stallsApplied");
+    cEvicts = &reg.counter("fault.evictions");
 
     interferers.resize(thePlan.faults.size());
     thrashAddrs.resize(thePlan.faults.size());
@@ -226,6 +267,13 @@ FaultInjector::arm()
             armWindows(f, i, base, stallWins);
             counts.stallWindows += f.repeat;
             break;
+          case FaultKind::KernelEvict:
+            armKernelEvict(f, i, base);
+            break;
+          case FaultKind::ThresholdDrift:
+            armWindows(f, i, base, driftWins);
+            counts.driftWindows += f.repeat;
+            break;
         }
     }
     auto byBegin = [](const Window &a, const Window &b) {
@@ -233,6 +281,7 @@ FaultInjector::arm()
     };
     std::sort(clockWins.begin(), clockWins.end(), byBegin);
     std::sort(stallWins.begin(), stallWins.end(), byBegin);
+    std::sort(driftWins.begin(), driftWins.end(), byBegin);
 
     // Windows are known in full at arm time; emit their spans up front
     // so the timeline shows the planned fault schedule even when a
@@ -246,6 +295,12 @@ FaultInjector::arm()
         }
         for (const Window &w : stallWins) {
             tr->span(trace::Cat::Fault, 5001,
+                     thePlan.faults[w.specIdx].name, w.begin, w.end);
+        }
+        if (!driftWins.empty())
+            tr->nameRow(5005, "fault drift windows");
+        for (const Window &w : driftWins) {
+            tr->span(trace::Cat::Fault, 5005,
                      thePlan.faults[w.specIdx].name, w.begin, w.end);
         }
     }
@@ -312,10 +367,23 @@ FaultInjector::latencyJitterAt(Tick now, std::uint64_t salt) const
     coveringWindows(clockWins, now, [&](const Window &w) {
         amp = std::max(amp, thePlan.faults[w.specIdx].latencyJitterCycles);
     });
+    // ThresholdDrift: deterministic ramp 0 -> driftCycles across the
+    // covering window (no randomness — drift is an environment trend,
+    // not noise).
+    std::int64_t bias = 0;
+    coveringWindows(driftWins, now, [&](const Window &w) {
+        Cycle peak = thePlan.faults[w.specIdx].driftCycles;
+        Tick span = w.end - w.begin;
+        if (peak == 0 || span == 0)
+            return;
+        auto ramp = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(peak) * (now - w.begin)) / span);
+        bias = std::max(bias, ramp);
+    });
     if (amp == 0)
-        return 0;
+        return bias;
     std::uint64_t h = mix(seed, now, salt, 0x6a74);
-    return static_cast<std::int64_t>(h % (2 * amp + 1)) -
+    return bias + static_cast<std::int64_t>(h % (2 * amp + 1)) -
            static_cast<std::int64_t>(amp);
 }
 

@@ -47,7 +47,9 @@ struct FaultStats
     unsigned thrashPasses = 0;   //!< cache-set eviction passes
     unsigned clockWindows = 0;   //!< clock-degrade windows armed
     unsigned stallWindows = 0;   //!< warp-stall windows armed
+    unsigned driftWindows = 0;   //!< threshold-drift windows armed
     std::uint64_t stallsApplied = 0; //!< resumes deferred by a stall
+    unsigned evictions = 0;      //!< blocks preempted by KernelEvict
 };
 
 /** Drives one FaultPlan against one Device. */
@@ -98,6 +100,8 @@ class FaultInjector
     /**
      * Deterministic latency perturbation at @p now (cycles, may be
      * negative). @p salt decorrelates call sites within one tick.
+     * Includes the ThresholdDrift ramp bias of any covering drift
+     * window (always non-negative, grows linearly across the window).
      */
     std::int64_t latencyJitterAt(Tick now, std::uint64_t salt) const;
 
@@ -125,8 +129,13 @@ class FaultInjector
     void armInterferer(const FaultSpec &f, std::size_t specIdx, Tick base);
     void armCacheThrash(const FaultSpec &f, std::size_t specIdx,
                         Tick base);
+    void armKernelEvict(const FaultSpec &f, std::size_t specIdx,
+                        Tick base);
     void armWindows(const FaultSpec &f, std::size_t specIdx, Tick base,
                     std::vector<Window> &out);
+
+    /** Preempt every live block of the spec's victim stream. */
+    void evictOnce(const FaultSpec &f);
 
     /** One eviction pass over the spec's target sets. */
     void thrashOnce(const FaultSpec &f, const std::vector<Addr> &addrs);
@@ -142,10 +151,12 @@ class FaultInjector
     metrics::Counter *cBursts = nullptr;
     metrics::Counter *cThrash = nullptr;
     metrics::Counter *cStalls = nullptr;
+    metrics::Counter *cEvicts = nullptr;
 
     /** Sorted (by begin) windows per hook family. */
     std::vector<Window> clockWins;
     std::vector<Window> stallWins;
+    std::vector<Window> driftWins;
 
     /** Per-interferer-spec prototype launch and private stream. */
     struct InterfererState

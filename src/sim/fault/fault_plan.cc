@@ -17,6 +17,10 @@ faultKindName(FaultKind k)
         return "warp-stall";
       case FaultKind::CacheThrash:
         return "cache-thrash";
+      case FaultKind::KernelEvict:
+        return "kernel-evict";
+      case FaultKind::ThresholdDrift:
+        return "threshold-drift";
     }
     return "?";
 }
@@ -190,6 +194,69 @@ datacenterPlan()
     return p;
 }
 
+FaultPlan
+evictionPlan()
+{
+    FaultPlan p;
+    p.name = "eviction";
+
+    // The spy's kernel is evicted and relaunched mid-transfer every few
+    // frame exchanges: its block restarts from scratch, the current
+    // frame decodes as garbage, and any naive transfer loses its place.
+    FaultSpec spyEvict;
+    spyEvict.name = "spy-evict";
+    spyEvict.kind = FaultKind::KernelEvict;
+    spyEvict.victimStream = 1;
+    spyEvict.startCycle = 1'200'000;
+    spyEvict.periodCycles = 6'500'000;
+    spyEvict.jitterCycles = 700'000;
+    spyEvict.repeat = 80;
+    p.faults.push_back(spyEvict);
+
+    // The trojan goes too, less often (both parties are ordinary
+    // tenants; the driver plays no favorites).
+    FaultSpec trojanEvict;
+    trojanEvict.name = "trojan-evict";
+    trojanEvict.kind = FaultKind::KernelEvict;
+    trojanEvict.victimStream = 0;
+    trojanEvict.startCycle = 4'300'000;
+    trojanEvict.periodCycles = 16'000'000;
+    trojanEvict.jitterCycles = 1'100'000;
+    trojanEvict.repeat = 35;
+    p.faults.push_back(trojanEvict);
+
+    // Slow thermal-style drift: latencies creep upward across each long
+    // window, eroding the margin of any threshold calibrated before the
+    // window opened.
+    FaultSpec drift;
+    drift.name = "thermal-drift";
+    drift.kind = FaultKind::ThresholdDrift;
+    drift.driftCycles = 24;
+    drift.startCycle = 500'000;
+    drift.periodCycles = 8'000'000;
+    drift.durationCycles = 3'200'000;
+    drift.jitterCycles = 300'000;
+    drift.repeat = 120;
+    p.faults.push_back(drift);
+
+    // Sparse handshake thrash so resync pilots see occasional loss too.
+    FaultSpec shake;
+    shake.name = "handshake-thrash";
+    shake.kind = FaultKind::CacheThrash;
+    shake.setBegin = 4;
+    shake.setEnd = 8;
+    shake.targetSm = 0;
+    shake.startCycle = 3'400'000;
+    shake.periodCycles = 12'500'000;
+    shake.durationCycles = 50'000;
+    shake.intraPeriodCycles = 16'000;
+    shake.jitterCycles = 500'000;
+    shake.repeat = 70;
+    p.faults.push_back(shake);
+
+    return p;
+}
+
 } // namespace
 
 FaultPlan
@@ -203,13 +270,15 @@ FaultPlan::preset(const std::string &name)
         return adversarialPlan();
     if (name == "datacenter")
         return datacenterPlan();
+    if (name == "eviction")
+        return evictionPlan();
     GPUCC_FATAL("unknown fault-plan preset '%s'", name.c_str());
 }
 
 std::vector<std::string>
 FaultPlan::presetNames()
 {
-    return {"quiet", "bursty", "adversarial", "datacenter"};
+    return {"quiet", "bursty", "adversarial", "datacenter", "eviction"};
 }
 
 } // namespace gpucc::sim::fault

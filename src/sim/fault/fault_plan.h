@@ -44,6 +44,17 @@ enum class FaultKind
     /** Install foreign lines into a chosen range of constant-cache
      *  sets (targeted eviction of a channel's data/signal sets). */
     CacheThrash,
+    /** Evict one application's running blocks mid-kernel (driver-level
+     *  preemption / relaunch): every live block of the victim stream is
+     *  cancelled, its SM slice released, and the block requeued for
+     *  re-placement — it restarts its body from scratch while the peer
+     *  keeps running. */
+    KernelEvict,
+    /** Slow latency drift: inside each window every observed latency
+     *  gains a bias that ramps linearly from 0 to driftCycles (thermal
+     *  throttling / DVFS creep). Defeats any threshold calibrated once
+     *  and never revisited. */
+    ThresholdDrift,
 };
 
 /** @return printable fault-kind name. */
@@ -89,8 +100,11 @@ struct FaultSpec
     Cycle quantumCycles = 0;         //!< clock() granularity override
     Cycle latencyJitterCycles = 0;   //!< +/- noise on observed latencies
 
-    // WarpStall
-    unsigned victimStream = 1;       //!< kernels on this stream stall
+    // WarpStall / KernelEvict
+    unsigned victimStream = 1;       //!< kernels on this stream suffer
+
+    // ThresholdDrift
+    Cycle driftCycles = 0;           //!< peak latency bias at window end
 
     // CacheThrash
     unsigned setBegin = 0;           //!< first targeted set
@@ -120,6 +134,9 @@ struct FaultPlan
      *    stalls — drives the raw duplex channel to ~10% BER.
      *  - "datacenter": the full Rodinia-like mix arriving on staggered
      *    schedules with mild timer jitter — ambient multi-tenant load.
+     *  - "eviction": mid-transfer kernel evictions of both parties plus
+     *    slow threshold drift and sparse handshake thrash — the
+     *    scenario the self-healing session layer exists for.
      */
     static FaultPlan preset(const std::string &name);
 

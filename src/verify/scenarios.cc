@@ -11,6 +11,7 @@
 #include "covert/link/reliable_link.h"
 #include "covert/link/transport.h"
 #include "covert/parallel/sfu_parallel_channel.h"
+#include "covert/session/session.h"
 #include "covert/sync/duplex_channel.h"
 #include "covert/sync/sync_channel.h"
 #include "covert/sync/sync_sfu_channel.h"
@@ -177,6 +178,32 @@ measureArqOverPlan(const gpu::ArchParams &arch, const std::string &planName,
     auto r = link.send(payload);
     return {compareBits(payload, r.payload).errorRate(), r.goodputBps,
             r.complete, r.retransmissions};
+}
+
+SessionMeasurement
+measureSessionOverPlan(const gpu::ArchParams &arch,
+                       const std::string &planName,
+                       std::uint64_t faultSeed, const BitVec &payload)
+{
+    covert::session::SessionConfig cfg;
+    cfg.link.payloadBits = 32;
+    cfg.link.window = 4;
+    covert::session::ChannelSession session(arch, cfg);
+    sim::fault::FaultInjector injector(
+        session.channel().harness().device(),
+        sim::fault::FaultPlan::preset(planName), faultSeed);
+    injector.arm();
+    covert::session::SessionResult r = session.run(payload);
+    SessionMeasurement m;
+    m.residualBer = r.residualBer;
+    m.goodputBps = r.goodputBps;
+    m.complete = r.complete;
+    m.calibrated = r.calibration.ok;
+    m.resyncs = r.resyncs;
+    m.recalibrations = r.recalibrations;
+    m.degradeSteps = r.degradeSteps;
+    m.evictions = injector.stats().evictions;
+    return m;
 }
 
 const MetricValue *
@@ -362,6 +389,28 @@ runSec8(const gpu::ArchParams &a)
     return r;
 }
 
+ScenarioResult
+runSessionRobustness(const gpu::ArchParams &a)
+{
+    const std::uint64_t seed = 11;
+    const BitVec payload = scenarioPayload(128, 2026);
+    SessionMeasurement quiet =
+        measureSessionOverPlan(a, "quiet", seed, payload);
+    SessionMeasurement evict =
+        measureSessionOverPlan(a, "eviction", seed, payload);
+    ScenarioResult r;
+    r.add("quiet.complete", quiet.complete ? 1.0 : 0.0, true);
+    r.add("quiet.residual_ber", quiet.residualBer, true);
+    r.add("quiet.calibrated", quiet.calibrated ? 1.0 : 0.0, true);
+    r.add("quiet.goodput_bps", quiet.goodputBps);
+    r.add("evict.complete", evict.complete ? 1.0 : 0.0, true);
+    r.add("evict.residual_ber", evict.residualBer, true);
+    r.add("evict.evictions", evict.evictions);
+    r.add("evict.recalibrations", evict.recalibrations);
+    r.add("evict.goodput_bps", evict.goodputBps);
+    return r;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -392,6 +441,9 @@ conformanceScenarios()
                      "Section 8 (ARQ extension)",
                      {gpu::Generation::Kepler},
                      runSec8});
+        s.push_back({"session_robustness",
+                     "Section 8 (session-layer extension)", all,
+                     runSessionRobustness});
         return s;
     }();
     return scenarios;

@@ -148,6 +148,28 @@ ArqMeasurement measureArqOverPlan(const gpu::ArchParams &arch,
                                   const BitVec &payload,
                                   const covert::ErrorCode *innerFec = nullptr);
 
+// ---- Self-calibrating session (robustness extension) ----------------
+
+struct SessionMeasurement
+{
+    double residualBer = 0.0;
+    double goodputBps = 0.0;
+    bool complete = false;
+    bool calibrated = false; //!< initial online calibration accepted
+    unsigned resyncs = 0;
+    unsigned recalibrations = 0;
+    unsigned degradeSteps = 0;
+    unsigned evictions = 0; //!< kernel evictions the plan landed
+};
+
+/** Calibrated self-healing session (pilot/resync/ladder) delivering
+ *  @p payload under a fault plan. No hand-tuned threshold enters: the
+ *  session derives its own from the start-of-session calibration. */
+SessionMeasurement measureSessionOverPlan(const gpu::ArchParams &arch,
+                                          const std::string &planName,
+                                          std::uint64_t faultSeed,
+                                          const BitVec &payload);
+
 // ---- Scenario registry ----------------------------------------------
 
 /** One (metric, value) scenario output. */

@@ -85,6 +85,38 @@ TEST(Duplex, DirectionsActuallyOverlapInTime)
     EXPECT_GT(r.aggregateBps, r.bToA.bandwidthBps);
 }
 
+TEST_P(DuplexTest, MultiBitDataSetsErrorFreeAndFaster)
+{
+    // Two data sets per direction: same payload, half the rounds, and
+    // still error-free on every architecture.
+    const ArchParams &arch = GetParam();
+    DuplexSyncChannel one(arch);
+    auto r1 = one.exchange(msg(96, 11), msg(96, 12));
+    DuplexSyncChannel two(arch);
+    two.setDataSetsPerDirection(2);
+    ASSERT_EQ(two.dataSetsPerDirection(), 2u);
+    auto r2 = two.exchange(msg(96, 11), msg(96, 12));
+    EXPECT_TRUE(r2.aToB.report.errorFree()) << arch.name;
+    EXPECT_TRUE(r2.bToA.report.errorFree()) << arch.name;
+    EXPECT_GT(r2.aggregateBps, r1.aggregateBps) << arch.name;
+}
+
+TEST(Duplex, TimingOverrideKeepsArchDefaultsForUnsetFields)
+{
+    const ArchParams arch = gpu::keplerK40c();
+    DuplexSyncChannel link(arch);
+    ProtocolTiming base = ProtocolTiming::forArch(arch);
+
+    ProtocolTiming t; // all-zero = "unset"
+    t.dataThresholdCycles = 77.0;
+    link.setTiming(t);
+    EXPECT_DOUBLE_EQ(link.timing().dataThresholdCycles, 77.0);
+    EXPECT_DOUBLE_EQ(link.timing().missThresholdCycles,
+                     base.missThresholdCycles);
+    EXPECT_EQ(link.timing().settleCycles, base.settleCycles);
+    EXPECT_EQ(link.timing().setStaggerCycles, base.setStaggerCycles);
+}
+
 TEST(Duplex, WayPartitioningKillsBothDirections)
 {
     DuplexConfig cfg;

@@ -308,6 +308,55 @@ TEST(FaultInjector, CacheThrashEvictsTargetedSetsOnly)
     EXPECT_TRUE(r5.l1Hit);  // untouched set survives
 }
 
+TEST(FaultInjector, KernelEvictLandsAndReplaysBitIdentically)
+{
+    // The eviction preset must preempt live blocks mid-exchange (the
+    // 160-bit window crosses the first spy-evict occurrence), the
+    // exchange must still terminate, and the whole faulted run must
+    // replay bit-identically per seed.
+    auto a = runDuplex("eviction", 3, 160);
+    auto b = runDuplex("eviction", 3, 160);
+    EXPECT_GT(a.stats.evictions, 0u);
+    EXPECT_EQ(a.stats.evictions, b.stats.evictions);
+    EXPECT_EQ(a.fwd, b.fwd);
+    EXPECT_EQ(a.rev, b.rev);
+    EXPECT_EQ(a.windowTicks, b.windowTicks);
+}
+
+TEST(FaultInjector, ThresholdDriftRampsDeterministically)
+{
+    setVerbose(false);
+    covert::TwoPartyHarness parties(gpu::keplerK40c());
+
+    FaultPlan plan;
+    plan.name = "drift-test";
+    FaultSpec d;
+    d.name = "ramp";
+    d.kind = FaultKind::ThresholdDrift;
+    d.driftCycles = 40;
+    d.startCycle = 1'000;
+    d.durationCycles = 100'000;
+    d.repeat = 1;
+    plan.faults.push_back(d);
+    FaultInjector inj(parties.device(), plan, 1);
+    inj.arm();
+    EXPECT_EQ(inj.stats().driftWindows, 1u);
+
+    // Outside the window: no bias. Inside: a monotone 0 -> driftCycles
+    // ramp with no noise component (the drift is a trend, not jitter).
+    EXPECT_EQ(inj.latencyJitterAt(cyclesToTicks(Cycle(500)), 0), 0);
+    auto early = inj.latencyJitterAt(cyclesToTicks(Cycle(6'000)), 0);
+    auto mid = inj.latencyJitterAt(cyclesToTicks(Cycle(51'000)), 0);
+    auto late = inj.latencyJitterAt(cyclesToTicks(Cycle(96'000)), 0);
+    EXPECT_GE(early, 0);
+    EXPECT_GT(mid, early);
+    EXPECT_GT(late, mid);
+    EXPECT_LE(late, 40);
+    EXPECT_EQ(inj.latencyJitterAt(cyclesToTicks(Cycle(6'000)), 99),
+              early); // salt-free: a trend, not noise
+    EXPECT_EQ(inj.latencyJitterAt(cyclesToTicks(Cycle(200'000)), 0), 0);
+}
+
 TEST(FaultInjector, DisarmStopsInjection)
 {
     setVerbose(false);

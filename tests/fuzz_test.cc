@@ -14,6 +14,7 @@
 #include "covert/link/frame.h"
 #include "covert/link/reliable_link.h"
 #include "covert/link/transport.h"
+#include "covert/session/pilot.h"
 #include "gpu/block_scheduler.h"
 #include "gpu/device_stats.h"
 #include "gpu/host.h"
@@ -287,6 +288,100 @@ TEST(LinkFuzz, ArqTerminatesAndCompleteImpliesExactDelivery)
     // The sweep must exercise both outcomes to mean anything.
     EXPECT_GT(completes, 0u);
     EXPECT_LT(completes, 60u);
+}
+
+// ---------------------------------------------------------------------
+// Pilot/epoch framing fuzz: the session layer's pilot decoder must be
+// total (malformed, truncated, and replayed inputs parse to a clean
+// rejection, never UB), and the stale-epoch replay filter must behave
+// correctly across the full 16-bit wraparound.
+// ---------------------------------------------------------------------
+
+TEST(PilotFuzz, RoundTripAndMutationAreTotal)
+{
+    using namespace covert::session;
+    Rng rng(77);
+    for (int round = 0; round < 400; ++round) {
+        Pilot p;
+        p.epoch =
+            static_cast<std::uint16_t>(rng.uniformInt(0, 0xFFFF));
+        p.rung = static_cast<std::uint8_t>(rng.uniformInt(0, 15));
+        BitVec wire = encodePilot(p);
+        ASSERT_EQ(wire.size(), pilotWireBits);
+
+        PilotParse clean = parsePilot(wire);
+        ASSERT_TRUE(clean.valid);
+        EXPECT_EQ(clean.pilot.epoch, p.epoch);
+        EXPECT_EQ(clean.pilot.rung, p.rung);
+
+        // Mutate: leading garbage, random flips, truncation.
+        BitVec noisy;
+        std::size_t lead =
+            static_cast<std::size_t>(rng.uniformInt(0, 24));
+        for (std::size_t i = 0; i < lead; ++i)
+            noisy.push_back(rng.flip() ? 1 : 0);
+        noisy.insert(noisy.end(), wire.begin(), wire.end());
+        for (auto &b : noisy)
+            if (rng.bernoulli(0.05))
+                b ^= 1;
+        if (rng.flip())
+            noisy.resize(static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(noisy.size()))));
+
+        PilotParse parsed = parsePilot(noisy);
+        if (parsed.valid)
+            EXPECT_LE(parsed.pilot.rung, 15u);
+    }
+}
+
+TEST(PilotFuzz, TruncatedPilotNeverParses)
+{
+    using namespace covert::session;
+    BitVec wire = encodePilot({0xBEEF, 7});
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        BitVec prefix(wire.begin(),
+                      wire.begin() + static_cast<long>(len));
+        EXPECT_FALSE(parsePilot(prefix).valid) << "prefix " << len;
+    }
+}
+
+TEST(PilotFuzz, AnySingleBitFlipIsRejected)
+{
+    // The 8-bit CRC catches every single-bit error, and a 36-bit
+    // stream admits only the offset-0 sync window, so no one-bit
+    // corruption can yield a valid pilot.
+    using namespace covert::session;
+    BitVec wire = encodePilot({0x1234, 3});
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+        BitVec bad = wire;
+        bad[i] ^= 1;
+        EXPECT_FALSE(parsePilot(bad).valid) << "flipped bit " << i;
+    }
+}
+
+TEST(PilotFuzz, StaleEpochRejectsOnlyTheTrailingHalfSpace)
+{
+    using namespace covert::session;
+    // Recent past is stale; present and near future are not.
+    EXPECT_TRUE(staleEpoch(5, 6));
+    EXPECT_FALSE(staleEpoch(6, 6));
+    EXPECT_FALSE(staleEpoch(7, 6));
+    // Replays from before a wraparound are still stale, and a peer
+    // that advanced across the wrap is still "ahead".
+    EXPECT_TRUE(staleEpoch(0xFFFF, 3));
+    EXPECT_FALSE(staleEpoch(3, 0xFFFF));
+    // Full-space sweep of the half-space boundary.
+    const std::uint16_t expect = 1000;
+    for (unsigned d = 1; d < 0x8000; ++d) {
+        EXPECT_TRUE(staleEpoch(
+            static_cast<std::uint16_t>(expect - d), expect))
+            << "delta " << d;
+    }
+    for (unsigned d = 0; d < 0x8000; ++d) {
+        EXPECT_FALSE(staleEpoch(
+            static_cast<std::uint16_t>(expect + d), expect))
+            << "delta " << d;
+    }
 }
 
 TEST(FuzzExtras, TemporalPartitioningFuzz)

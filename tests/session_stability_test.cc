@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Seed-sweep soak of the self-calibrating session layer: across every
+ * fault preset (including mid-transfer kernel eviction) and every
+ * architecture, a calibrated session — no hand-tuned threshold enters
+ * it — must deliver the full payload with zero residual errors and a
+ * bounded number of resynchronizations. A second property pins the
+ * determinism contract: the post-session device digest is invariant
+ * under the host thread count (GPUCC_THREADS 1/2/8 equivalent).
+ *
+ * The per-plan seed count defaults to 32 and can be raised for the
+ * nightly soak job via the GPUCC_SOAK environment variable.
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "covert/session/session.h"
+#include "sim/exec/sweep_runner.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/fault/fault_plan.h"
+#include "verify/digest.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::verify
+{
+namespace
+{
+
+std::size_t
+soakSeeds()
+{
+    if (const char *env = std::getenv("GPUCC_SOAK")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+    }
+    return 32;
+}
+
+struct SoakOutcome
+{
+    bool complete = false;
+    bool calibrated = false;
+    double residualBer = 0.0;
+    unsigned resyncs = 0;
+    unsigned recalibrations = 0;
+    unsigned evictions = 0;
+    std::uint64_t digest = 0;
+};
+
+/** One full calibrated session under @p plan; the digest covers the
+ *  device's architectural end state (thread-invariance oracle). */
+SoakOutcome
+runSession(const gpu::ArchParams &arch, const std::string &plan,
+           std::uint64_t seed, std::size_t bits = 96)
+{
+    setVerbose(false);
+    covert::session::SessionConfig cfg;
+    cfg.link.payloadBits = 32;
+    cfg.link.window = 4;
+    covert::session::ChannelSession session(arch, cfg);
+    sim::fault::FaultInjector injector(
+        session.channel().harness().device(),
+        sim::fault::FaultPlan::preset(plan), seed);
+    injector.arm();
+
+    const BitVec payload = scenarioPayload(bits, seed ^ 0x5eedULL);
+    covert::session::SessionResult r = session.run(payload);
+
+    SoakOutcome out;
+    out.complete = r.complete;
+    out.calibrated = r.calibration.ok;
+    out.residualBer = r.residualBer;
+    out.resyncs = r.resyncs;
+    out.recalibrations = r.recalibrations;
+    out.evictions = injector.stats().evictions;
+    out.digest = deviceDigest(session.channel().harness().device());
+    return out;
+}
+
+/** The acceptance sweep body: @p seeds trials of @p plan on @p arch,
+ *  all of which must deliver error-free with bounded healing effort. */
+void
+soakPlan(const gpu::ArchParams &arch, const std::string &plan)
+{
+    const std::size_t seeds = soakSeeds();
+    constexpr unsigned resyncBudget = 32;
+    constexpr unsigned recalBudget = 256;
+
+    sim::exec::SweepRunner runner;
+    auto results = runner.runTrials(
+        seeds, 77, [&](std::size_t, std::uint64_t seed) {
+            return runSession(arch, plan, seed);
+        });
+
+    ASSERT_EQ(results.size(), seeds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SoakOutcome &r = results[i];
+        EXPECT_TRUE(r.complete)
+            << arch.name << "/" << plan << " seed index " << i;
+        EXPECT_DOUBLE_EQ(r.residualBer, 0.0)
+            << arch.name << "/" << plan << " seed index " << i
+            << ": session leaked errors";
+        EXPECT_LE(r.resyncs, resyncBudget)
+            << arch.name << "/" << plan << " seed index " << i;
+        EXPECT_LE(r.recalibrations, recalBudget)
+            << arch.name << "/" << plan << " seed index " << i;
+    }
+}
+
+class SessionSoak : public ::testing::TestWithParam<gpu::ArchParams>
+{
+};
+
+TEST_P(SessionSoak, QuietPlanDeliversCalibrated)
+{
+    // On a quiet device the online calibration must actually be
+    // accepted (measured populations, not the forArch() fallback).
+    SoakOutcome r = runSession(GetParam(), "quiet", 5);
+    EXPECT_TRUE(r.calibrated) << GetParam().name;
+    EXPECT_TRUE(r.complete) << GetParam().name;
+    EXPECT_DOUBLE_EQ(r.residualBer, 0.0) << GetParam().name;
+    soakPlan(GetParam(), "quiet");
+}
+
+TEST_P(SessionSoak, BurstyPlanZeroResidualErrors)
+{
+    soakPlan(GetParam(), "bursty");
+}
+
+TEST_P(SessionSoak, AdversarialPlanZeroResidualErrors)
+{
+    soakPlan(GetParam(), "adversarial");
+}
+
+TEST_P(SessionSoak, DatacenterPlanZeroResidualErrors)
+{
+    soakPlan(GetParam(), "datacenter");
+}
+
+TEST_P(SessionSoak, EvictionPlanZeroResidualErrors)
+{
+    soakPlan(GetParam(), "eviction");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, SessionSoak,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SessionStability, EvictionPlanActuallyInterruptsTransfers)
+{
+    // The soak only proves survival; this proves there was something
+    // to survive — the plan lands real evictions mid-session.
+    SoakOutcome r = runSession(gpu::maxwellM4000(), "eviction", 9);
+    EXPECT_GT(r.evictions, 0u);
+    EXPECT_TRUE(r.complete);
+    EXPECT_DOUBLE_EQ(r.residualBer, 0.0);
+}
+
+TEST(SessionStability, ReplayIsDeterministicPerSeed)
+{
+    SoakOutcome a = runSession(gpu::keplerK40c(), "eviction", 13);
+    SoakOutcome b = runSession(gpu::keplerK40c(), "eviction", 13);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.resyncs, b.resyncs);
+    EXPECT_EQ(a.recalibrations, b.recalibrations);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_DOUBLE_EQ(a.residualBer, b.residualBer);
+}
+
+TEST(SessionStability, DigestIsThreadCountInvariant)
+{
+    // Property: the post-session device digest of every trial is
+    // byte-identical whether the sweep ran inline, on 2 workers, or on
+    // 8 — the GPUCC_THREADS contract extended to the session layer.
+    struct Cell
+    {
+        gpu::ArchParams arch;
+        const char *plan;
+        std::uint64_t seed;
+    };
+    std::vector<Cell> cells;
+    for (const auto &arch : gpu::allArchitectures()) {
+        cells.push_back({arch, "quiet", 3});
+        cells.push_back({arch, "eviction", 4});
+    }
+
+    auto digestsAt = [&](unsigned threads) {
+        sim::exec::SweepRunner runner(threads);
+        return runner.runSweep(cells, [](const Cell &c) {
+            return runSession(c.arch, c.plan, c.seed, 48).digest;
+        });
+    };
+
+    auto one = digestsAt(1);
+    auto two = digestsAt(2);
+    auto eight = digestsAt(8);
+    ASSERT_EQ(one.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(one[i], two[i])
+            << cells[i].arch.name << "/" << cells[i].plan;
+        EXPECT_EQ(one[i], eight[i])
+            << cells[i].arch.name << "/" << cells[i].plan;
+    }
+}
+
+} // namespace
+} // namespace gpucc::verify
