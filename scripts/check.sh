@@ -4,11 +4,18 @@
 #  1. Configure, build, and run the full test suite (the ROADMAP.md
 #     tier-1 line).
 #  2. Run bench_simperf into a scratch JSON and compare its numbers
-#     against the committed BENCH_simperf.json baseline; any metric more
-#     than 20% slower is a regression. Performance is machine-dependent,
-#     so regressions WARN by default; --strict makes them fail (and
-#     --simperf-warn downgrades them back to warnings, for CI boxes
-#     whose absolute speed is unrelated to the recording machine's).
+#     against the committed BENCH_simperf.json record; any tracked
+#     metric more than 15% slower is a regression. Performance is
+#     machine-dependent, so regressions WARN by default; --strict makes
+#     them fail (and --simperf-warn downgrades them back to warnings,
+#     for CI boxes whose absolute speed is unrelated to the recording
+#     machine's). The fresh run and the comparison report are written
+#     to <build-dir>/observability/ (CI uploads that directory).
+#
+# With --simperf, skip the build/test tier and run ONLY the simperf
+# gate, fatally: build bench_simperf if needed, compare against the
+# committed record, exit non-zero on any >15% regression. This is the
+# gate to run after touching simulator hot paths.
 #
 # With --trace-smoke, additionally run the exfiltrate_key example under
 # GPUCC_TRACE and validate every observability artifact — the Chrome
@@ -22,9 +29,10 @@
 # <build-dir>/observability/conformance_report.json. Any band miss is
 # fatal. See TESTING.md for the band format and how to re-record.
 #
-# Usage: scripts/check.sh [--strict] [--simperf-warn] [--trace-smoke]
-#                         [--conformance] [build-dir]
-#   --strict        non-zero exit on any simperf regression >20%
+# Usage: scripts/check.sh [--strict] [--simperf] [--simperf-warn]
+#                         [--trace-smoke] [--conformance] [build-dir]
+#   --strict        non-zero exit on any simperf regression >15%
+#   --simperf       run only the simperf gate, fatally (implies --strict)
 #   --simperf-warn  with --strict: keep every other gate fatal but
 #                   report simperf regressions as warnings only
 #   --trace-smoke   emit + validate trace/metrics/flight JSON artifacts
@@ -34,6 +42,7 @@
 set -euo pipefail
 
 strict=0
+simperf_only=0
 simperf_warn=0
 trace_smoke=0
 conformance=0
@@ -41,11 +50,12 @@ build=build
 for arg in "$@"; do
     case "$arg" in
       --strict) strict=1 ;;
+      --simperf) simperf_only=1; strict=1 ;;
       --simperf-warn) simperf_warn=1 ;;
       --trace-smoke) trace_smoke=1 ;;
       --conformance) conformance=1 ;;
       -h|--help)
-        sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
       -*)
@@ -59,10 +69,16 @@ done
 cd "$(dirname "$0")/.."
 repo_root=$PWD
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B "$build" -S .
-cmake --build "$build" -j
-(cd "$build" && ctest --output-on-failure -j)
+if [ "$simperf_only" = 1 ]; then
+    echo "== simperf-only: building bench_simperf =="
+    cmake -B "$build" -S . >/dev/null
+    cmake --build "$build" -j --target bench_simperf
+else
+    echo "== tier-1: configure + build + ctest =="
+    cmake -B "$build" -S .
+    cmake --build "$build" -j
+    (cd "$build" && ctest --output-on-failure -j)
+fi
 
 if [ "$trace_smoke" = 1 ]; then
     echo
@@ -137,8 +153,10 @@ if [ ! -x "$build/bench/bench_simperf" ]; then
     exit 0
 fi
 
-scratch=$(mktemp /tmp/gpucc_simperf.XXXXXX.json)
-trap 'rm -f "$scratch"' EXIT
+artdir="$build/observability"
+mkdir -p "$artdir"
+scratch="$artdir/simperf_current.json"
+rm -f "$scratch"
 # Seed the scratch file with the committed baseline so the fresh run
 # reports speedups against the same reference.
 if [ -f "$repo_root/BENCH_simperf.json" ]; then
@@ -148,6 +166,7 @@ else
     echo "bench_simperf without a reference. Record one with:"
     echo "  $build/bench/bench_simperf   (writes BENCH_simperf.json)"
 fi
+# The fresh record lands in $artdir, which CI uploads as an artifact.
 GPUCC_SIMPERF_JSON=$scratch \
     "$build/bench/bench_simperf" --benchmark_min_time=0.2
 
@@ -171,7 +190,8 @@ if [ "$strict" = 1 ] && [ "$simperf_warn" = 0 ]; then
 fi
 
 set +e
-python3 - "$repo_root/BENCH_simperf.json" "$scratch" <<'EOF'
+python3 - "$repo_root/BENCH_simperf.json" "$scratch" \
+    "$artdir/simperf_report.json" <<'EOF'
 import json
 import sys
 
@@ -183,6 +203,7 @@ if not reference:
     reference = committed.get("baseline", {}).get("metrics", {})
 measured = fresh.get("current", {}).get("metrics", {})
 
+rows = []
 regressions = []
 for name, ref in sorted(reference.items()):
     cur = measured.get(name)
@@ -190,19 +211,25 @@ for name, ref in sorted(reference.items()):
     if not cur or not ref_ips:
         continue
     ratio = cur["items_per_second"] / ref_ips
-    flag = "  <-- REGRESSION (>20% slower)" if ratio < 0.8 else ""
+    rows.append({"benchmark": name, "ratio_vs_committed": ratio,
+                 "regressed": ratio < 0.85})
+    flag = "  <-- REGRESSION (>15% slower)" if ratio < 0.85 else ""
     print(f"  {name:28s} {ratio:6.2f}x of committed record{flag}")
-    if ratio < 0.8:
+    if ratio < 0.85:
         regressions.append(name)
 
+with open(sys.argv[3], "w") as f:
+    json.dump({"threshold": 0.85, "rows": rows,
+               "regressions": regressions}, f, indent=2)
+
 if regressions:
-    print(f"\n{len(regressions)} benchmark(s) regressed >20% "
+    print(f"\n{len(regressions)} benchmark(s) regressed >15% "
           f"vs BENCH_simperf.json: {', '.join(regressions)}")
     print("If this machine is simply slower, re-record with: "
           "build/bench/bench_simperf  (updates the 'current' section)")
     sys.exit(1)
-print("\nsimperf OK: no metric more than 20% below the committed "
-      "record")
+print("\nsimperf OK: no tracked metric more than 15% below the "
+      "committed record")
 EOF
 simperf_status=$?
 set -e

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 
 namespace gpucc
 {
@@ -54,6 +56,28 @@ class Rng
 
     /** Raw 64-bit draw. */
     std::uint64_t raw() { return gen(); }
+
+    /**
+     * Mid-stream generator state as a portable text blob (the standard
+     * mt19937_64 stream format). Device/channel snapshots capture this
+     * so a forked run draws the exact continuation of the original
+     * stream.
+     */
+    std::string
+    saveState() const
+    {
+        std::ostringstream os;
+        os << gen;
+        return os.str();
+    }
+
+    /** Restore a state produced by saveState(). */
+    void
+    restoreState(const std::string &s)
+    {
+        std::istringstream is(s);
+        is >> gen;
+    }
 
   private:
     std::mt19937_64 gen;

@@ -26,6 +26,31 @@ TwoPartyHarness::setJitterUs(double us)
     }
 }
 
+HarnessCheckpoint
+TwoPartyHarness::checkpoint() const
+{
+    HarnessCheckpoint ck;
+    ck.device = dev->snapshot();
+    ck.trojan = trojan->captureState();
+    ck.spy = spy->captureState();
+    return ck;
+}
+
+void
+TwoPartyHarness::restore(const HarnessCheckpoint &ck)
+{
+    dev = gpu::Device::fork(ck.device);
+    GPUCC_ASSERT(dev->numStreams() >= 2,
+                 "harness checkpoint without trojan+spy streams");
+    // Seeds are irrelevant: restoreState overwrites the RNG position.
+    trojan = std::make_unique<gpu::HostContext>(*dev, 1);
+    trojan->restoreState(ck.trojan);
+    spy = std::make_unique<gpu::HostContext>(*dev, 2);
+    spy->restoreState(ck.spy);
+    tStream = &dev->stream(0);
+    sStream = &dev->stream(1);
+}
+
 LaunchPerBitChannel::LaunchPerBitChannel(const gpu::ArchParams &arch,
                                          const LaunchPerBitConfig &cfg_,
                                          std::string name)
@@ -60,6 +85,64 @@ LaunchPerBitChannel::runBit(bool bit)
     return decodeMetric(spy);
 }
 
+double
+LaunchPerBitChannel::runPreamble()
+{
+    // Calibration preamble: alternating known bits pick the threshold,
+    // exactly how an attacker pair would agree on one in the field.
+    Accumulator calZeros, calOnes;
+    BitVec preamble = alternatingBits(cfg.calibrationBits);
+    for (std::uint8_t b : preamble) {
+        double m = runBit(b != 0);
+        (b ? calOnes : calZeros).add(m);
+    }
+    GPUCC_ASSERT(calZeros.count() > 0 && calOnes.count() > 0,
+                 "calibration needs both symbols");
+    return separationThreshold(calZeros, calOnes);
+}
+
+double
+LaunchPerBitChannel::calibrate()
+{
+    if (!isSetup) {
+        setup();
+        isSetup = true;
+    }
+    calibratedThreshold = runPreamble();
+    return *calibratedThreshold;
+}
+
+LaunchPerBitChannel::Checkpoint
+LaunchPerBitChannel::checkpoint()
+{
+    GPUCC_ASSERT(calibratedThreshold.has_value(),
+                 "checkpoint() before calibrate()");
+    // Quiesce: post-sync cleanup events may still be queued, and the
+    // hosts' clocks already lead the device's (sync overhead), so
+    // draining the queue never moves them backwards.
+    parties->device().runUntilIdle();
+    return Checkpoint{parties->checkpoint(), *calibratedThreshold};
+}
+
+void
+LaunchPerBitChannel::restore(const Checkpoint &ck)
+{
+    GPUCC_ASSERT(!isSetup, "restore() on a channel that already ran");
+    // Run setup() against this channel's own fresh device first: setup
+    // is deterministic allocation, so every buffer lands at the same
+    // address it occupies inside the checkpointed device.
+    setup();
+    isSetup = true;
+    Addr constTop = parties->device().constAllocTop();
+    Addr globalTop = parties->device().globalAllocTop();
+    parties->restore(ck.harness);
+    GPUCC_ASSERT(parties->device().constAllocTop() == constTop &&
+                     parties->device().globalAllocTop() == globalTop,
+                 "%s: setup() allocation diverged from checkpoint",
+                 channelName.c_str());
+    calibratedThreshold = ck.threshold;
+}
+
 ChannelResult
 LaunchPerBitChannel::transmit(const BitVec &message)
 {
@@ -71,18 +154,10 @@ LaunchPerBitChannel::transmit(const BitVec &message)
     ChannelResult res;
     res.channelName = channelName;
     res.sent = message;
-
-    // Calibration preamble: alternating known bits pick the threshold,
-    // exactly how an attacker pair would agree on one in the field.
-    Accumulator calZeros, calOnes;
-    BitVec preamble = alternatingBits(cfg.calibrationBits);
-    for (std::uint8_t b : preamble) {
-        double m = runBit(b != 0);
-        (b ? calOnes : calZeros).add(m);
-    }
-    GPUCC_ASSERT(calZeros.count() > 0 && calOnes.count() > 0,
-                 "calibration needs both symbols");
-    res.threshold = separationThreshold(calZeros, calOnes);
+    // A calibrated channel (calibrate()/restore()) already agreed on a
+    // threshold; uncalibrated transmissions run the preamble inline.
+    res.threshold =
+        calibratedThreshold ? *calibratedThreshold : runPreamble();
 
     // Payload transmission.
     Tick windowStart = parties->spyHost().now();

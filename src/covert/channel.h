@@ -21,6 +21,7 @@
 #define GPUCC_COVERT_CHANNEL_H
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/bitstream.h"
@@ -53,6 +54,18 @@ struct ChannelResult
     RobustnessCounters robustness;
 };
 
+/**
+ * Frozen state of a quiescent two-party harness: the device snapshot
+ * plus both host applications' clocks and jitter-RNG positions.
+ * Immutable and cheap to copy (the device payload is shared).
+ */
+struct HarnessCheckpoint
+{
+    gpu::DeviceSnapshot device;
+    gpu::HostContext::State trojan;
+    gpu::HostContext::State spy;
+};
+
 /** Device plus two independent host applications (trojan and spy). */
 class TwoPartyHarness
 {
@@ -72,6 +85,17 @@ class TwoPartyHarness
 
     /** Set both applications' launch jitter (us); <0 keeps defaults. */
     void setJitterUs(double us);
+
+    /** Freeze the harness (device must be quiescent — run it dry). */
+    HarnessCheckpoint checkpoint() const;
+
+    /**
+     * Replace this harness's device with a fork of @p ck and restore
+     * both hosts to their checkpointed clocks and RNG positions. The
+     * previous device (and any addresses allocated on it) is destroyed;
+     * callers re-derive device pointers afterwards.
+     */
+    void restore(const HarnessCheckpoint &ck);
 
   private:
     std::unique_ptr<gpu::Device> dev;
@@ -114,9 +138,45 @@ class LaunchPerBitChannel
 
     /**
      * Transmit @p message: runs the calibration preamble, then one
-     * kernel pair per bit, and decodes the spy's latency metric.
+     * kernel pair per bit, and decodes the spy's latency metric. After
+     * calibrate() (or restore()), the preamble is skipped and the
+     * stored threshold reused.
      */
     ChannelResult transmit(const BitVec &message);
+
+    /**
+     * Post-calibration channel state: the harness checkpoint plus the
+     * agreed threshold. Forking per sweep cell from one of these skips
+     * device boot + setup + the calibration preamble.
+     */
+    struct Checkpoint
+    {
+        HarnessCheckpoint harness;
+        double threshold = 0.0;
+    };
+
+    /**
+     * Run setup and the calibration preamble only (the identical
+     * kernel-pair sequence transmit() would run) and store the
+     * threshold. @return the threshold.
+     */
+    double calibrate();
+
+    /** Freeze the calibrated channel. Requires calibrate() first. */
+    Checkpoint checkpoint();
+
+    /**
+     * Adopt @p ck on a freshly constructed channel with the same
+     * configuration: setup() runs on this channel's own device first
+     * (deterministic allocation reproduces the original addresses),
+     * then the device is replaced by a fork of the checkpoint.
+     * Afterwards transmit() skips calibration and evolves bit-for-bit
+     * like the original channel would have.
+     */
+    void restore(const Checkpoint &ck);
+
+    /** Calibrated threshold, when calibrate()/restore() ran. */
+    std::optional<double> threshold() const { return calibratedThreshold; }
 
     /** Channel name (tables/diagnostics). */
     const std::string &name() const { return channelName; }
@@ -150,11 +210,15 @@ class LaunchPerBitChannel
     /** Launch trojan+spy for one bit and return the decode metric. */
     double runBit(bool bit);
 
+    /** Run the alternating-bit preamble; @return the threshold. */
+    double runPreamble();
+
     gpu::ArchParams archParams;
     LaunchPerBitConfig cfg;
     std::string channelName;
     std::unique_ptr<TwoPartyHarness> parties;
     bool isSetup = false;
+    std::optional<double> calibratedThreshold;
 };
 
 /** Fill bandwidth/seconds fields of @p r from a tick window. */

@@ -32,6 +32,7 @@
 #include <map>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
 #include "gpu/kernel.h"
 
@@ -93,6 +94,40 @@ class BlockScheduler
     /** SM range assigned to @p kernelId under inter-SM partitioning;
      *  {0,0} when none is assigned yet. */
     std::pair<unsigned, unsigned> smRange(std::uint64_t kernelId) const;
+
+    /**
+     * Scheduler state that survives a quiescent point, for device
+     * snapshot/fork. The active/readmit kernel lists are transient (a
+     * quiescent device has none — snapshot() asserts this), so only the
+     * policy, partition assignments, placement cursor and statistics
+     * need to cross the fork.
+     */
+    struct State
+    {
+        MultiprogPolicy policy = MultiprogPolicy::Leftover;
+        std::map<std::uint64_t, std::pair<unsigned, unsigned>> ranges;
+        unsigned rrCursor = 0;
+        unsigned preemptCount = 0;
+    };
+
+    /** Capture state (requires no admitted/readmitted kernels). */
+    State
+    captureState() const
+    {
+        GPUCC_ASSERT(active.empty() && readmits.empty(),
+                     "block-scheduler snapshot with kernels in flight");
+        return State{policyKind, ranges, rrCursor, preemptCount};
+    }
+
+    /** Restore state captured from a quiescent scheduler. */
+    void
+    restoreState(const State &s)
+    {
+        policyKind = s.policy;
+        ranges = s.ranges;
+        rrCursor = s.rrCursor;
+        preemptCount = s.preemptCount;
+    }
 
   private:
     /** Policy-specific admission test for one block of @p k on @p sm. */

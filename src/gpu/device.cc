@@ -24,6 +24,7 @@ Device::Device(ArchParams arch) : params(std::move(arch))
     gmem = std::make_unique<mem::GlobalMemory>(params.gmem);
     for (unsigned i = 0; i < params.numSms; ++i)
         sms.push_back(std::make_unique<Sm>(*this, i));
+    warpUnitsBySm.assign(params.numSms, 0);
     blockSched = std::make_unique<BlockScheduler>(*this);
     registerDeviceMetrics();
     if (auto *session = sim::trace::TraceSession::global()) {
@@ -106,6 +107,7 @@ Device::attachTrace(sim::trace::TraceSession &session,
 {
     trace = session.makeShard(label);
     cmem->setTraceShard(trace);
+    recomputeFastPath();
 }
 
 void
@@ -201,9 +203,12 @@ Device::blockFinished(ThreadBlock &block)
     blockSched->blockRetired();
 
     // Reclaim the block after the current event unwinds: the finishing
-    // warp's coroutine frame lives inside it.
+    // warp's coroutine frame lives inside it. Pure reclamation commutes
+    // with anything, so it must not block the elision fast path.
     ThreadBlock *dead = &block;
+    noteNeutralScheduled();
     events().schedule(now(), [this, dead] {
+        noteNeutralFired();
         std::erase_if(blocks, [dead](const std::unique_ptr<ThreadBlock> &b) {
             return b.get() == dead;
         });
@@ -284,6 +289,120 @@ Device::allocGlobal(std::size_t bytes, std::size_t align)
     Addr base = globalBrk;
     globalBrk += bytes;
     return base;
+}
+
+Stream &
+Device::stream(unsigned i)
+{
+    GPUCC_ASSERT(i < streams.size(), "bad stream id %u", i);
+    return *streams[i];
+}
+
+/**
+ * Everything a fork needs to reproduce the source device at the
+ * snapshot point. Kernel copies keep their original stream pointer but
+ * it is never dereferenced; fork() re-clones them onto the new device's
+ * stream of the recorded id.
+ */
+struct DeviceSnapshot::Payload
+{
+    ArchParams arch;
+    sim::EventQueue::IdleState queue;
+    mem::ConstMemory::State cmem;
+    mem::GlobalMemory::State gmem;
+    std::vector<Sm::State> sms;
+    BlockScheduler::State blockSched;
+    unsigned numStreams = 0;
+    std::vector<std::unique_ptr<KernelInstance>> kernels;
+    std::vector<unsigned> kernelStreamIds;
+    std::uint64_t nextKernelId = 0;
+    Addr constBrk = 0;
+    Addr globalBrk = 0;
+    MitigationConfig mitigations;
+    std::string rngState;
+    bool elisionOn = true;
+};
+
+bool
+Device::quiescent() const
+{
+    if (!queue.empty() || !blocks.empty())
+        return false;
+    if (warpEntries != 0 || neutralEntries != 0)
+        return false;
+    for (std::uint32_t units : warpUnitsBySm) {
+        if (units != 0)
+            return false;
+    }
+    for (const auto &s : streams) {
+        if (!s->idle())
+            return false;
+    }
+    return true;
+}
+
+DeviceSnapshot
+Device::snapshot() const
+{
+    GPUCC_ASSERT(quiescent(),
+                 "snapshot() requires a quiescent device (run the event "
+                 "queue dry and let all kernels complete first)");
+    auto p = std::make_shared<DeviceSnapshot::Payload>();
+    p->arch = params;
+    p->queue = queue.idleState();
+    p->cmem = cmem->captureState();
+    p->gmem = gmem->captureState();
+    p->sms.reserve(sms.size());
+    for (const auto &s : sms)
+        p->sms.push_back(s->captureState());
+    p->blockSched = blockSched->captureState();
+    p->numStreams = static_cast<unsigned>(streams.size());
+    p->kernels.reserve(instances.size());
+    p->kernelStreamIds.reserve(instances.size());
+    for (const auto &k : instances) {
+        p->kernels.push_back(std::make_unique<KernelInstance>(*k));
+        p->kernelStreamIds.push_back(k->stream().id());
+    }
+    p->nextKernelId = nextKernelId;
+    p->constBrk = constBrk;
+    p->globalBrk = globalBrk;
+    p->mitigations = mitigationCfg;
+    p->rngState = rng.saveState();
+    p->elisionOn = elisionOn;
+
+    DeviceSnapshot snap;
+    snap.payload = std::move(p);
+    return snap;
+}
+
+std::unique_ptr<Device>
+Device::fork(const DeviceSnapshot &snap)
+{
+    GPUCC_ASSERT(snap.valid(), "fork() from an empty snapshot");
+    const DeviceSnapshot::Payload &p = *snap.payload;
+    auto dev = std::make_unique<Device>(p.arch);
+
+    dev->queue.restoreIdleState(p.queue);
+    dev->cmem->restoreState(p.cmem);
+    dev->gmem->restoreState(p.gmem);
+    GPUCC_ASSERT(p.sms.size() == dev->sms.size(),
+                 "fork(): SM count mismatch");
+    for (std::size_t i = 0; i < dev->sms.size(); ++i)
+        dev->sms[i]->restoreState(p.sms[i]);
+    dev->blockSched->restoreState(p.blockSched);
+    for (unsigned i = 0; i < p.numStreams; ++i)
+        dev->createStream();
+    for (std::size_t i = 0; i < p.kernels.size(); ++i) {
+        dev->instances.push_back(std::make_unique<KernelInstance>(
+            *p.kernels[i], dev->stream(p.kernelStreamIds[i])));
+    }
+    dev->nextKernelId = p.nextKernelId;
+    dev->constBrk = p.constBrk;
+    dev->globalBrk = p.globalBrk;
+    dev->rng.restoreState(p.rngState);
+    dev->elisionOn = p.elisionOn;
+    dev->setMitigations(p.mitigations);
+    return dev;
 }
 
 } // namespace gpucc::gpu

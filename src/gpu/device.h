@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/log.h"
 #include "common/metrics/metrics.h"
 #include "common/rng.h"
 #include "gpu/arch_params.h"
@@ -34,6 +35,31 @@ namespace gpucc::gpu
 {
 
 class ThreadBlock;
+class Device;
+
+/**
+ * Frozen state of a quiescent device (Device::snapshot()).
+ *
+ * The payload is immutable and shared: copying a snapshot is two
+ * pointer copies, and forking shares the global-memory word store
+ * copy-on-write (GlobalMemory unshares on first write). A snapshot
+ * stays valid after the source device is destroyed, so a sweep can
+ * boot + calibrate one prototype, snapshot it, drop it, and fork a
+ * fresh device per cell.
+ */
+class DeviceSnapshot
+{
+  public:
+    DeviceSnapshot() = default;
+
+    /** @return true once populated by Device::snapshot(). */
+    bool valid() const { return payload != nullptr; }
+
+  private:
+    friend class Device;
+    struct Payload;
+    std::shared_ptr<const Payload> payload;
+};
 
 /** A simulated GPGPU. */
 class Device
@@ -117,6 +143,46 @@ class Device
         return instances;
     }
 
+    /** Stream @p i in creation order. */
+    Stream &stream(unsigned i);
+
+    /** Number of streams created so far. */
+    unsigned numStreams() const
+    {
+        return static_cast<unsigned>(streams.size());
+    }
+
+    /** Current constant / global bump-allocator tops (snapshot checks). */
+    Addr constAllocTop() const { return constBrk; }
+    Addr globalAllocTop() const { return globalBrk; }
+
+    // ---- Snapshot / fork --------------------------------------------
+    //
+    // snapshot() freezes a *quiescent* device — event queue drained, no
+    // resident blocks, no in-flight warp wakeups, streams idle — into an
+    // immutable shared payload. fork() builds a brand-new device that
+    // is indistinguishable from the original at the snapshot point: the
+    // clock, event-queue ordering state (sequence counter and slab free
+    // lists, so future pendingEvents() orderings match), cache arrays
+    // and LRU clocks, FU-pool timelines, memories (words shared
+    // copy-on-write), scheduler cursors, RNG stream, allocator brks and
+    // completed-kernel records all carry over. Observability state does
+    // NOT: a fork starts with fresh metrics instruments and its own
+    // trace shard (attached at construction), so instruments never
+    // double-count across forks. verify/digest StateDigest over a fork
+    // equals the digest over the source, and stays equal under any
+    // identical sequence of future launches.
+
+    /** @return true when the device is at a snapshot-safe quiescent
+     *  point (queue drained, no blocks, streams idle). */
+    bool quiescent() const;
+
+    /** Capture the full device state. Asserts quiescent(). */
+    DeviceSnapshot snapshot() const;
+
+    /** Build a new device identical to @p snap's source at capture. */
+    static std::unique_ptr<Device> fork(const DeviceSnapshot &snap);
+
     /** Cycles between block placement and its warps starting. */
     static constexpr Cycle blockStartCycles = 100;
 
@@ -124,7 +190,111 @@ class Device
     const MitigationConfig &mitigations() const { return mitigationCfg; }
 
     /** Enable/disable mitigations (before launching kernels). */
-    void setMitigations(const MitigationConfig &cfg) { mitigationCfg = cfg; }
+    void setMitigations(const MitigationConfig &cfg)
+    {
+        mitigationCfg = cfg;
+        recomputeFastPath();
+    }
+
+    // ---- Event-elision fast path ------------------------------------
+    //
+    // A warp whose next wakeup provably cannot interleave with any
+    // pending event just advances the clock and keeps executing inline
+    // instead of bouncing through the event queue (WarpCtx::tryElide).
+    // The device keeps an exact census of pending *warp wakeups* so the
+    // guard can tell "only other-SM warps are pending" (their execution
+    // commutes with our SM-local work) apart from everything else.
+
+    /** One warp-resume event entered the queue for SM @p sm. */
+    void noteWarpEventScheduled(unsigned sm)
+    {
+        ++warpUnitsBySm[sm];
+        ++warpEntries;
+    }
+
+    /** A warp-resume event fired (counted pair of the above). */
+    void noteWarpEventFired(unsigned sm)
+    {
+        GPUCC_ASSERT(warpUnitsBySm[sm] > 0 && warpEntries > 0,
+                     "warp event census underflow on sm%u", sm);
+        --warpUnitsBySm[sm];
+        --warpEntries;
+    }
+
+    /** One queue entry will wake @p n warps on SM @p sm (block start). */
+    void noteWarpBatchScheduled(unsigned sm, unsigned n)
+    {
+        warpUnitsBySm[sm] += n;
+        ++warpEntries;
+    }
+
+    /** The batch entry fired; members are retired one by one below. */
+    void noteBatchEntryFired()
+    {
+        GPUCC_ASSERT(warpEntries > 0, "warp batch census underflow");
+        --warpEntries;
+    }
+
+    /** @p n warps on SM @p sm wait on an in-flight wakeup (barrier). */
+    void noteWarpWaitersAdded(unsigned sm, unsigned n)
+    {
+        warpUnitsBySm[sm] += n;
+    }
+
+    /** One warp of a batch/barrier wakeup is about to resume. */
+    void noteWarpUnitResumed(unsigned sm)
+    {
+        GPUCC_ASSERT(warpUnitsBySm[sm] > 0,
+                     "warp unit census underflow on sm%u", sm);
+        --warpUnitsBySm[sm];
+    }
+
+    /** Drop @p n never-to-fire units (block cancel). */
+    void noteWarpUnitsDropped(unsigned sm, unsigned n)
+    {
+        GPUCC_ASSERT(warpUnitsBySm[sm] >= n,
+                     "warp unit census underflow on sm%u", sm);
+        warpUnitsBySm[sm] -= n;
+    }
+
+    /** A pending event that commutes with everything (block cleanup). */
+    void noteNeutralScheduled() { ++neutralEntries; }
+
+    /** Counted pair of the above. */
+    void noteNeutralFired()
+    {
+        GPUCC_ASSERT(neutralEntries > 0, "neutral event census underflow");
+        --neutralEntries;
+    }
+
+    /**
+     * May a warp on SM @p sm advance its *local* clock to @p when and
+     * continue executing inline (WarpCtx::tryElide)? Yes when every
+     * pending event provably commutes with the warp's SM-local work:
+     * warp wakeups of other SMs only touch their own SM's schedulers
+     * and L1 (cross-SM ops force a queue re-entry first, see WarpCtx),
+     * and neutral events are pure reclamation. Non-commuting events
+     * (kernel arrivals, barrier releases, samplers, ...) only permit
+     * skips that complete strictly before they fire.
+     */
+    bool canElideTo(unsigned sm, Tick when)
+    {
+        if (!fastPathOk || !elisionOn)
+            return false;
+        // Any pending wakeup on our own SM — queued, or a virtual unit
+        // of an in-flight batch/barrier loop — shares our scheduler
+        // pools and L1, so its interleaving is observable: never skip.
+        if (warpUnitsBySm[sm] != 0)
+            return false;
+        if (queue.empty())
+            return true;
+        if (queue.pending() == warpEntries + neutralEntries)
+            return true;
+        return queue.nextTick() > when;
+    }
+
+    /** Kill switch for A/B timing comparisons in tests. */
+    void setElisionEnabled(bool on) { elisionOn = on; }
 
     /** Device-internal RNG (scheduler randomization, timer fuzz). */
     Rng &deviceRng() { return rng; }
@@ -138,7 +308,11 @@ class Device
     sim::fault::FaultInjector *faultHooks() const { return injector; }
 
     /** Attach/detach the fault injector (FaultInjector only). */
-    void setFaultHooks(sim::fault::FaultInjector *inj) { injector = inj; }
+    void setFaultHooks(sim::fault::FaultInjector *inj)
+    {
+        injector = inj;
+        recomputeFastPath();
+    }
 
     /**
      * The device's metrics registry. Every component registers its
@@ -173,6 +347,21 @@ class Device
     /** Register the device-wide aggregate gauges. */
     void registerDeviceMetrics();
 
+    /**
+     * Elision is only valid when nothing observes per-event execution
+     * order or draws RNG per operation: fault hooks reorder resumes,
+     * trace shards record stall spans, timer fuzz and randomized
+     * scheduler assignment consume the device RNG stream, and flushes
+     * between kernels order against concurrent accesses. Mitigation
+     * scenarios are rare and fidelity-critical, so any active
+     * mitigation simply runs fully event-driven.
+     */
+    void recomputeFastPath()
+    {
+        fastPathOk = injector == nullptr && trace == nullptr &&
+                     !mitigationCfg.any();
+    }
+
     /** Self-rescheduling interval sampler (see sampleMetricsEvery). */
     void scheduleMetricsSample(Tick period);
 
@@ -193,6 +382,13 @@ class Device
     sim::fault::FaultInjector *injector = nullptr;
     metrics::Registry registry;
     sim::trace::Shard *trace = nullptr;
+
+    // Pending-event census for the elision fast path (see above).
+    std::vector<std::uint32_t> warpUnitsBySm;
+    std::uint64_t warpEntries = 0;
+    std::uint64_t neutralEntries = 0;
+    bool fastPathOk = true;
+    bool elisionOn = true;
 };
 
 } // namespace gpucc::gpu

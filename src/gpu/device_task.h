@@ -17,6 +17,8 @@
 #include <exception>
 #include <utility>
 
+#include "sim/frame_arena.h"
+
 namespace gpucc::gpu
 {
 
@@ -29,6 +31,18 @@ class DeviceTask
     {
         T value{};
         std::coroutine_handle<> continuation;
+
+        static void *
+        operator new(std::size_t n)
+        {
+            return sim::FrameArena::allocate(n);
+        }
+
+        static void
+        operator delete(void *p) noexcept
+        {
+            sim::FrameArena::deallocate(p);
+        }
 
         DeviceTask
         get_return_object()
@@ -99,6 +113,18 @@ class DeviceTask<void>
     struct promise_type
     {
         std::coroutine_handle<> continuation;
+
+        static void *
+        operator new(std::size_t n)
+        {
+            return sim::FrameArena::allocate(n);
+        }
+
+        static void
+        operator delete(void *p) noexcept
+        {
+            sim::FrameArena::deallocate(p);
+        }
 
         DeviceTask
         get_return_object()

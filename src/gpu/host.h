@@ -12,6 +12,7 @@
 #define GPUCC_GPU_HOST_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -62,6 +63,33 @@ class HostContext
 
     /** Underlying device. */
     Device &device() { return *dev; }
+
+    /**
+     * Host-side state for channel checkpoint/restore: the host clock,
+     * the jitter amplitude and the exact position of the jitter RNG
+     * stream, so a restored host draws the same jitter sequence the
+     * original would have.
+     */
+    struct State
+    {
+        Tick hostTick = 0;
+        double jitterUs = 0.0;
+        std::string rngState;
+    };
+
+    /** Capture host state (device state is captured separately). */
+    State captureState() const
+    {
+        return State{hostTick, jitterUs, rng.saveState()};
+    }
+
+    /** Restore state captured from a same-role host. */
+    void restoreState(const State &s)
+    {
+        hostTick = s.hostTick;
+        jitterUs = s.jitterUs;
+        rng.restoreState(s.rngState);
+    }
 
   private:
     Device *dev;

@@ -22,6 +22,15 @@ KernelInstance::KernelInstance(std::uint64_t id, KernelLaunch launch,
         pending.push_back(b);
 }
 
+KernelInstance::KernelInstance(const KernelInstance &src, Stream &stream)
+    : kernelId(src.kernelId), launchDesc(src.launchDesc),
+      owningStream(&stream), pending(src.pending),
+      blocksDone(src.blocksDone), doneFlag(src.doneFlag),
+      started(src.started), arrival(src.arrival), start(src.start),
+      end(src.end), outputs(src.outputs), records(src.records)
+{
+}
+
 bool
 KernelInstance::fullyPlaced() const
 {

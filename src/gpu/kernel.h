@@ -66,6 +66,16 @@ class KernelInstance
   public:
     KernelInstance(std::uint64_t id, KernelLaunch launch, Stream &stream);
 
+    /**
+     * Rebuild @p src inside a forked device (snapshot/fork): every
+     * record — outputs, block records, timing — is copied verbatim and
+     * only the stream reference is re-pointed into the new device.
+     * Snapshots are taken at quiescent points, so @p src is a completed
+     * kernel and its (possibly channel-owned) body closure is inert
+     * history that is never invoked again.
+     */
+    KernelInstance(const KernelInstance &src, Stream &stream);
+
     /** Unique launch id (monotonic per device). */
     std::uint64_t id() const { return kernelId; }
 

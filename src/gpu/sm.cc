@@ -163,4 +163,29 @@ Sm::takeSchedulerSlot()
     return s;
 }
 
+Sm::State
+Sm::captureState() const
+{
+    State s;
+    s.occ = occ;
+    s.perKernel = perKernel;
+    s.warpRR = warpRR;
+    s.schedulers.reserve(schedulers.size());
+    for (const auto &sched : schedulers)
+        s.schedulers.push_back(sched->captureState());
+    return s;
+}
+
+void
+Sm::restoreState(const State &s)
+{
+    GPUCC_ASSERT(s.schedulers.size() == schedulers.size(),
+                 "sm%u: scheduler count mismatch in restore", smId);
+    occ = s.occ;
+    perKernel = s.perKernel;
+    warpRR = s.warpRR;
+    for (std::size_t i = 0; i < schedulers.size(); ++i)
+        schedulers[i]->restoreState(s.schedulers[i]);
+}
+
 } // namespace gpucc::gpu

@@ -101,6 +101,25 @@ class Sm
      */
     unsigned takeSchedulerSlot();
 
+    /**
+     * Complete mutable state, for device snapshot/fork: occupancy, the
+     * per-kernel attribution map, the cross-block scheduler round-robin
+     * cursor, and every scheduler's pipeline timelines.
+     */
+    struct State
+    {
+        SmOccupancy occ;
+        std::map<std::uint64_t, SmOccupancy> perKernel;
+        unsigned warpRR = 0;
+        std::vector<WarpScheduler::State> schedulers;
+    };
+
+    /** Capture the full SM state. */
+    State captureState() const;
+
+    /** Restore state captured from a same-architecture SM. */
+    void restoreState(const State &s);
+
   private:
     Device *dev;
     unsigned smId;

@@ -40,6 +40,9 @@ class Stream
     /** @return true when a kernel from this stream is on the device. */
     bool busy() const { return running != nullptr; }
 
+    /** @return true when nothing is running or queued (snapshot gate). */
+    bool idle() const { return running == nullptr && waiting.empty(); }
+
   private:
     void dispatchHead();
 

@@ -1,5 +1,7 @@
 #include "gpu/thread_block.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "gpu/device.h"
 #include "gpu/sm.h"
@@ -65,28 +67,63 @@ ThreadBlock::start(Tick startTick)
     kernelInst->blockRecords()[recordIdx].startTick = startTick;
     kernelInst->noteStart(startTick);
     Device &dev = hostSm->device();
-    for (auto &w : warps) {
-        Warp *wp = w.get();
-        dev.events().schedule(startTick, [wp] { wp->resumeNow(); });
-    }
+    // One dispatch wakes every warp of the block, in warp order — the
+    // same order N per-warp events would fire. Warps finishing
+    // synchronously are safe: block teardown is itself a deferred
+    // event, so `warps` cannot be destroyed mid-loop. The batch counts
+    // as n pending wakeups in the elision census; members retire one by
+    // one so a warp resumed early still sees its unstarted siblings.
+    dev.noteWarpBatchScheduled(hostSm->id(), n);
+    dev.events().schedule(startTick, [this] {
+        Device &d = hostSm->device();
+        d.noteBatchEntryFired();
+        for (auto &w : warps) {
+            d.noteWarpUnitResumed(hostSm->id());
+            w->resumeNow();
+        }
+    });
 }
 
 void
-ThreadBlock::warpFinished(Warp &)
+ThreadBlock::warpFinished(Warp &warp)
 {
     ++warpsDone;
     GPUCC_ASSERT(warpsDone <= warps.size(), "too many finished warps");
+    lastFinishTick = std::max(lastFinishTick, warp.context().effNow());
     if (warpsDone == warps.size()) {
         Device &dev = hostSm->device();
-        kernelInst->blockRecords()[recordIdx].endTick = dev.now();
-        dev.blockFinished(*this);
+        kernelInst->blockRecords()[recordIdx].endTick = lastFinishTick;
+        if (lastFinishTick <= dev.now()) {
+            dev.blockFinished(*this);
+            return;
+        }
+        // A ran-ahead warp finished logically in the future: retire the
+        // block when the global clock gets there, so occupancy release,
+        // follow-up placement, and stream completion happen at the
+        // correct time. With no blocks waiting for placement, retirement
+        // only touches this SM (plus same-tick stream bookkeeping that
+        // executes inline at the right tick once the event fires), so
+        // the event counts as an own-SM warp wakeup and other SMs keep
+        // eliding past it; otherwise it is an ordinary ordering event
+        // that fences elision, since it may place blocks anywhere.
+        const bool counted = dev.blockScheduler().pendingKernels() == 0;
+        if (counted)
+            dev.noteWarpEventScheduled(hostSm->id());
+        dev.events().schedule(lastFinishTick, [this, counted] {
+            Device &d = hostSm->device();
+            if (counted)
+                d.noteWarpEventFired(hostSm->id());
+            d.blockFinished(*this);
+        });
     }
 }
 
 void
-ThreadBlock::arriveBarrier(Warp &warp, std::coroutine_handle<> h)
+ThreadBlock::arriveBarrier(Warp &warp, std::coroutine_handle<> h,
+                           Tick arrival)
 {
     barrierWaiters.emplace_back(&warp, h);
+    barrierArriveTick = std::max(barrierArriveTick, arrival);
     GPUCC_ASSERT(barrierWaiters.size() <= warps.size() - warpsDone,
                  "barrier overflow in block %u of %s", blockId,
                  kernelInst->name().c_str());
@@ -95,13 +132,27 @@ ThreadBlock::arriveBarrier(Warp &warp, std::coroutine_handle<> h)
     // divergent exits around __syncthreads(); our kernels honor that).
     if (barrierWaiters.size() == warps.size() - warpsDone) {
         Device &dev = hostSm->device();
-        Tick release = dev.now() + cyclesToTicks(barrierCycles);
-        auto woken = std::move(barrierWaiters);
+        Tick release = barrierArriveTick + cyclesToTicks(barrierCycles);
+        barrierArriveTick = 0;
+        GPUCC_ASSERT(pendingRelease.empty(),
+                     "overlapping barrier releases in block %u", blockId);
+        pendingRelease = std::move(barrierWaiters);
         barrierWaiters.clear();
-        for (auto [w, wh] : woken) {
-            dev.events().schedule(release,
-                                  [w, wh] { w->resumeHandle(wh); });
-        }
+        dev.noteWarpWaitersAdded(
+            hostSm->id(), static_cast<unsigned>(pendingRelease.size()));
+        // Batched release: one dispatch resumes every waiter in arrival
+        // order. The move below keeps the loop safe if the last resumed
+        // warp completes the *next* barrier while we are still here.
+        dev.events().schedule(release, [this] {
+            auto woken = std::move(pendingRelease);
+            pendingRelease.clear();
+            Device &d = hostSm->device();
+            for (auto [w, wh] : woken) {
+                d.noteWarpUnitResumed(hostSm->id());
+                w->clearRanAhead();
+                w->resumeHandle(wh);
+            }
+        });
     }
 }
 
@@ -115,6 +166,14 @@ ThreadBlock::cancel(Tick when)
             w->cancel();
     }
     barrierWaiters.clear();
+    barrierArriveTick = 0;
+    if (!pendingRelease.empty()) {
+        // The release event still fires but will wake nobody; retire
+        // its census units here so the count stays exact.
+        hostSm->device().noteWarpUnitsDropped(
+            hostSm->id(), static_cast<unsigned>(pendingRelease.size()));
+        pendingRelease.clear();
+    }
     kernelInst->blockRecords()[recordIdx].endTick = when;
 }
 

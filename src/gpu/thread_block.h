@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "gpu/kernel.h"
+#include "sim/frame_arena.h"
 
 namespace gpucc::gpu
 {
@@ -36,6 +37,20 @@ class ThreadBlock
     ThreadBlock(const ThreadBlock &) = delete;
     ThreadBlock &operator=(const ThreadBlock &) = delete;
 
+    // Blocks churn once per kernel launch; recycle their storage
+    // through the thread-local arena, like warps and frames.
+    static void *
+    operator new(std::size_t n)
+    {
+        return sim::FrameArena::allocate(n);
+    }
+
+    static void
+    operator delete(void *p) noexcept
+    {
+        sim::FrameArena::deallocate(p);
+    }
+
     /**
      * Create the warps (round-robin scheduler assignment) and schedule
      * their first execution at @p startTick.
@@ -55,8 +70,13 @@ class ThreadBlock
     /** @return true once preempted. */
     bool cancelled() const { return cancelledFlag; }
 
-    /** Register @p warp (suspended at @p h) at the block barrier. */
-    void arriveBarrier(Warp &warp, std::coroutine_handle<> h);
+    /**
+     * Register @p warp (suspended at @p h) at the block barrier.
+     * @p arrival is the warp's logical arrival time (WarpCtx::effNow()),
+     * which can be ahead of the global clock for a ran-ahead warp; the
+     * release is charged from the latest arrival.
+     */
+    void arriveBarrier(Warp &warp, std::coroutine_handle<> h, Tick arrival);
 
     /** Owning kernel. */
     KernelInstance &kernel() { return *kernelInst; }
@@ -88,7 +108,11 @@ class ThreadBlock
     Sm *hostSm;
     std::vector<std::unique_ptr<Warp>> warps;
     std::vector<std::pair<Warp *, std::coroutine_handle<>>> barrierWaiters;
+    /** Waiters handed to an in-flight batched barrier-release event. */
+    std::vector<std::pair<Warp *, std::coroutine_handle<>>> pendingRelease;
     unsigned warpsDone = 0;
+    Tick barrierArriveTick = 0; //!< latest logical arrival this round
+    Tick lastFinishTick = 0;    //!< latest logical warp-finish time
     std::size_t recordIdx = 0;
     bool cancelledFlag = false;
     std::vector<std::uint32_t> smem; //!< functional shared-memory words

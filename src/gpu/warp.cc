@@ -1,6 +1,7 @@
 #include "gpu/warp.h"
 
 #include "common/log.h"
+#include "gpu/device.h"
 #include "gpu/sm.h"
 #include "gpu/thread_block.h"
 
@@ -8,10 +9,9 @@ namespace gpucc::gpu
 {
 
 Warp::Warp(ThreadBlock &block, unsigned warpInBlock, unsigned schedulerId)
-    : parent(&block), warpIdx(warpInBlock), schedId(schedulerId)
+    : parent(&block), warpIdx(warpInBlock), schedId(schedulerId),
+      ctx(block.sm().device(), block.sm(), block, *this)
 {
-    ctx = std::make_unique<WarpCtx>(block.sm().device(), block.sm(), block,
-                                    *this);
 }
 
 Warp::~Warp() = default;
@@ -20,7 +20,7 @@ void
 Warp::bindBody()
 {
     GPUCC_ASSERT(!program.valid(), "warp body already bound");
-    program = parent->kernel().body()(*ctx);
+    program = parent->kernel().body()(ctx);
     GPUCC_ASSERT(program.valid(), "kernel body returned empty coroutine");
 }
 
@@ -29,6 +29,14 @@ Warp::resumeNow()
 {
     GPUCC_ASSERT(program.valid(), "warp has no body");
     resumeHandle(program.handle());
+}
+
+void
+Warp::resumeFromEvent(std::coroutine_handle<> h)
+{
+    ctx.device().noteWarpEventFired(ctx.smid());
+    clearRanAhead();
+    resumeHandle(h);
 }
 
 void

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "gpu/warp_ctx.h"
 #include "gpu/warp_program.h"
+#include "sim/frame_arena.h"
 
 namespace gpucc::gpu
 {
@@ -43,6 +44,20 @@ class Warp
     Warp(ThreadBlock &block, unsigned warpInBlock, unsigned schedulerId);
     ~Warp();
 
+    // Warps churn once per kernel launch; recycle their storage through
+    // the same thread-local arena as the coroutine frames.
+    static void *
+    operator new(std::size_t n)
+    {
+        return sim::FrameArena::allocate(n);
+    }
+
+    static void
+    operator delete(void *p) noexcept
+    {
+        sim::FrameArena::deallocate(p);
+    }
+
     Warp(const Warp &) = delete;
     Warp &operator=(const Warp &) = delete;
 
@@ -57,6 +72,29 @@ class Warp
      * body or a nested DeviceTask) and detect body completion.
      */
     void resumeHandle(std::coroutine_handle<> h);
+
+    /**
+     * Resume from a counted per-warp queue event: retires the device's
+     * pending-wakeup census entry and clears the ran-ahead flag (a
+     * queue-ordered resume is by definition back in FIFO position).
+     */
+    void resumeFromEvent(std::coroutine_handle<> h);
+
+    /**
+     * The warp advanced its local clock inline past pending wakeups of
+     * other SMs (elision fast path). While set, operations that leave
+     * the SM re-enter the event queue before executing so cross-SM state
+     * is still mutated in global FIFO order. Clearing the flag also
+     * drops the warp-local ahead-clock: it is only called at points
+     * where the global clock caught up with the warp's logical time.
+     */
+    bool ranAhead() const { return ranAheadFlag; }
+    void setRanAhead() { ranAheadFlag = true; }
+    void clearRanAhead()
+    {
+        ranAheadFlag = false;
+        ctx.resetAheadClock();
+    }
 
     /** Mark the warp as parked in the block barrier. */
     void parkInBarrier() { state = WarpState::InBarrier; }
@@ -86,7 +124,7 @@ class Warp
     ThreadBlock &block() { return *parent; }
 
     /** Device-side context. */
-    WarpCtx &context() { return *ctx; }
+    WarpCtx &context() { return ctx; }
 
   private:
     ThreadBlock *parent;
@@ -94,7 +132,8 @@ class Warp
     unsigned schedId;
     WarpState state = WarpState::Created;
     bool cancelledFlag = false;
-    std::unique_ptr<WarpCtx> ctx;
+    bool ranAheadFlag = false;
+    WarpCtx ctx; //!< embedded: one allocation per warp, not two
     WarpProgram program;
 };
 

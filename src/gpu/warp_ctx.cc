@@ -18,9 +18,61 @@ WarpCtx::WarpCtx(Device &dev_, Sm &sm_, ThreadBlock &block_, Warp &warp_)
 {
 }
 
+bool
+WarpCtx::Await::await_ready() const noexcept
+{
+    // SM-local operations already executed eagerly (their reservations
+    // only touch this SM's scheduler pools), so the only question is
+    // whether the wait until `when` can skip the queue.
+    return ctx->tryElide(when);
+}
+
 void
 WarpCtx::Await::await_suspend(std::coroutine_handle<> h) const
 {
+    ctx->scheduleResume(h, when);
+}
+
+bool
+WarpCtx::LoadAwait::await_ready() noexcept
+{
+    // A ran-ahead warp may only keep executing inline while it stays on
+    // its own SM. A probe-verified L1 hit qualifies; anything that
+    // would forward to the shared L2 first re-enters the queue so
+    // cross-SM state still mutates in global FIFO order.
+    if (ctx->mustYieldCrossSm() && !ctx->probeL1Hit(addr))
+        return false;
+    compute();
+    return ctx->tryElide(when);
+}
+
+void
+WarpCtx::LoadAwait::await_suspend(std::coroutine_handle<> h) noexcept
+{
+    if (!computed) {
+        ctx->scheduleReentry(this, h);
+        return;
+    }
+    ctx->scheduleResume(h, when);
+}
+
+bool
+WarpCtx::GmemAwait::await_ready() noexcept
+{
+    // Global memory is always cross-SM: a ran-ahead warp yields first.
+    if (ctx->mustYieldCrossSm())
+        return false;
+    compute();
+    return ctx->tryElide(when);
+}
+
+void
+WarpCtx::GmemAwait::await_suspend(std::coroutine_handle<> h) noexcept
+{
+    if (!computed) {
+        ctx->scheduleReentry(this, h);
+        return;
+    }
     ctx->scheduleResume(h, when);
 }
 
@@ -51,14 +103,81 @@ WarpCtx::scheduleResume(std::coroutine_handle<> h, Tick when) const
         }
     }
     Warp *w = warpPtr;
-    dev->events().schedule(when, [w, h] { w->resumeHandle(h); });
+    dev->noteWarpEventScheduled(smPtr->id());
+    dev->events().schedule(when, [w, h] { w->resumeFromEvent(h); });
+}
+
+Tick
+WarpCtx::effNow() const
+{
+    return std::max(dev->now(), aheadTick);
+}
+
+bool
+WarpCtx::tryElide(Tick when)
+{
+    if (!dev->canElideTo(smPtr->id(), when))
+        return false;
+    aheadTick = when;
+    warpPtr->setRanAhead();
+    return true;
+}
+
+bool
+WarpCtx::mustYieldCrossSm() const
+{
+    if (!warpPtr->ranAhead())
+        return false;
+    const sim::EventQueue &q = dev->events();
+    return !q.empty() && q.nextTick() <= effNow();
+}
+
+bool
+WarpCtx::probeL1Hit(Addr addr) const
+{
+    return dev->constMem().l1Cache(smPtr->id()).probe(addr);
+}
+
+/**
+ * Shared tail of the two reentry overloads: count the event as a warp
+ * wakeup, and on fire restore FIFO position (clear ran-ahead), run the
+ * deferred computation, then either elide onward or suspend normally.
+ */
+template <class AwaitT>
+void
+WarpCtx::reentryImpl(AwaitT *aw, std::coroutine_handle<> h)
+{
+    dev->noteWarpEventScheduled(smPtr->id());
+    dev->events().schedule(effNow(), [aw, h] {
+        WarpCtx *c = aw->ctx;
+        c->dev->noteWarpEventFired(c->smPtr->id());
+        c->warpPtr->clearRanAhead();
+        aw->compute();
+        if (c->tryElide(aw->when)) {
+            c->warpPtr->resumeHandle(h);
+            return;
+        }
+        c->scheduleResume(h, aw->when);
+    });
+}
+
+void
+WarpCtx::scheduleReentry(LoadAwait *aw, std::coroutine_handle<> h)
+{
+    reentryImpl(aw, h);
+}
+
+void
+WarpCtx::scheduleReentry(GmemAwait *aw, std::coroutine_handle<> h)
+{
+    reentryImpl(aw, h);
 }
 
 void
 WarpCtx::enterBarrier(std::coroutine_handle<> h) const
 {
     warpPtr->parkInBarrier();
-    blockPtr->arriveBarrier(*warpPtr, h);
+    blockPtr->arriveBarrier(*warpPtr, h, effNow());
 }
 
 Tick
@@ -129,7 +248,7 @@ WarpCtx::Await
 WarpCtx::clock()
 {
     const ArchParams &arch = dev->arch();
-    Tick now = dev->now();
+    Tick now = effNow();
     Tick start = issueDispatch(now);
     Tick done = start + cyclesToTicks(arch.clockReadCycles);
     Cycle q = arch.clockQuantumCycles ? arch.clockQuantumCycles : 1;
@@ -182,7 +301,7 @@ WarpCtx::threadId(unsigned lane) const
 WarpCtx::Await
 WarpCtx::op(OpClass opClass)
 {
-    Tick now = dev->now();
+    Tick now = effNow();
     Tick done = issueOp(opClass, now);
     // Round to the nearest cycle: sub-cycle issue occupancies would
     // otherwise truncate away (e.g. Kepler FAdd at 5.67 cycles).
@@ -193,20 +312,22 @@ WarpCtx::op(OpClass opClass)
 WarpCtx::Await
 WarpCtx::sleep(Cycle cycles)
 {
-    Tick now = dev->now();
+    Tick now = effNow();
     return Await(*this, now + cyclesToTicks(cycles), cycles);
 }
 
-WarpCtx::Await
-WarpCtx::constLoad(Addr addr)
+void
+WarpCtx::LoadAwait::compute() noexcept
 {
-    Tick now = dev->now();
-    Tick start = issueDispatch(now);
-    int app = static_cast<int>(blockPtr->kernel().stream().id());
-    auto res = dev->constMem().access(smPtr->id(), addr, start,
-                                      partitionDomain(), app);
-    return Await(*this, res.completion,
-                 fuzzLatency(ticksToCycles(res.completion - now)));
+    WarpCtx &c = *ctx;
+    Tick now = c.effNow();
+    Tick start = c.issueDispatch(now);
+    int app = static_cast<int>(c.blockPtr->kernel().stream().id());
+    auto res = c.dev->constMem().access(c.smPtr->id(), addr, start,
+                                        c.partitionDomain(), app);
+    when = res.completion;
+    result = c.fuzzLatency(ticksToCycles(res.completion - now));
+    computed = true;
 }
 
 DeviceTask<std::uint64_t>
@@ -219,50 +340,39 @@ WarpCtx::constLoadSeq(std::vector<Addr> addrs)
     co_return total;
 }
 
-WarpCtx::Await
-WarpCtx::atomicAdd(const std::vector<Addr> &laneAddrs, std::uint64_t value)
+void
+WarpCtx::GmemAwait::compute() noexcept
 {
-    GPUCC_ASSERT(!laneAddrs.empty(), "empty atomic address list");
-    Tick now = dev->now();
-    Tick start = issueDispatch(now);
-    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
+    WarpCtx &c = *ctx;
+    GPUCC_ASSERT(!laneAddrs->empty(), "empty global-memory address list");
+    Tick now = c.effNow();
+    Tick start = c.issueDispatch(now);
+    auto &sched = c.smPtr->scheduler(c.warpPtr->schedulerId());
     auto l = sched.port(FuType::LDST).acquire(start,
                                               cyclesToTicks(Cycle(1)));
-    Tick done = dev->globalMem().atomicAdd(laneAddrs, value, l.serviceEnd);
-    if (auto *tr = dev->traceShard();
-        tr && tr->wants(sim::trace::Cat::Atomic)) {
-        std::uint32_t tid = 4000 + smPtr->id();
-        tr->nameRow(tid, strfmt("sm%u atomics", smPtr->id()));
-        tr->span(sim::trace::Cat::Atomic, tid, "atomicAdd", now, done,
-                 "lanes", laneAddrs.size());
+    Tick done = 0;
+    switch (kind) {
+    case Kind::AtomicAdd:
+        done = c.dev->globalMem().atomicAdd(*laneAddrs, value,
+                                            l.serviceEnd);
+        if (auto *tr = c.dev->traceShard();
+            tr && tr->wants(sim::trace::Cat::Atomic)) {
+            std::uint32_t tid = 4000 + c.smPtr->id();
+            tr->nameRow(tid, strfmt("sm%u atomics", c.smPtr->id()));
+            tr->span(sim::trace::Cat::Atomic, tid, "atomicAdd", now,
+                     done, "lanes", laneAddrs->size());
+        }
+        break;
+    case Kind::Load:
+        done = c.dev->globalMem().load(*laneAddrs, l.serviceEnd);
+        break;
+    case Kind::Store:
+        done = c.dev->globalMem().store(*laneAddrs, l.serviceEnd);
+        break;
     }
-    return Await(*this, done, ticksToCycles(done - now));
-}
-
-WarpCtx::Await
-WarpCtx::globalLoad(const std::vector<Addr> &laneAddrs)
-{
-    GPUCC_ASSERT(!laneAddrs.empty(), "empty load address list");
-    Tick now = dev->now();
-    Tick start = issueDispatch(now);
-    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
-    auto l = sched.port(FuType::LDST).acquire(start,
-                                              cyclesToTicks(Cycle(1)));
-    Tick done = dev->globalMem().load(laneAddrs, l.serviceEnd);
-    return Await(*this, done, ticksToCycles(done - now));
-}
-
-WarpCtx::Await
-WarpCtx::globalStore(const std::vector<Addr> &laneAddrs)
-{
-    GPUCC_ASSERT(!laneAddrs.empty(), "empty store address list");
-    Tick now = dev->now();
-    Tick start = issueDispatch(now);
-    auto &sched = smPtr->scheduler(warpPtr->schedulerId());
-    auto l = sched.port(FuType::LDST).acquire(start,
-                                              cyclesToTicks(Cycle(1)));
-    Tick done = dev->globalMem().store(laneAddrs, l.serviceEnd);
-    return Await(*this, done, ticksToCycles(done - now));
+    when = done;
+    result = ticksToCycles(done - now);
+    computed = true;
 }
 
 unsigned
@@ -283,7 +393,7 @@ WarpCtx::sharedAccess(const std::vector<Addr> &laneOffsets)
 {
     GPUCC_ASSERT(!laneOffsets.empty(), "empty shared-memory access");
     const ArchParams &arch = dev->arch();
-    Tick now = dev->now();
+    Tick now = effNow();
     Tick start = issueDispatch(now);
     // Bank conflicts serialize the lanes *within this warp's access*:
     // the replays occupy the warp, not a shared structure, which is why

@@ -34,7 +34,13 @@ class WarpCtx
   public:
     WarpCtx(Device &dev, Sm &sm, ThreadBlock &block, Warp &warp);
 
-    /** Generic awaitable produced by timed device operations. */
+    /**
+     * Generic awaitable produced by timed SM-local operations (compute,
+     * sleep, clock, shared memory, L1-resolved loads). When the event
+     * queue proves no foreign work can interleave before the wakeup
+     * tick, await_ready() advances the clock and the warp continues
+     * inline — the common case in steady-state channel loops.
+     */
     class Await
     {
       public:
@@ -43,7 +49,7 @@ class WarpCtx
         {
         }
 
-        bool await_ready() const noexcept { return false; }
+        bool await_ready() const noexcept;
         void await_suspend(std::coroutine_handle<> h) const;
         std::uint64_t await_resume() const noexcept { return result; }
 
@@ -51,6 +57,75 @@ class WarpCtx
         WarpCtx *ctx;
         Tick when;
         std::uint64_t result;
+    };
+
+    /**
+     * Awaitable for constLoad(). Computation is deferred to the await
+     * so a warp that ran ahead of same-tick peers re-enters the event
+     * queue (restoring global FIFO order) before an access that could
+     * leave its SM; a probe-verified L1 hit stays on the inline path.
+     */
+    class LoadAwait
+    {
+      public:
+        LoadAwait(WarpCtx &c, Addr a) : ctx(&c), addr(a) {}
+
+        bool await_ready() noexcept;
+        void await_suspend(std::coroutine_handle<> h) noexcept;
+        std::uint64_t await_resume() const noexcept { return result; }
+
+      private:
+        friend class WarpCtx;
+
+        /** Issue dispatch + cache access; sets when/result. */
+        void compute() noexcept;
+
+        WarpCtx *ctx;
+        Addr addr;
+        Tick when = 0;
+        std::uint64_t result = 0;
+        bool computed = false;
+    };
+
+    /**
+     * Awaitable for the global-memory operations (atomics, loads,
+     * stores). Always cross-SM, so a ran-ahead warp re-enters the queue
+     * before the access executes. The lane vector is borrowed from the
+     * co_await full-expression, which outlives any suspension.
+     */
+    class GmemAwait
+    {
+      public:
+        enum class Kind : std::uint8_t
+        {
+            AtomicAdd,
+            Load,
+            Store,
+        };
+
+        GmemAwait(WarpCtx &c, Kind k, const std::vector<Addr> &lanes,
+                  std::uint64_t v = 0)
+            : ctx(&c), laneAddrs(&lanes), value(v), kind(k)
+        {
+        }
+
+        bool await_ready() noexcept;
+        void await_suspend(std::coroutine_handle<> h) noexcept;
+        std::uint64_t await_resume() const noexcept { return result; }
+
+      private:
+        friend class WarpCtx;
+
+        /** Issue dispatch + LDST port + memory op; sets when/result. */
+        void compute() noexcept;
+
+        WarpCtx *ctx;
+        const std::vector<Addr> *laneAddrs;
+        std::uint64_t value;
+        Tick when = 0;
+        std::uint64_t result = 0;
+        Kind kind;
+        bool computed = false;
     };
 
     /** Awaitable for __syncthreads(); resumed by the block barrier. */
@@ -115,7 +190,7 @@ class WarpCtx
     // ---- Constant memory ----------------------------------------------
 
     /** Broadcast load of one constant address; result = latency cycles. */
-    Await constLoad(Addr addr);
+    LoadAwait constLoad(Addr addr) { return LoadAwait(*this, addr); }
 
     /**
      * Dependent sequence of constant loads (the strided prime/probe
@@ -133,14 +208,24 @@ class WarpCtx
     /**
      * Warp-wide atomic add; per-lane addresses. Result = latency cycles.
      */
-    Await atomicAdd(const std::vector<Addr> &laneAddrs,
-                    std::uint64_t value = 1);
+    GmemAwait atomicAdd(const std::vector<Addr> &laneAddrs,
+                        std::uint64_t value = 1)
+    {
+        return GmemAwait(*this, GmemAwait::Kind::AtomicAdd, laneAddrs,
+                         value);
+    }
 
     /** Warp-wide global load; result = latency cycles. */
-    Await globalLoad(const std::vector<Addr> &laneAddrs);
+    GmemAwait globalLoad(const std::vector<Addr> &laneAddrs)
+    {
+        return GmemAwait(*this, GmemAwait::Kind::Load, laneAddrs);
+    }
 
     /** Warp-wide global store; result = latency cycles. */
-    Await globalStore(const std::vector<Addr> &laneAddrs);
+    GmemAwait globalStore(const std::vector<Addr> &laneAddrs)
+    {
+        return GmemAwait(*this, GmemAwait::Kind::Store, laneAddrs);
+    }
 
     // ---- Shared memory ---------------------------------------------------
 
@@ -178,6 +263,18 @@ class WarpCtx
     /** Owning device (characterization helpers peek at caches). */
     Device &device() { return *dev; }
 
+    /**
+     * The warp's logical time: the global clock, or the warp-local
+     * ahead-clock when the elision fast path let this warp run past
+     * pending events of other SMs. Every timed operation computes from
+     * effNow(), so a ran-ahead warp keeps accumulating correct latency
+     * while the global clock stays behind for its peers.
+     */
+    Tick effNow() const;
+
+    /** Drop the warp-local ahead-clock (queue-ordered resume points). */
+    void resetAheadClock() { aheadTick = 0; }
+
   private:
     friend class Await;
     friend class BarrierAwait;
@@ -188,6 +285,39 @@ class WarpCtx
      * @p when.
      */
     void scheduleResume(std::coroutine_handle<> h, Tick when) const;
+
+    /**
+     * Elision fast path: advance the warp-local clock to @p when and let
+     * the warp continue inline when Device::canElideTo proves the skip
+     * is unobservable. Marks the warp ran-ahead on success. The global
+     * clock is NOT advanced: pending events of other SMs still fire at
+     * their own ticks, and this warp simply computes from effNow().
+     */
+    bool tryElide(Tick when);
+
+    /**
+     * Must an operation that can leave this SM re-enter the event queue
+     * before executing? True when the warp ran ahead and some pending
+     * event fires at or before the warp's logical time — executing the
+     * cross-SM access eagerly would mutate shared state (L2, global
+     * memory) out of global order.
+     */
+    bool mustYieldCrossSm() const;
+
+    /** Would a constant load of @p addr hit this SM's L1 right now? */
+    bool probeL1Hit(Addr addr) const;
+
+    /**
+     * Re-enter the queue at effNow() — every event the warp ran ahead
+     * of fires first — then compute @p aw and resume @p h. One overload
+     * per deferred awaitable type.
+     */
+    void scheduleReentry(LoadAwait *aw, std::coroutine_handle<> h);
+    void scheduleReentry(GmemAwait *aw, std::coroutine_handle<> h);
+
+    /** Common body of the scheduleReentry overloads. */
+    template <class AwaitT>
+    void reentryImpl(AwaitT *aw, std::coroutine_handle<> h);
 
     /** Register @p h with the block barrier. */
     void enterBarrier(std::coroutine_handle<> h) const;
@@ -208,6 +338,7 @@ class WarpCtx
     Sm *smPtr;
     ThreadBlock *blockPtr;
     Warp *warpPtr;
+    Tick aheadTick = 0; //!< warp-local clock while ran-ahead (see effNow)
 };
 
 } // namespace gpucc::gpu

@@ -17,6 +17,8 @@
 #include <exception>
 #include <utility>
 
+#include "sim/frame_arena.h"
+
 namespace gpucc::gpu
 {
 
@@ -26,6 +28,20 @@ class WarpProgram
   public:
     struct promise_type
     {
+        // Frames churn once per launched warp; recycle them through the
+        // thread-local arena instead of the global allocator.
+        static void *
+        operator new(std::size_t n)
+        {
+            return sim::FrameArena::allocate(n);
+        }
+
+        static void
+        operator delete(void *p) noexcept
+        {
+            sim::FrameArena::deallocate(p);
+        }
+
         WarpProgram
         get_return_object()
         {

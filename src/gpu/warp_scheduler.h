@@ -42,6 +42,36 @@ class WarpScheduler
     /** Scheduler index within the SM. */
     unsigned id() const { return schedId; }
 
+    /** Complete pipeline-timeline state, for device snapshot/fork. */
+    struct State
+    {
+        sim::ResourcePool::State dispatch;
+        sim::ResourcePool::State sp;
+        sim::ResourcePool::State dp;
+        sim::ResourcePool::State sfu;
+        sim::ResourcePool::State ldst;
+    };
+
+    /** Capture every issue-port timeline. */
+    State
+    captureState() const
+    {
+        return State{dispatchPool.captureState(), spPort.captureState(),
+                     dpPort.captureState(), sfuPort.captureState(),
+                     ldstPort.captureState()};
+    }
+
+    /** Restore state captured from a same-shape scheduler. */
+    void
+    restoreState(const State &s)
+    {
+        dispatchPool.restoreState(s.dispatch);
+        spPort.restoreState(s.sp);
+        dpPort.restoreState(s.dp);
+        sfuPort.restoreState(s.sfu);
+        ldstPort.restoreState(s.ldst);
+    }
+
   private:
     unsigned schedId;
     sim::ResourcePool dispatchPool;

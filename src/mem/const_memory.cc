@@ -178,4 +178,36 @@ ConstMemory::flushAll()
     l2->flush();
 }
 
+ConstMemory::State
+ConstMemory::captureState() const
+{
+    State s;
+    s.l1s.reserve(l1s.size());
+    for (const auto &c : l1s)
+        s.l1s.push_back(c->captureState());
+    s.l2 = l2->captureState();
+    s.l1Ports.reserve(l1Ports.size());
+    for (const auto &port : l1Ports)
+        s.l1Ports.push_back(port->captureState());
+    s.l2Port = l2Port->captureState();
+    s.tracing = tracing;
+    return s;
+}
+
+void
+ConstMemory::restoreState(const State &s)
+{
+    GPUCC_ASSERT(s.l1s.size() == l1s.size() &&
+                     s.l1Ports.size() == l1Ports.size(),
+                 "const-memory state SM count mismatch");
+    for (std::size_t i = 0; i < l1s.size(); ++i)
+        l1s[i]->restoreState(s.l1s[i]);
+    l2->restoreState(s.l2);
+    for (std::size_t i = 0; i < l1Ports.size(); ++i)
+        l1Ports[i]->restoreState(s.l1Ports[i]);
+    l2Port->restoreState(s.l2Port);
+    tracing = s.tracing;
+    trace.clear();
+}
+
 } // namespace gpucc::mem

@@ -127,6 +127,28 @@ class ConstMemory
     /** Attach/detach the trace shard (Device::attachTrace only). */
     void setTraceShard(sim::trace::Shard *shard) { traceHook = shard; }
 
+    /**
+     * Complete timing-relevant state, for device snapshot/fork: every
+     * cache array plus every port timeline. The eviction trace and the
+     * trace hook are observability, not architecture — a fork starts
+     * with an empty trace and re-attaches its own instruments — but the
+     * tracing *enable* flag is configuration and is carried over.
+     */
+    struct State
+    {
+        std::vector<SetAssocCache::State> l1s;
+        SetAssocCache::State l2;
+        std::vector<sim::ResourcePool::State> l1Ports;
+        sim::ResourcePool::State l2Port;
+        bool tracing = false;
+    };
+
+    /** Capture the full state (geometry/latency params not included). */
+    State captureState() const;
+
+    /** Restore state captured from a same-parameter hierarchy. */
+    void restoreState(const State &s);
+
   private:
     /** Append to the trace, bounded. */
     void record(const EvictionEvent &e);

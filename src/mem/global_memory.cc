@@ -9,7 +9,8 @@ namespace gpucc::mem
 {
 
 GlobalMemory::GlobalMemory(const GlobalMemoryParams &params)
-    : p(params), coalescer(params.segmentBytes)
+    : p(params), coalescer(params.segmentBytes),
+      words(std::make_shared<std::unordered_map<Addr, std::uint64_t>>())
 {
     GPUCC_ASSERT(p.numPartitions >= 1, "need at least one partition");
     for (unsigned i = 0; i < p.numPartitions; ++i) {
@@ -37,8 +38,9 @@ GlobalMemory::atomicAdd(const std::vector<Addr> &laneAddrs,
         oldValues->reserve(laneAddrs.size());
     }
     // Functional update first (lane order defines the RMW order).
+    auto &store = ensureOwnWords();
     for (Addr a : laneAddrs) {
-        std::uint64_t &w = words[a];
+        std::uint64_t &w = store[a];
         if (oldValues)
             oldValues->push_back(w);
         w += value;
@@ -93,14 +95,14 @@ GlobalMemory::store(const std::vector<Addr> &laneAddrs, Tick now)
 std::uint64_t
 GlobalMemory::peek(Addr addr) const
 {
-    auto it = words.find(addr);
-    return it == words.end() ? 0 : it->second;
+    auto it = words->find(addr);
+    return it == words->end() ? 0 : it->second;
 }
 
 void
 GlobalMemory::poke(Addr addr, std::uint64_t value)
 {
-    words[addr] = value;
+    ensureOwnWords()[addr] = value;
 }
 
 Tick
@@ -115,10 +117,42 @@ GlobalMemory::atomicBusyTicks() const
 std::vector<std::pair<Addr, std::uint64_t>>
 GlobalMemory::wordsSnapshot() const
 {
-    std::vector<std::pair<Addr, std::uint64_t>> out(words.begin(),
-                                                    words.end());
+    std::vector<std::pair<Addr, std::uint64_t>> out(words->begin(),
+                                                    words->end());
     std::sort(out.begin(), out.end());
     return out;
+}
+
+GlobalMemory::State
+GlobalMemory::captureState() const
+{
+    State s;
+    s.words = words; // CoW: shared until either side writes
+    s.atomicUnits.reserve(atomicUnits.size());
+    for (const auto &u : atomicUnits)
+        s.atomicUnits.push_back(u->captureState());
+    s.dataPorts.reserve(dataPorts.size());
+    for (const auto &u : dataPorts)
+        s.dataPorts.push_back(u->captureState());
+    return s;
+}
+
+void
+GlobalMemory::restoreState(const State &s)
+{
+    GPUCC_ASSERT(s.atomicUnits.size() == atomicUnits.size() &&
+                     s.dataPorts.size() == dataPorts.size(),
+                 "global-memory state partition count mismatch");
+    // Adopt the frozen snapshot store; ensureOwnWords() clones it on
+    // this device's first write. const_pointer_cast is sound because
+    // every mutation path goes through ensureOwnWords(), which unshares
+    // first — the snapshot's view is never modified.
+    words = std::const_pointer_cast<std::unordered_map<Addr, std::uint64_t>>(
+        s.words);
+    for (std::size_t i = 0; i < atomicUnits.size(); ++i)
+        atomicUnits[i]->restoreState(s.atomicUnits[i]);
+    for (std::size_t i = 0; i < dataPorts.size(); ++i)
+        dataPorts[i]->restoreState(s.dataPorts[i]);
 }
 
 void

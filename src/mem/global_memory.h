@@ -108,12 +108,45 @@ class GlobalMemory
      *  once). */
     void registerMetrics(metrics::Registry &reg);
 
+    /**
+     * Complete mutable state, for device snapshot/fork. The functional
+     * word store is shared copy-on-write: capture hands out a reference
+     * to the live map (O(1) regardless of footprint), restore adopts
+     * it, and the first post-fork write — on either side — pays the one
+     * deep copy (ensureOwnWords).
+     */
+    struct State
+    {
+        std::shared_ptr<const std::unordered_map<Addr, std::uint64_t>>
+            words;
+        std::vector<sim::ResourcePool::State> atomicUnits;
+        std::vector<sim::ResourcePool::State> dataPorts;
+    };
+
+    /** Capture the full state (geometry/timing params not included). */
+    State captureState() const;
+
+    /** Restore state captured from a same-parameter memory. */
+    void restoreState(const State &s);
+
   private:
+    /** Make the word store uniquely owned before mutating it. */
+    std::unordered_map<Addr, std::uint64_t> &
+    ensureOwnWords()
+    {
+        if (words.use_count() != 1) [[unlikely]]
+            words = std::make_shared<
+                std::unordered_map<Addr, std::uint64_t>>(*words);
+        return *words;
+    }
+
     GlobalMemoryParams p;
     Coalescer coalescer;
     std::vector<std::unique_ptr<sim::ResourcePool>> atomicUnits;
     std::vector<std::unique_ptr<sim::ResourcePool>> dataPorts;
-    std::unordered_map<Addr, std::uint64_t> words;
+    /** Functional words; shared (frozen) while a snapshot references
+     *  it, cloned on the first write after capture/restore. */
+    std::shared_ptr<std::unordered_map<Addr, std::uint64_t>> words;
 };
 
 } // namespace gpucc::mem

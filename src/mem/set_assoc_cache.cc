@@ -1,5 +1,7 @@
 #include "mem/set_assoc_cache.h"
 
+#include <algorithm>
+
 namespace gpucc::mem
 {
 
@@ -7,109 +9,31 @@ SetAssocCache::SetAssocCache(std::string name_, const CacheGeometry &geom_)
     : name(std::move(name_)), geom(geom_)
 {
     geom.validate(name.c_str());
-    lines.resize(geom.numSets() * geom.ways);
-}
-
-SetAssocCache::Line &
-SetAssocCache::lineAt(std::size_t set, unsigned way)
-{
-    return lines[set * geom.ways + way];
-}
-
-const SetAssocCache::Line &
-SetAssocCache::lineAt(std::size_t set, unsigned way) const
-{
-    return lines[set * geom.ways + way];
-}
-
-CacheAccessResult
-SetAssocCache::access(Addr addr, int owner)
-{
-    return accessInWays(addr, 0, geom.ways, owner);
-}
-
-CacheAccessResult
-SetAssocCache::accessInWays(Addr addr, unsigned wayBegin, unsigned wayEnd,
-                            int owner)
-{
-    GPUCC_ASSERT(wayBegin < wayEnd && wayEnd <= geom.ways,
-                 "%s: bad way range [%u, %u)", name.c_str(), wayBegin,
-                 wayEnd);
-    CacheAccessResult res;
-    std::size_t set = geom.setOf(addr);
-    Addr tag = geom.tagOf(addr);
-    ++useClock;
-
-    // Hit path: a hit may match any way, partitioned or not.
-    for (unsigned w = 0; w < geom.ways; ++w) {
-        Line &l = lineAt(set, w);
-        if (l.valid && l.tag == tag) {
-            l.lastUse = useClock;
-            ++hitCount;
-            res.hit = true;
-            return res;
-        }
-    }
-
-    // Miss: allocate into an invalid way or the true-LRU victim, within
-    // the requester's way partition.
-    ++missCount;
-    unsigned victim = wayBegin;
-    std::uint64_t oldest = UINT64_MAX;
-    for (unsigned w = wayBegin; w < wayEnd; ++w) {
-        Line &l = lineAt(set, w);
-        if (!l.valid) {
-            victim = w;
-            oldest = 0;
-            break;
-        }
-        if (l.lastUse < oldest) {
-            oldest = l.lastUse;
-            victim = w;
-        }
-    }
-    Line &v = lineAt(set, victim);
-    if (v.valid) {
-        res.evicted = true;
-        res.victimLine = (v.tag * geom.numSets() + set) * geom.lineBytes;
-        res.victimOwner = v.owner;
-    }
-    v.valid = true;
-    v.tag = tag;
-    v.lastUse = useClock;
-    v.owner = owner;
-    return res;
-}
-
-bool
-SetAssocCache::probe(Addr addr) const
-{
-    std::size_t set = geom.setOf(addr);
-    Addr tag = geom.tagOf(addr);
-    for (unsigned w = 0; w < geom.ways; ++w) {
-        const Line &l = lineAt(set, w);
-        if (l.valid && l.tag == tag)
-            return true;
-    }
-    return false;
+    const std::size_t n = geom.numSets() * geom.ways;
+    tags.assign(n, invalidTag);
+    lastUse.assign(n, 0);
+    valid.assign(n, 0);
+    owners.assign(n, -1);
 }
 
 void
 SetAssocCache::flush()
 {
-    for (auto &l : lines)
-        l.valid = false;
+    std::fill(tags.begin(), tags.end(), invalidTag);
+    std::fill(lastUse.begin(), lastUse.end(), 0);
+    std::fill(valid.begin(), valid.end(), std::uint8_t(0));
 }
 
 bool
 SetAssocCache::invalidate(Addr addr)
 {
-    std::size_t set = geom.setOf(addr);
-    Addr tag = geom.tagOf(addr);
+    const std::size_t base = geom.setOf(addr) * geom.ways;
+    const Addr tag = geom.tagOf(addr);
     for (unsigned w = 0; w < geom.ways; ++w) {
-        Line &l = lineAt(set, w);
-        if (l.valid && l.tag == tag) {
-            l.valid = false;
+        if (tags[base + w] == tag) {
+            tags[base + w] = invalidTag;
+            lastUse[base + w] = 0;
+            valid[base + w] = 0;
             return true;
         }
     }
@@ -119,19 +43,19 @@ SetAssocCache::invalidate(Addr addr)
 std::vector<SetAssocCache::LineView>
 SetAssocCache::setState(std::size_t set) const
 {
+    const std::size_t base = set * geom.ways;
     std::vector<LineView> out(geom.ways);
     for (unsigned w = 0; w < geom.ways; ++w) {
-        const Line &l = lineAt(set, w);
-        out[w].valid = l.valid;
-        out[w].tag = l.tag;
-        out[w].owner = l.owner;
-        if (!l.valid)
+        out[w].valid = valid[base + w] != 0;
+        out[w].tag = out[w].valid ? tags[base + w] : Addr(0);
+        out[w].owner = owners[base + w];
+        if (!out[w].valid)
             continue;
         // Rank = number of valid lines in the set touched more recently.
         unsigned rank = 0;
         for (unsigned o = 0; o < geom.ways; ++o) {
-            const Line &other = lineAt(set, o);
-            if (o != w && other.valid && other.lastUse > l.lastUse)
+            if (o != w && valid[base + o] &&
+                lastUse[base + o] > lastUse[base + w])
                 ++rank;
         }
         out[w].lruRank = rank;
@@ -142,12 +66,34 @@ SetAssocCache::setState(std::size_t set) const
 unsigned
 SetAssocCache::validLinesInSet(std::size_t set) const
 {
+    const std::size_t base = set * geom.ways;
     unsigned n = 0;
     for (unsigned w = 0; w < geom.ways; ++w) {
-        if (lineAt(set, w).valid)
+        if (valid[base + w])
             ++n;
     }
     return n;
+}
+
+SetAssocCache::State
+SetAssocCache::captureState() const
+{
+    return State{tags, lastUse, valid, owners, useClock, hitCount,
+                 missCount};
+}
+
+void
+SetAssocCache::restoreState(const State &s)
+{
+    GPUCC_ASSERT(s.tags.size() == tags.size(),
+                 "%s: restoreState geometry mismatch", name.c_str());
+    tags = s.tags;
+    lastUse = s.lastUse;
+    valid = s.valid;
+    owners = s.owners;
+    useClock = s.useClock;
+    hitCount = s.hitCount;
+    missCount = s.missCount;
 }
 
 } // namespace gpucc::mem

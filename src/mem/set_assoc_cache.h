@@ -5,6 +5,17 @@
  * The covert channels rely on real eviction behaviour (prime one set,
  * observe misses), so the cache keeps actual tags and LRU state rather
  * than a probabilistic model.
+ *
+ * State is laid out structure-of-arrays: tags, use clocks, valid bits
+ * and owners live in parallel flat arrays indexed by set * ways + way.
+ * The hit scan then walks one contiguous run of 8-byte tags (invalid
+ * ways hold a sentinel no real tag can equal, so the scan needs no
+ * validity test), and the victim scan is a plain arg-min over the
+ * use-clock run (invalid ways hold use clock 0, which both makes them
+ * win the arg-min and preserves the "first invalid way" choice, since
+ * the scan only replaces on strictly-older). Per-line AoS nodes cost a
+ * cache line per way probed; these runs cost one or two for a whole
+ * set.
  */
 
 #ifndef GPUCC_MEM_SET_ASSOC_CACHE_H
@@ -14,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "mem/cache_geometry.h"
 
 namespace gpucc::mem
@@ -28,7 +40,7 @@ struct CacheAccessResult
     int victimOwner = -1;      //!< owner id the victim was installed with
 };
 
-/** Tag-only set-associative LRU cache. */
+/** Tag-only set-associative LRU cache (SoA state). */
 class SetAssocCache
 {
   public:
@@ -47,7 +59,11 @@ class SetAssocCache
      *        owner on later evictions — the raw signal contention
      *        detectors consume.
      */
-    CacheAccessResult access(Addr addr, int owner = -1);
+    CacheAccessResult
+    access(Addr addr, int owner = -1)
+    {
+        return accessInWays(addr, 0, geom.ways, owner);
+    }
 
     /**
      * Way-partitioned access (Section 9 mitigation): hits may match any
@@ -55,11 +71,68 @@ class SetAssocCache
      * [@p wayBegin, @p wayEnd), so this requester can never evict lines
      * outside its partition.
      */
-    CacheAccessResult accessInWays(Addr addr, unsigned wayBegin,
-                                   unsigned wayEnd, int owner = -1);
+    CacheAccessResult
+    accessInWays(Addr addr, unsigned wayBegin, unsigned wayEnd,
+                 int owner = -1)
+    {
+        GPUCC_ASSERT(wayBegin < wayEnd && wayEnd <= geom.ways,
+                     "%s: bad way range [%u, %u)", name.c_str(), wayBegin,
+                     wayEnd);
+        CacheAccessResult res;
+        const std::size_t set = geom.setOf(addr);
+        const std::size_t base = set * geom.ways;
+        const Addr tag = geom.tagOf(addr);
+        ++useClock;
+
+        // Hit path: a hit may match any way, partitioned or not.
+        // Invalid ways hold invalidTag, so no validity test is needed.
+        for (unsigned w = 0; w < geom.ways; ++w) {
+            if (tags[base + w] == tag) {
+                lastUse[base + w] = useClock;
+                ++hitCount;
+                res.hit = true;
+                return res;
+            }
+        }
+
+        // Miss: allocate into an invalid way or the true-LRU victim,
+        // within the requester's way partition. Invalid ways carry use
+        // clock 0; strictly-older replacement keeps the first of them.
+        ++missCount;
+        unsigned victim = wayBegin;
+        std::uint64_t oldest = lastUse[base + wayBegin];
+        for (unsigned w = wayBegin + 1; w < wayEnd; ++w) {
+            if (lastUse[base + w] < oldest) {
+                oldest = lastUse[base + w];
+                victim = w;
+            }
+        }
+        const std::size_t vi = base + victim;
+        if (valid[vi]) {
+            res.evicted = true;
+            res.victimLine =
+                (tags[vi] * geom.numSets() + set) * geom.lineBytes;
+            res.victimOwner = owners[vi];
+        }
+        valid[vi] = 1;
+        tags[vi] = tag;
+        lastUse[vi] = useClock;
+        owners[vi] = owner;
+        return res;
+    }
 
     /** Look up @p addr without changing any state. */
-    bool probe(Addr addr) const;
+    bool
+    probe(Addr addr) const
+    {
+        const std::size_t base = geom.setOf(addr) * geom.ways;
+        const Addr tag = geom.tagOf(addr);
+        for (unsigned w = 0; w < geom.ways; ++w) {
+            if (tags[base + w] == tag)
+                return true;
+        }
+        return false;
+    }
 
     /** Invalidate every line. */
     void flush();
@@ -96,21 +169,37 @@ class SetAssocCache
      */
     std::vector<LineView> setState(std::size_t set) const;
 
-  private:
-    struct Line
+    /** Complete mutable state, for device snapshot/fork. */
+    struct State
     {
-        bool valid = false;
-        Addr tag = 0;
-        std::uint64_t lastUse = 0;
-        int owner = -1;
+        std::vector<Addr> tags;
+        std::vector<std::uint64_t> lastUse;
+        std::vector<std::uint8_t> valid;
+        std::vector<std::int32_t> owners;
+        std::uint64_t useClock = 0;
+        std::uint64_t hitCount = 0;
+        std::uint64_t missCount = 0;
     };
 
-    Line &lineAt(std::size_t set, unsigned way);
-    const Line &lineAt(std::size_t set, unsigned way) const;
+    /** Capture the full array state (geometry is not included). */
+    State captureState() const;
+
+    /** Restore state captured from a same-geometry cache. */
+    void restoreState(const State &s);
+
+  private:
+    /**
+     * Tag stored in invalid ways. Real tags are line addresses shifted
+     * down, far below this, so the hit scan can skip the valid test.
+     */
+    static constexpr Addr invalidTag = ~Addr(0);
 
     std::string name;
     CacheGeometry geom;
-    std::vector<Line> lines; //!< numSets * ways, row-major by set
+    std::vector<Addr> tags;               //!< invalidTag when invalid
+    std::vector<std::uint64_t> lastUse;   //!< 0 when invalid
+    std::vector<std::uint8_t> valid;
+    std::vector<std::int32_t> owners;
     std::uint64_t useClock = 0;
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;

@@ -12,9 +12,18 @@ namespace gpucc::sim
 
 namespace
 {
-/** Arity of the event heap: children of node i are 4i+1 .. 4i+4. */
+/** Arity of the node heap: children of node i are 4i+1 .. 4i+4. */
 constexpr std::size_t heapArity = 4;
 } // namespace
+
+EventQueue::EventQueue() : table(tableSize)
+{
+    keys.reserve(initialCapacity);
+    entries.reserve(initialCapacity);
+    entryFree.reserve(initialCapacity);
+    nodes.reserve(initialCapacity);
+    nodeFree.reserve(initialCapacity);
+}
 
 Tick
 EventQueue::clampPastEvent(Tick when) const
@@ -83,28 +92,59 @@ EventQueue::popTop()
     return top;
 }
 
+void
+EventQueue::activateTop()
+{
+    const Key k = popTop();
+    Node &n = nodes[k.node];
+    activeFirst = std::move(n.first);
+    activeFirstSeq = n.firstSeq;
+    activeFirstLive = true;
+    activeHead = n.head;
+    activeWhen = n.when;
+    current = n.when;
+    n.live = false;
+    TickRef &ref = table[tickHash(n.when)];
+    if (ref.node == k.node)
+        ref.node = nil;
+    nodeFree.push_back(k.node);
+}
+
 Tick
 EventQueue::run()
 {
-    while (!keys.empty())
-        fire(popTop());
+    while (numPending != 0) {
+        if (!draining())
+            activateTop();
+        while (draining())
+            fireOne();
+    }
     return current;
 }
 
 bool
 EventQueue::step()
 {
-    if (keys.empty())
+    if (numPending == 0)
         return false;
-    fire(popTop());
+    if (!draining())
+        activateTop();
+    fireOne();
     return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!keys.empty() && keys.front().when <= limit)
-        fire(popTop());
+    while (numPending != 0) {
+        if (!draining()) {
+            if (keys.front().when > limit)
+                break;
+            activateTop();
+        }
+        while (draining())
+            fireOne();
+    }
     if (current < limit)
         current = limit;
 }
@@ -112,7 +152,7 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::advanceTo(Tick when)
 {
-    GPUCC_ASSERT(keys.empty() || keys.front().when >= when,
+    GPUCC_ASSERT(numPending == 0 || nextTick() >= when,
                  "cannot advance past pending events");
     if (when > current)
         current = when;
@@ -121,14 +161,70 @@ EventQueue::advanceTo(Tick when)
 std::vector<std::pair<Tick, std::uint64_t>>
 EventQueue::pendingEvents() const
 {
-    std::vector<Key> sorted = keys;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const Key &a, const Key &b) { return a.before(b); });
     std::vector<std::pair<Tick, std::uint64_t>> out;
-    out.reserve(sorted.size());
-    for (const Key &k : sorted)
-        out.emplace_back(k.when, k.seqSlot);
+    out.reserve(numPending);
+    auto walk = [&](Tick when, std::uint32_t head) {
+        for (std::uint32_t e = head; e != nil; e = entries[e].next) {
+            out.emplace_back(when, (entries[e].seq << slotBits) |
+                                       std::uint64_t(e));
+        }
+    };
+    if (activeFirstLive)
+        out.emplace_back(activeWhen, activeFirstSeq << slotBits);
+    if (activeHead != nil)
+        walk(activeWhen, activeHead);
+    for (const Key &k : keys) {
+        out.emplace_back(k.when, (k.firstSeq << slotBits) |
+                                     std::uint64_t(k.node));
+        walk(k.when, nodes[k.node].head);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first
+                             ? a.first < b.first
+                             : (a.second >> slotBits) < (b.second >> slotBits);
+              });
     return out;
+}
+
+EventQueue::IdleState
+EventQueue::idleState() const
+{
+    GPUCC_ASSERT(numPending == 0, "idleState() requires a drained queue");
+    IdleState s;
+    s.current = current;
+    s.nextSeq = nextSeq;
+    s.fired = fired;
+    s.entrySlabSize = static_cast<std::uint32_t>(entries.size());
+    s.nodeSlabSize = static_cast<std::uint32_t>(nodes.size());
+    s.entryFree = entryFree;
+    s.nodeFree = nodeFree;
+    return s;
+}
+
+void
+EventQueue::restoreIdleState(const IdleState &s)
+{
+    GPUCC_ASSERT(numPending == 0, "restoreIdleState() requires a drained "
+                                  "queue");
+    current = s.current;
+    nextSeq = s.nextSeq;
+    fired = s.fired;
+    entries.clear();
+    entries.resize(s.entrySlabSize);
+    entryFree = s.entryFree;
+    nodes.clear();
+    nodes.resize(s.nodeSlabSize);
+    nodeFree = s.nodeFree;
+    // A freshly cleared coalescing table behaves identically to the
+    // source queue's (all of whose references were dead at idle, since
+    // no node was live and future events are strictly after now()).
+    std::fill(table.begin(), table.end(), TickRef{});
+    keys.clear();
+    activeFirst = EventFn{};
+    activeFirstLive = false;
+    activeHead = nil;
+    activeWhen = 0;
 }
 
 void
@@ -137,7 +233,7 @@ EventQueue::registerMetrics(metrics::Registry &reg)
     reg.gauge("sim.events.executed",
               [this] { return static_cast<double>(fired); });
     reg.gauge("sim.events.pending",
-              [this] { return static_cast<double>(keys.size()); });
+              [this] { return static_cast<double>(numPending); });
 }
 
 } // namespace gpucc::sim

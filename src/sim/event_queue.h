@@ -7,16 +7,22 @@
  * schedule order (FIFO), which keeps the simulation deterministic.
  *
  * The queue is the simulator's hottest structure: every warp
- * instruction retires through at least one event. Two things keep it
+ * instruction retires through at least one event. Three things keep it
  * cheap:
  *
  *  - callbacks are EventFn (small-buffer inline storage), so the
  *    common warp-resume capture (a Warp* plus a coroutine_handle)
  *    never touches the heap;
- *  - ordering is a hand-rolled 4-ary min-heap over 24-byte POD keys
- *    {when, seq, slot}; the callbacks themselves sit in a stable slab
- *    indexed by @c slot and recycled through a free list, so sifting
- *    moves trivially-copyable keys only, never the callables.
+ *  - events that share a tick are coalesced into one *batch node*: a
+ *    singly-linked chain through a stable entry slab, ordered by
+ *    schedule sequence. The min-heap orders nodes, not events, so N
+ *    warps waking at one tick (the lockstep-SM common case) cost one
+ *    heap pop plus a pointer walk instead of N sift-downs;
+ *  - coalescing is found through a small direct-mapped table keyed by
+ *    tick. The table is lossy by design: a collision merely starts a
+ *    fresh node for that tick, and because a tick's table slot only
+ *    ever moves to *newer* nodes, chains still fire in global schedule
+ *    order (nodes are heap-ordered by their first sequence number).
  */
 
 #ifndef GPUCC_SIM_EVENT_QUEUE_H
@@ -55,28 +61,36 @@ class EventQueue
     {
         if (when < current) [[unlikely]]
             when = clampPastEvent(when);
-        std::uint64_t slot;
-        if (freeSlots.empty()) {
-            if (slots.empty()) {
-                // One queue drives one whole device simulation; skip
-                // the doubling ramp for the first few thousand events.
-                keys.reserve(initialCapacity);
-                slots.reserve(initialCapacity);
-            }
-            slot = slots.size();
-            slots.push_back(std::move(cb));
-            GPUCC_ASSERT(slot < (std::uint64_t(1) << slotBits),
-                         "event queue slot space exhausted");
-        } else {
-            slot = freeSlots.back();
-            freeSlots.pop_back();
-            slots[slot] = std::move(cb);
-        }
         GPUCC_ASSERT(nextSeq < (std::uint64_t(1) << (64 - slotBits)),
                      "event FIFO sequence space exhausted");
-        keys.push_back(Key{when, (nextSeq++ << slotBits) | slot});
+        ++numPending;
+        TickRef &ref = table[tickHash(when)];
+        if (ref.node != nil && ref.when == when) {
+            Node &n = nodes[ref.node];
+            if (n.live && n.when == when) {
+                const std::uint32_t e = allocEntry(std::move(cb));
+                if (n.tail == nil)
+                    n.head = e;
+                else
+                    entries[n.tail].next = e;
+                n.tail = e;
+                return;
+            }
+        }
+        const std::uint32_t ni = allocNode();
+        Node &n = nodes[ni];
+        n.when = when;
+        n.firstSeq = nextSeq++;
+        n.first = std::move(cb);
+        n.head = n.tail = nil;
+        n.live = true;
+        ref.when = when;
+        ref.node = ni;
+        keys.push_back(Key{when, n.firstSeq, ni});
         siftUp(keys.size() - 1);
     }
+
+    EventQueue();
 
     /** @return current simulated tick. */
     Tick now() const { return current; }
@@ -94,13 +108,26 @@ class EventQueue
     void runUntil(Tick limit);
 
     /** @return true when no events are pending. */
-    bool empty() const { return keys.empty(); }
+    bool empty() const { return numPending == 0; }
+
+    /**
+     * Tick of the next pending event (the earliest). Precondition:
+     * !empty(). This is what the warp fast path consults to decide
+     * whether an operation's completion can be reached without any
+     * intervening event.
+     */
+    Tick
+    nextTick() const
+    {
+        GPUCC_ASSERT(numPending != 0, "nextTick() on an empty queue");
+        return draining() ? activeWhen : keys.front().when;
+    }
 
     /** Number of events executed since construction. */
     std::uint64_t executed() const { return fired; }
 
     /** Number of events currently pending. */
-    std::size_t pending() const { return keys.size(); }
+    std::size_t pending() const { return numPending; }
 
     /** Force the current tick forward (host-side idle time). */
     void advanceTo(Tick when);
@@ -114,72 +141,212 @@ class EventQueue
      * are raw (they include the slab slot in the low bits), so two
      * queues with identical histories produce identical lists; queues
      * that merely fire the same work in the same order may differ.
-     * Diagnostic/verification use only (copies the key heap).
+     * Diagnostic/verification use only (walks every chain).
      */
     std::vector<std::pair<Tick, std::uint64_t>> pendingEvents() const;
 
+    /**
+     * Bookkeeping needed to resurrect an *idle* queue bit-identically:
+     * clock, sequence counter, and the slab free lists (future slot
+     * numbers feed pendingEvents(), which digests fold). Device
+     * snapshot/fork uses this; both ends require empty().
+     */
+    struct IdleState
+    {
+        Tick current = 0;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t fired = 0;
+        std::uint32_t entrySlabSize = 0;
+        std::uint32_t nodeSlabSize = 0;
+        std::vector<std::uint32_t> entryFree;
+        std::vector<std::uint32_t> nodeFree;
+    };
+
+    /** Capture the idle-queue state (requires empty()). */
+    IdleState idleState() const;
+
+    /** Restore a previously captured idle state (requires empty()). */
+    void restoreIdleState(const IdleState &s);
+
   private:
-    /** Initial reservation for the key heap and callback slab. */
+    /** Initial reservation for the node heap and the two slabs. */
     static constexpr std::size_t initialCapacity = 4096;
 
+    /** Null link in the entry/node slabs. */
+    static constexpr std::uint32_t nil = 0xffffffffu;
+
     /**
-     * Low bits of Key::seqSlot holding the slab index; the upper
-     * 64 - slotBits bits hold the FIFO sequence number. 24 bits bound
-     * the *pending* event count (16M simultaneously in-flight events);
-     * 40 bits bound the *lifetime* event count of one queue (1.1e12 —
-     * about three weeks of simulation at current throughput; schedule()
-     * checks both).
+     * Size (power of two) of the direct-mapped tick-coalescing table.
+     * Misses are correctness-neutral (they just start another node), so
+     * the table never grows or rehashes.
+     */
+    static constexpr std::size_t tableSize = 2048;
+
+    /**
+     * Low bits of a pendingEvents() sequence word holding the entry
+     * slot; the upper 64 - slotBits bits hold the FIFO sequence number.
+     * 24 bits bound the *pending* event count (16M simultaneously
+     * in-flight events); 40 bits bound the *lifetime* event count of
+     * one queue (1.1e12; allocEntry checks both).
      */
     static constexpr unsigned slotBits = 24;
 
     /**
-     * Heap key: 16 bytes, trivially copyable, so sifting compiles to
-     * plain register moves. Ordering on (when, seqSlot) is FIFO within
-     * a tick because the sequence occupies the high bits and is unique.
+     * A same-tick *follower* callback (second and later events of one
+     * tick), chained through the entry slab in schedule order. The
+     * first event of a tick lives inline in its Node, so ticks that
+     * receive only one event — the dominant case for heterogeneous
+     * completion times — never touch this slab.
+     */
+    struct Entry
+    {
+        EventFn fn;
+        std::uint64_t seq = 0;
+        std::uint32_t next = nil;
+    };
+
+    /** One batch of same-tick events: inline first + follower chain. */
+    struct Node
+    {
+        Tick when = 0;
+        std::uint64_t firstSeq = 0;
+        EventFn first;
+        std::uint32_t head = nil;
+        std::uint32_t tail = nil;
+        bool live = false;
+    };
+
+    /**
+     * Heap key: trivially copyable so sifting compiles to plain
+     * register moves. Ordering on (when, firstSeq) is FIFO across nodes
+     * because firstSeq is unique and monotonic in node creation order.
      */
     struct Key
     {
         Tick when;
-        std::uint64_t seqSlot;
+        std::uint64_t firstSeq;
+        std::uint32_t node;
 
         bool
         before(const Key &o) const
         {
-            return when != o.when ? when < o.when : seqSlot < o.seqSlot;
+            return when != o.when ? when < o.when : firstSeq < o.firstSeq;
         }
     };
+
+    /** Direct-mapped coalescing slot: the newest node for one tick. */
+    struct TickRef
+    {
+        Tick when = 0;
+        std::uint32_t node = nil;
+    };
+
+    static std::size_t
+    tickHash(Tick when)
+    {
+        return static_cast<std::size_t>(
+                   (when * 0x9e3779b97f4a7c15ULL) >> 40) &
+               (tableSize - 1);
+    }
+
+    std::uint32_t
+    allocEntry(Callback cb)
+    {
+        std::uint32_t e;
+        if (entryFree.empty()) {
+            e = static_cast<std::uint32_t>(entries.size());
+            GPUCC_ASSERT(e < (1u << slotBits),
+                         "event queue entry space exhausted");
+            entries.emplace_back();
+        } else {
+            e = entryFree.back();
+            entryFree.pop_back();
+        }
+        Entry &ent = entries[e];
+        ent.fn = std::move(cb);
+        ent.seq = nextSeq++;
+        ent.next = nil;
+        return e;
+    }
+
+    std::uint32_t
+    allocNode()
+    {
+        if (nodeFree.empty()) {
+            nodes.emplace_back();
+            return static_cast<std::uint32_t>(nodes.size() - 1);
+        }
+        std::uint32_t n = nodeFree.back();
+        nodeFree.pop_back();
+        return n;
+    }
 
     /** Panic (debug) or clamp (release) an event scheduled in the past. */
     Tick clampPastEvent(Tick when) const;
 
-    /** Pop the minimum key off the heap. */
+    /** Pop the minimum key off the node heap. */
     Key popTop();
 
     /**
-     * Fire the event under @p k: the callback is moved out and its slot
+     * Make the minimum node's chain the active chain: pop it, retire
+     * the node (its chain is now owned by activeHead), and drop the
+     * coalescing-table reference so later schedules at the same tick
+     * start a fresh node that fires after this chain.
+     */
+    void activateTop();
+
+    /** True while a popped node's events are still being fired. */
+    bool
+    draining() const
+    {
+        return activeFirstLive || activeHead != nil;
+    }
+
+    /**
+     * Fire one event off the active batch: the inline first callback,
+     * then the follower chain. Callbacks are moved out and their slots
      * recycled *before* invocation, so re-entrant schedule() calls see
      * a consistent queue (and may reuse the slot immediately).
      */
     void
-    fire(const Key &k)
+    fireOne()
     {
-        current = k.when;
+        EventFn fn;
+        if (activeFirstLive) {
+            fn = std::move(activeFirst);
+            activeFirstLive = false;
+        } else {
+            const std::uint32_t e = activeHead;
+            Entry &ent = entries[e];
+            activeHead = ent.next;
+            fn = std::move(ent.fn);
+            entryFree.push_back(e);
+        }
+        --numPending;
         ++fired;
-        const std::uint32_t slot =
-            static_cast<std::uint32_t>(k.seqSlot & ((1u << slotBits) - 1));
-        EventFn fn = std::move(slots[slot]);
-        freeSlots.push_back(slot);
         fn();
     }
 
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);
 
-    /** 4-ary min-heap on (when, seq); slot points into @c slots. */
+    /** Min-heap of batch nodes on (when, firstSeq). */
     std::vector<Key> keys;
     /** Callback slab; entries at free-listed indices are empty. */
-    std::vector<EventFn> slots;
-    std::vector<std::uint32_t> freeSlots;
+    std::vector<Entry> entries;
+    std::vector<std::uint32_t> entryFree;
+    /** Batch-node slab. */
+    std::vector<Node> nodes;
+    std::vector<std::uint32_t> nodeFree;
+    /** Direct-mapped tick → newest-node table (lossy by design). */
+    std::vector<TickRef> table;
+    /** Batch currently being drained (all events at activeWhen). */
+    EventFn activeFirst;
+    std::uint64_t activeFirstSeq = 0;
+    bool activeFirstLive = false;
+    std::uint32_t activeHead = nil;
+    Tick activeWhen = 0;
+    std::size_t numPending = 0;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t fired = 0;

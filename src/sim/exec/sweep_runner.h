@@ -89,6 +89,34 @@ class SweepRunner
     }
 
     /**
+     * Boot a shared prototype once, then run trials against it:
+     * @p boot() runs serially on the caller and its result — typically
+     * a device snapshot or channel checkpoint, i.e. expensive
+     * boot + calibration work — is handed to every
+     * @p fn(trialIndex, seed, prototype) as a const reference. Each
+     * trial forks its own mutable simulation state from the prototype
+     * (Device::fork / LaunchPerBitChannel::restore) instead of
+     * re-running the boot, which is what makes dense multi-factor
+     * sweeps affordable. Determinism contract is runTrials()'s; the
+     * prototype must be treated as immutable (snapshot payloads are).
+     */
+    template <typename Boot, typename Fn>
+    auto
+    runTrialsFrom(Boot &&boot, std::size_t n, std::uint64_t seedBase,
+                  Fn &&fn)
+    {
+        auto proto = boot();
+        using R = std::invoke_result_t<Fn &, std::size_t, std::uint64_t,
+                                       const decltype(proto) &>;
+        const auto &shared = proto;
+        std::vector<R> out(n);
+        pool.forEachIndex(n, [&](std::size_t i) {
+            out[i] = fn(i, deriveSeed(seedBase, i), shared);
+        });
+        return out;
+    }
+
+    /**
      * Run @p fn(config) once per entry of @p configs and return the
      * results in config order. Same independence requirements as
      * runTrials(); seeding, if any, must be carried inside each config.

@@ -1,0 +1,115 @@
+#include "sim/frame_arena.h"
+
+#include <new>
+#include <vector>
+
+namespace gpucc::sim
+{
+
+namespace
+{
+
+/** Bin granularity; also the alignment of carved blocks. */
+constexpr std::size_t binBytes = 64;
+
+/** Bins cover requests up to (numBins - 1) * binBytes - header. */
+constexpr std::size_t numBins = 33;
+
+/** Bytes carved off the front of each block for the bin tag. */
+constexpr std::size_t headerBytes = 16;
+
+/** Slab growth unit. */
+constexpr std::size_t slabBytes = 256 * 1024;
+
+/** Header tag marking a block that came from the global heap. */
+constexpr std::uint64_t heapTag = 0;
+
+struct ThreadArena
+{
+    void *freeHeads[numBins] = {};
+    char *slabCur = nullptr;
+    std::size_t slabLeft = 0;
+    std::vector<void *> slabs;
+    FrameArenaStats counters;
+
+    ~ThreadArena()
+    {
+        for (void *s : slabs)
+            ::operator delete(s);
+    }
+
+    void *
+    carve(std::size_t blockSize)
+    {
+        if (slabLeft < blockSize) {
+            void *s = ::operator new(slabBytes);
+            slabs.push_back(s);
+            slabCur = static_cast<char *>(s);
+            slabLeft = slabBytes;
+            counters.slabBytes += slabBytes;
+        }
+        void *block = slabCur;
+        slabCur += blockSize;
+        slabLeft -= blockSize;
+        return block;
+    }
+};
+
+ThreadArena &
+arena()
+{
+    static thread_local ThreadArena tls;
+    return tls;
+}
+
+} // namespace
+
+void *
+FrameArena::allocate(std::size_t bytes)
+{
+    const std::size_t total = bytes + headerBytes;
+    const std::size_t bin = (total + binBytes - 1) / binBytes;
+    ThreadArena &a = arena();
+    if (bin < numBins) [[likely]] {
+        ++a.counters.allocs;
+        void *block;
+        void *&head = a.freeHeads[bin];
+        if (head != nullptr) {
+            ++a.counters.reuses;
+            block = head;
+            head = *static_cast<void **>(block);
+        } else {
+            block = a.carve(bin * binBytes);
+        }
+        *static_cast<std::uint64_t *>(block) = bin;
+        return static_cast<char *>(block) + headerBytes;
+    }
+    ++a.counters.heapFallbacks;
+    void *raw = ::operator new(total);
+    *static_cast<std::uint64_t *>(raw) = heapTag;
+    return static_cast<char *>(raw) + headerBytes;
+}
+
+void
+FrameArena::deallocate(void *p) noexcept
+{
+    if (p == nullptr)
+        return;
+    void *block = static_cast<char *>(p) - headerBytes;
+    const std::uint64_t bin = *static_cast<std::uint64_t *>(block);
+    if (bin == heapTag) {
+        ::operator delete(block);
+        return;
+    }
+    ThreadArena &a = arena();
+    *static_cast<void **>(block) = a.freeHeads[bin];
+    a.freeHeads[bin] = block;
+}
+
+FrameArenaStats
+FrameArena::stats()
+{
+    return arena().counters;
+}
+
+} // namespace gpucc::sim

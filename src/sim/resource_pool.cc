@@ -58,6 +58,34 @@ ResourcePool::serverFreeTicks() const
     return out;
 }
 
+ResourcePool::State
+ResourcePool::captureState() const
+{
+    return State{serverFreeTicks(), busy, queued, count};
+}
+
+void
+ResourcePool::restoreState(const State &s)
+{
+    GPUCC_ASSERT(s.freeTicks.size() == numServers,
+                 "pool %s: restoring %zu server timelines into %u servers",
+                 poolName.c_str(), s.freeTicks.size(), numServers);
+    if (numServers <= inlineCapacity) {
+        // Which slot holds which tick is canonicalized away by
+        // serverFreeTicks(); any assignment of the multiset is the
+        // same pool.
+        std::copy(s.freeTicks.begin(), s.freeTicks.end(),
+                  inlineFree.begin());
+    } else {
+        heapFree = s.freeTicks;
+        std::make_heap(heapFree.begin(), heapFree.end(),
+                       std::greater<Tick>());
+    }
+    busy = s.busy;
+    queued = s.queued;
+    count = s.count;
+}
+
 void
 ResourcePool::reset()
 {

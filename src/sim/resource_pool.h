@@ -112,6 +112,25 @@ class ResourcePool
      */
     std::vector<Tick> serverFreeTicks() const;
 
+    /**
+     * Complete mutable state, for device snapshot/fork. The free-tick
+     * multiset plus the three statistics counters fully determine every
+     * future acquire() and every digest the pool feeds.
+     */
+    struct State
+    {
+        std::vector<Tick> freeTicks; //!< sorted, one per server
+        Tick busy = 0;
+        Tick queued = 0;
+        std::uint64_t count = 0;
+    };
+
+    /** Capture the timeline state (name/servers are not included). */
+    State captureState() const;
+
+    /** Restore state captured from a same-width pool. */
+    void restoreState(const State &s);
+
   private:
     /** Index of the server with the smallest next-free tick. */
     unsigned

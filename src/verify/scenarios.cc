@@ -15,8 +15,10 @@
 #include "covert/sync/duplex_channel.h"
 #include "covert/sync/sync_channel.h"
 #include "covert/sync/sync_sfu_channel.h"
+#include "sim/exec/sweep_runner.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
+#include "verify/digest.h"
 
 namespace gpucc::verify
 {
@@ -411,6 +413,73 @@ runSessionRobustness(const gpu::ArchParams &a)
     return r;
 }
 
+/**
+ * Snapshot-based sweep path: boot + calibrate one prototype channel,
+ * checkpoint it, fork every (seed) cell from the checkpoint through
+ * SweepRunner::runTrialsFrom, and pin the whole construction against
+ * the cold-boot path — the fork that transmits the reference payload
+ * must land on a bit-identical device digest and identical bits.
+ */
+ScenarioResult
+runSnapshotSweep(const gpu::ArchParams &a)
+{
+    covert::LaunchPerBitConfig cfg;
+    cfg.seed = 5;
+    const BitVec refPayload = scenarioPayload(24, 7);
+
+    // Cold reference: ordinary calibrate + transmit on one channel.
+    covert::L1ConstChannel cold(a, cfg);
+    cold.calibrate();
+    covert::ChannelResult coldRes = cold.transmit(refPayload);
+    cold.harness().device().runUntilIdle();
+    const std::uint64_t coldDig = deviceDigest(cold.harness().device());
+
+    // Snapshot path: runTrialsFrom boots the prototype once; each cell
+    // forks from the checkpoint. Cell 0 replays the reference payload
+    // (exactness oracle); the rest carry seed-derived payloads. Runs
+    // inline (1 thread) because the conformance runner already
+    // parallelizes across (scenario, arch) cells.
+    sim::exec::SweepRunner runner(1);
+    struct CellOut
+    {
+        covert::ChannelResult res;
+        std::uint64_t digest = 0;
+    };
+    auto cells = runner.runTrialsFrom(
+        [&] {
+            covert::L1ConstChannel proto(a, cfg);
+            proto.calibrate();
+            return proto.checkpoint();
+        },
+        3, 0x5eedba5e,
+        [&](std::size_t i, std::uint64_t seed,
+            const covert::LaunchPerBitChannel::Checkpoint &ck) {
+            covert::L1ConstChannel ch(a, cfg);
+            ch.restore(ck);
+            CellOut out;
+            out.res = ch.transmit(i == 0 ? refPayload
+                                         : scenarioPayload(24, seed));
+            ch.harness().device().runUntilIdle();
+            out.digest = deviceDigest(ch.harness().device());
+            return out;
+        });
+
+    double allErrorFree = 1.0;
+    for (const CellOut &c : cells)
+        allErrorFree *= c.res.report.errorFree() ? 1.0 : 0.0;
+
+    ScenarioResult r;
+    r.add("fork.digest_matches_cold",
+          cells[0].digest == coldDig ? 1.0 : 0.0, true);
+    r.add("fork.bits_match_cold",
+          cells[0].res.received == coldRes.received ? 1.0 : 0.0, true);
+    r.add("fork.threshold_matches_cold",
+          cells[0].res.threshold == coldRes.threshold ? 1.0 : 0.0, true);
+    r.add("cells.error_free", allErrorFree, true);
+    r.add("cold.bps", coldRes.bandwidthBps);
+    return r;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -444,6 +513,10 @@ conformanceScenarios()
         s.push_back({"session_robustness",
                      "Section 8 (session-layer extension)", all,
                      runSessionRobustness});
+        s.push_back({"snapshot_sweep",
+                     "Perf extension: snapshot/fork sweep path "
+                     "(digest-pinned against cold boot)",
+                     all, runSnapshotSweep});
         return s;
     }();
     return scenarios;
