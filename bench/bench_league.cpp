@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Co-evolution league: adaptive defenses versus channel-agile attack
+ * sessions (Section 9 extension). Every (attacker, defender, arch,
+ * seed) cell runs a complete ChannelSession transfer with the defender
+ * armed on the same device and reports the residual capacity the
+ * attacker kept; alongside, the Section 9 detector is scored as an ROC
+ * over the cache-channel families and the Rodinia-like benign mixes.
+ *
+ * Flags (besides the shared --json):
+ *   --smoke        one agile attacker vs the fuzz-only reactive
+ *                  defender, 4 seeds on the K40C (the check.sh
+ *                  --league CI gate: fuzzing alone must not cost the
+ *                  session a single bit)
+ *   --out <path>   write the full structured league table
+ *                  (writeLeagueJson schema, incl. the 64-bit digest)
+ */
+
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.h"
+#include "covert/league/league.h"
+
+using namespace gpucc;
+using namespace gpucc::covert::league;
+
+int
+main(int argc, char **argv)
+{
+    bench::JsonSink::instance().configure("league", argc, argv);
+    bool smoke = false;
+    std::string outPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            outPath = argv[i + 1];
+    }
+
+    bench::banner(smoke ? "Co-evolution league (smoke)"
+                        : "Co-evolution league",
+                  "Section 9 (co-evolution extension)");
+
+    LeagueConfig cfg;
+    if (smoke) {
+        cfg.attackers = {agileAttacker()};
+        DefenderSpec fuzzOnly = cappedReactiveDefense();
+        fuzzOnly.name = "reactive_fuzz_only";
+        auto full = gpu::defaultDefenseLadder();
+        fuzzOnly.reactive.ladder.assign(full.begin(), full.begin() + 2);
+        cfg.defenders = {fuzzOnly};
+        cfg.archs = {gpu::keplerK40c()};
+        cfg.seedsPerCell = 4;
+        cfg.roc = false;
+    }
+    LeagueTable t = runLeague(cfg);
+
+    Table table("league table: one session transfer per cell");
+    table.header({"attacker", "defender", "arch", "ok", "resid errs",
+                  "failovers", "final res", "capacity", "detected"});
+    for (const CellResult &c : t.cells) {
+        table.row({c.attacker, c.defender, c.arch,
+                   c.complete ? "yes" : "NO",
+                   std::to_string(c.residualBitErrors),
+                   std::to_string(c.failovers), c.finalResource,
+                   fmtKbps(c.residualCapacityBps),
+                   c.detected ? "yes" : "no"});
+    }
+    table.print();
+    bench::JsonSink::instance().add(table);
+
+    if (!t.roc.empty()) {
+        std::printf("detector ROC over %zu runs: TP %.2f, FP %.2f\n",
+                    t.roc.size(), t.tpRate, t.fpRate);
+        bench::JsonSink::instance().note("roc_tp_rate", t.tpRate);
+        bench::JsonSink::instance().note("roc_fp_rate", t.fpRate);
+    }
+    std::printf("league digest: %016llx (deterministic per config/seed, "
+                "worker-count invariant)\n",
+                (unsigned long long)t.digest);
+    bench::JsonSink::instance().note(
+        "digest_lo32", double(t.digest & 0xffffffffULL));
+    bench::JsonSink::instance().note("digest_hi32",
+                                     double(t.digest >> 32));
+
+    if (!outPath.empty()) {
+        std::ofstream os(outPath);
+        GPUCC_ASSERT(os.good(), "cannot open --out path '%s'",
+                     outPath.c_str());
+        writeLeagueJson(t, os);
+        std::printf("[json] league table written to %s\n",
+                    outPath.c_str());
+    }
+    bench::JsonSink::instance().write();
+    return 0;
+}

@@ -33,8 +33,9 @@ verdict(const DetectionResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink::instance().configure("sec9_detection", argc, argv);
     bench::banner("Section 9: contention-anomaly detection",
                   "Section 9 ('detect anomalous contention', CC-Hunter)");
 
@@ -111,6 +112,7 @@ main()
                   dev.constMem().evictionTrace());
     }
     t.print();
+    bench::JsonSink::instance().add(t);
 
     // Detection latency: how many bits leak before the verdict trips?
     {
@@ -130,6 +132,9 @@ main()
                     "~%u transmitted bits\n(including the calibration "
                     "preamble).\n",
                     bitsBeforeDetection);
+        bench::JsonSink::instance().note("detection_latency_bits",
+                                         bitsBeforeDetection);
     }
+    bench::JsonSink::instance().write();
     return 0;
 }

@@ -84,8 +84,9 @@ fmtCell(const Cell &c)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonSink::instance().configure("sec9_mitigations", argc, argv);
     bench::banner("Section 9: mitigation ablation (Tesla K40C)",
                   "Section 9 (proposed mitigations, implemented here)");
 
@@ -161,6 +162,7 @@ main()
                fmtCell(c[3])});
     }
     t.print();
+    bench::JsonSink::instance().add(t);
 
     std::printf(
         "Notable: temporal partitioning kills the *contention* channels "
@@ -169,5 +171,6 @@ main()
         "it additionally requires flushing the caches between kernels. "
         "Way partitioning is the\nonly single defense that stops all "
         "cache channels; no single defense stops everything.\n");
+    bench::JsonSink::instance().write();
     return 0;
 }

@@ -29,14 +29,24 @@
 # <build-dir>/observability/conformance_report.json. Any band miss is
 # fatal. See TESTING.md for the band format and how to re-record.
 #
+# With --league, run the co-evolution acceptance gate: the `league`
+# conformance bands on all architectures (agile session vs reactive
+# defender: zero residual errors through at most one failover), then
+# the bench_league smoke cell (agile attacker vs the fuzz-only
+# reactive defender, 4 seeds) with a python assert that no cell lost a
+# single bit. The league table JSON lands in
+# <build-dir>/observability/ (CI uploads that directory).
+#
 # Usage: scripts/check.sh [--strict] [--simperf] [--simperf-warn]
-#                         [--trace-smoke] [--conformance] [build-dir]
+#                         [--trace-smoke] [--conformance] [--league]
+#                         [build-dir]
 #   --strict        non-zero exit on any simperf regression >15%
 #   --simperf       run only the simperf gate, fatally (implies --strict)
 #   --simperf-warn  with --strict: keep every other gate fatal but
 #                   report simperf regressions as warnings only
 #   --trace-smoke   emit + validate trace/metrics/flight JSON artifacts
 #   --conformance   run the paper-fidelity conformance gate (fatal)
+#   --league        run the co-evolution league acceptance gate (fatal)
 #   build-dir       CMake build directory (default: build)
 
 set -euo pipefail
@@ -46,6 +56,7 @@ simperf_only=0
 simperf_warn=0
 trace_smoke=0
 conformance=0
+league=0
 build=build
 for arg in "$@"; do
     case "$arg" in
@@ -54,6 +65,7 @@ for arg in "$@"; do
       --simperf-warn) simperf_warn=1 ;;
       --trace-smoke) trace_smoke=1 ;;
       --conformance) conformance=1 ;;
+      --league) league=1 ;;
       -h|--help)
         sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
         exit 0
@@ -144,6 +156,41 @@ if [ "$conformance" = 1 ]; then
     "$build/src/gpucc_verify" \
         --report "$artdir/conformance_report.json"
     echo "conformance OK: report in $artdir/conformance_report.json"
+fi
+
+if [ "$league" = 1 ]; then
+    echo
+    echo "== league: co-evolution acceptance (bands + smoke) =="
+    if ! command -v python3 >/dev/null 2>&1; then
+        echo "error: --league needs python3 for the JSON asserts" >&2
+        exit 1
+    fi
+    artdir="$build/observability"
+    mkdir -p "$artdir"
+    # The committed bands pin the full acceptance cell per arch: agile
+    # session vs reactive fuzz+waypart defender, zero residual errors,
+    # exactly one failover, plus the ROC corners and league digest.
+    "$build/src/gpucc_verify" --scenario league
+    # Smoke cell: fuzzing alone must not cost the session a single bit.
+    "$build/bench/bench_league" --smoke \
+        --out "$artdir/league_smoke.json" \
+        --json "$artdir/league_bench.json"
+    python3 - "$artdir/league_smoke.json" <<'EOF'
+import json
+import sys
+
+t = json.load(open(sys.argv[1]))
+cells = t["cells"]
+assert cells, "league smoke produced no cells"
+for c in cells:
+    assert c["defender"] == "reactive_fuzz_only", c
+    assert c["complete"], f"smoke transfer failed: {c}"
+    assert c["residual_bit_errors"] == 0, \
+        f"residual errors under timer-fuzz-only defense: {c}"
+print(f"  league OK: {len(cells)} smoke cells, zero residual errors, "
+      f"digest {t['digest']:#018x}")
+EOF
+    echo "league OK: artifacts in $artdir"
 fi
 
 echo

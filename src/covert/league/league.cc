@@ -1,0 +1,442 @@
+#include "covert/league/league.h"
+
+#include <ostream>
+#include <utility>
+
+#include "common/metrics/json_writer.h"
+#include "common/rng.h"
+#include "covert/analysis/capacity.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/session/session.h"
+#include "covert/sync/sync_channel.h"
+#include "gpu/device.h"
+#include "gpu/host.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/digest.h"
+#include "workloads/interference.h"
+
+namespace gpucc::covert::league
+{
+namespace
+{
+
+using sim::exec::deriveSeed;
+
+/** Domain-separation tags for the per-cell seed derivations. */
+constexpr std::uint64_t kPayloadTag = 0x7061796c;  // "payl"
+constexpr std::uint64_t kDefenderTag = 0x64656664; // "defd"
+constexpr std::uint64_t kDuplexTag = 0x6475706c;   // "dupl"
+constexpr std::uint64_t kRocTag = 0x726f63;        // "roc"
+
+BitVec
+cellPayload(const AttackerSpec &atk, std::uint64_t seed)
+{
+    Rng rng(deriveSeed(seed, kPayloadTag));
+    return randomBits(atk.payloadBits, rng);
+}
+
+} // namespace
+
+AttackerSpec
+agileAttacker()
+{
+    AttackerSpec a;
+    a.name = "agile";
+    a.resources = {ChannelResource::L1Const,
+                   ChannelResource::GlobalAtomic};
+    return a;
+}
+
+AttackerSpec
+l1PinnedAttacker()
+{
+    AttackerSpec a;
+    a.name = "l1_pinned";
+    a.resources = {ChannelResource::L1Const};
+    return a;
+}
+
+DefenderSpec
+noDefense()
+{
+    DefenderSpec d;
+    d.name = "none";
+    d.kind = DefenderKind::None;
+    return d;
+}
+
+DefenderSpec
+staticDefense(std::string name, gpu::MitigationConfig cfg)
+{
+    DefenderSpec d;
+    d.name = std::move(name);
+    d.kind = DefenderKind::Static;
+    d.staticCfg = cfg;
+    return d;
+}
+
+DefenderSpec
+scheduledDefense(std::string name, gpu::MitigationSchedule schedule)
+{
+    DefenderSpec d;
+    d.name = std::move(name);
+    d.kind = DefenderKind::Scheduled;
+    d.schedule = std::move(schedule);
+    return d;
+}
+
+DefenderSpec
+reactiveDefense(std::string name, gpu::ReactiveDefenderConfig cfg)
+{
+    DefenderSpec d;
+    d.name = std::move(name);
+    d.kind = DefenderKind::Reactive;
+    d.reactive = cfg;
+    return d;
+}
+
+DefenderSpec
+cappedReactiveDefense()
+{
+    gpu::ReactiveDefenderConfig rc;
+    // Sample fast enough to escalate within the first data segments,
+    // and stay escalated once the attacker has been driven off L1 (the
+    // atomic substrate leaves the eviction trace quiet, so a short
+    // de-escalation fuse would hand L1 right back).
+    rc.samplePeriodCycles = 40000;
+    rc.quietToDeescalate = 64;
+    // The per-sample trace window is one period, not a whole transfer:
+    // a session moves only a handful of frames per 40k cycles, so the
+    // whole-trace default floor (48) would never fire.
+    rc.minCrossEvictions = 12;
+    auto full = gpu::defaultDefenseLadder();
+    // Rungs 0-2 of the canonical ladder: fuzz64, fuzz256,
+    // fuzz256 + way partitioning.
+    rc.ladder.assign(full.begin(), full.begin() + 3);
+    return reactiveDefense("reactive_fuzz_waypart", rc);
+}
+
+std::vector<AttackerSpec>
+defaultAttackerPool()
+{
+    return {l1PinnedAttacker(), agileAttacker()};
+}
+
+std::vector<DefenderSpec>
+defaultDefenderPool()
+{
+    gpu::MitigationConfig fuzz;
+    fuzz.timerFuzzCycles = 256;
+    gpu::MitigationConfig wall = fuzz;
+    wall.cacheWayPartitioning = true;
+    return {noDefense(), staticDefense("static_fuzz256", fuzz),
+            staticDefense("static_fuzz_waypart", wall),
+            cappedReactiveDefense()};
+}
+
+CellResult
+runLeagueCell(const gpu::ArchParams &arch, const AttackerSpec &attacker,
+              const DefenderSpec &defender, std::uint64_t seed)
+{
+    session::SessionConfig scfg;
+    scfg.resources = attacker.resources;
+    scfg.startMultiBit = attacker.startMultiBit;
+
+    DuplexConfig dc;
+    dc.seed = deriveSeed(seed, kDuplexTag);
+    if (defender.kind == DefenderKind::Static)
+        dc.mitigations = defender.staticCfg;
+
+    session::ChannelSession s(arch, scfg, dc);
+    gpu::Device &dev = s.channel().harness().device();
+
+    // Non-reactive defenders don't watch the eviction stream, so the
+    // league scores the detector on their cells post-hoc. The reactive
+    // defender owns the trace while armed (it clears per sample).
+    if (defender.kind != DefenderKind::Reactive)
+        dev.constMem().setEvictionTracing(true);
+
+    gpu::MitigationScheduler sched(dev, defender.schedule);
+    if (defender.kind == DefenderKind::Scheduled)
+        sched.arm();
+
+    gpu::ReactiveDefenderConfig rc = defender.reactive;
+    rc.seed = deriveSeed(seed, kDefenderTag);
+    gpu::ReactiveDefender rd(dev, rc);
+    if (defender.kind == DefenderKind::Reactive)
+        rd.arm();
+
+    const BitVec payload = cellPayload(attacker, seed);
+    session::SessionResult r = s.run(payload);
+
+    CellResult out;
+    out.attacker = attacker.name;
+    out.defender = defender.name;
+    out.arch = arch.name;
+    out.seed = seed;
+    out.complete = r.complete;
+    out.residualBitErrors = r.residualBitErrors;
+    out.residualBer = r.residualBer;
+    out.goodputBps = r.goodputBps;
+    out.residualCapacityBps =
+        r.goodputBps * (1.0 - binaryEntropy(r.residualBer));
+    out.seconds = r.seconds;
+    out.failovers = r.failovers;
+    out.finalResource = channelResourceName(r.finalResource);
+    out.desyncs = r.desyncs;
+    out.resyncs = r.resyncs;
+    out.segments = r.segments;
+
+    if (defender.kind == DefenderKind::Reactive) {
+        const gpu::ReactiveDefenderStats &st = rd.stats();
+        out.defSamples = st.samples;
+        out.defAlarms = st.alarms;
+        out.defEscalations = st.escalations;
+        out.defDeescalations = st.deescalations;
+        out.defPeakRung = st.peakRung;
+        out.detected = st.alarms > 0;
+        rd.disarm();
+    } else {
+        out.detected = analyzeEvictionTrace(
+                           dev.constMem().evictionTrace())
+                           .covertChannelSuspected;
+        dev.constMem().clearEvictionTrace();
+        dev.constMem().setEvictionTracing(false);
+    }
+    if (defender.kind == DefenderKind::Scheduled)
+        out.defStepsApplied = sched.applied();
+
+    dev.runUntilIdle();
+    out.deviceDigest = verify::deviceDigest(dev);
+    return out;
+}
+
+namespace
+{
+
+/** One member of the ROC population, pre-fan. */
+struct RocSpec
+{
+    const char *name;
+    bool isAttack;
+    std::size_t archIdx;
+};
+
+RocSample
+runRocSample(const gpu::ArchParams &arch, const RocSpec &spec,
+             const DetectorConfig &det, std::uint64_t seed)
+{
+    RocSample out;
+    out.name = spec.name;
+    out.arch = arch.name;
+    out.isAttack = spec.isAttack;
+
+    const std::string name = spec.name;
+    std::vector<mem::EvictionEvent> trace;
+    Rng rng(deriveSeed(seed, kRocTag));
+    if (name == "l1_launch") {
+        L1ConstChannel ch(arch);
+        ch.harness().device().constMem().setEvictionTracing(true);
+        ch.transmit(randomBits(48, rng));
+        trace = ch.harness().device().constMem().evictionTrace();
+    } else if (name == "l1_sync") {
+        SyncL1Channel ch(arch);
+        ch.harness().device().constMem().setEvictionTracing(true);
+        ch.transmit(randomBits(128, rng));
+        trace = ch.harness().device().constMem().evictionTrace();
+    } else if (name == "duplex") {
+        DuplexSyncChannel ch(arch);
+        ch.harness().device().constMem().setEvictionTracing(true);
+        ch.exchange(randomBits(48, rng), randomBits(48, rng));
+        trace = ch.harness().device().constMem().evictionTrace();
+    } else {
+        gpu::Device dev(arch);
+        dev.constMem().setEvictionTracing(true);
+        gpu::HostContext host(dev);
+        workloads::WorkloadSpec spec8;
+        spec8.blocks = 8;
+        spec8.iterations = 800;
+        if (name == "const_walker") {
+            host.launch(dev.createStream(),
+                        workloads::makeConstantMemoryWorkload(dev, spec8));
+        } else if (name == "compute") {
+            host.launch(dev.createStream(),
+                        workloads::makeComputeWorkload(spec8));
+        } else if (name == "streaming") {
+            host.launch(dev.createStream(),
+                        workloads::makeStreamingWorkload(dev, spec8));
+        } else { // rodinia_mix
+            for (auto &k : workloads::makeRodiniaLikeMix(dev, spec8))
+                host.launch(dev.createStream(), std::move(k));
+        }
+        host.syncAll();
+        trace = dev.constMem().evictionTrace();
+    }
+    out.flagged = analyzeEvictionTrace(trace, det).covertChannelSuspected;
+    return out;
+}
+
+} // namespace
+
+LeagueTable
+runLeague(const LeagueConfig &cfg)
+{
+    const std::vector<AttackerSpec> attackers =
+        cfg.attackers.empty() ? defaultAttackerPool() : cfg.attackers;
+    const std::vector<DefenderSpec> defenders =
+        cfg.defenders.empty() ? defaultDefenderPool() : cfg.defenders;
+    const std::vector<gpu::ArchParams> archs =
+        cfg.archs.empty() ? gpu::allArchitectures() : cfg.archs;
+    const unsigned seeds = cfg.seedsPerCell > 0 ? cfg.seedsPerCell : 1;
+
+    sim::exec::SweepRunner runner(cfg.threads);
+    LeagueTable table;
+
+    // Cell index order: attacker-major, then defender, arch, seed —
+    // the seed of a cell depends only on its position in this grid.
+    const std::size_t nCells =
+        attackers.size() * defenders.size() * archs.size() * seeds;
+    table.cells = runner.runTrials(
+        nCells, cfg.seedBase,
+        [&](std::size_t i, std::uint64_t seed) {
+            std::size_t rest = i;
+            const std::size_t si = rest % seeds;
+            rest /= seeds;
+            const std::size_t ai = rest % archs.size();
+            rest /= archs.size();
+            const std::size_t di = rest % defenders.size();
+            rest /= defenders.size();
+            (void)si;
+            return runLeagueCell(archs[ai], attackers[rest],
+                                 defenders[di], seed);
+        });
+
+    if (cfg.roc) {
+        static constexpr const char *kAttacks[] = {"l1_launch", "l1_sync",
+                                                   "duplex"};
+        static constexpr const char *kBenign[] = {
+            "const_walker", "compute", "streaming", "rodinia_mix"};
+        std::vector<RocSpec> specs;
+        for (std::size_t ai = 0; ai < archs.size(); ++ai) {
+            for (const char *n : kAttacks)
+                specs.push_back({n, true, ai});
+            for (const char *n : kBenign)
+                specs.push_back({n, false, ai});
+        }
+        table.roc = runner.runTrials(
+            specs.size(), deriveSeed(cfg.seedBase, kRocTag),
+            [&](std::size_t i, std::uint64_t seed) {
+                return runRocSample(archs[specs[i].archIdx], specs[i],
+                                    cfg.detector, seed);
+            });
+        std::size_t attacks = 0, benign = 0, tp = 0, fp = 0;
+        for (const RocSample &s : table.roc) {
+            if (s.isAttack) {
+                ++attacks;
+                tp += s.flagged ? 1 : 0;
+            } else {
+                ++benign;
+                fp += s.flagged ? 1 : 0;
+            }
+        }
+        table.tpRate = attacks ? double(tp) / double(attacks) : 0.0;
+        table.fpRate = benign ? double(fp) / double(benign) : 0.0;
+    }
+
+    table.digest = leagueDigest(table);
+    return table;
+}
+
+std::uint64_t
+leagueDigest(const LeagueTable &t)
+{
+    verify::StateDigest d(0x6c656167ULL); // "leag"
+    d.u64(t.cells.size());
+    for (const CellResult &c : t.cells) {
+        d.str(c.attacker);
+        d.str(c.defender);
+        d.str(c.arch);
+        d.u64(c.seed);
+        d.u64(c.complete ? 1 : 0);
+        d.u64(c.residualBitErrors);
+        d.f64(c.residualBer);
+        d.f64(c.goodputBps);
+        d.f64(c.seconds);
+        d.u64(c.failovers);
+        d.str(c.finalResource);
+        d.u64(c.desyncs);
+        d.u64(c.resyncs);
+        d.u64(c.segments);
+        d.u64(c.defSamples);
+        d.u64(c.defAlarms);
+        d.u64(c.defEscalations);
+        d.u64(c.defDeescalations);
+        d.i64(c.defPeakRung);
+        d.u64(c.defStepsApplied);
+        d.u64(c.detected ? 1 : 0);
+        d.u64(c.deviceDigest);
+    }
+    d.u64(t.roc.size());
+    for (const RocSample &s : t.roc) {
+        d.str(s.name);
+        d.str(s.arch);
+        d.u64(s.isAttack ? 1 : 0);
+        d.u64(s.flagged ? 1 : 0);
+    }
+    return d.value();
+}
+
+void
+writeLeagueJson(const LeagueTable &t, std::ostream &os)
+{
+    metrics::JsonWriter w(os, true);
+    w.beginObject();
+    w.field("league", "attacker_defender_coevolution");
+    w.beginArray("cells");
+    for (const CellResult &c : t.cells) {
+        w.beginObject();
+        w.field("attacker", c.attacker);
+        w.field("defender", c.defender);
+        w.field("arch", c.arch);
+        w.field("seed", c.seed);
+        w.field("complete", c.complete);
+        w.field("residual_bit_errors",
+                std::uint64_t(c.residualBitErrors));
+        w.field("residual_ber", c.residualBer);
+        w.field("goodput_bps", c.goodputBps);
+        w.field("residual_capacity_bps", c.residualCapacityBps);
+        w.field("seconds", c.seconds);
+        w.field("failovers", c.failovers);
+        w.field("final_resource", c.finalResource);
+        w.field("desyncs", c.desyncs);
+        w.field("resyncs", c.resyncs);
+        w.field("segments", c.segments);
+        w.field("def_samples", c.defSamples);
+        w.field("def_alarms", c.defAlarms);
+        w.field("def_escalations", c.defEscalations);
+        w.field("def_deescalations", c.defDeescalations);
+        w.field("def_peak_rung", c.defPeakRung);
+        w.field("def_steps_applied", c.defStepsApplied);
+        w.field("detected", c.detected);
+        w.field("device_digest", c.deviceDigest);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("roc");
+    for (const RocSample &s : t.roc) {
+        w.beginObject();
+        w.field("name", s.name);
+        w.field("arch", s.arch);
+        w.field("is_attack", s.isAttack);
+        w.field("flagged", s.flagged);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("tp_rate", t.tpRate);
+    w.field("fp_rate", t.fpRate);
+    w.field("digest", t.digest);
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace gpucc::covert::league

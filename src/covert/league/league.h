@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Attacker/defender co-evolution league (Section 9 extension).
+ *
+ * The mitigation study in bench_sec9_mitigations scores *static*
+ * defenses against *fixed* channels. Real deployments are a moving
+ * fight: defenses activate reactively (Karimi et al.), and a capable
+ * attacker answers by migrating to an undefended resource (the
+ * session layer's cross-resource failover). The league pits the two
+ * adaptive sides against each other systematically:
+ *
+ *  - every (attacker, defender, architecture, seed) cell runs one
+ *    complete ChannelSession transfer with the defender armed on the
+ *    same device, and scores the *residual capacity* the attacker
+ *    retained: goodput x (1 - H2(residual BER));
+ *  - alongside the cells, a detector ROC population scores the
+ *    Section 9 detector at its default operating point: true positives
+ *    over the cache-channel families, false positives over the
+ *    Rodinia-like interference workloads;
+ *  - the whole table folds into a single 64-bit digest, a pure
+ *    function of (specs, seedBase) — bit-identical at any
+ *    GPUCC_THREADS, so CI can pin the tournament outcome the same way
+ *    the conformance bands pin channel bandwidths.
+ *
+ * Determinism contract: a cell's seed derives from (seedBase, cell
+ * index) through SweepRunner::deriveSeed; the reactive defender's
+ * sample-jitter seed and the payload both derive from the cell seed.
+ * Nothing reads the wall clock or shares simulated state across cells.
+ */
+
+#ifndef GPUCC_COVERT_LEAGUE_LEAGUE_H
+#define GPUCC_COVERT_LEAGUE_LEAGUE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "covert/detection/cc_detector.h"
+#include "covert/sync/duplex_channel.h"
+#include "gpu/arch_params.h"
+#include "gpu/mitigations.h"
+
+namespace gpucc::covert::league
+{
+
+/** One attacker archetype: a session shape and a failover ladder. */
+struct AttackerSpec
+{
+    std::string name;
+
+    /** Session resource ladder (session.h "Cross-resource failover").
+     *  A single entry pins the attacker to that substrate. */
+    std::vector<ChannelResource> resources = {ChannelResource::L1Const};
+
+    std::size_t payloadBits = 96;
+    bool startMultiBit = true; //!< open at the two-set rung
+};
+
+/** How a defender applies its mitigations. */
+enum class DefenderKind
+{
+    None = 0,      //!< undefended baseline
+    Static = 1,    //!< fixed MitigationConfig for the whole run
+    Scheduled = 2, //!< pre-planned MitigationScheduler steps
+    Reactive = 3,  //!< detector-driven ReactiveDefender ladder
+};
+
+/** One defender archetype. */
+struct DefenderSpec
+{
+    std::string name;
+    DefenderKind kind = DefenderKind::None;
+
+    gpu::MitigationConfig staticCfg;        //!< kind == Static
+    gpu::MitigationSchedule schedule;       //!< kind == Scheduled
+    gpu::ReactiveDefenderConfig reactive;   //!< kind == Reactive
+};
+
+/** Outcome of one (attacker, defender, arch, seed) cell. */
+struct CellResult
+{
+    std::string attacker;
+    std::string defender;
+    std::string arch;
+    std::uint64_t seed = 0;
+
+    // Attacker side.
+    bool complete = false;
+    std::size_t residualBitErrors = 0;
+    double residualBer = 0.0;
+    double goodputBps = 0.0;
+    /** Error-adjusted capacity the attacker kept despite the defense:
+     *  goodput x (1 - H2(residual BER)). */
+    double residualCapacityBps = 0.0;
+    double seconds = 0.0;
+    unsigned failovers = 0;
+    std::string finalResource; //!< substrate at session end ("l1"...)
+    unsigned desyncs = 0;
+    unsigned resyncs = 0;
+    unsigned segments = 0;
+
+    // Defender side.
+    std::uint64_t defSamples = 0;
+    std::uint64_t defAlarms = 0;
+    std::uint64_t defEscalations = 0;
+    std::uint64_t defDeescalations = 0;
+    int defPeakRung = -1;     //!< Reactive only (-1 = never escalated)
+    unsigned defStepsApplied = 0; //!< Scheduled only
+    /** Detector verdict on this cell's traffic: reactive defenders
+     *  report alarms > 0; all other kinds run the detector post-hoc
+     *  over the cell's eviction trace. */
+    bool detected = false;
+
+    /** Architectural end-state digest of the cell's device. */
+    std::uint64_t deviceDigest = 0;
+};
+
+/** One member of the detector ROC population. */
+struct RocSample
+{
+    std::string name; //!< channel family or workload name
+    std::string arch;
+    bool isAttack = false; //!< ground truth
+    bool flagged = false;  //!< detector verdict
+};
+
+/** Tournament shape. Empty vectors select the default pools. */
+struct LeagueConfig
+{
+    std::vector<AttackerSpec> attackers;  //!< empty -> defaultAttackerPool()
+    std::vector<DefenderSpec> defenders;  //!< empty -> defaultDefenderPool()
+    std::vector<gpu::ArchParams> archs;   //!< empty -> allArchitectures()
+    unsigned seedsPerCell = 2;
+    std::uint64_t seedBase = 2017;
+
+    bool roc = true; //!< also run the detector ROC population
+    DetectorConfig detector; //!< ROC operating point (paper defaults)
+
+    /** SweepRunner workers (0 = GPUCC_THREADS / hardware). Results and
+     *  digest are identical for every value. */
+    unsigned threads = 0;
+};
+
+/** The assembled league table. */
+struct LeagueTable
+{
+    std::vector<CellResult> cells; //!< cell order: atk x def x arch x seed
+    std::vector<RocSample> roc;
+    double tpRate = 0.0; //!< flagged attacks / attacks
+    double fpRate = 0.0; //!< flagged benign runs / benign runs
+    /** Order-sensitive digest over every cell and ROC sample. */
+    std::uint64_t digest = 0;
+};
+
+/** The channel-agile attacker: opens on L1, fails over to the global
+ *  atomic units when a defense kills the cache substrate. */
+AttackerSpec agileAttacker();
+
+/** The historical single-substrate attacker (L1 only, no failover). */
+AttackerSpec l1PinnedAttacker();
+
+DefenderSpec noDefense();
+DefenderSpec staticDefense(std::string name, gpu::MitigationConfig cfg);
+DefenderSpec scheduledDefense(std::string name,
+                              gpu::MitigationSchedule schedule);
+DefenderSpec reactiveDefense(std::string name,
+                             gpu::ReactiveDefenderConfig cfg);
+
+/**
+ * The acceptance-cell defender: a ReactiveDefender whose ladder stops
+ * at timer fuzzing + way partitioning (the two defenses the paper
+ * discusses as deployable without scheduler support). Escalating to it
+ * mid-transfer kills the L1 substrate outright, forcing the agile
+ * attacker through exactly the failover path PROTOCOL.md specifies.
+ */
+DefenderSpec cappedReactiveDefense();
+
+std::vector<AttackerSpec> defaultAttackerPool();
+std::vector<DefenderSpec> defaultDefenderPool();
+
+/** Run one cell. Deterministic per (specs, arch, seed). */
+CellResult runLeagueCell(const gpu::ArchParams &arch,
+                         const AttackerSpec &attacker,
+                         const DefenderSpec &defender, std::uint64_t seed);
+
+/** Run the full tournament (cells fanned through SweepRunner). */
+LeagueTable runLeague(const LeagueConfig &cfg = {});
+
+/** Recompute a table's digest (exposed so tests can cross-check). */
+std::uint64_t leagueDigest(const LeagueTable &t);
+
+/** Serialize the table as JSON (schema: {"league": ..., "cells": [...],
+ *  "roc": [...], "tp_rate", "fp_rate", "digest"}). */
+void writeLeagueJson(const LeagueTable &t, std::ostream &os);
+
+} // namespace gpucc::covert::league
+
+#endif // GPUCC_COVERT_LEAGUE_LEAGUE_H

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/metrics/metrics.h"
+#include "covert/agile/idle_discovery.h"
 #include "covert/session/pilot.h"
 #include "covert/trace/flight_recorder.h"
 #include "sim/trace/trace.h"
@@ -84,7 +85,10 @@ ChannelSession::ChannelSession(const gpu::ArchParams &arch_,
     GPUCC_ASSERT(!rungs.empty(), "session ladder cannot be empty");
     GPUCC_ASSERT(rungs.size() <= auditRungMarker,
                  "ladder too tall: rung 0xF is the audit marker");
+    GPUCC_ASSERT(!cfg.resources.empty(),
+                 "session resource ladder cannot be empty");
     chan = std::make_unique<DuplexSyncChannel>(arch, duplexCfg);
+    chan->setResource(cfg.resources.front());
 }
 
 ChannelSession::~ChannelSession() = default;
@@ -107,6 +111,7 @@ ChannelSession::run(const BitVec &payload)
     auto &cPilotFail = reg.counter("session.pilotFailures");
     auto &cAuditFail = reg.counter("session.auditFailures");
     auto &cSegments = reg.counter("session.segments");
+    auto &cFailovers = reg.counter("session.failovers");
 
     // The rung gauge outlives this call (pull callbacks are sampled at
     // snapshot time), so it owns its backing value.
@@ -163,6 +168,11 @@ ChannelSession::run(const BitVec &payload)
     note("calibrate");
 
     auto recalibrate = [&] {
+        // Off the L1 substrate the contention exchange derives its
+        // threshold from the quiet/burst populations of every exchange;
+        // an L1 eviction calibration would measure the wrong resource.
+        if (chan->resource() != ChannelResource::L1Const)
+            return;
         CalibrationResult c =
             calibrateThresholds(*chan, cfg.calibrationRounds);
         chan->setTiming(c.timing);
@@ -198,9 +208,48 @@ ChannelSession::run(const BitVec &payload)
         return ok;
     };
 
+    // ---- Cross-resource failover: taken only when a resync attempt
+    // fails with the degradation ladder already exhausted. Noise makes
+    // slower rungs work; a defense that killed the substrate (way
+    // partitioning walls the cache off entirely) makes every rung fail
+    // identically, and the only move left is a different resource. ----
+    std::size_t resourceIdx = 0;
+    auto failover = [&]() -> bool {
+        if (resourceIdx + 1 >= cfg.resources.size())
+            return false;
+        if (chan->resource() == ChannelResource::L1Const) {
+            // Record what the L1 looked like when it was abandoned: a
+            // walled-off cache shows every set quiet from this side
+            // (nothing crosses the partition), while plain third-party
+            // interference shows hot sets instead.
+            auto act =
+                probeSetActivity(dev, chan->harness().trojanHost(), 4);
+            double avg = 0.0;
+            for (const auto &s : act)
+                avg += s.missFraction;
+            if (!act.empty())
+                avg /= static_cast<double>(act.size());
+            note(strfmt("l1-activity:%.2f", avg));
+        }
+        ++resourceIdx;
+        chan->setResource(cfg.resources[resourceIdx]);
+        ++epoch; // pilots from the dead substrate must not resync us
+        ++out.failovers;
+        cFailovers.inc();
+        // A fresh substrate earns a fresh start: single-bit, full rate
+        // (multi-bit set pairs only exist on L1 anyway).
+        rung = std::min<unsigned>(1, static_cast<unsigned>(rungs.size()) -
+                                         1);
+        applyRung();
+        note(strfmt("failover:%s",
+                    channelResourceName(cfg.resources[resourceIdx])));
+        return true;
+    };
+
     // ---- Resync: new epoch, fresh calibration, pilot handshakes until
-    // the parties agree again (all bounded; a failed attempt also steps
-    // down the ladder before retrying). ----
+    // the parties agree again (all bounded; a failed attempt steps down
+    // the ladder before retrying, and once the ladder is exhausted it
+    // fails over to the next resource). ----
     auto resync = [&]() -> bool {
         ++out.desyncs;
         cDesync.inc();
@@ -222,7 +271,10 @@ ChannelSession::run(const BitVec &payload)
                     clean = 0;
                 }
             }
-            stepDown();
+            if (rung + 1 < rungs.size())
+                stepDown();
+            else if (!failover())
+                continue; // everything exhausted; keep trying at bottom
         }
         return false; // proceed anyway; the segment loop stays bounded
     };
@@ -339,6 +391,7 @@ ChannelSession::run(const BitVec &payload)
     }
 
     out.finalRung = rung;
+    out.finalResource = chan->resource();
     out.complete = cursor >= payload.size() &&
                    out.delivered.size() == payload.size();
     std::size_t common = std::min(out.delivered.size(), payload.size());

@@ -35,6 +35,14 @@
  *    then progressively longer symbol periods — and steps back up
  *    after a streak of clean segments. Every transition is counted in
  *    the device metrics registry and visible on the trace timeline.
+ *  - **Cross-resource failover**: when resyncs keep failing with the
+ *    ladder already at its bottom rung — the signature of an adaptive
+ *    defense (way partitioning, cache flushing) that killed the
+ *    substrate outright rather than just adding noise — a channel-
+ *    agile session re-handshakes onto the next resource of its
+ *    configured ladder (SFU pipes, then global atomic units), bumping
+ *    the pilot epoch so stale frames die, and resumes the transfer
+ *    from the last ARQ-acknowledged prefix.
  */
 
 #ifndef GPUCC_COVERT_SESSION_SESSION_H
@@ -76,6 +84,19 @@ struct SessionConfig
     std::vector<SessionRung> ladder;
     bool startMultiBit = true; //!< start at rung 0 (else rung 1)
 
+    /**
+     * Cross-resource failover ladder (PROTOCOL.md "Cross-resource
+     * failover"). The session opens on resources[0]; when resync
+     * attempts keep failing with the degradation ladder already at its
+     * bottom rung — the signature of a defense that killed the
+     * substrate rather than mere noise — it re-handshakes the same
+     * session (fresh epoch, same cursor) on the next resource. The
+     * default pins the session to the L1 protocol, preserving the
+     * historical single-substrate behavior; channel-agile attackers
+     * append Sfu / GlobalAtomic.
+     */
+    std::vector<ChannelResource> resources = {ChannelResource::L1Const};
+
     unsigned segmentFrames = 3;   //!< data frames per segment (pilot cadence)
     unsigned pilotFailLimit = 2;  //!< consecutive failures -> desync
     unsigned resyncCleanPilots = 2; //!< clean pilots to declare resync
@@ -115,6 +136,9 @@ struct SessionResult
     unsigned auditFailures = 0;    //!< segment checksums that disagreed
     unsigned segments = 0;         //!< data segments attempted
     unsigned finalRung = 0;        //!< ladder rung at session end
+    unsigned failovers = 0;        //!< cross-resource re-handshakes
+    /** Substrate carrying traffic when the session ended. */
+    ChannelResource finalResource = ChannelResource::L1Const;
 
     unsigned rounds = 0;   //!< physical exchanges (data + pilots)
     double seconds = 0.0;  //!< device time consumed

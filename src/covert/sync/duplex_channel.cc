@@ -88,6 +88,313 @@ receiverRound(gpu::WarpCtx &ctx, const DirectionSets &mine,
     co_return;
 }
 
+// ---------------------------------------------------------------------
+// Contention substrates (cross-resource failover).
+//
+// The L1 protocol above needs cross-application evictions; way
+// partitioning removes those while leaving execution-unit contention
+// intact. The failover substrates signal through that contention:
+// half-duplex time division per exchange (full forward direction, then
+// full reverse), one bit per fixed cycle-counted slot. The receiver
+// anchors the slot grid on the falling edge of a long sender preamble
+// burst (matched filter over own-latency sample windows) and derives
+// its decode threshold from the quiet/burst populations of the same
+// exchange — nothing is carried over from the L1 calibration.
+// ---------------------------------------------------------------------
+
+/** Per-warp global-memory slab for the atomic substrate; the address
+ *  walk strides partition-interleave granules so every memory
+ *  partition's atomic unit sees traffic. */
+constexpr std::size_t atomicSlabBytes = 4096;
+
+/** Derived pacing/measurement plan of one contention exchange. */
+struct ContentionPlan
+{
+    ChannelResource resource = ChannelResource::Sfu;
+    Addr slabBase = 0;        //!< kernel's atomic slab array (0 on SFU)
+    unsigned senderWarps = 4; //!< warps spinning per bit=1
+    unsigned pollOps = 8;     //!< ops per preamble sample window
+    unsigned dataOps = 48;    //!< ops per bit measurement
+    unsigned parts = 1;       //!< gmem partition count (atomic only)
+    unsigned interleave = 256;//!< partition interleave bytes
+    unsigned targetPart = 0;  //!< partition of the peer's probe segment
+    Cycle pollBackoff = 0;    //!< sleep between sample windows
+    Cycle preGuard = 0;       //!< sender silence before the preamble
+    Cycle preamble = 0;       //!< preamble burst length
+    Cycle gap = 0;            //!< silence between burst end and slot 0
+    Cycle slot = 0;           //!< per-bit slot length
+    Cycle margin = 0;         //!< receiver offset into each slot
+    Cycle tailGuard = 0;      //!< sender stops this early in a slot
+    Cycle sampleBudget = 0;   //!< receiver preamble-capture duration
+};
+
+ContentionPlan
+makeContentionPlan(const gpu::ArchParams &arch, ChannelResource r,
+                   double scale)
+{
+    ContentionPlan p;
+    p.resource = r;
+    // The signal is queueing delay, so the sender must overcommit the
+    // resource: competing warps times per-op service (occupancy) time
+    // has to exceed the op's unloaded latency, or ops never queue and
+    // the receiver sees only the quiet level plus noise. opQuiet is
+    // the unloaded per-op estimate, opBusy the saturated one; every
+    // budget that can overlap a burst is sized from opBusy.
+    double opQuiet, opBusy;
+    if (r == ChannelResource::Sfu) {
+        // Sqrt has the largest SFU service time: saturation needs the
+        // fewest warps and the contended latency clears the timer-fuzz
+        // noise floor.
+        const auto &ot = arch.timing(gpu::OpClass::Sqrt);
+        double occ = ticksToCyclesF(ot.occTicks);
+        opQuiet = static_cast<double>(ot.latencyCycles) + occ;
+        // Half the SM's warp capacity per application — the two blocks
+        // must co-reside, and the register file binds first on Fermi
+        // (32 regs/thread default) — warps rounded onto all ports.
+        unsigned warpCap = std::min(
+            {arch.limits.maxWarps,
+             arch.limits.maxThreads / static_cast<unsigned>(warpSize),
+             arch.limits.numRegs /
+                 (32u * static_cast<unsigned>(warpSize))});
+        p.senderWarps = std::min(warpCap / 2, 32u);
+        p.senderWarps -= p.senderWarps % arch.schedulersPerSm;
+        double perPort =
+            static_cast<double>(p.senderWarps) / arch.schedulersPerSm + 1;
+        opBusy = static_cast<double>(ot.latencyCycles) + perPort * occ;
+        p.pollOps = 6;
+        p.dataOps = 48;
+    } else {
+        const auto &g = arch.gmem;
+        double occ = static_cast<double>(g.atomicTxnOverheadCycles) +
+                     static_cast<double>(g.atomicOccCycles) * warpSize;
+        opQuiet = static_cast<double>(g.atomicLatencyCycles) + occ;
+        p.senderWarps = 12;
+        opBusy = opQuiet + p.senderWarps * occ;
+        p.pollOps = 3;
+        p.dataOps = 24;
+        p.parts = g.numPartitions;
+        p.interleave = static_cast<unsigned>(g.interleaveBytes);
+    }
+    auto cyc = [](double c) { return static_cast<Cycle>(c + 0.5); };
+    p.pollBackoff = 150;
+    // Worst-case sample-window durations (quiet vs. in-burst).
+    Cycle pollQuiet = cyc(p.pollOps * opQuiet) + p.pollBackoff;
+    Cycle pollBusy = cyc(p.pollOps * opBusy * 1.2) + p.pollBackoff;
+    // Launch jitter plus block-dispatch skew between the two kernels.
+    constexpr Cycle skewMax = 6000;
+    // The matched filter locates the falling edge to within one
+    // in-burst window plus the backoff (either direction).
+    Cycle anchorErr = pollBusy + 600;
+    Cycle measBudget = cyc(p.dataOps * opBusy * 1.25);
+    p.margin = anchorErr + 600;
+    p.tailGuard = cyc(3 * opBusy) + 200;
+    p.slot = p.margin + anchorErr + measBudget + p.tailGuard + 600;
+    // Preamble: >= 2k+3 in-burst windows for the k=3 matched filter.
+    p.preamble = std::max<Cycle>(9 * pollBusy + 2000, 8000);
+    // Quiet floor: >= k+1 quiet windows even if the receiver starts
+    // skewMax late.
+    p.preGuard = skewMax + 4 * pollQuiet + 1500;
+    // Sampling must cover the falling edge plus k quiet windows after
+    // it even if the receiver starts skewMax early...
+    p.sampleBudget =
+        skewMax + p.preGuard + p.preamble + 4 * pollQuiet + 1000;
+    // ...and slot 0 must start only after sampling has ended even if
+    // the receiver started skewMax late.
+    p.gap = 2 * skewMax + 4 * pollQuiet + pollBusy + 2000;
+    if (scale > 1.0) {
+        auto stretch = [scale, cyc](Cycle &c) {
+            c = cyc(static_cast<double>(c) * scale);
+        };
+        stretch(p.preGuard);
+        stretch(p.preamble);
+        stretch(p.gap);
+        stretch(p.slot);
+        stretch(p.margin);
+        stretch(p.tailGuard);
+        stretch(p.sampleBudget);
+        stretch(p.pollBackoff);
+    }
+    return p;
+}
+
+/**
+ * Sender-side atomic lanes: one 128-byte segment per op, chosen from
+ * the granules of the warp's own slab that map to the PEER receiver's
+ * memory partition (computed host-side into the plan). Concentrating
+ * every sender warp on the one atomic unit the receiver measures is
+ * what saturates it; spreading traffic across all partitions leaves
+ * per-unit utilization too low to queue anything.
+ */
+std::vector<Addr>
+atomicSendLanes(const ContentionPlan &p, Addr slab, unsigned iter)
+{
+    unsigned granule =
+        static_cast<unsigned>(slab / p.interleave) % p.parts;
+    unsigned i0 = (p.targetPart + p.parts - granule) % p.parts;
+    unsigned granules = static_cast<unsigned>(atomicSlabBytes) / p.interleave;
+    unsigned count = (granules - 1 - i0) / p.parts + 1;
+    unsigned k = iter % (2 * count);
+    Addr seg = slab + Addr(i0 + (k / 2) * p.parts) * p.interleave +
+               Addr(k % 2) * 128;
+    std::vector<Addr> lanes;
+    lanes.reserve(warpSize);
+    for (unsigned t = 0; t < static_cast<unsigned>(warpSize); ++t)
+        lanes.push_back(seg + Addr(t) * 4);
+    return lanes;
+}
+
+/** Receiver-side atomic lanes: the slab's first 128-byte segment, one
+ *  fixed word per thread (the peer targets this segment's partition). */
+std::vector<Addr>
+atomicMeasureLanes(Addr slab)
+{
+    std::vector<Addr> lanes;
+    lanes.reserve(warpSize);
+    for (unsigned t = 0; t < static_cast<unsigned>(warpSize); ++t)
+        lanes.push_back(slab + Addr(t) * 4);
+    return lanes;
+}
+
+/** One contention op on the plan's substrate; returns observed cycles.
+ *  @p iter advances the sender's atomic address walk. */
+gpu::DeviceTask<std::uint64_t>
+contentionOp(gpu::WarpCtx &ctx, const ContentionPlan &p, Addr slab,
+             unsigned &iter, bool sending)
+{
+    if (p.resource == ChannelResource::Sfu)
+        co_return co_await ctx.op(gpu::OpClass::Sqrt);
+    if (sending)
+        co_return co_await ctx.atomicAdd(atomicSendLanes(p, slab, iter++),
+                                         1);
+    co_return co_await ctx.atomicAdd(atomicMeasureLanes(slab), 1);
+}
+
+/** Average observed latency over @p ops contention ops. */
+gpu::DeviceTask<double>
+measureOps(gpu::WarpCtx &ctx, const ContentionPlan &p, Addr slab,
+           unsigned &iter, unsigned ops)
+{
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < ops; ++i)
+        total += co_await contentionOp(ctx, p, slab, iter, false);
+    co_return ops ? static_cast<double>(total) / ops : 0.0;
+}
+
+double
+nthValue(std::vector<double> v, double frac)
+{
+    if (v.empty())
+        return 0.0;
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(v.size() - 1) + 0.5);
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(idx),
+                     v.end());
+    return v[idx];
+}
+
+/**
+ * Sender half of one direction: silence, preamble burst, then one slot
+ * per bit (spin = 1, sleep = 0). Slot boundaries are re-anchored on
+ * the warp's own clock every slot, so spin-duration variance never
+ * accumulates into drift.
+ */
+gpu::DeviceTask<void>
+contentionSend(gpu::WarpCtx &ctx, const ContentionPlan &p, Addr slab,
+               BitVec bits)
+{
+    unsigned iter = 0;
+    co_await ctx.sleep(p.preGuard);
+    Cycle t0 = co_await ctx.clock();
+    Cycle burstEnd = t0 + p.preamble;
+    while ((co_await ctx.clock()) < burstEnd) {
+        co_await contentionOp(ctx, p, slab, iter, true);
+        co_await contentionOp(ctx, p, slab, iter, true);
+    }
+    Cycle edge = co_await ctx.clock(); // the receiver's timing anchor
+    for (std::size_t r = 0; r < bits.size(); ++r) {
+        Cycle slotStart = edge + p.gap + Cycle(r) * p.slot;
+        Cycle busyEnd = slotStart + p.slot - p.tailGuard;
+        Cycle t = co_await ctx.clock();
+        if (t < slotStart)
+            co_await ctx.sleep(slotStart - t);
+        if (bits[r]) {
+            while ((co_await ctx.clock()) < busyEnd) {
+                co_await contentionOp(ctx, p, slab, iter, true);
+                co_await contentionOp(ctx, p, slab, iter, true);
+            }
+        } else {
+            t = co_await ctx.clock();
+            if (t < busyEnd)
+                co_await ctx.sleep(busyEnd - t);
+        }
+    }
+    co_return;
+}
+
+/**
+ * Receiver half of one direction. Samples own-latency windows across
+ * the whole preamble region, locates the burst's falling edge with a
+ * matched filter (max step contrast of k-window means), then measures
+ * one window per slot against the grid anchored at that edge. Emits
+ * quiet level, burst level, then one value per slot; the host decodes
+ * against the midpoint of the two levels.
+ */
+gpu::DeviceTask<void>
+contentionReceive(gpu::WarpCtx &ctx, const ContentionPlan &p, Addr slab,
+                  unsigned rounds)
+{
+    unsigned iter = 0;
+    std::vector<double> win;
+    std::vector<Cycle> winEnd;
+    Cycle t = co_await ctx.clock();
+    const Cycle tStart = t;
+    while (t < tStart + p.sampleBudget) {
+        double a = co_await measureOps(ctx, p, slab, iter, p.pollOps);
+        t = co_await ctx.clock();
+        win.push_back(a);
+        winEnd.push_back(t);
+        co_await ctx.sleep(p.pollBackoff);
+        t = co_await ctx.clock();
+    }
+    // Falling-edge matched filter: the index whose k preceding windows
+    // (burst plateau) most exceed its k following windows (gap quiet).
+    constexpr std::size_t k = 3;
+    std::size_t bestIdx = 0;
+    double bestScore = -1e300;
+    double quietLvl = nthValue(win, 0.3);
+    double burstLvl = quietLvl;
+    if (win.size() >= 2 * k) {
+        for (std::size_t e = k; e + k <= win.size(); ++e) {
+            double before = 0.0, after = 0.0;
+            for (std::size_t j = 0; j < k; ++j) {
+                before += win[e - 1 - j];
+                after += win[e + j];
+            }
+            double score = (before - after) / static_cast<double>(k);
+            if (score > bestScore) {
+                bestScore = score;
+                bestIdx = e;
+            }
+        }
+        double plateau = 0.0;
+        for (std::size_t j = 0; j < k; ++j)
+            plateau += win[bestIdx - 1 - j];
+        burstLvl = plateau / static_cast<double>(k);
+    }
+    Cycle t0 = win.empty() ? tStart : winEnd[bestIdx > 0 ? bestIdx - 1 : 0];
+    ctx.out(static_cast<std::uint64_t>(quietLvl * outScale));
+    ctx.out(static_cast<std::uint64_t>(burstLvl * outScale));
+    for (unsigned r = 0; r < rounds; ++r) {
+        Cycle target = t0 + p.gap + Cycle(r) * p.slot + p.margin;
+        t = co_await ctx.clock();
+        if (t < target)
+            co_await ctx.sleep(target - t);
+        double a = co_await measureOps(ctx, p, slab, iter, p.dataOps);
+        ctx.out(static_cast<std::uint64_t>(a * outScale));
+    }
+    co_return;
+}
+
 } // namespace
 
 DuplexSyncChannel::DuplexSyncChannel(const gpu::ArchParams &arch_,
@@ -124,9 +431,25 @@ DuplexSyncChannel::setDataSetsPerDirection(unsigned k)
     dataSets = k;
 }
 
+const char *
+channelResourceName(ChannelResource r)
+{
+    switch (r) {
+      case ChannelResource::L1Const:
+        return "l1";
+      case ChannelResource::Sfu:
+        return "sfu";
+      case ChannelResource::GlobalAtomic:
+        return "atomic";
+    }
+    return "?";
+}
+
 DuplexResult
 DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
 {
+    if (res != ChannelResource::L1Const)
+        return exchangeContention(aToB, bToA);
     const auto &geom = arch.constMem.l1;
     unsigned sets = static_cast<unsigned>(geom.numSets());
     GPUCC_ASSERT(sets >= 8, "duplex link needs at least 8 L1 sets");
@@ -264,6 +587,133 @@ DuplexSyncChannel::exchange(const BitVec &aToB, const BitVec &bToA)
     out.bToA = decode(instA, 1, revBits);
     out.bToA.channelName = "duplex reverse (B->A)";
     out.bToA.robustness = *revCounters;
+
+    Tick window = std::max(instA.endTick(), instB.endTick()) -
+                  std::min(instA.startTick(), instB.startTick());
+    finalizeResult(out.aToB, arch, window);
+    finalizeResult(out.bToA, arch, window);
+    out.aggregateBps =
+        arch.secondsFromTicks(window) > 0.0
+            ? static_cast<double>(aToB.size() + bToA.size()) /
+                  arch.secondsFromTicks(window)
+            : 0.0;
+    return out;
+}
+
+DuplexResult
+DuplexSyncChannel::exchangeContention(const BitVec &aToB,
+                                      const BitVec &bToA)
+{
+    auto &dev = parties->device();
+    ContentionPlan plan = makeContentionPlan(arch, res, scale);
+    unsigned warps = plan.senderWarps;
+    Addr aBase = 0, bBase = 0;
+    unsigned aPart = 0, bPart = 0;
+    if (res == ChannelResource::GlobalAtomic) {
+        aBase = dev.allocGlobal(atomicSlabBytes * warps, 4096);
+        bBase = dev.allocGlobal(atomicSlabBytes * warps, 4096);
+        // Each side's receiver measures the first segment of its own
+        // warp-0 slab; the peer's senders aim at that partition.
+        auto partOf = [&](Addr a) {
+            return static_cast<unsigned>(a / arch.gmem.interleaveBytes) %
+                   arch.gmem.numPartitions;
+        };
+        aPart = partOf(aBase);
+        bPart = partOf(bBase);
+    }
+    BitVec fwdBits = aToB;
+    BitVec revBits = bToA;
+    unsigned fwdRounds = static_cast<unsigned>(fwdBits.size());
+    unsigned revRounds = static_cast<unsigned>(revBits.size());
+
+    // Half-duplex time division: phase 1 carries the full forward
+    // payload (A sends, B's warp 0 receives), a block barrier on each
+    // side flips the roles, phase 2 carries the reverse payload. All
+    // of a kernel's warps spin in its send phase (covering every
+    // scheduler port / memory partition); only warp 0 measures in its
+    // receive phase, anchored by the phase's own preamble.
+    gpu::KernelLaunch appA;
+    appA.name = strfmt("agile-A-%s", channelResourceName(res));
+    appA.config.gridBlocks = arch.numSms;
+    appA.config.threadsPerBlock = warps * warpSize;
+    ContentionPlan planA = plan;
+    planA.slabBase = aBase;
+    planA.targetPart = bPart; // A's senders aim at B's probe partition
+    appA.body = [planA, fwdBits,
+                 revRounds](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        Addr slab = planA.slabBase +
+                    Addr(ctx.warpInBlock()) * atomicSlabBytes;
+        co_await contentionSend(ctx, planA, slab, fwdBits);
+        co_await ctx.syncthreads();
+        if (ctx.warpInBlock() == 0 && revRounds > 0)
+            co_await contentionReceive(ctx, planA, slab, revRounds);
+        co_return;
+    };
+
+    gpu::KernelLaunch appB;
+    appB.name = strfmt("agile-B-%s", channelResourceName(res));
+    appB.config.gridBlocks = arch.numSms;
+    appB.config.threadsPerBlock = warps * warpSize;
+    ContentionPlan planB = plan;
+    planB.slabBase = bBase;
+    planB.targetPart = aPart; // B's senders aim at A's probe partition
+    appB.body = [planB, revBits,
+                 fwdRounds](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        if (ctx.smid() != 0)
+            co_return;
+        Addr slab = planB.slabBase +
+                    Addr(ctx.warpInBlock()) * atomicSlabBytes;
+        if (ctx.warpInBlock() == 0 && fwdRounds > 0)
+            co_await contentionReceive(ctx, planB, slab, fwdRounds);
+        co_await ctx.syncthreads();
+        co_await contentionSend(ctx, planB, slab, revBits);
+        co_return;
+    };
+
+    auto &hostA = parties->trojanHost();
+    auto &hostB = parties->spyHost();
+    auto &instA = hostA.launch(parties->trojanStream(), appA);
+    auto &instB = hostB.launch(parties->spyStream(), appB);
+    hostB.sync(instB);
+    hostA.sync(instA);
+
+    // Decode: the receiver's first two outputs are its measured quiet
+    // and burst levels; the bit threshold is their midpoint — derived
+    // entirely inside this exchange, so the decode survives resource
+    // switches and slow drifts with no carried calibration state.
+    auto decode = [&](const gpu::KernelInstance &inst, const BitVec &sent) {
+        ChannelResult r;
+        r.sent = sent;
+        unsigned wpb = inst.config().warpsPerBlock();
+        for (const auto &rec : inst.blockRecords()) {
+            if (rec.smId != 0)
+                continue;
+            const auto &vals = inst.out(rec.blockId * wpb);
+            if (vals.size() < 2)
+                continue;
+            double quiet = static_cast<double>(vals[0]) / outScale;
+            double burst = static_cast<double>(vals[1]) / outScale;
+            r.threshold = 0.5 * (quiet + burst);
+            for (std::size_t v = 2;
+                 v < vals.size() && v - 2 < sent.size(); ++v) {
+                double avg = static_cast<double>(vals[v]) / outScale;
+                r.received.push_back(avg > r.threshold ? 1 : 0);
+                (sent[v - 2] ? r.oneMetric : r.zeroMetric).add(avg);
+            }
+        }
+        r.report = compareBits(r.sent, r.received);
+        return r;
+    };
+
+    DuplexResult out;
+    out.aToB = decode(instB, fwdBits);
+    out.aToB.channelName =
+        strfmt("agile forward (A->B, %s)", channelResourceName(res));
+    out.bToA = decode(instA, revBits);
+    out.bToA.channelName =
+        strfmt("agile reverse (B->A, %s)", channelResourceName(res));
 
     Tick window = std::max(instA.endTick(), instB.endTick()) -
                   std::min(instA.startTick(), instB.startTick());

@@ -15,6 +15,21 @@
  * independently. This is the substrate the related work builds
  * interactive sessions on (Maurice et al. run ssh over their CPU cache
  * channel); examples/covert_chat.cpp shows a request/response exchange.
+ *
+ * Cross-resource failover (PROTOCOL.md): when a defense kills the L1
+ * substrate mid-session (way partitioning makes cross-application
+ * evictions impossible, so handshakes and pilots die while private
+ * calibration still succeeds), the session layer re-handshakes the
+ * same duplex contract onto a contention resource — SFU pipes or the
+ * global-memory atomic units — via setResource(). The contention
+ * exchange is half-duplex time-division: per direction the sender
+ * stays silent (the receiver samples its own-operation latency for a
+ * quiet baseline), bursts a long preamble (the receiver's amplitude
+ * and timing anchor, located with a falling-edge matched filter), and
+ * then signals one bit per fixed cycle-counted slot by spinning (1) or
+ * sleeping (0); the receiver re-derives its decode threshold from the
+ * quiet/burst populations of the same exchange, so no cross-resource
+ * calibration state is carried over.
  */
 
 #ifndef GPUCC_COVERT_SYNC_DUPLEX_CHANNEL_H
@@ -27,6 +42,18 @@
 
 namespace gpucc::covert
 {
+
+/** Hardware substrate a duplex exchange runs over (failover ladder;
+ *  Table 1's exploitable resources, in session preference order). */
+enum class ChannelResource
+{
+    L1Const = 0,      //!< constant-cache eviction protocol (default)
+    Sfu = 1,          //!< SFU-pipe contention (per-SM, per-scheduler)
+    GlobalAtomic = 2, //!< atomic-unit contention (device-wide)
+};
+
+/** Short stable name ("l1" / "sfu" / "atomic") for logs and JSON. */
+const char *channelResourceName(ChannelResource r);
 
 /** Result of one full-duplex exchange. */
 struct DuplexResult
@@ -95,12 +122,28 @@ class DuplexSyncChannel
     /** Current pacing scale (1.0 = the per-arch calibrated timing). */
     double periodScale() const { return scale; }
 
+    /**
+     * Move the link onto a different hardware substrate (session-layer
+     * cross-resource failover). Takes effect on the next exchange();
+     * L1-calibrated thresholds are ignored off-L1 (the contention
+     * paths self-calibrate per exchange), and the multi-bit rung
+     * (dataSetsPerDirection) only applies on L1Const.
+     */
+    void setResource(ChannelResource r) { res = r; }
+
+    /** Substrate currently in force. */
+    ChannelResource resource() const { return res; }
+
   private:
+    DuplexResult exchangeContention(const BitVec &aToB,
+                                    const BitVec &bToA);
+
     gpu::ArchParams arch;
     DuplexConfig cfg;
     ProtocolTiming protoTiming; //!< baseline (unscaled) timing in force
     double scale = 1.0;
     unsigned dataSets = 1; //!< data sets (bits per round) per direction
+    ChannelResource res = ChannelResource::L1Const;
     std::unique_ptr<TwoPartyHarness> parties;
 };
 

@@ -151,6 +151,8 @@ Device::submit(Stream &stream, KernelLaunch launch, Tick arrivalTick)
         nextKernelId++, std::move(launch), stream));
     KernelInstance &inst = *instances.back();
     stream.submit(inst, arrivalTick);
+    if (defense)
+        defense->noteKernelSubmitted();
     return inst;
 }
 

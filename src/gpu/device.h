@@ -296,7 +296,8 @@ class Device
     /** Kill switch for A/B timing comparisons in tests. */
     void setElisionEnabled(bool on) { elisionOn = on; }
 
-    /** Device-internal RNG (scheduler randomization, timer fuzz). */
+    /** Device-internal RNG (scheduler randomization; timer fuzz uses
+     *  a stateless hash stream instead, see MitigationConfig). */
     Rng &deviceRng() { return rng; }
 
     /**
@@ -313,6 +314,18 @@ class Device
         injector = inj;
         recomputeFastPath();
     }
+
+    /**
+     * Runtime defense policy hook (gpu/mitigations.h), or null — the
+     * same attach/detach pattern as faultHooks(). submit() pokes it so
+     * a policy whose interval sampling lapsed while the queue drained
+     * can re-arm when the next kernel arrives. Not captured by
+     * snapshot(): forks start undefended, like they start untraced.
+     */
+    DefensePolicy *defenseHook() const { return defense; }
+
+    /** Attach/detach the defense policy (ReactiveDefender only). */
+    void setDefenseHook(DefensePolicy *p) { defense = p; }
 
     /**
      * The device's metrics registry. Every component registers its
@@ -350,11 +363,14 @@ class Device
     /**
      * Elision is only valid when nothing observes per-event execution
      * order or draws RNG per operation: fault hooks reorder resumes,
-     * trace shards record stall spans, timer fuzz and randomized
-     * scheduler assignment consume the device RNG stream, and flushes
-     * between kernels order against concurrent accesses. Mitigation
-     * scenarios are rare and fidelity-critical, so any active
-     * mitigation simply runs fully event-driven.
+     * trace shards record stall spans, randomized scheduler assignment
+     * consumes the device RNG stream, timer fuzz hashes the *device*
+     * clock (which an elided warp runs ahead of), and flushes between
+     * kernels order against concurrent accesses. Mitigation scenarios
+     * are rare and fidelity-critical, so any active mitigation simply
+     * runs fully event-driven. Runtime toggles re-enter here via
+     * setMitigations(), so an activation edge flips the fast path off
+     * for everything scheduled after it.
      */
     void recomputeFastPath()
     {
@@ -380,6 +396,7 @@ class Device
     MitigationConfig mitigationCfg;
     Rng rng{0x6d69746967617465ULL};
     sim::fault::FaultInjector *injector = nullptr;
+    DefensePolicy *defense = nullptr;
     metrics::Registry registry;
     sim::trace::Shard *trace = nullptr;
 

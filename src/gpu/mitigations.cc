@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Runtime mitigation policies: the pre-planned scheduler and the
+ * detector-driven reactive defender (see mitigations.h).
+ *
+ * Layering note: this is the one gpu/ translation unit that reaches up
+ * into covert/detection — the reactive defender *is* the detector's
+ * consumer, and cc_detector.h itself depends only on mem/. Everything
+ * links into the single gpucc static library, so no cycle exists at
+ * the build level either.
+ */
+
+#include "gpu/mitigations.h"
+
+#include <algorithm>
+
+#include "covert/detection/cc_detector.h"
+#include "gpu/device.h"
+#include "sim/exec/sweep_runner.h"
+
+namespace gpucc::gpu
+{
+
+std::vector<DefenseRung>
+defaultDefenseLadder()
+{
+    std::vector<DefenseRung> ladder;
+    MitigationConfig c;
+    c.timerFuzzCycles = 64;
+    ladder.push_back({"fuzz64", c});
+    c.timerFuzzCycles = 256;
+    ladder.push_back({"fuzz256", c});
+    c.cacheWayPartitioning = true;
+    ladder.push_back({"fuzz256+waypart", c});
+    c.randomizeWarpSchedulers = true;
+    ladder.push_back({"fuzz256+waypart+randsched", c});
+    c.temporalPartitioning = true;
+    c.flushCachesBetweenKernels = true;
+    ladder.push_back({"fuzz256+waypart+randsched+temporal+flush", c});
+    return ladder;
+}
+
+MitigationScheduler::MitigationScheduler(Device &dev_,
+                                         MitigationSchedule schedule)
+    : dev(&dev_), sched(std::move(schedule))
+{
+}
+
+void
+MitigationScheduler::arm()
+{
+    auto &q = dev->events();
+    Tick base = q.now();
+    for (const MitigationStep &step : sched.steps) {
+        // A copy of the step config is baked into the event; firing is
+        // a plain (non-neutral) event, so the elision fast path can
+        // never skip a warp's clock past an activation edge.
+        MitigationConfig cfg = step.cfg;
+        q.schedule(base + cyclesToTicks(step.atCycle), [this, cfg] {
+            dev->setMitigations(cfg);
+            ++appliedSteps;
+        });
+    }
+}
+
+ReactiveDefender::ReactiveDefender(Device &dev_, ReactiveDefenderConfig c)
+    : dev(&dev_), cfg(std::move(c))
+{
+    rungs = cfg.ladder.empty() ? defaultDefenseLadder() : cfg.ladder;
+}
+
+void
+ReactiveDefender::arm()
+{
+    GPUCC_ASSERT(!isArmed, "ReactiveDefender armed twice");
+    isArmed = true;
+    baseline = dev->mitigations();
+    st = ReactiveDefenderStats{};
+    alarmStreak = 0;
+    quietStreak = 0;
+    dev->constMem().setEvictionTracing(true);
+    dev->constMem().clearEvictionTrace();
+    dev->setDefenseHook(this);
+    auto &reg = dev->metricsRegistry();
+    reg.counter("defense.samples");
+    reg.counter("defense.alarms");
+    reg.counter("defense.escalations");
+    reg.counter("defense.deescalations");
+    reg.gauge("defense.rung",
+              [this] { return static_cast<double>(st.rung); });
+    scheduleSample();
+}
+
+void
+ReactiveDefender::disarm()
+{
+    if (!isArmed)
+        return;
+    isArmed = false;
+    dev->setDefenseHook(nullptr);
+    dev->constMem().setEvictionTracing(false);
+}
+
+void
+ReactiveDefender::noteKernelSubmitted()
+{
+    // Sampling lapsed while the queue drained (host sync between
+    // exchanges); a fresh kernel means observable work is back.
+    if (isArmed && !samplePending && st.samples < cfg.maxSamples)
+        scheduleSample();
+}
+
+Tick
+ReactiveDefender::nextSampleDelay()
+{
+    // Deterministic per (config, seed): phase jitter is a pure hash of
+    // the sample index — no wall clock, no device RNG.
+    using sim::exec::splitmix64;
+    Cycle period = cfg.samplePeriodCycles > 0 ? cfg.samplePeriodCycles : 1;
+    std::uint64_t h = splitmix64(cfg.seed ^ splitmix64(st.samples + 1));
+    Cycle jitter = period >= 8 ? h % (period / 8) : 0;
+    return cyclesToTicks(period + jitter);
+}
+
+void
+ReactiveDefender::scheduleSample()
+{
+    samplePending = true;
+    dev->events().schedule(dev->events().now() + nextSampleDelay(),
+                           [this] { onSample(); });
+}
+
+void
+ReactiveDefender::onSample()
+{
+    samplePending = false;
+    if (!isArmed)
+        return;
+    ++st.samples;
+    auto &reg = dev->metricsRegistry();
+    reg.counter("defense.samples").inc();
+
+    covert::DetectorConfig dc;
+    dc.minCrossEvictions = cfg.minCrossEvictions;
+    dc.oscillationThreshold = cfg.oscillationThreshold;
+    auto verdict =
+        covert::analyzeEvictionTrace(dev->constMem().evictionTrace(), dc);
+    // Each sample scores only fresh evictions; clearing also keeps the
+    // trace bounded over arbitrarily long defended runs.
+    dev->constMem().clearEvictionTrace();
+
+    if (verdict.covertChannelSuspected) {
+        ++st.alarms;
+        reg.counter("defense.alarms").inc();
+        quietStreak = 0;
+        if (++alarmStreak >= cfg.alarmsToEscalate) {
+            alarmStreak = 0;
+            if (st.rung + 1 < static_cast<int>(rungs.size())) {
+                applyRung(st.rung + 1);
+                ++st.escalations;
+                reg.counter("defense.escalations").inc();
+            }
+        }
+    } else {
+        alarmStreak = 0;
+        if (++quietStreak >= cfg.quietToDeescalate) {
+            quietStreak = 0;
+            if (st.rung >= 0) {
+                applyRung(st.rung - 1);
+                ++st.deescalations;
+                reg.counter("defense.deescalations").inc();
+            }
+        }
+    }
+
+    if (st.samples >= cfg.maxSamples)
+        return;
+    // Same discipline as the metrics sampler: re-arm only while other
+    // work is pending so runUntilIdle() terminates; the submit() hook
+    // revives sampling when the next kernel arrives.
+    if (!dev->events().empty())
+        scheduleSample();
+}
+
+void
+ReactiveDefender::applyRung(int r)
+{
+    st.rung = r;
+    st.peakRung = std::max(st.peakRung, r);
+    dev->setMitigations(r >= 0 ? rungs[static_cast<std::size_t>(r)].cfg
+                               : baseline);
+}
+
+} // namespace gpucc::gpu

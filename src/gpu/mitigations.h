@@ -1,6 +1,7 @@
 /**
  * @file
- * Section 9 mitigations, implemented as device-level options.
+ * Section 9 mitigations: static device-level switches plus runtime
+ * defense policies.
  *
  * The paper sketches four defense families against GPU covert channels;
  * each is modeled here so its effect on every channel can be measured:
@@ -17,15 +18,40 @@
  *    execute concurrently; optionally the caches are flushed between
  *    kernels — without the flush, *state-based* cache channels survive
  *    temporal isolation even though contention channels die.
+ *
+ * Originally these were static switches fixed for the lifetime of a
+ * Device. Real deployments (Karimi et al.) activate defenses
+ * *reactively*, so every switch is also activatable/deactivatable at
+ * runtime through two policy objects that ride the event queue:
+ *
+ *  - MitigationScheduler: applies a fixed, pre-planned sequence of
+ *    MitigationConfig switches at given device times (the defense
+ *    analogue of a FaultPlan — deterministic per schedule);
+ *  - ReactiveDefender: samples the constant-cache eviction trace on an
+ *    interval, scores it with the covert-channel detector, and walks a
+ *    defense ladder up on sustained alarms / down after quiet periods.
+ *    Deterministic per (config, seed): sample times derive from a
+ *    splitmix64 stream, never from wall clock or the device RNG.
+ *
+ * Activation events are ordinary (non-neutral) queue events, so the
+ * warp-local clock-elision fast path (PR 6) cannot skip past them: an
+ * elided window always completes strictly before the toggle fires, and
+ * setMitigations() re-evaluates fastPathOk for everything after it.
  */
 
 #ifndef GPUCC_GPU_MITIGATIONS_H
 #define GPUCC_GPU_MITIGATIONS_H
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/types.h"
 
 namespace gpucc::gpu
 {
+
+class Device;
 
 /** Device-level mitigation switches (all off by default). */
 struct MitigationConfig
@@ -39,6 +65,13 @@ struct MitigationConfig
     /** Amplitude (cycles) of uniform noise added to every latency a
      *  program can observe; 0 disables. */
     Cycle timerFuzzCycles = 0;
+
+    /** Seed of the stateless (splitmix64) timer-fuzz noise stream.
+     *  Fuzzed runs replay bit-identically at any GPUCC_THREADS because
+     *  the noise is a pure hash of (seed, tick, sm, warp) — the device
+     *  RNG is never consumed. Not a mitigation by itself (any()
+     *  ignores it). */
+    std::uint64_t timerFuzzSeed = 0x74696d6572667aULL; // "timerfz"
 
     /** Only one application's kernels run on the device at a time. */
     bool temporalPartitioning = false;
@@ -55,6 +88,166 @@ struct MitigationConfig
                timerFuzzCycles > 0 || temporalPartitioning ||
                flushCachesBetweenKernels;
     }
+};
+
+/**
+ * Runtime defense hook installed on a Device (null by default — same
+ * hook pattern as faultHooks()). The device pokes it whenever a kernel
+ * is submitted so a policy whose sampling lapsed while the event queue
+ * drained (between host-synchronized exchanges) can re-arm itself
+ * without keeping runUntilIdle() from terminating.
+ */
+class DefensePolicy
+{
+  public:
+    virtual ~DefensePolicy() = default;
+
+    /** Called from Device::submit() after the launch is enqueued. */
+    virtual void noteKernelSubmitted() = 0;
+};
+
+/** One rung of a defense ladder: a named mitigation combination. */
+struct DefenseRung
+{
+    std::string name;
+    MitigationConfig cfg;
+};
+
+/**
+ * The canonical escalation ladder (weakest first): timer-fuzz
+ * amplitude ramp, then way partitioning, then scheduler randomization,
+ * then temporal partitioning + flush. Later rungs keep the earlier
+ * switches on — escalation only ever tightens the screws.
+ */
+std::vector<DefenseRung> defaultDefenseLadder();
+
+/** One step of a pre-planned mitigation schedule. */
+struct MitigationStep
+{
+    Cycle atCycle = 0;     //!< device time (cycles from arm) to apply at
+    MitigationConfig cfg;  //!< full config applied at that time
+    std::string note;      //!< annotation for traces/logs
+};
+
+/** A pre-planned sequence of runtime mitigation switches. */
+struct MitigationSchedule
+{
+    std::vector<MitigationStep> steps;
+};
+
+/**
+ * Applies a MitigationSchedule on the event queue. Steps fire as
+ * regular events at arm-time + step.atCycle in the order given;
+ * identical per (schedule, device state) — there is no randomness.
+ */
+class MitigationScheduler
+{
+  public:
+    MitigationScheduler(Device &dev, MitigationSchedule schedule);
+
+    /** Schedule every step relative to the current device clock.
+     *  Call once; the steps then fire as the clock passes them. */
+    void arm();
+
+    /** Number of steps whose events have fired so far. */
+    unsigned applied() const { return appliedSteps; }
+
+  private:
+    Device *dev;
+    MitigationSchedule sched;
+    unsigned appliedSteps = 0;
+};
+
+/** Tunables of the reactive defender. */
+struct ReactiveDefenderConfig
+{
+    /** Nominal gap between detector samples (device cycles). */
+    Cycle samplePeriodCycles = 60000;
+
+    /** Seed of the sample-phase jitter stream (splitmix64; the device
+     *  RNG is never consumed, so arming a defender cannot perturb any
+     *  other random stream). */
+    std::uint64_t seed = 1;
+
+    /** Detector knobs (mirrors covert::DetectorConfig — kept as plain
+     *  fields so this header stays free of covert/ includes). */
+    unsigned minCrossEvictions = 48;
+    double oscillationThreshold = 0.55;
+
+    /** Consecutive alarmed samples before escalating one rung. */
+    unsigned alarmsToEscalate = 2;
+
+    /** Consecutive quiet samples before de-escalating one rung. */
+    unsigned quietToDeescalate = 8;
+
+    /** Hard bound on lifetime samples (keeps every run finite). */
+    std::size_t maxSamples = 1 << 14;
+
+    /** Escalation ladder; empty selects defaultDefenseLadder(). */
+    std::vector<DefenseRung> ladder;
+};
+
+/** Observable state of a ReactiveDefender. */
+struct ReactiveDefenderStats
+{
+    std::uint64_t samples = 0;       //!< detector samples taken
+    std::uint64_t alarms = 0;        //!< samples that flagged a channel
+    std::uint64_t escalations = 0;   //!< rung steps up
+    std::uint64_t deescalations = 0; //!< rung steps down
+    int rung = -1;                   //!< current rung (-1 = baseline)
+    int peakRung = -1;               //!< highest rung ever reached
+};
+
+/**
+ * Samples the covert-channel detector on an interval and walks a
+ * defense ladder: @ref ReactiveDefenderConfig::alarmsToEscalate
+ * consecutive alarms raise the rung, quietToDeescalate consecutive
+ * quiet samples lower it (rung -1 restores the baseline config the
+ * device had at arm()).
+ *
+ * While armed the defender owns the constant-memory eviction trace: it
+ * enables tracing, and each sample analyzes then clears the trace (so
+ * memory stays bounded and each sample scores only fresh evictions).
+ *
+ * Sampling rides the event queue with the same re-arm discipline as
+ * the metrics sampler: a sample only reschedules itself while the
+ * queue has other work, and the Device::submit() hook revives it when
+ * the next kernel arrives — runUntilIdle() always terminates.
+ */
+class ReactiveDefender : public DefensePolicy
+{
+  public:
+    ReactiveDefender(Device &dev, ReactiveDefenderConfig cfg);
+
+    /** Install the hook, enable eviction tracing, start sampling. */
+    void arm();
+
+    /** Remove the hook and stop sampling. Leaves whatever mitigation
+     *  config is active in place (callers can setMitigations() to
+     *  reset); disables eviction tracing. */
+    void disarm();
+
+    void noteKernelSubmitted() override;
+
+    const ReactiveDefenderStats &stats() const { return st; }
+    const std::vector<DefenseRung> &ladder() const { return rungs; }
+    bool armed() const { return isArmed; }
+
+  private:
+    void scheduleSample();
+    void onSample();
+    Tick nextSampleDelay();
+    void applyRung(int r);
+
+    Device *dev;
+    ReactiveDefenderConfig cfg;
+    ReactiveDefenderStats st;
+    std::vector<DefenseRung> rungs;
+    MitigationConfig baseline;
+    unsigned alarmStreak = 0;
+    unsigned quietStreak = 0;
+    bool isArmed = false;
+    bool samplePending = false; //!< a sample event sits in the queue
 };
 
 } // namespace gpucc::gpu

@@ -8,6 +8,7 @@
 #include "gpu/stream.h"
 #include "gpu/thread_block.h"
 #include "gpu/warp.h"
+#include "sim/exec/sweep_runner.h"
 #include "sim/fault/fault_injector.h"
 
 namespace gpucc::gpu
@@ -194,9 +195,22 @@ WarpCtx::fuzzLatency(std::uint64_t cycles) const
     std::int64_t noise = 0;
     // Section 9 mitigation (TimeWarp-style): every latency a program
     // observes carries uniform noise, drowning small contention deltas.
+    // Like the fault-injected jitter below, the noise is a stateless
+    // hash of (seed, tick, warp) rather than a device-RNG draw, so
+    // fuzzed runs replay bit-identically at any GPUCC_THREADS and a
+    // runtime toggle never reorders the RNG stream other consumers see.
     if (Cycle f = dev->mitigations().timerFuzzCycles; f != 0) {
-        noise += dev->deviceRng().uniformInt(
-            -static_cast<std::int64_t>(f), static_cast<std::int64_t>(f));
+        using sim::exec::splitmix64;
+        std::uint64_t salt = (std::uint64_t(smPtr->id()) << 32) |
+                             globalWarpId();
+        std::uint64_t h = splitmix64(
+            dev->mitigations().timerFuzzSeed ^
+            splitmix64(static_cast<std::uint64_t>(dev->now()) +
+                       splitmix64(salt + 0x66757a7aULL)));
+        std::int64_t amp = static_cast<std::int64_t>(f);
+        noise += static_cast<std::int64_t>(
+                     h % static_cast<std::uint64_t>(2 * amp + 1)) -
+                 amp;
     }
     // Fault-injected jitter windows: a stateless hash of (tick, warp)
     // rather than the device RNG, so the perturbation itself never
@@ -371,7 +385,10 @@ WarpCtx::GmemAwait::compute() noexcept
         break;
     }
     when = done;
-    result = ticksToCycles(done - now);
+    // Global-memory/atomic latencies are program-observable timings
+    // too: TimeWarp-style fuzzing must cover them or the atomic
+    // channel sidesteps the mitigation entirely.
+    result = c.fuzzLatency(ticksToCycles(done - now));
     computed = true;
 }
 

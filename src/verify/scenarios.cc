@@ -8,6 +8,7 @@
 #include "covert/channels/sfu_channel.h"
 #include "covert/characterize/fu_characterizer.h"
 #include "covert/coding/error_code.h"
+#include "covert/league/league.h"
 #include "covert/link/reliable_link.h"
 #include "covert/link/transport.h"
 #include "covert/parallel/sfu_parallel_channel.h"
@@ -414,6 +415,52 @@ runSessionRobustness(const gpu::ArchParams &a)
 }
 
 /**
+ * Co-evolution league acceptance cell (Section 9 extension): the
+ * channel-agile session against the capped reactive defender. The
+ * band pins the robustness claim end to end — the defender escalates
+ * to timer fuzzing + way partitioning mid-transfer, the attacker
+ * completes with zero residual errors via exactly one cross-resource
+ * failover onto the atomic units — plus the detector's ROC corners
+ * (every cache-channel family flagged, every Rodinia-like workload
+ * clean) and the 64-bit league digest, which makes any
+ * non-determinism or cross-thread divergence a conformance failure.
+ */
+ScenarioResult
+runLeagueScenario(const gpu::ArchParams &a)
+{
+    covert::league::LeagueConfig cfg;
+    cfg.attackers = {covert::league::agileAttacker()};
+    cfg.defenders = {covert::league::noDefense(),
+                     covert::league::cappedReactiveDefense()};
+    cfg.archs = {a};
+    cfg.seedsPerCell = 1;
+    // Inline: the conformance runner already fans (scenario, arch).
+    cfg.threads = 1;
+    covert::league::LeagueTable t = covert::league::runLeague(cfg);
+
+    const covert::league::CellResult &open = t.cells[0];     // none
+    const covert::league::CellResult &fought = t.cells[1];   // reactive
+    ScenarioResult r;
+    r.add("open.complete", open.complete ? 1.0 : 0.0, true);
+    r.add("open.residual_ber", open.residualBer, true);
+    r.add("open.capacity_bps", open.residualCapacityBps);
+    r.add("reactive.complete", fought.complete ? 1.0 : 0.0, true);
+    r.add("reactive.residual_ber", fought.residualBer, true);
+    r.add("reactive.failovers", double(fought.failovers), true);
+    r.add("reactive.final_atomic",
+          fought.finalResource == "atomic" ? 1.0 : 0.0, true);
+    r.add("reactive.peak_rung", double(fought.defPeakRung), true);
+    r.add("reactive.capacity_bps", fought.residualCapacityBps);
+    r.add("roc.tp_rate", t.tpRate, true);
+    r.add("roc.fp_rate", t.fpRate, true);
+    // The digest is 64 bits; bands store doubles, so pin both halves
+    // (each fits a double exactly).
+    r.add("digest.lo32", double(t.digest & 0xffffffffULL), true);
+    r.add("digest.hi32", double(t.digest >> 32), true);
+    return r;
+}
+
+/**
  * Snapshot-based sweep path: boot + calibrate one prototype channel,
  * checkpoint it, fork every (seed) cell from the checkpoint through
  * SweepRunner::runTrialsFrom, and pin the whole construction against
@@ -513,6 +560,9 @@ conformanceScenarios()
         s.push_back({"session_robustness",
                      "Section 8 (session-layer extension)", all,
                      runSessionRobustness});
+        s.push_back({"league",
+                     "Section 9 (co-evolution extension)", all,
+                     runLeagueScenario});
         s.push_back({"snapshot_sweep",
                      "Perf extension: snapshot/fork sweep path "
                      "(digest-pinned against cold boot)",

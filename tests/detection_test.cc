@@ -5,10 +5,13 @@
  * on benign workloads, and localize the communication set.
  */
 
+#include <functional>
+
 #include <gtest/gtest.h>
 
 #include "covert/channels/l1_const_channel.h"
 #include "covert/detection/cc_detector.h"
+#include "covert/sync/duplex_channel.h"
 #include "covert/sync/sync_channel.h"
 #include "gpu/host.h"
 #include "workloads/interference.h"
@@ -86,6 +89,56 @@ TEST(Detector, FlagsTheSynchronizedChannel)
     auto r = analyzeEvictionTrace(
         ch.harness().device().constMem().evictionTrace());
     EXPECT_TRUE(r.covertChannelSuspected);
+}
+
+TEST(Detector, FlagsTheDuplexChannel)
+{
+    // Third cache-channel family of the ROC population: both duplex
+    // directions oscillate on their own sets concurrently.
+    DuplexSyncChannel ch(gpu::keplerK40c());
+    ch.harness().device().constMem().setEvictionTracing(true);
+    ch.exchange(msg(48), msg(48));
+    auto r = analyzeEvictionTrace(
+        ch.harness().device().constMem().evictionTrace());
+    EXPECT_TRUE(r.covertChannelSuspected);
+}
+
+TEST(Detector, StaysQuietOnEveryBenignWorkloadFamily)
+{
+    // The ROC false-positive population, one family at a time, at the
+    // default DetectorConfig operating point.
+    auto arch = gpu::keplerK40c();
+    workloads::WorkloadSpec spec;
+    spec.blocks = 8;
+    spec.iterations = 800;
+    struct Family
+    {
+        const char *name;
+        std::function<gpu::KernelLaunch(gpu::Device &)> make;
+    };
+    const Family families[] = {
+        {"const_walker",
+         [&](gpu::Device &d) {
+             return workloads::makeConstantMemoryWorkload(d, spec);
+         }},
+        {"compute",
+         [&](gpu::Device &) {
+             return workloads::makeComputeWorkload(spec);
+         }},
+        {"streaming",
+         [&](gpu::Device &d) {
+             return workloads::makeStreamingWorkload(d, spec);
+         }},
+    };
+    for (const Family &f : families) {
+        gpu::Device dev(arch);
+        dev.constMem().setEvictionTracing(true);
+        gpu::HostContext host(dev);
+        host.launch(dev.createStream(), f.make(dev));
+        host.syncAll();
+        auto r = analyzeEvictionTrace(dev.constMem().evictionTrace());
+        EXPECT_FALSE(r.covertChannelSuspected) << f.name;
+    }
 }
 
 TEST(Detector, StaysQuietOnTheRodiniaLikeMix)

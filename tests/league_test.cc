@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Co-evolution league tests (Section 9 extension): the acceptance cell
+ * — a channel-agile session completing cleanly against a reactive
+ * defender that escalates to timer fuzzing + way partitioning
+ * mid-transfer, via exactly one cross-resource failover — plus the
+ * league's determinism contract (identical tables and digest at any
+ * worker count) and the detector ROC corners the tournament scores.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "covert/league/league.h"
+#include "sim/exec/sweep_runner.h"
+
+namespace gpucc::covert::league
+{
+namespace
+{
+
+gpu::MitigationConfig
+fuzzWaypartWall()
+{
+    gpu::MitigationConfig wall;
+    wall.timerFuzzCycles = 256;
+    wall.cacheWayPartitioning = true;
+    return wall;
+}
+
+TEST(LeagueCell, AgileSessionBeatsTheReactiveDefender)
+{
+    CellResult c =
+        runLeagueCell(gpu::keplerK40c(), agileAttacker(),
+                      cappedReactiveDefense(),
+                      sim::exec::deriveSeed(2017, 0));
+    // The robustness claim, end to end: the defender saw the channel,
+    // escalated to its top rung mid-transfer, and the session still
+    // delivered every bit — through exactly one failover onto the
+    // atomic units.
+    EXPECT_TRUE(c.detected);
+    EXPECT_GT(c.defAlarms, 0u);
+    EXPECT_EQ(c.defPeakRung, 2); // fuzz256 + way partitioning
+    EXPECT_TRUE(c.complete);
+    EXPECT_EQ(c.residualBitErrors, 0u);
+    EXPECT_EQ(c.failovers, 1u);
+    EXPECT_EQ(c.finalResource, "atomic");
+    EXPECT_GE(c.desyncs, 1u);
+    EXPECT_GT(c.residualCapacityBps, 0.0);
+}
+
+TEST(LeagueCell, L1PinnedAttackerDiesWhereTheAgileOneSurvives)
+{
+    DefenderSpec wall = staticDefense("wall", fuzzWaypartWall());
+    CellResult dead =
+        runLeagueCell(gpu::keplerK40c(), l1PinnedAttacker(), wall, 5);
+    EXPECT_FALSE(dead.complete);
+    EXPECT_EQ(dead.failovers, 0u);
+    EXPECT_EQ(dead.finalResource, "l1");
+
+    CellResult alive =
+        runLeagueCell(gpu::keplerK40c(), agileAttacker(), wall, 5);
+    EXPECT_TRUE(alive.complete);
+    EXPECT_EQ(alive.residualBitErrors, 0u);
+    EXPECT_EQ(alive.failovers, 1u);
+    EXPECT_EQ(alive.finalResource, "atomic");
+}
+
+TEST(LeagueCell, ScheduledDefenseStepsApplyMidTransfer)
+{
+    gpu::MitigationSchedule plan;
+    plan.steps.push_back({200000, fuzzWaypartWall(), "wall up"});
+    CellResult c =
+        runLeagueCell(gpu::keplerK40c(), agileAttacker(),
+                      scheduledDefense("wall_at_200k", plan), 11);
+    EXPECT_EQ(c.defStepsApplied, 1u);
+    EXPECT_TRUE(c.complete);
+    EXPECT_EQ(c.residualBitErrors, 0u);
+    EXPECT_EQ(c.finalResource, "atomic");
+}
+
+TEST(LeagueCell, DeterministicPerSeed)
+{
+    const std::uint64_t seed = sim::exec::deriveSeed(2017, 1);
+    CellResult a = runLeagueCell(gpu::keplerK40c(), agileAttacker(),
+                                 cappedReactiveDefense(), seed);
+    CellResult b = runLeagueCell(gpu::keplerK40c(), agileAttacker(),
+                                 cappedReactiveDefense(), seed);
+    EXPECT_EQ(a.deviceDigest, b.deviceDigest);
+    EXPECT_EQ(a.complete, b.complete);
+    EXPECT_EQ(a.residualBitErrors, b.residualBitErrors);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.finalResource, b.finalResource);
+    EXPECT_EQ(a.defSamples, b.defSamples);
+    EXPECT_EQ(a.defAlarms, b.defAlarms);
+    EXPECT_EQ(a.defEscalations, b.defEscalations);
+    EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST(League, DigestIsWorkerCountInvariant)
+{
+    LeagueConfig cfg;
+    cfg.attackers = {agileAttacker()};
+    cfg.defenders = {noDefense(), cappedReactiveDefense()};
+    cfg.archs = {gpu::keplerK40c()};
+    cfg.seedsPerCell = 2;
+    cfg.roc = false;
+
+    std::uint64_t reference = 0;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        cfg.threads = threads;
+        LeagueTable t = runLeague(cfg);
+        ASSERT_EQ(t.cells.size(), 4u);
+        EXPECT_EQ(t.digest, leagueDigest(t));
+        if (threads == 1u)
+            reference = t.digest;
+        else
+            EXPECT_EQ(t.digest, reference) << threads << " workers";
+    }
+}
+
+TEST(League, RocSeparatesChannelsFromBenignWorkloads)
+{
+    LeagueConfig cfg;
+    cfg.attackers = {l1PinnedAttacker()};
+    cfg.defenders = {noDefense()};
+    cfg.archs = {gpu::keplerK40c()};
+    cfg.seedsPerCell = 1;
+    LeagueTable t = runLeague(cfg);
+    ASSERT_FALSE(t.roc.empty());
+    for (const RocSample &s : t.roc)
+        EXPECT_EQ(s.flagged, s.isAttack) << s.name;
+    EXPECT_EQ(t.tpRate, 1.0);
+    EXPECT_EQ(t.fpRate, 0.0);
+}
+
+TEST(League, JsonCarriesTheFullTable)
+{
+    LeagueConfig cfg;
+    cfg.attackers = {l1PinnedAttacker()};
+    cfg.defenders = {noDefense()};
+    cfg.archs = {gpu::keplerK40c()};
+    cfg.seedsPerCell = 1;
+    cfg.roc = false;
+    LeagueTable t = runLeague(cfg);
+
+    std::ostringstream os;
+    writeLeagueJson(t, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"residual_capacity_bps\""), std::string::npos);
+    EXPECT_NE(json.find("\"final_resource\""), std::string::npos);
+    EXPECT_NE(json.find("\"tp_rate\""), std::string::npos);
+    EXPECT_NE(json.find("\"digest\""), std::string::npos);
+    EXPECT_NE(json.find(std::to_string(t.digest)), std::string::npos);
+}
+
+} // namespace
+} // namespace gpucc::covert::league

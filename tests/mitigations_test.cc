@@ -17,6 +17,8 @@
 #include "gpu/mitigations.h"
 #include "gpu/warp_ctx.h"
 #include "mem/set_assoc_cache.h"
+#include "verify/digest.h"
+#include "workloads/interference.h"
 
 namespace gpucc::covert
 {
@@ -132,16 +134,18 @@ TEST(Mitigation, SchedulerRandomizationKeepsWarpsSchedulable)
 
 TEST(Mitigation, TimerFuzzSweepDegradesTheL1Channel)
 {
-    // BER should grow with the fuzz amplitude.
+    // BER should grow with the fuzz amplitude. 256 bits keeps the
+    // estimate stable; the bound reflects the stateless splitmix64
+    // noise stream (~0.08 at amplitude 256 on this channel).
     auto ber = [&](Cycle fuzz) {
         LaunchPerBitConfig cfg;
         cfg.mitigations.timerFuzzCycles = fuzz;
         L1ConstChannel ch(gpu::keplerK40c(), cfg);
-        return ch.transmit(msg(64)).report.errorRate();
+        return ch.transmit(msg(256)).report.errorRate();
     };
     EXPECT_DOUBLE_EQ(ber(0), 0.0);
     double high = ber(256);
-    EXPECT_GT(high, 0.10);
+    EXPECT_GT(high, 0.05);
     EXPECT_GE(high + 0.05, ber(64)); // roughly monotone
 }
 
@@ -243,6 +247,83 @@ TEST(Mitigation, DefensesCompose)
         SfuChannel ch(gpu::keplerK40c(), sfuCfg);
         EXPECT_GT(ch.transmit(msg(48)).report.errorRate(), 0.2);
     }
+}
+
+TEST(Mitigation, TimerFuzzReplaysBitIdentically)
+{
+    // The fuzz stream is a pure hash of (seed, tick, sm, warp): two
+    // runs with the same fuzz seed must land on identical device
+    // digests and identical received bits, and a different fuzz seed
+    // must select a genuinely different noise stream.
+    auto run = [](std::uint64_t fuzzSeed) {
+        L1ConstChannel ch(gpu::keplerK40c());
+        gpu::MitigationConfig m;
+        m.timerFuzzCycles = 256;
+        m.timerFuzzSeed = fuzzSeed;
+        ch.harness().device().setMitigations(m);
+        ChannelResult r = ch.transmit(msg(48, 9));
+        ch.harness().device().runUntilIdle();
+        return std::pair(verify::deviceDigest(ch.harness().device()),
+                         r.received);
+    };
+    auto a = run(1);
+    auto b = run(1);
+    auto c = run(2);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+    EXPECT_NE(a.first, c.first);
+}
+
+TEST(MitigationScheduler, StepsFireAtTheirDeviceTimes)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    gpu::HostContext host(dev);
+    gpu::MitigationConfig fuzz;
+    fuzz.timerFuzzCycles = 64;
+    gpu::MitigationSchedule plan;
+    plan.steps.push_back({1000, fuzz, "fuzz on"});
+    plan.steps.push_back({3000, gpu::MitigationConfig{}, "all off"});
+    gpu::MitigationScheduler sched(dev, plan);
+    sched.arm();
+    EXPECT_EQ(sched.applied(), 0u);
+
+    workloads::WorkloadSpec spec;
+    spec.iterations = 4000; // comfortably outlasts the last step
+    host.launch(dev.createStream(), workloads::makeComputeWorkload(spec));
+    host.syncAll();
+    EXPECT_EQ(sched.applied(), 2u);
+    EXPECT_FALSE(dev.mitigations().any());
+}
+
+TEST(ReactiveDefender, WalksTheLadderUpAndDown)
+{
+    // A sync channel hammering the constant cache must drive the
+    // defender up its ladder; benign compute afterwards must walk it
+    // back down.
+    SyncL1Channel ch(gpu::keplerK40c());
+    gpu::Device &dev = ch.harness().device();
+    gpu::ReactiveDefenderConfig rc;
+    rc.samplePeriodCycles = 30000;
+    rc.minCrossEvictions = 12;
+    rc.alarmsToEscalate = 2;
+    rc.quietToDeescalate = 4;
+    gpu::ReactiveDefender rd(dev, rc);
+    rd.arm();
+
+    ch.transmit(msg(96)); // outcome irrelevant; the traffic matters
+    EXPECT_GT(rd.stats().samples, 0u);
+    EXPECT_GT(rd.stats().alarms, 0u);
+    EXPECT_GT(rd.stats().escalations, 0u);
+    EXPECT_GE(rd.stats().peakRung, 0);
+
+    workloads::WorkloadSpec spec;
+    spec.iterations = 20000;
+    ch.harness().trojanHost().launch(dev.createStream(),
+                                     workloads::makeComputeWorkload(spec));
+    ch.harness().trojanHost().syncAll();
+    rd.disarm();
+    EXPECT_GT(rd.stats().deescalations, 0u);
+    EXPECT_LT(rd.stats().rung, rd.stats().peakRung);
 }
 
 } // namespace

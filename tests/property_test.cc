@@ -146,6 +146,66 @@ TEST(Property, MetricsSamplingEqualsDetached)
         << "metrics sampling must not perturb what it observes";
 }
 
+/** Digest of one generated program with mitigations toggled mid-run
+ *  (fuzz + way partitioning on, then everything back off), with the
+ *  clock-elision fast path on or off. */
+std::uint64_t
+runToggledProgram(std::uint64_t seed, bool elision)
+{
+    gpu::Device dev(gpu::keplerK40c());
+    dev.setElisionEnabled(elision);
+    gpu::HostContext host(dev, 5);
+    host.setJitterUs(0.0);
+    gpu::MitigationConfig mid;
+    mid.timerFuzzCycles = 128;
+    mid.cacheWayPartitioning = true;
+    gpu::MitigationSchedule plan;
+    plan.steps.push_back({2000, mid, "defenses up"});
+    plan.steps.push_back({20000, gpu::MitigationConfig{}, "back off"});
+    gpu::MitigationScheduler sched(dev, plan);
+    sched.arm();
+    ProgramGen gen(gpu::keplerK40c());
+    host.sync(host.launch(dev.createStream(), gen.makeKernel(seed)));
+    host.syncAll();
+    // Elided and unelided runs legitimately differ in how many events
+    // they scheduled; the architectural end state must not.
+    DigestOptions arch;
+    arch.deviceClock = false;
+    arch.eventQueue = false;
+    return deviceDigest(dev, arch);
+}
+
+TEST(Property, MidRunMitigationToggleEqualsElisionDisabled)
+{
+    setVerbose(false);
+    // A runtime toggle is a non-neutral event: the elision fast path
+    // must never let a warp's local clock skip past it and observe
+    // pre-toggle timing after the defense went up. Pin toggle-with-
+    // elision against elision force-disabled, fanned at 1/2/8 workers
+    // (the fuzz stream is stateless, so worker count is irrelevant).
+    constexpr std::size_t trials = 8;
+    std::vector<std::uint64_t> reference;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        sim::exec::SweepRunner runner(threads);
+        auto elided = runner.runTrials(
+            trials, 77, [](std::size_t, std::uint64_t seed) {
+                return runToggledProgram(seed, true);
+            });
+        auto plain = runner.runTrials(
+            trials, 77, [](std::size_t, std::uint64_t seed) {
+                return runToggledProgram(seed, false);
+            });
+        EXPECT_EQ(elided, plain)
+            << "elision skipped a mitigation toggle at " << threads
+            << " workers";
+        if (reference.empty())
+            reference = elided;
+        else
+            EXPECT_EQ(elided, reference)
+                << threads << " workers changed a toggled run";
+    }
+}
+
 TEST(Property, ContentionNeverLowersWarp0Latency)
 {
     setVerbose(false);
