@@ -4,13 +4,14 @@
 #  1. Configure, build, and run the full test suite (the ROADMAP.md
 #     tier-1 line).
 #  2. Run bench_simperf into a scratch JSON and compare its numbers
-#     against the committed BENCH_simperf.json record; any tracked
-#     metric more than 15% slower is a regression. Performance is
-#     machine-dependent, so regressions WARN by default; --strict makes
-#     them fail (and --simperf-warn downgrades them back to warnings,
-#     for CI boxes whose absolute speed is unrelated to the recording
-#     machine's). The fresh run and the comparison report are written
-#     to <build-dir>/observability/ (CI uploads that directory).
+#     against the committed BENCH_simperf.json record through
+#     gpucc_report's simperf gate; any tracked metric more than 15%
+#     slower is a regression. Performance is machine-dependent, so
+#     regressions WARN by default; --strict makes them fail (and
+#     --simperf-warn downgrades them back to warnings, for CI boxes
+#     whose absolute speed is unrelated to the recording machine's).
+#     The fresh run and the comparison report are written to
+#     <build-dir>/observability/ (CI uploads that directory).
 #
 # With --simperf, skip the build/test tier and run ONLY the simperf
 # gate, fatally: build bench_simperf if needed, compare against the
@@ -37,9 +38,17 @@
 # single bit. The league table JSON lands in
 # <build-dir>/observability/ (CI uploads that directory).
 #
+# With --report, run the run-scale observability gate (gpucc_report):
+# a profiled sweep of the session-robustness and league cells appended
+# content-addressed into <build-dir>/observability/ledger/, the ledger
+# trend sentry (per-metric deltas vs prior revisions, per-phase cycle
+# costs included), and the markdown/JSON dashboard. Any trend
+# regression past the noise band is fatal. CI persists the ledger
+# across runs so the sentry sees real history.
+#
 # Usage: scripts/check.sh [--strict] [--simperf] [--simperf-warn]
 #                         [--trace-smoke] [--conformance] [--league]
-#                         [build-dir]
+#                         [--report] [build-dir]
 #   --strict        non-zero exit on any simperf regression >15%
 #   --simperf       run only the simperf gate, fatally (implies --strict)
 #   --simperf-warn  with --strict: keep every other gate fatal but
@@ -47,6 +56,7 @@
 #   --trace-smoke   emit + validate trace/metrics/flight JSON artifacts
 #   --conformance   run the paper-fidelity conformance gate (fatal)
 #   --league        run the co-evolution league acceptance gate (fatal)
+#   --report        run the ledger sweep + regression sentry (fatal)
 #   build-dir       CMake build directory (default: build)
 
 set -euo pipefail
@@ -57,6 +67,7 @@ simperf_warn=0
 trace_smoke=0
 conformance=0
 league=0
+report=0
 build=build
 for arg in "$@"; do
     case "$arg" in
@@ -66,8 +77,9 @@ for arg in "$@"; do
       --trace-smoke) trace_smoke=1 ;;
       --conformance) conformance=1 ;;
       --league) league=1 ;;
+      --report) report=1 ;;
       -h|--help)
-        sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,58p' "$0" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
       -*)
@@ -193,6 +205,26 @@ EOF
     echo "league OK: artifacts in $artdir"
 fi
 
+if [ "$report" = 1 ]; then
+    echo
+    echo "== report: run ledger + regression sentry (gpucc_report) =="
+    artdir="$build/observability"
+    mkdir -p "$artdir/ledger"
+    report_args=()
+    # Fold the conformance band margins into the dashboard when the
+    # --conformance gate (or a previous run) left a report behind.
+    if [ -f "$artdir/conformance_report.json" ]; then
+        report_args+=(--conformance "$artdir/conformance_report.json")
+    fi
+    "$build/src/gpucc_report" --sweep \
+        --ledger "$artdir/ledger/run_ledger.jsonl" \
+        --out-md "$artdir/report_dashboard.md" \
+        --out-json "$artdir/report_dashboard.json" \
+        --profile-json "$artdir/phase_profile.json" \
+        "${report_args[@]}"
+    echo "report OK: dashboard + ledger in $artdir"
+fi
+
 echo
 echo "== simperf: regression check vs committed BENCH_simperf.json =="
 if [ ! -x "$build/bench/bench_simperf" ]; then
@@ -226,69 +258,32 @@ if [ ! -f "$repo_root/BENCH_simperf.json" ]; then
     exit 0
 fi
 
-if ! command -v python3 >/dev/null 2>&1; then
-    echo "warning: python3 not found; skipping JSON comparison" >&2
+if [ ! -x "$build/src/gpucc_report" ]; then
+    echo "warning: $build/src/gpucc_report not built; skipping" \
+         "comparison" >&2
     exit 0
 fi
 
-simperf_fatal=0
-if [ "$strict" = 1 ] && [ "$simperf_warn" = 0 ]; then
-    simperf_fatal=1
+# gpucc_report owns the comparison (formerly an inline python heredoc
+# here): same 0.85 ratio gate, same warn-vs-fatal policy.
+simperf_args=()
+if [ "$strict" = 0 ] || [ "$simperf_warn" = 1 ]; then
+    simperf_args+=(--simperf-warn)
 fi
-
 set +e
-python3 - "$repo_root/BENCH_simperf.json" "$scratch" \
-    "$artdir/simperf_report.json" <<'EOF'
-import json
-import sys
-
-committed = json.load(open(sys.argv[1]))
-fresh = json.load(open(sys.argv[2]))
-
-reference = committed.get("current", {}).get("metrics", {})
-if not reference:
-    reference = committed.get("baseline", {}).get("metrics", {})
-measured = fresh.get("current", {}).get("metrics", {})
-
-rows = []
-regressions = []
-for name, ref in sorted(reference.items()):
-    cur = measured.get(name)
-    ref_ips = ref.get("items_per_second", 0)
-    if not cur or not ref_ips:
-        continue
-    ratio = cur["items_per_second"] / ref_ips
-    rows.append({"benchmark": name, "ratio_vs_committed": ratio,
-                 "regressed": ratio < 0.85})
-    flag = "  <-- REGRESSION (>15% slower)" if ratio < 0.85 else ""
-    print(f"  {name:28s} {ratio:6.2f}x of committed record{flag}")
-    if ratio < 0.85:
-        regressions.append(name)
-
-with open(sys.argv[3], "w") as f:
-    json.dump({"threshold": 0.85, "rows": rows,
-               "regressions": regressions}, f, indent=2)
-
-if regressions:
-    print(f"\n{len(regressions)} benchmark(s) regressed >15% "
-          f"vs BENCH_simperf.json: {', '.join(regressions)}")
-    print("If this machine is simply slower, re-record with: "
-          "build/bench/bench_simperf  (updates the 'current' section)")
-    sys.exit(1)
-print("\nsimperf OK: no tracked metric more than 15% below the "
-      "committed record")
-EOF
+"$build/src/gpucc_report" \
+    --simperf "$repo_root/BENCH_simperf.json" "$scratch" \
+    --out-json "$artdir/simperf_report.json" \
+    "${simperf_args[@]}"
 simperf_status=$?
 set -e
 
 if [ "$simperf_status" -ne 0 ]; then
-    if [ "$simperf_fatal" = 1 ]; then
-        echo
-        echo "check.sh: FAILED (--strict: simperf regression)" >&2
-        exit 1
-    fi
     echo
-    echo "warning: simperf regressed (non-fatal; use --strict to gate)"
+    echo "check.sh: FAILED (--strict: simperf regression)" >&2
+    echo "If this machine is simply slower, re-record with:" >&2
+    echo "  $build/bench/bench_simperf  (updates 'current')" >&2
+    exit 1
 fi
 
 echo

@@ -1,6 +1,7 @@
 #include "covert/channel.h"
 
 #include "common/log.h"
+#include "obs/profiler.h"
 
 namespace gpucc::covert
 {
@@ -104,6 +105,9 @@ LaunchPerBitChannel::runPreamble()
 double
 LaunchPerBitChannel::calibrate()
 {
+    obs::PhaseScope ps(cfg.profiler, obs::phase::kCalibrate, [this] {
+        return static_cast<std::uint64_t>(parties->device().now());
+    });
     if (!isSetup) {
         setup();
         isSetup = true;
@@ -128,6 +132,10 @@ void
 LaunchPerBitChannel::restore(const Checkpoint &ck)
 {
     GPUCC_ASSERT(!isSetup, "restore() on a channel that already ran");
+    // The fork adopts the checkpoint's clock, so a device-tick delta
+    // would bill the skipped boot+calibration as if re-run; restore
+    // cost is wall time only (its whole point is costing ~0 cycles).
+    obs::PhaseScope ps(cfg.profiler, obs::phase::kFork);
     // Run setup() against this channel's own fresh device first: setup
     // is deterministic allocation, so every buffer lands at the same
     // address it occupies inside the checkpointed device.

@@ -33,6 +33,11 @@
 #include "gpu/host.h"
 #include "gpu/mitigations.h"
 
+namespace gpucc::obs
+{
+class Profiler;
+} // namespace gpucc::obs
+
 namespace gpucc::covert
 {
 
@@ -123,6 +128,9 @@ struct LaunchPerBitConfig
     gpu::MitigationConfig mitigations;
     /** Optional per-symbol flight recorder (null = no recording). */
     trace::FlightRecorder *recorder = nullptr;
+    /** Optional phase profiler (null = no profiling): calibrate() bills
+     *  the "calibrate" phase, restore() the "fork_restore" phase. */
+    obs::Profiler *profiler = nullptr;
 };
 
 /**

@@ -11,6 +11,7 @@
 #include "covert/sync/sync_channel.h"
 #include "gpu/device.h"
 #include "gpu/host.h"
+#include "obs/profiler.h"
 #include "sim/exec/sweep_runner.h"
 #include "verify/digest.h"
 #include "workloads/interference.h"
@@ -136,11 +137,13 @@ defaultDefenderPool()
 
 CellResult
 runLeagueCell(const gpu::ArchParams &arch, const AttackerSpec &attacker,
-              const DefenderSpec &defender, std::uint64_t seed)
+              const DefenderSpec &defender, std::uint64_t seed,
+              obs::Profiler *profiler)
 {
     session::SessionConfig scfg;
     scfg.resources = attacker.resources;
     scfg.startMultiBit = attacker.startMultiBit;
+    scfg.profiler = profiler;
 
     DuplexConfig dc;
     dc.seed = deriveSeed(seed, kDuplexTag);
@@ -296,6 +299,11 @@ runLeague(const LeagueConfig &cfg)
     // the seed of a cell depends only on its position in this grid.
     const std::size_t nCells =
         attackers.size() * defenders.size() * archs.size() * seeds;
+    // Each cell profiles into its own slot (one profiler per thread of
+    // control); merging in cell-index order afterwards makes the
+    // combined totals independent of worker count and scheduling.
+    std::vector<obs::Profiler> cellProfs(
+        cfg.profiler != nullptr ? nCells : 0);
     table.cells = runner.runTrials(
         nCells, cfg.seedBase,
         [&](std::size_t i, std::uint64_t seed) {
@@ -308,8 +316,12 @@ runLeague(const LeagueConfig &cfg)
             rest /= defenders.size();
             (void)si;
             return runLeagueCell(archs[ai], attackers[rest],
-                                 defenders[di], seed);
+                                 defenders[di], seed,
+                                 cellProfs.empty() ? nullptr
+                                                   : &cellProfs[i]);
         });
+    for (const obs::Profiler &p : cellProfs)
+        cfg.profiler->merge(p);
 
     if (cfg.roc) {
         static constexpr const char *kAttacks[] = {"l1_launch", "l1_sync",

@@ -41,6 +41,11 @@
 #include "gpu/arch_params.h"
 #include "gpu/mitigations.h"
 
+namespace gpucc::obs
+{
+class Profiler;
+} // namespace gpucc::obs
+
 namespace gpucc::covert::league
 {
 
@@ -140,6 +145,12 @@ struct LeagueConfig
     /** SweepRunner workers (0 = GPUCC_THREADS / hardware). Results and
      *  digest are identical for every value. */
     unsigned threads = 0;
+
+    /** Optional phase profiler (non-owning). Every cell runs with its
+     *  own profiler; the per-cell totals are merged into this one in
+     *  cell-index order after the fan-out, so the merged cycle totals
+     *  are worker-count invariant like the digest. */
+    obs::Profiler *profiler = nullptr;
 };
 
 /** The assembled league table. */
@@ -179,10 +190,14 @@ DefenderSpec cappedReactiveDefense();
 std::vector<AttackerSpec> defaultAttackerPool();
 std::vector<DefenderSpec> defaultDefenderPool();
 
-/** Run one cell. Deterministic per (specs, arch, seed). */
+/** Run one cell. Deterministic per (specs, arch, seed). The optional
+ *  profiler receives the cell's session phase costs (boot, calibrate,
+ *  handshake, transfer, ...); attaching one never changes the result
+ *  or the device digest. */
 CellResult runLeagueCell(const gpu::ArchParams &arch,
                          const AttackerSpec &attacker,
-                         const DefenderSpec &defender, std::uint64_t seed);
+                         const DefenderSpec &defender, std::uint64_t seed,
+                         obs::Profiler *profiler = nullptr);
 
 /** Run the full tournament (cells fanned through SweepRunner). */
 LeagueTable runLeague(const LeagueConfig &cfg = {});

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <memory>
 
+#include <chrono>
+
 #include "common/log.h"
 #include "common/metrics/metrics.h"
 #include "covert/agile/idle_discovery.h"
 #include "covert/session/pilot.h"
 #include "covert/trace/flight_recorder.h"
+#include "obs/profiler.h"
 #include "sim/trace/trace.h"
 
 namespace gpucc::covert::session
@@ -87,8 +90,21 @@ ChannelSession::ChannelSession(const gpu::ArchParams &arch_,
                  "ladder too tall: rung 0xF is the audit marker");
     GPUCC_ASSERT(!cfg.resources.empty(),
                  "session resource ladder cannot be empty");
+    auto bootWallStart = std::chrono::steady_clock::now();
     chan = std::make_unique<DuplexSyncChannel>(arch, duplexCfg);
     chan->setResource(cfg.resources.front());
+    if (cfg.profiler != nullptr) {
+        auto wallNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - bootWallStart)
+                .count());
+        // A fresh device starts at tick 0, so its clock after
+        // construction is exactly the boot cost in cycles.
+        cfg.profiler->add(
+            obs::phase::kBoot,
+            static_cast<std::uint64_t>(chan->harness().device().now()),
+            wallNs);
+    }
 }
 
 ChannelSession::~ChannelSession() = default;
@@ -117,6 +133,13 @@ ChannelSession::run(const BitVec &payload)
     // snapshot time), so it owns its backing value.
     auto rungValue = std::make_shared<double>(0.0);
     reg.gauge("session.rung", [rungValue] { return *rungValue; });
+
+    // Phase attribution: cycles come from the device clock, so totals
+    // are a pure function of the simulation (worker-count invariant).
+    obs::Profiler *prof = cfg.profiler;
+    auto tick = [&dev]() -> std::uint64_t {
+        return static_cast<std::uint64_t>(dev.now());
+    };
 
     auto note = [&](const std::string &label) {
         if (shard != nullptr && shard->wants(sim::trace::Cat::Link)) {
@@ -162,8 +185,12 @@ ChannelSession::run(const BitVec &payload)
 
     // ---- Online calibration: no hand-tuned threshold enters the
     // session; the device is measured, the thresholds derived. ----
-    out.calibration = calibrateThresholds(*chan, cfg.calibrationRounds);
-    chan->setTiming(out.calibration.timing);
+    {
+        obs::PhaseScope ps(prof, obs::phase::kCalibrate, tick);
+        out.calibration =
+            calibrateThresholds(*chan, cfg.calibrationRounds);
+        chan->setTiming(out.calibration.timing);
+    }
     DriftTracker tracker(out.calibration.marginCycles, cfg.guardFraction);
     note("calibrate");
 
@@ -173,6 +200,7 @@ ChannelSession::run(const BitVec &payload)
         // an L1 eviction calibration would measure the wrong resource.
         if (chan->resource() != ChannelResource::L1Const)
             return;
+        obs::PhaseScope ps(prof, obs::phase::kCalibrate, tick);
         CalibrationResult c =
             calibrateThresholds(*chan, cfg.calibrationRounds);
         chan->setTiming(c.timing);
@@ -185,6 +213,7 @@ ChannelSession::run(const BitVec &payload)
     // ---- Pilot exchange: one epoch-numbered pilot each way, riding a
     // normal Figure-11 duplex exchange. ----
     auto pilotOk = [&]() -> bool {
+        obs::PhaseScope ps(prof, obs::phase::kHandshake, tick);
         Pilot p{epoch, static_cast<std::uint8_t>(rung)};
         BitVec wire = encodePilot(p);
         link::TransportResult ex = floored.exchange(wire, wire);
@@ -217,6 +246,7 @@ ChannelSession::run(const BitVec &payload)
     auto failover = [&]() -> bool {
         if (resourceIdx + 1 >= cfg.resources.size())
             return false;
+        obs::PhaseScope ps(prof, obs::phase::kFailover, tick);
         if (chan->resource() == ChannelResource::L1Const) {
             // Record what the L1 looked like when it was abandoned: a
             // walled-off cache shows every set quiet from this side
@@ -251,6 +281,10 @@ ChannelSession::run(const BitVec &payload)
     // the ladder before retrying, and once the ladder is exhausted it
     // fails over to the next resource). ----
     auto resync = [&]() -> bool {
+        // Self-time: the embedded recalibrations and pilot handshakes
+        // bill their own phases; "resync" keeps the orchestration cost
+        // and, through its call count, the number of desync recoveries.
+        obs::PhaseScope ps(prof, obs::phase::kResync, tick);
         ++out.desyncs;
         cDesync.inc();
         note("desync");
@@ -312,7 +346,10 @@ ChannelSession::run(const BitVec &payload)
         lc.payloadBits = R.payloadBits;
         lc.registry = &reg;
         link::ReliableLink link(floored, lc);
-        link::LinkResult res = link.send(chunk);
+        link::LinkResult res = [&] {
+            obs::PhaseScope ps(prof, obs::phase::kTransfer, tick);
+            return link.send(chunk);
+        }();
 
         ++out.segments;
         cSegments.inc();
@@ -328,6 +365,9 @@ ChannelSession::run(const BitVec &payload)
         // retransmitted segment, never a flipped delivered bit.
         bool keep = !res.payload.empty();
         if (keep) {
+            // The audit verifies what the receiver *decoded*, so its
+            // exchanges are attributed to the decode phase.
+            obs::PhaseScope ps(prof, obs::phase::kDecode, tick);
             BitVec acked(chunk.begin(),
                          chunk.begin() +
                              static_cast<long>(res.payload.size()));

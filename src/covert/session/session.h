@@ -61,6 +61,11 @@ namespace gpucc::covert::trace
 class FlightRecorder;
 } // namespace gpucc::covert::trace
 
+namespace gpucc::obs
+{
+class Profiler;
+} // namespace gpucc::obs
+
 namespace gpucc::covert::session
 {
 
@@ -114,6 +119,18 @@ struct SessionConfig
 
     /** Optional session-event annotation sink (non-owning). */
     trace::FlightRecorder *recorder = nullptr;
+
+    /**
+     * Optional phase profiler (non-owning; null = no profiling, the
+     * fault-hook pattern). When attached, the session attributes
+     * simulated cycles and wall time to the canonical phases — boot,
+     * calibrate, handshake, transfer, decode, resync, failover — with
+     * self-time semantics (a resync's embedded recalibration bills
+     * "calibrate"). Attachment never perturbs the simulation: the
+     * profiler only *reads* the device clock (property_test pins
+     * digest-equality of profiled vs unprofiled runs).
+     */
+    obs::Profiler *profiler = nullptr;
 };
 
 /** Outcome of one session transfer. */

@@ -29,6 +29,10 @@ FlightRecorder::FlightRecorder(std::string channel)
 void
 FlightRecorder::record(const SymbolRecord &r)
 {
+    if (symbols.size() >= cap) {
+        ++droppedCount;
+        return;
+    }
     symbols.push_back(r);
     if (r.error())
         ++errors;
@@ -72,6 +76,7 @@ FlightRecorder::clear()
     symbols.clear();
     events.clear();
     errors = 0;
+    droppedCount = 0;
 }
 
 std::string
@@ -106,6 +111,7 @@ FlightRecorder::toJson() const
     w.beginObject("summary");
     w.field("symbols", static_cast<std::uint64_t>(symbols.size()));
     w.field("errors", errors);
+    w.field("dropped", droppedCount);
     w.field("errorRate", errorRate());
     w.field("worstMargin", worstMargin());
     w.endObject();

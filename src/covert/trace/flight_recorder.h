@@ -14,6 +14,10 @@
  * Opt-in by pointer: channels carry a null FlightRecorder* by default
  * (the fault-hook pattern), so recording costs nothing unless a bench
  * or example attaches one.
+ *
+ * Retention mirrors the tracer's contract: at most 2^20 symbol records
+ * are kept (settable via setCap); further record() calls are counted
+ * in dropped() and exported in the summary, never silently lost.
  */
 
 #ifndef GPUCC_COVERT_TRACE_FLIGHT_RECORDER_H
@@ -60,7 +64,9 @@ class FlightRecorder
     /** @param channel Channel name stamped into the export. */
     explicit FlightRecorder(std::string channel = "");
 
-    /** Append one symbol record (called from the decode loop). */
+    /** Append one symbol record (called from the decode loop). Once
+     *  the retention cap is reached the record is dropped and counted
+     *  in dropped() instead — same policy as trace::TraceShard. */
     void record(const SymbolRecord &r);
 
     /** Pin a session event to the timeline (exported alongside the
@@ -77,6 +83,15 @@ class FlightRecorder
 
     const std::vector<SymbolRecord> &records() const { return symbols; }
     std::uint64_t errorCount() const { return errors; }
+
+    /** Symbols not retained because the cap was reached. */
+    std::uint64_t dropped() const { return droppedCount; }
+
+    /** Retention cap (symbol records); settable before recording. */
+    void setCap(std::size_t n) { cap = n; }
+
+    /** Current retention cap. */
+    std::size_t capacity() const { return cap; }
 
     /** Fraction of recorded symbols decoded incorrectly. */
     double errorRate() const;
@@ -102,6 +117,8 @@ class FlightRecorder
     std::vector<SymbolRecord> symbols;
     std::vector<AnnotationRecord> events;
     std::uint64_t errors = 0;
+    std::size_t cap = std::size_t{1} << 20;
+    std::uint64_t droppedCount = 0;
 };
 
 } // namespace gpucc::covert::trace

@@ -1,0 +1,260 @@
+#include "obs/ledger.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/metrics/json_writer.h"
+#include "verify/digest.h"
+#include "verify/json.h"
+
+namespace gpucc::obs
+{
+
+namespace
+{
+
+/** u64 <-> hex string: JSON numbers round-trip only 53 bits, and keys,
+ *  seeds and digests use all 64, so they travel as "0x..." strings. */
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseHex64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 16);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+std::uint64_t
+LedgerRecord::key() const
+{
+    // Keyed splitmix64 sponge over exactly the identity fields: two
+    // cells agree on the key iff they are the same (scenario, arch,
+    // plan, seed, config, revision) point.
+    verify::StateDigest d(0x6c656467ULL); // "ledg"
+    d.str(scenario);
+    d.str(arch);
+    d.str(plan);
+    d.str(config);
+    d.u64(seed);
+    d.str(gitDescribe);
+    return d.value();
+}
+
+void
+LedgerRecord::takePhases(const Profiler &p)
+{
+    phaseCycles.clear();
+    phaseCalls.clear();
+    for (const auto &[name, t] : p.phases()) {
+        phaseCycles[name] = t.cycles;
+        phaseCalls[name] = t.calls;
+    }
+}
+
+Ledger::Ledger(std::string path) : filePath(std::move(path))
+{
+    std::error_code ec;
+    auto dir = std::filesystem::path(filePath).parent_path();
+    if (!dir.empty())
+        std::filesystem::create_directories(dir, ec);
+    if (ec)
+        errors.push_back(filePath + ": " + ec.message());
+
+    LedgerLoadResult loaded = load(filePath);
+    for (const LedgerRecord &r : loaded.records)
+        keys.insert(r.key());
+    loadedCount = loaded.records.size();
+    for (std::string &e : loaded.errors)
+        errors.push_back(std::move(e));
+}
+
+bool
+Ledger::append(const LedgerRecord &r)
+{
+    const std::uint64_t k = r.key();
+    if (!keys.insert(k).second) {
+        ++skippedCount;
+        return false;
+    }
+    std::ofstream os(filePath, std::ios::app);
+    if (!os.good()) {
+        keys.erase(k);
+        errors.push_back(filePath + ": cannot open for append");
+        return false;
+    }
+    os << toJsonLine(r) << "\n";
+    if (!os.good()) {
+        keys.erase(k);
+        errors.push_back(filePath + ": append write failed");
+        return false;
+    }
+    ++appendedCount;
+    return true;
+}
+
+LedgerLoadResult
+Ledger::load(const std::string &path)
+{
+    LedgerLoadResult out;
+    std::ifstream is(path);
+    if (!is.good())
+        return out; // absent file == empty ledger, not an error
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        LedgerRecord r;
+        std::string err;
+        if (parseLine(line, r, err)) {
+            out.records.push_back(std::move(r));
+        } else {
+            out.errors.push_back(path + ":" + std::to_string(lineNo) +
+                                 ": " + err);
+        }
+    }
+    return out;
+}
+
+std::string
+Ledger::toJsonLine(const LedgerRecord &r)
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("key", hex64(r.key()));
+    w.field("scenario", r.scenario);
+    w.field("arch", r.arch);
+    w.field("plan", r.plan);
+    w.field("config", r.config);
+    w.field("seed", hex64(r.seed));
+    w.field("git", r.gitDescribe);
+    w.field("outcome", r.outcome);
+    w.field("digest", hex64(r.digest));
+    w.beginObject("metrics");
+    for (const auto &[name, v] : r.metrics)
+        w.field(name, v);
+    w.endObject();
+    w.beginObject("phases");
+    for (const auto &[name, cycles] : r.phaseCycles) {
+        w.beginObject(name);
+        auto it = r.phaseCalls.find(name);
+        w.field("calls", it == r.phaseCalls.end() ? std::uint64_t(0)
+                                                  : it->second);
+        w.field("cycles", cycles);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+bool
+Ledger::parseLine(const std::string &line, LedgerRecord &out,
+                  std::string &error)
+{
+    verify::JsonParseResult p = verify::parseJson(line);
+    if (!p.ok) {
+        error = p.error;
+        return false;
+    }
+    const verify::JsonValue &v = p.value;
+    if (!v.isObject()) {
+        error = "ledger line is not a JSON object";
+        return false;
+    }
+    out = LedgerRecord{};
+    out.scenario = v.stringOr("scenario", "");
+    out.arch = v.stringOr("arch", "");
+    out.plan = v.stringOr("plan", "");
+    out.config = v.stringOr("config", "");
+    out.gitDescribe = v.stringOr("git", "");
+    out.outcome = v.stringOr("outcome", "");
+    if (out.scenario.empty()) {
+        error = "missing \"scenario\"";
+        return false;
+    }
+    if (!parseHex64(v.stringOr("seed", ""), out.seed)) {
+        error = "missing or malformed \"seed\"";
+        return false;
+    }
+    std::uint64_t digest = 0;
+    if (parseHex64(v.stringOr("digest", ""), digest))
+        out.digest = digest;
+    for (const auto &[name, mv] : v.get("metrics").members) {
+        if (mv.isNumber())
+            out.metrics[name] = mv.number;
+    }
+    for (const auto &[name, ph] : v.get("phases").members) {
+        if (!ph.isObject())
+            continue;
+        out.phaseCycles[name] =
+            static_cast<std::uint64_t>(ph.numberOr("cycles", 0.0));
+        out.phaseCalls[name] =
+            static_cast<std::uint64_t>(ph.numberOr("calls", 0.0));
+    }
+    // The stored key is advisory (humans grep it); the authoritative
+    // key is recomputed from the identity fields. A mismatch means the
+    // line was hand-edited — surface it.
+    std::uint64_t stored = 0;
+    if (parseHex64(v.stringOr("key", ""), stored) &&
+        stored != out.key()) {
+        error = "stored key " + hex64(stored) +
+                " does not match identity hash " + hex64(out.key());
+        return false;
+    }
+    return true;
+}
+
+std::string
+gitDescribe(const std::string &repoRoot)
+{
+    static std::map<std::string, std::string> cache;
+    auto it = cache.find(repoRoot);
+    if (it != cache.end())
+        return it->second;
+
+    std::string result;
+    std::string cmd = "git ";
+    if (!repoRoot.empty())
+        cmd += "-C '" + repoRoot + "' ";
+    cmd += "describe --always --dirty 2>/dev/null";
+    if (FILE *pipe = ::popen(cmd.c_str(), "r")) {
+        char buf[256];
+        if (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+            result = buf;
+            while (!result.empty() && (result.back() == '\n' ||
+                                       result.back() == '\r'))
+                result.pop_back();
+        }
+        ::pclose(pipe);
+    }
+    if (result.empty()) {
+        if (const char *env = std::getenv("GPUCC_GIT_DESCRIBE"))
+            result = env;
+    }
+    if (result.empty())
+        result = "unknown";
+    cache[repoRoot] = result;
+    return result;
+}
+
+} // namespace gpucc::obs

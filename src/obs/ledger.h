@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Content-addressed run ledger: the persistent memory of every sweep,
+ * conformance pass, league tournament and bench the repository runs.
+ *
+ * Each executed cell — one (scenario, arch, plan, seed, config) point
+ * at one code revision — becomes one JSONL record keyed by a splitmix64
+ * content hash of exactly those identity fields. The ledger is
+ * append-only: opening it loads the existing key set, and appending a
+ * record whose key is already present is a no-op, so repeated CI runs
+ * of unchanged code add zero bytes while a new revision (a new
+ * git-describe) appends exactly its delta. That is the content-
+ * addressed result-cache discipline the ROADMAP's distributed sweep
+ * service needs, grown bottom-up from a flat file.
+ *
+ * A record stores what the regression sentry consumes: the outcome
+ * string, the cell's numeric metrics (goodput, residual BER, capacity,
+ * bench items/s — anything scalar), the per-phase cycle costs from an
+ * obs::Profiler, and the device digest. Cycle costs and the key are
+ * pure functions of the simulation, so ledger files produced at
+ * different GPUCC_THREADS are byte-identical (obs_test pins this).
+ *
+ * File format: one JSON object per line ("\n"-separated), no framing
+ * header, written through the shared JsonWriter and read back with the
+ * verify JSON parser — corrupt or foreign lines are reported, not
+ * silently skipped.
+ */
+
+#ifndef GPUCC_OBS_LEDGER_H
+#define GPUCC_OBS_LEDGER_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+
+namespace gpucc::obs
+{
+
+/** One run-ledger entry: a cell's identity plus its costs/outcome. */
+struct LedgerRecord
+{
+    // ---- identity: these six fields define the content key ----
+    std::string scenario; //!< e.g. "session_robustness", "league"
+    std::string arch;     //!< generation name ("Kepler", ...)
+    std::string plan;     //!< fault plan / defender ("quiet", ...)
+    std::string config;   //!< free-form cell config ("agile|96b", ...)
+    std::uint64_t seed = 0;
+    std::string gitDescribe; //!< code revision the cell ran at
+
+    // ---- payload ----
+    std::string outcome; //!< "complete", "incomplete", "error", ...
+    std::uint64_t digest = 0; //!< device/league digest of the cell
+    /** Scalar metrics (goodput_bps, residual_ber, capacity_bps, ...). */
+    std::map<std::string, double> metrics;
+    /** Per-phase simulated-cycle costs (profiler cycles; wall time is
+     *  machine-dependent and deliberately not persisted). */
+    std::map<std::string, std::uint64_t> phaseCycles;
+    /** Per-phase call counts (same keys as phaseCycles). */
+    std::map<std::string, std::uint64_t> phaseCalls;
+
+    /** splitmix64 content hash of the six identity fields. */
+    std::uint64_t key() const;
+
+    /** Copy phases out of @p p (cycles + calls, wall dropped). */
+    void takePhases(const Profiler &p);
+};
+
+/** Result of loading a ledger file. */
+struct LedgerLoadResult
+{
+    std::vector<LedgerRecord> records; //!< file order == append order
+    std::vector<std::string> errors;   //!< unparsable lines, I/O faults
+};
+
+/** Append-only, dedup-on-key JSONL ledger. */
+class Ledger
+{
+  public:
+    /**
+     * Open (creating parent directories and the file as needed) and
+     * index the existing records' keys. Load problems are recorded in
+     * loadErrors(), never thrown: a truncated final line from a killed
+     * CI run must not brick the ledger.
+     */
+    explicit Ledger(std::string path);
+
+    /** @return true when the record was appended; false when its key
+     *  was already present (the dedup path) or the write failed. */
+    bool append(const LedgerRecord &r);
+
+    /** Records already present when the ledger was opened. */
+    std::size_t preexisting() const { return loadedCount; }
+    /** Records appended through this handle. */
+    std::size_t appended() const { return appendedCount; }
+    /** append() calls skipped because the key existed. */
+    std::size_t skipped() const { return skippedCount; }
+
+    /** @return true when @p key is present (loaded or appended). */
+    bool contains(std::uint64_t key) const
+    {
+        return keys.count(key) != 0;
+    }
+
+    const std::string &path() const { return filePath; }
+    const std::vector<std::string> &loadErrors() const { return errors; }
+
+    /** Parse a ledger file into records (static: analysis tools read
+     *  ledgers they do not own). */
+    static LedgerLoadResult load(const std::string &path);
+
+    /** Serialize one record as a single JSONL line (no newline). */
+    static std::string toJsonLine(const LedgerRecord &r);
+
+    /** Parse one JSONL line. @return false (with @p error set) when
+     *  the line is not a well-formed ledger record. */
+    static bool parseLine(const std::string &line, LedgerRecord &out,
+                          std::string &error);
+
+  private:
+    std::string filePath;
+    std::set<std::uint64_t> keys;
+    std::vector<std::string> errors;
+    std::size_t loadedCount = 0;
+    std::size_t appendedCount = 0;
+    std::size_t skippedCount = 0;
+};
+
+/**
+ * Best-effort `git describe --always --dirty` of @p repoRoot (empty =
+ * current directory), cached per path. Falls back to the
+ * GPUCC_GIT_DESCRIBE environment variable, then to "unknown", so
+ * ledger keys stay well-defined in export tarballs without .git.
+ * Deterministic tests pass an explicit string instead of calling this.
+ */
+std::string gitDescribe(const std::string &repoRoot = "");
+
+} // namespace gpucc::obs
+
+#endif // GPUCC_OBS_LEDGER_H

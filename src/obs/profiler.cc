@@ -1,0 +1,147 @@
+#include "obs/profiler.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/metrics/json_writer.h"
+
+namespace gpucc::obs
+{
+
+void
+Profiler::add(const std::string &phaseName, std::uint64_t cycles,
+              std::uint64_t wallNs, std::uint64_t calls)
+{
+    PhaseTotals &t = totals[phaseName];
+    t.calls += calls;
+    t.cycles += cycles;
+    t.wallNs += wallNs;
+}
+
+void
+Profiler::merge(const Profiler &other)
+{
+    for (const auto &[name, t] : other.totals)
+        add(name, t.cycles, t.wallNs, t.calls);
+}
+
+PhaseTotals
+Profiler::phase(const std::string &phaseName) const
+{
+    auto it = totals.find(phaseName);
+    return it == totals.end() ? PhaseTotals{} : it->second;
+}
+
+std::uint64_t
+Profiler::totalCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[name, t] : totals)
+        n += t.cycles;
+    return n;
+}
+
+void
+Profiler::clear()
+{
+    GPUCC_ASSERT(stack.empty(),
+                 "Profiler::clear() with %zu open phase scopes",
+                 stack.size());
+    totals.clear();
+}
+
+void
+Profiler::billTop()
+{
+    Active &a = stack.back();
+    auto nowWall = std::chrono::steady_clock::now();
+    std::uint64_t wallNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            nowWall - a.wallStart)
+            .count());
+    std::uint64_t cycles = 0;
+    if (a.tick) {
+        std::uint64_t nowTick = a.tick();
+        cycles = nowTick >= a.tickStart ? nowTick - a.tickStart : 0;
+        a.tickStart = nowTick;
+    }
+    a.wallStart = nowWall;
+    add(a.name, cycles, wallNs, 0);
+}
+
+std::string
+Profiler::toJson(bool includeWall) const
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, true);
+    w.beginObject();
+    w.beginObject("phases");
+    for (const auto &[name, t] : totals) {
+        w.beginObject(name);
+        w.field("calls", t.calls);
+        w.field("cycles", t.cycles);
+        if (includeWall)
+            w.field("wall_ns", t.wallNs);
+        w.endObject();
+    }
+    w.endObject();
+    w.field("total_cycles", totalCycles());
+    w.endObject();
+    return os.str();
+}
+
+void
+Profiler::writeJson(const std::string &path, bool includeWall) const
+{
+    std::ofstream os(path);
+    GPUCC_ASSERT(os.good(), "cannot open profiler export path '%s'",
+                 path.c_str());
+    os << toJson(includeWall) << "\n";
+    GPUCC_ASSERT(os.good(), "write to profiler export path '%s' failed",
+                 path.c_str());
+}
+
+PhaseScope::PhaseScope(Profiler *p, std::string phaseName,
+                       Profiler::TickFn tick)
+    : prof(p)
+{
+    if (prof == nullptr)
+        return;
+    // Self-time: the parent stops accumulating while the child runs.
+    if (!prof->stack.empty())
+        prof->billTop();
+    Profiler::Active a;
+    a.name = std::move(phaseName);
+    a.tick = std::move(tick);
+    a.tickStart = a.tick ? a.tick() : 0;
+    a.wallStart = std::chrono::steady_clock::now();
+    prof->add(a.name, 0, 0, 1); // count the entry even if cost is 0
+    prof->stack.push_back(std::move(a));
+    open = true;
+}
+
+PhaseScope::~PhaseScope()
+{
+    close();
+}
+
+void
+PhaseScope::close()
+{
+    if (!open)
+        return;
+    open = false;
+    prof->billTop();
+    prof->stack.pop_back();
+    // The parent resumes from "now": refresh its start marks so the
+    // child's span is not billed to it as well.
+    if (!prof->stack.empty()) {
+        Profiler::Active &parent = prof->stack.back();
+        if (parent.tick)
+            parent.tickStart = parent.tick();
+        parent.wallStart = std::chrono::steady_clock::now();
+    }
+}
+
+} // namespace gpucc::obs

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic phase profiler: run-scale cost attribution.
+ *
+ * The in-run observability layers (tracing, metrics, flight recorder)
+ * answer "what happened inside this simulation"; the profiler answers
+ * "where did this *run* spend its budget" — how many simulated cycles
+ * and how much wall time went into booting devices, calibrating
+ * thresholds, pilot handshakes, data transfer, audits, resyncs,
+ * failovers, and snapshot forks, across every cell of a sweep.
+ *
+ * Two cost dimensions per phase:
+ *
+ *  - **cycles** — simulated device ticks, read from a tick source the
+ *    scope is given. A pure function of the simulation, so per-phase
+ *    cycle totals are bit-identical at any GPUCC_THREADS (obs_test
+ *    pins this) and safe to persist in the run ledger.
+ *  - **wall_ns** — std::chrono::steady_clock host time. Machine- and
+ *    load-dependent, useful for "what's slow on *this* box"; excluded
+ *    from the deterministic export and from ledger keys.
+ *
+ * Attribution is *self-time*: PhaseScopes nest, and entering a child
+ * phase pauses the parent, so the per-phase totals always sum to the
+ * instrumented span with nothing double-counted (a resync's embedded
+ * recalibration bills "calibrate", not "resync").
+ *
+ * Threading follows the Device/Registry ownership contract: one
+ * Profiler belongs to one trial/session/cell and is touched by one
+ * thread. Parallel sweeps give every cell its own profiler and merge
+ * them in cell-index order afterwards — merge order only affects
+ * nothing (totals are sums), so the merged export is worker-count
+ * invariant. Attachment is opt-in by pointer (the fault-hook pattern):
+ * a null Profiler* makes every scope a no-op.
+ */
+
+#ifndef GPUCC_OBS_PROFILER_H
+#define GPUCC_OBS_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpucc::obs
+{
+
+/** Accumulated cost of one named phase. */
+struct PhaseTotals
+{
+    std::uint64_t calls = 0;   //!< scopes entered
+    std::uint64_t cycles = 0;  //!< simulated ticks (deterministic)
+    std::uint64_t wallNs = 0;  //!< host wall time (machine-dependent)
+};
+
+/** The canonical phase names the instrumented layers use. Free-form
+ *  strings are allowed everywhere; these constants just keep the
+ *  session, league, conformance and sweep layers telling one story. */
+namespace phase
+{
+inline constexpr const char *kBoot = "boot";
+inline constexpr const char *kCalibrate = "calibrate";
+inline constexpr const char *kHandshake = "handshake";
+inline constexpr const char *kTransfer = "transfer";
+inline constexpr const char *kDecode = "decode";
+inline constexpr const char *kResync = "resync";
+inline constexpr const char *kFailover = "failover";
+inline constexpr const char *kFork = "fork_restore";
+inline constexpr const char *kCell = "cell";
+} // namespace phase
+
+class PhaseScope;
+
+/** Per-run (or per-cell) phase cost accumulator. */
+class Profiler
+{
+  public:
+    /** Tick source for cycle attribution (e.g. a Device::now()
+     *  binding). Scopes without one record wall time only. */
+    using TickFn = std::function<std::uint64_t()>;
+
+    Profiler() = default;
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /** Add raw totals to @p phaseName (merging, manual attribution). */
+    void add(const std::string &phaseName, std::uint64_t cycles,
+             std::uint64_t wallNs, std::uint64_t calls = 1);
+
+    /** Fold @p other's totals into this profiler. Addition is
+     *  commutative, so any merge order yields identical totals;
+     *  callers still merge in cell-index order by convention. */
+    void merge(const Profiler &other);
+
+    /** Totals per phase, sorted by phase name (stable export order). */
+    const std::map<std::string, PhaseTotals> &phases() const
+    {
+        return totals;
+    }
+
+    /** Totals of @p phaseName (zeros when the phase never ran). */
+    PhaseTotals phase(const std::string &phaseName) const;
+
+    /** Sum of cycles over every phase. */
+    std::uint64_t totalCycles() const;
+
+    /** @return true when no phase has been recorded. */
+    bool empty() const { return totals.empty(); }
+
+    /** Drop all totals (scope stack must be empty). */
+    void clear();
+
+    /**
+     * Serialize as {"phases": {name: {"calls", "cycles"[, "wall_ns"]},
+     * ...}, "total_cycles": N}. With @p includeWall false the output is
+     * a pure function of the simulation — byte-identical across
+     * machines, runs, and GPUCC_THREADS values — which is the form the
+     * ledger stores and the determinism tests compare.
+     */
+    std::string toJson(bool includeWall = true) const;
+
+    /** Write toJson() to @p path (fatal on I/O failure). */
+    void writeJson(const std::string &path, bool includeWall = true) const;
+
+  private:
+    friend class PhaseScope;
+
+    struct Active
+    {
+        std::string name;
+        TickFn tick;
+        std::uint64_t tickStart = 0;
+        std::chrono::steady_clock::time_point wallStart;
+    };
+
+    /** Bill the currently running interval of the top frame and reset
+     *  its start marks (used when pausing for a child / popping). */
+    void billTop();
+
+    std::map<std::string, PhaseTotals> totals;
+    std::vector<Active> stack;
+};
+
+/**
+ * RAII phase scope. Entering pauses the enclosing scope (self-time
+ * attribution); leaving bills this phase and resumes the parent. A
+ * null profiler makes construction and destruction no-ops, so call
+ * sites need no branches.
+ */
+class PhaseScope
+{
+  public:
+    /** @param tick Optional simulated-clock source; sampled at entry,
+     *  exit, and around child scopes. */
+    PhaseScope(Profiler *p, std::string phaseName,
+               Profiler::TickFn tick = {});
+    ~PhaseScope();
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+    /** End the scope early (idempotent). */
+    void close();
+
+  private:
+    Profiler *prof;
+    bool open = false;
+};
+
+} // namespace gpucc::obs
+
+#endif // GPUCC_OBS_PROFILER_H

@@ -1,0 +1,676 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/metrics/json_writer.h"
+#include "covert/league/league.h"
+#include "gpu/arch_params.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/json.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::obs
+{
+
+namespace
+{
+
+/** The fault plans the session-robustness cells run under. */
+constexpr const char *kSessionPlans[] = {"quiet", "eviction"};
+constexpr std::size_t kSessionPayloadBits = 96;
+
+std::string
+cellId(const LedgerRecord &r)
+{
+    std::ostringstream os;
+    os << r.scenario << '/' << r.arch << '/' << r.plan << '/' << r.config
+       << "/0x" << std::hex << r.seed;
+    return os.str();
+}
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+} // namespace
+
+// ---- fresh sweep -> ledger ------------------------------------------
+
+SweepOutcome
+runObservabilitySweep(const SweepReportOptions &opts, Profiler &profiler)
+{
+    SweepOutcome out;
+    const std::string rev =
+        opts.gitRev.empty() ? gitDescribe() : opts.gitRev;
+    const unsigned seeds = std::max(1u, opts.seedsPerCell);
+    const auto archs = gpu::allArchitectures();
+
+    // Session-robustness cells: plan-major, then arch, then seed — a
+    // cell's seed is a pure function of its grid position, exactly the
+    // SweepRunner contract.
+    struct SessionCell
+    {
+        std::size_t plan;
+        std::size_t arch;
+    };
+    std::vector<SessionCell> sessionCells;
+    for (std::size_t p = 0; p < std::size(kSessionPlans); ++p)
+        for (std::size_t a = 0; a < archs.size(); ++a)
+            for (unsigned s = 0; s < seeds; ++s)
+                sessionCells.push_back({p, a});
+
+    sim::exec::SweepRunner runner(opts.threads);
+    std::vector<Profiler> cellProfs(sessionCells.size());
+    auto sessionRecords = runner.runTrials(
+        sessionCells.size(), opts.seedBase,
+        [&](std::size_t i, std::uint64_t seed) {
+            const SessionCell &c = sessionCells[i];
+            const BitVec payload =
+                verify::scenarioPayload(kSessionPayloadBits, seed);
+            verify::SessionMeasurement m = verify::measureSessionOverPlan(
+                archs[c.arch], kSessionPlans[c.plan], seed, payload,
+                &cellProfs[i]);
+            LedgerRecord r;
+            r.scenario = "session_robustness";
+            r.arch = gpu::generationName(archs[c.arch].generation);
+            r.plan = kSessionPlans[c.plan];
+            r.config = "payload96|w4";
+            r.seed = seed;
+            r.gitDescribe = rev;
+            r.outcome = m.complete ? "complete" : "incomplete";
+            r.digest = m.deviceDigest;
+            r.metrics["goodput_bps"] = m.goodputBps;
+            r.metrics["residual_ber"] = m.residualBer;
+            r.metrics["resyncs"] = m.resyncs;
+            r.metrics["recalibrations"] = m.recalibrations;
+            r.metrics["degrade_steps"] = m.degradeSteps;
+            r.metrics["evictions"] = m.evictions;
+            r.takePhases(cellProfs[i]);
+            return r;
+        });
+    for (const Profiler &p : cellProfs)
+        profiler.merge(p);
+
+    std::vector<LedgerRecord> leagueRecords;
+    if (opts.league) {
+        // League cells: the acceptance pairing (agile attacker vs no
+        // defense and vs the capped reactive defender) per arch, one
+        // seed each — enough to trend residual capacity and failover
+        // phase costs without re-running the whole tournament.
+        const covert::league::AttackerSpec atk =
+            covert::league::agileAttacker();
+        const std::vector<covert::league::DefenderSpec> defs = {
+            covert::league::noDefense(),
+            covert::league::cappedReactiveDefense()};
+        struct LeagueCell
+        {
+            std::size_t def;
+            std::size_t arch;
+        };
+        std::vector<LeagueCell> cells;
+        for (std::size_t d = 0; d < defs.size(); ++d)
+            for (std::size_t a = 0; a < archs.size(); ++a)
+                cells.push_back({d, a});
+        std::vector<Profiler> lgProfs(cells.size());
+        leagueRecords = runner.runTrials(
+            cells.size(), opts.seedBase ^ 0x6c67ULL,
+            [&](std::size_t i, std::uint64_t seed) {
+                const LeagueCell &c = cells[i];
+                covert::league::CellResult cr =
+                    covert::league::runLeagueCell(archs[c.arch], atk,
+                                                  defs[c.def], seed,
+                                                  &lgProfs[i]);
+                LedgerRecord r;
+                r.scenario = "league";
+                r.arch = cr.arch;
+                r.plan = cr.defender;
+                r.config = cr.attacker;
+                r.seed = seed;
+                r.gitDescribe = rev;
+                r.outcome = cr.complete ? "complete" : "incomplete";
+                r.digest = cr.deviceDigest;
+                r.metrics["goodput_bps"] = cr.goodputBps;
+                r.metrics["residual_capacity_bps"] =
+                    cr.residualCapacityBps;
+                r.metrics["residual_ber"] = cr.residualBer;
+                r.metrics["failovers"] = cr.failovers;
+                r.metrics["seconds"] = cr.seconds;
+                r.takePhases(lgProfs[i]);
+                return r;
+            });
+        for (const Profiler &p : lgProfs)
+            profiler.merge(p);
+    }
+
+    out.records = std::move(sessionRecords);
+    out.records.insert(out.records.end(), leagueRecords.begin(),
+                       leagueRecords.end());
+
+    if (!opts.ledgerPath.empty()) {
+        Ledger ledger(opts.ledgerPath);
+        for (const std::string &e : ledger.loadErrors())
+            out.errors.push_back(e);
+        for (const LedgerRecord &r : out.records)
+            ledger.append(r);
+        out.appended = ledger.appended();
+        out.skipped = ledger.skipped();
+    }
+    return out;
+}
+
+// ---- ledger trend sentry --------------------------------------------
+
+unsigned
+TrendReport::regressions() const
+{
+    unsigned n = 0;
+    for (const TrendDelta &d : deltas)
+        n += d.regressed ? 1 : 0;
+    return n;
+}
+
+unsigned
+TrendReport::improvements() const
+{
+    unsigned n = 0;
+    for (const TrendDelta &d : deltas)
+        n += d.improved ? 1 : 0;
+    return n;
+}
+
+bool
+metricHigherIsBetter(const std::string &metric)
+{
+    // Cost/error-flavored names are lower-better; everything else
+    // (goodput_bps, residual_capacity_bps, items_per_second) counts
+    // up. "residual_capacity" must win over the "residual" error cue.
+    if (metric.find("capacity") != std::string::npos)
+        return true;
+    static constexpr const char *kLower[] = {
+        "ber",      "error",   "seconds", "cycles",  "resync",
+        "desync",   "evict",   "degrade", "failover", "recalibration",
+        "wall",     "dropped", "retrans"};
+    for (const char *cue : kLower) {
+        if (metric.find(cue) != std::string::npos)
+            return false;
+    }
+    return true;
+}
+
+TrendReport
+analyzeLedgerTrends(const std::vector<LedgerRecord> &records,
+                    const TrendOptions &opts)
+{
+    TrendReport rep;
+    if (records.empty())
+        return rep;
+
+    // Revision order = first-appearance order in the file; the ledger
+    // is append-only, so the last record's revision is the newest.
+    rep.latestRev = records.back().gitDescribe;
+    {
+        std::vector<std::string> seen;
+        for (const LedgerRecord &r : records) {
+            if (std::find(seen.begin(), seen.end(), r.gitDescribe) ==
+                seen.end())
+                seen.push_back(r.gitDescribe);
+        }
+        rep.revisions = static_cast<unsigned>(seen.size());
+    }
+    if (rep.revisions < 2) {
+        rep.notes.push_back("single revision in ledger: nothing to "
+                            "compare against yet");
+        return rep;
+    }
+
+    // cell -> metric -> (prior values, latest value).
+    struct Series
+    {
+        std::vector<double> prior;
+        double latest = 0.0;
+        bool haveLatest = false;
+    };
+    std::map<std::string, std::map<std::string, Series>> byCell;
+    for (const LedgerRecord &r : records) {
+        const std::string cell = cellId(r);
+        const bool isLatest = r.gitDescribe == rep.latestRev;
+        auto feed = [&](const std::string &metric, double v) {
+            Series &s = byCell[cell][metric];
+            if (isLatest) {
+                s.latest = v;
+                s.haveLatest = true;
+            } else {
+                s.prior.push_back(v);
+            }
+        };
+        for (const auto &[name, v] : r.metrics)
+            feed(name, v);
+        for (const auto &[phase, cyc] : r.phaseCycles)
+            feed("phase." + phase + ".cycles",
+                 static_cast<double>(cyc));
+    }
+
+    for (const auto &[cell, metrics] : byCell) {
+        for (const auto &[metric, s] : metrics) {
+            if (!s.haveLatest || s.prior.empty())
+                continue;
+            TrendDelta d;
+            d.cell = cell;
+            d.metric = metric;
+            d.baseline = median(s.prior);
+            d.latest = s.latest;
+            d.higherIsBetter = metricHigherIsBetter(metric);
+            const double mag =
+                std::max(std::fabs(d.baseline), std::fabs(d.latest));
+            if (mag < opts.minMagnitude) {
+                continue; // both effectively zero: no signal
+            }
+            const double base = std::fabs(d.baseline) > 0.0
+                                    ? std::fabs(d.baseline)
+                                    : mag;
+            d.relDelta = (d.latest - d.baseline) / base;
+            const bool worse = d.higherIsBetter ? d.relDelta < 0.0
+                                                : d.relDelta > 0.0;
+            if (std::fabs(d.relDelta) > opts.noiseBand) {
+                d.regressed = worse;
+                d.improved = !worse;
+            }
+            rep.deltas.push_back(std::move(d));
+        }
+    }
+    // Most severe first, regressions ahead of improvements/noise.
+    std::sort(rep.deltas.begin(), rep.deltas.end(),
+              [](const TrendDelta &a, const TrendDelta &b) {
+                  if (a.regressed != b.regressed)
+                      return a.regressed;
+                  return std::fabs(a.relDelta) > std::fabs(b.relDelta);
+              });
+    return rep;
+}
+
+// ---- simperf comparison ---------------------------------------------
+
+SimperfReport
+compareSimperf(const std::string &committedPath,
+               const std::string &freshPath, double threshold,
+               double slowdownInject)
+{
+    SimperfReport rep;
+    rep.threshold = threshold;
+
+    verify::JsonParseResult committed =
+        verify::parseJsonFile(committedPath);
+    if (!committed.ok) {
+        rep.errors.push_back(committedPath + ": " + committed.error);
+        return rep;
+    }
+    verify::JsonParseResult fresh = verify::parseJsonFile(freshPath);
+    if (!fresh.ok) {
+        rep.errors.push_back(freshPath + ": " + fresh.error);
+        return rep;
+    }
+
+    // The committed "current" section is the record to beat; files
+    // that predate a current section fall back to their baseline.
+    const verify::JsonValue *reference =
+        &committed.value.get("current").get("metrics");
+    if (!reference->isObject() || reference->members.empty())
+        reference = &committed.value.get("baseline").get("metrics");
+    const verify::JsonValue &measured =
+        fresh.value.get("current").get("metrics");
+    if (!reference->isObject() || reference->members.empty()) {
+        rep.errors.push_back(committedPath +
+                             ": no current/baseline metrics section");
+        return rep;
+    }
+    if (!measured.isObject()) {
+        rep.errors.push_back(freshPath + ": no current.metrics section");
+        return rep;
+    }
+
+    const double scale = 1.0 - slowdownInject;
+    for (const auto &[name, ref] : reference->members) {
+        const double refIps = ref.numberOr("items_per_second", 0.0);
+        if (!(refIps > 0.0) || !measured.has(name))
+            continue;
+        const double curIps =
+            measured.get(name).numberOr("items_per_second", 0.0) * scale;
+        SimperfRow row;
+        row.benchmark = name;
+        row.ratio = curIps / refIps;
+        row.regressed = row.ratio < threshold;
+        if (row.regressed)
+            rep.regressions.push_back(name);
+        rep.rows.push_back(std::move(row));
+    }
+    if (rep.rows.empty())
+        rep.errors.push_back("no comparable benchmarks between " +
+                             committedPath + " and " + freshPath);
+    return rep;
+}
+
+// ---- conformance band margins ---------------------------------------
+
+std::vector<BandMargin>
+loadBandMargins(const std::string &reportPath,
+                std::vector<std::string> &errors)
+{
+    std::vector<BandMargin> out;
+    verify::JsonParseResult parsed = verify::parseJsonFile(reportPath);
+    if (!parsed.ok) {
+        errors.push_back(reportPath + ": " + parsed.error);
+        return out;
+    }
+    const verify::JsonValue &checks = parsed.value.get("checks");
+    if (!checks.isArray()) {
+        errors.push_back(reportPath + ": no checks array");
+        return out;
+    }
+    for (const verify::JsonValue &c : checks.items) {
+        BandMargin m;
+        m.scenario = c.stringOr("scenario", "");
+        m.arch = c.stringOr("arch", "");
+        m.metric = c.stringOr("metric", "");
+        m.lo = c.numberOr("lo", 0.0);
+        m.hi = c.numberOr("hi", 0.0);
+        m.measured = c.numberOr("measured", 0.0);
+        m.pass = c.get("pass").boolean;
+        const double width = m.hi - m.lo;
+        if (width > 0.0) {
+            m.marginFrac = std::min(m.measured - m.lo,
+                                    m.hi - m.measured) /
+                           width;
+        } else {
+            m.marginFrac = m.pass ? 0.5 : -1.0; // point band
+        }
+        out.push_back(std::move(m));
+    }
+    // Thinnest margins first: that is the watch list.
+    std::sort(out.begin(), out.end(),
+              [](const BandMargin &a, const BandMargin &b) {
+                  return a.marginFrac < b.marginFrac;
+              });
+    return out;
+}
+
+// ---- dashboard ------------------------------------------------------
+
+int
+ReportOutcome::exitCode() const
+{
+    if (!errors.empty() || !simperf.errors.empty() ||
+        !sweep.errors.empty())
+        return 2;
+    if (trends.regressions() > 0)
+        return 1;
+    if (simperfFatal && !simperf.regressions.empty())
+        return 1;
+    for (const BandMargin &m : margins) {
+        if (!m.pass)
+            return 1;
+    }
+    return 0;
+}
+
+namespace
+{
+
+/** Aggregate per-phase cycle costs over the newest revision. */
+std::map<std::string, PhaseTotals>
+latestPhaseCosts(const std::vector<LedgerRecord> &history)
+{
+    std::map<std::string, PhaseTotals> out;
+    if (history.empty())
+        return out;
+    const std::string &rev = history.back().gitDescribe;
+    for (const LedgerRecord &r : history) {
+        if (r.gitDescribe != rev)
+            continue;
+        for (const auto &[phase, cyc] : r.phaseCycles) {
+            PhaseTotals &t = out[phase];
+            t.cycles += cyc;
+            auto it = r.phaseCalls.find(phase);
+            t.calls += it != r.phaseCalls.end() ? it->second : 0;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeDashboardMd(const ReportOutcome &o, std::ostream &os)
+{
+    os << "# gpucc run report\n\n";
+    if (!o.history.empty())
+        os << "Ledger: " << o.history.size() << " records, "
+           << o.trends.revisions << " revision(s), newest `"
+           << o.trends.latestRev << "`.\n\n";
+    if (o.sweep.appended + o.sweep.skipped > 0)
+        os << "Sweep: " << o.sweep.records.size() << " cells run, "
+           << o.sweep.appended << " appended, " << o.sweep.skipped
+           << " deduplicated.\n\n";
+
+    for (const std::string &e : o.errors)
+        os << "**ERROR**: " << e << "\n\n";
+
+    // Slowest phases of the newest revision (the budget table).
+    auto phases = latestPhaseCosts(o.history);
+    if (!phases.empty()) {
+        std::vector<std::pair<std::string, PhaseTotals>> rows(
+            phases.begin(), phases.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.cycles > b.second.cycles;
+                  });
+        std::uint64_t total = 0;
+        for (const auto &[name, t] : rows)
+            total += t.cycles;
+        os << "## Slowest phases (simulated cycles, newest revision)\n\n"
+           << "| phase | cycles | calls | share |\n"
+           << "|-------|-------:|------:|------:|\n";
+        for (const auto &[name, t] : rows) {
+            const double share =
+                total ? 100.0 * double(t.cycles) / double(total) : 0.0;
+            os << "| " << name << " | " << t.cycles << " | " << t.calls
+               << " | " << std::fixed;
+            os.precision(1);
+            os << share << "% |\n";
+            os.unsetf(std::ios::fixed);
+            os.precision(6);
+        }
+        os << "\n";
+    }
+
+    // Capacity curves: league residual capacity per defender/arch.
+    {
+        bool any = false;
+        std::ostringstream table;
+        table << "## Residual capacity (league cells, newest "
+                 "revision)\n\n"
+              << "| arch | defender | attacker | capacity bps | goodput "
+                 "bps | failovers |\n"
+              << "|------|----------|----------|-------------:|--------"
+                 "----:|----------:|\n";
+        const std::string rev =
+            o.history.empty() ? "" : o.history.back().gitDescribe;
+        for (const LedgerRecord &r : o.history) {
+            if (r.scenario != "league" || r.gitDescribe != rev)
+                continue;
+            any = true;
+            auto metric = [&](const char *n) {
+                auto it = r.metrics.find(n);
+                return it != r.metrics.end() ? it->second : 0.0;
+            };
+            table << "| " << r.arch << " | " << r.plan << " | "
+                  << r.config << " | " << metric("residual_capacity_bps")
+                  << " | " << metric("goodput_bps") << " | "
+                  << metric("failovers") << " |\n";
+        }
+        if (any)
+            os << table.str() << "\n";
+    }
+
+    // Trend sentry verdict.
+    os << "## Trend sentry\n\n";
+    if (o.trends.deltas.empty()) {
+        os << "No judged metrics";
+        for (const std::string &n : o.trends.notes)
+            os << " (" << n << ")";
+        os << ".\n\n";
+    } else {
+        os << o.trends.regressions() << " regression(s), "
+           << o.trends.improvements() << " improvement(s) beyond the "
+           << "noise band.\n\n"
+           << "| cell | metric | baseline | latest | delta | verdict |\n"
+           << "|------|--------|---------:|-------:|------:|---------|\n";
+        for (const TrendDelta &d : o.trends.deltas) {
+            const char *verdict = d.regressed    ? "**REGRESSED**"
+                                  : d.improved   ? "improved"
+                                                 : "within noise";
+            os << "| " << d.cell << " | " << d.metric << " | "
+               << d.baseline << " | " << d.latest << " | ";
+            os.precision(1);
+            os << std::fixed << 100.0 * d.relDelta << "% |";
+            os.unsetf(std::ios::fixed);
+            os.precision(6);
+            os << " " << verdict << " |\n";
+        }
+        os << "\n";
+    }
+
+    // Simperf comparison.
+    if (!o.simperf.rows.empty() || !o.simperf.errors.empty()) {
+        os << "## Simulator performance vs committed record\n\n";
+        for (const std::string &e : o.simperf.errors)
+            os << "**ERROR**: " << e << "\n\n";
+        if (!o.simperf.rows.empty()) {
+            os << "| benchmark | ratio | verdict |\n"
+               << "|-----------|------:|---------|\n";
+            for (const SimperfRow &r : o.simperf.rows) {
+                os << "| " << r.benchmark << " | ";
+                os.precision(2);
+                os << std::fixed << r.ratio;
+                os.unsetf(std::ios::fixed);
+                os.precision(6);
+                os << "x | "
+                   << (r.regressed ? "**REGRESSED** (>15% slower)"
+                                   : "ok")
+                   << " |\n";
+            }
+            os << "\n";
+        }
+    }
+
+    // Band margins (thinnest first — the watch list).
+    if (!o.margins.empty()) {
+        os << "## Conformance band margins (thinnest first)\n\n"
+           << "| scenario | arch | metric | band | measured | margin |"
+              " pass |\n"
+           << "|----------|------|--------|------|---------:|-------:|"
+              "------|\n";
+        for (const BandMargin &m : o.margins) {
+            os << "| " << m.scenario << " | " << m.arch << " | "
+               << m.metric << " | [" << m.lo << ", " << m.hi << "] | "
+               << m.measured << " | ";
+            os.precision(2);
+            os << std::fixed << m.marginFrac;
+            os.unsetf(std::ios::fixed);
+            os.precision(6);
+            os << " | " << (m.pass ? "yes" : "**NO**") << " |\n";
+        }
+        os << "\n";
+    }
+
+    os << "Exit code: " << o.exitCode() << "\n";
+}
+
+void
+writeDashboardJson(const ReportOutcome &o, std::ostream &os)
+{
+    metrics::JsonWriter w(os, true);
+    w.beginObject();
+    w.field("exit_code", static_cast<std::int64_t>(o.exitCode()));
+
+    w.beginObject("sweep");
+    w.field("cells", std::uint64_t(o.sweep.records.size()));
+    w.field("appended", std::uint64_t(o.sweep.appended));
+    w.field("skipped", std::uint64_t(o.sweep.skipped));
+    w.endObject();
+
+    w.beginObject("trends");
+    w.field("latest_rev", o.trends.latestRev);
+    w.field("revisions", std::uint64_t(o.trends.revisions));
+    w.field("regressions", std::uint64_t(o.trends.regressions()));
+    w.field("improvements", std::uint64_t(o.trends.improvements()));
+    w.beginArray("deltas");
+    for (const TrendDelta &d : o.trends.deltas) {
+        w.beginObject();
+        w.field("cell", d.cell);
+        w.field("metric", d.metric);
+        w.field("baseline", d.baseline);
+        w.field("latest", d.latest);
+        w.field("rel_delta", d.relDelta);
+        w.field("higher_is_better", d.higherIsBetter);
+        w.field("regressed", d.regressed);
+        w.field("improved", d.improved);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.beginObject("simperf");
+    w.field("threshold", o.simperf.threshold);
+    w.beginArray("rows");
+    for (const SimperfRow &r : o.simperf.rows) {
+        w.beginObject();
+        w.field("benchmark", r.benchmark);
+        w.field("ratio_vs_committed", r.ratio);
+        w.field("regressed", r.regressed);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("regressions");
+    for (const std::string &n : o.simperf.regressions)
+        w.value(n);
+    w.endArray();
+    w.beginArray("errors");
+    for (const std::string &e : o.simperf.errors)
+        w.value(e);
+    w.endArray();
+    w.endObject();
+
+    w.beginArray("band_margins");
+    for (const BandMargin &m : o.margins) {
+        w.beginObject();
+        w.field("scenario", m.scenario);
+        w.field("arch", m.arch);
+        w.field("metric", m.metric);
+        w.field("lo", m.lo);
+        w.field("hi", m.hi);
+        w.field("measured", m.measured);
+        w.field("margin_frac", m.marginFrac);
+        w.field("pass", m.pass);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.beginArray("errors");
+    for (const std::string &e : o.errors)
+        w.value(e);
+    for (const std::string &e : o.sweep.errors)
+        w.value(e);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace gpucc::obs

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Regression sentry and run-scale dashboard (the gpucc_report CLI).
+ *
+ * Three analysis passes, composable and individually optional:
+ *
+ *  - **Ledger trends**: group run-ledger records by cell identity
+ *    (everything but the git revision), compare the newest revision's
+ *    metrics against the median of prior revisions, and flag moves
+ *    beyond a noise band in the metric's "worse" direction. Phase
+ *    cycle costs participate as `phase.<name>.cycles` (lower-better),
+ *    so a protocol change that silently doubles resync spending trips
+ *    the sentry even when goodput survives.
+ *  - **Simperf comparison**: the committed BENCH_simperf.json record
+ *    vs a fresh bench_simperf run — the gate check.sh used to compute
+ *    with an inline python heredoc, ported here so it runs wherever
+ *    the binaries do. A tracked metric below `threshold` (default
+ *    0.85) of the committed items/s is a regression.
+ *  - **Band margins**: how much headroom each conformance check has
+ *    left inside its expected-value band, from the machine-readable
+ *    conformance_report.json. A passing check with a thin margin is
+ *    the early warning a pass/fail bit cannot give.
+ *
+ * runObservabilitySweep() produces fresh ledger input: profiled
+ * session-robustness cells (plans x archs x seeds) and league cells
+ * (attacker vs defender), each appended content-addressed so re-runs
+ * of unchanged code append nothing.
+ *
+ * The dashboard renders all of it as markdown and/or JSON; exit-code
+ * policy lives in ReportOutcome (0 clean, 1 regression, 2 error).
+ */
+
+#ifndef GPUCC_OBS_REPORT_H
+#define GPUCC_OBS_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+
+namespace gpucc::obs
+{
+
+// ---- fresh sweep -> ledger ------------------------------------------
+
+/** Shape of the observability sweep gpucc_report --sweep runs. */
+struct SweepReportOptions
+{
+    std::string ledgerPath;     //!< JSONL ledger to append to
+    unsigned seedsPerCell = 2;  //!< seeds per (scenario, arch, plan)
+    std::uint64_t seedBase = 2017;
+    std::string gitRev;         //!< empty = gitDescribe()
+    unsigned threads = 0;       //!< SweepRunner workers (0 = env)
+    bool league = true;         //!< include the league cells
+};
+
+/** What a sweep produced and what the ledger kept. */
+struct SweepOutcome
+{
+    std::vector<LedgerRecord> records; //!< every cell, pre-dedup
+    std::size_t appended = 0;          //!< new keys written
+    std::size_t skipped = 0;           //!< keys already present
+    std::vector<std::string> errors;
+};
+
+/**
+ * Run the profiled observability sweep: session_robustness cells
+ * ({quiet, eviction} plans x all archs x seeds) and, when enabled,
+ * league cells (agile attacker vs none/reactive defenders x archs).
+ * Per-cell phase costs land in each record and, merged in cell-index
+ * order, in @p profiler. Deterministic per (options, code revision).
+ */
+SweepOutcome runObservabilitySweep(const SweepReportOptions &opts,
+                                   Profiler &profiler);
+
+// ---- ledger trend sentry --------------------------------------------
+
+struct TrendOptions
+{
+    /** Relative move (vs the prior-revision median) treated as noise.
+     *  Beyond it, in the metric's worse direction, is a regression. */
+    double noiseBand = 0.15;
+    /** Metric magnitudes below this never regress (a 0.001 -> 0.002
+     *  residual BER is not a finding). */
+    double minMagnitude = 1e-9;
+};
+
+/** One metric of one cell, newest revision vs history. */
+struct TrendDelta
+{
+    std::string cell;   //!< "scenario/arch/plan/config/seed"
+    std::string metric;
+    double baseline = 0.0; //!< median over prior revisions
+    double latest = 0.0;
+    double relDelta = 0.0; //!< (latest - baseline) / |baseline|
+    bool higherIsBetter = true;
+    bool regressed = false;
+    bool improved = false; //!< moved past the band the good way
+};
+
+/** The sentry's verdict over a ledger history. */
+struct TrendReport
+{
+    std::vector<TrendDelta> deltas; //!< every judged metric
+    std::string latestRev;          //!< revision under judgment
+    unsigned revisions = 0;         //!< distinct revisions seen
+    std::vector<std::string> notes; //!< skipped cells, thin history
+
+    unsigned regressions() const;
+    unsigned improvements() const;
+};
+
+/** Is a larger value of @p metric better? Name-driven: error/latency/
+ *  cost-flavored metrics are lower-better, throughput higher-better. */
+bool metricHigherIsBetter(const std::string &metric);
+
+/** Judge the newest revision in @p records against its history. */
+TrendReport analyzeLedgerTrends(const std::vector<LedgerRecord> &records,
+                                const TrendOptions &opts = {});
+
+// ---- simperf comparison ---------------------------------------------
+
+struct SimperfRow
+{
+    std::string benchmark;
+    double ratio = 0.0; //!< fresh items/s over committed items/s
+    bool regressed = false;
+};
+
+struct SimperfReport
+{
+    std::vector<SimperfRow> rows;
+    std::vector<std::string> regressions; //!< benchmark names
+    double threshold = 0.85;
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty() && regressions.empty(); }
+};
+
+/**
+ * Compare a fresh bench_simperf JSON against the committed record.
+ * Reference metrics come from the committed file's "current" section
+ * (falling back to "baseline"); a fresh items/s below
+ * threshold x reference is a regression. @p slowdownInject scales the
+ * fresh numbers down first (sentry self-test hook; 0 = off).
+ */
+SimperfReport compareSimperf(const std::string &committedPath,
+                             const std::string &freshPath,
+                             double threshold = 0.85,
+                             double slowdownInject = 0.0);
+
+// ---- conformance band margins ---------------------------------------
+
+/** Headroom of one conformance check inside its band. */
+struct BandMargin
+{
+    std::string scenario;
+    std::string arch;
+    std::string metric;
+    double lo = 0.0;
+    double hi = 0.0;
+    double measured = 0.0;
+    /** Distance to the nearest band edge as a fraction of the band
+     *  width (0.5 = dead center, 0 = on an edge, negative = outside).
+     *  Point bands [v, v] report 0.5 on pass, -1 on fail. */
+    double marginFrac = 0.0;
+    bool pass = false;
+};
+
+/** Extract margins from a conformance_report.json (writeConformanceJson
+ *  schema). Load problems land in @p errors. */
+std::vector<BandMargin> loadBandMargins(const std::string &reportPath,
+                                        std::vector<std::string> &errors);
+
+// ---- dashboard ------------------------------------------------------
+
+/** Everything one gpucc_report invocation decided. */
+struct ReportOutcome
+{
+    SweepOutcome sweep;            //!< empty unless --sweep ran
+    TrendReport trends;            //!< empty unless a ledger loaded
+    SimperfReport simperf;         //!< empty unless simperf compared
+    std::vector<BandMargin> margins;
+    std::vector<LedgerRecord> history; //!< full ledger, file order
+    std::vector<std::string> errors;
+    bool simperfFatal = true;      //!< count simperf toward exit code
+
+    /** 0 = clean, 1 = regression(s), 2 = load/usage error. */
+    int exitCode() const;
+};
+
+/** Render the dashboard as markdown. */
+void writeDashboardMd(const ReportOutcome &o, std::ostream &os);
+
+/** Render the dashboard as JSON (CI artifact schema). */
+void writeDashboardJson(const ReportOutcome &o, std::ostream &os);
+
+} // namespace gpucc::obs
+
+#endif // GPUCC_OBS_REPORT_H

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * gpucc_report: run-scale observability CLI — profiled sweeps into the
+ * content-addressed run ledger, the ledger trend sentry, the simperf
+ * regression gate (formerly an inline python heredoc in check.sh), and
+ * conformance band margins, rendered as a markdown/JSON dashboard.
+ *
+ * Exit codes: 0 clean, 1 regression (trend, simperf unless
+ * --simperf-warn, or failed conformance check), 2 usage/load error.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/report.h"
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: gpucc_report [options]\n"
+          "\n"
+          "Ledger / sweep:\n"
+          "  --ledger PATH        run ledger (JSONL) to load; --sweep\n"
+          "                       appends to it content-addressed\n"
+          "  --sweep              run the profiled observability sweep\n"
+          "                       (session_robustness + league cells)\n"
+          "  --no-league          skip the league cells in the sweep\n"
+          "  --seeds N            seeds per sweep cell (default 2)\n"
+          "  --seed-base N        sweep seed base (default 2017)\n"
+          "  --git-rev STR        revision tag for new records\n"
+          "                       (default: git describe)\n"
+          "  --noise-band F       trend noise band (default 0.15)\n"
+          "\n"
+          "Simperf gate:\n"
+          "  --simperf COMMITTED FRESH\n"
+          "                       compare a fresh bench_simperf JSON\n"
+          "                       against the committed record\n"
+          "  --simperf-threshold F  regression ratio (default 0.85)\n"
+          "  --simperf-warn       report simperf regressions without\n"
+          "                       failing the exit code\n"
+          "  --inject-slowdown F  scale fresh simperf numbers down by\n"
+          "                       F (sentry self-test hook)\n"
+          "\n"
+          "Conformance margins:\n"
+          "  --conformance PATH   conformance_report.json to read\n"
+          "\n"
+          "Output:\n"
+          "  --out-md PATH        write the markdown dashboard\n"
+          "  --out-json PATH      write the JSON dashboard\n"
+          "  --profile-json PATH  write the sweep's merged phase\n"
+          "                       profile (deterministic form)\n"
+          "  --quiet              suppress the stdout dashboard\n";
+}
+
+bool
+needValue(int argc, int i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::cerr << "gpucc_report: " << flag << " needs a value\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gpucc;
+
+    std::string ledgerPath, simperfCommitted, simperfFresh;
+    std::string conformancePath, outMd, outJson, profileJson;
+    obs::SweepReportOptions sweepOpts;
+    obs::TrendOptions trendOpts;
+    bool doSweep = false;
+    bool quiet = false;
+    bool simperfWarn = false;
+    double simperfThreshold = 0.85;
+    double injectSlowdown = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "-h") || !std::strcmp(a, "--help")) {
+            usage(std::cout);
+            return 0;
+        } else if (!std::strcmp(a, "--ledger")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            ledgerPath = argv[++i];
+        } else if (!std::strcmp(a, "--sweep")) {
+            doSweep = true;
+        } else if (!std::strcmp(a, "--no-league")) {
+            sweepOpts.league = false;
+        } else if (!std::strcmp(a, "--seeds")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            sweepOpts.seedsPerCell =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(a, "--seed-base")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            sweepOpts.seedBase = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(a, "--git-rev")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            sweepOpts.gitRev = argv[++i];
+        } else if (!std::strcmp(a, "--noise-band")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            trendOpts.noiseBand = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(a, "--simperf")) {
+            if (i + 2 >= argc) {
+                std::cerr << "gpucc_report: --simperf needs COMMITTED "
+                             "and FRESH paths\n";
+                return 2;
+            }
+            simperfCommitted = argv[++i];
+            simperfFresh = argv[++i];
+        } else if (!std::strcmp(a, "--simperf-threshold")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            simperfThreshold = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(a, "--simperf-warn")) {
+            simperfWarn = true;
+        } else if (!std::strcmp(a, "--inject-slowdown")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            injectSlowdown = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(a, "--conformance")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            conformancePath = argv[++i];
+        } else if (!std::strcmp(a, "--out-md")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            outMd = argv[++i];
+        } else if (!std::strcmp(a, "--out-json")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            outJson = argv[++i];
+        } else if (!std::strcmp(a, "--profile-json")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            profileJson = argv[++i];
+        } else if (!std::strcmp(a, "--quiet")) {
+            quiet = true;
+        } else {
+            std::cerr << "gpucc_report: unknown option " << a << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    obs::ReportOutcome outcome;
+    outcome.simperfFatal = !simperfWarn;
+
+    obs::Profiler profiler;
+    if (doSweep) {
+        sweepOpts.ledgerPath = ledgerPath;
+        outcome.sweep = obs::runObservabilitySweep(sweepOpts, profiler);
+        if (!profileJson.empty())
+            profiler.writeJson(profileJson, /*includeWall=*/false);
+    } else if (doSweep == false && !profileJson.empty()) {
+        std::cerr << "gpucc_report: --profile-json needs --sweep\n";
+        return 2;
+    }
+
+    if (!ledgerPath.empty()) {
+        obs::LedgerLoadResult loaded = obs::Ledger::load(ledgerPath);
+        for (const std::string &e : loaded.errors)
+            outcome.errors.push_back(e);
+        outcome.history = std::move(loaded.records);
+        outcome.trends =
+            obs::analyzeLedgerTrends(outcome.history, trendOpts);
+    }
+
+    if (!simperfCommitted.empty())
+        outcome.simperf =
+            obs::compareSimperf(simperfCommitted, simperfFresh,
+                                simperfThreshold, injectSlowdown);
+
+    if (!conformancePath.empty())
+        outcome.margins =
+            obs::loadBandMargins(conformancePath, outcome.errors);
+
+    if (!outMd.empty()) {
+        std::ofstream os(outMd);
+        if (!os.good()) {
+            std::cerr << "gpucc_report: cannot write " << outMd << "\n";
+            return 2;
+        }
+        obs::writeDashboardMd(outcome, os);
+    }
+    if (!outJson.empty()) {
+        std::ofstream os(outJson);
+        if (!os.good()) {
+            std::cerr << "gpucc_report: cannot write " << outJson << "\n";
+            return 2;
+        }
+        obs::writeDashboardJson(outcome, os);
+    }
+    if (!quiet)
+        obs::writeDashboardMd(outcome, std::cout);
+
+    return outcome.exitCode();
+}

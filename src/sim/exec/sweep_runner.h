@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "sim/exec/thread_pool.h"
 
 namespace gpucc::sim::exec
@@ -68,6 +69,17 @@ class SweepRunner
     unsigned threads() const { return pool.threads(); }
 
     /**
+     * Attach a run-scale phase profiler (non-owning; null detaches).
+     * runTrialsFrom() bills its serial boot to the "boot" phase, and
+     * every trial body is billed to the "cell" phase through a
+     * per-trial profiler merged in trial-index order — so the merged
+     * totals are independent of worker count and scheduling. The
+     * profiler is touched only on the caller's thread outside the
+     * parallel region; trial bodies write their own slots.
+     */
+    void attachProfiler(obs::Profiler *p) { prof = p; }
+
+    /**
      * Run @p fn(trialIndex, seed) for trialIndex in [0, n), with seed
      * = deriveSeed(@p seedBase, trialIndex). Returns results in trial
      * order. The result type must be default-constructible and
@@ -82,9 +94,19 @@ class SweepRunner
     {
         using R = std::invoke_result_t<Fn &, std::size_t, std::uint64_t>;
         std::vector<R> out(n);
+        if (prof == nullptr) {
+            pool.forEachIndex(n, [&](std::size_t i) {
+                out[i] = fn(i, deriveSeed(seedBase, i));
+            });
+            return out;
+        }
+        std::vector<obs::Profiler> cells(n);
         pool.forEachIndex(n, [&](std::size_t i) {
+            obs::PhaseScope ps(&cells[i], obs::phase::kCell);
             out[i] = fn(i, deriveSeed(seedBase, i));
         });
+        for (const auto &c : cells)
+            prof->merge(c);
         return out;
     }
 
@@ -105,14 +127,29 @@ class SweepRunner
     runTrialsFrom(Boot &&boot, std::size_t n, std::uint64_t seedBase,
                   Fn &&fn)
     {
-        auto proto = boot();
+        auto proto = [&] {
+            // The prototype type is opaque here, so the boot cost is
+            // wall-only; channels bill their own calibrate/boot cycles.
+            obs::PhaseScope ps(prof, obs::phase::kBoot);
+            return boot();
+        }();
         using R = std::invoke_result_t<Fn &, std::size_t, std::uint64_t,
                                        const decltype(proto) &>;
         const auto &shared = proto;
         std::vector<R> out(n);
+        if (prof == nullptr) {
+            pool.forEachIndex(n, [&](std::size_t i) {
+                out[i] = fn(i, deriveSeed(seedBase, i), shared);
+            });
+            return out;
+        }
+        std::vector<obs::Profiler> cells(n);
         pool.forEachIndex(n, [&](std::size_t i) {
+            obs::PhaseScope ps(&cells[i], obs::phase::kCell);
             out[i] = fn(i, deriveSeed(seedBase, i), shared);
         });
+        for (const auto &c : cells)
+            prof->merge(c);
         return out;
     }
 
@@ -128,14 +165,25 @@ class SweepRunner
     {
         using R = std::invoke_result_t<Fn &, const Config &>;
         std::vector<R> out(configs.size());
+        if (prof == nullptr) {
+            pool.forEachIndex(configs.size(), [&](std::size_t i) {
+                out[i] = fn(configs[i]);
+            });
+            return out;
+        }
+        std::vector<obs::Profiler> cells(configs.size());
         pool.forEachIndex(configs.size(), [&](std::size_t i) {
+            obs::PhaseScope ps(&cells[i], obs::phase::kCell);
             out[i] = fn(configs[i]);
         });
+        for (const auto &c : cells)
+            prof->merge(c);
         return out;
     }
 
   private:
     ThreadPool pool;
+    obs::Profiler *prof = nullptr;
 };
 
 } // namespace gpucc::sim::exec

@@ -129,6 +129,7 @@ runConformance(const ConformanceOptions &opts)
 
     // Every (scenario, architecture) cell is an independent simulation.
     sim::exec::SweepRunner runner;
+    runner.attachProfiler(opts.profiler);
     auto results = runner.runSweep(cells, [](const Cell &c) {
         return c.scenario->run(c.arch);
     });

@@ -26,6 +26,11 @@
 #include "verify/band.h"
 #include "verify/scenarios.h"
 
+namespace gpucc::obs
+{
+class Profiler;
+} // namespace gpucc::obs
+
 namespace gpucc::verify
 {
 
@@ -75,6 +80,11 @@ struct ConformanceOptions
     std::string bandDir;                 //!< empty = defaultBandDir()
     std::vector<std::string> scenarios;  //!< name filter; empty = all
     std::vector<std::string> archs;      //!< generation filter; empty = all
+
+    /** Optional phase profiler (non-owning). Each (scenario, arch)
+     *  cell bills one "cell" scope; per-cell profilers are merged in
+     *  cell-index order, worker-count invariant. */
+    obs::Profiler *profiler = nullptr;
 };
 
 /** Execute the conformance suite. */

@@ -186,11 +186,13 @@ measureArqOverPlan(const gpu::ArchParams &arch, const std::string &planName,
 SessionMeasurement
 measureSessionOverPlan(const gpu::ArchParams &arch,
                        const std::string &planName,
-                       std::uint64_t faultSeed, const BitVec &payload)
+                       std::uint64_t faultSeed, const BitVec &payload,
+                       obs::Profiler *profiler)
 {
     covert::session::SessionConfig cfg;
     cfg.link.payloadBits = 32;
     cfg.link.window = 4;
+    cfg.profiler = profiler;
     covert::session::ChannelSession session(arch, cfg);
     sim::fault::FaultInjector injector(
         session.channel().harness().device(),
@@ -206,6 +208,13 @@ measureSessionOverPlan(const gpu::ArchParams &arch,
     m.recalibrations = r.recalibrations;
     m.degradeSteps = r.degradeSteps;
     m.evictions = injector.stats().evictions;
+    // Digest with the plan disarmed and the queue drained: a pure
+    // function of (arch, plan, seed, payload) that any observer
+    // attachment must leave untouched.
+    injector.disarm();
+    gpu::Device &dev = session.channel().harness().device();
+    dev.runUntilIdle();
+    m.deviceDigest = deviceDigest(dev);
     return m;
 }
 

@@ -35,6 +35,11 @@ namespace gpucc::covert
 class ErrorCode;
 } // namespace gpucc::covert
 
+namespace gpucc::obs
+{
+class Profiler;
+} // namespace gpucc::obs
+
 namespace gpucc::verify
 {
 
@@ -160,15 +165,21 @@ struct SessionMeasurement
     unsigned recalibrations = 0;
     unsigned degradeSteps = 0;
     unsigned evictions = 0; //!< kernel evictions the plan landed
+    /** Architectural end-state digest of the session's device (plan
+     *  disarmed, queue drained). Ledger/property tests use it to pin
+     *  that observer attachment never perturbs the simulation. */
+    std::uint64_t deviceDigest = 0;
 };
 
 /** Calibrated self-healing session (pilot/resync/ladder) delivering
  *  @p payload under a fault plan. No hand-tuned threshold enters: the
- *  session derives its own from the start-of-session calibration. */
+ *  session derives its own from the start-of-session calibration.
+ *  @p profiler optionally receives the session's phase costs. */
 SessionMeasurement measureSessionOverPlan(const gpu::ArchParams &arch,
                                           const std::string &planName,
                                           std::uint64_t faultSeed,
-                                          const BitVec &payload);
+                                          const BitVec &payload,
+                                          obs::Profiler *profiler = nullptr);
 
 // ---- Scenario registry ----------------------------------------------
 

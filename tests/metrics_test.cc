@@ -17,6 +17,7 @@
 #include "gpu/device_stats.h"
 #include "gpu/host.h"
 #include "gpu/warp_ctx.h"
+#include "verify/json.h"
 
 namespace gpucc::metrics
 {
@@ -112,6 +113,31 @@ TEST(Metrics, JsonExportIsStableAndComplete)
     // Sorted-name ordering: a.gauge before b.count before c.hist.
     EXPECT_LT(once.find("\"a.gauge\""), once.find("\"b.count\""));
     EXPECT_LT(once.find("\"b.count\""), once.find("\"c.hist\""));
+}
+
+TEST(Metrics, HistogramJsonRoundTripIsExact)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("lat");
+    // Samples with non-terminating binary fractions, so this fails if
+    // the export rounds anywhere short of full double precision: the
+    // ledger and the dashboard both re-parse these numbers.
+    for (int i = 0; i < 257; ++i)
+        h.add(0.1 + static_cast<double>(i) * 0.3);
+
+    verify::JsonParseResult parsed = verify::parseJson(reg.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const verify::JsonValue &m = parsed.value.get("metrics");
+    ASSERT_TRUE(m.isObject());
+    ASSERT_TRUE(m.has("lat.p50"));
+    ASSERT_TRUE(m.has("lat.p95"));
+    ASSERT_TRUE(m.has("lat.max"));
+    // Bit-exact equality, not NEAR: %.17g round-trips IEEE doubles.
+    EXPECT_EQ(m.get("lat.p50").number, h.percentile(50.0));
+    EXPECT_EQ(m.get("lat.p95").number, h.percentile(95.0));
+    EXPECT_EQ(m.get("lat.max").number, h.max());
+    EXPECT_EQ(m.get("lat.mean").number, h.mean());
+    EXPECT_EQ(m.get("lat").number, static_cast<double>(h.count()));
 }
 
 TEST(JsonWriter, EscapingAndNumbers)

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the run-scale observability layer (src/obs): phase-scope
+ * self-time attribution, the content-addressed run ledger (keying,
+ * dedup, JSONL round-trip), worker-count invariance of profiled
+ * sweeps — phase totals and ledger bytes identical at 1/2/8 workers —
+ * and the trend sentry's regression verdicts.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/ledger.h"
+#include "obs/profiler.h"
+#include "obs/report.h"
+
+namespace gpucc::obs
+{
+namespace
+{
+
+/** RAII scratch directory for ledger-file tests. */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    TempDir()
+    {
+        static int counter = 0;
+        path = std::filesystem::temp_directory_path() /
+               ("gpucc_obs_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+// ---- phase profiler -------------------------------------------------
+
+TEST(Profiler, SelfTimeAttributionAcrossNestedScopes)
+{
+    std::uint64_t clock = 0;
+    auto tick = [&clock] { return clock; };
+
+    Profiler p;
+    {
+        PhaseScope outer(&p, phase::kTransfer, tick);
+        clock += 100;
+        {
+            // Entering a child pauses the parent: the 40 cycles the
+            // embedded recalibration burns bill "calibrate", not
+            // "transfer".
+            PhaseScope inner(&p, phase::kCalibrate, tick);
+            clock += 40;
+        }
+        clock += 10;
+    }
+    EXPECT_EQ(p.phase(phase::kTransfer).cycles, 110u);
+    EXPECT_EQ(p.phase(phase::kCalibrate).cycles, 40u);
+    EXPECT_EQ(p.phase(phase::kTransfer).calls, 1u);
+    // Self-time totals sum to the instrumented span exactly.
+    EXPECT_EQ(p.totalCycles(), 150u);
+}
+
+TEST(Profiler, NullProfilerScopesAreNoOps)
+{
+    // The opt-in-by-pointer contract: call sites need no branches.
+    PhaseScope a(nullptr, phase::kBoot);
+    PhaseScope b(nullptr, phase::kDecode, [] { return 7u; });
+    b.close();
+    b.close(); // idempotent
+}
+
+TEST(Profiler, MergeIsCommutativeAndExportDeterministic)
+{
+    Profiler a, b;
+    a.add(phase::kTransfer, 100, 5);
+    a.add(phase::kResync, 7, 1);
+    b.add(phase::kTransfer, 23, 9);
+    b.add(phase::kFailover, 3, 2);
+
+    Profiler ab, ba;
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.toJson(/*includeWall=*/false),
+              ba.toJson(/*includeWall=*/false));
+    EXPECT_EQ(ab.phase(phase::kTransfer).cycles, 123u);
+    EXPECT_EQ(ab.phase(phase::kTransfer).calls, 2u);
+
+    // The deterministic form must not leak host wall time.
+    EXPECT_EQ(ab.toJson(false).find("wall_ns"), std::string::npos);
+    EXPECT_NE(ab.toJson(true).find("wall_ns"), std::string::npos);
+}
+
+// ---- run ledger -----------------------------------------------------
+
+LedgerRecord
+sampleRecord()
+{
+    LedgerRecord r;
+    r.scenario = "session_robustness";
+    r.arch = "Kepler";
+    r.plan = "eviction";
+    r.config = "payload96|w4";
+    r.seed = 0x1234abcdULL;
+    r.gitDescribe = "v0-test";
+    r.outcome = "complete";
+    r.digest = 0xdeadbeefULL;
+    r.metrics["goodput_bps"] = 20481.5;
+    r.metrics["residual_ber"] = 0.0;
+    r.phaseCycles["transfer"] = 123456;
+    r.phaseCalls["transfer"] = 96;
+    return r;
+}
+
+TEST(Ledger, KeyIsContentAddressedOverIdentityOnly)
+{
+    const LedgerRecord base = sampleRecord();
+    const std::uint64_t k = base.key();
+    EXPECT_EQ(k, sampleRecord().key()) << "key must be deterministic";
+
+    // Every identity field participates in the key.
+    LedgerRecord r = base;
+    r.scenario = "league";
+    EXPECT_NE(r.key(), k);
+    r = base;
+    r.arch = "Maxwell";
+    EXPECT_NE(r.key(), k);
+    r = base;
+    r.plan = "quiet";
+    EXPECT_NE(r.key(), k);
+    r = base;
+    r.config = "payload96|w8";
+    EXPECT_NE(r.key(), k);
+    r = base;
+    r.seed ^= 1;
+    EXPECT_NE(r.key(), k);
+    r = base;
+    r.gitDescribe = "v1-test";
+    EXPECT_NE(r.key(), k);
+
+    // Payload fields do not: re-measuring the same cell at the same
+    // revision must dedup even if the numbers moved.
+    r = base;
+    r.outcome = "incomplete";
+    r.metrics["goodput_bps"] = 1.0;
+    r.phaseCycles["transfer"] = 1;
+    r.digest = 1;
+    EXPECT_EQ(r.key(), k);
+}
+
+TEST(Ledger, AppendDedupsAndRoundTrips)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("ledger/run.jsonl");
+    const LedgerRecord r = sampleRecord();
+
+    {
+        Ledger l(path);
+        EXPECT_EQ(l.preexisting(), 0u);
+        EXPECT_TRUE(l.append(r));
+        EXPECT_FALSE(l.append(r)) << "same key must be a no-op";
+        EXPECT_EQ(l.appended(), 1u);
+        EXPECT_EQ(l.skipped(), 1u);
+    }
+    {
+        // Reopening indexes the existing keys: dedup survives handles.
+        Ledger l(path);
+        EXPECT_EQ(l.preexisting(), 1u);
+        EXPECT_FALSE(l.append(r));
+        LedgerRecord next = r;
+        next.seed += 1;
+        EXPECT_TRUE(l.append(next));
+    }
+
+    LedgerLoadResult loaded = Ledger::load(path);
+    EXPECT_TRUE(loaded.errors.empty());
+    ASSERT_EQ(loaded.records.size(), 2u);
+    const LedgerRecord &got = loaded.records[0];
+    EXPECT_EQ(got.scenario, r.scenario);
+    EXPECT_EQ(got.seed, r.seed);
+    EXPECT_EQ(got.digest, r.digest);
+    EXPECT_EQ(got.key(), r.key());
+    EXPECT_DOUBLE_EQ(got.metrics.at("goodput_bps"), 20481.5);
+    EXPECT_EQ(got.phaseCycles.at("transfer"), 123456u);
+    EXPECT_EQ(got.phaseCalls.at("transfer"), 96u);
+}
+
+TEST(Ledger, CorruptLinesAreReportedNotSwallowed)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("run.jsonl");
+    {
+        Ledger l(path);
+        l.append(sampleRecord());
+    }
+    {
+        std::ofstream f(path, std::ios::app);
+        f << "{\"scenario\": truncated\n";
+    }
+    LedgerLoadResult loaded = Ledger::load(path);
+    EXPECT_EQ(loaded.records.size(), 1u);
+    ASSERT_EQ(loaded.errors.size(), 1u);
+
+    // A ledger opened over the damaged file still works (the killed-CI
+    // contract): the good record dedups, new ones append.
+    Ledger l(path);
+    EXPECT_EQ(l.preexisting(), 1u);
+    EXPECT_EQ(l.loadErrors().size(), 1u);
+    EXPECT_FALSE(l.append(sampleRecord()));
+}
+
+// ---- worker-count invariance ----------------------------------------
+
+TEST(ObsSweep, PhaseTotalsAndLedgerBytesInvariantAcrossWorkers)
+{
+    // The acceptance gate for the whole layer: the profiled sweep at
+    // 1, 2 and 8 workers must produce byte-identical deterministic
+    // phase exports and byte-identical ledger files.
+    TempDir tmp;
+    std::vector<std::string> profiles, ledgers;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SweepReportOptions opts;
+        opts.ledgerPath =
+            tmp.file("ledger_t" + std::to_string(threads) + ".jsonl");
+        opts.seedsPerCell = 1;
+        opts.seedBase = 99;
+        opts.gitRev = "obs-test-rev";
+        opts.threads = threads;
+        opts.league = false; // session cells exercise the full path
+
+        Profiler prof;
+        SweepOutcome out = runObservabilitySweep(opts, prof);
+        EXPECT_TRUE(out.errors.empty());
+        EXPECT_GT(out.records.size(), 0u);
+        EXPECT_EQ(out.appended, out.records.size());
+        profiles.push_back(prof.toJson(/*includeWall=*/false));
+        ledgers.push_back(slurp(opts.ledgerPath));
+    }
+    EXPECT_EQ(profiles[0], profiles[1]);
+    EXPECT_EQ(profiles[0], profiles[2]);
+    EXPECT_EQ(ledgers[0], ledgers[1]);
+    EXPECT_EQ(ledgers[0], ledgers[2]);
+    EXPECT_NE(profiles[0].find("\"transfer\""), std::string::npos);
+
+    // Re-running the identical sweep against an existing ledger must
+    // append nothing: every key is already present.
+    SweepReportOptions again;
+    again.ledgerPath = tmp.file("ledger_t1.jsonl");
+    again.seedsPerCell = 1;
+    again.seedBase = 99;
+    again.gitRev = "obs-test-rev";
+    again.threads = 2;
+    again.league = false;
+    Profiler prof;
+    SweepOutcome out = runObservabilitySweep(again, prof);
+    EXPECT_EQ(out.appended, 0u);
+    EXPECT_EQ(out.skipped, out.records.size());
+    EXPECT_EQ(slurp(again.ledgerPath), ledgers[0]);
+}
+
+// ---- trend sentry ---------------------------------------------------
+
+TEST(TrendSentry, MetricDirectionHeuristics)
+{
+    EXPECT_TRUE(metricHigherIsBetter("goodput_bps"));
+    EXPECT_FALSE(metricHigherIsBetter("residual_ber"));
+    EXPECT_FALSE(metricHigherIsBetter("phase.resync.cycles"));
+    EXPECT_FALSE(metricHigherIsBetter("seconds"));
+    // "capacity" wins over the "residual" cue: residual capacity is
+    // the attacker's throughput, and more of it is better (for the
+    // attacker whose trend we track).
+    EXPECT_TRUE(metricHigherIsBetter("residual_capacity_bps"));
+}
+
+std::vector<LedgerRecord>
+twoRevisionHistory(double oldGoodput, double newGoodput,
+                   std::uint64_t oldResync, std::uint64_t newResync)
+{
+    std::vector<LedgerRecord> recs;
+    LedgerRecord r = sampleRecord();
+    r.gitDescribe = "rev-old";
+    r.metrics["goodput_bps"] = oldGoodput;
+    r.phaseCycles["resync"] = oldResync;
+    recs.push_back(r);
+    r.gitDescribe = "rev-new";
+    r.metrics["goodput_bps"] = newGoodput;
+    r.phaseCycles["resync"] = newResync;
+    recs.push_back(r);
+    return recs;
+}
+
+TEST(TrendSentry, FlagsRegressionsBeyondTheNoiseBand)
+{
+    // 30% goodput drop and 2x resync cycles: both past the 15% band.
+    TrendReport rep = analyzeLedgerTrends(
+        twoRevisionHistory(1000.0, 700.0, 5000, 10000));
+    EXPECT_EQ(rep.latestRev, "rev-new");
+    EXPECT_EQ(rep.revisions, 2u);
+    EXPECT_EQ(rep.regressions(), 2u);
+
+    bool sawGoodput = false, sawResync = false;
+    for (const TrendDelta &d : rep.deltas) {
+        if (d.metric == "goodput_bps") {
+            sawGoodput = true;
+            EXPECT_TRUE(d.regressed);
+            EXPECT_NEAR(d.relDelta, -0.3, 1e-12);
+        }
+        if (d.metric == "phase.resync.cycles") {
+            sawResync = true;
+            EXPECT_TRUE(d.regressed)
+                << "doubled resync spending must trip the sentry "
+                   "even though goodput-only gates would miss it";
+        }
+    }
+    EXPECT_TRUE(sawGoodput);
+    EXPECT_TRUE(sawResync);
+}
+
+TEST(TrendSentry, WithinBandMovesAndImprovementsDoNotTrip)
+{
+    // 5% goodput wobble: inside the band, no verdict either way.
+    TrendReport calm = analyzeLedgerTrends(
+        twoRevisionHistory(1000.0, 950.0, 5000, 5100));
+    EXPECT_EQ(calm.regressions(), 0u);
+
+    // 40% goodput gain and halved resync cost: improvements, never
+    // regressions.
+    TrendReport better = analyzeLedgerTrends(
+        twoRevisionHistory(1000.0, 1400.0, 10000, 5000));
+    EXPECT_EQ(better.regressions(), 0u);
+    EXPECT_GE(better.improvements(), 2u);
+}
+
+} // namespace
+} // namespace gpucc::obs

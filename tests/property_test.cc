@@ -14,7 +14,9 @@
  *    metrics sampling attached vs detached, leave the architectural
  *    digest unchanged;
  *  - contention monotonicity: adding a resident warp never lowers
- *    warp 0's observed op latency.
+ *    warp 0's observed op latency;
+ *  - profiler transparency: a phase profiler attached to a session run
+ *    leaves the architectural digest trajectory unchanged.
  */
 
 #include <memory>
@@ -30,9 +32,11 @@
 #include "sim/exec/sweep_runner.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
+#include "obs/profiler.h"
 #include "sim/trace/trace.h"
 #include "verify/digest.h"
 #include "verify/program_gen.h"
+#include "verify/scenarios.h"
 
 namespace gpucc::verify
 {
@@ -203,6 +207,35 @@ TEST(Property, MidRunMitigationToggleEqualsElisionDisabled)
         else
             EXPECT_EQ(elided, reference)
                 << threads << " workers changed a toggled run";
+    }
+}
+
+TEST(Property, ProfilerAttachEqualsDetach)
+{
+    setVerbose(false);
+    // The phase profiler reads the device clock; it must never write
+    // anything the simulation can see. Same session, same plan, same
+    // seed — with a profiler attached and without — must land on the
+    // same architectural end-state digest and the same measurement.
+    const BitVec payload = scenarioPayload(96, 7);
+    for (const char *plan : {"quiet", "eviction"}) {
+        SessionMeasurement bare =
+            measureSessionOverPlan(gpu::keplerK40c(), plan, 7, payload);
+
+        obs::Profiler prof;
+        SessionMeasurement profiled = measureSessionOverPlan(
+            gpu::keplerK40c(), plan, 7, payload, &prof);
+
+        EXPECT_EQ(profiled.deviceDigest, bare.deviceDigest)
+            << plan << ": profiler attachment perturbed the run";
+        EXPECT_EQ(profiled.complete, bare.complete);
+        EXPECT_DOUBLE_EQ(profiled.goodputBps, bare.goodputBps);
+        EXPECT_DOUBLE_EQ(profiled.residualBer, bare.residualBer);
+        EXPECT_EQ(profiled.resyncs, bare.resyncs);
+        EXPECT_EQ(profiled.recalibrations, bare.recalibrations);
+        // ...and the profiler did actually observe the run.
+        EXPECT_GT(prof.totalCycles(), 0u);
+        EXPECT_GT(prof.phase(obs::phase::kTransfer).cycles, 0u);
     }
 }
 

@@ -245,5 +245,37 @@ TEST(FlightRecorder, RecordsSymbolsAndMargins)
     EXPECT_EQ(countOf(json, "\"index\":"), 4u);
 }
 
+TEST(FlightRecorder, CapDropsAndCountsLikeTheTracer)
+{
+    covert::trace::FlightRecorder rec("capped");
+    // Default retention matches the tracer's per-shard contract.
+    EXPECT_EQ(rec.capacity(), std::size_t{1} << 20);
+
+    rec.setCap(4);
+    for (int i = 0; i < 10; ++i) {
+        // Symbol 7 is a decode error — and it lands past the cap.
+        bool truth = (i != 7);
+        rec.record({static_cast<std::uint64_t>(i),
+                    static_cast<std::uint32_t>(i), Tick(i) * 10, 60.0,
+                    50.0, true, truth});
+    }
+    EXPECT_EQ(rec.records().size(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    // Tallies cover retained records only, like the tracer's shards:
+    // the dropped error must not leak into the aggregate.
+    EXPECT_EQ(rec.errorCount(), 0u);
+    EXPECT_DOUBLE_EQ(rec.errorRate(), 0.0);
+
+    std::string json = rec.toJson();
+    EXPECT_EQ(countOf(json, "\"index\":"), 4u);
+    EXPECT_NE(json.find("\"dropped\":6"), std::string::npos)
+        << "drop counter must be exported in the summary";
+
+    rec.clear();
+    EXPECT_EQ(rec.dropped(), 0u);
+    rec.record({0, 0, 0, 60.0, 50.0, true, true});
+    EXPECT_EQ(rec.records().size(), 1u);
+}
+
 } // namespace
 } // namespace gpucc::sim::trace
