@@ -28,6 +28,7 @@
 #include "common/log.h"
 #include "covert/channels/l1_const_channel.h"
 #include "covert/sync/sync_channel.h"
+#include "covert/synth/synthesizer.h"
 #include "gpu/host.h"
 #include "gpu/warp_ctx.h"
 #include "mem/set_assoc_cache.h"
@@ -219,6 +220,30 @@ BM_SweepCellFromSnapshot(benchmark::State &state)
                    " not re-run)");
 }
 BENCHMARK(BM_SweepCellFromSnapshot);
+
+// Full blind attack synthesis: geometry discovery, threshold
+// derivation, eviction-set reduction, SFU/atomic contention sweeps and
+// substrate ranking, booting one fresh device per measurement (~79 on
+// Kepler). This is the heaviest many-device workload in the tree and
+// tracks the cost of the device boot + short-kernel path end to end.
+void
+BM_BlindSynthesis(benchmark::State &state)
+{
+    setVerbose(false);
+    auto arch = gpu::keplerK40c();
+    unsigned devices = 0;
+    for (auto _ : state) {
+        covert::synth::AttackerLab lab(arch);
+        covert::synth::SynthesizedPlan plan =
+            covert::synth::synthesize(lab);
+        devices = plan.devicesUsed;
+        benchmark::DoNotOptimize(plan);
+    }
+    state.SetItemsProcessed(state.iterations() * devices);
+    state.SetLabel("measurement devices booted+probed per iteration: " +
+                   std::to_string(devices));
+}
+BENCHMARK(BM_BlindSynthesis);
 
 // Warp coroutine frame churn: many short-lived kernels allocate and
 // retire 60 warp frames each, exercising the frame arena's reuse path

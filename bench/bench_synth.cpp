@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Blind attack synthesis, end to end and timed: for each committed
+ * architecture, an AttackerLab (launch kernels + read clock(), nothing
+ * else) discovers the constant-cache geometry, derives thresholds from
+ * measured hit/miss populations, reduces a minimal eviction set,
+ * sweeps SFU and atomic contention, ranks the substrates, and drives a
+ * 96-bit self-calibrating session on the channel it picked.
+ *
+ * The printed table puts the discovered values next to the generating
+ * ArchParams (the Section 3 ground truth the attacker never saw) and
+ * reports the measurement budget: devices spent and host wall-clock
+ * per discovery. The conformance bands for the same pipeline live in
+ * conformance/expected/synth_blind.json; this bench is the human-
+ * readable and CI-staged (--json) view of the same run.
+ */
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "covert/session/session.h"
+#include "covert/synth/synthesizer.h"
+#include "covert/sync/duplex_channel.h"
+
+using namespace gpucc;
+
+namespace
+{
+
+std::string
+fmtGeometry(const covert::synth::DiscoveredCache &l1)
+{
+    return std::to_string(l1.sizeBytes) + " B / " +
+           std::to_string(l1.lineBytes) + " B line / " +
+           std::to_string(l1.numSets) + " sets x " +
+           std::to_string(l1.ways) + " ways";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("blind attack synthesis (no-datasheet reverse "
+                  "engineering to a working channel)",
+                  "Section 3 (methodology run blind; geometry vs "
+                  "Table 1 ground truth)");
+    auto &json = bench::JsonSink::instance();
+    json.configure("synth", argc, argv);
+
+    Table t("Blind synthesis per architecture: discovery, plan, and "
+            "session transfer (96-bit payload)");
+    t.header({"architecture", "discovered L1", "hit/miss (cyc)",
+              "eviction set", "best", "session", "devices", "wall"});
+    for (const auto &arch : gpu::allArchitectures()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        covert::synth::AttackerLab lab(arch);
+        covert::synth::SynthesizedPlan plan =
+            covert::synth::synthesize(lab);
+
+        covert::session::SessionConfig cfg =
+            covert::synth::planSessionConfig(plan);
+        covert::session::ChannelSession session(arch, cfg);
+        session.channel().setTiming(plan.timing());
+        covert::session::SessionResult r =
+            session.run(bench::payload(96, 17));
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        const bool geometryExact =
+            plan.l1.sizeBytes == arch.constMem.l1.sizeBytes &&
+            plan.l1.lineBytes == arch.constMem.l1.lineBytes &&
+            plan.l1.numSets == arch.constMem.l1.numSets() &&
+            plan.l1.ways == arch.constMem.l1.ways;
+
+        t.row({arch.name,
+               fmtGeometry(plan.l1) +
+                   (geometryExact ? " (exact)" : " (MISMATCH)"),
+               fmtDouble(plan.thresholds.hitCycles, 1) + " / " +
+                   fmtDouble(plan.thresholds.missCycles, 1),
+               std::to_string(plan.evictionSet.offsets.size()) +
+                   " of pool " +
+                   std::to_string(plan.evictionSet.poolSize),
+               covert::channelResourceName(plan.best()),
+               r.complete && r.residualBitErrors == 0
+                   ? fmtKbps(r.goodputBps) + ", 0 err"
+                   : "FAILED",
+               std::to_string(plan.devicesUsed),
+               fmtDouble(wallMs, 0) + " ms"});
+
+        const std::string key = gpu::generationName(arch.generation);
+        json.note(key + ".geometry_exact", geometryExact ? 1.0 : 0.0);
+        json.note(key + ".l1_bytes",
+                  static_cast<double>(plan.l1.sizeBytes));
+        json.note(key + ".l1_ways", plan.l1.ways);
+        json.note(key + ".hit_cycles", plan.thresholds.hitCycles);
+        json.note(key + ".miss_cycles", plan.thresholds.missCycles);
+        json.note(key + ".eviction_set_size",
+                  static_cast<double>(plan.evictionSet.offsets.size()));
+        json.note(key + ".session_complete", r.complete ? 1.0 : 0.0);
+        json.note(key + ".residual_ber", r.residualBer);
+        json.note(key + ".goodput_bps", r.goodputBps);
+        json.note(key + ".devices_used", plan.devicesUsed);
+        json.note(key + ".discovery_wall_ms", wallMs);
+    }
+    t.print();
+    json.add(t);
+
+    std::printf(
+        "The attacker toolkit recovers every architecture's constant-"
+        "cache geometry exactly\nfrom timed stride sweeps (capacity "
+        "knee, line-stride knee, alias-fit associativity),\nderives "
+        "decode thresholds from the hit/miss populations its own "
+        "eviction probes\nmeasured, and reduces a polluted candidate "
+        "pool to an associativity-sized minimal\neviction set. The "
+        "substrate ranking (L1 prime/probe ahead of SFU and atomic\n"
+        "contention) reproduces the paper's bandwidth ordering, and "
+        "the synthesized plan\ncarries a session with zero residual "
+        "errors on every architecture.\n");
+    json.write();
+    return 0;
+}

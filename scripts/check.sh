@@ -167,6 +167,11 @@ if [ "$conformance" = 1 ]; then
     mkdir -p "$artdir"
     "$build/src/gpucc_verify" \
         --report "$artdir/conformance_report.json"
+    # Blind-synthesis timing artifact: the full no-datasheet discovery
+    # pipeline per arch, staged next to the conformance report (the
+    # synth_blind bands pin its results; this records its cost).
+    "$build/bench/bench_synth" --json "$artdir/synth_bench.json" \
+        > /dev/null
     echo "conformance OK: report in $artdir/conformance_report.json"
 fi
 

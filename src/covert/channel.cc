@@ -116,6 +116,16 @@ LaunchPerBitChannel::calibrate()
     return *calibratedThreshold;
 }
 
+void
+LaunchPerBitChannel::adoptThreshold(double threshold)
+{
+    if (!isSetup) {
+        setup();
+        isSetup = true;
+    }
+    calibratedThreshold = threshold;
+}
+
 LaunchPerBitChannel::Checkpoint
 LaunchPerBitChannel::checkpoint()
 {

@@ -183,6 +183,14 @@ class LaunchPerBitChannel
      */
     void restore(const Checkpoint &ck);
 
+    /**
+     * Install an externally derived decision threshold (e.g. from a
+     * blind SynthesizedPlan) instead of running the preamble: setup()
+     * runs if it has not yet, then transmit() behaves exactly as after
+     * calibrate(), using @p threshold to decode.
+     */
+    void adoptThreshold(double threshold);
+
     /** Calibrated threshold, when calibrate()/restore() ran. */
     std::optional<double> threshold() const { return calibratedThreshold; }
 

@@ -1,7 +1,7 @@
 #include "covert/characterize/fu_characterizer.h"
 
 #include "common/log.h"
-#include "gpu/host.h"
+#include "covert/synth/attacker_device.h"
 #include "gpu/warp_ctx.h"
 
 namespace gpucc::covert
@@ -22,10 +22,19 @@ FuCharacterizer::measure(gpu::OpClass op, unsigned warps,
                     gpu::opClassName(op));
     }
 
-    gpu::Device dev(arch);
-    gpu::HostContext host(dev, 11);
-    host.setJitterUs(0.0);
+    // The measurement itself runs blind: build a throwaway lab around
+    // the arch (same host seed as the historical direct construction)
+    // and hand measureOn a facade, not the params.
+    synth::AttackerLab lab(arch, 11);
+    synth::AttackerDevice dev = lab.fresh();
+    return measureOn(dev, op, warps, iterations);
+}
 
+double
+FuCharacterizer::measureOn(synth::AttackerDevice &dev, gpu::OpClass op,
+                           unsigned warps, unsigned iterations)
+{
+    GPUCC_ASSERT(warps >= 1 && iterations >= 1, "empty FU measurement");
     gpu::KernelLaunch k;
     k.name = "fu-sweep";
     k.config.gridBlocks = 1;
@@ -38,9 +47,7 @@ FuCharacterizer::measure(gpu::OpClass op, unsigned warps,
         co_return;
     };
 
-    auto &s = host.createStream();
-    auto &inst = host.launch(s, k);
-    host.sync(inst);
+    const auto &inst = dev.run(std::move(k));
     double total = static_cast<double>(inst.out(0).at(0));
     return total / iterations;
 }

@@ -20,6 +20,11 @@
 namespace gpucc::covert
 {
 
+namespace synth
+{
+class AttackerDevice;
+} // namespace synth
+
 /** One sample of a latency-vs-warps curve. */
 struct FuLatencyPoint
 {
@@ -36,6 +41,16 @@ class FuCharacterizer
     /** Average per-op latency of warp 0 with @p warps resident warps. */
     double measure(gpu::OpClass op, unsigned warps,
                    unsigned iterations = 128);
+
+    /**
+     * The measurement itself, phrased against the no-oracle attacker
+     * facade: @p warps warps of dependent @p op chains on @p dev, warp
+     * 0's average per-op latency. measure() delegates here (after its
+     * ArchParams legality checks); the blind synthesizer calls it
+     * directly, so the number on the curve never came from a table.
+     */
+    static double measureOn(synth::AttackerDevice &dev, gpu::OpClass op,
+                            unsigned warps, unsigned iterations = 128);
 
     /** Full curve for @p op over 1..@p maxWarps warps. */
     std::vector<FuLatencyPoint> curve(gpu::OpClass op,

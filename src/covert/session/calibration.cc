@@ -122,21 +122,31 @@ calibrateThresholds(DuplexSyncChannel &ch, unsigned rounds)
     collectSamples(instA, hits, misses);
     collectSamples(instB, hits, misses);
 
+    CalibrationResult res = thresholdsFromPopulations(hits, misses);
+    if (!res.ok) {
+        res.timing = nominal;
+        res.marginCycles =
+            0.5 * (static_cast<double>(arch.constMem.l2HitCycles) -
+                   static_cast<double>(arch.constMem.l1HitCycles));
+    }
+    return res;
+}
+
+CalibrationResult
+thresholdsFromPopulations(const std::vector<double> &hits,
+                          const std::vector<double> &misses)
+{
     CalibrationResult res;
     res.samples = static_cast<unsigned>(hits.size() + misses.size());
     res.hitCycles = median(hits);
     res.missCycles = median(misses);
 
-    // Reject a calibration whose populations overlap (e.g. every probe
-    // landed inside a thrash train): installing a threshold between two
+    // Reject populations that overlap (e.g. every probe landed inside a
+    // thrash train): installing a threshold between two
     // indistinguishable populations would decode noise.
     if (hits.empty() || misses.empty() ||
         res.missCycles <= res.hitCycles + 4.0) {
         res.ok = false;
-        res.timing = nominal;
-        res.marginCycles =
-            0.5 * (static_cast<double>(arch.constMem.l2HitCycles) -
-                   static_cast<double>(arch.constMem.l1HitCycles));
         return res;
     }
 

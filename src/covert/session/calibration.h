@@ -31,6 +31,8 @@
 #ifndef GPUCC_COVERT_SESSION_CALIBRATION_H
 #define GPUCC_COVERT_SESSION_CALIBRATION_H
 
+#include <vector>
+
 #include "covert/sync/handshake.h"
 
 namespace gpucc::covert
@@ -67,6 +69,20 @@ struct CalibrationResult
  */
 CalibrationResult calibrateThresholds(DuplexSyncChannel &ch,
                                       unsigned rounds = 12);
+
+/**
+ * The population-split core of calibrateThresholds(), usable by any
+ * measurement that produced hit/miss latency populations (the blind
+ * synthesizer feeds eviction-probe samples through here). Medians both
+ * populations and, when they separate cleanly, derives the two
+ * protocol thresholds (signal near the miss population, data at the
+ * midpoint); pacing fields stay 0. When the populations overlap
+ * (missing, or miss median within 4 cycles of the hit median) the
+ * result has ok=false and an untouched default timing — the caller
+ * owns the fallback policy.
+ */
+CalibrationResult thresholdsFromPopulations(
+    const std::vector<double> &hits, const std::vector<double> &misses);
 
 /** EWMA drift watchdog over live decode margins. */
 class DriftTracker

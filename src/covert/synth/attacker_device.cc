@@ -1,0 +1,73 @@
+#include "covert/synth/attacker_device.h"
+
+#include "verify/digest.h"
+
+namespace gpucc::covert::synth
+{
+
+AttackerDevice::AttackerDevice(AttackerLab &lab_,
+                               const gpu::ArchParams &arch,
+                               std::uint64_t seed)
+    : lab(&lab_)
+{
+    dev = std::make_unique<gpu::Device>(arch);
+    host = std::make_unique<gpu::HostContext>(*dev, seed);
+    host->setJitterUs(0.0);
+    stream = &host->createStream();
+}
+
+AttackerDevice::~AttackerDevice()
+{
+    if (dev == nullptr)
+        return; // moved-from
+    // Observer first (a fault injector disarms on release), then the
+    // drain + digest — the measureSessionOverPlan retirement order.
+    attachment.reset();
+    lab->retire(*dev);
+}
+
+const gpu::KernelInstance &
+AttackerDevice::run(gpu::KernelLaunch k)
+{
+    auto &inst = host->launch(*stream, std::move(k));
+    host->sync(inst);
+    return inst;
+}
+
+Addr
+AttackerDevice::allocConst(std::size_t bytes, std::size_t align)
+{
+    return dev->allocConst(bytes, align);
+}
+
+Addr
+AttackerDevice::allocGlobal(std::size_t bytes, std::size_t align)
+{
+    return dev->allocGlobal(bytes, align);
+}
+
+AttackerLab::AttackerLab(const gpu::ArchParams &arch_, std::uint64_t seed_)
+    : arch(arch_), seed(seed_)
+{
+}
+
+AttackerDevice
+AttackerLab::fresh()
+{
+    AttackerDevice d(*this, arch, seed);
+    if (decorator)
+        d.attachment = decorator(*d.dev);
+    return d;
+}
+
+void
+AttackerLab::retire(gpu::Device &dev)
+{
+    dev.runUntilIdle();
+    verify::StateDigest d(rolling);
+    d.u64(verify::deviceDigest(dev));
+    rolling = d.value();
+    ++retired;
+}
+
+} // namespace gpucc::covert::synth

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The no-oracle attacker facade.
+ *
+ * The paper's Section 3 methodology has the attacker reverse-engineer
+ * cache geometry and timing thresholds with nothing but device
+ * programs and clock() — no datasheet, no driver introspection. The
+ * characterization code used to take ArchParams directly, which made
+ * the "blind" claim unverifiable: nothing stopped a measurement from
+ * peeking at the very numbers it was supposed to discover.
+ *
+ * AttackerDevice is the compile-time seam that enforces the contract.
+ * It wraps a Device + HostContext pair but exposes only what a real
+ * attacker process has: allocate buffers, launch kernels (which can
+ * read clock(), time loads, and write results out()), and read the
+ * completed kernel's outputs. There is deliberately no arch(), no
+ * constMem(), no accessor that could leak geometry or latencies —
+ * tests/synth_test.cc pins this with a detection-idiom static_assert.
+ *
+ * AttackerLab is the experimenter's side of the seam: it owns the
+ * ArchParams (someone has to build the device) and hands out fresh
+ * AttackerDevices, one per measurement, exactly like the
+ * characterizers' fresh-device-per-point discipline. Every retired
+ * device's architectural digest is folded into a rolling lab digest,
+ * so a whole discovery run collapses to one 64-bit value that the
+ * determinism and property tests can pin. A decorator hook lets the
+ * metamorphic suite attach observers (e.g. a quiet fault injector) to
+ * every device the attacker touches without the attacker knowing.
+ */
+
+#ifndef GPUCC_COVERT_SYNTH_ATTACKER_DEVICE_H
+#define GPUCC_COVERT_SYNTH_ATTACKER_DEVICE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gpu/device.h"
+#include "gpu/host.h"
+
+namespace gpucc::covert::synth
+{
+
+class AttackerLab;
+
+/**
+ * One disposable device behind the no-oracle facade. Move-only; the
+ * destructor drains the device and folds its digest into the lab.
+ */
+class AttackerDevice
+{
+  public:
+    AttackerDevice(AttackerDevice &&) noexcept = default;
+    AttackerDevice &operator=(AttackerDevice &&) = delete;
+    AttackerDevice(const AttackerDevice &) = delete;
+    AttackerDevice &operator=(const AttackerDevice &) = delete;
+    ~AttackerDevice();
+
+    /** Launch @p k on this device's stream and block until it
+     *  completes; @return the instance (for out()/blockRecords()). */
+    const gpu::KernelInstance &run(gpu::KernelLaunch k);
+
+    /** Bump-allocate constant-space addresses. */
+    Addr allocConst(std::size_t bytes, std::size_t align = 256);
+
+    /** Bump-allocate global-space addresses. */
+    Addr allocGlobal(std::size_t bytes, std::size_t align = 256);
+
+  private:
+    friend class AttackerLab;
+    AttackerDevice(AttackerLab &lab, const gpu::ArchParams &arch,
+                   std::uint64_t seed);
+
+    AttackerLab *lab;
+    std::unique_ptr<gpu::Device> dev;
+    std::unique_ptr<gpu::HostContext> host;
+    gpu::Stream *stream;
+    /** Observer attachment from the lab's decorator (released before
+     *  the retirement digest, mirroring measureSessionOverPlan's
+     *  disarm-then-digest order). */
+    std::shared_ptr<void> attachment;
+};
+
+/** Experimenter-side factory for attacker devices. */
+class AttackerLab
+{
+  public:
+    /**
+     * @param arch Architecture the attacker is dropped onto (the
+     *        attacker never sees this — only the devices built from it).
+     * @param seed Host-context seed for every produced device (jitter
+     *        is zeroed, matching the characterizers' discipline).
+     */
+    explicit AttackerLab(const gpu::ArchParams &arch,
+                         std::uint64_t seed = 7);
+
+    /** A fresh device behind the facade. */
+    AttackerDevice fresh();
+
+    /**
+     * Observer decorator applied to every future device: returns an
+     * attachment (e.g. an armed FaultInjector) kept alive until just
+     * before the device retires. Property tests use this to pin that
+     * discovery under a quiet fault plan equals no injector at all.
+     */
+    using Decoration = std::shared_ptr<void>;
+    using Decorator = std::function<Decoration(gpu::Device &)>;
+    void setDecorator(Decorator d) { decorator = std::move(d); }
+
+    /** Rolling digest over every retired device's architectural end
+     *  state — one value pinning an entire discovery run. */
+    std::uint64_t digest() const { return rolling; }
+
+    /** Devices retired so far (measurement-cost accounting). */
+    unsigned devicesRetired() const { return retired; }
+
+  private:
+    friend class AttackerDevice;
+    void retire(gpu::Device &dev);
+
+    gpu::ArchParams arch;
+    std::uint64_t seed;
+    Decorator decorator;
+    std::uint64_t rolling = 0x626c696e646c6162ULL; // "blindlab"
+    unsigned retired = 0;
+};
+
+} // namespace gpucc::covert::synth
+
+#endif // GPUCC_COVERT_SYNTH_ATTACKER_DEVICE_H

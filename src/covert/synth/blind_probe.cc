@@ -1,0 +1,157 @@
+#include "covert/synth/blind_probe.h"
+
+#include <vector>
+
+#include "common/log.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert::synth
+{
+
+namespace
+{
+
+/** Per-access latency separating "still flat" from "overflowed" in the
+ *  capacity doubling sweep. The first doubling past capacity turns at
+ *  least a quarter of the accesses into misses (stride 32, line <= 128),
+ *  which lifts the average by >= 12 cycles on every supported latency
+ *  envelope; intra-plateau wobble stays under ~3. */
+constexpr double capacityEpsilonCycles = 5.0;
+
+/** A stride resolves to the line size once its per-access average
+ *  reaches 97% of the one-access-per-line ceiling; a stride of half a
+ *  line sits at ~72% on the worst envelope. */
+constexpr double lineKneeFraction = 0.97;
+
+/** Largest way count the associativity probe resolves. */
+constexpr unsigned maxWaysProbed = 10;
+
+} // namespace
+
+BlindCacheProbe::BlindCacheProbe(AttackerLab &lab_) : lab(&lab_) {}
+
+double
+BlindCacheProbe::measure(std::size_t arrayBytes, std::size_t strideBytes)
+{
+    GPUCC_ASSERT(arrayBytes > 0 && strideBytes > 0 &&
+                     strideBytes <= arrayBytes,
+                 "bad probe parameters");
+    AttackerDevice dev = lab->fresh();
+
+    Addr base = dev.allocConst(arrayBytes, 4096);
+    std::vector<Addr> addrs;
+    for (std::size_t off = 0; off < arrayBytes; off += strideBytes)
+        addrs.push_back(base + off);
+
+    // Timed passes: the paper warms the cache with a first traversal,
+    // then times subsequent traversals of the same array.
+    const unsigned timedPasses = 4;
+    gpu::KernelLaunch k;
+    k.name = "blind-wong-microbenchmark";
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warpSize;
+    k.body = [addrs, timedPasses](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        co_await ctx.constLoadSeq(addrs); // warm-up pass
+        std::uint64_t total = 0;
+        for (unsigned p = 0; p < timedPasses; ++p)
+            total += co_await ctx.constLoadSeq(addrs);
+        ctx.out(total);
+        co_return;
+    };
+
+    const auto &inst = dev.run(std::move(k));
+    double total = static_cast<double>(inst.out(0).at(0));
+    return total / (timedPasses * static_cast<double>(addrs.size()));
+}
+
+std::vector<ProbePoint>
+BlindCacheProbe::sweep(std::size_t fromBytes, std::size_t toBytes,
+                       std::size_t stepBytes, std::size_t strideBytes)
+{
+    GPUCC_ASSERT(stepBytes > 0 && strideBytes > 0, "bad sweep parameters");
+    std::vector<ProbePoint> series;
+    for (std::size_t size = fromBytes; size <= toBytes; size += stepBytes)
+        series.push_back(ProbePoint{size, measure(size, strideBytes)});
+    return series;
+}
+
+DiscoveredCache
+BlindCacheProbe::discover()
+{
+    DiscoveredCache d;
+
+    // Probe 1: capacity. Double the array at the smallest plausible
+    // stride; the plateau is wherever the smallest array sits (256 B is
+    // below any real L1), and the first size that leaves it has
+    // overflowed. Power-of-two capacities make the previous size exact.
+    const std::size_t probeStride = 32;
+    d.plateauCycles = measure(minCapacityBytes, probeStride);
+    std::size_t lastInside = 0;
+    for (std::size_t size = minCapacityBytes; size <= maxCapacityBytes;
+         size *= 2) {
+        double m = size == minCapacityBytes
+                       ? d.plateauCycles
+                       : measure(size, probeStride);
+        if (m > d.plateauCycles + capacityEpsilonCycles)
+            break;
+        lastInside = size;
+    }
+    GPUCC_ASSERT(lastInside > 0, "smallest probe array already misses");
+    GPUCC_ASSERT(lastInside < maxCapacityBytes,
+                 "no capacity edge below %zu bytes — nothing to attack",
+                 maxCapacityBytes);
+    d.sizeBytes = lastInside;
+
+    // Probe 2: line size. On a 2x-capacity array a sequential LRU
+    // traversal misses on every line it touches, so the per-access
+    // average scales with accesses-per-line: stride >= line is all
+    // misses (the ceiling), stride = line/2 only half. The knee —
+    // smallest stride within 3% of the widest stride's average — is
+    // the line. 2x capacity keeps the spill inside the L2, so misses
+    // are a uniform population.
+    double ceiling = measure(2 * d.sizeBytes, 256);
+    d.ceilingCycles = ceiling;
+    GPUCC_ASSERT(ceiling > d.plateauCycles + capacityEpsilonCycles,
+                 "no hit/miss contrast at 2x capacity");
+    for (std::size_t stride : {std::size_t{32}, std::size_t{64},
+                               std::size_t{128}}) {
+        double m = measure(2 * d.sizeBytes, stride);
+        if (m >= lineKneeFraction * ceiling) {
+            d.lineBytes = stride;
+            d.ceilingCycles = m;
+            break;
+        }
+    }
+    if (d.lineBytes == 0)
+        d.lineBytes = 256;
+
+    // Probe 3: associativity. k lines spaced a whole capacity apart all
+    // decode to set 0. While k <= ways they co-reside (plateau); past
+    // that a sequential LRU traversal thrashes the set and every access
+    // pays at least the next level. Classify each k against the hit/miss
+    // midpoint from probes 1+2 — NOT against a deep-thrash reference:
+    // capacity-spaced lines can also alias in the L2 (on the Fermi the
+    // L2 set stride equals the L1 capacity), so large k may escalate to
+    // memory latency and a thrash-referenced midpoint would misread the
+    // intermediate L2-hit levels as fits.
+    double midpoint = 0.5 * (d.plateauCycles + d.ceilingCycles);
+    unsigned ways = 0;
+    for (unsigned k = 1; k <= maxWaysProbed; ++k) {
+        double m = measure(std::size_t{k} * d.sizeBytes, d.sizeBytes);
+        if (m < midpoint)
+            ways = k;
+        else
+            break;
+    }
+    GPUCC_ASSERT(ways > 0, "single line already thrashes its set");
+    d.ways = ways;
+
+    GPUCC_ASSERT(d.sizeBytes % (d.lineBytes * d.ways) == 0,
+                 "discovered capacity %zu not divisible by line %zu x "
+                 "ways %u",
+                 d.sizeBytes, d.lineBytes, d.ways);
+    d.numSets = d.sizeBytes / (d.lineBytes * d.ways);
+    return d;
+}
+
+} // namespace gpucc::covert::synth

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Blind cache-geometry discovery (attack synthesis step 1).
+ *
+ * Everything here sees only the AttackerDevice facade: timed strided
+ * loads are the sole instrument, exactly the Section 3 position of an
+ * attacker with device programs and clock(). Discovery proceeds in
+ * three stride probes, each on a fresh device:
+ *
+ *  1. capacity — double the array size at a minimal stride until the
+ *     per-access latency leaves the plateau; the last flat size is the
+ *     L1 capacity (constant caches are power-of-two sized, so the
+ *     doubling lands on it exactly);
+ *  2. line size — on a 2x-capacity array (every access misses L1 and
+ *     hits L2) the per-access average rises linearly with the stride
+ *     until one access per line, then flattens: the knee is the line;
+ *  3. associativity — k lines spaced a whole capacity apart alias into
+ *     one set; the largest k that still fits (plateau latency) is the
+ *     way count. Set count follows as capacity / (line * ways).
+ *
+ * The same measure() primitive backs CacheCharacterizer::measurePoint,
+ * so the paper-figure sweeps are now provably oracle-free too: the
+ * characterizer may frame its sweep axes from known geometry, but the
+ * numbers on the curve all come through this facade.
+ */
+
+#ifndef GPUCC_COVERT_SYNTH_BLIND_PROBE_H
+#define GPUCC_COVERT_SYNTH_BLIND_PROBE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "covert/synth/attacker_device.h"
+#include "mem/cache_geometry.h"
+
+namespace gpucc::covert::synth
+{
+
+/** One sample of a latency-vs-size (or -stride) probe. */
+struct ProbePoint
+{
+    std::size_t arrayBytes = 0;
+    double avgLatencyCycles = 0.0;
+};
+
+/** Cache parameters recovered without an oracle. */
+struct DiscoveredCache
+{
+    std::size_t sizeBytes = 0;
+    std::size_t lineBytes = 0;
+    std::size_t numSets = 0;
+    unsigned ways = 0;
+    double plateauCycles = 0.0; //!< measured per-access hit latency
+    double ceilingCycles = 0.0; //!< measured per-access miss latency
+
+    /** The discovered geometry in the channels' native shape. */
+    mem::CacheGeometry
+    geometry() const
+    {
+        return mem::CacheGeometry{sizeBytes, lineBytes, ways};
+    }
+};
+
+/** Timed strided-load probes over an AttackerLab's devices. */
+class BlindCacheProbe
+{
+  public:
+    explicit BlindCacheProbe(AttackerLab &lab);
+
+    /**
+     * Average per-access latency (cycles) of repeated sequential
+     * traversals of an @p arrayBytes constant array at @p strideBytes:
+     * one warm pass, then four timed passes, on a fresh device (the
+     * paper reruns the experiment per point).
+     */
+    double measure(std::size_t arrayBytes, std::size_t strideBytes);
+
+    /** Latency series over sizes [@p fromBytes, @p toBytes] stepping
+     *  @p stepBytes at a fixed @p strideBytes. */
+    std::vector<ProbePoint> sweep(std::size_t fromBytes,
+                                  std::size_t toBytes,
+                                  std::size_t stepBytes,
+                                  std::size_t strideBytes);
+
+    /** Run the full three-probe discovery. Fatal when no capacity edge
+     *  shows up in the probed envelope (no L1 to attack). */
+    DiscoveredCache discover();
+
+    /** Smallest/largest array sizes the capacity probe tries. */
+    static constexpr std::size_t minCapacityBytes = 256;
+    static constexpr std::size_t maxCapacityBytes = 256 * 1024;
+
+  private:
+    AttackerLab *lab;
+};
+
+} // namespace gpucc::covert::synth
+
+#endif // GPUCC_COVERT_SYNTH_BLIND_PROBE_H

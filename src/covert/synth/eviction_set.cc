@@ -1,0 +1,171 @@
+#include "covert/synth/eviction_set.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "covert/channels/cache_sets.h"
+#include "covert/sync/handshake.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert::synth
+{
+
+namespace
+{
+
+constexpr double outScale = 256.0; //!< fixed-point scale for out()
+
+/** Pause between sample pairs; the blind attacker has no settle figure
+ *  from an arch table, so a fixed spread in the same order of magnitude
+ *  does the job of representing distinct jitter windows. */
+constexpr Cycle samplePairSpacing = 64;
+
+/** Single-warp launch shell shared by both experiments. */
+gpu::KernelLaunch
+singleWarpKernel(const char *name)
+{
+    gpu::KernelLaunch k;
+    k.name = name;
+    k.config.gridBlocks = 1;
+    k.config.threadsPerBlock = warpSize;
+    return k;
+}
+
+} // namespace
+
+session::CalibrationResult
+thresholdFromEviction(AttackerLab &lab, const DiscoveredCache &l1,
+                      unsigned rounds)
+{
+    GPUCC_ASSERT(rounds >= 4, "threshold probe needs >= 4 sample pairs");
+    mem::CacheGeometry geom = l1.geometry();
+    geom.validate("discovered L1");
+
+    AttackerDevice dev = lab.fresh();
+    std::size_t align = setStride(geom);
+    Addr mainBase = dev.allocConst(probeArrayBytes(geom), align);
+    Addr aliasBase = dev.allocConst(probeArrayBytes(geom), align);
+    std::vector<Addr> main = setFillingAddrs(geom, mainBase, 0);
+    std::vector<Addr> alias = setFillingAddrs(geom, aliasBase, 0);
+
+    gpu::KernelLaunch k = singleWarpKernel("synth-threshold-probe");
+    k.body = [main, alias, rounds](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        // Cold fills (DRAM-deep) are not part of either population.
+        co_await primeSet(ctx, main);
+        co_await primeSet(ctx, alias);
+        for (unsigned i = 0; i < rounds; ++i) {
+            co_await primeSet(ctx, main);
+            double hit = co_await probeSetAvg(ctx, main);
+            ctx.out(static_cast<std::uint64_t>(hit * outScale));
+            co_await primeSet(ctx, alias); // evict main from L1
+            double miss = co_await probeSetAvg(ctx, main);
+            ctx.out(static_cast<std::uint64_t>(miss * outScale));
+            co_await ctx.sleep(samplePairSpacing);
+        }
+        co_return;
+    };
+
+    const auto &inst = dev.run(std::move(k));
+    const auto &vals = inst.out(0);
+    std::vector<double> hits, misses;
+    for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+        hits.push_back(static_cast<double>(vals[i]) / outScale);
+        misses.push_back(static_cast<double>(vals[i + 1]) / outScale);
+    }
+    return session::thresholdsFromPopulations(hits, misses);
+}
+
+namespace
+{
+
+/** One eviction experiment on a fresh device: warm the victim line,
+ *  walk the candidate offsets, reload the victim; evicted when the
+ *  reload latency lands past @p thresholdCycles. */
+bool
+evicts(AttackerLab &lab, const mem::CacheGeometry &geom,
+       std::size_t allocBytes, const std::vector<std::size_t> &offsets,
+       double thresholdCycles)
+{
+    AttackerDevice dev = lab.fresh();
+    Addr base = dev.allocConst(allocBytes, setStride(geom));
+    std::vector<Addr> cands;
+    cands.reserve(offsets.size());
+    for (std::size_t off : offsets)
+        cands.push_back(base + off);
+    std::vector<Addr> victim{base};
+
+    gpu::KernelLaunch k = singleWarpKernel("synth-eviction-trial");
+    k.body = [victim, cands](gpu::WarpCtx &ctx) -> gpu::WarpProgram {
+        co_await primeSet(ctx, victim);
+        co_await primeSet(ctx, cands);
+        double lat = co_await probeSetAvg(ctx, victim);
+        ctx.out(static_cast<std::uint64_t>(lat * outScale));
+        co_return;
+    };
+
+    const auto &inst = dev.run(std::move(k));
+    double lat = static_cast<double>(inst.out(0).at(0)) / outScale;
+    return lat > thresholdCycles;
+}
+
+} // namespace
+
+EvictionSetResult
+findMinimalEvictionSet(AttackerLab &lab, const DiscoveredCache &l1,
+                       double thresholdCycles)
+{
+    mem::CacheGeometry geom = l1.geometry();
+    geom.validate("discovered L1");
+    std::size_t stride = setStride(geom);
+
+    // Candidate pool: 2x the aliasing offsets needed, polluted with the
+    // same count of decoys one line over (they stride into a different
+    // set, so a correct reduction must discard every one of them). The
+    // victim sits at offset 0 and is not a candidate.
+    std::vector<std::size_t> pool;
+    for (unsigned k = 1; k <= 2 * geom.ways; ++k) {
+        pool.push_back(std::size_t{k} * stride);
+        pool.push_back(std::size_t{k} * stride + geom.lineBytes);
+    }
+    std::size_t allocBytes = (2 * std::size_t{geom.ways} + 2) * stride;
+
+    // Deterministic shuffle so the reduction order is not accidentally
+    // presorted into aliases-first.
+    Rng rng(0x657669637473ULL); // "evicts"
+    for (std::size_t i = pool.size(); i > 1; --i) {
+        auto j = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(pool[i - 1], pool[j]);
+    }
+
+    EvictionSetResult res;
+    res.poolSize = pool.size();
+
+    auto trial = [&](const std::vector<std::size_t> &offs) {
+        ++res.trials;
+        return evicts(lab, geom, allocBytes, offs, thresholdCycles);
+    };
+
+    GPUCC_ASSERT(trial(pool),
+                 "candidate pool fails to evict the victim — geometry or "
+                 "threshold is wrong");
+
+    // Group reduction (get_minimal_set): drop any candidate the rest of
+    // the pool can evict without.
+    std::vector<std::size_t> current = pool;
+    std::size_t idx = 0;
+    while (idx < current.size()) {
+        std::vector<std::size_t> without = current;
+        without.erase(without.begin() + static_cast<std::ptrdiff_t>(idx));
+        if (trial(without))
+            current = std::move(without);
+        else
+            ++idx;
+    }
+    res.offsets = std::move(current);
+    return res;
+}
+
+} // namespace gpucc::covert::synth

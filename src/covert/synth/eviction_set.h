@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Blind eviction-set construction and threshold derivation (attack
+ * synthesis step 2, the get_minimal_set / threshold_from_flush idiom).
+ *
+ * With the geometry from blind_probe in hand, the attacker still needs
+ * (a) a latency threshold splitting the hit and miss populations it
+ * will actually observe in the protocol's probe loop, and (b) proof
+ * that a minimal set of addresses really evicts a victim line — the
+ * group-reduction construction from the eviction-set literature, run
+ * here against the discovered (not datasheet) set stride.
+ *
+ * thresholdFromEviction measures paired hit/miss populations with the
+ * exact probe primitives the duplex protocol uses (primeSet /
+ * probeSetAvg) and feeds them through the session calibrator's
+ * population splitter, so the derived ProtocolTiming thresholds are
+ * unit-compatible with live decode.
+ *
+ * findMinimalEvictionSet starts from a deliberately polluted candidate
+ * pool (aliasing offsets mixed with same-stride decoys one line over)
+ * and reduces it one element at a time: drop a candidate whenever the
+ * remainder still evicts the victim past the measured threshold. The
+ * survivor count equals the associativity if and only if the geometry
+ * and threshold are both right — a self-check the synthesizer asserts.
+ */
+
+#ifndef GPUCC_COVERT_SYNTH_EVICTION_SET_H
+#define GPUCC_COVERT_SYNTH_EVICTION_SET_H
+
+#include <vector>
+
+#include "covert/session/calibration.h"
+#include "covert/synth/blind_probe.h"
+
+namespace gpucc::covert::synth
+{
+
+/** Outcome of the group-reduction construction. */
+struct EvictionSetResult
+{
+    /** Byte offsets (from the probe array base) of the minimal set. */
+    std::vector<std::size_t> offsets;
+    std::size_t poolSize = 0; //!< candidates before reduction
+    unsigned trials = 0;      //!< eviction experiments (devices) spent
+};
+
+/**
+ * Measure hit/miss populations over the discovered geometry's set 0 on
+ * a fresh device and derive protocol thresholds from them. Uses the
+ * duplex channel's own prime/probe primitives, @p rounds sample pairs.
+ * The result's ok flag is false when the populations overlap (the
+ * synthesizer treats that as "no usable L1 substrate").
+ */
+session::CalibrationResult thresholdFromEviction(AttackerLab &lab,
+                                                 const DiscoveredCache &l1,
+                                                 unsigned rounds = 12);
+
+/**
+ * Reduce a polluted candidate pool to a minimal eviction set for a
+ * victim line in set 0 of the discovered geometry, classifying each
+ * trial's victim-reload latency against @p thresholdCycles (use the
+ * calibrated data threshold). One fresh device per trial keeps trials
+ * independent and deterministic.
+ */
+EvictionSetResult findMinimalEvictionSet(AttackerLab &lab,
+                                         const DiscoveredCache &l1,
+                                         double thresholdCycles);
+
+} // namespace gpucc::covert::synth
+
+#endif // GPUCC_COVERT_SYNTH_EVICTION_SET_H

@@ -1,0 +1,73 @@
+#include "covert/synth/fu_probe.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "gpu/warp_ctx.h"
+
+namespace gpucc::covert::synth
+{
+
+namespace
+{
+
+/** Fold a measured curve into the probe summary. */
+ContentionProbe
+summarize(std::vector<FuLatencyPoint> curve)
+{
+    GPUCC_ASSERT(!curve.empty(), "empty contention curve");
+    ContentionProbe p;
+    p.baseCycles = curve.front().warp0AvgCycles;
+    p.peakCycles = p.baseCycles;
+    for (const auto &pt : curve)
+        p.peakCycles = std::max(p.peakCycles, pt.warp0AvgCycles);
+    p.onsetWarps = FuCharacterizer::contentionOnset(curve);
+    p.curve = std::move(curve);
+    return p;
+}
+
+} // namespace
+
+ContentionProbe
+probeSfu(AttackerLab &lab, unsigned maxWarps, unsigned iterations)
+{
+    std::vector<FuLatencyPoint> curve;
+    for (unsigned w = 1; w <= maxWarps; ++w) {
+        AttackerDevice dev = lab.fresh();
+        curve.push_back(FuLatencyPoint{
+            w, FuCharacterizer::measureOn(dev, gpu::OpClass::Sinf, w,
+                                          iterations)});
+    }
+    return summarize(std::move(curve));
+}
+
+ContentionProbe
+probeAtomic(AttackerLab &lab, unsigned maxWarps, unsigned iterations)
+{
+    std::vector<FuLatencyPoint> curve;
+    for (unsigned w = 1; w <= maxWarps; ++w) {
+        AttackerDevice dev = lab.fresh();
+        Addr target = dev.allocGlobal(sizeof(std::uint64_t), 256);
+        std::vector<Addr> lanes(warpSize, target); // full serialization
+
+        gpu::KernelLaunch k;
+        k.name = "atomic-sweep";
+        k.config.gridBlocks = 1;
+        k.config.threadsPerBlock = w * warpSize;
+        k.body = [lanes, iterations](gpu::WarpCtx &ctx)
+            -> gpu::WarpProgram {
+            std::uint64_t total = 0;
+            for (unsigned i = 0; i < iterations; ++i)
+                total += co_await ctx.atomicAdd(lanes);
+            ctx.out(total);
+            co_return;
+        };
+
+        const auto &inst = dev.run(std::move(k));
+        double total = static_cast<double>(inst.out(0).at(0));
+        curve.push_back(FuLatencyPoint{w, total / iterations});
+    }
+    return summarize(std::move(curve));
+}
+
+} // namespace gpucc::covert::synth

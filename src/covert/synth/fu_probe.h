@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Blind functional-unit and atomic contention probes (attack synthesis
+ * step 3). Reruns the Section 5/6 characterization sweeps through the
+ * attacker facade: latency-vs-warp-count curves for the SFU and for
+ * global atomics, reduced to the base latency, the saturated peak, and
+ * the contention onset the launch-per-bit channels key on.
+ */
+
+#ifndef GPUCC_COVERT_SYNTH_FU_PROBE_H
+#define GPUCC_COVERT_SYNTH_FU_PROBE_H
+
+#include <vector>
+
+#include "covert/characterize/fu_characterizer.h"
+#include "covert/synth/attacker_device.h"
+
+namespace gpucc::covert::synth
+{
+
+/** Contention summary of one candidate substrate. */
+struct ContentionProbe
+{
+    double baseCycles = 0.0; //!< per-op latency of a lone warp
+    double peakCycles = 0.0; //!< per-op latency at the sweep maximum
+    /** Warp count where the curve first rises 15% above base; 0 when it
+     *  never does (contention-free over the sweep — unusable). */
+    unsigned onsetWarps = 0;
+    std::vector<FuLatencyPoint> curve;
+};
+
+/** Sweep dependent-SFU-chain latency over 1..@p maxWarps warps, one
+ *  fresh device per point. The default sweep reaches 32 warps: on
+ *  SFU-rich parts (8 units/scheduler) the knee sits past 16. */
+ContentionProbe probeSfu(AttackerLab &lab, unsigned maxWarps = 32,
+                         unsigned iterations = 64);
+
+/** Sweep same-address global-atomic latency over 1..@p maxWarps warps,
+ *  one fresh device per point. */
+ContentionProbe probeAtomic(AttackerLab &lab, unsigned maxWarps = 16,
+                            unsigned iterations = 32);
+
+} // namespace gpucc::covert::synth
+
+#endif // GPUCC_COVERT_SYNTH_FU_PROBE_H

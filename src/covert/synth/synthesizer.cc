@@ -1,0 +1,115 @@
+#include "covert/synth/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace gpucc::covert::synth
+{
+
+namespace
+{
+
+/** Rounds a substrate pays per decoded bit (prime + handshake pair +
+ *  probe), shared by all three estimates so the comparison is fair. */
+constexpr double roundsPerBit = 4.0;
+
+/** Latency contrast a contention bit must integrate before the decode
+ *  threshold clears the quantized-clock noise floor. */
+constexpr double contrastBudgetCycles = 512.0;
+
+SubstrateScore
+scoreL1(const SynthesizedPlan &plan)
+{
+    SubstrateScore s;
+    s.resource = ChannelResource::L1Const;
+    if (!plan.thresholds.ok)
+        return s; // populations overlapped: no decodable contrast
+    // One bit = ~4 set-sized prime/probe pass pairs; a pass touches
+    // every way once at the measured hit or miss latency.
+    s.cyclesPerBit = roundsPerBit * static_cast<double>(plan.l1.ways) *
+                     (plan.thresholds.hitCycles +
+                      plan.thresholds.missCycles);
+    s.usable = true;
+    return s;
+}
+
+SubstrateScore
+scoreContention(ChannelResource res, const ContentionProbe &p)
+{
+    SubstrateScore s;
+    s.resource = res;
+    double contrast = p.peakCycles - p.baseCycles;
+    if (p.onsetWarps == 0 || contrast <= 0.0)
+        return s; // curve never rose: nothing to modulate
+    // Enough dependent ops per window to integrate the contrast into a
+    // clean decision, bounded to keep degenerate contrasts sane.
+    double iters = std::clamp(contrastBudgetCycles / contrast, 16.0,
+                              4096.0);
+    s.cyclesPerBit = roundsPerBit * iters * p.peakCycles;
+    s.usable = true;
+    return s;
+}
+
+} // namespace
+
+ChannelResource
+SynthesizedPlan::best() const
+{
+    GPUCC_ASSERT(!ranking.empty() && ranking.front().usable,
+                 "no usable substrate was synthesized");
+    return ranking.front().resource;
+}
+
+SynthesizedPlan
+synthesize(AttackerLab &lab)
+{
+    SynthesizedPlan plan;
+
+    BlindCacheProbe probe(lab);
+    plan.l1 = probe.discover();
+    plan.thresholds = thresholdFromEviction(lab, plan.l1);
+    if (plan.thresholds.ok) {
+        plan.evictionSet = findMinimalEvictionSet(
+            lab, plan.l1, plan.thresholds.timing.dataThresholdCycles);
+    }
+    plan.sfu = probeSfu(lab);
+    plan.atomic = probeAtomic(lab);
+
+    plan.ranking.push_back(scoreL1(plan));
+    plan.ranking.push_back(
+        scoreContention(ChannelResource::Sfu, plan.sfu));
+    plan.ranking.push_back(
+        scoreContention(ChannelResource::GlobalAtomic, plan.atomic));
+    std::stable_sort(plan.ranking.begin(), plan.ranking.end(),
+                     [](const SubstrateScore &a, const SubstrateScore &b) {
+                         if (a.usable != b.usable)
+                             return a.usable;
+                         return a.cyclesPerBit < b.cyclesPerBit;
+                     });
+    for (auto &s : plan.ranking) {
+        if (s.usable && s.cyclesPerBit > 0.0)
+            s.bitsPerMcycle = 1e6 / s.cyclesPerBit;
+    }
+
+    plan.discoveryDigest = lab.digest();
+    plan.devicesUsed = lab.devicesRetired();
+    return plan;
+}
+
+session::SessionConfig
+planSessionConfig(const SynthesizedPlan &plan)
+{
+    session::SessionConfig cfg;
+    cfg.resources.clear();
+    for (const auto &s : plan.ranking) {
+        if (s.usable)
+            cfg.resources.push_back(s.resource);
+    }
+    GPUCC_ASSERT(!cfg.resources.empty(),
+                 "synthesized plan has no usable substrate");
+    return cfg;
+}
+
+} // namespace gpucc::covert::synth

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Attack synthesis driver: from a bare device handle to a ready-to-run
+ * channel plan.
+ *
+ * synthesize() chains the blind probes — cache geometry (blind_probe),
+ * eviction sets + thresholds (eviction_set), SFU and atomic contention
+ * (fu_probe) — and ranks the three candidate substrates by a measured
+ * cycles-per-bit estimate. The resulting SynthesizedPlan replaces the
+ * hand-written per-arch configuration: planSessionConfig() turns it
+ * into a ChannelSession failover ladder ordered by measured merit, and
+ * timing() yields calibrated ProtocolTiming thresholds, so the session
+ * opens on the substrate the measurements picked with thresholds the
+ * measurements derived. Nothing in this pipeline reads ArchParams —
+ * the AttackerDevice facade makes that a compile-time guarantee.
+ *
+ * The per-bit model mirrors the protocol's round structure: an L1 bit
+ * costs ~4 set-sized prime/probe passes (prime, RTS/RTR handshakes,
+ * probe), a contention bit costs ~4 windows of enough dependent ops to
+ * integrate the base-vs-peak latency contrast into a decodable signal.
+ * The absolute numbers are estimates; only their order matters, and
+ * the order is what the conformance bands pin.
+ */
+
+#ifndef GPUCC_COVERT_SYNTH_SYNTHESIZER_H
+#define GPUCC_COVERT_SYNTH_SYNTHESIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "covert/session/session.h"
+#include "covert/synth/blind_probe.h"
+#include "covert/synth/eviction_set.h"
+#include "covert/synth/fu_probe.h"
+
+namespace gpucc::covert::synth
+{
+
+/** Measured merit of one candidate substrate. */
+struct SubstrateScore
+{
+    ChannelResource resource = ChannelResource::L1Const;
+    double cyclesPerBit = 0.0; //!< estimated cost of one raw bit
+    double bitsPerMcycle = 0.0; //!< the same, as a rate
+    bool usable = false; //!< substrate shows a decodable contrast
+};
+
+/** Everything the blind pipeline discovered, ready to install. */
+struct SynthesizedPlan
+{
+    DiscoveredCache l1;
+    session::CalibrationResult thresholds; //!< from eviction populations
+    EvictionSetResult evictionSet;
+    ContentionProbe sfu;
+    ContentionProbe atomic;
+    std::vector<SubstrateScore> ranking; //!< best first; usable prefix
+    std::uint64_t discoveryDigest = 0;   //!< lab digest after synthesis
+    unsigned devicesUsed = 0;            //!< measurement devices spent
+
+    /** The top-ranked substrate. */
+    ChannelResource best() const;
+
+    /** Calibrated thresholds (pacing fields 0: they overlay the
+     *  per-arch defaults when installed via setTiming). */
+    const ProtocolTiming &timing() const { return thresholds.timing; }
+};
+
+/** Run the full blind pipeline over @p lab's devices. */
+SynthesizedPlan synthesize(AttackerLab &lab);
+
+/** Session configuration whose failover ladder is the plan's usable
+ *  substrates in measured-merit order. */
+session::SessionConfig planSessionConfig(const SynthesizedPlan &plan);
+
+} // namespace gpucc::covert::synth
+
+#endif // GPUCC_COVERT_SYNTH_SYNTHESIZER_H

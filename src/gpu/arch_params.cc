@@ -79,17 +79,22 @@ ArchParams::fuCount(FuType fu) const
     return 0;
 }
 
-namespace
-{
-
-/** Occupancy (ticks) of a full-warp instruction on a per-scheduler port
- *  that fronts @p unitsPerScheduler units, optionally scaled. */
 Tick
-warpOcc(double unitsPerScheduler, double scale = 1.0)
+warpIssueOccTicks(double unitsPerScheduler, double scale)
 {
     double cycles = (static_cast<double>(warpSize) / unitsPerScheduler) *
                     scale;
     return cyclesToTicks(cycles);
+}
+
+namespace
+{
+
+/** Preset-local shorthand for warpIssueOccTicks. */
+Tick
+warpOcc(double unitsPerScheduler, double scale = 1.0)
+{
+    return warpIssueOccTicks(unitsPerScheduler, scale);
 }
 
 } // namespace

@@ -151,6 +151,16 @@ struct ArchParams
     unsigned fuCount(FuType fu) const;
 };
 
+/**
+ * Occupancy (ticks) of a full-warp instruction on a per-scheduler issue
+ * port that fronts @p unitsPerScheduler units, optionally @p scale-d
+ * for multi-pass sequences. The presets below and the randomized
+ * architecture generator (verify/arch_gen) derive every OpTiming
+ * occupancy through this one formula, so generated archs contend the
+ * same way the calibrated ones do.
+ */
+Tick warpIssueOccTicks(double unitsPerScheduler, double scale = 1.0);
+
 /** Tesla C2075 preset (Fermi, 14 SMs, 2 schedulers/SM). */
 ArchParams fermiC2075();
 

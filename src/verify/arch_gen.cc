@@ -1,0 +1,145 @@
+#include "verify/arch_gen.h"
+
+#include <string>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace gpucc::verify
+{
+
+namespace
+{
+
+/** Draw one element of @p choices. */
+template <class T>
+T
+pick(Rng &rng, const std::vector<T> &choices)
+{
+    GPUCC_ASSERT(!choices.empty(), "empty arch-gen envelope");
+    auto i = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(choices.size()) - 1));
+    return choices[i];
+}
+
+/** Inclusive integer draw as a Cycle. */
+Cycle
+drawCycles(Rng &rng, Cycle lo, Cycle hi)
+{
+    return static_cast<Cycle>(rng.uniformInt(
+        static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+}
+
+} // namespace
+
+ArchGen::ArchGen(ArchGenConfig cfg_) : cfg(std::move(cfg_)) {}
+
+gpu::ArchParams
+ArchGen::makeArch(std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x6172636867656eULL); // "archgen"
+    gpu::ArchParams a;
+    a.name = "FuzzArch-" + std::to_string(seed);
+
+    // Rotate the generation so per-generation protocol costs
+    // (ProtocolTiming::forArch) all get fuzzed.
+    switch (seed % 3) {
+      case 0:
+        a.generation = gpu::Generation::Fermi;
+        break;
+      case 1:
+        a.generation = gpu::Generation::Kepler;
+        break;
+      default:
+        a.generation = gpu::Generation::Maxwell;
+        break;
+    }
+
+    a.numSms = static_cast<unsigned>(rng.uniformInt(cfg.minSms, cfg.maxSms));
+    a.clockGHz = 0.7 + 0.05 * static_cast<double>(rng.uniformInt(0, 10));
+    a.schedulersPerSm = rng.flip() ? 4 : 2;
+    a.dispatchUnitsPerScheduler = rng.flip() ? 2 : 1;
+
+    // Per-SM FU counts, kept divisible by the scheduler count so the
+    // per-scheduler port model stays exact.
+    unsigned sched = a.schedulersPerSm;
+    a.spUnits = sched * static_cast<unsigned>(pick(
+                            rng, std::vector<int>{16, 32, 48}));
+    a.sfuUnits = sched * static_cast<unsigned>(pick(
+                             rng, std::vector<int>{2, 4, 8}));
+    a.ldstUnits = sched * 8;
+    bool hasDp = !rng.bernoulli(cfg.dpAbsentProbability);
+    a.dpUnits = hasDp ? sched * 8 : 0;
+
+    // Generated devices always leave headroom for the blind sweeps
+    // (<= 16-warp contention probes, multi-warp channel kernels).
+    a.limits.maxThreads = 2048;
+    a.limits.maxBlocks = 16;
+    a.limits.maxWarps = 64;
+    a.limits.numRegs = 65536;
+    a.limits.smemBytes = 48 * 1024;
+    a.limits.smemPerBlockBytes = 48 * 1024;
+
+    // The discovery targets: L1 geometry from power-of-two envelopes,
+    // L2 scaled to dominate it, latencies with guaranteed separation.
+    std::size_t line = pick(rng, cfg.l1LineBytes);
+    std::size_t sets = pick(rng, cfg.l1NumSets);
+    unsigned ways = pick(rng, cfg.l1Ways);
+    std::size_t l1Size = sets * line * ways;
+    a.constMem.l1 = {l1Size, line, ways};
+    std::size_t l2Size = std::max<std::size_t>(32768, 8 * l1Size);
+    a.constMem.l2 = {l2Size, 256, 8};
+    a.constMem.l1HitCycles =
+        cfg.l1HitLoCycles +
+        2 * drawCycles(rng, 0, cfg.l1HitSteps);
+    a.constMem.l2HitCycles =
+        a.constMem.l1HitCycles +
+        drawCycles(rng, cfg.l2GapLoCycles, cfg.l2GapHiCycles);
+    a.constMem.memCycles =
+        a.constMem.l2HitCycles +
+        drawCycles(rng, cfg.memGapLoCycles, cfg.memGapHiCycles);
+
+    bool slowAtomics = rng.flip(); // pre-Kepler-style RMW atomics
+    a.gmem.numPartitions = rng.flip() ? 6 : 4;
+    a.gmem.atomicOccCycles = slowAtomics ? 9 : 1;
+    a.gmem.atomicTxnOverheadCycles = slowAtomics ? 20 : 8;
+    a.gmem.atomicLatencyCycles = drawCycles(rng, 160, 360);
+    a.gmem.loadLatencyCycles = a.gmem.atomicLatencyCycles + 150;
+    a.gmem.txnOccCycles = slowAtomics ? 4 : 2;
+
+    using gpu::FuType;
+    using gpu::OpClass;
+    double spPerSched = static_cast<double>(a.spUnits) / sched;
+    double sfuPerSched = static_cast<double>(a.sfuUnits) / sched;
+    double dpPerSched = static_cast<double>(hasDp ? a.dpUnits : 1) / sched;
+    Cycle spLat = drawCycles(rng, 5, 14);
+    Cycle sfuLat = drawCycles(rng, 11, 25);
+    Cycle sqrtLat = drawCycles(rng, 110, 128);
+    double sqrtScale = 2.0 + 0.5 * static_cast<double>(rng.uniformInt(0, 8));
+    Cycle dpLat = drawCycles(rng, 6, 16);
+    a.ops[OpClass::FAdd] = {FuType::SP, spLat,
+                            gpu::warpIssueOccTicks(spPerSched), true};
+    a.ops[OpClass::FMul] = {FuType::SP, spLat,
+                            gpu::warpIssueOccTicks(spPerSched), true};
+    a.ops[OpClass::IAdd] = {FuType::SP, spLat,
+                            gpu::warpIssueOccTicks(spPerSched), true};
+    a.ops[OpClass::Sinf] = {FuType::SFU, sfuLat,
+                            gpu::warpIssueOccTicks(sfuPerSched), true};
+    a.ops[OpClass::Sqrt] = {FuType::SFU, sqrtLat,
+                            gpu::warpIssueOccTicks(sfuPerSched, sqrtScale),
+                            true};
+    a.ops[OpClass::DAdd] = {FuType::DPU, hasDp ? dpLat : 0,
+                            hasDp ? gpu::warpIssueOccTicks(dpPerSched)
+                                  : Tick{0},
+                            hasDp};
+    a.ops[OpClass::DMul] = {FuType::DPU, hasDp ? dpLat : 0,
+                            hasDp ? gpu::warpIssueOccTicks(dpPerSched)
+                                  : Tick{0},
+                            hasDp};
+
+    a.constMem.l1.validate(a.name.c_str());
+    a.constMem.l2.validate(a.name.c_str());
+    return a;
+}
+
+} // namespace gpucc::verify

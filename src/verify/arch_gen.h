@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seeded random architecture generator for the synthesis fuzz suite.
+ *
+ * The program_gen idea applied one level down: a 64-bit seed becomes a
+ * complete ArchParams — cache geometry, latencies, SM/scheduler/FU
+ * counts, atomic timing — drawn from envelopes that keep every
+ * generated device *attackable* (an L1 with at least the duplex
+ * protocol's set budget, clean hit/miss latency separation, enough
+ * warps for the contention sweeps) while varying everything the blind
+ * synthesizer claims to discover. The same seed always yields the same
+ * architecture, so a fuzz case needs no golden file: generate, run
+ * blind discovery, and compare the SynthesizedPlan against the very
+ * params that built the device.
+ *
+ * Geometry is drawn from power-of-two envelopes on purpose: the
+ * capacity probe's doubling sweep then lands on the exact size, the
+ * same property real constant caches have. Latency envelopes keep the
+ * orderings the simulator assumes (l1Hit < l2Hit < mem, with gaps wide
+ * enough that a threshold between populations exists at all).
+ */
+
+#ifndef GPUCC_VERIFY_ARCH_GEN_H
+#define GPUCC_VERIFY_ARCH_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch_params.h"
+
+namespace gpucc::verify
+{
+
+/** Envelopes bounding what generated architectures look like. */
+struct ArchGenConfig
+{
+    /** L1 geometry choices (each drawn independently). */
+    std::vector<std::size_t> l1LineBytes = {32, 64, 128};
+    std::vector<std::size_t> l1NumSets = {8, 16, 32}; //!< >= duplex's 8
+    std::vector<unsigned> l1Ways = {2, 4, 8};
+
+    /** L1-hit latency: lo + 2*k cycles, k in [0, steps]. */
+    Cycle l1HitLoCycles = 36;
+    unsigned l1HitSteps = 12; //!< up to 36 + 24 = 60
+
+    /** Additive gaps (inclusive ranges) above the previous level. */
+    Cycle l2GapLoCycles = 48, l2GapHiCycles = 80;
+    Cycle memGapLoCycles = 120, memGapHiCycles = 200;
+
+    unsigned minSms = 8, maxSms = 16;
+
+    /** Probability that the generated arch has no DP units (the
+     *  Maxwell-style hole the characterizer must not trip over). */
+    double dpAbsentProbability = 0.25;
+};
+
+/** Deterministic random architecture factory. */
+class ArchGen
+{
+  public:
+    explicit ArchGen(ArchGenConfig cfg = {});
+
+    /** Build the architecture for @p seed (a pure function of seed and
+     *  config). The name embeds the seed for log forensics. */
+    gpu::ArchParams makeArch(std::uint64_t seed) const;
+
+  private:
+    ArchGenConfig cfg;
+};
+
+} // namespace gpucc::verify
+
+#endif // GPUCC_VERIFY_ARCH_GEN_H

@@ -16,6 +16,7 @@
 #include "covert/sync/duplex_channel.h"
 #include "covert/sync/sync_channel.h"
 #include "covert/sync/sync_sfu_channel.h"
+#include "covert/synth/synthesizer.h"
 #include "sim/exec/sweep_runner.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
@@ -536,6 +537,68 @@ runSnapshotSweep(const gpu::ArchParams &a)
     return r;
 }
 
+/**
+ * Blind attack synthesis acceptance cell (Section 3 run with no
+ * datasheet): an AttackerLab that can only launch kernels and read the
+ * clock discovers the constant-cache geometry, derives thresholds from
+ * measured hit/miss populations, builds a minimal eviction set, sweeps
+ * SFU/atomic contention, and ranks the substrates. The bands pin the
+ * discovery *exactly* against the per-arch ground truth (capacity,
+ * line, sets, ways — the Section 3 table values), pin the eviction set
+ * at associativity size, and pin that the auto-selected channel
+ * carries a 96-bit session to completion with zero residual errors.
+ * The discovery digest (split into two 32-bit halves, each exact in a
+ * double) makes any probe-order or measurement drift a conformance
+ * failure.
+ */
+ScenarioResult
+runSynthBlind(const gpu::ArchParams &a)
+{
+    covert::synth::AttackerLab lab(a);
+    covert::synth::SynthesizedPlan plan = covert::synth::synthesize(lab);
+
+    covert::session::SessionConfig cfg =
+        covert::synth::planSessionConfig(plan);
+    covert::session::ChannelSession session(a, cfg);
+    session.channel().setTiming(plan.timing());
+    covert::session::SessionResult res = session.run(scenarioPayload(96, 17));
+
+    unsigned usable = 0;
+    for (const covert::synth::SubstrateScore &s : plan.ranking)
+        usable += s.usable ? 1 : 0;
+
+    ScenarioResult r;
+    r.add("l1.capacity_bytes", static_cast<double>(plan.l1.sizeBytes),
+          true);
+    r.add("l1.line_bytes", static_cast<double>(plan.l1.lineBytes), true);
+    r.add("l1.num_sets", static_cast<double>(plan.l1.numSets), true);
+    r.add("l1.ways", plan.l1.ways, true);
+    r.add("l1.plateau_cycles", plan.l1.plateauCycles);
+    r.add("l1.ceiling_cycles", plan.l1.ceilingCycles);
+    r.add("thresholds.ok", plan.thresholds.ok ? 1.0 : 0.0, true);
+    r.add("thresholds.hit_cycles", plan.thresholds.hitCycles);
+    r.add("thresholds.miss_cycles", plan.thresholds.missCycles);
+    r.add("eviction.minimal_size",
+          static_cast<double>(plan.evictionSet.offsets.size()), true);
+    r.add("sfu.onset_warps", plan.sfu.onsetWarps, true);
+    r.add("atomic.onset_warps", plan.atomic.onsetWarps, true);
+    r.add("rank.best_is_l1",
+          plan.best() == covert::ChannelResource::L1Const ? 1.0 : 0.0,
+          true);
+    r.add("rank.usable_substrates", usable, true);
+    r.add("session.complete", res.complete ? 1.0 : 0.0, true);
+    r.add("session.residual_ber", res.residualBer, true);
+    r.add("session.final_is_best",
+          res.finalResource == plan.best() ? 1.0 : 0.0, true);
+    r.add("session.goodput_bps", res.goodputBps);
+    r.add("devices.used", plan.devicesUsed, true);
+    r.add("discovery.digest.lo32",
+          double(plan.discoveryDigest & 0xffffffffULL), true);
+    r.add("discovery.digest.hi32", double(plan.discoveryDigest >> 32),
+          true);
+    return r;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -576,6 +639,9 @@ conformanceScenarios()
                      "Perf extension: snapshot/fork sweep path "
                      "(digest-pinned against cold boot)",
                      all, runSnapshotSweep});
+        s.push_back({"synth_blind",
+                     "Section 3 (blind reverse engineering)", all,
+                     runSynthBlind});
         return s;
     }();
     return scenarios;

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Architecture-generation fuzz of the blind synthesis pipeline: for
+ * seeded random ArchParams (arch_gen), the discovery must recover the
+ * exact generating parameters and the synthesized channel must carry a
+ * session with zero residual errors — the self-checking oracle that
+ * needs no golden file, because the generator *is* the ground truth.
+ *
+ * The seed count defaults to 32 and scales up for the nightly soak job
+ * via GPUCC_SOAK, like the session soak.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "covert/session/session.h"
+#include "covert/synth/synthesizer.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/arch_gen.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::verify
+{
+namespace
+{
+
+std::size_t
+soakSeeds()
+{
+    if (const char *env = std::getenv("GPUCC_SOAK")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+    }
+    return 32;
+}
+
+struct FuzzOutcome
+{
+    std::string archName;
+    bool geometryExact = false;
+    bool thresholdsOk = false;
+    bool evictionMinimal = false;
+    bool rankedUsable = false;
+    bool complete = false;
+    std::size_t residualBitErrors = 0;
+    std::uint64_t discoveryDigest = 0;
+};
+
+/** Generate arch @p seed, run the full blind pipeline against it, and
+ *  compare every discovered value with the generating parameters. */
+FuzzOutcome
+fuzzOne(std::uint64_t seed)
+{
+    setVerbose(false);
+    const ArchGen gen;
+    const gpu::ArchParams arch = gen.makeArch(seed);
+
+    covert::synth::AttackerLab lab(arch);
+    covert::synth::SynthesizedPlan plan = covert::synth::synthesize(lab);
+
+    FuzzOutcome out;
+    out.archName = arch.name;
+    out.geometryExact =
+        plan.l1.sizeBytes == arch.constMem.l1.sizeBytes &&
+        plan.l1.lineBytes == arch.constMem.l1.lineBytes &&
+        plan.l1.numSets == arch.constMem.l1.numSets() &&
+        plan.l1.ways == arch.constMem.l1.ways;
+    out.thresholdsOk = plan.thresholds.ok;
+    out.evictionMinimal =
+        plan.evictionSet.offsets.size() == arch.constMem.l1.ways;
+    out.rankedUsable =
+        !plan.ranking.empty() && plan.ranking.front().usable;
+    out.discoveryDigest = plan.discoveryDigest;
+
+    covert::session::SessionConfig cfg =
+        covert::synth::planSessionConfig(plan);
+    covert::session::ChannelSession session(arch, cfg);
+    session.channel().setTiming(plan.timing());
+    covert::session::SessionResult r =
+        session.run(scenarioPayload(64, seed ^ 0x5eedULL));
+    out.complete = r.complete;
+    out.residualBitErrors = r.residualBitErrors;
+    return out;
+}
+
+TEST(ArchFuzz, BlindSynthesisRecoversEveryGeneratedArch)
+{
+    const std::size_t seeds = soakSeeds();
+    sim::exec::SweepRunner runner;
+    // Arch seeds are sequential (not drawn from the sweep's seed
+    // stream) so a failure names a directly reproducible makeArch(i).
+    auto results = runner.runTrials(
+        seeds, 41,
+        [](std::size_t i, std::uint64_t) { return fuzzOne(i); });
+
+    ASSERT_EQ(results.size(), seeds);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const FuzzOutcome &r = results[i];
+        EXPECT_TRUE(r.geometryExact)
+            << r.archName << ": discovery diverged from generator";
+        EXPECT_TRUE(r.thresholdsOk)
+            << r.archName << ": hit/miss populations overlapped";
+        EXPECT_TRUE(r.evictionMinimal)
+            << r.archName << ": eviction set is not associativity-sized";
+        EXPECT_TRUE(r.rankedUsable)
+            << r.archName << ": no usable substrate ranked";
+        EXPECT_TRUE(r.complete)
+            << r.archName << ": synthesized session did not complete";
+        EXPECT_EQ(r.residualBitErrors, 0u)
+            << r.archName << ": synthesized session leaked errors";
+    }
+}
+
+TEST(ArchFuzz, GeneratedArchitecturesAreWellFormed)
+{
+    // The generator's own envelope contract: orderings the simulator
+    // assumes and headroom the blind sweeps need.
+    const ArchGen gen;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        gpu::ArchParams a = gen.makeArch(seed);
+        EXPECT_LT(a.constMem.l1HitCycles, a.constMem.l2HitCycles)
+            << a.name;
+        EXPECT_LT(a.constMem.l2HitCycles, a.constMem.memCycles) << a.name;
+        EXPECT_GE(a.constMem.l1.numSets(), 8u)
+            << a.name << ": below the duplex protocol's set budget";
+        EXPECT_GE(a.limits.maxWarps, 32u) << a.name;
+        EXPECT_EQ(a.spUnits % a.schedulersPerSm, 0u) << a.name;
+        EXPECT_EQ(a.sfuUnits % a.schedulersPerSm, 0u) << a.name;
+        EXPECT_TRUE(a.supports(gpu::OpClass::Sinf)) << a.name;
+    }
+}
+
+TEST(ArchFuzz, SameSeedSameArchSameDiscovery)
+{
+    const ArchGen gen;
+    gpu::ArchParams a = gen.makeArch(5);
+    gpu::ArchParams b = gen.makeArch(5);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.constMem.l1.sizeBytes, b.constMem.l1.sizeBytes);
+    EXPECT_EQ(a.constMem.l1HitCycles, b.constMem.l1HitCycles);
+
+    FuzzOutcome r1 = fuzzOne(5);
+    FuzzOutcome r2 = fuzzOne(5);
+    EXPECT_EQ(r1.discoveryDigest, r2.discoveryDigest);
+    EXPECT_EQ(r1.residualBitErrors, r2.residualBitErrors);
+}
+
+TEST(ArchFuzz, SeedsRotateThroughGenerations)
+{
+    // Protocol costs are per-generation; the rotation guarantees all
+    // three get fuzzed rather than whichever the seed range favored.
+    const ArchGen gen;
+    EXPECT_EQ(gen.makeArch(0).generation, gpu::Generation::Fermi);
+    EXPECT_EQ(gen.makeArch(1).generation, gpu::Generation::Kepler);
+    EXPECT_EQ(gen.makeArch(2).generation, gpu::Generation::Maxwell);
+}
+
+} // namespace
+} // namespace gpucc::verify

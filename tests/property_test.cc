@@ -16,7 +16,11 @@
  *  - contention monotonicity: adding a resident warp never lowers
  *    warp 0's observed op latency;
  *  - profiler transparency: a phase profiler attached to a session run
- *    leaves the architectural digest trajectory unchanged.
+ *    leaves the architectural digest trajectory unchanged;
+ *  - blind-synthesis transparency: a quiet fault injector decorated
+ *    onto every attacker device equals no injector at all (rolling lab
+ *    digest), and an interleaved discovery run leaves an unrelated
+ *    session's digest untouched.
  */
 
 #include <memory>
@@ -27,6 +31,7 @@
 
 #include "common/log.h"
 #include "covert/characterize/fu_characterizer.h"
+#include "covert/synth/synthesizer.h"
 #include "gpu/device.h"
 #include "gpu/host.h"
 #include "sim/exec/sweep_runner.h"
@@ -237,6 +242,62 @@ TEST(Property, ProfilerAttachEqualsDetach)
         EXPECT_GT(prof.totalCycles(), 0u);
         EXPECT_GT(prof.phase(obs::phase::kTransfer).cycles, 0u);
     }
+}
+
+TEST(Property, QuietDecoratorEqualsUndecoratedSynthesis)
+{
+    setVerbose(false);
+    // The AttackerLab decorator attaches an observer to every device
+    // the attacker touches. With a quiet fault plan (schedules
+    // nothing), the entire blind discovery — every probe on every
+    // retired device, folded into the rolling lab digest — must be
+    // bit-identical to a run with no injector at all.
+    covert::synth::AttackerLab bare(gpu::keplerK40c());
+    covert::synth::SynthesizedPlan p0 = covert::synth::synthesize(bare);
+
+    covert::synth::AttackerLab decorated(gpu::keplerK40c());
+    unsigned attached = 0;
+    decorated.setDecorator([&](gpu::Device &dev) {
+        ++attached;
+        auto inj = std::make_shared<sim::fault::FaultInjector>(
+            dev, sim::fault::FaultPlan::preset("quiet"), 7);
+        inj->arm();
+        return inj;
+    });
+    covert::synth::SynthesizedPlan p1 =
+        covert::synth::synthesize(decorated);
+
+    EXPECT_GT(attached, 0u) << "decorator never ran";
+    EXPECT_EQ(p1.discoveryDigest, p0.discoveryDigest)
+        << "quiet injector perturbed blind discovery";
+    EXPECT_EQ(p1.l1.sizeBytes, p0.l1.sizeBytes);
+    EXPECT_EQ(p1.l1.ways, p0.l1.ways);
+    EXPECT_DOUBLE_EQ(p1.thresholds.hitCycles, p0.thresholds.hitCycles);
+    EXPECT_DOUBLE_EQ(p1.thresholds.missCycles, p0.thresholds.missCycles);
+    EXPECT_EQ(p1.evictionSet.offsets, p0.evictionSet.offsets);
+}
+
+TEST(Property, InterleavedSynthesisLeavesSessionDigestUntouched)
+{
+    setVerbose(false);
+    // Blind discovery spends ~80 devices of its own; none of that may
+    // leak into an unrelated session's trajectory through hidden
+    // global state. Same session before and after a full synthesis
+    // must land on the same device digest and measurements.
+    const BitVec payload = scenarioPayload(96, 7);
+    SessionMeasurement before =
+        measureSessionOverPlan(gpu::keplerK40c(), "quiet", 7, payload);
+
+    covert::synth::AttackerLab lab(gpu::keplerK40c());
+    (void)covert::synth::synthesize(lab);
+
+    SessionMeasurement after =
+        measureSessionOverPlan(gpu::keplerK40c(), "quiet", 7, payload);
+    EXPECT_EQ(after.deviceDigest, before.deviceDigest)
+        << "a discovery run perturbed an unrelated session";
+    EXPECT_EQ(after.complete, before.complete);
+    EXPECT_DOUBLE_EQ(after.goodputBps, before.goodputBps);
+    EXPECT_DOUBLE_EQ(after.residualBer, before.residualBer);
 }
 
 TEST(Property, ContentionNeverLowersWarp0Latency)

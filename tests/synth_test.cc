@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Blind attack-synthesis suite: the Section 3 methodology run with no
+ * datasheet. An AttackerLab hands out devices behind the no-oracle
+ * facade; everything the pipeline claims to discover is checked
+ * against the very ArchParams that built the devices:
+ *
+ *  - the facade itself is sealed (compile-time: no arch()/constMem()/
+ *    device() accessor exists to leak geometry);
+ *  - blind geometry discovery recovers capacity, line size, set count
+ *    and associativity exactly on every committed architecture, and
+ *    the measured hit/miss plateaus land on the nominal latencies;
+ *  - thresholds derived from the measured populations split hit from
+ *    miss, and the group-reduced eviction set has exactly
+ *    associativity-many members, all in the victim's set;
+ *  - the synthesized plan ranks L1 best, its config drives a 96-bit
+ *    ChannelSession to completion with zero residual errors, and its
+ *    threshold can be adopted by a launch-per-bit channel directly;
+ *  - the whole discovery run is deterministic: one rolling lab digest,
+ *    invariant under replay and under SweepRunner thread count.
+ */
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "covert/channels/l1_const_channel.h"
+#include "covert/session/session.h"
+#include "covert/synth/synthesizer.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::covert::synth
+{
+namespace
+{
+
+// ---- facade seal (detection idiom) ----------------------------------
+
+template <class T, class = void>
+struct HasArch : std::false_type
+{
+};
+template <class T>
+struct HasArch<T, std::void_t<decltype(std::declval<T &>().arch())>>
+    : std::true_type
+{
+};
+
+template <class T, class = void>
+struct HasConstMem : std::false_type
+{
+};
+template <class T>
+struct HasConstMem<T, std::void_t<decltype(std::declval<T &>().constMem())>>
+    : std::true_type
+{
+};
+
+template <class T, class = void>
+struct HasDevice : std::false_type
+{
+};
+template <class T>
+struct HasDevice<T, std::void_t<decltype(std::declval<T &>().device())>>
+    : std::true_type
+{
+};
+
+TEST(AttackerFacade, ExposesNoGeometryOracle)
+{
+    // The blind claim is only worth something if the compiler enforces
+    // it: a probe holding an AttackerDevice must have no way to read
+    // the parameters it is supposed to discover.
+    static_assert(!HasArch<AttackerDevice>::value,
+                  "facade leaks ArchParams");
+    static_assert(!HasConstMem<AttackerDevice>::value,
+                  "facade leaks cache geometry");
+    static_assert(!HasDevice<AttackerDevice>::value,
+                  "facade leaks the underlying Device");
+    // Devices only come from a lab (private constructor) and cannot be
+    // duplicated to replay measurements against a warm cache.
+    static_assert(!std::is_constructible_v<AttackerDevice, AttackerLab &,
+                                           const gpu::ArchParams &,
+                                           std::uint64_t>,
+                  "attacker devices must come from AttackerLab::fresh");
+    static_assert(!std::is_copy_constructible_v<AttackerDevice>,
+                  "attacker devices are single-use");
+    SUCCEED();
+}
+
+// ---- per-architecture blind discovery -------------------------------
+
+class SynthBlind : public ::testing::TestWithParam<gpu::ArchParams>
+{
+};
+
+TEST_P(SynthBlind, DiscoversL1GeometryExactly)
+{
+    setVerbose(false);
+    const gpu::ArchParams &a = GetParam();
+    AttackerLab lab(a);
+    BlindCacheProbe probe(lab);
+    DiscoveredCache l1 = probe.discover();
+    EXPECT_EQ(l1.sizeBytes, a.constMem.l1.sizeBytes) << a.name;
+    EXPECT_EQ(l1.lineBytes, a.constMem.l1.lineBytes) << a.name;
+    EXPECT_EQ(l1.numSets, a.constMem.l1.numSets()) << a.name;
+    EXPECT_EQ(l1.ways, a.constMem.l1.ways) << a.name;
+    // The in-capacity plateau and the post-knee ceiling are the L1-hit
+    // and L2-hit latencies the attacker has no datasheet for.
+    EXPECT_NEAR(l1.plateauCycles,
+                static_cast<double>(a.constMem.l1HitCycles), 1.0)
+        << a.name;
+    EXPECT_NEAR(l1.ceilingCycles,
+                static_cast<double>(a.constMem.l2HitCycles), 1.0)
+        << a.name;
+}
+
+TEST_P(SynthBlind, ThresholdsSplitMeasuredPopulations)
+{
+    setVerbose(false);
+    const gpu::ArchParams &a = GetParam();
+    AttackerLab lab(a);
+    BlindCacheProbe probe(lab);
+    DiscoveredCache l1 = probe.discover();
+    session::CalibrationResult cal = thresholdFromEviction(lab, l1);
+    ASSERT_TRUE(cal.ok) << a.name << ": populations overlapped";
+    EXPECT_NEAR(cal.hitCycles, static_cast<double>(a.constMem.l1HitCycles),
+                2.0)
+        << a.name;
+    EXPECT_NEAR(cal.missCycles,
+                static_cast<double>(a.constMem.l2HitCycles), 2.0)
+        << a.name;
+    // Data threshold between the populations, signal threshold above it
+    // (near the miss population, per the protocol's partial-evict rule).
+    EXPECT_GT(cal.timing.dataThresholdCycles, cal.hitCycles) << a.name;
+    EXPECT_LT(cal.timing.dataThresholdCycles, cal.missCycles) << a.name;
+    EXPECT_GT(cal.timing.missThresholdCycles,
+              cal.timing.dataThresholdCycles)
+        << a.name;
+    EXPECT_GT(cal.marginCycles, 0.0) << a.name;
+}
+
+TEST_P(SynthBlind, MinimalEvictionSetHasAssociativityMembers)
+{
+    setVerbose(false);
+    const gpu::ArchParams &a = GetParam();
+    AttackerLab lab(a);
+    BlindCacheProbe probe(lab);
+    DiscoveredCache l1 = probe.discover();
+    session::CalibrationResult cal = thresholdFromEviction(lab, l1);
+    ASSERT_TRUE(cal.ok) << a.name;
+    EvictionSetResult ev =
+        findMinimalEvictionSet(lab, l1, cal.timing.dataThresholdCycles);
+    // Group reduction must land on exactly associativity-many
+    // survivors, having dropped every one-line-over decoy.
+    EXPECT_EQ(ev.offsets.size(), l1.ways) << a.name;
+    EXPECT_GT(ev.poolSize, ev.offsets.size()) << a.name;
+    const std::size_t setStride = l1.numSets * l1.lineBytes;
+    for (std::size_t off : ev.offsets) {
+        EXPECT_EQ(off % setStride, 0u)
+            << a.name << ": survivor at offset " << off
+            << " is not in the victim's set";
+        EXPECT_NE(off, 0u) << a.name << ": victim joined its own set";
+    }
+}
+
+TEST_P(SynthBlind, PlanDrivesSessionWithZeroResidualErrors)
+{
+    setVerbose(false);
+    const gpu::ArchParams &a = GetParam();
+    AttackerLab lab(a);
+    SynthesizedPlan plan = synthesize(lab);
+
+    // All three substrates show a decodable contrast on the committed
+    // parts, and the measured ranking puts the cache channel first —
+    // the paper's own bandwidth ordering.
+    ASSERT_EQ(plan.ranking.size(), 3u) << a.name;
+    for (const SubstrateScore &s : plan.ranking)
+        EXPECT_TRUE(s.usable)
+            << a.name << ": " << channelResourceName(s.resource);
+    EXPECT_EQ(plan.best(), ChannelResource::L1Const) << a.name;
+    EXPECT_GT(plan.sfu.onsetWarps, 0u) << a.name;
+    EXPECT_GT(plan.atomic.onsetWarps, 0u) << a.name;
+    EXPECT_EQ(plan.devicesUsed, lab.devicesRetired()) << a.name;
+    EXPECT_EQ(plan.discoveryDigest, lab.digest()) << a.name;
+
+    session::SessionConfig cfg = planSessionConfig(plan);
+    ASSERT_FALSE(cfg.resources.empty()) << a.name;
+    EXPECT_EQ(cfg.resources.front(), ChannelResource::L1Const) << a.name;
+
+    session::ChannelSession session(a, cfg);
+    session.channel().setTiming(plan.timing());
+    session::SessionResult r =
+        session.run(verify::scenarioPayload(96, 17));
+    EXPECT_TRUE(r.complete) << a.name;
+    EXPECT_EQ(r.residualBitErrors, 0u) << a.name;
+    EXPECT_DOUBLE_EQ(r.residualBer, 0.0) << a.name;
+    EXPECT_EQ(r.finalResource, plan.best()) << a.name;
+}
+
+TEST_P(SynthBlind, AdoptedThresholdDrivesLaunchPerBitChannel)
+{
+    setVerbose(false);
+    const gpu::ArchParams &a = GetParam();
+    AttackerLab lab(a);
+    BlindCacheProbe probe(lab);
+    DiscoveredCache l1 = probe.discover();
+    session::CalibrationResult cal = thresholdFromEviction(lab, l1);
+    ASSERT_TRUE(cal.ok) << a.name;
+
+    // The blind threshold replaces the channel's own calibration
+    // preamble: decode must still be error-free, and the channel must
+    // report the adopted value as its decision threshold.
+    L1ConstChannel ch(a);
+    ch.adoptThreshold(cal.timing.dataThresholdCycles);
+    ChannelResult r = ch.transmit(verify::scenarioPayload(32, 3));
+    EXPECT_DOUBLE_EQ(r.threshold, cal.timing.dataThresholdCycles)
+        << a.name;
+    EXPECT_TRUE(r.report.errorFree()) << a.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, SynthBlind,
+                         ::testing::ValuesIn(gpu::allArchitectures()),
+                         [](const auto &info) {
+                             std::string n = info.param.name;
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+// ---- determinism ----------------------------------------------------
+
+TEST(SynthDeterminism, ReplayOfTheSameLabSeedIsStable)
+{
+    setVerbose(false);
+    auto once = [] {
+        AttackerLab lab(gpu::keplerK40c());
+        return synthesize(lab);
+    };
+    SynthesizedPlan p1 = once();
+    SynthesizedPlan p2 = once();
+    EXPECT_EQ(p1.discoveryDigest, p2.discoveryDigest);
+    EXPECT_EQ(p1.devicesUsed, p2.devicesUsed);
+    EXPECT_DOUBLE_EQ(p1.thresholds.hitCycles, p2.thresholds.hitCycles);
+    EXPECT_DOUBLE_EQ(p1.thresholds.missCycles, p2.thresholds.missCycles);
+    EXPECT_EQ(p1.evictionSet.offsets, p2.evictionSet.offsets);
+}
+
+TEST(SynthDeterminism, DiscoveryDigestIsThreadCountInvariant)
+{
+    setVerbose(false);
+    // Full blind synthesis per architecture, fanned across SweepRunner
+    // workers: the rolling lab digest (every retired device's end
+    // state, in order) must not depend on the worker count.
+    auto digestsAt = [](unsigned threads) {
+        sim::exec::SweepRunner runner(threads);
+        return runner.runSweep(gpu::allArchitectures(),
+                               [](const gpu::ArchParams &a) {
+                                   AttackerLab lab(a);
+                                   return synthesize(lab).discoveryDigest;
+                               });
+    };
+    auto one = digestsAt(1);
+    auto two = digestsAt(2);
+    auto eight = digestsAt(8);
+    ASSERT_EQ(one.size(), gpu::allArchitectures().size());
+    EXPECT_EQ(one, two) << "2 workers changed a blind discovery";
+    EXPECT_EQ(one, eight) << "8 workers changed a blind discovery";
+}
+
+} // namespace
+} // namespace gpucc::covert::synth
