@@ -38,6 +38,17 @@
 # single bit. The league table JSON lands in
 # <build-dir>/observability/ (CI uploads that directory).
 #
+# With --svc, run the sweep-service chaos gate: the built-in soak spec
+# (including the always-failing quarantine row) cold in-process, then
+# under real worker processes with a scripted kill + heartbeat stall,
+# then killed mid-run (--halt-after) and resumed against the same
+# ledger — asserting every canonical report is byte-identical to the
+# cold run and that re-running the unchanged spec appends zero bytes
+# to the ledger. Artifacts (reports, ledgers, stats, spool) land in
+# <build-dir>/observability/svc/ (CI uploads that directory).
+# --svc-only skips the build/test tier and runs ONLY the chaos gate,
+# building just the service binaries it needs.
+#
 # With --report, run the run-scale observability gate (gpucc_report):
 # a profiled sweep of the session-robustness and league cells appended
 # content-addressed into <build-dir>/observability/ledger/, the ledger
@@ -48,7 +59,7 @@
 #
 # Usage: scripts/check.sh [--strict] [--simperf] [--simperf-warn]
 #                         [--trace-smoke] [--conformance] [--league]
-#                         [--report] [build-dir]
+#                         [--svc] [--svc-only] [--report] [build-dir]
 #   --strict        non-zero exit on any simperf regression >15%
 #   --simperf       run only the simperf gate, fatally (implies --strict)
 #   --simperf-warn  with --strict: keep every other gate fatal but
@@ -56,6 +67,8 @@
 #   --trace-smoke   emit + validate trace/metrics/flight JSON artifacts
 #   --conformance   run the paper-fidelity conformance gate (fatal)
 #   --league        run the co-evolution league acceptance gate (fatal)
+#   --svc           run the sweep-service chaos gate (fatal)
+#   --svc-only      run only the sweep-service chaos gate
 #   --report        run the ledger sweep + regression sentry (fatal)
 #   build-dir       CMake build directory (default: build)
 
@@ -67,6 +80,8 @@ simperf_warn=0
 trace_smoke=0
 conformance=0
 league=0
+svc=0
+svc_only=0
 report=0
 build=build
 for arg in "$@"; do
@@ -77,9 +92,11 @@ for arg in "$@"; do
       --trace-smoke) trace_smoke=1 ;;
       --conformance) conformance=1 ;;
       --league) league=1 ;;
+      --svc) svc=1 ;;
+      --svc-only) svc=1; svc_only=1 ;;
       --report) report=1 ;;
       -h|--help)
-        sed -n '2,58p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,73p' "$0" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
       -*)
@@ -97,6 +114,10 @@ if [ "$simperf_only" = 1 ]; then
     echo "== simperf-only: building bench_simperf =="
     cmake -B "$build" -S . >/dev/null
     cmake --build "$build" -j --target bench_simperf
+elif [ "$svc_only" = 1 ]; then
+    echo "== svc-only: building the sweep-service binaries =="
+    cmake -B "$build" -S . >/dev/null
+    cmake --build "$build" -j --target gpucc_sweepd gpucc_worker
 else
     echo "== tier-1: configure + build + ctest =="
     cmake -B "$build" -S .
@@ -208,6 +229,81 @@ print(f"  league OK: {len(cells)} smoke cells, zero residual errors, "
       f"digest {t['digest']:#018x}")
 EOF
     echo "league OK: artifacts in $artdir"
+fi
+
+if [ "$svc" = 1 ]; then
+    echo
+    echo "== svc: sweep-service chaos gate (kill/stall/halt/resume) =="
+    sweepd="$build/src/gpucc_sweepd"
+    worker="$build/src/gpucc_worker"
+    svcdir="$build/observability/svc"
+    rm -rf "$svcdir"
+    mkdir -p "$svcdir"
+
+    # 1. Cold reference: the built-in soak spec (with the
+    #    always-failing row) through the deterministic in-process
+    #    engine. Every later report must byte-match this one.
+    "$sweepd" --builtin --with-broken --in-process --rev svc-gate \
+        --ledger "$svcdir/cold_ledger.jsonl" \
+        --report "$svcdir/cold_report.json" \
+        --stats "$svcdir/cold_stats.json"
+
+    # 2. Chaos run over real worker processes: worker 0 killed on its
+    #    second claim, worker 2 stalled past the lease timeout so its
+    #    result comes back stale. Same canonical bytes required.
+    "$sweepd" --builtin --with-broken --rev svc-gate \
+        --workers 3 --worker-bin "$worker" \
+        --socket "$svcdir/sweep.sock" \
+        --lease-ms 400 --fault "w0:kill@2,w2:stall@1x900" \
+        --spool "$svcdir/chaos_spool.jsonl" \
+        --ledger "$svcdir/chaos_ledger.jsonl" \
+        --report "$svcdir/chaos_report.json" \
+        --stats "$svcdir/chaos_stats.json"
+    cmp "$svcdir/cold_report.json" "$svcdir/chaos_report.json"
+    echo "  chaos   OK: report byte-identical to the cold run"
+
+    # 3. Coordinator crash + resume: halt after 5 persisted results
+    #    (exit 3 by contract), then resume against the same ledger;
+    #    the resumed report must still byte-match the cold run.
+    set +e
+    "$sweepd" --builtin --with-broken --in-process --rev svc-gate \
+        --halt-after 5 \
+        --ledger "$svcdir/resume_ledger.jsonl" \
+        --stats "$svcdir/halt_stats.json"
+    halt_status=$?
+    set -e
+    if [ "$halt_status" -ne 3 ]; then
+        echo "error: --halt-after run exited $halt_status, wanted 3" >&2
+        exit 1
+    fi
+    "$sweepd" --builtin --with-broken --in-process --rev svc-gate \
+        --ledger "$svcdir/resume_ledger.jsonl" \
+        --report "$svcdir/resume_report.json" \
+        --stats "$svcdir/resume_stats.json"
+    cmp "$svcdir/cold_report.json" "$svcdir/resume_report.json"
+    echo "  resume  OK: halted run (exit 3) resumed to identical bytes"
+
+    # 4. Dedup: re-running the unchanged spec against the completed
+    #    ledger must append zero bytes.
+    bytes_before=$(wc -c < "$svcdir/resume_ledger.jsonl")
+    "$sweepd" --builtin --with-broken --in-process --rev svc-gate \
+        --ledger "$svcdir/resume_ledger.jsonl" \
+        --report "$svcdir/rerun_report.json" \
+        --stats "$svcdir/rerun_stats.json"
+    bytes_after=$(wc -c < "$svcdir/resume_ledger.jsonl")
+    if [ "$bytes_before" -ne "$bytes_after" ]; then
+        echo "error: unchanged-spec re-run appended" \
+             "$((bytes_after - bytes_before)) bytes" >&2
+        exit 1
+    fi
+    cmp "$svcdir/cold_report.json" "$svcdir/rerun_report.json"
+    echo "  rerun   OK: unchanged spec appended zero ledger bytes"
+    echo "svc OK: artifacts in $svcdir"
+    if [ "$svc_only" = 1 ]; then
+        echo
+        echo "check.sh: all gates passed"
+        exit 0
+    fi
 fi
 
 if [ "$report" = 1 ]; then

@@ -39,7 +39,49 @@ parseHex64(const std::string &s, std::uint64_t &out)
     return end != nullptr && *end == '\0';
 }
 
+/**
+ * Split a serialized line into its checksummed body and the stored CRC.
+ * The writer always emits ...,"crc":"0x<8 hex>"} as the final field;
+ * the CRC covers the body with that suffix removed and the object
+ * re-closed. @return false for lines without a CRC suffix (legacy
+ * records from before the field existed — accepted unvalidated).
+ */
+bool
+splitCrcSuffix(const std::string &line, std::string &body,
+               std::uint32_t &stored)
+{
+    static const std::string kMarker = ",\"crc\":\"0x";
+    // suffix = marker + 8 hex digits + "\"}"
+    const std::size_t suffixLen = kMarker.size() + 8 + 2;
+    if (line.size() < suffixLen || line.back() != '}' ||
+        line[line.size() - 2] != '"')
+        return false;
+    const std::size_t pos = line.size() - suffixLen;
+    if (line.compare(pos, kMarker.size(), kMarker) != 0)
+        return false;
+    const std::string hexDigits = line.substr(pos + kMarker.size(), 8);
+    char *end = nullptr;
+    unsigned long v = std::strtoul(hexDigits.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0')
+        return false;
+    stored = static_cast<std::uint32_t>(v);
+    body = line.substr(0, pos) + "}";
+    return true;
+}
+
 } // namespace
+
+std::uint32_t
+Ledger::lineCrc(const std::string &s)
+{
+    std::uint32_t c = 0xffffffffu;
+    for (unsigned char ch : s) {
+        c ^= ch;
+        for (int k = 0; k < 8; ++k)
+            c = (c >> 1) ^ (0xedb88320u & (0u - (c & 1u)));
+    }
+    return c ^ 0xffffffffu;
+}
 
 std::uint64_t
 LedgerRecord::key() const
@@ -81,6 +123,7 @@ Ledger::Ledger(std::string path) : filePath(std::move(path))
     for (const LedgerRecord &r : loaded.records)
         keys.insert(r.key());
     loadedCount = loaded.records.size();
+    repairNeeded = loaded.tornTail;
     for (std::string &e : loaded.errors)
         errors.push_back(std::move(e));
 }
@@ -93,18 +136,24 @@ Ledger::append(const LedgerRecord &r)
         ++skippedCount;
         return false;
     }
-    std::ofstream os(filePath, std::ios::app);
+    std::ofstream os(filePath, std::ios::app | std::ios::binary);
     if (!os.good()) {
         keys.erase(k);
         errors.push_back(filePath + ": cannot open for append");
         return false;
     }
+    // Repair a torn tail before writing: terminating the dangling
+    // partial line keeps it isolated (and reported on every load)
+    // instead of letting this record fuse onto it.
+    if (repairNeeded)
+        os << "\n";
     os << toJsonLine(r) << "\n";
     if (!os.good()) {
         keys.erase(k);
         errors.push_back(filePath + ": append write failed");
         return false;
     }
+    repairNeeded = false;
     ++appendedCount;
     return true;
 }
@@ -113,20 +162,34 @@ LedgerLoadResult
 Ledger::load(const std::string &path)
 {
     LedgerLoadResult out;
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::binary);
     if (!is.good())
         return out; // absent file == empty ledger, not an error
-    std::string line;
+    std::string content{std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>()};
+    out.tornTail = !content.empty() && content.back() != '\n';
+
     std::size_t lineNo = 0;
-    while (std::getline(is, line)) {
+    std::size_t start = 0;
+    while (start < content.size()) {
+        const std::size_t nl = content.find('\n', start);
+        const bool isTail = nl == std::string::npos;
+        std::string line = content.substr(
+            start, isTail ? std::string::npos : nl - start);
+        start = isTail ? content.size() : nl + 1;
         ++lineNo;
         if (line.empty())
             continue;
         LedgerRecord r;
         std::string err;
         if (parseLine(line, r, err)) {
+            // A tail line whose CRC validates is a complete record
+            // that only lost its newline: keep it (append() restores
+            // the framing before the next record).
             out.records.push_back(std::move(r));
         } else {
+            if (isTail && out.tornTail)
+                err = "torn tail (writer killed mid-append): " + err;
             out.errors.push_back(path + ":" + std::to_string(lineNo) +
                                  ": " + err);
         }
@@ -164,13 +227,40 @@ Ledger::toJsonLine(const LedgerRecord &r)
     }
     w.endObject();
     w.endObject();
-    return os.str();
+    // Seal the line with a CRC over everything serialized so far: a
+    // torn or bit-rotted line fails validation even if it happens to
+    // still parse as JSON.
+    std::string body = os.str();
+    char crc[24];
+    std::snprintf(crc, sizeof crc, ",\"crc\":\"0x%08x\"}",
+                  lineCrc(body));
+    body.pop_back(); // drop the closing '}'; the crc suffix re-closes
+    return body + crc;
 }
 
 bool
 Ledger::parseLine(const std::string &line, LedgerRecord &out,
                   std::string &error)
 {
+    // Byte-level integrity first: lines written since the CRC field
+    // existed must checksum; a mismatch means a torn or corrupted
+    // write, regardless of whether the remains still parse.
+    {
+        std::string body;
+        std::uint32_t stored = 0;
+        if (splitCrcSuffix(line, body, stored)) {
+            const std::uint32_t computed = lineCrc(body);
+            if (computed != stored) {
+                char msg[96];
+                std::snprintf(msg, sizeof msg,
+                              "line CRC mismatch (stored 0x%08x, "
+                              "computed 0x%08x)",
+                              stored, computed);
+                error = msg;
+                return false;
+            }
+        }
+    }
     verify::JsonParseResult p = verify::parseJson(line);
     if (!p.ok) {
         error = p.error;
@@ -222,6 +312,30 @@ Ledger::parseLine(const std::string &line, LedgerRecord &out,
         return false;
     }
     return true;
+}
+
+bool
+Ledger::tornTruncateForTest(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good())
+        return false;
+    std::string content{std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>()};
+    is.close();
+    while (!content.empty() && content.back() == '\n')
+        content.pop_back();
+    if (content.empty())
+        return false;
+    // Keep the first half of the final line and drop its newline: the
+    // shape a writer killed inside ::write() leaves behind.
+    std::size_t lineStart = content.rfind('\n');
+    lineStart = lineStart == std::string::npos ? 0 : lineStart + 1;
+    const std::size_t keep =
+        lineStart + (content.size() - lineStart) / 2;
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+    return !ec;
 }
 
 std::string

@@ -24,6 +24,17 @@
  * header, written through the shared JsonWriter and read back with the
  * verify JSON parser — corrupt or foreign lines are reported, not
  * silently skipped.
+ *
+ * Crash consistency: every line carries a trailing "crc" field — a
+ * CRC-32 over the rest of the line — so a writer killed mid-append
+ * (a torn write) leaves a tail that is *detected*, never silently
+ * parsed as data. A file that does not end in '\n' is flagged as torn;
+ * the next append() repairs the framing by terminating the torn line
+ * before writing, so one crashed worker can never brick the ledger:
+ * prior records survive, the torn tail is reported, and the repaired
+ * file appends cleanly forever after. This is what lets the sweep
+ * service (src/svc) use the ledger as its crash-consistent,
+ * content-addressed result store.
  */
 
 #ifndef GPUCC_OBS_LEDGER_H
@@ -74,6 +85,11 @@ struct LedgerLoadResult
 {
     std::vector<LedgerRecord> records; //!< file order == append order
     std::vector<std::string> errors;   //!< unparsable lines, I/O faults
+    /** File does not end in '\n': the final append was torn (writer
+     *  killed mid-record). The tail line is reported in errors when it
+     *  fails parse/CRC; either way the next append() must repair the
+     *  framing first. */
+    bool tornTail = false;
 };
 
 /** Append-only, dedup-on-key JSONL ledger. */
@@ -112,13 +128,28 @@ class Ledger
      *  ledgers they do not own). */
     static LedgerLoadResult load(const std::string &path);
 
-    /** Serialize one record as a single JSONL line (no newline). */
+    /** Serialize one record as a single JSONL line (no newline). The
+     *  line's last field is "crc", a CRC-32 over everything before it. */
     static std::string toJsonLine(const LedgerRecord &r);
 
     /** Parse one JSONL line. @return false (with @p error set) when
-     *  the line is not a well-formed ledger record. */
+     *  the line is not a well-formed ledger record or its CRC does not
+     *  match (a torn or corrupted write). */
     static bool parseLine(const std::string &line, LedgerRecord &out,
                           std::string &error);
+
+    /** CRC-32 (reflected, poly 0xEDB88320) of @p s — the per-line
+     *  checksum (exposed for tests). */
+    static std::uint32_t lineCrc(const std::string &s);
+
+    /** True when the file ended in a torn write and the framing repair
+     *  (a '\n' before the next record) is still pending. */
+    bool repairPending() const { return repairNeeded; }
+
+    /** Chaos-test hook: truncate @p path mid-way through its final
+     *  record, simulating a writer killed inside ::write(). @return
+     *  false when the file is missing or empty. */
+    static bool tornTruncateForTest(const std::string &path);
 
   private:
     std::string filePath;
@@ -127,6 +158,7 @@ class Ledger
     std::size_t loadedCount = 0;
     std::size_t appendedCount = 0;
     std::size_t skippedCount = 0;
+    bool repairNeeded = false;
 };
 
 /**

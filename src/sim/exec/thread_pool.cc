@@ -1,5 +1,7 @@
 #include "sim/exec/thread_pool.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -8,16 +10,39 @@
 namespace gpucc::sim::exec
 {
 
+namespace
+{
+/** Sanity ceiling for GPUCC_THREADS: far above any real machine, low
+ *  enough to catch "GPUCC_THREADS=100000" typos before the pool tries
+ *  to spawn them. */
+constexpr unsigned kMaxThreads = 4096;
+} // namespace
+
 unsigned
 ThreadPool::defaultThreads()
 {
     if (const char *env = std::getenv("GPUCC_THREADS")) {
+        // A malformed thread count is a configuration error, not a
+        // preference: silently running at hardware concurrency when
+        // the user asked for "0" (or a typo) makes sweep results
+        // unreproducible in exactly the runs someone pinned the
+        // thread count for. Reject loudly instead.
+        errno = 0;
         char *end = nullptr;
-        unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
-            return static_cast<unsigned>(v);
-        GPUCC_WARN("ignoring GPUCC_THREADS='%s' (want a positive integer)",
-                   env);
+        const long long v = std::strtoll(env, &end, 10);
+        if (*env == '\0' || end == env || *end != '\0')
+            GPUCC_FATAL("GPUCC_THREADS='%s' is not an integer "
+                        "(want a positive worker count, e.g. "
+                        "GPUCC_THREADS=4)",
+                        env);
+        if (v <= 0)
+            GPUCC_FATAL("GPUCC_THREADS=%lld must be >= 1 (every pool "
+                        "needs at least the calling thread)",
+                        v);
+        if (errno == ERANGE || v > kMaxThreads)
+            GPUCC_FATAL("GPUCC_THREADS='%s' is out of range (max %u)",
+                        env, kMaxThreads);
+        return static_cast<unsigned>(v);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;
@@ -27,6 +52,7 @@ ThreadPool::ThreadPool(unsigned threadCount)
     : workerCount(threadCount != 0 ? threadCount : defaultThreads())
 {
     errors.resize(workerCount);
+    errorIndices.resize(workerCount, SIZE_MAX);
     if (workerCount == 1)
         return; // inline execution, no threads
     workers.reserve(workerCount);
@@ -62,11 +88,20 @@ ThreadPool::workerMain(unsigned id)
             body = job;
             n = jobSize;
         }
-        try {
-            for (std::size_t i = id; i < n; i += workerCount)
+        // Per-index isolation: one throwing body must not starve the
+        // rest of this worker's share — a sweep cell that fails is one
+        // failed cell, not a third of the grid silently skipped. The
+        // first exception (lowest index on this worker) is kept for
+        // the deterministic rethrow in forEachIndex().
+        for (std::size_t i = id; i < n; i += workerCount) {
+            try {
                 (*body)(i);
-        } catch (...) {
-            errors[id] = std::current_exception();
+            } catch (...) {
+                if (!errors[id]) {
+                    errors[id] = std::current_exception();
+                    errorIndices[id] = i;
+                }
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mtx);
@@ -83,8 +118,19 @@ ThreadPool::forEachIndex(std::size_t n,
     if (n == 0)
         return;
     if (workerCount == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            body(i);
+        // Inline path: identical isolation contract to the threaded
+        // one — every index runs, the first failure is rethrown after.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
         return;
     }
     {
@@ -100,14 +146,20 @@ ThreadPool::forEachIndex(std::size_t n,
         done.wait(lock, [&] { return running == 0; });
         job = nullptr;
     }
-    for (auto &e : errors) {
-        if (e) {
-            std::exception_ptr err = e;
-            for (auto &clear : errors)
-                clear = nullptr;
-            std::rethrow_exception(err);
+    // Deterministic rethrow: of all failed indices, the globally
+    // lowest one wins, independent of worker scheduling.
+    std::exception_ptr err;
+    std::size_t errAt = SIZE_MAX;
+    for (unsigned w = 0; w < workerCount; ++w) {
+        if (errors[w] && errorIndices[w] < errAt) {
+            err = errors[w];
+            errAt = errorIndices[w];
         }
     }
+    for (auto &clear : errors)
+        clear = nullptr;
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace gpucc::sim::exec

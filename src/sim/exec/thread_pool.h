@@ -52,17 +52,24 @@ class ThreadPool
     /**
      * Run @p body(i) for every i in [0, n), index i on worker
      * i % threads() (static round-robin partition; no stealing).
-     * Blocks until all indices completed. If bodies throw, the
-     * exception from the lowest-numbered worker is rethrown after
-     * every worker finished its share.
+     * Blocks until all indices completed. Exceptions are isolated per
+     * index: a throwing body never prevents any other index from
+     * running (a failed sweep cell is one failed cell, not a skipped
+     * share), and after the batch the exception from the *lowest
+     * failed index* is rethrown — deterministic at any thread count.
+     * Callers that must record per-cell failures instead of aborting
+     * the batch catch inside the body (see svc::runCell).
      */
     void forEachIndex(std::size_t n,
                       const std::function<void(std::size_t)> &body);
 
     /**
-     * Worker count implied by the environment: GPUCC_THREADS if set to
-     * a positive integer, else std::thread::hardware_concurrency(),
-     * never less than 1.
+     * Worker count implied by the environment: GPUCC_THREADS if set,
+     * else std::thread::hardware_concurrency(), never less than 1.
+     * A GPUCC_THREADS value that is zero, negative, non-numeric or
+     * absurdly large is a configuration error and fails fast with a
+     * clear message (GPUCC_FATAL) instead of silently running at some
+     * other width.
      */
     static unsigned defaultThreads();
 
@@ -80,8 +87,11 @@ class ThreadPool
     std::uint64_t generation = 0;
     unsigned running = 0;
     bool stopping = false;
-    /** One slot per worker so the rethrown error is deterministic. */
+    /** One slot per worker so the rethrown error is deterministic:
+     *  each worker keeps its first (lowest-index) exception, and
+     *  forEachIndex rethrows the globally lowest failed index. */
     std::vector<std::exception_ptr> errors;
+    std::vector<std::size_t> errorIndices;
 };
 
 } // namespace gpucc::sim::exec

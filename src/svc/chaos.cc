@@ -1,0 +1,146 @@
+#include "svc/chaos.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpucc::svc
+{
+
+namespace
+{
+
+/** Strict unsigned parse of @p s (whole string). */
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+bool
+ProcessFaultPlan::parse(const std::string &text, ProcessFaultPlan &out,
+                        std::string &error)
+{
+    out = ProcessFaultPlan{};
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find(',', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string entry = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+        std::uint64_t n = 0;
+        if (entry.compare(0, 5, "torn@") == 0) {
+            if (!parseU64(entry.substr(5), n) || n == 0) {
+                error = "'" + entry + "': want torn@<N> with N >= 1";
+                return false;
+            }
+            out.tornWriteAtAppend = static_cast<unsigned>(n);
+            continue;
+        }
+        if (entry.size() < 2 || entry[0] != 'w') {
+            error = "'" + entry +
+                    "': want w<W>:kill@<K>, w<W>:stall@<K>x<T> or "
+                    "torn@<N>";
+            return false;
+        }
+        const std::size_t colon = entry.find(':');
+        std::uint64_t workerId = 0;
+        if (colon == std::string::npos ||
+            !parseU64(entry.substr(1, colon - 1), workerId)) {
+            error = "'" + entry + "': malformed worker ordinal";
+            return false;
+        }
+        const std::string action = entry.substr(colon + 1);
+        WorkerFault f;
+        f.worker = static_cast<unsigned>(workerId);
+        if (action.compare(0, 5, "kill@") == 0) {
+            if (!parseU64(action.substr(5), n) || n == 0) {
+                error = "'" + entry + "': want kill@<K> with K >= 1";
+                return false;
+            }
+            f.killAtClaim = static_cast<unsigned>(n);
+        } else if (action.compare(0, 6, "stall@") == 0) {
+            const std::string rest = action.substr(6);
+            const std::size_t x = rest.find('x');
+            std::uint64_t dur = 0;
+            if (x == std::string::npos ||
+                !parseU64(rest.substr(0, x), n) || n == 0 ||
+                !parseU64(rest.substr(x + 1), dur) || dur == 0) {
+                error = "'" + entry +
+                        "': want stall@<K>x<T> with K,T >= 1";
+                return false;
+            }
+            f.stallAtClaim = static_cast<unsigned>(n);
+            f.stallFor = dur;
+        } else {
+            error = "'" + entry + "': unknown action '" + action + "'";
+            return false;
+        }
+        // Merge with an existing entry for the same worker so
+        // "w0:kill@5,w0:stall@2x10" scripts both faults.
+        WorkerFault *existing = nullptr;
+        for (WorkerFault &e : out.faults) {
+            if (e.worker == f.worker)
+                existing = &e;
+        }
+        if (existing == nullptr) {
+            out.faults.push_back(f);
+        } else {
+            if (f.killAtClaim != 0)
+                existing->killAtClaim = f.killAtClaim;
+            if (f.stallAtClaim != 0) {
+                existing->stallAtClaim = f.stallAtClaim;
+                existing->stallFor = f.stallFor;
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+ProcessFaultPlan::toString() const
+{
+    std::string out;
+    char buf[64];
+    for (const WorkerFault &f : faults) {
+        if (f.killAtClaim != 0) {
+            std::snprintf(buf, sizeof buf, "w%u:kill@%u", f.worker,
+                          f.killAtClaim);
+            out += out.empty() ? "" : ",";
+            out += buf;
+        }
+        if (f.stallAtClaim != 0) {
+            std::snprintf(buf, sizeof buf, "w%u:stall@%ux%llu",
+                          f.worker, f.stallAtClaim,
+                          static_cast<unsigned long long>(f.stallFor));
+            out += out.empty() ? "" : ",";
+            out += buf;
+        }
+    }
+    if (tornWriteAtAppend != 0) {
+        std::snprintf(buf, sizeof buf, "torn@%u", tornWriteAtAppend);
+        out += out.empty() ? "" : ",";
+        out += buf;
+    }
+    return out;
+}
+
+const WorkerFault *
+ProcessFaultPlan::forWorker(unsigned w) const
+{
+    for (const WorkerFault &f : faults) {
+        if (f.worker == w)
+            return &f;
+    }
+    return nullptr;
+}
+
+} // namespace gpucc::svc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Process-level fault plans for the sweep service chaos harness.
+ *
+ * The covert-channel layers already have microarchitectural fault
+ * injection (sim/fault); this is the same philosophy one level up:
+ * a ProcessFaultPlan describes *which worker misbehaves, when and
+ * how*, in a compact string ("w0:kill@3,w1:stall@2x40,torn@5") that
+ * travels on a command line. Faults are keyed to a worker's Nth
+ * granted lease — a logical clock the virtual-tick engine and the
+ * real fork/exec workers share — so the same plan is replayable in
+ * both, and the soak test can assert that a kill-and-resume run
+ * converges to the byte-identical report of an unfaulted one.
+ *
+ *  - w<W>:kill@<K>    worker W dies (no result, lease dangles) on
+ *                     its K-th granted lease (1-based)
+ *  - w<W>:stall@<K>x<T>  worker W goes silent for T ticks/ms after
+ *                     claiming its K-th lease, then submits the
+ *                     (by then stale) result
+ *  - torn@<N>         the coordinator's store suffers a torn write
+ *                     after its N-th append (test hook: exercises
+ *                     ledger repair under the service)
+ */
+
+#ifndef GPUCC_SVC_CHAOS_H
+#define GPUCC_SVC_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpucc::svc
+{
+
+/** Faults scripted for one worker. */
+struct WorkerFault
+{
+    unsigned worker = 0;
+    unsigned killAtClaim = 0;  //!< 0 = never
+    unsigned stallAtClaim = 0; //!< 0 = never
+    std::uint64_t stallFor = 0; //!< stall duration (ticks or ms)
+};
+
+/** A full chaos script for one service run. */
+struct ProcessFaultPlan
+{
+    std::vector<WorkerFault> faults;
+    unsigned tornWriteAtAppend = 0; //!< 0 = never
+
+    /** Parse the compact plan syntax. Empty string = no faults.
+     *  @return false with @p error set on malformed input. */
+    static bool parse(const std::string &text, ProcessFaultPlan &out,
+                      std::string &error);
+
+    /** Round-trip back to the compact syntax (worker order kept). */
+    std::string toString() const;
+
+    /** Fault entry for worker @p w (nullptr when unscripted). */
+    const WorkerFault *forWorker(unsigned w) const;
+
+    bool empty() const
+    {
+        return faults.empty() && tornWriteAtAppend == 0;
+    }
+};
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_CHAOS_H

@@ -1,0 +1,436 @@
+#include "svc/coordinator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/metrics/json_writer.h"
+#include "svc/wire.h"
+
+namespace gpucc::svc
+{
+
+namespace
+{
+
+std::uint64_t
+monotonicMs()
+{
+    timespec ts{};
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+/** One connected worker socket. */
+struct Conn
+{
+    int fd = -1;
+    std::string worker; //!< set by hello
+    wire::LineBuffer buf;
+};
+
+/** One spawned child process. */
+struct Child
+{
+    pid_t pid = -1;
+    bool reaped = false;
+    int status = 0;
+};
+
+void
+closeConn(Conn &c)
+{
+    if (c.fd >= 0)
+        ::close(c.fd);
+    c.fd = -1;
+}
+
+} // namespace
+
+bool
+writeSpool(const SweepSpec &spec, const ResultStore &store,
+           const std::string &path, std::string &error)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os.good()) {
+            error = tmp + ": cannot open for write";
+            return false;
+        }
+        for (const CellSpec &c : spec.expand()) {
+            const obs::LedgerRecord *cached = store.find(c);
+            std::ostringstream line;
+            metrics::JsonWriter w(line, /*pretty=*/false);
+            w.beginObject();
+            w.field("cell", static_cast<std::uint64_t>(c.index));
+            w.field("scenario", c.scenario);
+            w.field("arch", c.arch);
+            w.field("plan", c.plan);
+            w.field("config", c.config);
+            char seed[19];
+            std::snprintf(seed, sizeof seed, "0x%016llx",
+                          static_cast<unsigned long long>(c.seed));
+            w.field("seed", seed);
+            w.field("state",
+                    cached == nullptr ? "queued"
+                    : cached->outcome == "quarantined"
+                        ? "quarantined"
+                        : "cached");
+            w.endObject();
+            os << line.str() << "\n";
+        }
+        if (!os.good()) {
+            error = tmp + ": write failed";
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        error = path + ": rename failed: " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+ServiceOutcome
+runCoordinator(const SweepSpec &spec, const CoordinatorConfig &cfg,
+               ResultStore &store)
+{
+    ServiceOutcome out;
+    ServiceStats &stats = out.stats;
+    const std::vector<CellSpec> cells = spec.expand();
+    JobQueue queue(cells.size(), cfg.retry);
+    for (const CellSpec &c : cells) {
+        if (const obs::LedgerRecord *rec = store.find(c))
+            queue.markCached(c.index, rec->outcome == "quarantined",
+                             "");
+    }
+
+    if (!cfg.spoolPath.empty()) {
+        std::string err;
+        if (!writeSpool(spec, store, cfg.spoolPath, err))
+            stats.errors.push_back("spool: " + err);
+    }
+
+    const std::size_t appendedBefore = store.appended();
+    const std::size_t skippedBefore = store.skipped();
+
+    auto persist = [&](std::size_t jobIndex,
+                       const CellOutcome &outcome, bool quarantined) {
+        store.put(store.makeRecord(cells[jobIndex], outcome,
+                                   quarantined));
+    };
+    auto deliver = [&](std::size_t jobIndex, std::uint64_t leaseId,
+                       const CellOutcome &outcome, std::uint64_t now) {
+        if (outcome.outcome == "complete") {
+            if (queue.completeJob(jobIndex, leaseId))
+                persist(jobIndex, outcome, /*quarantined=*/false);
+            return;
+        }
+        if (queue.failJob(jobIndex, leaseId, outcome.error, now) &&
+            queue.job(jobIndex).state == JobState::Quarantined)
+            persist(jobIndex, outcome, /*quarantined=*/true);
+    };
+    auto degradedFinish = [&] {
+        stats.degraded = true;
+        queue.expire(UINT64_MAX);
+        while (!queue.allDone()) {
+            auto grant = queue.claim("coordinator", UINT64_MAX);
+            if (!grant)
+                break;
+            const CellOutcome outcome = runCell(cells[grant->job]);
+            ++stats.cellsRun;
+            deliver(grant->job, grant->leaseId, outcome, UINT64_MAX);
+        }
+    };
+    auto finish = [&]() -> ServiceOutcome & {
+        stats.storeAppended = store.appended() - appendedBefore;
+        stats.storeSkipped = store.skipped() - skippedBefore;
+        collectOutcome(spec, queue, store, out);
+        return out;
+    };
+
+    // Fully cached sweep (unchanged spec re-run): nothing to
+    // distribute, so no sockets and no workers — just the report.
+    if (queue.allDone())
+        return finish();
+
+    // ---- socket setup (failure degrades to in-process execution) ----
+    if (cfg.workers == 0 || cfg.workerBin.empty() ||
+        cfg.socketPath.empty()) {
+        if (!queue.allDone())
+            degradedFinish();
+        stats.degraded = false; // in-process by request, not failure
+        return finish();
+    }
+    ::signal(SIGPIPE, SIG_IGN);
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    bool socketOk = listenFd >= 0 &&
+                    cfg.socketPath.size() < sizeof(addr.sun_path);
+    if (socketOk) {
+        ::unlink(cfg.socketPath.c_str());
+        std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        socketOk = ::bind(listenFd,
+                          reinterpret_cast<const sockaddr *>(&addr),
+                          sizeof addr) == 0 &&
+                   ::listen(listenFd, 16) == 0;
+    }
+    if (!socketOk) {
+        stats.errors.push_back("socket setup failed on '" +
+                               cfg.socketPath +
+                               "': " + std::strerror(errno) +
+                               " — running degraded in-process");
+        if (listenFd >= 0)
+            ::close(listenFd);
+        degradedFinish();
+        return finish();
+    }
+
+    // ---- spawn workers ----
+    const std::string faultArg = cfg.faults.toString();
+    std::vector<Child> children;
+    for (unsigned wIdx = 0; wIdx < cfg.workers; ++wIdx) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            stats.errors.push_back(
+                std::string("fork failed: ") + std::strerror(errno));
+            continue;
+        }
+        if (pid == 0) {
+            ::close(listenFd);
+            const std::string name = "w" + std::to_string(wIdx);
+            const std::string ordinal = std::to_string(wIdx);
+            std::vector<const char *> argv = {
+                cfg.workerBin.c_str(), "--socket",
+                cfg.socketPath.c_str(), "--name", name.c_str(),
+                "--ordinal", ordinal.c_str()};
+            if (!faultArg.empty()) {
+                argv.push_back("--fault");
+                argv.push_back(faultArg.c_str());
+            }
+            argv.push_back(nullptr);
+            ::execv(cfg.workerBin.c_str(),
+                    const_cast<char *const *>(argv.data()));
+            ::_exit(127);
+        }
+        children.push_back({pid, false, 0});
+        ++stats.workersSpawned;
+    }
+
+    auto reapChildren = [&](bool block) {
+        for (Child &ch : children) {
+            if (ch.reaped)
+                continue;
+            const pid_t r =
+                ::waitpid(ch.pid, &ch.status, block ? 0 : WNOHANG);
+            if (r == ch.pid) {
+                ch.reaped = true;
+                if (!WIFEXITED(ch.status) ||
+                    WEXITSTATUS(ch.status) != 0)
+                    ++stats.workersDied;
+            }
+        }
+    };
+    auto liveChildren = [&] {
+        std::size_t n = 0;
+        for (const Child &ch : children)
+            n += ch.reaped ? 0 : 1;
+        return n;
+    };
+
+    // ---- main poll loop ----
+    std::vector<Conn> conns;
+    const std::uint64_t start = monotonicMs();
+    bool wallTimeout = false;
+    while (!queue.allDone()) {
+        const std::uint64_t now = monotonicMs() - start;
+        if (now > cfg.maxWallMs) {
+            stats.errors.push_back(
+                "wall-clock ceiling hit (" +
+                std::to_string(cfg.maxWallMs) +
+                " ms) — finishing degraded");
+            wallTimeout = true;
+            break;
+        }
+        queue.expire(now);
+        reapChildren(false);
+        if (liveChildren() == 0 && conns.empty() && !queue.allDone())
+            break; // all workers gone -> degraded finish
+
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd, POLLIN, 0});
+        for (const Conn &c : conns)
+            fds.push_back({c.fd, POLLIN, 0});
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()),
+                              static_cast<int>(cfg.pollMs));
+        if (rc < 0 && errno != EINTR) {
+            stats.errors.push_back(std::string("poll failed: ") +
+                                   std::strerror(errno));
+            break;
+        }
+        if (fds[0].revents & POLLIN) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd >= 0) {
+                Conn c;
+                c.fd = fd;
+                conns.push_back(std::move(c));
+            }
+        }
+        // Service every connection that has bytes (fds[i+1] maps to
+        // conns[i]; conns are only appended above, never reordered).
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            Conn &c = conns[i];
+            const short rev =
+                i + 1 < fds.size() ? fds[i + 1].revents : 0;
+            if (rev == 0)
+                continue;
+            char chunk[4096];
+            bool dead = (rev & (POLLERR | POLLNVAL)) != 0;
+            while (!dead) {
+                const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+                if (n > 0) {
+                    c.buf.feed(chunk, static_cast<std::size_t>(n));
+                    if (static_cast<std::size_t>(n) < sizeof chunk)
+                        break;
+                    continue;
+                }
+                if (n < 0 && errno == EINTR)
+                    continue;
+                dead = true; // EOF or hard error
+            }
+            const std::uint64_t rxNow = monotonicMs() - start;
+            std::string line;
+            while (c.buf.next(line)) {
+                wire::Message msg;
+                std::string err;
+                if (!wire::decode(line, msg, err)) {
+                    stats.errors.push_back("protocol: " + err);
+                    wire::sendLine(c.fd, wire::encodeError(err));
+                    continue;
+                }
+                if (msg.type == "hello") {
+                    c.worker = msg.worker;
+                    wire::sendLine(c.fd, wire::encodeOk());
+                } else if (msg.type == "heartbeat") {
+                    queue.heartbeat(msg.worker, rxNow);
+                    wire::sendLine(c.fd, wire::encodeOk());
+                } else if (msg.type == "claim") {
+                    auto grant = queue.claim(msg.worker, rxNow);
+                    if (grant) {
+                        wire::sendLine(
+                            c.fd,
+                            wire::encodeGrant(cells[grant->job],
+                                              grant->leaseId));
+                    } else {
+                        wire::sendLine(
+                            c.fd,
+                            wire::encodeNoWork(queue.allDone(),
+                                               cfg.pollMs * 2));
+                    }
+                } else if (msg.type == "result") {
+                    ++stats.cellsRun;
+                    deliver(msg.cell.index, msg.leaseId, msg.outcome,
+                            rxNow);
+                    wire::sendLine(c.fd, wire::encodeOk());
+                } else {
+                    wire::sendLine(
+                        c.fd, wire::encodeError("unknown type '" +
+                                                msg.type + "'"));
+                }
+            }
+            if (dead) {
+                if (!c.worker.empty())
+                    queue.releaseWorker(c.worker, rxNow);
+                closeConn(c);
+            }
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const Conn &c) {
+                                       return c.fd < 0;
+                                   }),
+                    conns.end());
+    }
+
+    // ---- drain: let idle workers see "drained" and exit cleanly ----
+    const std::uint64_t drainStart = monotonicMs();
+    while (!conns.empty() && monotonicMs() - drainStart < 1000) {
+        std::vector<pollfd> fds;
+        for (const Conn &c : conns)
+            fds.push_back({c.fd, POLLIN, 0});
+        if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), 25) <
+            0)
+            break;
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            Conn &c = conns[i];
+            if (fds[i].revents == 0)
+                continue;
+            char chunk[4096];
+            const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+            if (n <= 0) {
+                closeConn(c);
+                continue;
+            }
+            c.buf.feed(chunk, static_cast<std::size_t>(n));
+            std::string line;
+            while (c.buf.next(line)) {
+                wire::Message msg;
+                std::string err;
+                if (wire::decode(line, msg, err) &&
+                    msg.type == "claim")
+                    wire::sendLine(c.fd,
+                                   wire::encodeNoWork(true, 0));
+                else
+                    wire::sendLine(c.fd, wire::encodeOk());
+            }
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const Conn &c) {
+                                       return c.fd < 0;
+                                   }),
+                    conns.end());
+        reapChildren(false);
+    }
+    for (Conn &c : conns)
+        closeConn(c);
+    ::close(listenFd);
+    ::unlink(cfg.socketPath.c_str());
+
+    // Stragglers (stalled or wedged workers) get SIGKILL: the run is
+    // over and their results would be stale anyway.
+    reapChildren(false);
+    for (Child &ch : children) {
+        if (!ch.reaped)
+            ::kill(ch.pid, SIGKILL); // reap below counts the death
+    }
+    reapChildren(true);
+
+    if (!queue.allDone())
+        degradedFinish();
+    stats.halted = false;
+    if (wallTimeout)
+        stats.degraded = true;
+    return finish();
+}
+
+} // namespace gpucc::svc

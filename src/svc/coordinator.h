@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The real-process coordinator behind gpucc_sweepd.
+ *
+ * Shards an expanded sweep into the lease queue, materializes it as a
+ * JSONL spool file (tmp+rename, so a crash never leaves a half
+ * manifest), listens on a Unix-domain socket, fork/execs gpucc_worker
+ * processes, and drives the same JobQueue state machine as the
+ * virtual-clock engine — just with CLOCK_MONOTONIC milliseconds for
+ * time and real kill(2)-able children for workers.
+ *
+ * Failure handling mirrors service.h exactly: heartbeat-timeout lease
+ * expiry, backoff+jitter retries, poison-cell quarantine, and — when
+ * every worker is gone with cells still pending — graceful
+ * degradation: the coordinator reclaims the dangling leases and
+ * finishes the sweep in-process, flagging the stats document
+ * degraded:true. The canonical report it writes is rendered from the
+ * content-addressed store, so it is byte-identical to an unfaulted or
+ * in-process run of the same spec.
+ */
+
+#ifndef GPUCC_SVC_COORDINATOR_H
+#define GPUCC_SVC_COORDINATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "svc/service.h"
+
+namespace gpucc::svc
+{
+
+/** Configuration of one coordinator run. */
+struct CoordinatorConfig
+{
+    std::string socketPath;  //!< UDS address (created, then unlinked)
+    std::string workerBin;   //!< gpucc_worker executable to spawn
+    unsigned workers = 2;    //!< processes to fork/exec
+    RetryPolicy retry{/*maxAttempts=*/4, /*leaseTimeout=*/2000,
+                      /*backoffBase=*/20, /*backoffCap=*/640,
+                      /*jitterSeed=*/0x5eed};
+    ProcessFaultPlan faults; //!< forwarded to workers (self-injection)
+    std::uint64_t pollMs = 25;
+    /** Whole-run wall-clock ceiling: past it the coordinator kills
+     *  its children and finishes degraded (CI must never hang). */
+    std::uint64_t maxWallMs = 120000;
+    std::string spoolPath; //!< queue manifest ("" = skip)
+};
+
+/**
+ * Run @p spec to completion against @p store. Returns the same
+ * ServiceOutcome shape as the in-process engine; process-layer
+ * incidents (spawn failures, protocol errors) land in stats.errors.
+ * Falls back to the in-process engine when @p cfg.workers is 0 or the
+ * socket cannot be created.
+ */
+ServiceOutcome runCoordinator(const SweepSpec &spec,
+                              const CoordinatorConfig &cfg,
+                              ResultStore &store);
+
+/** Write the spool manifest (expanded cells + initial queue state)
+ *  atomically via tmp+rename. @return false on I/O failure. */
+bool writeSpool(const SweepSpec &spec, const ResultStore &store,
+                const std::string &path, std::string &error);
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_COORDINATOR_H

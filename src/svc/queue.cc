@@ -1,0 +1,188 @@
+#include "svc/queue.h"
+
+#include <algorithm>
+
+#include "sim/exec/sweep_runner.h"
+
+namespace gpucc::svc
+{
+
+JobQueue::JobQueue(std::size_t jobCount, RetryPolicy policy)
+    : retry(policy), jobs(jobCount)
+{
+    // A zero maxAttempts would quarantine nothing and retry forever;
+    // clamp to at least one attempt so the state machine terminates.
+    if (retry.maxAttempts == 0)
+        retry.maxAttempts = 1;
+    if (retry.backoffBase == 0)
+        retry.backoffBase = 1;
+}
+
+void
+JobQueue::markCached(std::size_t job, bool quarantined,
+                     const std::string &error)
+{
+    Job &j = jobs[job];
+    if (j.state == JobState::Done || j.state == JobState::Quarantined)
+        return;
+    j.state = quarantined ? JobState::Quarantined : JobState::Done;
+    j.cached = true;
+    j.lastCellError = error;
+    j.lastError = error;
+    ++doneCount;
+    ++counters.cached;
+    if (quarantined)
+        ++counters.quarantined;
+    else
+        ++counters.completed;
+}
+
+std::optional<LeaseGrant>
+JobQueue::claim(const std::string &worker, std::uint64_t now)
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Job &j = jobs[i];
+        if (j.state != JobState::Queued || j.notBefore > now)
+            continue;
+        j.state = JobState::Leased;
+        j.leaseId = ++leaseCounter;
+        j.leaseDeadline =
+            now > UINT64_MAX - retry.leaseTimeout
+                ? UINT64_MAX
+                : now + retry.leaseTimeout;
+        j.worker = worker;
+        ++counters.leasesGranted;
+        return LeaseGrant{i, j.leaseId};
+    }
+    return std::nullopt;
+}
+
+void
+JobQueue::heartbeat(const std::string &worker, std::uint64_t now)
+{
+    for (Job &j : jobs) {
+        if (j.state == JobState::Leased && j.worker == worker)
+            j.leaseDeadline =
+                now > UINT64_MAX - retry.leaseTimeout
+                    ? UINT64_MAX
+                    : now + retry.leaseTimeout;
+    }
+}
+
+unsigned
+JobQueue::expire(std::uint64_t now)
+{
+    unsigned expired = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Job &j = jobs[i];
+        if (j.state != JobState::Leased || j.leaseDeadline >= now)
+            continue;
+        ++expired;
+        ++counters.leasesExpired;
+        recordFailure(i,
+                      "lease expired (worker '" + j.worker +
+                          "' stopped heartbeating)",
+                      /*fromRun=*/false, now);
+    }
+    return expired;
+}
+
+void
+JobQueue::releaseWorker(const std::string &worker, std::uint64_t now)
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Job &j = jobs[i];
+        if (j.state != JobState::Leased || j.worker != worker)
+            continue;
+        ++counters.leasesExpired;
+        recordFailure(i,
+                      "worker '" + worker +
+                          "' disconnected mid-lease",
+                      /*fromRun=*/false, now);
+    }
+}
+
+bool
+JobQueue::completeJob(std::size_t job, std::uint64_t leaseId)
+{
+    Job &j = jobs[job];
+    if (j.state != JobState::Leased || j.leaseId != leaseId) {
+        ++counters.staleResults;
+        return false;
+    }
+    j.state = JobState::Done;
+    j.worker.clear();
+    ++doneCount;
+    ++counters.completed;
+    return true;
+}
+
+bool
+JobQueue::failJob(std::size_t job, std::uint64_t leaseId,
+                  const std::string &error, std::uint64_t now)
+{
+    Job &j = jobs[job];
+    if (j.state != JobState::Leased || j.leaseId != leaseId) {
+        ++counters.staleResults;
+        return false;
+    }
+    ++counters.failures;
+    recordFailure(job, error, /*fromRun=*/true, now);
+    return true;
+}
+
+void
+JobQueue::recordFailure(std::size_t job, const std::string &error,
+                        bool fromRun, std::uint64_t now)
+{
+    Job &j = jobs[job];
+    j.worker.clear();
+    j.lastError = error;
+    if (fromRun)
+        j.lastCellError = error;
+    ++j.attempts;
+    if (j.attempts >= retry.maxAttempts) {
+        j.state = JobState::Quarantined;
+        ++doneCount;
+        ++counters.quarantined;
+        return;
+    }
+    j.state = JobState::Queued;
+    const std::uint64_t delay = backoffDelay(job, j.attempts);
+    j.notBefore =
+        now > UINT64_MAX - delay ? UINT64_MAX : now + delay;
+    ++counters.retries;
+}
+
+std::uint64_t
+JobQueue::nextEligibleAt() const
+{
+    std::uint64_t earliest = UINT64_MAX;
+    for (const Job &j : jobs) {
+        if (j.state == JobState::Queued)
+            earliest = std::min(earliest, j.notBefore);
+    }
+    return earliest;
+}
+
+std::uint64_t
+JobQueue::backoffDelay(std::size_t job, unsigned attempt) const
+{
+    const unsigned shift = attempt > 0 ? attempt - 1 : 0;
+    std::uint64_t base = retry.backoffBase;
+    // Saturating left shift so absurd attempt counts cannot wrap.
+    for (unsigned s = 0; s < shift && base < retry.backoffCap; ++s)
+        base <<= 1;
+    base = std::min(base, retry.backoffCap);
+    // Deterministic jitter: a pure function of (seed, job, attempt),
+    // so two runs of the same chaos plan desynchronize retries the
+    // same way — reproducibility includes the failure schedule.
+    const std::uint64_t jitter =
+        sim::exec::splitmix64(retry.jitterSeed ^
+                              (static_cast<std::uint64_t>(job) << 20) ^
+                              attempt) %
+        retry.backoffBase;
+    return base + jitter;
+}
+
+} // namespace gpucc::svc

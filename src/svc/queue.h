@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Lease-based job queue: the failure-handling heart of the sweep
+ * service.
+ *
+ * Every cell of an expanded sweep is one job walking a small state
+ * machine:
+ *
+ *     Queued --claim--> Leased --complete--> Done
+ *       ^                  |
+ *       |   fail/expire    v        attempts == maxAttempts
+ *       +---(backoff)--- retry ------------------------------> Quarantined
+ *
+ * Failure is policy, not an afterthought: a worker that stops
+ * heartbeating loses its lease (the cell is requeued, not lost), a
+ * cell that fails retries under exponential backoff with
+ * deterministic splitmix64 jitter, and a cell that keeps failing is
+ * *quarantined* — reported in the final results with its last error,
+ * never silently dropped. Results arriving under a stale lease (a
+ * stalled worker waking up after its lease expired and someone else
+ * finished the cell) are counted and discarded, so every cell has
+ * exactly one authoritative outcome.
+ *
+ * Time is an abstract uint64 supplied by the caller: the in-process
+ * engine (service.h) drives it as a virtual tick counter for
+ * deterministic tests, the socket coordinator (coordinator.h) as
+ * CLOCK_MONOTONIC milliseconds. The queue itself never reads a clock,
+ * which is what makes the chaos soak reproducible.
+ */
+
+#ifndef GPUCC_SVC_QUEUE_H
+#define GPUCC_SVC_QUEUE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpucc::svc
+{
+
+/** Retry/lease policy knobs (units: caller's clock — ticks or ms). */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 4;       //!< failures before quarantine
+    std::uint64_t leaseTimeout = 8; //!< heartbeat deadline per lease
+    std::uint64_t backoffBase = 2;  //!< first retry delay
+    std::uint64_t backoffCap = 64;  //!< exponential backoff ceiling
+    std::uint64_t jitterSeed = 0x5eed; //!< splitmix64 jitter key
+};
+
+enum class JobState
+{
+    Queued,      //!< eligible (once notBefore passes)
+    Leased,      //!< held by a worker under a live lease
+    Done,        //!< authoritative completed result stored
+    Quarantined, //!< failed maxAttempts times; reported, never rerun
+};
+
+/** One cell's scheduling state. */
+struct Job
+{
+    JobState state = JobState::Queued;
+    unsigned attempts = 0;          //!< failed attempts so far
+    std::uint64_t notBefore = 0;    //!< backoff eligibility time
+    std::uint64_t leaseId = 0;      //!< current lease (when Leased)
+    std::uint64_t leaseDeadline = 0;
+    std::string worker;             //!< holder of the current lease
+    bool cached = false;            //!< satisfied from the result store
+    /** Last failure from *running* the cell (failJob); lease expiries
+     *  do not overwrite it, so the quarantine report carries the
+     *  deterministic cell error, not scheduling noise. */
+    std::string lastCellError;
+    std::string lastError; //!< most recent failure of any kind
+};
+
+/** A granted lease: which job, under which lease id. */
+struct LeaseGrant
+{
+    std::size_t job = 0;
+    std::uint64_t leaseId = 0;
+};
+
+/** Service counters (the schedule-dependent side channel; these never
+ *  enter the canonical report or the sweep digest). */
+struct QueueStats
+{
+    std::uint64_t leasesGranted = 0;
+    std::uint64_t leasesExpired = 0;
+    std::uint64_t retries = 0;      //!< requeues after fail/expiry
+    std::uint64_t staleResults = 0; //!< results rejected (dead lease)
+    std::uint64_t failures = 0;     //!< failJob calls accepted
+    std::size_t completed = 0;
+    std::size_t quarantined = 0;
+    std::size_t cached = 0; //!< satisfied from the store, never leased
+};
+
+/** Lease/retry/quarantine state machine over @p jobCount cells. */
+class JobQueue
+{
+  public:
+    JobQueue(std::size_t jobCount, RetryPolicy policy);
+
+    /** Mark a job satisfied by a cached store record (resume path). */
+    void markCached(std::size_t job, bool quarantined,
+                    const std::string &error);
+
+    /** Claim the lowest-index eligible job for @p worker at @p now.
+     *  std::nullopt when nothing is eligible (drained, all leased, or
+     *  all backing off). */
+    std::optional<LeaseGrant> claim(const std::string &worker,
+                                    std::uint64_t now);
+
+    /** Extend every live lease held by @p worker to now + timeout. */
+    void heartbeat(const std::string &worker, std::uint64_t now);
+
+    /** Expire leases whose deadline passed: requeue (with backoff) or
+     *  quarantine. @return number of leases expired. */
+    unsigned expire(std::uint64_t now);
+
+    /** Worker connection died: expire its leases immediately (no need
+     *  to wait out the heartbeat deadline we know will never come). */
+    void releaseWorker(const std::string &worker, std::uint64_t now);
+
+    /** Accept a completed result. @return false (stale, discarded)
+     *  when @p leaseId is not the job's live lease. */
+    bool completeJob(std::size_t job, std::uint64_t leaseId);
+
+    /** Accept a failed result: requeue with backoff or quarantine.
+     *  @return false when the lease was stale (failure discarded). */
+    bool failJob(std::size_t job, std::uint64_t leaseId,
+                 const std::string &error, std::uint64_t now);
+
+    /** True when every job is Done or Quarantined. */
+    bool allDone() const { return doneCount == jobs.size(); }
+
+    /** Jobs not yet Done/Quarantined. */
+    std::size_t pending() const { return jobs.size() - doneCount; }
+
+    /** Earliest notBefore among queued jobs (UINT64_MAX when none are
+     *  queued) — lets a caller skip its clock over a backoff gap. */
+    std::uint64_t nextEligibleAt() const;
+
+    const Job &job(std::size_t i) const { return jobs[i]; }
+    std::size_t size() const { return jobs.size(); }
+    const QueueStats &stats() const { return counters; }
+    const RetryPolicy &policy() const { return retry; }
+
+    /** Deterministic backoff delay before retry number @p attempt
+     *  (1-based) of @p job: min(cap, base << (attempt-1)) plus
+     *  splitmix64 jitter in [0, base). Exposed for tests. */
+    std::uint64_t backoffDelay(std::size_t job,
+                               unsigned attempt) const;
+
+  private:
+    /** Shared fail/expire path: retry with backoff or quarantine. */
+    void recordFailure(std::size_t job, const std::string &error,
+                       bool fromRun, std::uint64_t now);
+
+    RetryPolicy retry;
+    std::vector<Job> jobs;
+    std::size_t doneCount = 0;
+    std::uint64_t leaseCounter = 0;
+    QueueStats counters;
+};
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_QUEUE_H

@@ -1,0 +1,353 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/metrics/json_writer.h"
+#include "verify/digest.h"
+
+namespace gpucc::svc
+{
+
+namespace
+{
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One simulated worker of the virtual-clock engine. */
+struct SimWorker
+{
+    std::string name;
+    bool alive = true;
+    bool stalled = false;
+    unsigned claims = 0;
+    std::uint64_t stallUntil = 0;
+    // The result a stalled worker wakes up holding (usually stale by
+    // then: its lease expired and the cell was re-run elsewhere).
+    std::size_t staleJob = 0;
+    std::uint64_t staleLease = 0;
+    CellOutcome staleOutcome;
+};
+
+} // namespace
+
+std::uint64_t
+sweepDigest(const std::vector<obs::LedgerRecord> &records)
+{
+    verify::StateDigest d(0x73766364ULL); // "svcd"
+    for (const obs::LedgerRecord &r : records) {
+        d.u64(r.key());
+        d.str(r.outcome);
+        d.u64(r.digest);
+        for (const auto &[name, v] : r.metrics) {
+            d.str(name);
+            d.f64(v);
+        }
+    }
+    return d.value();
+}
+
+ServiceOutcome
+runService(const SweepSpec &spec, const ServiceConfig &cfg,
+           ResultStore &store)
+{
+    ServiceOutcome out;
+    ServiceStats &stats = out.stats;
+    const std::vector<CellSpec> cells = spec.expand();
+    JobQueue queue(cells.size(), cfg.retry);
+
+    // Resume: cells already in the store (the acked ledger prefix of
+    // an interrupted run, or a previous identical run) are satisfied
+    // without leasing — the delta is all that executes.
+    for (const CellSpec &c : cells) {
+        if (const obs::LedgerRecord *rec = store.find(c))
+            queue.markCached(c.index, rec->outcome == "quarantined",
+                             "");
+    }
+
+    const unsigned workerCount = cfg.workers >= 1 ? cfg.workers : 1;
+    std::vector<SimWorker> workers(workerCount);
+    for (unsigned w = 0; w < workerCount; ++w)
+        workers[w].name = "w" + std::to_string(w);
+    stats.workersSpawned = workerCount;
+
+    const std::size_t appendedBefore = store.appended();
+    const std::size_t skippedBefore = store.skipped();
+    bool halt = false;
+
+    // Persist one final outcome; halting hooks (haltAfterResults and
+    // the torn-write injection) fire on *fresh* appends only.
+    auto persist = [&](std::size_t jobIndex,
+                       const CellOutcome &outcome, bool quarantined) {
+        const obs::LedgerRecord rec =
+            store.makeRecord(cells[jobIndex], outcome, quarantined);
+        if (!store.put(rec))
+            return;
+        const std::size_t fresh = store.appended() - appendedBefore;
+        if (cfg.faults.tornWriteAtAppend != 0 &&
+            fresh == cfg.faults.tornWriteAtAppend &&
+            !store.path().empty()) {
+            // Simulate the coordinator dying inside ::write(): tear
+            // the record just appended and stop the run. A resumed
+            // run must detect the tail, re-run exactly this cell and
+            // still converge to the canonical report.
+            obs::Ledger::tornTruncateForTest(store.path());
+            stats.errors.push_back(
+                "chaos: torn write injected at append " +
+                std::to_string(fresh));
+            halt = true;
+        }
+        if (cfg.haltAfterResults != 0 &&
+            fresh >= cfg.haltAfterResults)
+            halt = true;
+    };
+
+    // Deliver one executed cell's outcome into the queue/store.
+    auto deliver = [&](std::size_t jobIndex, std::uint64_t leaseId,
+                       const CellOutcome &outcome, std::uint64_t now) {
+        if (outcome.outcome == "complete") {
+            if (queue.completeJob(jobIndex, leaseId))
+                persist(jobIndex, outcome, /*quarantined=*/false);
+            return;
+        }
+        if (queue.failJob(jobIndex, leaseId, outcome.error, now) &&
+            queue.job(jobIndex).state == JobState::Quarantined)
+            persist(jobIndex, outcome, /*quarantined=*/true);
+    };
+
+    std::uint64_t tick = 0;
+    while (!queue.allDone() && !halt) {
+        if (tick > cfg.maxTicks) {
+            stats.errors.push_back(
+                "engine exceeded maxTicks=" +
+                std::to_string(cfg.maxTicks) +
+                " — scheduling bug, aborting");
+            break;
+        }
+        queue.expire(tick);
+        bool anyAlive = false;
+        bool progressed = false;
+        for (unsigned w = 0; w < workerCount && !halt; ++w) {
+            SimWorker &sw = workers[w];
+            if (!sw.alive)
+                continue;
+            anyAlive = true;
+            if (sw.stalled) {
+                if (tick < sw.stallUntil)
+                    continue; // silent: no heartbeat, no claims
+                sw.stalled = false;
+                progressed = true;
+                // Wake up and submit; with a stall longer than the
+                // lease this is a stale result and is discarded.
+                if (queue.completeJob(sw.staleJob, sw.staleLease))
+                    persist(sw.staleJob, sw.staleOutcome,
+                            /*quarantined=*/false);
+                continue;
+            }
+            queue.heartbeat(sw.name, tick);
+            auto grant = queue.claim(sw.name, tick);
+            if (!grant)
+                continue;
+            progressed = true;
+            ++sw.claims;
+            const WorkerFault *fault = cfg.faults.forWorker(w);
+            if (fault != nullptr && fault->killAtClaim == sw.claims) {
+                // Death mid-cell: the lease dangles until expiry.
+                sw.alive = false;
+                ++stats.workersDied;
+                continue;
+            }
+            const CellOutcome outcome = runCell(cells[grant->job]);
+            ++stats.cellsRun;
+            if (fault != nullptr &&
+                fault->stallAtClaim == sw.claims) {
+                sw.stalled = true;
+                sw.stallUntil = tick + fault->stallFor;
+                sw.staleJob = grant->job;
+                sw.staleLease = grant->leaseId;
+                sw.staleOutcome = outcome;
+                continue;
+            }
+            deliver(grant->job, grant->leaseId, outcome, tick);
+        }
+        if (!anyAlive)
+            break; // every worker dead -> degraded completion below
+        ++tick;
+        if (!progressed && !queue.allDone() && !halt) {
+            // Nothing runnable this tick: skip the clock to the next
+            // event (backoff expiry, lease deadline or stall wakeup)
+            // instead of spinning one tick at a time.
+            std::uint64_t next = queue.nextEligibleAt();
+            for (std::size_t i = 0; i < queue.size(); ++i) {
+                const Job &j = queue.job(i);
+                if (j.state == JobState::Leased)
+                    next = std::min(next, j.leaseDeadline + 1);
+            }
+            for (const SimWorker &sw : workers) {
+                if (sw.alive && sw.stalled)
+                    next = std::min(next, sw.stallUntil);
+            }
+            if (next != UINT64_MAX && next > tick)
+                tick = next;
+        }
+    }
+
+    if (!queue.allDone() && !halt) {
+        // Graceful degradation: every worker died. The coordinator
+        // reclaims the dangling leases and finishes the remaining
+        // cells in-process — slower, but the sweep completes and the
+        // report says so via the degraded flag.
+        stats.degraded = true;
+        queue.expire(UINT64_MAX);
+        while (!queue.allDone() && !halt) {
+            auto grant = queue.claim("coordinator", UINT64_MAX);
+            if (!grant)
+                break; // defensive: should not happen at now=MAX
+            const CellOutcome outcome = runCell(cells[grant->job]);
+            ++stats.cellsRun;
+            deliver(grant->job, grant->leaseId, outcome, UINT64_MAX);
+        }
+    }
+
+    stats.halted = halt;
+    stats.finalTick = tick;
+    stats.storeAppended = store.appended() - appendedBefore;
+    stats.storeSkipped = store.skipped() - skippedBefore;
+    collectOutcome(spec, queue, store, out);
+    return out;
+}
+
+void
+collectOutcome(const SweepSpec &spec, const JobQueue &queue,
+               ResultStore &store, ServiceOutcome &out)
+{
+    ServiceStats &stats = out.stats;
+    stats.queue = queue.stats();
+    for (const std::string &e : store.errors())
+        stats.errors.push_back(e);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Job &j = queue.job(i);
+        if (j.state == JobState::Quarantined) {
+            const std::string &why = !j.lastCellError.empty()
+                                         ? j.lastCellError
+                                         : j.lastError;
+            stats.quarantineLog.push_back(
+                "cell " + std::to_string(i) + ": " +
+                (j.cached ? "quarantined in a previous run" : why));
+        }
+    }
+    const std::vector<CellSpec> cells = spec.expand();
+    out.records.clear();
+    out.records.resize(cells.size());
+    out.missing.clear();
+    for (const CellSpec &c : cells) {
+        if (const obs::LedgerRecord *rec = store.find(c))
+            out.records[c.index] = *rec;
+        else
+            out.missing.push_back(c.index);
+    }
+    out.digest =
+        out.missing.empty() ? sweepDigest(out.records) : 0;
+}
+
+void
+writeCanonicalReport(const SweepSpec &spec,
+                     const ServiceOutcome &outcome, std::ostream &os)
+{
+    const std::vector<CellSpec> cells = spec.expand();
+    metrics::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("sweep", spec.name);
+    w.field("seed_base", spec.seedBase);
+    w.field("seeds_per_cell", spec.seedsPerCell);
+    w.field("cell_count", static_cast<std::uint64_t>(cells.size()));
+    w.beginArray("cells");
+    for (const CellSpec &c : cells) {
+        const bool missing =
+            c.index < outcome.records.size() &&
+            outcome.records[c.index].scenario.empty();
+        w.beginObject();
+        w.field("index", static_cast<std::uint64_t>(c.index));
+        w.field("scenario", c.scenario);
+        w.field("arch", c.arch);
+        w.field("plan", c.plan);
+        w.field("config", c.config);
+        w.field("seed", hex64(c.seed));
+        if (missing) {
+            w.field("outcome", "missing");
+        } else {
+            const obs::LedgerRecord &r = outcome.records[c.index];
+            w.field("key", hex64(r.key()));
+            w.field("outcome", r.outcome);
+            w.field("digest", hex64(r.digest));
+            w.beginObject("metrics");
+            for (const auto &[name, v] : r.metrics)
+                w.field(name, v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("quarantined");
+    for (const obs::LedgerRecord &r : outcome.records) {
+        if (r.outcome == "quarantined")
+            w.value(hex64(r.key()));
+    }
+    w.endArray();
+    w.beginArray("missing");
+    for (std::size_t i : outcome.missing)
+        w.value(static_cast<std::uint64_t>(i));
+    w.endArray();
+    w.field("sweep_digest", hex64(outcome.digest));
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeServiceStats(const ServiceOutcome &outcome, std::ostream &os)
+{
+    const ServiceStats &s = outcome.stats;
+    metrics::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("degraded", s.degraded);
+    w.field("halted", s.halted);
+    w.field("workers_spawned", s.workersSpawned);
+    w.field("workers_died", s.workersDied);
+    w.field("cells_run", static_cast<std::uint64_t>(s.cellsRun));
+    w.field("final_tick", s.finalTick);
+    w.beginObject("queue");
+    w.field("leases_granted", s.queue.leasesGranted);
+    w.field("leases_expired", s.queue.leasesExpired);
+    w.field("retries", s.queue.retries);
+    w.field("stale_results", s.queue.staleResults);
+    w.field("failures", s.queue.failures);
+    w.field("completed", static_cast<std::uint64_t>(s.queue.completed));
+    w.field("quarantined",
+            static_cast<std::uint64_t>(s.queue.quarantined));
+    w.field("cached", static_cast<std::uint64_t>(s.queue.cached));
+    w.endObject();
+    w.beginObject("store");
+    w.field("appended", static_cast<std::uint64_t>(s.storeAppended));
+    w.field("skipped", static_cast<std::uint64_t>(s.storeSkipped));
+    w.endObject();
+    w.beginArray("quarantine_log");
+    for (const std::string &line : s.quarantineLog)
+        w.value(line);
+    w.endArray();
+    w.beginArray("errors");
+    for (const std::string &e : s.errors)
+        w.value(e);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace gpucc::svc

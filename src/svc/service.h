@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic sweep-service engine and the canonical report.
+ *
+ * runService() drives the lease queue with a *virtual* clock and
+ * simulated workers on the calling thread: claims, heartbeats, kills,
+ * stalls and lease expiries all happen at integer ticks, so a chaos
+ * plan replays bit-for-bit. The same engine is the coordinator's
+ * degraded mode (all real workers dead -> finish in-process) and the
+ * conformance scenario's subject.
+ *
+ * The determinism contract that makes chaos testing meaningful:
+ * every cell result is a pure function of (scenario, arch, plan,
+ * config, seed), and the canonical report is rendered from the
+ * content-addressed store in cell-index order. Scheduling history —
+ * who ran what, how many leases expired, which cells retried — is
+ * real observability data but lives in a *separate* stats document.
+ * Hence: cold run, chaos run, and kill-resume-finish run of the same
+ * spec produce byte-identical canonical reports and equal sweep
+ * digests, which verify/ and CI pin.
+ */
+
+#ifndef GPUCC_SVC_SERVICE_H
+#define GPUCC_SVC_SERVICE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "svc/chaos.h"
+#include "svc/queue.h"
+#include "svc/spec.h"
+#include "svc/store.h"
+
+namespace gpucc::svc
+{
+
+/** Knobs of one in-process service run. */
+struct ServiceConfig
+{
+    unsigned workers = 2;
+    RetryPolicy retry;
+    ProcessFaultPlan faults;
+    /** Test hook simulating a coordinator crash: stop the engine
+     *  after this many results have been persisted (0 = run to
+     *  completion). The store then holds the acked prefix a resumed
+     *  run continues from. */
+    std::size_t haltAfterResults = 0;
+    /** Safety net: abort (degraded, with an error) if the virtual
+     *  clock passes this tick — a scheduling bug must fail tests,
+     *  not hang CI. */
+    std::uint64_t maxTicks = 1u << 20;
+};
+
+/** Schedule-dependent counters of one run (side channel; excluded
+ *  from the canonical report and the sweep digest). */
+struct ServiceStats
+{
+    QueueStats queue;
+    bool degraded = false; //!< finished in-process after worker loss
+    bool halted = false;   //!< stopped early by haltAfterResults
+    unsigned workersSpawned = 0;
+    unsigned workersDied = 0;
+    std::size_t cellsRun = 0;      //!< runCell invocations
+    std::size_t storeAppended = 0; //!< new records persisted
+    std::size_t storeSkipped = 0;  //!< dedup hits (resume/cache)
+    std::uint64_t finalTick = 0;
+    std::vector<std::string> errors; //!< store faults, engine aborts
+    /** Per-quarantined-cell "index: last error" lines. */
+    std::vector<std::string> quarantineLog;
+};
+
+/** Everything one service run produced. */
+struct ServiceOutcome
+{
+    /** Final records in cell-index order; for a halted run, cells
+     *  without a persisted outcome are absent from the store and
+     *  listed in missing. */
+    std::vector<obs::LedgerRecord> records;
+    std::vector<std::size_t> missing;
+    std::uint64_t digest = 0; //!< sweepDigest() (0 while halted)
+    ServiceStats stats;
+};
+
+/** Run @p spec through the virtual-clock engine against @p store. */
+ServiceOutcome runService(const SweepSpec &spec,
+                          const ServiceConfig &cfg, ResultStore &store);
+
+/** Shared epilogue of the engine and the process coordinator: pull
+ *  final records out of @p store in cell-index order, list missing
+ *  cells, compute the sweep digest (complete runs only) and assemble
+ *  the quarantine log + queue counters into @p out.stats. */
+void collectOutcome(const SweepSpec &spec, const JobQueue &queue,
+                    ResultStore &store, ServiceOutcome &out);
+
+/** Order-sensitive digest over final records in cell-index order:
+ *  (key, outcome, digest, metrics) per cell. The single number CI
+ *  compares between cold, chaos and resumed runs. */
+std::uint64_t sweepDigest(const std::vector<obs::LedgerRecord> &records);
+
+/** Render the canonical report: spec + per-cell final records +
+ *  quarantined indices + sweep digest. Pure function of the store
+ *  contents — byte-identical across schedules. */
+void writeCanonicalReport(const SweepSpec &spec,
+                          const ServiceOutcome &outcome,
+                          std::ostream &os);
+
+/** Render the schedule-dependent service stats document. */
+void writeServiceStats(const ServiceOutcome &outcome, std::ostream &os);
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_SERVICE_H

@@ -1,0 +1,250 @@
+#include "svc/spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/metrics/json_writer.h"
+#include "gpu/arch_params.h"
+#include "obs/profiler.h"
+#include "sim/exec/sweep_runner.h"
+#include "verify/json.h"
+#include "verify/scenarios.h"
+
+namespace gpucc::svc
+{
+
+namespace
+{
+
+/** Look up a modeled architecture by generation name. */
+const gpu::ArchParams *
+archByName(const std::string &name)
+{
+    static const std::vector<gpu::ArchParams> all =
+        gpu::allArchitectures();
+    for (const auto &a : all) {
+        if (gpu::generationName(a.generation) == name)
+            return &a;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+unsigned
+configValue(const std::string &config, const std::string &key,
+            unsigned fallback)
+{
+    // "key=value" entries separated by ';'; first match wins.
+    std::size_t pos = 0;
+    while (pos < config.size()) {
+        std::size_t end = config.find(';', pos);
+        if (end == std::string::npos)
+            end = config.size();
+        const std::string entry = config.substr(pos, end - pos);
+        pos = end + 1;
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos ||
+            entry.substr(0, eq) != key)
+            continue;
+        const std::string val = entry.substr(eq + 1);
+        char *strEnd = nullptr;
+        const unsigned long v =
+            std::strtoul(val.c_str(), &strEnd, 10);
+        if (strEnd == val.c_str() || *strEnd != '\0')
+            return fallback;
+        return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+std::vector<CellSpec>
+SweepSpec::expand() const
+{
+    std::vector<CellSpec> cells;
+    for (const CellKind &k : kinds) {
+        for (const std::string &arch : archs) {
+            for (unsigned s = 0; s < seedsPerCell; ++s) {
+                CellSpec c;
+                c.index = cells.size();
+                c.scenario = k.scenario;
+                c.arch = arch;
+                c.plan = k.plan;
+                c.config = k.config;
+                c.seed = sim::exec::deriveSeed(seedBase, c.index);
+                cells.push_back(std::move(c));
+            }
+        }
+    }
+    return cells;
+}
+
+std::string
+SweepSpec::toJson() const
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("name", name);
+    w.field("seed_base", seedBase);
+    w.field("seeds_per_cell", seedsPerCell);
+    w.beginArray("archs");
+    for (const std::string &a : archs)
+        w.value(a);
+    w.endArray();
+    w.beginArray("cells");
+    for (const CellKind &k : kinds) {
+        w.beginObject();
+        w.field("scenario", k.scenario);
+        w.field("plan", k.plan);
+        w.field("config", k.config);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+bool
+SweepSpec::parse(const std::string &text, SweepSpec &out,
+                 std::string &error)
+{
+    verify::JsonParseResult p = verify::parseJson(text);
+    if (!p.ok) {
+        error = p.error;
+        return false;
+    }
+    const verify::JsonValue &v = p.value;
+    if (!v.isObject()) {
+        error = "sweep spec is not a JSON object";
+        return false;
+    }
+    out = SweepSpec{};
+    out.name = v.stringOr("name", "sweep");
+    out.seedBase =
+        static_cast<std::uint64_t>(v.numberOr("seed_base", 2017));
+    const double spc = v.numberOr("seeds_per_cell", 1);
+    if (spc < 1 || spc > 4096) {
+        error = "seeds_per_cell out of range [1, 4096]";
+        return false;
+    }
+    out.seedsPerCell = static_cast<unsigned>(spc);
+    const verify::JsonValue &archs = v.get("archs");
+    if (!archs.isArray() || archs.items.empty()) {
+        error = "missing or empty \"archs\" array";
+        return false;
+    }
+    for (const auto &a : archs.items) {
+        if (!a.isString()) {
+            error = "\"archs\" entries must be strings";
+            return false;
+        }
+        out.archs.push_back(a.text);
+    }
+    const verify::JsonValue &cells = v.get("cells");
+    if (!cells.isArray() || cells.items.empty()) {
+        error = "missing or empty \"cells\" array";
+        return false;
+    }
+    for (const auto &c : cells.items) {
+        if (!c.isObject() || c.stringOr("scenario", "").empty()) {
+            error = "every \"cells\" entry needs a \"scenario\"";
+            return false;
+        }
+        CellKind k;
+        k.scenario = c.stringOr("scenario", "");
+        k.plan = c.stringOr("plan", "");
+        k.config = c.stringOr("config", "");
+        out.kinds.push_back(std::move(k));
+    }
+    return true;
+}
+
+CellOutcome
+runCell(const CellSpec &cell)
+{
+    CellOutcome out;
+    try {
+        if (cell.scenario == "flaky" || cell.scenario == "broken") {
+            // Test kinds: deterministic per-cell failure so retry,
+            // quarantine and byte-identity paths are exercisable
+            // without a real measurement in the loop.
+            const unsigned num = configValue(cell.config, "fail", 1);
+            const unsigned den =
+                std::max(1u, configValue(cell.config, "den", 1));
+            const bool fails =
+                cell.scenario == "broken" ||
+                sim::exec::splitmix64(cell.seed) % den < num;
+            if (fails)
+                throw std::runtime_error(
+                    "injected cell failure (" + cell.scenario +
+                    ", cell " + std::to_string(cell.index) + ")");
+            out.outcome = "complete";
+            out.metrics["ok"] = 1.0;
+            return out;
+        }
+        const gpu::ArchParams *arch = archByName(cell.arch);
+        if (arch == nullptr)
+            throw std::runtime_error("unknown architecture '" +
+                                     cell.arch + "'");
+        if (cell.scenario == "l1_baseline") {
+            const unsigned bits =
+                configValue(cell.config, "bits", 24);
+            auto m = verify::measureL1Baseline(*arch, bits);
+            out.outcome = "complete";
+            out.metrics["bps"] = m.bps;
+            out.metrics["error_rate"] = m.errorRate;
+            out.metrics["error_free"] = m.errorFree ? 1.0 : 0.0;
+        } else if (cell.scenario == "session") {
+            const unsigned payloadBits =
+                configValue(cell.config, "payload", 96);
+            const std::string plan =
+                cell.plan.empty() ? "quiet" : cell.plan;
+            auto m = verify::measureSessionOverPlan(
+                *arch, plan, cell.seed,
+                verify::scenarioPayload(payloadBits, cell.seed));
+            out.outcome = m.complete ? "complete" : "error";
+            if (!m.complete)
+                out.error = "session did not complete delivery";
+            out.digest = m.deviceDigest;
+            out.metrics["goodput_bps"] = m.goodputBps;
+            out.metrics["residual_ber"] = m.residualBer;
+            out.metrics["resyncs"] = m.resyncs;
+            out.metrics["recalibrations"] = m.recalibrations;
+            out.metrics["evictions"] = m.evictions;
+        } else {
+            throw std::runtime_error("unknown scenario kind '" +
+                                     cell.scenario + "'");
+        }
+    } catch (const std::exception &e) {
+        out = CellOutcome{};
+        out.outcome = "error";
+        out.error = e.what();
+    } catch (...) {
+        out = CellOutcome{};
+        out.outcome = "error";
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+SweepSpec
+builtinSoakSpec(bool withBroken)
+{
+    SweepSpec spec;
+    spec.name = withBroken ? "soak_chaos" : "soak";
+    spec.seedBase = 2017;
+    spec.seedsPerCell = 2;
+    for (const auto &a : gpu::allArchitectures())
+        spec.archs.push_back(gpu::generationName(a.generation));
+    spec.kinds.push_back({"l1_baseline", "", "bits=24"});
+    spec.kinds.push_back({"session", "quiet", "payload=96"});
+    spec.kinds.push_back({"session", "eviction", "payload=96"});
+    if (withBroken)
+        spec.kinds.push_back({"broken", "", ""});
+    return spec;
+}
+
+} // namespace gpucc::svc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Sweep specifications for the fault-tolerant sweep service.
+ *
+ * A SweepSpec names a grid of cells: (scenario kind x architecture x
+ * plan x seed repeat). Expansion is a pure function — cell index i
+ * always denotes the same (scenario, arch, plan, config, seed) point,
+ * and the per-cell seed is deriveSeed(seedBase, i) — so a coordinator
+ * that crashes and resumes, or shards the grid across workers in any
+ * order, still runs exactly the same cells. runCell() executes one
+ * cell through the existing measurement machinery (scenarios.h) and
+ * never throws: a failing cell reports outcome "error" with the
+ * exception text, which is what lets the service retry or quarantine
+ * it instead of dying with it.
+ */
+
+#ifndef GPUCC_SVC_SPEC_H
+#define GPUCC_SVC_SPEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpucc::svc
+{
+
+/** One fully-resolved sweep cell: the unit of distribution. */
+struct CellSpec
+{
+    std::size_t index = 0;  //!< position in the expanded grid
+    std::string scenario;   //!< cell kind ("l1_baseline", "session", ...)
+    std::string arch;       //!< generation name ("Kepler", ...)
+    std::string plan;       //!< fault plan for session cells ("" = none)
+    std::string config;     //!< "key=value;key=value" knobs
+    std::uint64_t seed = 0; //!< deriveSeed(spec.seedBase, index)
+};
+
+/** One row of a sweep grid: a scenario kind with its plan/config. */
+struct CellKind
+{
+    std::string scenario;
+    std::string plan;
+    std::string config;
+};
+
+/** A sweep specification: rows x architectures x seed repeats. */
+struct SweepSpec
+{
+    std::string name = "sweep";
+    std::uint64_t seedBase = 2017;
+    unsigned seedsPerCell = 1;
+    std::vector<std::string> archs; //!< generation names
+    std::vector<CellKind> kinds;
+
+    /** Expand into the flat, index-stable cell list (kind-major,
+     *  then arch, then seed repeat). */
+    std::vector<CellSpec> expand() const;
+
+    /** Parse from JSON text (see docs/DESIGN.md section 10 for the
+     *  schema). @return false with @p error set on malformed input. */
+    static bool parse(const std::string &text, SweepSpec &out,
+                      std::string &error);
+    /** Serialize to JSON (round-trips through parse()). */
+    std::string toJson() const;
+};
+
+/** What one executed cell produced. */
+struct CellOutcome
+{
+    std::string outcome;      //!< "complete" or "error"
+    std::string error;        //!< exception text when outcome=="error"
+    std::uint64_t digest = 0; //!< device digest (session cells)
+    std::map<std::string, double> metrics;
+};
+
+/**
+ * Execute one cell on the calling thread. Dispatches on
+ * cell.scenario:
+ *  - "l1_baseline": measureL1Baseline (config "bits=N", default 24)
+ *  - "session": measureSessionOverPlan (config "payload=N" bits,
+ *    default 96; plan "" runs as "quiet")
+ *  - "flaky": test kind — throws (caught into outcome "error") when
+ *    splitmix64(seed) % den < num for config "fail=num/den", so a
+ *    given cell fails deterministically or succeeds deterministically
+ *  - "broken": test kind — always throws (drives quarantine paths)
+ * Unknown scenarios and unknown architectures report outcome "error".
+ * Never throws.
+ */
+CellOutcome runCell(const CellSpec &cell);
+
+/** Parse "key=value;key=value" config strings; @p fallback when the
+ *  key is absent or malformed. */
+unsigned configValue(const std::string &config, const std::string &key,
+                     unsigned fallback);
+
+/** The small built-in spec CI and the soak harness sweep: every
+ *  architecture, an L1 baseline row, two session rows, and (when
+ *  @p withBroken) one always-failing row to exercise quarantine. */
+SweepSpec builtinSoakSpec(bool withBroken);
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_SPEC_H

@@ -1,0 +1,101 @@
+#include "svc/store.h"
+
+namespace gpucc::svc
+{
+
+ResultStore::ResultStore(std::string path, std::string rev)
+    : ledgerPath(std::move(path)), revision(std::move(rev))
+{
+    if (ledgerPath.empty())
+        return; // memory-only store
+    // Load existing records first (the ledger handle indexes only
+    // keys; resume needs the full payloads back).
+    obs::LedgerLoadResult loaded = obs::Ledger::load(ledgerPath);
+    for (obs::LedgerRecord &r : loaded.records) {
+        const std::uint64_t k = r.key();
+        cache.emplace(k, std::move(r));
+    }
+    loadedCount = loaded.records.size();
+    tornAtOpen = loaded.tornTail;
+    for (std::string &e : loaded.errors)
+        errorList.push_back(std::move(e));
+    ledger = std::make_unique<obs::Ledger>(ledgerPath);
+}
+
+std::uint64_t
+ResultStore::keyFor(const CellSpec &cell) const
+{
+    obs::LedgerRecord r;
+    r.scenario = cell.scenario;
+    r.arch = cell.arch;
+    r.plan = cell.plan;
+    r.config = cell.config;
+    r.seed = cell.seed;
+    r.gitDescribe = revision;
+    return r.key();
+}
+
+const obs::LedgerRecord *
+ResultStore::find(const CellSpec &cell) const
+{
+    auto it = cache.find(keyFor(cell));
+    return it == cache.end() ? nullptr : &it->second;
+}
+
+obs::LedgerRecord
+ResultStore::makeRecord(const CellSpec &cell,
+                        const CellOutcome &outcome,
+                        bool quarantined) const
+{
+    obs::LedgerRecord r;
+    r.scenario = cell.scenario;
+    r.arch = cell.arch;
+    r.plan = cell.plan;
+    r.config = cell.config;
+    r.seed = cell.seed;
+    r.gitDescribe = revision;
+    if (quarantined) {
+        // Deliberately a pure function of the cell identity: attempt
+        // counts and error texts are scheduling history (a chaos run
+        // reaches quarantine by a different path than a cold run) and
+        // live in the service-stats side channel, so cold, chaos and
+        // resumed runs all file byte-identical records.
+        r.outcome = "quarantined";
+        r.metrics["quarantined"] = 1.0;
+    } else {
+        r.outcome = outcome.outcome;
+        r.digest = outcome.digest;
+        r.metrics = outcome.metrics;
+    }
+    return r;
+}
+
+bool
+ResultStore::put(const obs::LedgerRecord &record)
+{
+    const std::uint64_t k = record.key();
+    if (cache.count(k) != 0) {
+        ++skippedCount;
+        if (ledger)
+            ledger->append(record); // counts its own dedup skip
+        return false;
+    }
+    if (ledger) {
+        const std::size_t errBefore = ledger->loadErrors().size();
+        if (!ledger->append(record)) {
+            // Key was new in our cache, so this is a write failure,
+            // not dedup — surface it and keep the record out of the
+            // cache (the run will report the cell as missing rather
+            // than pretend it was persisted).
+            for (std::size_t i = errBefore;
+                 i < ledger->loadErrors().size(); ++i)
+                errorList.push_back(ledger->loadErrors()[i]);
+            return false;
+        }
+    }
+    cache.emplace(k, record);
+    ++appendedCount;
+    return true;
+}
+
+} // namespace gpucc::svc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Content-addressed result store: obs::Ledger grown into the sweep
+ * service's crash-consistent memory.
+ *
+ * Each cell's *final* outcome — "complete" or "quarantined", never a
+ * transient error — is one ledger record keyed by the cell's identity
+ * hash (scenario, arch, plan, config, seed, revision). Persisting
+ * only final outcomes is what makes retry and dedup compose: a
+ * transient failure never occupies a key that a later successful
+ * attempt needs, re-running an unchanged spec appends zero bytes, and
+ * an interrupted run resumes by skipping exactly the cells whose keys
+ * are already on disk (the acked ledger prefix).
+ *
+ * Crash consistency is inherited from the ledger: per-line CRCs and
+ * torn-tail repair mean a worker or coordinator killed mid-write
+ * leaves a detectable (and reported) fragment, never corrupt data.
+ *
+ * A store opened with an empty path is memory-only: same dedup and
+ * lookup semantics, no file — conformance scenarios use it to compare
+ * cold and chaos runs without touching disk.
+ */
+
+#ifndef GPUCC_SVC_STORE_H
+#define GPUCC_SVC_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "svc/spec.h"
+
+namespace gpucc::svc
+{
+
+/** Ledger-backed (or memory-only) content-addressed cell results. */
+class ResultStore
+{
+  public:
+    /**
+     * @param ledgerPath JSONL ledger file ("" = memory-only store).
+     * @param revision Identity revision folded into every key; a run
+     *        pins one so resumed runs address the same cells.
+     */
+    ResultStore(std::string ledgerPath, std::string revision);
+
+    /** Identity key the store files @p cell under. */
+    std::uint64_t keyFor(const CellSpec &cell) const;
+
+    /** Cached record for @p cell, or nullptr when never completed. */
+    const obs::LedgerRecord *find(const CellSpec &cell) const;
+
+    /** Build the ledger record for one finished cell. Quarantined
+     *  cells file outcome "quarantined" with no attempt history: the
+     *  record is a pure function of the cell identity, so cold,
+     *  chaos and resumed runs produce byte-identical records (error
+     *  texts and attempt counts stay in the service stats). */
+    obs::LedgerRecord makeRecord(const CellSpec &cell,
+                                 const CellOutcome &outcome,
+                                 bool quarantined) const;
+
+    /** Persist one final record. @return true when it was new (false:
+     *  dedup hit or write failure — write failures are in errors()). */
+    bool put(const obs::LedgerRecord &record);
+
+    /** Records newly appended through this handle. */
+    std::size_t appended() const { return appendedCount; }
+    /** put() calls skipped because the key already existed. */
+    std::size_t skipped() const { return skippedCount; }
+    /** Records already present when the store was opened. */
+    std::size_t preexisting() const { return loadedCount; }
+
+    /** True when the backing file ended in a torn write (repair is
+     *  applied on the next append; the fragment stays reported). */
+    bool openedTorn() const { return tornAtOpen; }
+
+    /** Load-time and I/O errors (torn tails, CRC mismatches, ...). */
+    const std::vector<std::string> &errors() const { return errorList; }
+
+    const std::string &revisionTag() const { return revision; }
+    const std::string &path() const { return ledgerPath; }
+
+  private:
+    std::string ledgerPath;
+    std::string revision;
+    std::unique_ptr<obs::Ledger> ledger; //!< null for memory-only
+    std::map<std::uint64_t, obs::LedgerRecord> cache;
+    std::vector<std::string> errorList;
+    std::size_t appendedCount = 0;
+    std::size_t skippedCount = 0;
+    std::size_t loadedCount = 0;
+    bool tornAtOpen = false;
+};
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_STORE_H

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * gpucc_sweepd: fault-tolerant distributed sweep coordinator CLI.
+ *
+ * Runs a sweep spec either through real gpucc_worker processes over a
+ * Unix-domain socket (--workers N --worker-bin PATH) or through the
+ * deterministic in-process engine (--in-process), against a crash-
+ * consistent content-addressed ledger, and writes the canonical
+ * report (byte-identical across schedules, kills and resumes) plus
+ * the schedule-dependent service stats.
+ *
+ * Exit codes: 0 sweep complete (every cell completed or explicitly
+ * quarantined), 2 usage/spec error, 3 interrupted (--halt-after) —
+ * resume by re-running with the same --ledger, 4 incomplete (cells
+ * missing despite a finished run: store write failures).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/log.h"
+#include "svc/coordinator.h"
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: gpucc_sweepd [options]\n"
+          "\n"
+          "Sweep input:\n"
+          "  --spec PATH        sweep spec JSON (see DESIGN.md "
+          "section 10)\n"
+          "  --builtin          use the built-in soak spec\n"
+          "  --with-broken      add the always-failing quarantine "
+          "row\n"
+          "\n"
+          "Results:\n"
+          "  --ledger PATH      content-addressed result ledger "
+          "(JSONL);\n"
+          "                     resumes/dedups against its contents\n"
+          "  --report PATH      canonical report (default stdout)\n"
+          "  --stats PATH       service stats JSON (schedule-"
+          "dependent)\n"
+          "  --spool PATH       write the queue manifest (JSONL)\n"
+          "  --rev STR          revision tag for record keys "
+          "(default \"svc\")\n"
+          "\n"
+          "Execution:\n"
+          "  --in-process       deterministic virtual-clock engine\n"
+          "  --workers N        worker processes (default 2)\n"
+          "  --worker-bin PATH  gpucc_worker executable\n"
+          "  --socket PATH      Unix-domain socket address\n"
+          "  --lease-ms N       lease/heartbeat timeout (default "
+          "2000)\n"
+          "  --max-attempts N   failures before quarantine (default "
+          "4)\n"
+          "  --fault PLAN       chaos plan, e.g. "
+          "\"w0:kill@3,w1:stall@2x400\"\n"
+          "  --halt-after N     stop after N new results (crash "
+          "simulation;\n"
+          "                     in-process engine only)\n";
+}
+
+bool
+needValue(int argc, int i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::cerr << "gpucc_sweepd: " << flag << " needs a value\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gpucc;
+    svc::CoordinatorConfig cfg;
+    std::string specPath, ledgerPath, reportPath, statsPath;
+    std::string rev = "svc";
+    std::string faultText;
+    bool builtin = false;
+    bool withBroken = false;
+    bool inProcess = false;
+    std::size_t haltAfter = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "-h") || !std::strcmp(a, "--help")) {
+            usage(std::cout);
+            return 0;
+        } else if (!std::strcmp(a, "--spec")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            specPath = argv[++i];
+        } else if (!std::strcmp(a, "--builtin")) {
+            builtin = true;
+        } else if (!std::strcmp(a, "--with-broken")) {
+            withBroken = true;
+        } else if (!std::strcmp(a, "--ledger")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            ledgerPath = argv[++i];
+        } else if (!std::strcmp(a, "--report")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            reportPath = argv[++i];
+        } else if (!std::strcmp(a, "--stats")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            statsPath = argv[++i];
+        } else if (!std::strcmp(a, "--spool")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            cfg.spoolPath = argv[++i];
+        } else if (!std::strcmp(a, "--rev")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            rev = argv[++i];
+        } else if (!std::strcmp(a, "--in-process")) {
+            inProcess = true;
+        } else if (!std::strcmp(a, "--workers")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            cfg.workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(a, "--worker-bin")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            cfg.workerBin = argv[++i];
+        } else if (!std::strcmp(a, "--socket")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            cfg.socketPath = argv[++i];
+        } else if (!std::strcmp(a, "--lease-ms")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            cfg.retry.leaseTimeout =
+                std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(a, "--max-attempts")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            cfg.retry.maxAttempts = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(a, "--fault")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            faultText = argv[++i];
+        } else if (!std::strcmp(a, "--halt-after")) {
+            if (!needValue(argc, i, a))
+                return 2;
+            haltAfter = std::strtoull(argv[++i], nullptr, 0);
+        } else {
+            std::cerr << "gpucc_sweepd: unknown option " << a << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    std::string err;
+    if (!faultText.empty() &&
+        !svc::ProcessFaultPlan::parse(faultText, cfg.faults, err)) {
+        std::cerr << "gpucc_sweepd: --fault " << err << "\n";
+        return 2;
+    }
+
+    svc::SweepSpec spec;
+    if (builtin && specPath.empty()) {
+        spec = svc::builtinSoakSpec(withBroken);
+    } else if (!specPath.empty() && !builtin) {
+        std::ifstream is(specPath);
+        if (!is.good()) {
+            std::cerr << "gpucc_sweepd: cannot read " << specPath
+                      << "\n";
+            return 2;
+        }
+        std::stringstream ss;
+        ss << is.rdbuf();
+        if (!svc::SweepSpec::parse(ss.str(), spec, err)) {
+            std::cerr << "gpucc_sweepd: " << specPath << ": " << err
+                      << "\n";
+            return 2;
+        }
+    } else {
+        std::cerr << "gpucc_sweepd: need exactly one of --spec or "
+                     "--builtin\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    setVerbose(false);
+    svc::ResultStore store(ledgerPath, rev);
+    svc::ServiceOutcome outcome;
+    if (inProcess || cfg.workers == 0) {
+        svc::ServiceConfig sc;
+        sc.workers = cfg.workers != 0 ? cfg.workers : 2;
+        sc.faults = cfg.faults;
+        sc.haltAfterResults = haltAfter;
+        outcome = svc::runService(spec, sc, store);
+    } else {
+        if (haltAfter != 0) {
+            std::cerr << "gpucc_sweepd: --halt-after needs "
+                         "--in-process\n";
+            return 2;
+        }
+        outcome = svc::runCoordinator(spec, cfg, store);
+    }
+
+    // A halted (crash-simulated) run must not publish a canonical
+    // report: the resumed run writes it once the sweep is whole.
+    if (!outcome.stats.halted) {
+        if (reportPath.empty()) {
+            svc::writeCanonicalReport(spec, outcome, std::cout);
+        } else {
+            const std::string tmp = reportPath + ".tmp";
+            std::ofstream os(tmp, std::ios::binary);
+            svc::writeCanonicalReport(spec, outcome, os);
+            os.close();
+            if (!os.good() ||
+                std::rename(tmp.c_str(), reportPath.c_str()) != 0) {
+                std::cerr << "gpucc_sweepd: cannot write "
+                          << reportPath << "\n";
+                return 4;
+            }
+        }
+    }
+    if (!statsPath.empty()) {
+        std::ofstream os(statsPath, std::ios::binary);
+        svc::writeServiceStats(outcome, os);
+    }
+    for (const std::string &e : outcome.stats.errors)
+        std::cerr << "gpucc_sweepd: " << e << "\n";
+
+    if (outcome.stats.halted)
+        return 3;
+    return outcome.missing.empty() ? 0 : 4;
+}

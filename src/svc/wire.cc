@@ -1,0 +1,213 @@
+#include "svc/wire.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/metrics/json_writer.h"
+#include "verify/json.h"
+
+namespace gpucc::svc::wire
+{
+
+namespace
+{
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseHex64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 16);
+    return end != nullptr && *end == '\0';
+}
+
+std::string
+simple(const std::string &type, const std::string &worker)
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("type", type);
+    if (!worker.empty())
+        w.field("worker", worker);
+    w.endObject();
+    return os.str();
+}
+
+} // namespace
+
+std::string
+encodeHello(const std::string &worker)
+{
+    return simple("hello", worker);
+}
+
+std::string
+encodeClaim(const std::string &worker)
+{
+    return simple("claim", worker);
+}
+
+std::string
+encodeHeartbeat(const std::string &worker)
+{
+    return simple("heartbeat", worker);
+}
+
+std::string
+encodeResult(const std::string &worker, const CellSpec &cell,
+             std::uint64_t leaseId, const CellOutcome &outcome)
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("type", "result");
+    w.field("worker", worker);
+    w.field("cell", static_cast<std::uint64_t>(cell.index));
+    w.field("lease", hex64(leaseId));
+    w.field("outcome", outcome.outcome);
+    if (!outcome.error.empty())
+        w.field("error", outcome.error);
+    w.field("digest", hex64(outcome.digest));
+    w.beginObject("metrics");
+    for (const auto &[name, v] : outcome.metrics)
+        w.field(name, v);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+encodeGrant(const CellSpec &cell, std::uint64_t leaseId)
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("type", "grant");
+    w.field("cell", static_cast<std::uint64_t>(cell.index));
+    w.field("lease", hex64(leaseId));
+    w.field("scenario", cell.scenario);
+    w.field("arch", cell.arch);
+    w.field("plan", cell.plan);
+    w.field("config", cell.config);
+    w.field("seed", hex64(cell.seed));
+    w.endObject();
+    return os.str();
+}
+
+std::string
+encodeNoWork(bool drained, std::uint64_t retryMs)
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("type", "nowork");
+    w.field("drained", drained);
+    w.field("retry_ms", retryMs);
+    w.endObject();
+    return os.str();
+}
+
+std::string
+encodeOk()
+{
+    return simple("ok", "");
+}
+
+std::string
+encodeError(const std::string &what)
+{
+    std::ostringstream os;
+    metrics::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("type", "error");
+    w.field("error", what);
+    w.endObject();
+    return os.str();
+}
+
+bool
+decode(const std::string &line, Message &out, std::string &error)
+{
+    verify::JsonParseResult p = verify::parseJson(line);
+    if (!p.ok) {
+        error = p.error;
+        return false;
+    }
+    const verify::JsonValue &v = p.value;
+    if (!v.isObject()) {
+        error = "message is not a JSON object";
+        return false;
+    }
+    out = Message{};
+    out.type = v.stringOr("type", "");
+    if (out.type.empty()) {
+        error = "missing \"type\"";
+        return false;
+    }
+    out.worker = v.stringOr("worker", "");
+    out.error = v.stringOr("error", "");
+    out.drained = v.get("drained").boolean;
+    out.retryMs =
+        static_cast<std::uint64_t>(v.numberOr("retry_ms", 0));
+    out.cell.index =
+        static_cast<std::size_t>(v.numberOr("cell", 0));
+    out.cell.scenario = v.stringOr("scenario", "");
+    out.cell.arch = v.stringOr("arch", "");
+    out.cell.plan = v.stringOr("plan", "");
+    out.cell.config = v.stringOr("config", "");
+    std::uint64_t u = 0;
+    if (parseHex64(v.stringOr("seed", ""), u))
+        out.cell.seed = u;
+    if (parseHex64(v.stringOr("lease", ""), u))
+        out.leaseId = u;
+    if (out.type == "result") {
+        out.outcome.outcome = v.stringOr("outcome", "");
+        out.outcome.error = out.error;
+        if (parseHex64(v.stringOr("digest", ""), u))
+            out.outcome.digest = u;
+        for (const auto &[name, mv] : v.get("metrics").members) {
+            if (mv.isNumber())
+                out.outcome.metrics[name] = mv.number;
+        }
+        if (out.outcome.outcome.empty()) {
+            error = "result without \"outcome\"";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd, framed.data() + off, framed.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR))
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace gpucc::svc::wire

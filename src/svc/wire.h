@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Wire protocol between gpucc_sweepd (coordinator) and gpucc_worker:
+ * newline-delimited JSON objects over a Unix-domain stream socket,
+ * strict request/reply lockstep initiated by the worker.
+ *
+ *   worker -> coordinator          coordinator -> worker
+ *   {"type":"hello","worker":W}    {"type":"ok"}
+ *   {"type":"heartbeat",...}       {"type":"ok"}
+ *   {"type":"claim",...}           {"type":"grant",cell...,lease}
+ *                                | {"type":"nowork","drained":B,
+ *                                   "retry_ms":N}
+ *   {"type":"result",...}          {"type":"ok"}
+ *
+ * The framing is deliberately the ledger's: one JSON object per line,
+ * u64s as "0x..." strings, written with the shared JsonWriter and
+ * parsed with the verify JSON reader. A malformed line is a protocol
+ * error answered with {"type":"error"} and logged, never a crash:
+ * byzantine workers are just another failure mode the lease queue
+ * already absorbs.
+ */
+
+#ifndef GPUCC_SVC_WIRE_H
+#define GPUCC_SVC_WIRE_H
+
+#include <cstdint>
+#include <string>
+
+#include "svc/spec.h"
+
+namespace gpucc::svc::wire
+{
+
+/** Decoded form of any protocol message (fields used per type). */
+struct Message
+{
+    std::string type;   //!< "hello", "claim", "grant", ...
+    std::string worker; //!< sender name (worker -> coordinator)
+    CellSpec cell;      //!< grant: the leased cell
+    std::uint64_t leaseId = 0; //!< grant / result
+    CellOutcome outcome;       //!< result payload
+    bool drained = false;      //!< nowork: queue fully done, exit
+    std::uint64_t retryMs = 0; //!< nowork: back off before re-claim
+    std::string error;         //!< error replies
+};
+
+std::string encodeHello(const std::string &worker);
+std::string encodeClaim(const std::string &worker);
+std::string encodeHeartbeat(const std::string &worker);
+std::string encodeResult(const std::string &worker,
+                         const CellSpec &cell, std::uint64_t leaseId,
+                         const CellOutcome &outcome);
+std::string encodeGrant(const CellSpec &cell, std::uint64_t leaseId);
+std::string encodeNoWork(bool drained, std::uint64_t retryMs);
+std::string encodeOk();
+std::string encodeError(const std::string &what);
+
+/** Parse one line. @return false with @p error set when it is not a
+ *  well-formed protocol message. */
+bool decode(const std::string &line, Message &out, std::string &error);
+
+/** Write @p line + '\n' to @p fd, retrying short writes.
+ *  @return false on EPIPE/error (peer died). */
+bool sendLine(int fd, const std::string &line);
+
+/** Incremental line splitter over a streamed byte feed. */
+class LineBuffer
+{
+  public:
+    void feed(const char *data, std::size_t n)
+    {
+        pending.append(data, n);
+    }
+
+    /** Pop the next complete line (without '\n') into @p line. */
+    bool
+    next(std::string &line)
+    {
+        const std::size_t nl = pending.find('\n');
+        if (nl == std::string::npos)
+            return false;
+        line.assign(pending, 0, nl);
+        pending.erase(0, nl + 1);
+        return true;
+    }
+
+  private:
+    std::string pending;
+};
+
+} // namespace gpucc::svc::wire
+
+#endif // GPUCC_SVC_WIRE_H

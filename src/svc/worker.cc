@@ -1,0 +1,149 @@
+#include "svc/worker.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "svc/spec.h"
+#include "svc/wire.h"
+
+namespace gpucc::svc
+{
+
+namespace
+{
+
+void
+sleepMs(std::uint64_t ms)
+{
+    timespec ts{};
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+    ::nanosleep(&ts, nullptr);
+}
+
+/** Blocking read of one '\n'-terminated reply. */
+bool
+readReply(int fd, wire::LineBuffer &buf, wire::Message &msg)
+{
+    std::string line;
+    while (!buf.next(line)) {
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            buf.feed(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF: coordinator gone
+    }
+    std::string err;
+    return wire::decode(line, msg, err);
+}
+
+/** Lockstep exchange: send @p req, wait for the reply. */
+bool
+exchange(int fd, wire::LineBuffer &buf, const std::string &req,
+         wire::Message &reply)
+{
+    return wire::sendLine(fd, req) && readReply(fd, buf, reply);
+}
+
+int
+connectWithRetry(const std::string &path, std::uint64_t timeoutMs)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // The coordinator binds the socket before forking, but a slow
+    // filesystem can still race us — retry for the grace period.
+    for (std::uint64_t waited = 0;; waited += 50) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            return fd;
+        ::close(fd);
+        if (waited >= timeoutMs)
+            return -1;
+        sleepMs(50);
+    }
+}
+
+} // namespace
+
+int
+runWorker(const WorkerConfig &cfg)
+{
+    const int fd =
+        connectWithRetry(cfg.socketPath, cfg.connectTimeoutMs);
+    if (fd < 0) {
+        std::fprintf(stderr,
+                     "gpucc_worker %s: cannot connect to %s\n",
+                     cfg.name.c_str(), cfg.socketPath.c_str());
+        return 1;
+    }
+    wire::LineBuffer buf;
+    wire::Message reply;
+    if (!exchange(fd, buf, wire::encodeHello(cfg.name), reply) ||
+        reply.type != "ok") {
+        ::close(fd);
+        return 1;
+    }
+
+    const WorkerFault *fault = cfg.faults.forWorker(cfg.ordinal);
+    unsigned claims = 0;
+    for (;;) {
+        if (!exchange(fd, buf, wire::encodeHeartbeat(cfg.name),
+                      reply))
+            break;
+        if (!exchange(fd, buf, wire::encodeClaim(cfg.name), reply))
+            break;
+        if (reply.type == "nowork") {
+            if (reply.drained) {
+                ::close(fd);
+                return 0;
+            }
+            sleepMs(reply.retryMs != 0 ? reply.retryMs
+                                       : cfg.heartbeatEveryMs);
+            continue;
+        }
+        if (reply.type != "grant")
+            continue; // protocol noise; try again
+        ++claims;
+        if (fault != nullptr && fault->killAtClaim == claims) {
+            // Scripted death mid-cell: lease claimed, no result, no
+            // goodbye. 137 = what SIGKILL would report.
+            ::_exit(137);
+        }
+        const CellSpec cell = reply.cell;
+        const std::uint64_t lease = reply.leaseId;
+        const CellOutcome outcome = runCell(cell);
+        if (fault != nullptr && fault->stallAtClaim == claims) {
+            // Scripted stall: no heartbeats while asleep, so the
+            // lease expires and this submission arrives stale. The
+            // coordinator must discard it, not double-count the cell.
+            sleepMs(fault->stallFor);
+        }
+        if (!exchange(fd, buf,
+                      wire::encodeResult(cfg.name, cell, lease,
+                                         outcome),
+                      reply))
+            break;
+    }
+    ::close(fd);
+    return 1; // coordinator vanished mid-conversation
+}
+
+} // namespace gpucc::svc

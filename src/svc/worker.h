@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The claim/run/report loop behind gpucc_worker.
+ *
+ * A worker is deliberately dumb: connect, say hello, then loop —
+ * heartbeat, claim a lease, run the cell through runCell(), report
+ * the result — until the coordinator answers "nowork, drained". All
+ * retry/backoff/quarantine intelligence lives on the coordinator;
+ * a worker that dies mid-cell simply stops heartbeating and the
+ * lease machinery does the rest.
+ *
+ * Chaos self-injection: the worker carries the run's ProcessFaultPlan
+ * and applies its own entry — _exit(137) on the scripted claim (death
+ * mid-cell, lease dangling), or going silent for the scripted stall
+ * before submitting what is by then a stale result. Faults injected
+ * *inside* the worker process are exactly what the coordinator must
+ * survive, which is the point.
+ */
+
+#ifndef GPUCC_SVC_WORKER_H
+#define GPUCC_SVC_WORKER_H
+
+#include <cstdint>
+#include <string>
+
+#include "svc/chaos.h"
+
+namespace gpucc::svc
+{
+
+/** Configuration of one worker process. */
+struct WorkerConfig
+{
+    std::string socketPath;
+    std::string name = "w0";
+    unsigned ordinal = 0;    //!< index into the fault plan
+    ProcessFaultPlan faults; //!< whole-run plan (self-selects entry)
+    std::uint64_t connectTimeoutMs = 5000;
+    std::uint64_t heartbeatEveryMs = 200;
+};
+
+/** Run the worker loop. @return process exit code: 0 drained clean,
+ *  1 connect/protocol failure. (A scripted kill never returns — the
+ *  process _exits with status 137.) */
+int runWorker(const WorkerConfig &cfg);
+
+} // namespace gpucc::svc
+
+#endif // GPUCC_SVC_WORKER_H

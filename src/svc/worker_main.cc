@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gpucc_worker: one sweep-service worker process. Spawned by
+ * gpucc_sweepd; connects back over the Unix-domain socket, claims
+ * leases, runs cells, reports results. Carries the run's chaos plan
+ * for self-injected kills and stalls (see svc/chaos.h).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/log.h"
+#include "svc/worker.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gpucc;
+    svc::WorkerConfig cfg;
+    std::string faultText;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "gpucc_worker: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(a, "-h") || !std::strcmp(a, "--help")) {
+            std::cout
+                << "usage: gpucc_worker --socket PATH [--name W]\n"
+                   "         [--ordinal N] [--fault PLAN]\n";
+            return 0;
+        } else if (!std::strcmp(a, "--socket")) {
+            cfg.socketPath = value(a);
+        } else if (!std::strcmp(a, "--name")) {
+            cfg.name = value(a);
+        } else if (!std::strcmp(a, "--ordinal")) {
+            cfg.ordinal = static_cast<unsigned>(
+                std::strtoul(value(a), nullptr, 0));
+        } else if (!std::strcmp(a, "--fault")) {
+            faultText = value(a);
+        } else {
+            std::cerr << "gpucc_worker: unknown option " << a << "\n";
+            return 2;
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        std::cerr << "gpucc_worker: --socket is required\n";
+        return 2;
+    }
+    std::string err;
+    if (!faultText.empty() &&
+        !svc::ProcessFaultPlan::parse(faultText, cfg.faults, err)) {
+        std::cerr << "gpucc_worker: --fault " << err << "\n";
+        return 2;
+    }
+    setVerbose(false);
+    return svc::runWorker(cfg);
+}

@@ -20,6 +20,7 @@
 #include "sim/exec/sweep_runner.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/fault/fault_plan.h"
+#include "svc/service.h"
 #include "verify/digest.h"
 
 namespace gpucc::verify
@@ -599,6 +600,86 @@ runSynthBlind(const gpu::ArchParams &a)
     return r;
 }
 
+/**
+ * Sweep-service acceptance cell (robustness extension): the
+ * lease-based sweep engine run three ways over the same spec — cold,
+ * under a scripted chaos plan (worker kill + heartbeat stall), and
+ * halted-then-resumed against the same content-addressed store — must
+ * converge on byte-identical canonical state. The band pins the
+ * failure policy end to end: the broken rows land in quarantine after
+ * bounded retries (never silently dropped), the flaky rows retry to
+ * completion, the resumed run computes only the delta, and the sweep
+ * digest (split into exact 32-bit halves) equalizes all three
+ * schedules — any schedule leakage into cell results is a conformance
+ * failure.
+ */
+ScenarioResult
+runSweepService(const gpu::ArchParams &a)
+{
+    svc::SweepSpec spec;
+    spec.name = "conformance";
+    spec.seedBase = 2017;
+    spec.seedsPerCell = 2;
+    spec.archs = {gpu::generationName(a.generation)};
+    spec.kinds.push_back({"l1_baseline", "", "bits=16"});
+    spec.kinds.push_back({"flaky", "", "fail=1;den=3"});
+    spec.kinds.push_back({"broken", "", ""});
+    const std::size_t cellCount = spec.expand().size();
+
+    // Memory-only stores: the comparison is between schedules, not
+    // between files (disk persistence is svc_test's subject).
+    svc::ResultStore coldStore("", "conf");
+    svc::ServiceConfig coldCfg;
+    coldCfg.workers = 2;
+    const svc::ServiceOutcome cold = svc::runService(spec, coldCfg, coldStore);
+
+    svc::ResultStore chaosStore("", "conf");
+    svc::ServiceConfig chaosCfg;
+    chaosCfg.workers = 3;
+    std::string perr;
+    svc::ProcessFaultPlan::parse("w0:kill@2,w1:stall@1x30", chaosCfg.faults,
+                            perr);
+    const svc::ServiceOutcome chaos = svc::runService(spec, chaosCfg, chaosStore);
+
+    // Halt after three persisted results, then resume against the
+    // same store: the second run must skip the acked prefix and
+    // converge on the cold digest.
+    svc::ResultStore resumeStore("", "conf");
+    svc::ServiceConfig haltCfg = coldCfg;
+    haltCfg.haltAfterResults = 3;
+    const svc::ServiceOutcome halted = svc::runService(spec, haltCfg, resumeStore);
+    const svc::ServiceOutcome resumed =
+        svc::runService(spec, coldCfg, resumeStore);
+
+    const std::size_t ceiling =
+        cellCount * static_cast<std::size_t>(coldCfg.retry.maxAttempts);
+    ScenarioResult r;
+    r.add("cells", double(cellCount), true);
+    r.add("cold.missing", double(cold.missing.size()), true);
+    r.add("cold.quarantined", double(cold.stats.queue.quarantined),
+          true);
+    r.add("cold.retries_bounded",
+          cold.stats.queue.retries <= ceiling ? 1.0 : 0.0, true);
+    r.add("chaos.digest_matches_cold",
+          (chaos.digest == cold.digest && cold.digest != 0) ? 1.0 : 0.0,
+          true);
+    r.add("chaos.missing", double(chaos.missing.size()), true);
+    r.add("chaos.workers_died", double(chaos.stats.workersDied), true);
+    r.add("chaos.leases_expired",
+          chaos.stats.queue.leasesExpired >= 1 ? 1.0 : 0.0, true);
+    r.add("resume.digest_matches_cold",
+          resumed.digest == cold.digest ? 1.0 : 0.0, true);
+    r.add("resume.halted", halted.stats.halted ? 1.0 : 0.0, true);
+    r.add("resume.cached", double(resumed.stats.queue.cached), true);
+    r.add("resume.appended",
+          double(halted.stats.storeAppended +
+                 resumed.stats.storeAppended),
+          true);
+    r.add("digest.lo32", double(cold.digest & 0xffffffffULL), true);
+    r.add("digest.hi32", double(cold.digest >> 32), true);
+    return r;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -642,6 +723,11 @@ conformanceScenarios()
         s.push_back({"synth_blind",
                      "Section 3 (blind reverse engineering)", all,
                      runSynthBlind});
+        s.push_back({"sweep_service",
+                     "Robustness extension: fault-tolerant sweep "
+                     "service (chaos/resume digest-pinned against "
+                     "cold)",
+                     all, runSweepService});
         return s;
     }();
     return scenarios;

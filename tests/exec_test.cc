@@ -5,8 +5,10 @@
  * and the per-trial seed derivation.
  */
 
+#include <atomic>
 #include <cstring>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -161,6 +163,36 @@ TEST(ThreadPool, WorkerExceptionsPropagateToCaller)
         EXPECT_EQ(h, 1);
 }
 
+TEST(ThreadPool, ThrowingIndexDoesNotStarveTheRestOfTheBatch)
+{
+    // A cell that throws must fail alone: every other index still
+    // runs (no deadlock, no silently skipped share), at any width.
+    for (unsigned threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(16);
+        try {
+            pool.forEachIndex(hits.size(), [&hits](std::size_t i) {
+                if (i == 3 || i == 4)
+                    throw std::runtime_error("cell " +
+                                             std::to_string(i));
+                hits[i]++;
+            });
+            FAIL() << "exception must propagate (threads=" << threads
+                   << ")";
+        } catch (const std::runtime_error &e) {
+            // Deterministic rethrow: the lowest failed index wins
+            // regardless of which worker hit its failure first.
+            EXPECT_STREQ(e.what(), "cell 3");
+        }
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            if (i == 3 || i == 4)
+                continue;
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << " skipped at threads=" << threads;
+        }
+    }
+}
+
 TEST(ThreadPool, GpuccThreadsEnvironmentOverridesDefault)
 {
     ASSERT_EQ(setenv("GPUCC_THREADS", "3", 1), 0);
@@ -169,4 +201,25 @@ TEST(ThreadPool, GpuccThreadsEnvironmentOverridesDefault)
     EXPECT_EQ(ThreadPool::defaultThreads(), 1u);
     ASSERT_EQ(unsetenv("GPUCC_THREADS"), 0);
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ThreadPoolDeathTest, MalformedGpuccThreadsFailsFastAndLoudly)
+{
+    // 0, negative, garbage, trailing junk, empty and absurd values are
+    // configuration errors: the run must stop with a clear message,
+    // not silently proceed at some other width (which would make
+    // "reproducible at GPUCC_THREADS=N" a lie).
+    auto withEnv = [](const char *v) {
+        ASSERT_EQ(setenv("GPUCC_THREADS", v, 1), 0);
+        EXPECT_EXIT(ThreadPool::defaultThreads(),
+                    ::testing::ExitedWithCode(1), "GPUCC_THREADS")
+            << "value: '" << v << "'";
+    };
+    withEnv("0");
+    withEnv("-3");
+    withEnv("banana");
+    withEnv("4x");
+    withEnv("");
+    withEnv("100000000");
+    ASSERT_EQ(unsetenv("GPUCC_THREADS"), 0);
 }

@@ -236,6 +236,103 @@ TEST(Ledger, CorruptLinesAreReportedNotSwallowed)
     EXPECT_FALSE(l.append(sampleRecord()));
 }
 
+TEST(Ledger, TornWriteMidRecordIsReportedAndRepairedOnAppend)
+{
+    TempDir tmp;
+    const std::string path = tmp.file("run.jsonl");
+    LedgerRecord first = sampleRecord();
+    LedgerRecord second = sampleRecord();
+    second.seed += 1;
+    {
+        Ledger l(path);
+        EXPECT_TRUE(l.append(first));
+        EXPECT_TRUE(l.append(second));
+    }
+
+    // Kill the writer mid-record: the second line loses its tail
+    // (including the newline), exactly what a SIGKILL inside ::write()
+    // leaves behind.
+    ASSERT_TRUE(Ledger::tornTruncateForTest(path));
+
+    // The corrupt tail is reported, prior records survive.
+    LedgerLoadResult loaded = Ledger::load(path);
+    EXPECT_TRUE(loaded.tornTail);
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.records[0].key(), first.key());
+    ASSERT_EQ(loaded.errors.size(), 1u);
+    EXPECT_NE(loaded.errors[0].find("torn tail"), std::string::npos)
+        << loaded.errors[0];
+
+    // The next append repairs the framing: the torn half-line is
+    // terminated, the new record lands on its own line, and the
+    // re-appended second record (its key was lost with the tail) is
+    // parseable again.
+    {
+        Ledger l(path);
+        EXPECT_TRUE(l.repairPending());
+        EXPECT_EQ(l.preexisting(), 1u);
+        EXPECT_FALSE(l.append(first)) << "surviving record must dedup";
+        EXPECT_TRUE(l.repairPending())
+            << "a deduped append must not have touched the file";
+        EXPECT_TRUE(l.append(second));
+        EXPECT_FALSE(l.repairPending());
+    }
+    LedgerLoadResult repaired = Ledger::load(path);
+    EXPECT_FALSE(repaired.tornTail);
+    ASSERT_EQ(repaired.records.size(), 2u);
+    EXPECT_EQ(repaired.records[0].key(), first.key());
+    EXPECT_EQ(repaired.records[1].key(), second.key());
+    // The terminated torn fragment stays quarantined as a reported
+    // error line — never silently reinterpreted as data.
+    ASSERT_EQ(repaired.errors.size(), 1u);
+
+    // Appending to the repaired file needs no further repair.
+    {
+        Ledger l(path);
+        EXPECT_FALSE(l.repairPending());
+        LedgerRecord third = sampleRecord();
+        third.seed += 2;
+        EXPECT_TRUE(l.append(third));
+    }
+    EXPECT_EQ(Ledger::load(path).records.size(), 3u);
+}
+
+TEST(Ledger, LineCrcCatchesBitRotThatStillParses)
+{
+    const LedgerRecord r = sampleRecord();
+    std::string line = Ledger::toJsonLine(r);
+
+    // Unmodified lines round-trip.
+    LedgerRecord back;
+    std::string err;
+    ASSERT_TRUE(Ledger::parseLine(line, back, err)) << err;
+    EXPECT_EQ(back.key(), r.key());
+
+    // Flip one digit inside a *payload* field (the outcome text): the
+    // result is valid JSON with a valid identity key, so only the
+    // line CRC can catch it.
+    const std::size_t pos = line.find("complete");
+    ASSERT_NE(pos, std::string::npos);
+    line[pos] = 'k';
+    EXPECT_FALSE(Ledger::parseLine(line, back, err));
+    EXPECT_NE(err.find("CRC mismatch"), std::string::npos) << err;
+}
+
+TEST(Ledger, LegacyLinesWithoutCrcStillLoad)
+{
+    // Ledgers written before the crc field existed (e.g. the CI cache)
+    // must keep loading: validation applies only when the suffix is
+    // present.
+    std::string line = Ledger::toJsonLine(sampleRecord());
+    const std::size_t pos = line.rfind(",\"crc\":");
+    ASSERT_NE(pos, std::string::npos);
+    line = line.substr(0, pos) + "}";
+    LedgerRecord back;
+    std::string err;
+    EXPECT_TRUE(Ledger::parseLine(line, back, err)) << err;
+    EXPECT_EQ(back.key(), sampleRecord().key());
+}
+
 // ---- worker-count invariance ----------------------------------------
 
 TEST(ObsSweep, PhaseTotalsAndLedgerBytesInvariantAcrossWorkers)

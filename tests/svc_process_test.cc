@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Process-level soak of the sweep service: a real coordinator
+ * (Unix-domain socket, poll loop) fork/exec-ing real gpucc_worker
+ * processes, with scripted worker kills and stalls, asserting the
+ * chaos run's canonical report is byte-identical to a deterministic
+ * in-process run of the same spec — and that losing *every* worker
+ * degrades gracefully instead of hanging or dropping cells.
+ *
+ * The gpucc_worker binary path arrives via GPUCC_WORKER_BIN (set by
+ * ctest from $<TARGET_FILE:gpucc_worker>); without it the process
+ * tests skip so the suite still runs standalone.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "svc/coordinator.h"
+#include "svc/service.h"
+
+namespace gpucc::svc
+{
+namespace
+{
+
+struct TempDir
+{
+    std::filesystem::path path;
+
+    TempDir()
+    {
+        static int counter = 0;
+        path = std::filesystem::temp_directory_path() /
+               ("gpucc_svc_proc_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+};
+
+const char *
+workerBin()
+{
+    return std::getenv("GPUCC_WORKER_BIN");
+}
+
+/** Mixed spec: one real measurement row plus flaky/broken rows, kept
+ *  small so the soak stays inside its ctest timeout. */
+SweepSpec
+processSpec()
+{
+    SweepSpec s;
+    s.name = "proc_soak";
+    s.seedBase = 2017;
+    s.seedsPerCell = 2;
+    s.archs = {"Kepler"};
+    s.kinds.push_back({"l1_baseline", "", "bits=16"});
+    s.kinds.push_back({"flaky", "", "fail=1;den=2"});
+    s.kinds.push_back({"broken", "", ""});
+    return s;
+}
+
+std::string
+canonical(const SweepSpec &spec, const ServiceOutcome &outcome)
+{
+    std::ostringstream os;
+    writeCanonicalReport(spec, outcome, os);
+    return os.str();
+}
+
+/** Reference run through the deterministic in-process engine. */
+std::string
+referenceReport(const SweepSpec &spec, std::uint64_t &digest)
+{
+    ResultStore store("", "procrev");
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    const ServiceOutcome out = runService(spec, cfg, store);
+    EXPECT_TRUE(out.missing.empty());
+    digest = out.digest;
+    return canonical(spec, out);
+}
+
+} // namespace
+
+TEST(SvcProcess, KillAndStallSoakConvergesToReferenceReport)
+{
+    if (workerBin() == nullptr)
+        GTEST_SKIP() << "GPUCC_WORKER_BIN not set";
+    const SweepSpec spec = processSpec();
+    std::uint64_t refDigest = 0;
+    const std::string ref = referenceReport(spec, refDigest);
+
+    TempDir dir;
+    CoordinatorConfig cfg;
+    cfg.socketPath = dir.file("sweep.sock");
+    cfg.workerBin = workerBin();
+    cfg.workers = 3;
+    cfg.retry.leaseTimeout = 300; // ms: outlived by the 700ms stall
+    cfg.retry.maxAttempts = 5;
+    cfg.spoolPath = dir.file("spool.jsonl");
+    std::string err;
+    ASSERT_TRUE(ProcessFaultPlan::parse("w0:kill@2,w2:stall@1x700",
+                                        cfg.faults, err))
+        << err;
+
+    ResultStore store(dir.file("ledger.jsonl"), "procrev");
+    const ServiceOutcome out = runCoordinator(spec, cfg, store);
+
+    ASSERT_TRUE(out.missing.empty())
+        << out.missing.size() << " cells silently dropped";
+    EXPECT_EQ(canonical(spec, out), ref);
+    EXPECT_EQ(out.digest, refDigest);
+    EXPECT_EQ(out.stats.workersSpawned, 3u);
+    EXPECT_GE(out.stats.workersDied, 1u); // the scripted kill
+    EXPECT_GE(out.stats.queue.leasesExpired, 1u);
+    // Bounded retries: nothing spun past the quarantine ceiling.
+    EXPECT_LE(out.stats.queue.retries,
+              spec.expand().size() *
+                  static_cast<std::size_t>(cfg.retry.maxAttempts));
+    EXPECT_TRUE(std::filesystem::exists(cfg.spoolPath));
+}
+
+TEST(SvcProcess, AllWorkersLostFinishesDegradedInProcess)
+{
+    if (workerBin() == nullptr)
+        GTEST_SKIP() << "GPUCC_WORKER_BIN not set";
+    const SweepSpec spec = processSpec();
+    std::uint64_t refDigest = 0;
+    const std::string ref = referenceReport(spec, refDigest);
+
+    TempDir dir;
+    CoordinatorConfig cfg;
+    cfg.socketPath = dir.file("sweep.sock");
+    cfg.workerBin = workerBin();
+    cfg.workers = 2;
+    cfg.retry.leaseTimeout = 300;
+    std::string err;
+    ASSERT_TRUE(ProcessFaultPlan::parse("w0:kill@1,w1:kill@1",
+                                        cfg.faults, err));
+
+    ResultStore store(dir.file("ledger.jsonl"), "procrev");
+    const ServiceOutcome out = runCoordinator(spec, cfg, store);
+
+    EXPECT_TRUE(out.stats.degraded);
+    ASSERT_TRUE(out.missing.empty());
+    EXPECT_EQ(canonical(spec, out), ref);
+    EXPECT_EQ(out.digest, refDigest);
+}
+
+TEST(SvcProcess, ResumeAgainstTheSameLedgerAppendsOnlyTheDelta)
+{
+    if (workerBin() == nullptr)
+        GTEST_SKIP() << "GPUCC_WORKER_BIN not set";
+    const SweepSpec spec = processSpec();
+    TempDir dir;
+    const std::string ledger = dir.file("ledger.jsonl");
+
+    // First run completes normally over real workers.
+    {
+        CoordinatorConfig cfg;
+        cfg.socketPath = dir.file("a.sock");
+        cfg.workerBin = workerBin();
+        cfg.workers = 2;
+        ResultStore store(ledger, "procrev");
+        const ServiceOutcome out = runCoordinator(spec, cfg, store);
+        ASSERT_TRUE(out.missing.empty());
+    }
+    const auto bytesBefore = std::filesystem::file_size(ledger);
+    // Second run: everything cached, no worker ever needed, zero
+    // bytes appended.
+    {
+        CoordinatorConfig cfg;
+        cfg.socketPath = dir.file("b.sock");
+        cfg.workerBin = workerBin();
+        cfg.workers = 2;
+        ResultStore store(ledger, "procrev");
+        const ServiceOutcome out = runCoordinator(spec, cfg, store);
+        ASSERT_TRUE(out.missing.empty());
+        EXPECT_EQ(out.stats.storeAppended, 0u);
+        EXPECT_EQ(out.stats.queue.cached, spec.expand().size());
+        EXPECT_EQ(out.stats.cellsRun, 0u);
+    }
+    EXPECT_EQ(std::filesystem::file_size(ledger), bytesBefore);
+}
+
+} // namespace gpucc::svc
