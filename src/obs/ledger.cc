@@ -119,13 +119,31 @@ Ledger::Ledger(std::string path) : filePath(std::move(path))
     if (ec)
         errors.push_back(filePath + ": " + ec.message());
 
-    LedgerLoadResult loaded = load(filePath);
+    adopt(load(filePath));
+}
+
+Ledger::Ledger(std::string path, const LedgerLoadResult &preloaded)
+    : filePath(std::move(path))
+{
+    std::error_code ec;
+    auto dir = std::filesystem::path(filePath).parent_path();
+    if (!dir.empty())
+        std::filesystem::create_directories(dir, ec);
+    if (ec)
+        errors.push_back(filePath + ": " + ec.message());
+
+    adopt(preloaded);
+}
+
+void
+Ledger::adopt(const LedgerLoadResult &loaded)
+{
     for (const LedgerRecord &r : loaded.records)
         keys.insert(r.key());
     loadedCount = loaded.records.size();
     repairNeeded = loaded.tornTail;
-    for (std::string &e : loaded.errors)
-        errors.push_back(std::move(e));
+    for (const std::string &e : loaded.errors)
+        errors.push_back(e);
 }
 
 bool

@@ -104,6 +104,14 @@ class Ledger
      */
     explicit Ledger(std::string path);
 
+    /**
+     * Open @p path, adopting @p preloaded (a prior load() of the same
+     * file) instead of reading it again. For callers that need the
+     * record payloads anyway (ResultStore keeps them cached), this
+     * parses the file exactly once.
+     */
+    Ledger(std::string path, const LedgerLoadResult &preloaded);
+
     /** @return true when the record was appended; false when its key
      *  was already present (the dedup path) or the write failed. */
     bool append(const LedgerRecord &r);
@@ -152,6 +160,10 @@ class Ledger
     static bool tornTruncateForTest(const std::string &path);
 
   private:
+    /** Shared open path: index keys and record load problems from one
+     *  (fresh or caller-supplied) load of filePath. */
+    void adopt(const LedgerLoadResult &loaded);
+
     std::string filePath;
     std::set<std::uint64_t> keys;
     std::vector<std::string> errors;

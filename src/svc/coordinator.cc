@@ -292,6 +292,12 @@ runCoordinator(const SweepSpec &spec, const CoordinatorConfig &cfg,
         if (fds[0].revents & POLLIN) {
             const int fd = ::accept(listenFd, nullptr, nullptr);
             if (fd >= 0) {
+                // Non-blocking: the drain loop below reads until
+                // EAGAIN, so a lockstep worker awaiting its reply can
+                // never deadlock the coordinator on a blocking read.
+                const int fl = ::fcntl(fd, F_GETFL, 0);
+                ::fcntl(fd, F_SETFL,
+                        (fl >= 0 ? fl : 0) | O_NONBLOCK);
                 Conn c;
                 c.fd = fd;
                 conns.push_back(std::move(c));
@@ -311,22 +317,27 @@ runCoordinator(const SweepSpec &spec, const CoordinatorConfig &cfg,
                 const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
                 if (n > 0) {
                     c.buf.feed(chunk, static_cast<std::size_t>(n));
-                    if (static_cast<std::size_t>(n) < sizeof chunk)
-                        break;
                     continue;
                 }
                 if (n < 0 && errno == EINTR)
                     continue;
+                if (n < 0 &&
+                    (errno == EAGAIN || errno == EWOULDBLOCK))
+                    break; // drained; poll() signals the rest
                 dead = true; // EOF or hard error
             }
             const std::uint64_t rxNow = monotonicMs() - start;
             std::string line;
+            auto protocolError = [&](const std::string &what) {
+                ++stats.protocolErrors;
+                stats.errors.push_back("protocol: " + what);
+                wire::sendLine(c.fd, wire::encodeError(what));
+            };
             while (c.buf.next(line)) {
                 wire::Message msg;
                 std::string err;
                 if (!wire::decode(line, msg, err)) {
-                    stats.errors.push_back("protocol: " + err);
-                    wire::sendLine(c.fd, wire::encodeError(err));
+                    protocolError(err);
                     continue;
                 }
                 if (msg.type == "hello") {
@@ -349,14 +360,28 @@ runCoordinator(const SweepSpec &spec, const CoordinatorConfig &cfg,
                                                cfg.pollMs * 2));
                     }
                 } else if (msg.type == "result") {
+                    // The index comes off the wire: any local process
+                    // can connect, so it must never reach jobs[] or
+                    // cells[] unchecked (wire.h promises malformed
+                    // messages are an error reply, never a crash).
+                    if (c.worker.empty()) {
+                        protocolError("result before hello");
+                        continue;
+                    }
+                    if (msg.cell.index >= cells.size()) {
+                        protocolError(
+                            "result cell " +
+                            std::to_string(msg.cell.index) +
+                            " out of range (spec has " +
+                            std::to_string(cells.size()) + " cells)");
+                        continue;
+                    }
                     ++stats.cellsRun;
                     deliver(msg.cell.index, msg.leaseId, msg.outcome,
                             rxNow);
                     wire::sendLine(c.fd, wire::encodeOk());
                 } else {
-                    wire::sendLine(
-                        c.fd, wire::encodeError("unknown type '" +
-                                                msg.type + "'"));
+                    protocolError("unknown type '" + msg.type + "'");
                 }
             }
             if (dead) {
@@ -387,6 +412,9 @@ runCoordinator(const SweepSpec &spec, const CoordinatorConfig &cfg,
                 continue;
             char chunk[4096];
             const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+            if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                          errno == EWOULDBLOCK))
+                continue; // spurious wakeup on a non-blocking fd
             if (n <= 0) {
                 closeConn(c);
                 continue;

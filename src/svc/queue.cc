@@ -105,6 +105,12 @@ JobQueue::releaseWorker(const std::string &worker, std::uint64_t now)
 bool
 JobQueue::completeJob(std::size_t job, std::uint64_t leaseId)
 {
+    // Indexes can arrive off the wire; out-of-range is rejected like
+    // any other dead-lease result, never an out-of-bounds access.
+    if (job >= jobs.size()) {
+        ++counters.staleResults;
+        return false;
+    }
     Job &j = jobs[job];
     if (j.state != JobState::Leased || j.leaseId != leaseId) {
         ++counters.staleResults;
@@ -121,6 +127,10 @@ bool
 JobQueue::failJob(std::size_t job, std::uint64_t leaseId,
                   const std::string &error, std::uint64_t now)
 {
+    if (job >= jobs.size()) {
+        ++counters.staleResults;
+        return false;
+    }
     Job &j = jobs[job];
     if (j.state != JobState::Leased || j.leaseId != leaseId) {
         ++counters.staleResults;

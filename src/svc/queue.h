@@ -124,11 +124,13 @@ class JobQueue
     void releaseWorker(const std::string &worker, std::uint64_t now);
 
     /** Accept a completed result. @return false (stale, discarded)
-     *  when @p leaseId is not the job's live lease. */
+     *  when @p leaseId is not the job's live lease or @p job is out
+     *  of range (wire-supplied indexes are never trusted). */
     bool completeJob(std::size_t job, std::uint64_t leaseId);
 
     /** Accept a failed result: requeue with backoff or quarantine.
-     *  @return false when the lease was stale (failure discarded). */
+     *  @return false when the lease was stale or @p job out of range
+     *  (failure discarded). */
     bool failJob(std::size_t job, std::uint64_t leaseId,
                  const std::string &error, std::uint64_t now);
 

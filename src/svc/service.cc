@@ -322,6 +322,8 @@ writeServiceStats(const ServiceOutcome &outcome, std::ostream &os)
     w.field("workers_spawned", s.workersSpawned);
     w.field("workers_died", s.workersDied);
     w.field("cells_run", static_cast<std::uint64_t>(s.cellsRun));
+    w.field("protocol_errors",
+            static_cast<std::uint64_t>(s.protocolErrors));
     w.field("final_tick", s.finalTick);
     w.beginObject("queue");
     w.field("leases_granted", s.queue.leasesGranted);

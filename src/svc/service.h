@@ -65,6 +65,9 @@ struct ServiceStats
     std::size_t cellsRun = 0;      //!< runCell invocations
     std::size_t storeAppended = 0; //!< new records persisted
     std::size_t storeSkipped = 0;  //!< dedup hits (resume/cache)
+    /** Malformed/out-of-contract wire messages rejected (answered with
+     *  an error reply, logged in errors, never applied). */
+    std::size_t protocolErrors = 0;
     std::uint64_t finalTick = 0;
     std::vector<std::string> errors; //!< store faults, engine aborts
     /** Per-quarantined-cell "index: last error" lines. */

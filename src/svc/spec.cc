@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <sstream>
 #include <stdexcept>
 
@@ -181,6 +182,20 @@ runCell(const CellSpec &cell)
                 throw std::runtime_error(
                     "injected cell failure (" + cell.scenario +
                     ", cell " + std::to_string(cell.index) + ")");
+            out.outcome = "complete";
+            out.metrics["ok"] = 1.0;
+            return out;
+        }
+        if (cell.scenario == "slow") {
+            // Test kind: a cell whose wall-clock runtime ("ms=N")
+            // outlives short lease timeouts, pinning that a busy
+            // worker's heartbeats keep its lease alive. The *result*
+            // stays a pure function of the cell identity.
+            const unsigned ms = configValue(cell.config, "ms", 100);
+            timespec ts{};
+            ts.tv_sec = static_cast<time_t>(ms / 1000);
+            ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+            ::nanosleep(&ts, nullptr);
             out.outcome = "complete";
             out.metrics["ok"] = 1.0;
             return out;

@@ -8,9 +8,11 @@ ResultStore::ResultStore(std::string path, std::string rev)
 {
     if (ledgerPath.empty())
         return; // memory-only store
-    // Load existing records first (the ledger handle indexes only
-    // keys; resume needs the full payloads back).
+    // One parse serves both consumers: the ledger handle indexes the
+    // keys from the preloaded result, the cache keeps the payloads
+    // (resume needs them back).
     obs::LedgerLoadResult loaded = obs::Ledger::load(ledgerPath);
+    ledger = std::make_unique<obs::Ledger>(ledgerPath, loaded);
     for (obs::LedgerRecord &r : loaded.records) {
         const std::uint64_t k = r.key();
         cache.emplace(k, std::move(r));
@@ -19,7 +21,6 @@ ResultStore::ResultStore(std::string path, std::string rev)
     tornAtOpen = loaded.tornTail;
     for (std::string &e : loaded.errors)
         errorList.push_back(std::move(e));
-    ledger = std::make_unique<obs::Ledger>(ledgerPath);
 }
 
 std::uint64_t

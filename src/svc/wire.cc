@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+
+#include <poll.h>
 #include <unistd.h>
 
 #include "common/metrics/json_writer.h"
@@ -205,6 +207,15 @@ sendLine(int fd, const std::string &line)
         }
         if (n < 0 && (errno == EINTR))
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Non-blocking fd with a full buffer: wait (bounded) for
+            // writability. A peer that stays wedged past the bound is
+            // treated as dead rather than stalling the caller.
+            pollfd p{fd, POLLOUT, 0};
+            if (::poll(&p, 1, 1000) > 0)
+                continue;
+            return false;
+        }
         return false;
     }
     return true;

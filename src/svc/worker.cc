@@ -1,9 +1,11 @@
 #include "svc/worker.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -129,7 +131,33 @@ runWorker(const WorkerConfig &cfg)
         }
         const CellSpec cell = reply.cell;
         const std::uint64_t lease = reply.leaseId;
-        const CellOutcome outcome = runCell(cell);
+        // Run the cell on a helper thread so this thread can keep
+        // heartbeating: a cell whose runtime exceeds the lease
+        // timeout must not lose its lease (expiry would re-queue it,
+        // burn an attempt, and on a slow machine quarantine healthy
+        // cells). The socket stays single-threaded — compute over
+        // there, lockstep protocol here.
+        CellOutcome outcome;
+        std::atomic<bool> cellDone{false};
+        std::thread compute([&] {
+            outcome = runCell(cell);
+            cellDone.store(true, std::memory_order_release);
+        });
+        bool connAlive = true;
+        std::uint64_t sinceBeatMs = 0;
+        const std::uint64_t stepMs = 10;
+        while (!cellDone.load(std::memory_order_acquire)) {
+            sleepMs(stepMs);
+            sinceBeatMs += stepMs;
+            if (connAlive && sinceBeatMs >= cfg.heartbeatEveryMs) {
+                connAlive = exchange(
+                    fd, buf, wire::encodeHeartbeat(cfg.name), reply);
+                sinceBeatMs = 0;
+            }
+        }
+        compute.join();
+        if (!connAlive)
+            break; // coordinator gone; result has no one to go to
         if (fault != nullptr && fault->stallAtClaim == claims) {
             // Scripted stall: no heartbeats while asleep, so the
             // lease expires and this submission arrives stale. The

@@ -4,7 +4,10 @@
  *
  * A worker is deliberately dumb: connect, say hello, then loop —
  * heartbeat, claim a lease, run the cell through runCell(), report
- * the result — until the coordinator answers "nowork, drained". All
+ * the result — until the coordinator answers "nowork, drained". The
+ * cell runs on a helper thread while the protocol thread keeps
+ * heartbeating, so a cell slower than the lease timeout holds its
+ * lease instead of being spuriously expired and re-attempted. All
  * retry/backoff/quarantine intelligence lives on the coordinator;
  * a worker that dies mid-cell simply stops heartbeating and the
  * lease machinery does the rest.

@@ -212,6 +212,27 @@ TEST(Ledger, AppendDedupsAndRoundTrips)
     EXPECT_EQ(got.phaseCalls.at("transfer"), 96u);
 }
 
+TEST(Ledger, PreloadedOpenMatchesFreshOpen)
+{
+    // The preloaded constructor lets a caller who already load()ed
+    // the file (ResultStore keeps the payloads) open the ledger
+    // without parsing it a second time — same keys, same dedup.
+    TempDir tmp;
+    const std::string path = tmp.file("run.jsonl");
+    {
+        Ledger l(path);
+        l.append(sampleRecord());
+    }
+    LedgerLoadResult loaded = Ledger::load(path);
+    Ledger l(path, loaded);
+    EXPECT_EQ(l.preexisting(), 1u);
+    EXPECT_TRUE(l.contains(sampleRecord().key()));
+    EXPECT_FALSE(l.append(sampleRecord())); // dedup still works
+    LedgerRecord next = sampleRecord();
+    next.seed += 1;
+    EXPECT_TRUE(l.append(next));
+}
+
 TEST(Ledger, CorruptLinesAreReportedNotSwallowed)
 {
     TempDir tmp;

@@ -12,17 +12,24 @@
  * tests skip so the suite still runs standalone.
  */
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include "svc/coordinator.h"
 #include "svc/service.h"
+#include "svc/wire.h"
 
 namespace gpucc::svc
 {
@@ -92,6 +99,57 @@ referenceReport(const SweepSpec &spec, std::uint64_t &digest)
     EXPECT_TRUE(out.missing.empty());
     digest = out.digest;
     return canonical(spec, out);
+}
+
+void
+clientSleepMs(unsigned ms)
+{
+    timespec ts{};
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+    ::nanosleep(&ts, nullptr);
+}
+
+/** Connect to the coordinator socket, retrying until it is bound. */
+int
+clientConnect(const std::string &path, unsigned timeoutMs)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    for (unsigned waited = 0;; waited += 2) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            return fd;
+        ::close(fd);
+        if (waited >= timeoutMs)
+            return -1;
+        clientSleepMs(2);
+    }
+}
+
+/** Blocking read of one reply line (client side of the lockstep). */
+bool
+clientReadReply(int fd, wire::LineBuffer &buf, std::string &line)
+{
+    while (!buf.next(line)) {
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            buf.feed(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -195,6 +253,105 @@ TEST(SvcProcess, ResumeAgainstTheSameLedgerAppendsOnlyTheDelta)
         EXPECT_EQ(out.stats.cellsRun, 0u);
     }
     EXPECT_EQ(std::filesystem::file_size(ledger), bytesBefore);
+}
+
+TEST(SvcProcess, RogueClientMessagesAreRejectedWithoutCorruption)
+{
+    if (workerBin() == nullptr)
+        GTEST_SKIP() << "GPUCC_WORKER_BIN not set";
+    const SweepSpec spec = processSpec();
+    std::uint64_t refDigest = 0;
+    const std::string ref = referenceReport(spec, refDigest);
+
+    TempDir dir;
+    CoordinatorConfig cfg;
+    cfg.socketPath = dir.file("sweep.sock");
+    cfg.workerBin = workerBin();
+    cfg.workers = 1;
+    cfg.retry.leaseTimeout = 300;
+    cfg.retry.maxAttempts = 5;
+    std::string err;
+    // The stall keeps the run open long enough for the rogue to get
+    // its messages in before the socket is torn down.
+    ASSERT_TRUE(
+        ProcessFaultPlan::parse("w0:stall@1x500", cfg.faults, err))
+        << err;
+
+    // A byzantine local process: any uid can connect to the socket,
+    // so garbage, results-before-hello and out-of-range cell indexes
+    // must all come back as error replies — never corrupt the run.
+    std::thread rogue([&] {
+        const int fd = clientConnect(cfg.socketPath, 2000);
+        if (fd < 0)
+            return;
+        wire::LineBuffer buf;
+        std::string line;
+        CellSpec bogus;
+        bogus.index = 99999;
+        CellOutcome fake;
+        fake.outcome = "complete";
+        wire::sendLine(fd, "this is not json");
+        clientReadReply(fd, buf, line);
+        wire::sendLine(fd,
+                       wire::encodeResult("rogue", bogus, 7, fake));
+        clientReadReply(fd, buf, line); // error: result before hello
+        wire::sendLine(fd, wire::encodeHello("rogue"));
+        clientReadReply(fd, buf, line);
+        wire::sendLine(fd,
+                       wire::encodeResult("rogue", bogus, 7, fake));
+        clientReadReply(fd, buf, line); // error: cell out of range
+        CellSpec first;
+        first.index = 0;
+        wire::sendLine(
+            fd, wire::encodeResult("rogue", first, 0xdeadbeef, fake));
+        clientReadReply(fd, buf, line); // stale lease: discarded
+        ::close(fd);
+    });
+
+    ResultStore store(dir.file("ledger.jsonl"), "procrev");
+    const ServiceOutcome out = runCoordinator(spec, cfg, store);
+    rogue.join();
+
+    ASSERT_TRUE(out.missing.empty());
+    EXPECT_EQ(canonical(spec, out), ref);
+    EXPECT_EQ(out.digest, refDigest);
+    // Garbage line + pre-hello result + out-of-range result.
+    EXPECT_GE(out.stats.protocolErrors, 3u);
+}
+
+TEST(SvcProcess, SlowCellHeartbeatsKeepTheLeaseAlive)
+{
+    if (workerBin() == nullptr)
+        GTEST_SKIP() << "GPUCC_WORKER_BIN not set";
+    // One cell that runs well past the lease timeout: the worker's
+    // helper-thread heartbeats must keep the lease alive, or the
+    // cell would expire twice and be spuriously quarantined.
+    SweepSpec spec;
+    spec.name = "slow_cell";
+    spec.seedBase = 2017;
+    spec.seedsPerCell = 1;
+    spec.archs = {"Kepler"};
+    spec.kinds.push_back({"slow", "", "ms=1000"});
+    std::uint64_t refDigest = 0;
+    const std::string ref = referenceReport(spec, refDigest);
+
+    TempDir dir;
+    CoordinatorConfig cfg;
+    cfg.socketPath = dir.file("sweep.sock");
+    cfg.workerBin = workerBin();
+    cfg.workers = 1;
+    cfg.retry.leaseTimeout = 450; // < cell runtime, > heartbeat gap
+    cfg.retry.maxAttempts = 2;    // two expiries would quarantine
+
+    ResultStore store(dir.file("ledger.jsonl"), "procrev");
+    const ServiceOutcome out = runCoordinator(spec, cfg, store);
+
+    ASSERT_TRUE(out.missing.empty());
+    EXPECT_EQ(canonical(spec, out), ref);
+    EXPECT_EQ(out.digest, refDigest);
+    EXPECT_EQ(out.stats.queue.leasesExpired, 0u);
+    EXPECT_EQ(out.stats.queue.quarantined, 0u);
+    EXPECT_FALSE(out.stats.degraded);
 }
 
 } // namespace gpucc::svc

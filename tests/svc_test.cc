@@ -282,6 +282,23 @@ TEST(JobQueue, ReleaseWorkerRequeuesItsLeasesImmediately)
     EXPECT_FALSE(q.completeJob(g->job, g->leaseId)); // stale now
 }
 
+TEST(JobQueue, OutOfRangeResultIndexesAreRejectedNotApplied)
+{
+    // Result indexes arrive off the wire from arbitrary local
+    // processes; an index past the job table must be discarded like
+    // a stale lease, never index jobs[].
+    JobQueue q(2, RetryPolicy{});
+    auto g = q.claim("w", 0);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_FALSE(q.completeJob(99999, g->leaseId));
+    EXPECT_FALSE(q.failJob(99999, g->leaseId, "boom", 0));
+    EXPECT_FALSE(q.completeJob(q.size(), g->leaseId)); // first bad
+    EXPECT_EQ(q.stats().staleResults, 3u);
+    EXPECT_EQ(q.stats().failures, 0u);
+    // The live lease is untouched by the rejected messages.
+    EXPECT_TRUE(q.completeJob(g->job, g->leaseId));
+}
+
 // ---- wire protocol --------------------------------------------------
 
 TEST(Wire, GrantAndResultRoundTrip)
